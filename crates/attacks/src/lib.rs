@@ -1,0 +1,49 @@
+//! # jsk-attacks — the web concurrency attack suite
+//!
+//! Implementations of every attack in the paper's Table I:
+//!
+//! * **`setTimeout` implicit clock** ([`timer_attacks`]): cache attack,
+//!   script parsing, image decoding, clock edge;
+//! * **animation clocks** ([`raf_attacks`]): history sniffing, SVG
+//!   filtering, floating point, CSS animation, Video/WebVTT;
+//! * **event-loop monitoring** ([`loopscan`]);
+//! * **CVE exploit scripts** ([`cve_exploits`]) for the twelve
+//!   web-concurrency vulnerabilities.
+//!
+//! The [`harness`] runs any of them against any defense configuration and
+//! returns statistical (timing) or oracle-based (CVE) verdicts — every cell
+//! of Table I is *computed*, never hard-coded.
+
+pub mod cve_exploits;
+pub mod harness;
+pub mod loopscan;
+pub mod raf_attacks;
+pub mod sab_clock;
+pub mod ticker;
+pub mod timer_attacks;
+
+pub use harness::{
+    run_cve_attack, run_timing_attack, CveAttackResult, CveExploit, Secret, TimingAttack,
+    TimingAttackResult,
+};
+pub use loopscan::Loopscan;
+pub use sab_clock::SabClock;
+pub use raf_attacks::{CssAnimationClock, FloatingPoint, HistorySniffing, SvgFiltering, VideoVttClock};
+pub use timer_attacks::{CacheAttack, ClockEdge, ImageDecoding, ScriptParsing};
+
+/// All ten timing-attack rows of Table I, in the table's order.
+#[must_use]
+pub fn all_timing_attacks() -> Vec<Box<dyn TimingAttack>> {
+    vec![
+        Box::new(CacheAttack),
+        Box::new(ScriptParsing::default()),
+        Box::new(ImageDecoding::default()),
+        Box::new(ClockEdge::default()),
+        Box::new(HistorySniffing),
+        Box::new(SvgFiltering::default()),
+        Box::new(FloatingPoint),
+        Box::new(Loopscan::default()),
+        Box::new(CssAnimationClock::default()),
+        Box::new(VideoVttClock::default()),
+    ]
+}

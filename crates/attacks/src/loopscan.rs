@@ -1,0 +1,172 @@
+//! Loopscan (Vila & Köpf, USENIX Security '17, §IV-A3): monitoring the
+//! shared event loop to fingerprint which cross-origin site is loading.
+//!
+//! The attacker floods its own context with self-posted tasks, timestamps
+//! each, and records the **maximum inter-task gap**: whenever the victim
+//! page (a different browsing context sharing the main thread) runs a long
+//! task, the attacker's ticks stall. Each site's longest burst is a
+//! fingerprint — Table II reports google vs. youtube.
+
+use crate::harness::{Secret, TimingAttack};
+use jsk_browser::browser::Browser;
+use jsk_browser::task::cb;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use jsk_workloads::site::{register_site, SiteProfile};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The Loopscan attack.
+#[derive(Debug, Clone)]
+pub struct Loopscan {
+    /// Victim site under secret A.
+    pub site_a: SiteProfile,
+    /// Victim site under secret B.
+    pub site_b: SiteProfile,
+    /// Monitoring window in milliseconds.
+    pub window_ms: f64,
+}
+
+impl Default for Loopscan {
+    fn default() -> Self {
+        Loopscan {
+            site_a: SiteProfile::named("google"),
+            site_b: SiteProfile::named("youtube"),
+            window_ms: 700.0,
+        }
+    }
+}
+
+impl Loopscan {
+    fn site_for(&self, secret: Secret) -> &SiteProfile {
+        match secret {
+            Secret::A => &self.site_a,
+            Secret::B => &self.site_b,
+        }
+    }
+}
+
+impl TimingAttack for Loopscan {
+    fn name(&self) -> &'static str {
+        "Loopscan"
+    }
+
+    fn clock(&self) -> &'static str {
+        "requestAnimationFrame"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let profile = self.site_for(secret).clone();
+        register_site(browser, &profile);
+        let scale = browser.profile().site_task_scale;
+        // The monitor must span the victim's whole load, which slower
+        // engines stretch proportionally.
+        let window_ms = self.window_ms * scale.max(1.0);
+        // Sub-millisecond self-posting saturates long windows; fall back to
+        // a timer chain when the engine stretches the load (its 4 ms
+        // resolution is plenty for the scaled bursts).
+        let coarse = scale > 2.0;
+
+        // Attacker context (0): self-posting monitor recording the max gap.
+        browser.boot_in_context(0, move |scope| {
+            let max_gap = Rc::new(RefCell::new(0.0f64));
+            let last = Rc::new(RefCell::new(scope.performance_now()));
+            fn tick(
+                scope: &mut jsk_browser::scope::JsScope<'_>,
+                last: Rc<RefCell<f64>>,
+                max_gap: Rc<RefCell<f64>>,
+            ) {
+                let now = scope.performance_now();
+                {
+                    let mut l = last.borrow_mut();
+                    let gap = now - *l;
+                    *l = now;
+                    let mut m = max_gap.borrow_mut();
+                    if gap > *m {
+                        *m = gap;
+                    }
+                }
+                scope.post_task(cb(move |scope, _| {
+                    tick(scope, last.clone(), max_gap.clone());
+                }));
+            }
+            fn tick_coarse(
+                scope: &mut jsk_browser::scope::JsScope<'_>,
+                last: Rc<RefCell<f64>>,
+                max_gap: Rc<RefCell<f64>>,
+            ) {
+                let now = scope.performance_now();
+                {
+                    let mut l = last.borrow_mut();
+                    let gap = now - *l;
+                    *l = now;
+                    let mut m = max_gap.borrow_mut();
+                    if gap > *m {
+                        *m = gap;
+                    }
+                }
+                scope.set_timeout(0.0, cb(move |scope, _| {
+                    tick_coarse(scope, last.clone(), max_gap.clone());
+                }));
+            }
+            if coarse {
+                tick_coarse(scope, last.clone(), max_gap.clone());
+            } else {
+                tick(scope, last.clone(), max_gap.clone());
+            }
+            scope.set_timeout(window_ms, cb(move |scope, _| {
+                scope.record("measurement", JsValue::from(*max_gap.borrow()));
+            }));
+        });
+
+        // Victim context (1): the site loads on the same main thread. The
+        // page body is built by the workload's own driver.
+        let p = profile.clone();
+        browser.boot_in_context(1, move |scope| {
+            jsk_workloads::site::build_page(scope, &p, scale);
+        });
+
+        browser.run_for(SimDuration::from_millis_f64(window_ms * 2.0 + 500.0));
+        browser
+            .record_value("measurement")
+            .and_then(JsValue::as_f64)
+            .expect("loopscan records its max gap")
+    }
+
+    fn min_rel_gap(&self) -> f64 {
+        0.10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_timing_attack;
+    use jsk_defenses::registry::DefenseKind;
+
+    #[test]
+    fn loopscan_beats_legacy_chrome_with_table2_magnitudes() {
+        let r = run_timing_attack(&Loopscan::default(), DefenseKind::LegacyChrome, 6, 31);
+        assert!(!r.defended(), "{:?} vs {:?}", r.a, r.b);
+        let (google, youtube) = r.summaries();
+        // Table II Chrome: 4.5 ms vs 8.8 ms.
+        assert!((3.0..7.0).contains(&google.mean), "google {}", google.mean);
+        assert!((6.5..12.0).contains(&youtube.mean), "youtube {}", youtube.mean);
+    }
+
+    #[test]
+    fn loopscan_beats_deterfox_but_not_kernel() {
+        let deterfox = run_timing_attack(&Loopscan::default(), DefenseKind::DeterFox, 6, 32);
+        assert!(
+            !deterfox.defended(),
+            "cross-context resync must leak: {:?} vs {:?}",
+            deterfox.a,
+            deterfox.b
+        );
+        let kernel = run_timing_attack(&Loopscan::default(), DefenseKind::JsKernel, 6, 32);
+        assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);
+        // Table II: JSKernel reports 1 ms for both sites.
+        let (a, b) = kernel.summaries();
+        assert!(a.mean <= 1.6 && b.mean <= 1.6, "{} / {}", a.mean, b.mean);
+    }
+}

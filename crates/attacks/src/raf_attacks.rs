@@ -1,0 +1,281 @@
+//! The animation-related attacks of Table I: history sniffing, SVG
+//! filtering, floating-point timing, CSS animation, and Video/WebVTT
+//! implicit clocks (§IV-A2).
+
+use crate::harness::{Secret, TimingAttack};
+use crate::ticker::{start_css_ticker, start_media_ticker, TickCounter};
+use jsk_browser::browser::Browser;
+use jsk_browser::scope::JsScope;
+use jsk_browser::task::cb;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+
+fn read_measure(browser: &Browser) -> f64 {
+    browser
+        .record_value("measurement")
+        .and_then(JsValue::as_f64)
+        .expect("attack records a measurement")
+}
+
+/// Runs `body` inside a `requestAnimationFrame` callback and records the
+/// per-repetition `performance.now` delta around `reps` repetitions.
+fn raf_measured<F>(browser: &mut Browser, reps: u32, body: F)
+where
+    F: Fn(&mut JsScope<'_>) + Clone + 'static,
+{
+    browser.boot(move |scope| {
+        let body = body.clone();
+        scope.request_animation_frame(cb(move |scope, _| {
+            let t0 = scope.performance_now();
+            for _ in 0..reps {
+                body(scope);
+            }
+            let t1 = scope.performance_now();
+            scope.record("measurement", JsValue::from((t1 - t0) / f64::from(reps)));
+        }));
+    });
+    browser.run_until_idle();
+}
+
+/// History sniffing (Stone 2013, §IV-A2): visited and unvisited links
+/// repaint at different costs; the per-link time identifies browsing
+/// history.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistorySniffing;
+
+const VICTIM_LINK: &str = "https://social.example/friends";
+
+impl TimingAttack for HistorySniffing {
+    fn name(&self) -> &'static str {
+        "History Sniffing"
+    }
+
+    fn clock(&self) -> &'static str {
+        "requestAnimationFrame"
+    }
+
+    fn prepare(&self, browser: &mut Browser, secret: Secret) {
+        if secret == Secret::B {
+            browser.mark_visited(VICTIM_LINK);
+        }
+    }
+
+    fn measure(&self, browser: &mut Browser, _secret: Secret) -> f64 {
+        raf_measured(browser, 200, |scope| scope.style_link(VICTIM_LINK));
+        read_measure(browser)
+    }
+}
+
+/// SVG filtering (DeterFox's attack, Table II): the filter cost depends on
+/// the image's resolution; repeated application amplifies the difference
+/// enough to survive coarse clocks.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgFiltering {
+    /// Pixel count under secret A (the low resolution of Table II).
+    pub px_a: u64,
+    /// Pixel count under secret B (the high resolution).
+    pub px_b: u64,
+}
+
+impl Default for SvgFiltering {
+    fn default() -> Self {
+        SvgFiltering { px_a: 256 * 256, px_b: 512 * 512 }
+    }
+}
+
+impl TimingAttack for SvgFiltering {
+    fn name(&self) -> &'static str {
+        "SVG Filtering"
+    }
+
+    fn clock(&self) -> &'static str {
+        "requestAnimationFrame"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let px = match secret {
+            Secret::A => self.px_a,
+            Secret::B => self.px_b,
+        };
+        // 60 repetitions amplify the per-application difference enough to
+        // survive even a 100 ms explicit clock (how the attack still works
+        // on the Tor Browser, Table II).
+        raf_measured(browser, 60, move |scope| scope.apply_svg_filter(px));
+        read_measure(browser)
+    }
+}
+
+/// The floating-point timing channel (Andrysco et al., §IV-A2): subnormal
+/// operands take far longer per operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloatingPoint;
+
+impl TimingAttack for FloatingPoint {
+    fn name(&self) -> &'static str {
+        "Floating Point"
+    }
+
+    fn clock(&self) -> &'static str {
+        "requestAnimationFrame"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let subnormal = secret == Secret::B;
+        raf_measured(browser, 12, move |scope| scope.float_ops(300_000, subnormal));
+        read_measure(browser)
+    }
+}
+
+/// Measures a multi-task secret computation by counting implicit-clock
+/// ticks from an independent periodic source (CSS animation or media).
+fn count_ticks_during_tasks(
+    browser: &mut Browser,
+    start_ticker: impl Fn(&mut JsScope<'_>) -> TickCounter + 'static,
+    task_cost: SimDuration,
+    tasks: u32,
+) -> f64 {
+    browser.boot(move |scope| {
+        let ticks = start_ticker(scope);
+        // Let the ticker settle, then run the secret across several tasks.
+        scope.set_timeout(80.0, cb(move |scope, _| {
+            let t0 = *ticks.borrow();
+            fn step(
+                scope: &mut JsScope<'_>,
+                left: u32,
+                cost: SimDuration,
+                ticks: TickCounter,
+                t0: u64,
+            ) {
+                scope.compute(cost);
+                if left > 1 {
+                    scope.post_task(cb(move |scope, _| {
+                        step(scope, left - 1, cost, ticks.clone(), t0);
+                    }));
+                } else {
+                    let dt = *ticks.borrow() - t0;
+                    scope.record("measurement", JsValue::from(dt as f64));
+                }
+            }
+            step(scope, tasks, task_cost, ticks.clone(), t0);
+        }));
+    });
+    browser.run_for(SimDuration::from_secs(6));
+    read_measure(browser)
+}
+
+/// CSS animation as an implicit clock (Schwarz et al., §IV-A2).
+#[derive(Debug, Clone, Copy)]
+pub struct CssAnimationClock {
+    /// Per-task cost under secret A.
+    pub cost_a: SimDuration,
+    /// Per-task cost under secret B.
+    pub cost_b: SimDuration,
+}
+
+impl Default for CssAnimationClock {
+    fn default() -> Self {
+        CssAnimationClock {
+            cost_a: SimDuration::from_millis(20),
+            cost_b: SimDuration::from_millis(45),
+        }
+    }
+}
+
+impl TimingAttack for CssAnimationClock {
+    fn name(&self) -> &'static str {
+        "CSS Animation"
+    }
+
+    fn clock(&self) -> &'static str {
+        "requestAnimationFrame"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let cost = match secret {
+            Secret::A => self.cost_a,
+            Secret::B => self.cost_b,
+        };
+        count_ticks_during_tasks(browser, start_css_ticker, cost, 10)
+    }
+}
+
+/// Video frame / WebVTT cue callbacks as an implicit clock (Kohlbrenner &
+/// Shacham, §IV-A2).
+#[derive(Debug, Clone, Copy)]
+pub struct VideoVttClock {
+    /// Per-task cost under secret A.
+    pub cost_a: SimDuration,
+    /// Per-task cost under secret B.
+    pub cost_b: SimDuration,
+}
+
+impl Default for VideoVttClock {
+    fn default() -> Self {
+        VideoVttClock {
+            cost_a: SimDuration::from_millis(30),
+            cost_b: SimDuration::from_millis(80),
+        }
+    }
+}
+
+impl TimingAttack for VideoVttClock {
+    fn name(&self) -> &'static str {
+        "Video/WebVTT"
+    }
+
+    fn clock(&self) -> &'static str {
+        "requestAnimationFrame"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let cost = match secret {
+            Secret::A => self.cost_a,
+            Secret::B => self.cost_b,
+        };
+        count_ticks_during_tasks(
+            browser,
+            |scope| start_media_ticker(scope, 33.3),
+            cost,
+            10,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_timing_attack;
+    use jsk_defenses::registry::DefenseKind;
+
+    #[test]
+    fn svg_filtering_matches_table2_on_chrome() {
+        let r = run_timing_attack(&SvgFiltering::default(), DefenseKind::LegacyChrome, 8, 21);
+        assert!(!r.defended());
+        let (a, b) = r.summaries();
+        assert!((a.mean - 16.66).abs() < 1.5, "low-res mean {}", a.mean);
+        assert!((b.mean - 18.85).abs() < 1.5, "high-res mean {}", b.mean);
+    }
+
+    #[test]
+    fn svg_filtering_is_flat_under_kernel() {
+        let r = run_timing_attack(&SvgFiltering::default(), DefenseKind::JsKernel, 8, 21);
+        assert!(r.defended(), "{:?} vs {:?}", r.a, r.b);
+    }
+
+    #[test]
+    fn history_sniffing_beats_legacy_not_kernel() {
+        let legacy = run_timing_attack(&HistorySniffing, DefenseKind::LegacyChrome, 6, 22);
+        assert!(!legacy.defended());
+        let kernel = run_timing_attack(&HistorySniffing, DefenseKind::JsKernel, 6, 22);
+        assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);
+    }
+
+    #[test]
+    fn css_clock_beats_legacy_not_kernel() {
+        let legacy =
+            run_timing_attack(&CssAnimationClock::default(), DefenseKind::LegacyChrome, 6, 23);
+        assert!(!legacy.defended(), "{:?} vs {:?}", legacy.a, legacy.b);
+        let kernel = run_timing_attack(&CssAnimationClock::default(), DefenseKind::JsKernel, 6, 23);
+        assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Extension attack: the SharedArrayBuffer fine-grained timer (Schwarz et
+//! al., "Fantastic Timers", FC '17 — the paper's reference \[12\]).
+//!
+//! A worker increments a shared counter as fast as it can; the main thread
+//! reads the counter around a secret operation. The counter is a clock far
+//! finer than anything `performance.now` offers, defeating every
+//! clock-degrading defense — which is why most evaluated browsers shipped
+//! with SAB disabled post-Spectre. The experiment force-enables SAB to show
+//! the defense-relevant behaviour: JavaScript Zero removes the constructor;
+//! JSKernel redirects every access through the kernel event queue
+//! (§III-E2), so a task observes a single snapshot.
+
+use crate::harness::{Secret, TimingAttack};
+use jsk_browser::browser::Browser;
+use jsk_browser::task::{cb, worker_script};
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+
+/// The SAB-timer attack.
+#[derive(Debug, Clone, Copy)]
+pub struct SabClock {
+    /// Secret operation duration under A.
+    pub op_a: SimDuration,
+    /// Secret operation duration under B.
+    pub op_b: SimDuration,
+}
+
+impl Default for SabClock {
+    fn default() -> Self {
+        SabClock {
+            op_a: SimDuration::from_millis(2),
+            op_b: SimDuration::from_millis(6),
+        }
+    }
+}
+
+impl TimingAttack for SabClock {
+    fn name(&self) -> &'static str {
+        "SAB Timer"
+    }
+
+    fn clock(&self) -> &'static str {
+        "SharedArrayBuffer"
+    }
+
+    fn prepare(&self, browser: &mut Browser, _secret: Secret) {
+        browser.set_sab_enabled(true);
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let op = match secret {
+            Secret::A => self.op_a,
+            Secret::B => self.op_b,
+        };
+        browser.boot(move |scope| {
+            let Some(sab) = scope.sab_create(4) else {
+                // The defense removed the constructor (JavaScript Zero):
+                // the attacker learns nothing.
+                scope.record("measurement", JsValue::from(0.0));
+                return;
+            };
+            // Counting worker: increments the shared cell in a tight loop
+            // (one increment per 100 ns). A polyfill "worker" runs on the
+            // main thread, where the loop cannot make progress while the
+            // measuring task runs — which kills the clock.
+            let _w = scope.create_worker(
+                "counter.js",
+                worker_script(move |scope| {
+                    scope.sab_run_counter(sab, 0, 100);
+                }),
+            );
+            // Give the counter time to spin up, then measure.
+            scope.set_timeout(40.0, cb(move |scope, _| {
+                let c0 = scope.sab_read(sab, 0).unwrap_or(0.0);
+                scope.compute(op);
+                let c1 = scope.sab_read(sab, 0).unwrap_or(0.0);
+                scope.record("measurement", JsValue::from(c1 - c0));
+            }));
+        });
+        browser.run_for(SimDuration::from_millis(120));
+        browser
+            .record_value("measurement")
+            .and_then(JsValue::as_f64)
+            .expect("SAB attack records a measurement")
+    }
+
+    fn min_rel_gap(&self) -> f64 {
+        0.10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_timing_attack;
+    use jsk_defenses::registry::DefenseKind;
+
+    #[test]
+    fn sab_timer_beats_even_tor_but_not_kernel_or_chrome_zero() {
+        let tor = run_timing_attack(&SabClock::default(), DefenseKind::TorBrowser, 5, 41);
+        assert!(
+            !tor.defended(),
+            "a SAB counter ignores the coarse clock: {:?} vs {:?}",
+            tor.a,
+            tor.b
+        );
+        let kernel = run_timing_attack(&SabClock::default(), DefenseKind::JsKernel, 5, 41);
+        assert!(
+            kernel.defended(),
+            "kernel-frozen reads must hide the counter: {:?} vs {:?}",
+            kernel.a,
+            kernel.b
+        );
+        let cz = run_timing_attack(&SabClock::default(), DefenseKind::ChromeZero, 5, 41);
+        assert!(cz.defended(), "no constructor, no clock: {:?} vs {:?}", cz.a, cz.b);
+    }
+}

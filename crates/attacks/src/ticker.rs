@@ -1,0 +1,124 @@
+//! Implicit-clock primitives shared by the attacks.
+//!
+//! An *implicit clock* is any repeating browser callback whose invocation
+//! count stands in for elapsed time: a `setTimeout` chain, a worker's
+//! `postMessage` stream, `requestAnimationFrame`, a CSS animation, or video
+//! frame callbacks (§II-A1).
+
+use jsk_browser::scope::JsScope;
+use jsk_browser::task::cb;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared tick counter.
+pub type TickCounter = Rc<RefCell<u64>>;
+
+/// Starts a self-rescheduling `setTimeout` chain that increments the
+/// returned counter on every firing (the Listing 1 pattern with timers).
+/// The chain inherits the browser's nested-timer clamp, exactly like the
+/// real attack.
+pub fn start_timeout_ticker(scope: &mut JsScope<'_>, delay_ms: f64) -> TickCounter {
+    let counter: TickCounter = Rc::new(RefCell::new(0));
+    fn arm(scope: &mut JsScope<'_>, delay_ms: f64, counter: TickCounter) {
+        scope.set_timeout(delay_ms, cb(move |scope, _| {
+            *counter.borrow_mut() += 1;
+            arm(scope, delay_ms, counter.clone());
+        }));
+    }
+    arm(scope, delay_ms, counter.clone());
+    counter
+}
+
+/// Starts a self-posting task chain (`postMessage`-to-self) incrementing
+/// the counter — the sub-millisecond event-loop monitor Loopscan uses.
+pub fn start_post_task_ticker(scope: &mut JsScope<'_>) -> TickCounter {
+    let counter: TickCounter = Rc::new(RefCell::new(0));
+    fn arm(scope: &mut JsScope<'_>, counter: TickCounter) {
+        scope.post_task(cb(move |scope, _| {
+            *counter.borrow_mut() += 1;
+            arm(scope, counter.clone());
+        }));
+    }
+    arm(scope, counter.clone());
+    counter
+}
+
+/// Starts a CSS-animation tick counter.
+pub fn start_css_ticker(scope: &mut JsScope<'_>) -> TickCounter {
+    let counter: TickCounter = Rc::new(RefCell::new(0));
+    let c = counter.clone();
+    scope.start_css_animation(cb(move |_, _| {
+        *c.borrow_mut() += 1;
+    }));
+    counter
+}
+
+/// Starts a video/WebVTT cue tick counter at the given frame period.
+pub fn start_media_ticker(scope: &mut JsScope<'_>, period_ms: f64) -> TickCounter {
+    let counter: TickCounter = Rc::new(RefCell::new(0));
+    let c = counter.clone();
+    scope.start_media_ticker(period_ms, cb(move |_, _| {
+        *c.borrow_mut() += 1;
+    }));
+    counter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::browser::{Browser, BrowserConfig};
+    use jsk_browser::mediator::LegacyMediator;
+    use jsk_browser::profile::BrowserProfile;
+    use jsk_browser::value::JsValue;
+    use jsk_sim::time::SimDuration;
+
+    fn browser() -> Browser {
+        Browser::new(
+            BrowserConfig::new(BrowserProfile::chrome(), 42),
+            Box::new(LegacyMediator),
+        )
+    }
+
+    #[test]
+    fn timeout_ticker_settles_at_the_nested_clamp() {
+        let mut b = browser();
+        b.boot(|scope| {
+            let ticks = start_timeout_ticker(scope, 0.0);
+            scope.set_timeout(200.0, cb(move |scope, _| {
+                scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
+            }));
+        });
+        b.run_for(SimDuration::from_millis(400));
+        let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();
+        // ~200 ms at a 4 ms clamped cadence (first few at 1 ms): 45–60.
+        assert!((40.0..70.0).contains(&ticks), "{ticks}");
+    }
+
+    #[test]
+    fn post_task_ticker_is_much_faster_than_timers() {
+        let mut b = browser();
+        b.boot(|scope| {
+            let ticks = start_post_task_ticker(scope);
+            scope.set_timeout(50.0, cb(move |scope, _| {
+                scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
+            }));
+        });
+        b.run_for(SimDuration::from_millis(100));
+        let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();
+        assert!(ticks > 300.0, "{ticks}");
+    }
+
+    #[test]
+    fn css_ticker_follows_vsync() {
+        let mut b = browser();
+        b.boot(|scope| {
+            let ticks = start_css_ticker(scope);
+            scope.set_timeout(167.0, cb(move |scope, _| {
+                scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
+            }));
+        });
+        b.run_for(SimDuration::from_millis(300));
+        let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();
+        assert!((6.0..14.0).contains(&ticks), "{ticks}");
+    }
+}

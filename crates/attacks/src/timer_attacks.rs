@@ -1,0 +1,300 @@
+//! The four `setTimeout`-as-implicit-clock attacks of Table I: the cache
+//! attack, script-parsing and image-decoding DOM side channels, and the
+//! clock-edge attack.
+
+use crate::harness::{Secret, TimingAttack};
+use crate::ticker::start_timeout_ticker;
+use jsk_browser::browser::Browser;
+use jsk_browser::net::ResourceSpec;
+use jsk_browser::task::cb;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn read_measure(browser: &Browser) -> f64 {
+    browser
+        .record_value("measurement")
+        .and_then(JsValue::as_f64)
+        .expect("attack records a measurement")
+}
+
+/// The Oren-style cache attack (§IV-A1): the secret is whether shared
+/// content has been flushed from the cache; the access-time difference is
+/// read through a `setTimeout` tick count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheAttack;
+
+impl TimingAttack for CacheAttack {
+    fn name(&self) -> &'static str {
+        "Cache Attack"
+    }
+
+    fn clock(&self) -> &'static str {
+        "setTimeout"
+    }
+
+    fn prepare(&self, browser: &mut Browser, secret: Secret) {
+        // Secret A: the victim's content set is cached; secret B: flushed.
+        for i in 0..40 {
+            browser.seed_content_cache(format!("victim-{i}"), secret == Secret::A);
+        }
+    }
+
+    fn measure(&self, browser: &mut Browser, _secret: Secret) -> f64 {
+        browser.boot(|scope| {
+            let ticks = start_timeout_ticker(scope, 0.0);
+            // Chain 40 access tasks; report the tick count when they finish.
+            fn access(
+                scope: &mut jsk_browser::scope::JsScope<'_>,
+                left: u32,
+                ticks: crate::ticker::TickCounter,
+            ) {
+                scope.access_cached(format!("victim-{}", 40 - left));
+                if left > 1 {
+                    scope.post_task(cb(move |scope, _| access(scope, left - 1, ticks.clone())));
+                } else {
+                    // Read the count one task later so ticks displaced by the
+                    // final access have dispatched.
+                    scope.post_task(cb(move |scope, _| {
+                        scope.record("measurement", JsValue::from(*ticks.borrow() as f64));
+                    }));
+                }
+            }
+            access(scope, 40, ticks);
+        });
+        browser.run_for(SimDuration::from_millis(800));
+        read_measure(browser)
+    }
+}
+
+/// van Goethem's script-parsing attack (§IV-A1, Figure 2): load a
+/// cross-origin file as a script twice — the second load is served from the
+/// HTTP cache, isolating the size-dependent parse time, which a timer tick
+/// count measures.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptParsing {
+    /// File size (MB) under secret A.
+    pub size_a_mb: u64,
+    /// File size (MB) under secret B.
+    pub size_b_mb: u64,
+}
+
+impl Default for ScriptParsing {
+    fn default() -> Self {
+        ScriptParsing { size_a_mb: 2, size_b_mb: 9 }
+    }
+}
+
+impl ScriptParsing {
+    const URL: &'static str = "https://victim.example/friends-list.js";
+
+    fn size_for(&self, secret: Secret) -> u64 {
+        match secret {
+            Secret::A => self.size_a_mb << 20,
+            Secret::B => self.size_b_mb << 20,
+        }
+    }
+
+    /// Runs the measurement body against a pre-registered resource; shared
+    /// with the image-decoding attack (the loader differs).
+    fn measure_load(browser: &mut Browser, as_image: bool) -> f64 {
+        browser.boot(move |scope| {
+            let load: Box<dyn Fn(&mut jsk_browser::scope::JsScope<'_>, jsk_browser::task::Callback)> =
+                if as_image {
+                    Box::new(|scope, on| scope.load_image(ScriptParsing::URL, on))
+                } else {
+                    Box::new(|scope, on| scope.load_script(ScriptParsing::URL, on))
+                };
+            // First (cold) load warms the HTTP cache.
+            let again = move |scope: &mut jsk_browser::scope::JsScope<'_>, _: JsValue| {
+                // Second load: pre-schedule a fan of independent 1 ms-grid
+                // timers; the count that fired by onload measures how long
+                // the (cache-served) load + parse blocked the thread.
+                let fired = Rc::new(RefCell::new(0u64));
+                for i in 1..=60u64 {
+                    let fired = fired.clone();
+                    scope.set_timeout(i as f64, cb(move |_, _| {
+                        *fired.borrow_mut() += 1;
+                    }));
+                }
+                let on_done = cb(move |scope: &mut jsk_browser::scope::JsScope<'_>, _| {
+                    // Read the count one task later, so timers displaced by
+                    // the parse/decode (which runs inside the completion
+                    // task) have dispatched.
+                    let fired = fired.clone();
+                    scope.post_task(cb(move |scope, _| {
+                        let count = *fired.borrow();
+                        // The attacker reports the fired count × 1 ms grid.
+                        scope.record("measurement", JsValue::from(count as f64));
+                    }));
+                });
+                if as_image {
+                    scope.load_image(ScriptParsing::URL, on_done);
+                } else {
+                    scope.load_script(ScriptParsing::URL, on_done);
+                }
+            };
+            load(scope, cb(again));
+        });
+        browser.run_for(SimDuration::from_secs(30));
+        read_measure(browser)
+    }
+}
+
+impl TimingAttack for ScriptParsing {
+    fn name(&self) -> &'static str {
+        "Script Parsing"
+    }
+
+    fn clock(&self) -> &'static str {
+        "setTimeout"
+    }
+
+    fn prepare(&self, browser: &mut Browser, secret: Secret) {
+        browser.register_resource(Self::URL, ResourceSpec::of_size(self.size_for(secret)));
+    }
+
+    fn measure(&self, browser: &mut Browser, _secret: Secret) -> f64 {
+        Self::measure_load(browser, false)
+    }
+}
+
+/// van Goethem's image-decoding variant: same structure, decoding instead
+/// of parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageDecoding {
+    /// File size (MB) under secret A.
+    pub size_a_mb: u64,
+    /// File size (MB) under secret B.
+    pub size_b_mb: u64,
+}
+
+impl Default for ImageDecoding {
+    fn default() -> Self {
+        ImageDecoding { size_a_mb: 2, size_b_mb: 8 }
+    }
+}
+
+impl TimingAttack for ImageDecoding {
+    fn name(&self) -> &'static str {
+        "Image Decoding"
+    }
+
+    fn clock(&self) -> &'static str {
+        "setTimeout"
+    }
+
+    fn prepare(&self, browser: &mut Browser, secret: Secret) {
+        let size = match secret {
+            Secret::A => self.size_a_mb << 20,
+            Secret::B => self.size_b_mb << 20,
+        };
+        browser.register_resource(ScriptParsing::URL, ResourceSpec::of_size(size));
+    }
+
+    fn measure(&self, browser: &mut Browser, _secret: Secret) -> f64 {
+        ScriptParsing::measure_load(browser, true)
+    }
+}
+
+/// The clock-edge attack (§IV-A4): build a sub-grain timer by counting
+/// cheap operations between two edges of the coarse clock, then use the
+/// count to estimate a secret operation's duration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockEdge {
+    /// Secret operation duration under A.
+    pub op_a: SimDuration,
+    /// Secret operation duration under B.
+    pub op_b: SimDuration,
+}
+
+impl Default for ClockEdge {
+    fn default() -> Self {
+        ClockEdge {
+            op_a: SimDuration::from_micros(250),
+            op_b: SimDuration::from_micros(650),
+        }
+    }
+}
+
+impl TimingAttack for ClockEdge {
+    fn name(&self) -> &'static str {
+        "Clock Edge"
+    }
+
+    fn clock(&self) -> &'static str {
+        "setTimeout"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let op = match secret {
+            Secret::A => self.op_a,
+            Secret::B => self.op_b,
+        };
+        browser.boot(move |scope| {
+            const CHUNK: u64 = 500;
+            const CAP: u32 = 2_000_000;
+            let spin_to_edge = |scope: &mut jsk_browser::scope::JsScope<'_>| -> u32 {
+                let start = scope.date_now();
+                let mut iters = 0u32;
+                loop {
+                    scope.busy_loop(CHUNK);
+                    iters += 1;
+                    if scope.date_now() != start || iters > CAP {
+                        break;
+                    }
+                }
+                iters
+            };
+            // Align to an edge, then calibrate iterations per tick.
+            spin_to_edge(scope);
+            let per_tick = spin_to_edge(scope).max(1);
+            // Align again, run the secret op, count the tick's remainder.
+            spin_to_edge(scope);
+            scope.compute(op);
+            let after = spin_to_edge(scope);
+            // Fraction of the tick the secret consumed.
+            let fraction = 1.0 - f64::from(after) / f64::from(per_tick);
+            scope.record("measurement", JsValue::from(fraction));
+        });
+        browser.run_until_idle();
+        read_measure(browser)
+    }
+
+    fn min_rel_gap(&self) -> f64 {
+        0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_timing_attack;
+    use jsk_defenses::registry::DefenseKind;
+
+    #[test]
+    fn cache_attack_beats_legacy_not_kernel() {
+        let legacy = run_timing_attack(&CacheAttack, DefenseKind::LegacyChrome, 6, 10);
+        assert!(!legacy.defended(), "{:?} vs {:?}", legacy.a, legacy.b);
+        let kernel = run_timing_attack(&CacheAttack, DefenseKind::JsKernel, 6, 10);
+        assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);
+    }
+
+    #[test]
+    fn script_parsing_beats_legacy_not_kernel() {
+        let legacy =
+            run_timing_attack(&ScriptParsing::default(), DefenseKind::LegacyChrome, 6, 11);
+        assert!(!legacy.defended(), "{:?} vs {:?}", legacy.a, legacy.b);
+        let kernel = run_timing_attack(&ScriptParsing::default(), DefenseKind::JsKernel, 6, 11);
+        assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);
+    }
+
+    #[test]
+    fn clock_edge_beats_legacy_not_fuzzyfox() {
+        let legacy = run_timing_attack(&ClockEdge::default(), DefenseKind::LegacyChrome, 6, 12);
+        assert!(!legacy.defended(), "{:?} vs {:?}", legacy.a, legacy.b);
+        let fuzzy = run_timing_attack(&ClockEdge::default(), DefenseKind::Fuzzyfox, 6, 12);
+        assert!(fuzzy.defended(), "{:?} vs {:?}", fuzzy.a, fuzzy.b);
+    }
+}

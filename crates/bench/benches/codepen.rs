@@ -1,0 +1,48 @@
+//! §V-B1 — the API-specific compatibility test: 20 apps (5 per searched
+//! API), each compared against the undefended run under Fuzzyfox, DeterFox,
+//! and JSKernel.
+//!
+//! Paper: Fuzzyfox shows observable differences in 13/20 apps, DeterFox in
+//! 7/20, JSKernel in 4/20 — and JSKernel's differences are exclusively
+//! time-related (performance.now-paced animation speed), never breakage.
+//!
+//! Run with `cargo bench -p jsk-bench --bench codepen`.
+
+use jsk_bench::Report;
+use jsk_defenses::registry::DefenseKind;
+use jsk_workloads::codepen::{observable_count, run_comparison};
+
+fn main() {
+    let baseline = DefenseKind::LegacyFirefox;
+    let defenses = [
+        (DefenseKind::Fuzzyfox, 13usize),
+        (DefenseKind::DeterFox, 7),
+        (DefenseKind::JsKernelFirefox, 4),
+    ];
+    let mut report = Report::new(
+        "API-specific compatibility — 20 CodePen-style apps (observable differences / paper)",
+        &["Defense", "apps differing", "paper", "differing apps"],
+    );
+    for (kind, paper) in defenses {
+        let rows = run_comparison(|seed| baseline.build(seed), |seed| kind.build(seed));
+        let differing: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.observable_difference)
+            .map(|r| r.app.as_str())
+            .collect();
+        report.row(vec![
+            kind.label().to_owned(),
+            format!("{}/20", observable_count(&rows)),
+            format!("{paper}/20"),
+            differing.join(", "),
+        ]);
+        eprintln!("  finished {}", kind.label());
+    }
+    report.print();
+    println!(
+        "\nPaper reading: JSKernel has the fewest observable differences, \
+         all of them time-related (clock-paced animation speed); Fuzzyfox \
+         disturbs most apps; DeterFox sits between. Functional apps (worker \
+         compute) must be identical everywhere."
+    );
+}

@@ -1,0 +1,49 @@
+//! §V-A1 — Dromaeo micro-benchmark overhead of JSKernel (and Chrome Zero
+//! for comparison) on Chrome.
+//!
+//! Paper: mean 1.99 %, median 0.30 %, worst case DOM-attribute 21.15 %.
+//!
+//! Run with `cargo bench -p jsk-bench --bench dromaeo`.
+
+use jsk_bench::Report;
+use jsk_defenses::registry::DefenseKind;
+use jsk_sim::stats::percentile;
+use jsk_workloads::dromaeo::{overhead_percent, run_suite};
+
+fn main() {
+    let mut legacy = DefenseKind::LegacyChrome.build(0xD20);
+    let base = run_suite(&mut legacy);
+    let mut kernel = DefenseKind::JsKernel.build(0xD20);
+    let with_kernel = run_suite(&mut kernel);
+    let mut cz = DefenseKind::ChromeZero.build(0xD20);
+    let with_cz = run_suite(&mut cz);
+
+    let k_overhead = overhead_percent(&base, &with_kernel);
+    let cz_overhead = overhead_percent(&base, &with_cz);
+
+    let mut report = Report::new(
+        "Dromaeo micro-benchmark (Chrome): per-test time and overhead",
+        &["Test", "Chrome (ms)", "JSKernel (ms)", "JSK overhead", "ChromeZero overhead"],
+    );
+    for (i, b) in base.iter().enumerate() {
+        report.row(vec![
+            b.test.clone(),
+            format!("{:.3}", b.ms),
+            format!("{:.3}", with_kernel[i].ms),
+            format!("{:+.2}%", k_overhead[i].1),
+            format!("{:+.2}%", cz_overhead[i].1),
+        ]);
+    }
+    report.print();
+
+    let pcts: Vec<f64> = k_overhead.iter().map(|(_, p)| *p).collect();
+    let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
+    let median = percentile(&pcts, 50.0);
+    let worst = k_overhead
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty suite");
+    println!("\nJSKernel summary: mean {mean:+.2}% (paper 1.99%), median {median:+.2}% (paper 0.30%)");
+    println!("worst case: {} {:+.2}% (paper: DOM-attribute 21.15%)", worst.0, worst.1);
+}

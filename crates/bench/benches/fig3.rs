@@ -1,0 +1,81 @@
+//! Figure 3 — cumulative distribution of loading times over the top-N
+//! (default 500) sites, for the eight browser/defense configurations.
+//!
+//! The paper's reading: JSKernel's curves hug their host browsers (no
+//! observable overhead); DeterFox ≈ Firefox; Chrome Zero visibly slower
+//! than JSKernel-on-Chrome; Tor Browser and Fuzzyfox slowest.
+//!
+//! Run with `cargo bench -p jsk-bench --bench fig3` (`JSK_SITES=n`).
+
+use jsk_bench::{env_knob, Report};
+use jsk_defenses::registry::DefenseKind;
+use jsk_sim::stats::{percentile, Summary};
+use jsk_workloads::site::{load_result, load_site, SiteProfile};
+
+fn loading_times(kind: DefenseKind, sites: usize) -> Vec<f64> {
+    let mut times = Vec::with_capacity(sites);
+    for rank in 0..sites {
+        let profile = SiteProfile::generate(rank);
+        let mut browser = kind.build(0xF16_003 + rank as u64);
+        load_site(&mut browser, &profile);
+        let r = load_result(&browser, &profile).expect("site records load");
+        // Loading time: whichever lands later of onload and the hero
+        // element (modern sites keep loading after onload, §V-A3).
+        times.push(r.onload_ms.max(r.hero_ms));
+    }
+    times
+}
+
+fn main() {
+    let sites = env_knob("JSK_SITES", 500);
+    let configs = [
+        DefenseKind::LegacyChrome,
+        DefenseKind::JsKernel,
+        DefenseKind::ChromeZero,
+        DefenseKind::LegacyFirefox,
+        DefenseKind::JsKernelFirefox,
+        DefenseKind::DeterFox,
+        DefenseKind::TorBrowser,
+        DefenseKind::Fuzzyfox,
+    ];
+    let mut report = Report::new(
+        format!("Figure 3 — CDF of loading time, top {sites} sites (ms at percentile)"),
+        &["Config", "p10", "p25", "p50", "p75", "p90", "mean"],
+    );
+    let mut medians = Vec::new();
+    for kind in configs {
+        let times = loading_times(kind, sites);
+        let s = Summary::of(&times);
+        report.row(vec![
+            kind.label().to_owned(),
+            format!("{:.0}", percentile(&times, 10.0)),
+            format!("{:.0}", percentile(&times, 25.0)),
+            format!("{:.0}", percentile(&times, 50.0)),
+            format!("{:.0}", percentile(&times, 75.0)),
+            format!("{:.0}", percentile(&times, 90.0)),
+            format!("{:.0}", s.mean),
+        ]);
+        medians.push((kind.label(), s.median));
+        eprintln!("  finished {} ({} sites)", kind.label(), sites);
+    }
+    report.print();
+
+    let get = |label: &str| medians.iter().find(|(l, _)| *l == label).map_or(f64::NAN, |(_, m)| *m);
+    println!("\nShape checks (medians):");
+    println!(
+        "  JSKernel(C) vs Chrome: {:+.1}%  (paper: no observable overhead)",
+        (get("JSKernel") / get("Chrome") - 1.0) * 100.0
+    );
+    println!(
+        "  JSKernel(F) vs Firefox: {:+.1}%  (paper: no observable overhead)",
+        (get("JSKernel (F)") / get("Firefox") - 1.0) * 100.0
+    );
+    println!(
+        "  Chrome Zero vs JSKernel(C): {:+.1}%  (paper: Chrome Zero slower)",
+        (get("Chrome Zero") / get("JSKernel") - 1.0) * 100.0
+    );
+    println!(
+        "  Tor Browser vs Firefox: {:+.1}%  (paper: Tor much slower)",
+        (get("Tor Browser") / get("Firefox") - 1.0) * 100.0
+    );
+}

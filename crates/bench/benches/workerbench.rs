@@ -1,0 +1,37 @@
+//! §V-A1 — the worker-creation benchmark: 16 workers, 5 repeats, with and
+//! without JSKernel. Paper: ~0.9 % average overhead.
+//!
+//! Run with `cargo bench -p jsk-bench --bench workerbench`.
+
+use jsk_bench::Report;
+use jsk_defenses::registry::DefenseKind;
+use jsk_sim::stats::Summary;
+use jsk_workloads::workerbench::run;
+
+fn times(kind: DefenseKind, repeats: usize) -> Vec<f64> {
+    (0..repeats)
+        .map(|i| {
+            let mut b = kind.build(0xB0B + i as u64);
+            run(&mut b, 16).total_ms
+        })
+        .collect()
+}
+
+fn main() {
+    let repeats = 5;
+    let legacy = times(DefenseKind::LegacyChrome, repeats);
+    let kernel = times(DefenseKind::JsKernel, repeats);
+    let sl = Summary::of(&legacy);
+    let sk = Summary::of(&kernel);
+
+    let mut report = Report::new(
+        "Worker benchmark — time to create 16 workers (5 repeats)",
+        &["Config", "mean (ms)", "std (ms)"],
+    );
+    report.row(vec!["Chrome".into(), format!("{:.3}", sl.mean), format!("{:.3}", sl.std)]);
+    report.row(vec!["JSKernel".into(), format!("{:.3}", sk.mean), format!("{:.3}", sk.std)]);
+    report.print();
+
+    let overhead = (sk.mean / sl.mean - 1.0) * 100.0;
+    println!("\nJSKernel worker-creation overhead: {overhead:+.2}% (paper: 0.9%)");
+}

@@ -1,0 +1,312 @@
+//! A minimal Document Object Model.
+//!
+//! Enough DOM for the evaluation: an element tree with tags, attributes and
+//! text (the compatibility test serializes it and compares term vectors);
+//! visited-link state (the history-sniffing channel); and a document
+//! generation counter that navigation bumps (stale-document callbacks are
+//! the trigger window of CVE-2010-4576 / CVE-2014-3194).
+
+use crate::ids::NodeId;
+use jsk_sim::stats::cosine_similarity;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// Tag name (`div`, `script`, `img`, `a`, …).
+    pub tag: String,
+    /// Attributes, ordered for deterministic serialization.
+    pub attrs: BTreeMap<String, String>,
+    /// Child nodes in order.
+    pub children: Vec<NodeId>,
+    /// Text content.
+    pub text: String,
+}
+
+/// The document tree of one browsing context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dom {
+    nodes: Vec<Node>,
+    root: NodeId,
+    generation: u64,
+    visited: HashSet<String>,
+}
+
+impl Default for Dom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dom {
+    /// Creates a document containing only `<html>`.
+    #[must_use]
+    pub fn new() -> Dom {
+        let root = NodeId::new(0);
+        Dom {
+            nodes: vec![Node {
+                id: root,
+                tag: "html".to_owned(),
+                attrs: BTreeMap::new(),
+                children: Vec::new(),
+                text: String::new(),
+            }],
+            root,
+            generation: 0,
+            visited: HashSet::new(),
+        }
+    }
+
+    /// The root element.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The current document generation (bumped by navigation).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Creates a detached element.
+    pub fn create_element(&mut self, tag: impl Into<String>) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u64);
+        self.nodes.push(Node {
+            id,
+            tag: tag.into(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+            text: String::new(),
+        });
+        id
+    }
+
+    /// Appends `child` under `parent`.
+    ///
+    /// Returns `false` (and does nothing) if either id is stale or the
+    /// append would be a cycle-creating self-append.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> bool {
+        let (p, c) = (parent.index() as usize, child.index() as usize);
+        if p >= self.nodes.len() || c >= self.nodes.len() || p == c {
+            return false;
+        }
+        self.nodes[p].children.push(child);
+        true
+    }
+
+    /// Sets an attribute; returns the previous value.
+    pub fn set_attribute(
+        &mut self,
+        node: NodeId,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Option<String> {
+        let n = node.index() as usize;
+        if n >= self.nodes.len() {
+            return None;
+        }
+        self.nodes[n].attrs.insert(key.into(), value.into())
+    }
+
+    /// Reads an attribute.
+    #[must_use]
+    pub fn attribute(&self, node: NodeId, key: &str) -> Option<&str> {
+        self.nodes
+            .get(node.index() as usize)
+            .and_then(|n| n.attrs.get(key))
+            .map(String::as_str)
+    }
+
+    /// Sets text content.
+    pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
+        if let Some(n) = self.nodes.get_mut(node.index() as usize) {
+            n.text = text.into();
+        }
+    }
+
+    /// Node lookup.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index() as usize)
+    }
+
+    /// Total number of nodes ever created (detached included).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Marks a URL as visited in the browsing history.
+    pub fn mark_visited(&mut self, url: impl Into<String>) {
+        self.visited.insert(url.into());
+    }
+
+    /// Whether a URL is in the browsing history (the history-sniffing
+    /// secret).
+    #[must_use]
+    pub fn is_visited(&self, url: &str) -> bool {
+        self.visited.contains(url)
+    }
+
+    /// Navigates the document: bumps the generation and resets the tree.
+    pub fn navigate(&mut self) {
+        let visited = std::mem::take(&mut self.visited);
+        let generation = self.generation + 1;
+        *self = Dom::new();
+        self.visited = visited;
+        self.generation = generation;
+    }
+
+    /// Serializes the subtree under `root` depth-first.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.serialize_into(self.root, &mut out);
+        out
+    }
+
+    fn serialize_into(&self, id: NodeId, out: &mut String) {
+        let Some(n) = self.node(id) else { return };
+        out.push('<');
+        out.push_str(&n.tag);
+        for (k, v) in &n.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('>');
+        out.push_str(&n.text);
+        for &c in &n.children {
+            self.serialize_into(c, out);
+        }
+        out.push_str("</");
+        out.push_str(&n.tag);
+        out.push('>');
+    }
+
+    /// A term-frequency vector over tags, attribute keys, and text tokens of
+    /// the attached tree — the feature space of the compatibility test.
+    #[must_use]
+    pub fn term_vector(&self) -> BTreeMap<String, f64> {
+        let mut tf = BTreeMap::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let Some(n) = self.node(id) else { continue };
+            *tf.entry(format!("tag:{}", n.tag)).or_insert(0.0) += 1.0;
+            for (k, v) in &n.attrs {
+                *tf.entry(format!("attr:{k}={v}")).or_insert(0.0) += 1.0;
+            }
+            for tok in n.text.split_whitespace() {
+                *tf.entry(format!("text:{tok}")).or_insert(0.0) += 1.0;
+            }
+            stack.extend(n.children.iter().copied());
+        }
+        tf
+    }
+}
+
+/// Cosine similarity of two documents' term vectors (the §V-B2 methodology).
+#[must_use]
+pub fn dom_similarity(a: &Dom, b: &Dom) -> f64 {
+    let ta = a.term_vector();
+    let tb = b.term_vector();
+    let keys: Vec<&String> = ta.keys().chain(tb.keys()).collect();
+    let mut ua = Vec::with_capacity(keys.len());
+    let mut ub = Vec::with_capacity(keys.len());
+    for k in keys {
+        ua.push(ta.get(k).copied().unwrap_or(0.0));
+        ub.push(tb.get(k).copied().unwrap_or(0.0));
+    }
+    cosine_similarity(&ua, &ub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let mut dom = Dom::new();
+        let div = dom.create_element("div");
+        dom.set_attribute(div, "id", "main");
+        dom.set_text(div, "hello");
+        assert!(dom.append_child(dom.root(), div));
+        assert_eq!(dom.serialize(), "<html><div id=\"main\">hello</div></html>");
+    }
+
+    #[test]
+    fn append_rejects_stale_and_self() {
+        let mut dom = Dom::new();
+        let n = dom.create_element("p");
+        assert!(!dom.append_child(n, n));
+        assert!(!dom.append_child(NodeId::new(99), n));
+        assert!(!dom.append_child(dom.root(), NodeId::new(99)));
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let mut dom = Dom::new();
+        let n = dom.create_element("a");
+        assert!(dom.set_attribute(n, "href", "x").is_none());
+        assert_eq!(dom.set_attribute(n, "href", "y").as_deref(), Some("x"));
+        assert_eq!(dom.attribute(n, "href"), Some("y"));
+        assert_eq!(dom.attribute(n, "missing"), None);
+    }
+
+    #[test]
+    fn navigation_bumps_generation_and_keeps_history() {
+        let mut dom = Dom::new();
+        dom.mark_visited("https://visited.example");
+        let before = dom.generation();
+        dom.navigate();
+        assert_eq!(dom.generation(), before + 1);
+        assert!(dom.is_visited("https://visited.example"));
+        assert_eq!(dom.node_count(), 1, "tree reset");
+    }
+
+    #[test]
+    fn identical_documents_have_similarity_one() {
+        let mut a = Dom::new();
+        let d = a.create_element("div");
+        a.append_child(a.root(), d);
+        let b = a.clone();
+        assert!((dom_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diverging_documents_have_lower_similarity() {
+        let mut a = Dom::new();
+        for _ in 0..10 {
+            let d = a.create_element("div");
+            a.append_child(a.root(), d);
+        }
+        let mut b = a.clone();
+        for _ in 0..10 {
+            let s = b.create_element("span");
+            b.set_attribute(s, "class", "ad");
+            b.append_child(b.root(), s);
+        }
+        let sim = dom_similarity(&a, &b);
+        assert!(sim < 0.995, "{sim}");
+        assert!(sim > 0.5, "{sim}");
+    }
+
+    #[test]
+    fn term_vector_counts_tags_attrs_text() {
+        let mut dom = Dom::new();
+        let d = dom.create_element("div");
+        dom.set_attribute(d, "k", "v");
+        dom.set_text(d, "one two one");
+        dom.append_child(dom.root(), d);
+        let tf = dom.term_vector();
+        assert_eq!(tf.get("tag:div"), Some(&1.0));
+        assert_eq!(tf.get("attr:k=v"), Some(&1.0));
+        assert_eq!(tf.get("text:one"), Some(&2.0));
+    }
+}

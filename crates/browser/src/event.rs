@@ -1,0 +1,122 @@
+//! Asynchronous event registration metadata.
+//!
+//! Every asynchronous callback in the browser — a timer firing, a message
+//! delivery, an animation frame, a network completion — is identified by a
+//! [`crate::ids::EventToken`] and described by an [`AsyncEventInfo`]. The token lives through the paper's two-phase
+//! lifecycle (§III-D): **registration** (the user script asks for the
+//! callback), **raw trigger** (the underlying browser condition occurs),
+//! **confirmation** (the defense mediator decides when the callback may
+//! run), and **invocation**.
+
+use crate::ids::{EventToken, RequestId, ThreadId};
+use jsk_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which network API a network callback belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetClass {
+    /// A `fetch()` promise callback.
+    Fetch,
+    /// A `<script src=…>` load (parse included).
+    ScriptLoad,
+    /// An `<img src=…>` load (decode included).
+    ImageLoad,
+    /// An `XMLHttpRequest` completion.
+    Xhr,
+    /// A worker `importScripts` completion.
+    ImportScripts,
+}
+
+/// The kind of asynchronous event being registered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AsyncKind {
+    /// A one-shot timer.
+    Timeout {
+        /// The clamped delay.
+        delay: SimDuration,
+        /// Timer nesting depth at registration.
+        nesting: u32,
+    },
+    /// A repeating timer (one registration per firing).
+    Interval {
+        /// The clamped period.
+        delay: SimDuration,
+    },
+    /// A cross-thread message delivery.
+    Message {
+        /// The sending thread.
+        from: ThreadId,
+    },
+    /// A `requestAnimationFrame` callback.
+    Raf,
+    /// A network completion callback.
+    Net {
+        /// The request this callback resolves.
+        req: RequestId,
+        /// Which API initiated it.
+        class: NetClass,
+        /// `true` when the resource was served from the HTTP cache.
+        cached: bool,
+    },
+    /// A media callback (video frame / WebVTT cue).
+    Media,
+    /// A CSS animation tick.
+    CssTick,
+    /// An IndexedDB completion callback.
+    Idb,
+}
+
+impl AsyncKind {
+    /// Short label for traces and debugging.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AsyncKind::Timeout { .. } => "timeout",
+            AsyncKind::Interval { .. } => "interval",
+            AsyncKind::Message { .. } => "message",
+            AsyncKind::Raf => "raf",
+            AsyncKind::Net { .. } => "net",
+            AsyncKind::Media => "media",
+            AsyncKind::CssTick => "css-tick",
+            AsyncKind::Idb => "idb",
+        }
+    }
+}
+
+/// Description of one registered asynchronous event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncEventInfo {
+    /// The event's identity across its lifecycle.
+    pub token: EventToken,
+    /// The thread whose event loop will run the callback.
+    pub thread: ThreadId,
+    /// What kind of event this is.
+    pub kind: AsyncKind,
+    /// When the user script registered it.
+    pub registered_at: SimTime,
+    /// Document generation of the registering context (used to cancel
+    /// doc-bound callbacks on navigation).
+    pub doc_generation: u64,
+    /// Browsing-context tag of the registering task (0 = default).
+    pub context: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_for_timing_kinds() {
+        let kinds = [
+            AsyncKind::Timeout { delay: SimDuration::ZERO, nesting: 0 },
+            AsyncKind::Interval { delay: SimDuration::ZERO },
+            AsyncKind::Message { from: ThreadId::new(0) },
+            AsyncKind::Raf,
+            AsyncKind::Media,
+            AsyncKind::CssTick,
+            AsyncKind::Idb,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(AsyncKind::label).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

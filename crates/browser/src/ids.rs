@@ -1,0 +1,35 @@
+//! Identifier newtypes for browser entities.
+
+use jsk_sim::define_id_with_gen;
+
+define_id_with_gen!(ThreadId, "Identifies a JavaScript thread (the main thread or a worker thread).");
+define_id_with_gen!(WorkerId, "Identifies a `Worker` object as seen from its owner.");
+define_id_with_gen!(EventToken, "Identifies one registered asynchronous event (timer, message delivery, animation frame, network callback, …) across its registration → raw-trigger → confirmation → invocation lifecycle.");
+define_id_with_gen!(TimerId, "Handle returned by `setTimeout`/`setInterval`, accepted by `clearTimeout`.");
+define_id_with_gen!(RafId, "Handle returned by `requestAnimationFrame`.");
+define_id_with_gen!(RequestId, "Identifies a network request (`fetch`, XHR, resource load).");
+define_id_with_gen!(NodeId, "Identifies a DOM node.");
+define_id_with_gen!(BufferId, "Identifies an `ArrayBuffer` (transferable).");
+define_id_with_gen!(SignalId, "Identifies an `AbortController`'s signal.");
+define_id_with_gen!(SabId, "Identifies a `SharedArrayBuffer`.");
+
+/// The main thread always has id 0.
+pub const MAIN_THREAD: ThreadId = ThreadId::new(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_thread_is_zero() {
+        assert_eq!(MAIN_THREAD.index(), 0);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // Compile-time property; keep a runtime touch so the ids are used.
+        let t = ThreadId::new(1);
+        let w = WorkerId::new(1);
+        assert_eq!(t.index(), w.index());
+    }
+}

@@ -1,0 +1,58 @@
+//! # jsk-browser — the event-driven browser substrate
+//!
+//! A deterministic discrete-event simulation of an event-driven web browser:
+//! per-thread event loops, web workers, timers, `postMessage`,
+//! `requestAnimationFrame`, `fetch` with a network/cache model, a minimal
+//! DOM, and per-engine timing profiles (Chrome / Firefox / Edge).
+//!
+//! Everything user scripts can observe flows through the [`mediator`]
+//! interposition seam — the place where the paper's defenses (including the
+//! JSKernel in `jsk-core`) live. The "native" semantics include the bugs of
+//! the vulnerable browser versions the paper evaluates; the trace they emit
+//! feeds the vulnerability oracle in `jsk-vuln`.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsk_browser::browser::{Browser, BrowserConfig};
+//! use jsk_browser::mediator::LegacyMediator;
+//! use jsk_browser::profile::BrowserProfile;
+//! use jsk_browser::task::{cb, worker_script};
+//! use jsk_browser::value::JsValue;
+//!
+//! let cfg = BrowserConfig::new(BrowserProfile::chrome(), 7);
+//! let mut browser = Browser::new(cfg, Box::new(LegacyMediator));
+//! browser.boot(|scope| {
+//!     // Listing 1's skeleton: a worker posts; the main thread counts.
+//!     let worker = scope.create_worker("worker.js", worker_script(|scope| {
+//!         scope.post_message(JsValue::from(1.0));
+//!     }));
+//!     scope.set_worker_onmessage(worker, cb(|scope, msg| {
+//!         scope.record("got", msg);
+//!     }));
+//! });
+//! browser.run_until_idle();
+//! assert_eq!(browser.record_value("got"), Some(&JsValue::from(1.0)));
+//! ```
+
+pub mod browser;
+pub mod dom;
+pub mod event;
+pub mod ids;
+pub mod mediator;
+pub mod net;
+pub mod profile;
+pub mod scope;
+pub mod task;
+pub mod thread;
+pub mod trace;
+pub mod value;
+pub mod worker;
+
+pub use browser::{Browser, BrowserConfig};
+pub use ids::{ThreadId, WorkerId, MAIN_THREAD};
+pub use mediator::{LegacyMediator, Mediator};
+pub use profile::{BrowserProfile, Engine};
+pub use scope::JsScope;
+pub use task::{cb, worker_script, Callback, WorkerScript};
+pub use value::JsValue;

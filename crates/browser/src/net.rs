@@ -1,0 +1,295 @@
+//! Network, HTTP cache, and shared-content cache models.
+//!
+//! Resources are registered up front by the harness (`url → size/existence`).
+//! Load durations follow the profile's ADSL model (latency + size/bandwidth,
+//! jittered); a second load of the same URL hits the HTTP cache and skips the
+//! network — which is precisely what makes van Goethem's script-parsing and
+//! image-decoding attacks (§IV-A1) work: the *second* load isolates the
+//! parse/decode cost.
+//!
+//! The separate [`ContentCache`] models the shared storage targeted by the
+//! Oren-style cache attack: accessing flushed content costs more than
+//! accessing cached content.
+
+use crate::profile::BrowserProfile;
+use jsk_sim::rng::SimRng;
+use jsk_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Extracts the origin (`scheme://host`) from a URL string.
+///
+/// # Examples
+///
+/// ```
+/// use jsk_browser::net::origin_of;
+/// assert_eq!(origin_of("https://a.example/x/y.js"), "https://a.example");
+/// assert_eq!(origin_of("https://a.example"), "https://a.example");
+/// assert_eq!(origin_of("no-scheme"), "no-scheme");
+/// ```
+#[must_use]
+pub fn origin_of(url: &str) -> &str {
+    match url.find("://") {
+        Some(i) => {
+            let rest = &url[i + 3..];
+            match rest.find('/') {
+                Some(j) => &url[..i + 3 + j],
+                None => url,
+            }
+        }
+        None => url,
+    }
+}
+
+/// Whether `url` is cross-origin with respect to `origin`.
+#[must_use]
+pub fn is_cross_origin(origin: &str, url: &str) -> bool {
+    origin_of(url) != origin
+}
+
+/// A registered remote resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Body size in bytes.
+    pub size_bytes: u64,
+    /// Whether the resource exists (`false` → load error).
+    pub exists: bool,
+}
+
+impl ResourceSpec {
+    /// An existing resource of the given size.
+    #[must_use]
+    pub fn of_size(size_bytes: u64) -> ResourceSpec {
+        ResourceSpec { size_bytes, exists: true }
+    }
+
+    /// A missing resource (loads fail).
+    #[must_use]
+    pub fn missing() -> ResourceSpec {
+        ResourceSpec { size_bytes: 0, exists: false }
+    }
+}
+
+/// Outcome of resolving a resource load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPlan {
+    /// Network time until the response (or error) is available.
+    pub net_time: SimDuration,
+    /// Whether the response came from the HTTP cache.
+    pub cached: bool,
+    /// Whether the load succeeds.
+    pub ok: bool,
+    /// Body size (0 on error).
+    pub size_bytes: u64,
+}
+
+/// The network model: registered resources plus the HTTP cache.
+#[derive(Debug, Default)]
+pub struct NetState {
+    resources: HashMap<String, ResourceSpec>,
+    http_cache: HashSet<String>,
+}
+
+impl NetState {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> NetState {
+        NetState::default()
+    }
+
+    /// Registers (or replaces) a resource.
+    pub fn register(&mut self, url: impl Into<String>, spec: ResourceSpec) {
+        self.resources.insert(url.into(), spec);
+    }
+
+    /// Looks up a resource; unregistered URLs default to a small existing
+    /// resource so tests don't have to register everything.
+    #[must_use]
+    pub fn lookup(&self, url: &str) -> ResourceSpec {
+        self.resources
+            .get(url)
+            .copied()
+            .unwrap_or(ResourceSpec { size_bytes: 2_048, exists: true })
+    }
+
+    /// Whether a URL is currently in the HTTP cache.
+    #[must_use]
+    pub fn is_http_cached(&self, url: &str) -> bool {
+        self.http_cache.contains(url)
+    }
+
+    /// Evicts a URL from the HTTP cache; returns whether it was present.
+    pub fn evict(&mut self, url: &str) -> bool {
+        self.http_cache.remove(url)
+    }
+
+    /// Plans a load of `url`: computes the (jittered) network time, records
+    /// the URL in the HTTP cache on success.
+    pub fn plan_load(
+        &mut self,
+        url: &str,
+        profile: &BrowserProfile,
+        rng: &mut SimRng,
+        latency_scale: f64,
+    ) -> LoadPlan {
+        let spec = self.lookup(url);
+        if !spec.exists {
+            let net_time = rng
+                .jitter(profile.net.latency, profile.net.jitter)
+                .mul_f64(latency_scale);
+            return LoadPlan { net_time, cached: false, ok: false, size_bytes: 0 };
+        }
+        if self.http_cache.contains(url) {
+            return LoadPlan {
+                net_time: rng.jitter(profile.net.cache_hit_latency, profile.net.jitter),
+                cached: true,
+                ok: true,
+                size_bytes: spec.size_bytes,
+            };
+        }
+        let latency = rng
+            .jitter(profile.net.latency, profile.net.jitter)
+            .mul_f64(latency_scale);
+        let transfer = rng.jitter(profile.transfer_cost(spec.size_bytes), profile.net.jitter / 2.0);
+        self.http_cache.insert(url.to_owned());
+        LoadPlan {
+            net_time: latency + transfer,
+            cached: false,
+            ok: true,
+            size_bytes: spec.size_bytes,
+        }
+    }
+}
+
+/// The shared content cache targeted by the Oren-style cache attack: the
+/// secret is whether a given key has been flushed.
+#[derive(Debug, Default)]
+pub struct ContentCache {
+    present: HashSet<String>,
+}
+
+impl ContentCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> ContentCache {
+        ContentCache::default()
+    }
+
+    /// Inserts a key (the content becomes cached).
+    pub fn insert(&mut self, key: impl Into<String>) {
+        self.present.insert(key.into());
+    }
+
+    /// Flushes a key; returns whether it was present.
+    pub fn flush(&mut self, key: &str) -> bool {
+        self.present.remove(key)
+    }
+
+    /// Accesses `key`: returns the (jittered) access cost and caches the key
+    /// as a side effect, like a real cache fill.
+    pub fn access(
+        &mut self,
+        key: &str,
+        profile: &BrowserProfile,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let hit = self.present.contains(key);
+        let base = if hit { profile.cpu.cache_hit } else { profile.cpu.cache_miss };
+        self.present.insert(key.to_owned());
+        rng.jitter(base, profile.cpu.jitter)
+    }
+
+    /// Whether `key` is cached (oracle/test use).
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.present.contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chrome() -> BrowserProfile {
+        BrowserProfile::chrome()
+    }
+
+    #[test]
+    fn origin_parsing() {
+        assert_eq!(origin_of("https://x.com/a/b"), "https://x.com");
+        assert!(is_cross_origin("https://x.com", "https://y.com/a"));
+        assert!(!is_cross_origin("https://x.com", "https://x.com/z"));
+    }
+
+    #[test]
+    fn second_load_hits_http_cache() {
+        let mut net = NetState::new();
+        let p = chrome();
+        let mut rng = SimRng::new(1);
+        net.register("https://t.example/big.js", ResourceSpec::of_size(4 << 20));
+        let first = net.plan_load("https://t.example/big.js", &p, &mut rng, 1.0);
+        let second = net.plan_load("https://t.example/big.js", &p, &mut rng, 1.0);
+        assert!(!first.cached && second.cached);
+        assert!(first.net_time > second.net_time * 10);
+        assert!(first.ok && second.ok);
+    }
+
+    #[test]
+    fn missing_resource_fails_fast() {
+        let mut net = NetState::new();
+        let p = chrome();
+        let mut rng = SimRng::new(2);
+        net.register("https://t.example/nope.js", ResourceSpec::missing());
+        let plan = net.plan_load("https://t.example/nope.js", &p, &mut rng, 1.0);
+        assert!(!plan.ok);
+        assert_eq!(plan.size_bytes, 0);
+        assert!(!net.is_http_cached("https://t.example/nope.js"));
+    }
+
+    #[test]
+    fn eviction_forces_refetch() {
+        let mut net = NetState::new();
+        let p = chrome();
+        let mut rng = SimRng::new(3);
+        net.register("https://t.example/a.js", ResourceSpec::of_size(1 << 20));
+        net.plan_load("https://t.example/a.js", &p, &mut rng, 1.0);
+        assert!(net.evict("https://t.example/a.js"));
+        let plan = net.plan_load("https://t.example/a.js", &p, &mut rng, 1.0);
+        assert!(!plan.cached);
+    }
+
+    #[test]
+    fn latency_scale_multiplies_network_time() {
+        let p = chrome();
+        // Same RNG seed: compare scaled vs unscaled latency of a miss.
+        let mut net1 = NetState::new();
+        let mut rng1 = SimRng::new(7);
+        net1.register("u", ResourceSpec::missing());
+        let base = net1.plan_load("u", &p, &mut rng1, 1.0).net_time;
+        let mut net2 = NetState::new();
+        let mut rng2 = SimRng::new(7);
+        net2.register("u", ResourceSpec::missing());
+        let scaled = net2.plan_load("u", &p, &mut rng2, 10.0).net_time;
+        assert_eq!(scaled.as_nanos(), base.as_nanos() * 10);
+    }
+
+    #[test]
+    fn content_cache_hit_is_cheaper_than_miss() {
+        let mut cache = ContentCache::new();
+        let p = chrome();
+        let mut rng = SimRng::new(4);
+        let miss = cache.access("secret", &p, &mut rng);
+        let hit = cache.access("secret", &p, &mut rng);
+        assert!(miss > hit * 5, "miss {miss} vs hit {hit}");
+        assert!(cache.flush("secret"));
+        assert!(!cache.contains("secret"));
+    }
+
+    #[test]
+    fn unregistered_resource_defaults_to_small_existing() {
+        let net = NetState::new();
+        let spec = net.lookup("https://anything.example/x");
+        assert!(spec.exists);
+        assert!(spec.size_bytes > 0);
+    }
+}

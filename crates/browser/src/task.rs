@@ -1,0 +1,181 @@
+//! Tasks: units of JavaScript execution.
+//!
+//! A task pairs a callback with its argument and provenance. Callbacks are
+//! `Rc<dyn Fn(&mut JsScope, JsValue)>` so the same handler (e.g. an
+//! `onmessage` listener) can be invoked repeatedly, exactly like a
+//! JavaScript function object.
+
+use crate::ids::{EventToken, WorkerId};
+use crate::scope::JsScope;
+use crate::value::JsValue;
+use std::fmt;
+use std::rc::Rc;
+
+/// A JavaScript callback: invoked with the thread's scope and one argument.
+pub type Callback = Rc<dyn Fn(&mut JsScope<'_>, JsValue)>;
+
+/// A worker's top-level script.
+pub type WorkerScript = Rc<dyn Fn(&mut JsScope<'_>)>;
+
+/// Wraps a closure into a [`Callback`].
+///
+/// # Examples
+///
+/// ```
+/// use jsk_browser::task::{cb, Callback};
+///
+/// let logged = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+/// let logged2 = logged.clone();
+/// let _callback: Callback = cb(move |_scope, arg| {
+///     logged2.borrow_mut().push(arg);
+/// });
+/// ```
+pub fn cb<F>(f: F) -> Callback
+where
+    F: Fn(&mut JsScope<'_>, JsValue) + 'static,
+{
+    Rc::new(f)
+}
+
+/// Wraps a closure into a [`WorkerScript`].
+pub fn worker_script<F>(f: F) -> WorkerScript
+where
+    F: Fn(&mut JsScope<'_>) + 'static,
+{
+    Rc::new(f)
+}
+
+/// Where a task came from — used for tracing and for defenses that treat
+/// sources differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskSource {
+    /// Top-level script execution (page load or worker start).
+    Script,
+    /// A `setTimeout`/`setInterval` firing.
+    Timer,
+    /// An `onmessage` delivery.
+    Message,
+    /// A `requestAnimationFrame` callback.
+    Animation,
+    /// A network callback (`fetch` resolution, `onload`/`onerror`).
+    Net,
+    /// A media (video frame / WebVTT cue) callback.
+    Media,
+    /// A CSS animation tick.
+    CssAnimation,
+    /// Kernel housekeeping (dispatcher pump, kernel messages).
+    Kernel,
+}
+
+/// A scheduled unit of JavaScript execution on one thread.
+pub struct Task {
+    /// The function to invoke.
+    pub callback: Callback,
+    /// The single argument (JavaScript event objects collapse to one value).
+    pub arg: JsValue,
+    /// Provenance.
+    pub source: TaskSource,
+    /// The asynchronous event this task materializes, if any.
+    pub token: Option<EventToken>,
+    /// Timer nesting depth (for the HTML spec's nested-timer clamp).
+    pub nesting: u32,
+    /// The worker whose message this task dispatches, if any (used by the
+    /// CVE-2014-1719 mid-dispatch window and close-time accounting).
+    pub from_worker: Option<WorkerId>,
+    /// The polyfill worker context this task executes in, if any.
+    pub polyfill_worker: Option<WorkerId>,
+    /// Whether the task runs in a sandboxed frame context.
+    pub sandboxed: bool,
+    /// Thread epoch at enqueue; the pump silently drops tasks from older
+    /// epochs (how defenses cleanly cancel doc-bound work).
+    pub epoch: u64,
+    /// Browsing-context tag (0 = the default context). Cross-context tasks
+    /// share the event loop but belong to different pages — the distinction
+    /// DeterFox's per-context determinism hinges on.
+    pub context: u32,
+}
+
+impl Task {
+    /// Creates a task with default context.
+    #[must_use]
+    pub fn new(callback: Callback, arg: JsValue, source: TaskSource) -> Task {
+        Task {
+            callback,
+            arg,
+            source,
+            token: None,
+            nesting: 0,
+            from_worker: None,
+            polyfill_worker: None,
+            sandboxed: false,
+            epoch: 0,
+            context: 0,
+        }
+    }
+
+    /// Attaches the originating event token.
+    #[must_use]
+    pub fn with_token(mut self, token: EventToken) -> Task {
+        self.token = Some(token);
+        self
+    }
+
+    /// Sets the timer nesting depth.
+    #[must_use]
+    pub fn with_nesting(mut self, nesting: u32) -> Task {
+        self.nesting = nesting;
+        self
+    }
+
+    /// Marks the task as dispatching a message from `worker`.
+    #[must_use]
+    pub fn from_worker(mut self, worker: WorkerId) -> Task {
+        self.from_worker = Some(worker);
+        self
+    }
+
+    /// Marks the task as running inside a polyfill worker context.
+    #[must_use]
+    pub fn in_polyfill(mut self, worker: WorkerId) -> Task {
+        self.polyfill_worker = Some(worker);
+        self
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("arg", &self.arg)
+            .field("source", &self.source)
+            .field("token", &self.token)
+            .field("nesting", &self.nesting)
+            .field("from_worker", &self.from_worker)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_builder_sets_fields() {
+        let t = Task::new(cb(|_, _| {}), JsValue::from(1.0), TaskSource::Timer)
+            .with_token(EventToken::new(3))
+            .with_nesting(2)
+            .from_worker(WorkerId::new(4));
+        assert_eq!(t.source, TaskSource::Timer);
+        assert_eq!(t.token, Some(EventToken::new(3)));
+        assert_eq!(t.nesting, 2);
+        assert_eq!(t.from_worker, Some(WorkerId::new(4)));
+        assert_eq!(t.arg, JsValue::from(1.0));
+        assert_eq!(t.epoch, 0);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let t = Task::new(cb(|_, _| {}), JsValue::Null, TaskSource::Script);
+        assert!(format!("{t:?}").contains("Script"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-thread state: the event loop queue and execution context.
+//!
+//! Each JavaScript thread (main or worker) owns a time-ordered run queue of
+//! [`Task`]s, a `busy_until` watermark modelling single-threaded execution,
+//! and its message handler slots. Threads never share state directly —
+//! everything crosses via `postMessage`, exactly like the web.
+
+use crate::ids::{ThreadId, WorkerId};
+use crate::task::{Callback, Task};
+use crate::value::JsValue;
+use jsk_sim::queue::TimeQueue;
+use jsk_sim::time::SimTime;
+
+/// Whether a thread is the main thread or a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadKind {
+    /// The page's main thread.
+    Main,
+    /// A dedicated worker thread.
+    Worker {
+        /// The thread that created it.
+        owner: ThreadId,
+        /// The user-visible `Worker` object it backs.
+        worker: WorkerId,
+    },
+}
+
+impl ThreadKind {
+    /// Whether this is a worker thread.
+    #[must_use]
+    pub fn is_worker(&self) -> bool {
+        matches!(self, ThreadKind::Worker { .. })
+    }
+
+    /// The backing worker id, if a worker thread.
+    #[must_use]
+    pub fn worker(&self) -> Option<WorkerId> {
+        match self {
+            ThreadKind::Worker { worker, .. } => Some(*worker),
+            ThreadKind::Main => None,
+        }
+    }
+}
+
+/// How a thread's origin was established (CVE-2011-1190 hinges on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OriginKind {
+    /// A normal same-origin context.
+    Normal,
+    /// A unique opaque origin (correct for sandboxed creators).
+    Opaque,
+    /// The parent's origin inherited by a worker created from a *sandboxed*
+    /// context — the native bug.
+    InheritedFromSandbox,
+}
+
+/// The state of one JavaScript thread.
+pub struct ThreadState {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// Main or worker.
+    pub kind: ThreadKind,
+    /// Queued tasks, ordered by ready time.
+    pub run_queue: TimeQueue<Task>,
+    /// The instant until which the thread is executing its current task.
+    pub busy_until: SimTime,
+    /// Earliest already-scheduled pump, to avoid duplicate pump events.
+    pub next_pump_at: Option<SimTime>,
+    /// Whether the thread is alive (terminated threads drop their queue).
+    pub alive: bool,
+    /// Whether the thread's document/global is closing.
+    pub closing: bool,
+    /// The thread's `onmessage` handler.
+    pub onmessage: Option<Callback>,
+    /// The thread's `onerror` handler.
+    pub onerror: Option<Callback>,
+    /// The thread's origin.
+    pub origin: String,
+    /// How the origin was established.
+    pub origin_kind: OriginKind,
+    /// For worker threads: whether the top-level script has finished, after
+    /// which buffered messages flush.
+    pub ready: bool,
+    /// Messages that arrived before the worker was ready.
+    pub startup_buffer: Vec<JsValue>,
+    /// Count of queued `Message`-source tasks originating from workers
+    /// (consulted by `CloseDocument`, CVE-2013-6646).
+    pub queued_worker_messages: usize,
+    /// Document generation this thread currently serves (main thread only;
+    /// bumped by navigation).
+    pub doc_generation: u64,
+}
+
+impl ThreadState {
+    /// Creates a fresh, alive thread.
+    #[must_use]
+    pub fn new(id: ThreadId, kind: ThreadKind, origin: String) -> ThreadState {
+        let is_main = matches!(kind, ThreadKind::Main);
+        ThreadState {
+            id,
+            kind,
+            run_queue: TimeQueue::new(),
+            busy_until: SimTime::ZERO,
+            next_pump_at: None,
+            alive: true,
+            closing: false,
+            onmessage: None,
+            onerror: None,
+            origin,
+            origin_kind: OriginKind::Normal,
+            // The main thread is immediately ready; workers become ready
+            // after their top-level script runs.
+            ready: is_main,
+            startup_buffer: Vec::new(),
+            queued_worker_messages: 0,
+            doc_generation: 0,
+        }
+    }
+
+    /// Enqueues a task to become runnable at `ready_at`.
+    pub fn enqueue(&mut self, ready_at: SimTime, task: Task) {
+        self.run_queue.push(ready_at, task);
+    }
+
+    /// Kills the thread: clears the queue and handlers.
+    pub fn kill(&mut self) {
+        self.alive = false;
+        self.run_queue.clear();
+        self.onmessage = None;
+        self.onerror = None;
+        self.startup_buffer.clear();
+        self.queued_worker_messages = 0;
+    }
+}
+
+impl std::fmt::Debug for ThreadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadState")
+            .field("id", &self.id)
+            .field("kind", &self.kind)
+            .field("alive", &self.alive)
+            .field("ready", &self.ready)
+            .field("queued", &self.run_queue.len())
+            .field("busy_until", &self.busy_until)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{cb, TaskSource};
+
+    #[test]
+    fn main_thread_is_ready_worker_is_not() {
+        let m = ThreadState::new(ThreadId::new(0), ThreadKind::Main, "https://a".into());
+        assert!(m.ready);
+        let w = ThreadState::new(
+            ThreadId::new(1),
+            ThreadKind::Worker { owner: ThreadId::new(0), worker: WorkerId::new(0) },
+            "https://a".into(),
+        );
+        assert!(!w.ready);
+        assert!(w.kind.is_worker());
+        assert_eq!(w.kind.worker(), Some(WorkerId::new(0)));
+    }
+
+    #[test]
+    fn kill_clears_state() {
+        let mut t = ThreadState::new(ThreadId::new(0), ThreadKind::Main, "o".into());
+        t.onmessage = Some(cb(|_, _| {}));
+        t.enqueue(
+            SimTime::from_millis(1),
+            Task::new(cb(|_, _| {}), JsValue::Null, TaskSource::Timer),
+        );
+        t.queued_worker_messages = 3;
+        t.kill();
+        assert!(!t.alive);
+        assert!(t.onmessage.is_none());
+        assert!(t.run_queue.is_empty());
+        assert_eq!(t.queued_worker_messages, 0);
+    }
+
+    #[test]
+    fn enqueue_orders_by_ready_time() {
+        let mut t = ThreadState::new(ThreadId::new(0), ThreadKind::Main, "o".into());
+        t.enqueue(
+            SimTime::from_millis(5),
+            Task::new(cb(|_, _| {}), JsValue::from(2.0), TaskSource::Timer),
+        );
+        t.enqueue(
+            SimTime::from_millis(1),
+            Task::new(cb(|_, _| {}), JsValue::from(1.0), TaskSource::Timer),
+        );
+        let first = t.run_queue.pop().unwrap();
+        assert_eq!(first.value.arg, JsValue::from(1.0));
+    }
+}

@@ -1,0 +1,422 @@
+//! The API trace: what the vulnerability oracle observes.
+//!
+//! The browser records two kinds of entries:
+//!
+//! * [`ApiCall`] — a JavaScript built-in invocation *about to happen*
+//!   (these are also what defense mediators intercept);
+//! * [`Fact`] — a semantic consequence that *did happen* inside the
+//!   "native" browser (a worker really terminated, an abort signal really
+//!   reached a freed request, an error message really carried cross-origin
+//!   data, …).
+//!
+//! The CVE detectors in `jsk-vuln` are state machines over this trace: a
+//! vulnerability is *triggered* exactly when its documented sequence of
+//! facts occurs. A defense succeeds by preventing the sequence, never by
+//! muting the trace.
+
+use crate::ids::{BufferId, RequestId, ThreadId, WorkerId};
+use jsk_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which API produced an error message (disambiguates the two error-leak
+/// CVEs, 2014-1487 vs 2015-7215).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorSource {
+    /// Worker creation failed (`new Worker(...)` + `onerror`).
+    WorkerCreation,
+    /// `importScripts(...)` failed inside a worker.
+    ImportScripts,
+}
+
+/// Why a worker is being torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// `worker.terminate()` from the owner.
+    Explicit,
+    /// `self.close()` from inside the worker.
+    SelfClose,
+    /// The owning document closed or navigated away — the paper's "false
+    /// termination" path (Listing 2).
+    DocumentTeardown,
+}
+
+/// A JavaScript built-in invocation, as seen by defense mediators and the
+/// trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiCall {
+    /// `new Worker(src)`.
+    CreateWorker {
+        /// The creating thread.
+        parent: ThreadId,
+        /// The worker handle being created.
+        worker: WorkerId,
+        /// Script name (the `src` URL).
+        src: String,
+        /// Whether the creating context is a sandboxed frame.
+        sandboxed: bool,
+    },
+    /// Worker teardown about to proceed.
+    TerminateWorker {
+        /// The worker being terminated.
+        worker: WorkerId,
+        /// Why.
+        reason: TerminationReason,
+        /// `true` when the owner thread is currently dispatching a message
+        /// from this very worker (CVE-2014-1719's window).
+        during_dispatch: bool,
+        /// Number of buffers this worker transferred out that are still live.
+        live_transfers: usize,
+        /// Number of this worker's network requests still pending.
+        pending_fetches: usize,
+    },
+    /// `postMessage` between threads.
+    PostMessage {
+        /// Sender.
+        from: ThreadId,
+        /// Receiver thread.
+        to: ThreadId,
+        /// Number of transferred buffers.
+        transfer_count: usize,
+        /// `true` when the receiving side's document has been freed
+        /// (navigated/closed) — CVE-2014-3194's window.
+        to_doc_freed: bool,
+    },
+    /// Assignment to `worker.onmessage` / `self.onmessage`.
+    SetOnMessage {
+        /// The assigning thread.
+        thread: ThreadId,
+        /// The worker object assigned to, when assigning from the owner.
+        worker: Option<WorkerId>,
+        /// `true` when that worker is in its closing state (CVE-2013-5602).
+        worker_closing: bool,
+    },
+    /// `fetch(url, {signal})`.
+    Fetch {
+        /// The requesting thread.
+        thread: ThreadId,
+        /// Request id.
+        req: RequestId,
+        /// Target URL.
+        url: String,
+        /// Whether an abort signal is attached.
+        has_signal: bool,
+    },
+    /// An abort is about to be delivered to a request.
+    DeliverAbort {
+        /// The request being aborted.
+        req: RequestId,
+        /// The thread that issued the request.
+        owner: ThreadId,
+        /// Whether that thread is still alive.
+        owner_alive: bool,
+    },
+    /// `XMLHttpRequest.send()`.
+    XhrSend {
+        /// The requesting thread.
+        thread: ThreadId,
+        /// `true` when issued from a worker.
+        from_worker: bool,
+        /// Target URL.
+        url: String,
+        /// Whether the URL is cross-origin for the requesting context.
+        cross_origin: bool,
+    },
+    /// `importScripts(url)` inside a worker.
+    ImportScripts {
+        /// The worker thread.
+        thread: ThreadId,
+        /// Target URL.
+        url: String,
+        /// Whether the URL is cross-origin.
+        cross_origin: bool,
+    },
+    /// An error event about to be delivered with a message string.
+    ErrorEvent {
+        /// Receiving thread.
+        thread: ThreadId,
+        /// The raw (native) message text.
+        message: String,
+        /// Whether the message embeds cross-origin information.
+        leaks_cross_origin: bool,
+    },
+    /// `indexedDB.open(...)`.
+    IdbOpen {
+        /// The requesting thread.
+        thread: ThreadId,
+        /// Whether the browsing session is in private mode.
+        private_mode: bool,
+        /// Whether the open requests durable persistence.
+        persist: bool,
+    },
+    /// Document navigation (`location = …`).
+    Navigate {
+        /// The navigating thread (main).
+        thread: ThreadId,
+    },
+    /// Document/window close.
+    CloseDocument {
+        /// The closing thread (main).
+        thread: ThreadId,
+        /// Worker-message tasks still queued on this thread.
+        pending_worker_messages: usize,
+    },
+    /// An access to a (possibly transferred/freed) `ArrayBuffer`.
+    BufferAccess {
+        /// Accessing thread.
+        thread: ThreadId,
+        /// The buffer.
+        buffer: BufferId,
+        /// Whether the native buffer backing store has been freed.
+        freed: bool,
+    },
+}
+
+/// A semantic consequence recorded after the "native" behaviour executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fact {
+    /// A fetch went on the wire.
+    FetchStarted {
+        /// Request id.
+        req: RequestId,
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Whether an abort signal is attached.
+        has_signal: bool,
+    },
+    /// A fetch settled (response or network error).
+    FetchSettled {
+        /// Request id.
+        req: RequestId,
+        /// `true` on success.
+        ok: bool,
+    },
+    /// An abort signal reached a request.
+    AbortDelivered {
+        /// Request id.
+        req: RequestId,
+        /// The thread that issued the request.
+        owner: ThreadId,
+        /// Whether that thread was still alive — `false` is the
+        /// CVE-2018-5092 use-after-free.
+        owner_alive: bool,
+    },
+    /// A worker thread came up.
+    WorkerStarted {
+        /// Worker handle.
+        worker: WorkerId,
+        /// Its thread.
+        thread: ThreadId,
+        /// Owner thread.
+        parent: ThreadId,
+        /// Whether the creating context was sandboxed.
+        sandboxed_parent: bool,
+        /// Whether the worker inherited the parent's origin (`true` is the
+        /// CVE-2011-1190 bug when `sandboxed_parent`).
+        inherited_origin: bool,
+    },
+    /// A worker thread was torn down.
+    WorkerTerminated {
+        /// Worker handle.
+        worker: WorkerId,
+        /// Why.
+        reason: TerminationReason,
+        /// Whether teardown happened while its message was mid-dispatch on
+        /// the owner (CVE-2014-1719).
+        during_dispatch: bool,
+        /// Transferred buffers freed by this teardown (CVE-2014-1488 when
+        /// non-zero).
+        freed_transfers: usize,
+        /// `true` when only the user-visible object was closed and the
+        /// kernel kept the real thread alive (a defense outcome).
+        user_level_only: bool,
+    },
+    /// A message was delivered to a thread whose document had been freed
+    /// (CVE-2014-3194 / CVE-2010-4576 family).
+    MessageToFreedDoc {
+        /// Sender.
+        from: ThreadId,
+        /// Receiver.
+        to: ThreadId,
+    },
+    /// A network completion callback ran against a document generation that
+    /// had been navigated away (CVE-2010-4576).
+    StaleDocCallback {
+        /// The thread it ran on.
+        thread: ThreadId,
+    },
+    /// An `onmessage` assignment landed on a closing worker and the native
+    /// setter dereferenced a null inner pointer (CVE-2013-5602).
+    NullDerefOnAssign {
+        /// The worker assigned to.
+        worker: WorkerId,
+    },
+    /// A cross-origin request actually left a worker (CVE-2013-1714).
+    CrossOriginWorkerRequest {
+        /// The worker thread.
+        thread: ThreadId,
+        /// Target URL.
+        url: String,
+    },
+    /// An error message string was delivered to user code.
+    ErrorMessageDelivered {
+        /// Receiving thread.
+        thread: ThreadId,
+        /// Which API produced it.
+        source: ErrorSource,
+        /// The delivered text.
+        message: String,
+        /// Whether it still carried cross-origin information
+        /// (CVE-2014-1487 / CVE-2015-7215 when `true`).
+        leaked_cross_origin: bool,
+    },
+    /// IndexedDB data persisted during a private-mode session
+    /// (CVE-2017-7843).
+    IdbPersistedInPrivateMode {
+        /// The requesting thread.
+        thread: ThreadId,
+    },
+    /// A request was issued by a worker that inherited a sandboxed parent's
+    /// origin (CVE-2011-1190: second half of the trigger).
+    InheritedOriginRequest {
+        /// The worker thread.
+        thread: ThreadId,
+    },
+    /// A transferred buffer's backing store was freed while still owned by
+    /// a live thread.
+    TransferFreed {
+        /// The buffer.
+        buffer: BufferId,
+    },
+    /// A buffer access hit a freed backing store (CVE-2014-1488 trigger).
+    FreedBufferAccess {
+        /// The buffer.
+        buffer: BufferId,
+        /// The accessing thread.
+        thread: ThreadId,
+    },
+    /// A worker-message callback ran on a thread after its document closed
+    /// (CVE-2013-6646).
+    CallbackAfterClose {
+        /// The thread it ran on.
+        thread: ThreadId,
+    },
+    /// A worker was terminated mid-dispatch and the dispatch frame touched
+    /// freed memory (CVE-2014-1719 trigger).
+    DispatchUseAfterFree {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A defense denied an API call.
+    Denied {
+        /// Short description of the denied call.
+        what: String,
+        /// The defense's reason.
+        reason: String,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceItem {
+    /// An intercepted built-in invocation.
+    Api(ApiCall),
+    /// A native semantic consequence.
+    Fact(Fact),
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Virtual instant.
+    pub time: SimTime,
+    /// The record.
+    pub item: TraceItem,
+}
+
+/// The full API/fact trace of a browser run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an API record.
+    pub fn api(&mut self, time: SimTime, call: ApiCall) {
+        self.entries.push(TraceEntry { time, item: TraceItem::Api(call) });
+    }
+
+    /// Appends a fact record.
+    pub fn fact(&mut self, time: SimTime, fact: Fact) {
+        self.entries.push(TraceEntry { time, item: TraceItem::Fact(fact) });
+    }
+
+    /// All records in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the facts in order.
+    pub fn facts(&self) -> impl Iterator<Item = (&SimTime, &Fact)> {
+        self.entries.iter().filter_map(|e| match &e.item {
+            TraceItem::Fact(f) => Some((&e.time, f)),
+            TraceItem::Api(_) => None,
+        })
+    }
+
+    /// Iterates over the API calls in order.
+    pub fn apis(&self) -> impl Iterator<Item = (&SimTime, &ApiCall)> {
+        self.entries.iter().filter_map(|e| match &e.item {
+            TraceItem::Api(a) => Some((&e.time, a)),
+            TraceItem::Fact(_) => None,
+        })
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_orders_and_filters() {
+        let mut t = Trace::new();
+        t.api(
+            SimTime::from_millis(1),
+            ApiCall::Navigate { thread: ThreadId::new(0) },
+        );
+        t.fact(
+            SimTime::from_millis(2),
+            Fact::StaleDocCallback { thread: ThreadId::new(0) },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.apis().count(), 1);
+        assert_eq!(t.facts().count(), 1);
+        let (time, _) = t.facts().next().unwrap();
+        assert_eq!(*time, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn empty_trace_reports_empty() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.entries().len(), 0);
+    }
+}

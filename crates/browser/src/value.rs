@@ -1,0 +1,263 @@
+//! A dynamically-typed value, standing in for JavaScript values.
+//!
+//! User scripts in this reproduction are Rust closures, but the data they
+//! exchange — `postMessage` payloads, event arguments, console output —
+//! flows through [`JsValue`], which mirrors the JSON-ish subset of
+//! JavaScript values the paper's attacks and policies manipulate.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsk_browser::value::JsValue;
+//!
+//! let msg = JsValue::object([
+//!     ("command", JsValue::from("pendingChildFetch")),
+//!     ("id", JsValue::from(7.0)),
+//! ]);
+//! assert_eq!(msg.get("command").and_then(JsValue::as_str), Some("pendingChildFetch"));
+//! assert_eq!(msg.get("id").and_then(JsValue::as_f64), Some(7.0));
+//! assert!(msg.get("missing").is_none());
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JavaScript-like dynamic value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum JsValue {
+    /// The `undefined` value (also the default).
+    #[default]
+    Undefined,
+    /// The `null` value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (all JavaScript numbers are `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsValue>),
+    /// An object with string keys (ordered for determinism).
+    Obj(BTreeMap<String, JsValue>),
+}
+
+impl JsValue {
+    /// Builds an object value from `(key, value)` pairs.
+    #[must_use]
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsValue)>) -> JsValue {
+        JsValue::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array value.
+    #[must_use]
+    pub fn array(items: impl IntoIterator<Item = JsValue>) -> JsValue {
+        JsValue::Arr(items.into_iter().collect())
+    }
+
+    /// Property lookup on objects; `None` for other variants or missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsValue> {
+        match self {
+            JsValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Index lookup on arrays.
+    #[must_use]
+    pub fn at(&self, index: usize) -> Option<&JsValue> {
+        match self {
+            JsValue::Arr(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The number backing this value, if it is a [`JsValue::Num`].
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string backing this value, if it is a [`JsValue::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean backing this value, if it is a [`JsValue::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// JavaScript truthiness.
+    #[must_use]
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            JsValue::Undefined | JsValue::Null => false,
+            JsValue::Bool(b) => *b,
+            JsValue::Num(n) => *n != 0.0 && !n.is_nan(),
+            JsValue::Str(s) => !s.is_empty(),
+            JsValue::Arr(_) | JsValue::Obj(_) => true,
+        }
+    }
+
+    /// Whether this is `undefined`.
+    #[must_use]
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, JsValue::Undefined)
+    }
+
+    /// Inserts a property, turning the value into an object if needed.
+    /// Returns the previous value of the key, if any.
+    pub fn set(&mut self, key: impl Into<String>, value: JsValue) -> Option<JsValue> {
+        if !matches!(self, JsValue::Obj(_)) {
+            *self = JsValue::Obj(BTreeMap::new());
+        }
+        match self {
+            JsValue::Obj(map) => map.insert(key.into(), value),
+            _ => unreachable!("just coerced to object"),
+        }
+    }
+}
+
+impl From<bool> for JsValue {
+    fn from(b: bool) -> Self {
+        JsValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsValue {
+    fn from(n: f64) -> Self {
+        JsValue::Num(n)
+    }
+}
+
+impl From<u64> for JsValue {
+    fn from(n: u64) -> Self {
+        JsValue::Num(n as f64)
+    }
+}
+
+impl From<i32> for JsValue {
+    fn from(n: i32) -> Self {
+        JsValue::Num(f64::from(n))
+    }
+}
+
+impl From<&str> for JsValue {
+    fn from(s: &str) -> Self {
+        JsValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsValue {
+    fn from(s: String) -> Self {
+        JsValue::Str(s)
+    }
+}
+
+impl<T: Into<JsValue>> From<Vec<T>> for JsValue {
+    fn from(items: Vec<T>) -> Self {
+        JsValue::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for JsValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsValue::Undefined => write!(f, "undefined"),
+            JsValue::Null => write!(f, "null"),
+            JsValue::Bool(b) => write!(f, "{b}"),
+            JsValue::Num(n) => write!(f, "{n}"),
+            JsValue::Str(s) => write!(f, "{s:?}"),
+            JsValue::Arr(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            JsValue::Obj(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_and_get() {
+        let v = JsValue::object([("a", JsValue::from(1.0)), ("b", JsValue::from("x"))]);
+        assert_eq!(v.get("a").and_then(JsValue::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(JsValue::as_str), Some("x"));
+        assert!(v.get("c").is_none());
+        assert!(JsValue::Null.get("a").is_none());
+    }
+
+    #[test]
+    fn array_indexing() {
+        let v = JsValue::array([JsValue::from(1.0), JsValue::from(2.0)]);
+        assert_eq!(v.at(1).and_then(JsValue::as_f64), Some(2.0));
+        assert!(v.at(5).is_none());
+        assert!(JsValue::from(3.0).at(0).is_none());
+    }
+
+    #[test]
+    fn truthiness_matches_javascript() {
+        assert!(!JsValue::Undefined.is_truthy());
+        assert!(!JsValue::Null.is_truthy());
+        assert!(!JsValue::from(0.0).is_truthy());
+        assert!(!JsValue::from(f64::NAN).is_truthy());
+        assert!(!JsValue::from("").is_truthy());
+        assert!(JsValue::from(1.0).is_truthy());
+        assert!(JsValue::from("x").is_truthy());
+        assert!(JsValue::array([]).is_truthy());
+        assert!(JsValue::object::<&str>([]).is_truthy());
+    }
+
+    #[test]
+    fn set_coerces_to_object() {
+        let mut v = JsValue::Undefined;
+        assert!(v.set("k", JsValue::from(5.0)).is_none());
+        assert_eq!(v.get("k").and_then(JsValue::as_f64), Some(5.0));
+        let prev = v.set("k", JsValue::from(6.0));
+        assert_eq!(prev.and_then(|p| p.as_f64()), Some(5.0));
+    }
+
+    #[test]
+    fn display_is_json_like() {
+        let v = JsValue::object([("n", JsValue::from(1.0)), ("s", JsValue::from("hi"))]);
+        assert_eq!(v.to_string(), "{\"n\":1,\"s\":\"hi\"}");
+        assert_eq!(JsValue::array([JsValue::Null]).to_string(), "[null]");
+    }
+
+    #[test]
+    fn default_is_undefined() {
+        assert!(JsValue::default().is_undefined());
+    }
+}

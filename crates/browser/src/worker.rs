@@ -1,0 +1,196 @@
+//! Worker objects, transferable buffers, abort signals, and the
+//! SharedArrayBuffer table.
+//!
+//! A [`WorkerRecord`] is the browser-internal view of a user-visible
+//! `Worker` object; its lifecycle states mirror the paper's thread manager
+//! (§III-E1: "started", "ready", "closed"). Transferable
+//! [`BufferRecord`]s model the `ArrayBuffer` semantics behind
+//! CVE-2014-1488; [`SignalRecord`]s model `AbortController` signals behind
+//! CVE-2018-5092.
+
+use crate::ids::{BufferId, RequestId, SignalId, ThreadId, WorkerId};
+use crate::task::Callback;
+use std::collections::HashSet;
+
+/// Lifecycle state of a worker (paper §III-E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// The kernel thread exists but the user script has not run yet.
+    Started,
+    /// The user script ran; the worker processes messages.
+    Ready,
+    /// Teardown has begun (the CVE-2013-5602 window).
+    Closing,
+    /// Fully torn down.
+    Closed,
+}
+
+/// Browser-internal record of one `Worker` object.
+pub struct WorkerRecord {
+    /// The worker's id (the user-visible handle).
+    pub id: WorkerId,
+    /// The thread executing it (equals the owner's thread for polyfill
+    /// workers).
+    pub thread: ThreadId,
+    /// The creating thread.
+    pub owner: ThreadId,
+    /// Lifecycle state.
+    pub state: WorkerState,
+    /// The script URL it was created from.
+    pub src: String,
+    /// Whether this is a Chrome-Zero-style polyfill worker running
+    /// cooperatively on the owner's thread.
+    pub polyfill: bool,
+    /// Whether user space terminated it while a defense kept the real
+    /// thread alive (`ApiOutcome::DeferTermination`).
+    pub user_terminated: bool,
+    /// Buffers this worker transferred to other threads that are still
+    /// backed by its allocator (freed when the worker dies — the native
+    /// CVE-2014-1488 bug).
+    pub transferred_out: Vec<BufferId>,
+    /// Network requests this worker has in flight.
+    pub pending_fetches: HashSet<RequestId>,
+    /// Document generation of the owner at creation time (used for the
+    /// freed-document message window, CVE-2014-3194).
+    pub created_gen: u64,
+    /// For polyfill workers: the "self.onmessage" handler, which cannot
+    /// live on a thread of its own.
+    pub poly_onmessage: Option<Callback>,
+    /// `worker.onmessage` handler registered by the owner on the Worker
+    /// object.
+    pub owner_onmessage: Option<Callback>,
+    /// `worker.onerror` handler registered by the owner on the Worker
+    /// object.
+    pub owner_onerror: Option<Callback>,
+    /// `onerror` handler registered by the owner on the Worker object.
+    pub onerror_set: bool,
+}
+
+impl WorkerRecord {
+    /// Whether the user-visible worker accepts messages.
+    #[must_use]
+    pub fn user_alive(&self) -> bool {
+        !self.user_terminated && !matches!(self.state, WorkerState::Closed)
+    }
+}
+
+impl std::fmt::Debug for WorkerRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerRecord")
+            .field("id", &self.id)
+            .field("thread", &self.thread)
+            .field("state", &self.state)
+            .field("polyfill", &self.polyfill)
+            .field("user_terminated", &self.user_terminated)
+            .finish()
+    }
+}
+
+/// A transferable `ArrayBuffer`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferRecord {
+    /// The buffer's id.
+    pub id: BufferId,
+    /// Current owning thread (changes on transfer).
+    pub owner: ThreadId,
+    /// Length in bytes.
+    pub len: usize,
+    /// Whether the native backing store has been freed.
+    pub freed: bool,
+    /// The worker whose allocator still backs this buffer after a transfer
+    /// out of it (the CVE-2014-1488 tie).
+    pub backed_by_worker: Option<WorkerId>,
+}
+
+/// An `AbortController` signal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SignalRecord {
+    /// Whether `abort()` has been called.
+    pub aborted: bool,
+    /// Requests listening on this signal.
+    pub requests: Vec<RequestId>,
+}
+
+/// Lifecycle state of a network request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// In flight.
+    Pending,
+    /// Response (or network error) delivered.
+    Settled,
+    /// Aborted.
+    Aborted,
+}
+
+/// A network request record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// The request's id.
+    pub id: RequestId,
+    /// The issuing thread.
+    pub thread: ThreadId,
+    /// Target URL.
+    pub url: String,
+    /// State.
+    pub state: RequestState,
+    /// Attached abort signal, if any.
+    pub signal: Option<SignalId>,
+    /// Document generation at issue time.
+    pub doc_generation: u64,
+    /// Whether the issuing thread was still alive at last transition
+    /// (cleared when the owner dies with the request pending — the
+    /// dangling-request state of CVE-2018-5092).
+    pub owner_alive: bool,
+}
+
+/// A SharedArrayBuffer: memory shared between threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedBuffer {
+    /// Backing cells.
+    pub cells: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> WorkerRecord {
+        WorkerRecord {
+            id: WorkerId::new(0),
+            thread: ThreadId::new(1),
+            owner: ThreadId::new(0),
+            state: WorkerState::Ready,
+            src: "worker.js".into(),
+            polyfill: false,
+            user_terminated: false,
+            transferred_out: Vec::new(),
+            pending_fetches: HashSet::new(),
+            created_gen: 0,
+            poly_onmessage: None,
+            owner_onmessage: None,
+            owner_onerror: None,
+            onerror_set: false,
+        }
+    }
+
+    #[test]
+    fn user_alive_tracks_state_and_user_termination() {
+        let mut w = record();
+        assert!(w.user_alive());
+        w.user_terminated = true;
+        assert!(!w.user_alive());
+        let mut w2 = record();
+        w2.state = WorkerState::Closed;
+        assert!(!w2.user_alive());
+        let mut w3 = record();
+        w3.state = WorkerState::Closing;
+        assert!(w3.user_alive(), "closing workers still accept (that's the 5602 window)");
+    }
+
+    #[test]
+    fn signal_default_is_unaborted() {
+        let s = SignalRecord::default();
+        assert!(!s.aborted);
+        assert!(s.requests.is_empty());
+    }
+}

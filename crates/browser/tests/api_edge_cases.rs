@@ -1,0 +1,271 @@
+//! Edge-case coverage for the browser API surface: SAB, sandboxed frames,
+//! media/CSS tickers, cancellation paths, navigation, and buffers.
+
+use jsk_browser::browser::{Browser, BrowserConfig};
+use jsk_browser::mediator::LegacyMediator;
+use jsk_browser::net::ResourceSpec;
+use jsk_browser::profile::BrowserProfile;
+use jsk_browser::task::{cb, worker_script};
+use jsk_browser::trace::Fact;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn chrome(seed: u64) -> Browser {
+    Browser::new(
+        BrowserConfig::new(BrowserProfile::chrome(), seed),
+        Box::new(LegacyMediator),
+    )
+}
+
+#[test]
+fn sab_disabled_by_default_and_enableable() {
+    let mut b = chrome(1);
+    b.boot(|scope| {
+        let created = scope.sab_create(8).is_some();
+        scope.record("sab", JsValue::from(created));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("sab"), Some(&JsValue::from(false)));
+
+    let mut b = chrome(1);
+    b.set_sab_enabled(true);
+    b.boot(|scope| {
+        let sab = scope.sab_create(8).expect("enabled");
+        scope.sab_write(sab, 3, 7.5);
+        let v = scope.sab_read(sab, 3).unwrap_or_default();
+        scope.record("v", JsValue::from(v));
+        let oob = scope.sab_read(sab, 99).is_none();
+        scope.record("oob", JsValue::from(oob));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("v"), Some(&JsValue::from(7.5)));
+    assert_eq!(b.record_value("oob"), Some(&JsValue::from(true)));
+}
+
+#[test]
+fn sab_is_shared_across_threads() {
+    let mut b = chrome(2);
+    b.set_sab_enabled(true);
+    b.boot(|scope| {
+        let sab = scope.sab_create(2).expect("enabled");
+        let _w = scope.create_worker(
+            "w.js",
+            worker_script(move |scope| {
+                scope.sab_write(sab, 0, 123.0);
+                scope.post_message(JsValue::from("wrote"));
+            }),
+        );
+        // Read back on main once the worker signals.
+        scope.set_timeout(30.0, cb(move |scope, _| {
+            let v = scope.sab_read(sab, 0).unwrap_or_default();
+            scope.record("shared", JsValue::from(v));
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("shared"), Some(&JsValue::from(123.0)));
+}
+
+#[test]
+fn sandboxed_worker_inherits_origin_natively() {
+    let mut b = chrome(3);
+    b.boot(|scope| {
+        scope.run_sandboxed(|scope| {
+            let _w = scope.create_worker(
+                "w.js",
+                worker_script(|scope| {
+                    scope.xhr_send("https://attacker.example/api", cb(|scope, v| {
+                        scope.record("ok", v.get("ok").cloned().unwrap_or_default());
+                    }));
+                }),
+            );
+        });
+        // Outside the sandbox again.
+        let _w2 = scope.create_worker("w2.js", worker_script(|_| {}));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("ok"), Some(&JsValue::from(true)));
+    let inherited = b.trace().facts().any(|(_, f)| {
+        matches!(f, Fact::InheritedOriginRequest { .. })
+    });
+    assert!(inherited, "the native bug grants the parent origin");
+}
+
+#[test]
+fn media_and_css_tickers_run_and_stop() {
+    let mut b = chrome(4);
+    b.boot(|scope| {
+        let media = Rc::new(RefCell::new(0u32));
+        let css = Rc::new(RefCell::new(0u32));
+        let m2 = media.clone();
+        let media_id = scope.start_media_ticker(33.3, cb(move |_, _| {
+            *m2.borrow_mut() += 1;
+        }));
+        let c2 = css.clone();
+        scope.start_css_animation(cb(move |_, _| {
+            *c2.borrow_mut() += 1;
+        }));
+        scope.set_timeout(200.0, cb(move |scope, _| {
+            scope.clear_timer(media_id);
+            scope.record("media_at_stop", JsValue::from(f64::from(*media.borrow())));
+            let css = css.clone();
+            scope.set_timeout(200.0, cb(move |scope, _| {
+                scope.record("css_total", JsValue::from(f64::from(*css.borrow())));
+            }));
+        }));
+    });
+    b.run_for(SimDuration::from_millis(600));
+    let media = b.record_value("media_at_stop").unwrap().as_f64().unwrap();
+    assert!((4.0..9.0).contains(&media), "media ticks in 200 ms: {media}");
+    let css = b.record_value("css_total").unwrap().as_f64().unwrap();
+    assert!(css >= 18.0, "css ran the whole 400 ms: {css}");
+}
+
+#[test]
+fn cancel_animation_frame_prevents_callback() {
+    let mut b = chrome(5);
+    b.boot(|scope| {
+        let id = scope.request_animation_frame(cb(|scope, _| {
+            scope.record("ran", JsValue::from(true));
+        }));
+        scope.cancel_animation_frame(id);
+        scope.request_animation_frame(cb(|scope, _| {
+            scope.record("other", JsValue::from(true));
+        }));
+    });
+    b.run_until_idle();
+    assert!(b.record_value("ran").is_none());
+    assert!(b.record_value("other").is_some());
+}
+
+#[test]
+fn import_scripts_success_consumes_parse_time() {
+    let mut b = chrome(6);
+    b.register_resource("https://attacker.example/lib.js", ResourceSpec::of_size(4 << 20));
+    b.boot(|scope| {
+        let _w = scope.create_worker(
+            "w.js",
+            worker_script(|scope| {
+                let t0 = scope.performance_now();
+                let ok = scope.import_scripts("https://attacker.example/lib.js");
+                let t1 = scope.performance_now();
+                scope.record("ok", JsValue::from(ok));
+                scope.record("parse_ms", JsValue::from(t1 - t0));
+            }),
+        );
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("ok"), Some(&JsValue::from(true)));
+    let parse = b.record_value("parse_ms").unwrap().as_f64().unwrap();
+    assert!(parse > 3.0, "4 MB at ~1.25 ms/MB: {parse}");
+}
+
+#[test]
+fn navigation_resets_dom_but_keeps_history() {
+    let mut b = chrome(7);
+    b.mark_visited("https://visited.example");
+    b.boot(|scope| {
+        let d = scope.create_element("div");
+        let root = scope.document_root();
+        scope.append_child(root, d);
+        scope.set_timeout(5.0, cb(|scope, _| {
+            scope.navigate();
+            scope.set_timeout(5.0, cb(|scope, _| {
+                scope.style_link("https://visited.example");
+                scope.record("done", JsValue::from(true));
+            }));
+        }));
+    });
+    b.run_until_idle();
+    assert!(b.record_value("done").is_some());
+    let dom = b.dom().serialize();
+    assert!(!dom.contains("<div>"), "navigation must reset the tree: {dom}");
+    assert!(dom.contains("<a "), "post-navigation content present");
+}
+
+#[test]
+fn transferred_buffer_changes_owner() {
+    let mut b = chrome(8);
+    b.boot(|scope| {
+        let w = scope.create_worker(
+            "w.js",
+            worker_script(|scope| {
+                scope.set_onmessage(cb(|scope, v| {
+                    // The worker can read the transferred buffer.
+                    let buf = jsk_browser::ids::BufferId::new(v.as_f64().unwrap() as u64);
+                    let ok = scope.read_buffer(buf);
+                    scope.post_message(JsValue::from(ok));
+                }));
+            }),
+        );
+        scope.set_worker_onmessage(w, cb(|scope, v| {
+            scope.record("worker_read", v);
+        }));
+        let buf = scope.create_buffer(64);
+        scope.post_message_to_worker_transfer(w, JsValue::from(buf.index()), vec![buf]);
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("worker_read"), Some(&JsValue::from(true)));
+}
+
+#[test]
+fn same_origin_xhr_from_main_succeeds() {
+    let mut b = chrome(9);
+    b.boot(|scope| {
+        scope.xhr_send("https://attacker.example/data", cb(|scope, v| {
+            scope.record("ok", v.get("ok").cloned().unwrap_or_default());
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("ok"), Some(&JsValue::from(true)));
+}
+
+#[test]
+fn idb_in_normal_mode_is_unremarkable() {
+    let mut b = chrome(10);
+    b.boot(|scope| {
+        let ok = scope.idb_open("store", true);
+        scope.record("ok", JsValue::from(ok));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("ok"), Some(&JsValue::from(true)));
+    assert_eq!(b.idb_private_leftovers(), 0);
+    assert!(!b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::IdbPersistedInPrivateMode { .. })));
+}
+
+#[test]
+fn console_log_collects_output_in_order() {
+    let mut b = chrome(11);
+    b.boot(|scope| {
+        scope.console_log(JsValue::from("first"));
+        scope.set_timeout(2.0, cb(|scope, _| {
+            scope.console_log(JsValue::from("second"));
+        }));
+    });
+    b.run_until_idle();
+    let logs: Vec<&str> = b.console().iter().filter_map(JsValue::as_str).collect();
+    assert_eq!(logs, vec!["first", "second"]);
+}
+
+#[test]
+fn worker_self_close_eventually_closes() {
+    let mut b = chrome(12);
+    b.boot(|scope| {
+        let w = scope.create_worker(
+            "w.js",
+            worker_script(|scope| {
+                scope.close();
+            }),
+        );
+        scope.set_timeout(60.0, cb(move |scope, _| {
+            scope.record("alive", JsValue::from(scope.worker_alive(w)));
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("alive"), Some(&JsValue::from(false)));
+    assert_eq!(b.live_worker_count(), 0);
+}

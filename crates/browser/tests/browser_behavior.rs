@@ -1,0 +1,549 @@
+//! Behavioural tests of the browser substrate: event-loop semantics, timer
+//! clamps, messaging, worker lifecycle, and the native (buggy) CVE paths
+//! that the vulnerability oracle keys on.
+
+use jsk_browser::browser::{Browser, BrowserConfig};
+use jsk_browser::mediator::LegacyMediator;
+use jsk_browser::net::ResourceSpec;
+use jsk_browser::profile::BrowserProfile;
+use jsk_browser::task::{cb, worker_script};
+use jsk_browser::trace::Fact;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn chrome(seed: u64) -> Browser {
+    Browser::new(
+        BrowserConfig::new(BrowserProfile::chrome(), seed),
+        Box::new(LegacyMediator),
+    )
+}
+
+#[test]
+fn set_timeout_fires_after_clamped_delay() {
+    let mut b = chrome(1);
+    b.boot(|scope| {
+        scope.set_timeout(10.0, cb(|scope, _| {
+            let t = scope.performance_now();
+            scope.record("at", JsValue::from(t));
+        }));
+    });
+    b.run_until_idle();
+    let at = b.record_value("at").unwrap().as_f64().unwrap();
+    assert!((9.0..15.0).contains(&at), "fired at {at} ms");
+}
+
+#[test]
+fn timers_fire_in_delay_order() {
+    let mut b = chrome(2);
+    b.boot(|scope| {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, delay) in [("c", 30.0), ("a", 5.0), ("b", 12.0)] {
+            let order = order.clone();
+            scope.set_timeout(delay, cb(move |scope, _| {
+                order.borrow_mut().push(label);
+                if order.borrow().len() == 3 {
+                    let s: String = order.borrow().concat();
+                    scope.record("order", JsValue::from(s));
+                }
+            }));
+        }
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("order"), Some(&JsValue::from("abc")));
+}
+
+#[test]
+fn clear_timeout_prevents_firing() {
+    let mut b = chrome(3);
+    b.boot(|scope| {
+        let id = scope.set_timeout(50.0, cb(|scope, _| {
+            scope.record("fired", JsValue::from(true));
+        }));
+        scope.clear_timer(id);
+        scope.set_timeout(60.0, cb(|scope, _| {
+            scope.record("done", JsValue::from(true));
+        }));
+    });
+    b.run_until_idle();
+    assert!(b.record_value("fired").is_none());
+    assert!(b.record_value("done").is_some());
+}
+
+#[test]
+fn interval_repeats_until_cleared() {
+    let mut b = chrome(4);
+    b.boot(|scope| {
+        let count = Rc::new(RefCell::new(0u32));
+        let count2 = count.clone();
+        let id = Rc::new(RefCell::new(None));
+        let id2 = id.clone();
+        let handle = scope.set_interval(10.0, cb(move |scope, _| {
+            *count2.borrow_mut() += 1;
+            let n = *count2.borrow();
+            scope.record("ticks", JsValue::from(f64::from(n)));
+            if n >= 5 {
+                if let Some(h) = *id2.borrow() {
+                    scope.clear_timer(h);
+                }
+            }
+        }));
+        *id.borrow_mut() = Some(handle);
+    });
+    b.run_for(SimDuration::from_millis(500));
+    let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();
+    assert!((ticks - 5.0).abs() < f64::EPSILON, "got {ticks} ticks");
+}
+
+#[test]
+fn nested_timers_respect_four_ms_clamp() {
+    let mut b = chrome(5);
+    b.boot(|scope| {
+        fn chain(scope: &mut jsk_browser::scope::JsScope<'_>, depth: u32, stamps: Rc<RefCell<Vec<f64>>>) {
+            let t = scope.performance_now();
+            stamps.borrow_mut().push(t);
+            if depth < 10 {
+                scope.set_timeout(0.0, cb(move |scope, _| {
+                    chain(scope, depth + 1, stamps.clone());
+                }));
+            } else {
+                let gaps: Vec<f64> = stamps
+                    .borrow()
+                    .windows(2)
+                    .map(|w| w[1] - w[0])
+                    .collect();
+                // After the nesting threshold, gaps must be >= ~4 ms.
+                let deep_gaps = &gaps[6..];
+                let min_deep = deep_gaps.iter().cloned().fold(f64::MAX, f64::min);
+                scope.record("min_deep_gap", JsValue::from(min_deep));
+            }
+        }
+        chain(scope, 0, Rc::new(RefCell::new(Vec::new())));
+    });
+    b.run_until_idle();
+    let min_deep = b.record_value("min_deep_gap").unwrap().as_f64().unwrap();
+    assert!(min_deep >= 3.5, "deep nested gap {min_deep} ms");
+}
+
+#[test]
+fn raf_fires_on_frame_boundary() {
+    let mut b = chrome(6);
+    b.boot(|scope| {
+        scope.request_animation_frame(cb(|scope, ts| {
+            scope.record("ts", ts);
+        }));
+    });
+    b.run_until_idle();
+    let ts = b.record_value("ts").unwrap().as_f64().unwrap();
+    // First vsync is at ~16.667 ms.
+    assert!((ts - 16.667).abs() < 0.5, "raf timestamp {ts}");
+}
+
+#[test]
+fn raf_chain_counts_frames() {
+    let mut b = chrome(7);
+    b.boot(|scope| {
+        fn frame(scope: &mut jsk_browser::scope::JsScope<'_>, n: u32, stamps: Rc<RefCell<Vec<f64>>>) {
+            scope.request_animation_frame(cb(move |scope, ts| {
+                stamps.borrow_mut().push(ts.as_f64().unwrap());
+                if n < 5 {
+                    frame(scope, n + 1, stamps.clone());
+                } else {
+                    let gaps: Vec<f64> = stamps.borrow().windows(2).map(|w| w[1] - w[0]).collect();
+                    let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                    scope.record("avg_gap", JsValue::from(avg));
+                }
+            }));
+        }
+        frame(scope, 0, Rc::new(RefCell::new(Vec::new())));
+    });
+    b.run_until_idle();
+    let avg = b.record_value("avg_gap").unwrap().as_f64().unwrap();
+    assert!((avg - 16.667).abs() < 1.0, "frame gap {avg}");
+}
+
+#[test]
+fn busy_main_thread_delays_timer() {
+    let mut b = chrome(8);
+    b.boot(|scope| {
+        scope.set_timeout(1.0, cb(|scope, _| {
+            // Block the main thread for ~50 ms.
+            scope.compute(SimDuration::from_millis(50));
+        }));
+        scope.set_timeout(2.0, cb(|scope, _| {
+            let t = scope.performance_now();
+            scope.record("after_block", JsValue::from(t));
+        }));
+    });
+    b.run_until_idle();
+    let t = b.record_value("after_block").unwrap().as_f64().unwrap();
+    assert!(t >= 50.0, "second timer must wait out the blocking task, got {t}");
+}
+
+#[test]
+fn worker_runs_in_parallel_with_main() {
+    let mut b = chrome(9);
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            // The worker burns 30 ms, then reports.
+            scope.compute(SimDuration::from_millis(30));
+            scope.post_message(JsValue::from("done"));
+        }));
+        scope.set_worker_onmessage(w, cb(|scope, _| {
+            let t = scope.performance_now();
+            scope.record("worker_done_at", JsValue::from(t));
+        }));
+        // Main thread also burns 30 ms.
+        scope.compute(SimDuration::from_millis(30));
+    });
+    b.run_until_idle();
+    let t = b.record_value("worker_done_at").unwrap().as_f64().unwrap();
+    // True parallelism: total ≈ max(30, 30) + spawn, not 60+.
+    assert!(t < 45.0, "worker result arrived at {t} ms — not parallel?");
+}
+
+#[test]
+fn messages_are_fifo_per_channel() {
+    let mut b = chrome(10);
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            for i in 0..10 {
+                scope.post_message(JsValue::from(f64::from(i)));
+            }
+        }));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        scope.set_worker_onmessage(w, cb(move |scope, v| {
+            seen.borrow_mut().push(v.as_f64().unwrap());
+            if seen.borrow().len() == 10 {
+                let sorted = seen.borrow().windows(2).all(|w| w[0] < w[1]);
+                scope.record("fifo", JsValue::from(sorted));
+            }
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("fifo"), Some(&JsValue::from(true)));
+}
+
+#[test]
+fn messages_to_unstarted_worker_are_buffered() {
+    let mut b = chrome(11);
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            scope.set_onmessage(cb(|scope, v| {
+                scope.post_message(v);
+            }));
+        }));
+        // Sent immediately — likely before the worker thread even spawns.
+        scope.post_message_to_worker(w, JsValue::from("early"));
+        scope.set_worker_onmessage(w, cb(|scope, v| {
+            scope.record("echo", v);
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("echo"), Some(&JsValue::from("early")));
+}
+
+#[test]
+fn terminated_worker_stops_processing() {
+    let mut b = chrome(12);
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            scope.set_onmessage(cb(|scope, v| {
+                scope.post_message(v);
+            }));
+        }));
+        scope.set_worker_onmessage(w, cb(|scope, v| {
+            scope.record("echo", v);
+        }));
+        // Give the worker time to start, then terminate, then try to talk.
+        scope.set_timeout(20.0, cb(move |scope, _| {
+            scope.terminate_worker(w);
+            scope.post_message_to_worker(w, JsValue::from("late"));
+        }));
+    });
+    b.run_until_idle();
+    assert!(b.record_value("echo").is_none());
+    let terminated = b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::WorkerTerminated { user_level_only: false, .. }));
+    assert!(terminated);
+}
+
+#[test]
+fn fetch_settles_and_abort_cancels() {
+    let mut b = chrome(13);
+    b.register_resource("https://attacker.example/a.bin", ResourceSpec::of_size(10_000));
+    b.boot(|scope| {
+        // Plain fetch settles ok.
+        scope.fetch("https://attacker.example/a.bin", None, cb(|scope, v| {
+            scope.record("plain", v.get("ok").cloned().unwrap_or_default());
+        }));
+        // Aborted fetch reports AbortError (distinct URL so the HTTP cache
+        // can't satisfy it before the abort lands).
+        let sig = scope.new_abort_controller();
+        scope.fetch("https://attacker.example/b.bin", Some(sig), cb(|scope, v| {
+            scope.record("aborted_ok", v.get("ok").cloned().unwrap_or_default());
+            scope.record(
+                "aborted_err",
+                v.get("error").cloned().unwrap_or_default(),
+            );
+        }));
+        scope.set_timeout(1.0, cb(move |scope, _| scope.abort(sig)));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("plain"), Some(&JsValue::from(true)));
+    assert_eq!(b.record_value("aborted_ok"), Some(&JsValue::from(false)));
+    assert_eq!(b.record_value("aborted_err"), Some(&JsValue::from("AbortError")));
+}
+
+#[test]
+fn close_after_worker_fetch_leaves_dangling_abort_fact() {
+    // The CVE-2018-5092 native sequence (Listing 2): a worker with a pending
+    // signal-carrying fetch is false-terminated by document close; the abort
+    // then reaches the freed request.
+    let mut b = chrome(14);
+    b.register_resource("https://attacker.example/fetchedfile0.html", ResourceSpec::of_size(5 << 20));
+    b.boot(|scope| {
+        let _w = scope.create_worker("worker.js", worker_script(|scope| {
+            let sig = scope.new_abort_controller();
+            scope.fetch(
+                "https://attacker.example/fetchedfile0.html",
+                Some(sig),
+                cb(|_, _| {}),
+            );
+        }));
+        scope.set_timeout(40.0, cb(|scope, _| {
+            scope.close();
+        }));
+    });
+    b.run_until_idle();
+    let dangling = b.trace().facts().any(|(_, f)| {
+        matches!(f, Fact::AbortDelivered { owner_alive: false, .. })
+    });
+    assert!(dangling, "expected an abort delivered to a dead-owner request");
+}
+
+#[test]
+fn transfer_then_terminate_frees_buffer() {
+    // CVE-2014-1488's native sequence.
+    let mut b = chrome(15);
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            let buf = scope.create_buffer(1 << 16);
+            scope.post_message_transfer(JsValue::from(buf.index()), vec![buf]);
+        }));
+        scope.set_worker_onmessage(w, cb(move |scope, v| {
+            let buf = jsk_browser::ids::BufferId::new(v.as_f64().unwrap() as u64);
+            scope.terminate_worker(w);
+            let ok = scope.read_buffer(buf);
+            scope.record("buffer_ok", JsValue::from(ok));
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("buffer_ok"), Some(&JsValue::from(false)));
+    assert!(b.trace().facts().any(|(_, f)| matches!(f, Fact::FreedBufferAccess { .. })));
+}
+
+#[test]
+fn worker_xhr_bypasses_sop_natively() {
+    // CVE-2013-1714: cross-origin XHR allowed from workers, blocked on main.
+    let mut b = chrome(16);
+    b.boot(|scope| {
+        scope.xhr_send("https://victim.example/secret", cb(|scope, v| {
+            scope.record("main_ok", v.get("ok").cloned().unwrap_or_default());
+        }));
+        let _w = scope.create_worker("worker.js", worker_script(|scope| {
+            scope.xhr_send("https://victim.example/secret", cb(|scope, v| {
+                scope.record("worker_ok", v.get("ok").cloned().unwrap_or_default());
+            }));
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("main_ok"), Some(&JsValue::from(false)));
+    assert_eq!(b.record_value("worker_ok"), Some(&JsValue::from(true)));
+    assert!(b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::CrossOriginWorkerRequest { .. })));
+}
+
+#[test]
+fn missing_cross_origin_worker_script_leaks_in_error() {
+    // CVE-2014-1487 native path.
+    let mut b = chrome(17);
+    b.register_resource("https://victim.example/w.js", ResourceSpec::missing());
+    b.boot(|scope| {
+        let w = scope.create_worker("https://victim.example/w.js", worker_script(|_| {}));
+        scope.set_worker_onerror(w, cb(|scope, msg| {
+            scope.record("err", msg);
+        }));
+    });
+    b.run_until_idle();
+    let err = b.record_value("err").unwrap().as_str().unwrap().to_owned();
+    assert!(err.contains("victim.example"), "message should leak URL: {err}");
+    assert!(b.trace().facts().any(|(_, f)| matches!(
+        f,
+        Fact::ErrorMessageDelivered { leaked_cross_origin: true, .. }
+    )));
+}
+
+#[test]
+fn private_mode_idb_persists_natively() {
+    // CVE-2017-7843 native path.
+    let mut cfg = BrowserConfig::new(BrowserProfile::chrome(), 18);
+    cfg.private_mode = true;
+    let mut b = Browser::new(cfg, Box::new(LegacyMediator));
+    b.boot(|scope| {
+        let ok = scope.idb_open("fingerprint", true);
+        scope.record("opened", JsValue::from(ok));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("opened"), Some(&JsValue::from(true)));
+    assert_eq!(b.idb_private_leftovers(), 1);
+    assert!(b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::IdbPersistedInPrivateMode { .. })));
+}
+
+#[test]
+fn onmessage_assignment_on_closing_worker_crashes_natively() {
+    // CVE-2013-5602 native path: defer-terminated state is "closing" only
+    // under defenses; natively we reach closing via self.close() races. Here
+    // we emulate with terminate-then-assign where terminate is deferred by
+    // nothing — so instead drive the closing state through a worker that
+    // self-closes while the owner assigns late.
+    let mut b = chrome(19);
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            scope.close();
+        }));
+        scope.set_timeout(30.0, cb(move |scope, _| {
+            scope.set_worker_onmessage(w, cb(|_, _| {}));
+        }));
+    });
+    b.run_until_idle();
+    // Self-close fully closes; assignment on closed is inert, so no fact.
+    // (The exploit drives Closing explicitly; see jsk-attacks::cve5602.)
+    let crashed = b.trace().facts().any(|(_, f)| matches!(f, Fact::NullDerefOnAssign { .. }));
+    assert!(!crashed);
+}
+
+#[test]
+fn navigation_gives_stale_doc_window() {
+    // CVE-2014-3194 / CVE-2010-4576 native windows.
+    let mut b = chrome(20);
+    b.register_resource("https://attacker.example/slow.bin", ResourceSpec::of_size(4 << 20));
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            // Keep posting; some posts land after the owner navigates.
+            let tick = cb(move |scope: &mut jsk_browser::scope::JsScope<'_>, _| {
+                scope.post_message(JsValue::from(1.0));
+            });
+            scope.set_interval(4.0, tick);
+        }));
+        scope.set_worker_onmessage(w, cb(|_, _| {}));
+        // A slow fetch whose callback arrives after navigation.
+        scope.fetch("https://attacker.example/slow.bin", None, cb(|_, _| {}));
+        scope.set_timeout(30.0, cb(|scope, _| {
+            scope.navigate();
+        }));
+    });
+    b.run_until_idle();
+    let stale_msg = b.trace().facts().any(|(_, f)| matches!(f, Fact::MessageToFreedDoc { .. }));
+    let stale_net = b.trace().facts().any(|(_, f)| matches!(f, Fact::StaleDocCallback { .. }));
+    assert!(stale_msg || stale_net, "expected a stale-document callback fact");
+}
+
+#[test]
+fn same_seed_is_deterministic() {
+    let run = |seed| {
+        let mut b = chrome(seed);
+        b.boot(|scope| {
+            let w = scope.create_worker("worker.js", worker_script(|scope| {
+                for i in 0..5 {
+                    scope.post_message(JsValue::from(f64::from(i)));
+                }
+            }));
+            let n = Rc::new(RefCell::new(0u32));
+            scope.set_worker_onmessage(w, cb(move |scope, _| {
+                *n.borrow_mut() += 1;
+                let t = scope.performance_now();
+                scope.record(format!("t{}", n.borrow()), JsValue::from(t));
+            }));
+        });
+        b.run_until_idle();
+        (1..=5)
+            .map(|i| b.record_value(&format!("t{i}")).unwrap().as_f64().unwrap())
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43), "different seeds should differ somewhere");
+}
+
+#[test]
+fn performance_now_is_quantized_to_profile_precision() {
+    let mut b = chrome(21);
+    b.boot(|scope| {
+        scope.compute(SimDuration::from_nanos(7_301_234));
+        let t = scope.performance_now();
+        scope.record("t", JsValue::from(t));
+    });
+    b.run_until_idle();
+    let t = b.record_value("t").unwrap().as_f64().unwrap();
+    // Chrome precision is 5 µs = 0.005 ms.
+    let quantum = 0.005;
+    let rem = (t / quantum).fract();
+    assert!(!(1e-6..=1.0 - 1e-6).contains(&rem), "t={t} not on 5 µs grid");
+}
+
+#[test]
+fn polyfill_context_worker_is_owner_thread() {
+    use jsk_browser::mediator::{ApiOutcome, Mediator, MediatorCtx};
+    use jsk_browser::trace::ApiCall;
+
+    /// A minimal mediator that polyfills workers (Chrome Zero-style).
+    #[derive(Debug)]
+    struct Polyfiller;
+    impl Mediator for Polyfiller {
+        fn name(&self) -> &str {
+            "polyfiller"
+        }
+        fn on_api(&mut self, _ctx: &mut MediatorCtx<'_>, call: &ApiCall) -> ApiOutcome {
+            if matches!(call, ApiCall::CreateWorker { .. }) {
+                ApiOutcome::PolyfillWorker
+            } else {
+                ApiOutcome::Allow
+            }
+        }
+    }
+
+    let mut b = Browser::new(
+        BrowserConfig::new(BrowserProfile::chrome(), 22),
+        Box::new(Polyfiller),
+    );
+    b.boot(|scope| {
+        let w = scope.create_worker("worker.js", worker_script(|scope| {
+            scope.record("worker_thread", JsValue::from(scope.thread().index()));
+            scope.set_onmessage(cb(|scope, v| {
+                scope.post_message(v);
+            }));
+        }));
+        scope.record("main_thread", JsValue::from(scope.thread().index()));
+        scope.set_worker_onmessage(w, cb(|scope, v| {
+            scope.record("echo", v);
+        }));
+        scope.set_timeout(10.0, cb(move |scope, _| {
+            scope.post_message_to_worker(w, JsValue::from("ping"));
+        }));
+    });
+    b.run_until_idle();
+    assert_eq!(
+        b.record_value("worker_thread"),
+        b.record_value("main_thread"),
+        "polyfill worker must run on the owner thread"
+    );
+    assert_eq!(b.record_value("echo"), Some(&JsValue::from("ping")));
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the browser substrate's data structures.
+
+use jsk_browser::dom::{dom_similarity, Dom};
+use jsk_browser::net::{is_cross_origin, origin_of, ContentCache, NetState, ResourceSpec};
+use jsk_browser::profile::BrowserProfile;
+use jsk_browser::value::JsValue;
+use jsk_sim::rng::SimRng;
+use proptest::prelude::*;
+
+fn arb_jsvalue() -> impl Strategy<Value = JsValue> {
+    let leaf = prop_oneof![
+        Just(JsValue::Undefined),
+        Just(JsValue::Null),
+        any::<bool>().prop_map(JsValue::Bool),
+        (-1e12f64..1e12).prop_map(JsValue::Num),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(JsValue::Str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(JsValue::Arr),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(JsValue::Obj),
+        ]
+    })
+}
+
+proptest! {
+    /// JsValue round-trips through serde JSON.
+    #[test]
+    fn jsvalue_serde_round_trip(v in arb_jsvalue()) {
+        let json = serde_json::to_string(&v).expect("serializable");
+        let back: JsValue = serde_json::from_str(&json).expect("deserializable");
+        prop_assert_eq!(v, back);
+    }
+
+    /// A DOM is always identical to itself and `serialize` is stable.
+    #[test]
+    fn dom_self_similarity_is_one(
+        tags in proptest::collection::vec("[a-z]{1,6}", 1..20),
+    ) {
+        let mut dom = Dom::new();
+        for t in &tags {
+            let n = dom.create_element(t.clone());
+            dom.append_child(dom.root(), n);
+        }
+        prop_assert!((dom_similarity(&dom, &dom) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(dom.serialize(), dom.serialize());
+    }
+
+    /// Adding elements only moves similarity away from a snapshot
+    /// monotonically in count (more divergence ⇒ no higher similarity),
+    /// and similarity stays within [0, 1].
+    #[test]
+    fn dom_similarity_bounded(extra in 1usize..15) {
+        let mut a = Dom::new();
+        for _ in 0..10 {
+            let n = a.create_element("p");
+            a.append_child(a.root(), n);
+        }
+        let mut b = a.clone();
+        for i in 0..extra {
+            let n = b.create_element("aside");
+            b.set_attribute(n, "k", format!("{i}"));
+            b.append_child(b.root(), n);
+        }
+        let sim = dom_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&sim));
+        prop_assert!(sim < 1.0);
+    }
+
+    /// Origin parsing: a URL is never cross-origin with its own origin, and
+    /// origin extraction is idempotent.
+    #[test]
+    fn origin_parsing_is_consistent(host in "[a-z]{1,10}", path in "[a-z0-9/]{0,20}") {
+        let url = format!("https://{host}.example/{path}");
+        let origin = origin_of(&url).to_owned();
+        prop_assert!(!is_cross_origin(&origin, &url));
+        prop_assert_eq!(origin_of(&origin), origin.as_str());
+        prop_assert!(is_cross_origin("https://other.example", &url));
+    }
+
+    /// The HTTP cache makes exactly the second load cached, and eviction
+    /// resets that.
+    #[test]
+    fn http_cache_state_machine(size in 1u64..10_000_000, seed in any::<u64>()) {
+        let mut net = NetState::new();
+        let p = BrowserProfile::chrome();
+        let mut rng = SimRng::new(seed);
+        net.register("u", ResourceSpec::of_size(size));
+        let first = net.plan_load("u", &p, &mut rng, 1.0);
+        let second = net.plan_load("u", &p, &mut rng, 1.0);
+        prop_assert!(!first.cached);
+        prop_assert!(second.cached);
+        prop_assert!(second.net_time <= first.net_time);
+        prop_assert!(net.evict("u"));
+        let third = net.plan_load("u", &p, &mut rng, 1.0);
+        prop_assert!(!third.cached);
+    }
+
+    /// Content-cache accesses: a miss always costs more than a subsequent
+    /// hit of the same key.
+    #[test]
+    fn content_cache_miss_dominates_hit(key in "[a-z]{1,10}", seed in any::<u64>()) {
+        let mut cache = ContentCache::new();
+        let p = BrowserProfile::chrome();
+        let mut rng = SimRng::new(seed);
+        let miss = cache.access(&key, &p, &mut rng);
+        let hit = cache.access(&key, &p, &mut rng);
+        prop_assert!(miss > hit, "miss {miss} vs hit {hit}");
+    }
+}

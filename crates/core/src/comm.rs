@@ -1,0 +1,134 @@
+//! Kernel-space communication overlay (paper §III-E2).
+//!
+//! "Because there only exists one channel, i.e., the postMessage and
+//! onmessage one, between two threads, we create an overlay upon the
+//! channel. Specifically, JSKERNEL wraps the original object under a new
+//! object and uses a special field, i.e., a type field, in the object to
+//! indicate whether it is a kernel- or user-space communication."
+//!
+//! [`KernelMsg`] is the typed kernel traffic; it encodes to/from a
+//! [`JsValue`] whose `type` field is the reserved marker `"jsk"`. Listing 4's
+//! `pendingChildFetch` / `confirmFetch` / `cleanWorker` protocol rides this
+//! overlay, as do the clock-exchange and thread-source messages of §III-E2.
+
+use jsk_browser::ids::{RequestId, WorkerId};
+use jsk_browser::value::JsValue;
+use serde::{Deserialize, Serialize};
+
+/// The reserved `type` field marking kernel-space traffic.
+pub const KERNEL_TYPE: &str = "jsk";
+
+/// A kernel-space message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KernelMsg {
+    /// A worker-side kernel announces a fetch going in flight (Listing 4,
+    /// `postSysMsg("pendingChildFetch", kernelFetch.id)`).
+    PendingChildFetch {
+        /// The request.
+        req: RequestId,
+        /// The announcing worker.
+        worker: WorkerId,
+    },
+    /// The main-side kernel confirms receipt (Listing 4,
+    /// `postSysMsg("confirmFetch", e.id)`).
+    ConfirmFetch {
+        /// The request.
+        req: RequestId,
+    },
+    /// A worker-side kernel reports its fetch settled, releasing the
+    /// liveness obligation.
+    FetchSettled {
+        /// The request.
+        req: RequestId,
+        /// The reporting worker.
+        worker: WorkerId,
+    },
+    /// The main-side kernel schedules a liveness check that closes the
+    /// kernel worker once it is safe (Listing 4's `cleanWorker` event).
+    CleanWorker {
+        /// The worker to check.
+        worker: WorkerId,
+    },
+    /// Clock exchange between per-thread kernels (§III-E2: "exchanging a
+    /// clock").
+    ClockSync {
+        /// The sender's kernel-clock reading, in nanoseconds.
+        kclock_ns: u64,
+    },
+    /// Thread-source passing (§III-E2: "passing thread source").
+    ThreadSource {
+        /// The worker whose source travels.
+        worker: WorkerId,
+        /// The source URL.
+        src: String,
+    },
+}
+
+impl KernelMsg {
+    /// Encodes into the overlay wire format: an object with the reserved
+    /// `type` field and a JSON-encoded body.
+    #[must_use]
+    pub fn encode(&self) -> JsValue {
+        let body = serde_json::to_string(self).expect("KernelMsg is serializable");
+        JsValue::object([
+            ("type", JsValue::from(KERNEL_TYPE)),
+            ("body", JsValue::from(body)),
+        ])
+    }
+
+    /// Decodes from the overlay wire format; `None` when the value is
+    /// user-space traffic (wrong or missing `type` field) or malformed.
+    #[must_use]
+    pub fn decode(value: &JsValue) -> Option<KernelMsg> {
+        if value.get("type").and_then(JsValue::as_str) != Some(KERNEL_TYPE) {
+            return None;
+        }
+        let body = value.get("body").and_then(JsValue::as_str)?;
+        serde_json::from_str(body).ok()
+    }
+
+    /// Whether a wire value is kernel-space traffic.
+    #[must_use]
+    pub fn is_kernel_traffic(value: &JsValue) -> bool {
+        value.get("type").and_then(JsValue::as_str) == Some(KERNEL_TYPE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_variants() {
+        let msgs = [
+            KernelMsg::PendingChildFetch { req: RequestId::new(1), worker: WorkerId::new(2) },
+            KernelMsg::ConfirmFetch { req: RequestId::new(1) },
+            KernelMsg::FetchSettled { req: RequestId::new(1), worker: WorkerId::new(2) },
+            KernelMsg::CleanWorker { worker: WorkerId::new(2) },
+            KernelMsg::ClockSync { kclock_ns: 123_456 },
+            KernelMsg::ThreadSource { worker: WorkerId::new(2), src: "worker.js".into() },
+        ];
+        for m in msgs {
+            let wire = m.encode();
+            assert!(KernelMsg::is_kernel_traffic(&wire));
+            assert_eq!(KernelMsg::decode(&wire), Some(m));
+        }
+    }
+
+    #[test]
+    fn user_traffic_is_not_decoded() {
+        let user = JsValue::object([("type", JsValue::from("user")), ("data", JsValue::from(1.0))]);
+        assert!(!KernelMsg::is_kernel_traffic(&user));
+        assert!(KernelMsg::decode(&user).is_none());
+        assert!(KernelMsg::decode(&JsValue::from(3.0)).is_none());
+    }
+
+    #[test]
+    fn malformed_kernel_body_is_rejected() {
+        let bad = JsValue::object([
+            ("type", JsValue::from(KERNEL_TYPE)),
+            ("body", JsValue::from("{not json")),
+        ]);
+        assert!(KernelMsg::decode(&bad).is_none());
+    }
+}

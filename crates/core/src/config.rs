@@ -1,0 +1,151 @@
+//! Kernel configuration.
+
+use crate::policy::{cve, deterministic_policy, PolicySpec};
+use crate::scheduler::PredictionConfig;
+use jsk_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-class CPU overhead the kernel's interposition adds to API calls.
+///
+/// Calibrated against §V-A1: the Dromaeo DOM-attribute test (which does
+/// little besides attribute gets/sets) loses ~21 % — so the DOM overhead is
+/// about a fifth of an attribute op — while pure-compute tests lose ~0 %.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterpositionCosts {
+    /// Clock reads.
+    pub clock: SimDuration,
+    /// Timer registration.
+    pub timer: SimDuration,
+    /// Messaging.
+    pub message: SimDuration,
+    /// Worker lifecycle.
+    pub worker: SimDuration,
+    /// Network APIs.
+    pub net: SimDuration,
+    /// DOM operations.
+    pub dom: SimDuration,
+    /// SharedArrayBuffer access.
+    pub sab: SimDuration,
+}
+
+impl Default for InterpositionCosts {
+    fn default() -> Self {
+        InterpositionCosts {
+            clock: SimDuration::from_nanos(30),
+            timer: SimDuration::from_nanos(150),
+            message: SimDuration::from_nanos(200),
+            worker: SimDuration::from_nanos(500),
+            net: SimDuration::from_nanos(300),
+            dom: SimDuration::from_nanos(74),
+            sab: SimDuration::from_nanos(100),
+        }
+    }
+}
+
+/// Configuration of a [`JsKernel`](crate::kernel::JsKernel) instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Whether the deterministic scheduling policy (Listing 3) is active.
+    pub deterministic: bool,
+    /// Prediction quanta of the deterministic scheduler.
+    pub prediction: PredictionConfig,
+    /// The installed API policies (Listing 4-style).
+    pub policies: Vec<PolicySpec>,
+    /// Kernel-clock tick per API call.
+    pub tick_unit: SimDuration,
+    /// Quantization of displayed kernel-clock values.
+    pub display_precision: SimDuration,
+    /// Interposition overhead.
+    pub costs: InterpositionCosts,
+    /// Latency of the kernel-space overlay channel.
+    pub kernel_channel_latency: SimDuration,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl KernelConfig {
+    /// Full protection: deterministic scheduling + all twelve CVE policies
+    /// (the configuration evaluated throughout §IV and §V).
+    #[must_use]
+    pub fn full() -> KernelConfig {
+        let det = deterministic_policy();
+        let prediction = det.scheduling.expect("deterministic policy has scheduling");
+        let mut policies = vec![det];
+        policies.extend(cve::all_cve_policies());
+        KernelConfig {
+            deterministic: true,
+            prediction,
+            policies,
+            tick_unit: SimDuration::from_micros(1),
+            display_precision: SimDuration::from_micros(10),
+            costs: InterpositionCosts::default(),
+            kernel_channel_latency: SimDuration::from_micros(60),
+        }
+    }
+
+    /// Only the deterministic scheduling policy (ablation: timing defense
+    /// without CVE policies).
+    #[must_use]
+    pub fn timing_only() -> KernelConfig {
+        let mut cfg = KernelConfig::full();
+        cfg.policies.retain(|p| p.scheduling.is_some());
+        cfg
+    }
+
+    /// Only the per-CVE policies (ablation: no deterministic scheduling).
+    #[must_use]
+    pub fn cve_only() -> KernelConfig {
+        let mut cfg = KernelConfig::full();
+        cfg.deterministic = false;
+        cfg.policies.retain(|p| p.scheduling.is_none());
+        cfg
+    }
+
+    /// Adds a custom policy at the end of the match order.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicySpec) -> KernelConfig {
+        self.policies.push(policy);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_has_thirteen_policies() {
+        let cfg = KernelConfig::full();
+        assert!(cfg.deterministic);
+        assert_eq!(cfg.policies.len(), 13); // deterministic + 12 CVEs
+    }
+
+    #[test]
+    fn ablations_partition_the_policy_set() {
+        let timing = KernelConfig::timing_only();
+        assert!(timing.deterministic);
+        assert_eq!(timing.policies.len(), 1);
+        let cves = KernelConfig::cve_only();
+        assert!(!cves.deterministic);
+        assert_eq!(cves.policies.len(), 12);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = KernelConfig::full();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: KernelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn with_policy_appends() {
+        let cfg = KernelConfig::timing_only()
+            .with_policy(crate::policy::cve::cve_2013_1714());
+        assert_eq!(cfg.policies.len(), 2);
+    }
+}

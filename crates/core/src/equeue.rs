@@ -1,0 +1,228 @@
+//! The kernel event queue (paper §III-C1).
+//!
+//! "An event queue arranges all the events based on the predicted time. The
+//! event queue supports regular queue APIs": `push`, `pop` (earliest
+//! predicted, removed), `top` (earliest predicted, kept), `remove`
+//! (regardless of predicted time), and `lookup`.
+//!
+//! Ordering is by `(predicted, insertion-order)` so same-instant predictions
+//! keep registration order — the property the dispatcher's determinism
+//! rests on.
+
+use crate::kevent::{KEventStatus, KernelEvent};
+use jsk_browser::ids::EventToken;
+use jsk_sim::time::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// A queue of kernel events ordered by predicted time.
+#[derive(Debug, Default)]
+pub struct KernelEventQueue {
+    order: BTreeMap<(SimTime, u64), EventToken>,
+    events: HashMap<EventToken, (KernelEvent, u64)>,
+    next_seq: u64,
+}
+
+impl KernelEventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> KernelEventQueue {
+        KernelEventQueue::default()
+    }
+
+    /// Pushes an event, ordered by its predicted time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event with the same token is already queued — tokens are
+    /// unique per registration, so this is a kernel logic error.
+    pub fn push(&mut self, event: KernelEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = (event.predicted, seq);
+        let token = event.token;
+        assert!(
+            self.events.insert(token, (event, seq)).is_none(),
+            "kernel event {token} pushed twice"
+        );
+        self.order.insert(key, token);
+    }
+
+    /// The earliest event, kept in the queue (the paper's `top` API).
+    #[must_use]
+    pub fn top(&self) -> Option<&KernelEvent> {
+        self.order
+            .values()
+            .next()
+            .map(|t| &self.events.get(t).expect("order/events in sync").0)
+    }
+
+    /// Removes and returns the earliest event (the paper's `pop` API).
+    pub fn pop(&mut self) -> Option<KernelEvent> {
+        let (&key, &token) = self.order.iter().next()?;
+        self.order.remove(&key);
+        Some(self.events.remove(&token).expect("order/events in sync").0)
+    }
+
+    /// Removes an event by token regardless of predicted time (the paper's
+    /// `remove` API).
+    pub fn remove(&mut self, token: EventToken) -> Option<KernelEvent> {
+        let (event, seq) = self.events.remove(&token)?;
+        self.order.remove(&(event.predicted, seq));
+        Some(event)
+    }
+
+    /// Looks up an event by token (the paper's `lookup`, used by
+    /// confirmation: `event_queue.lookup(e.command).status = "confirmed"`).
+    #[must_use]
+    pub fn lookup(&self, token: EventToken) -> Option<&KernelEvent> {
+        self.events.get(&token).map(|(e, _)| e)
+    }
+
+    /// Mutable lookup by token.
+    pub fn lookup_mut(&mut self, token: EventToken) -> Option<&mut KernelEvent> {
+        self.events.get_mut(&token).map(|(e, _)| e)
+    }
+
+    /// Number of queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Pops every leading event that is ready to go out: cancelled events
+    /// are discarded, confirmed events are returned in predicted order, and
+    /// the drain stops at the first pending event (the dispatcher "waits for
+    /// the event to become ready", §III-D3).
+    pub fn drain_dispatchable(&mut self) -> Vec<KernelEvent> {
+        let mut out = Vec::new();
+        loop {
+            let Some(head) = self.top() else { break };
+            match head.status {
+                KEventStatus::Pending => break,
+                KEventStatus::Cancelled | KEventStatus::Dispatched => {
+                    self.pop();
+                }
+                KEventStatus::Confirmed => {
+                    let mut e = self.pop().expect("top exists");
+                    e.status = KEventStatus::Dispatched;
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::event::AsyncKind;
+    use jsk_browser::ids::ThreadId;
+
+    fn ev(token: u64, predicted_ms: u64) -> KernelEvent {
+        KernelEvent::pending(
+            EventToken::new(token),
+            ThreadId::new(0),
+            AsyncKind::Raf,
+            SimTime::from_millis(predicted_ms),
+        )
+    }
+
+    #[test]
+    fn pop_returns_earliest_predicted() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 30));
+        q.push(ev(2, 10));
+        q.push(ev(3, 20));
+        assert_eq!(q.pop().unwrap().token, EventToken::new(2));
+        assert_eq!(q.pop().unwrap().token, EventToken::new(3));
+        assert_eq!(q.pop().unwrap().token, EventToken::new(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn top_keeps_event_in_queue() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 5));
+        assert_eq!(q.top().unwrap().token, EventToken::new(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn same_prediction_keeps_insertion_order() {
+        let mut q = KernelEventQueue::new();
+        for i in 0..5 {
+            q.push(ev(i, 7));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().token, EventToken::new(i));
+        }
+    }
+
+    #[test]
+    fn remove_works_regardless_of_position() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        q.push(ev(3, 30));
+        let removed = q.remove(EventToken::new(2)).unwrap();
+        assert_eq!(removed.predicted, SimTime::from_millis(20));
+        assert_eq!(q.len(), 2);
+        assert!(q.remove(EventToken::new(2)).is_none());
+    }
+
+    #[test]
+    fn lookup_and_mutate_status() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Confirmed;
+        assert_eq!(
+            q.lookup(EventToken::new(1)).unwrap().status,
+            KEventStatus::Confirmed
+        );
+    }
+
+    #[test]
+    fn drain_stops_at_pending_head() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        q.push(ev(3, 30));
+        // Confirm #2 and #3 but not #1 — nothing may dispatch.
+        q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
+        q.lookup_mut(EventToken::new(3)).unwrap().status = KEventStatus::Confirmed;
+        assert!(q.drain_dispatchable().is_empty());
+        // Confirm #1 — all three go out in predicted order.
+        q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Confirmed;
+        let out = q.drain_dispatchable();
+        let tokens: Vec<u64> = out.iter().map(|e| e.token.index()).collect();
+        assert_eq!(tokens, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_discards_cancelled_head() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Cancelled;
+        q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
+        let out = q.drain_dispatchable();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, EventToken::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn duplicate_push_panics() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(1, 20));
+    }
+}

@@ -1,0 +1,232 @@
+//! The kernel interface: API redefinition, traps, and stubs (paper §III-B).
+//!
+//! In the browser extension, the kernel interface is the set of redefined
+//! globals (Listing 5): kernel API calls (`setTimeout`, `postMessage`, …),
+//! kernel traps (non-configurable setters like `onmessage`), and user-space
+//! stubs (`Worker` as a `Proxy`). Its security argument (§VI) is that an
+//! adversary who redefines the *interface* still cannot reach the
+//! *encapsulated* timing objects, and cannot reconfigure trapped setters.
+//!
+//! This module models that table explicitly: which APIs are interposed, by
+//! which mechanism, and what a self-modifying adversary achieves by
+//! redefining each. The robustness tests of §VI run against it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the kernel interposes on an API (paper §III-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterpositionKind {
+    /// A redefined global function (kernel API call).
+    ApiCall,
+    /// A non-configurable setter trap (`Object.defineProperty` with a kernel
+    /// setter).
+    Trap,
+    /// A user-space stub (a `Proxy` whose handler calls into the kernel).
+    Stub,
+}
+
+/// What happens when user space redefines an interposed API (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedefinitionEffect {
+    /// The site keeps a backup copy and calls through it — the backup *is*
+    /// the kernel interface, so interposition is preserved (the legitimate
+    /// case, e.g. youtube.com's `requestAnimationFrame` backup).
+    CallsThroughKernel,
+    /// The adversary's replacement runs, but the timing objects it would
+    /// need are encapsulated in the kernel closure: the redefinition only
+    /// breaks the site's own functionality.
+    BreaksFunctionalityOnly,
+    /// The property is non-configurable; the redefinition throws.
+    Rejected,
+}
+
+/// One row of the kernel interface table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceEntry {
+    /// The interposition mechanism.
+    pub kind: InterpositionKind,
+    /// Whether the underlying kernel object is reachable from user space
+    /// (always `false`: encapsulation in an anonymous closure).
+    pub kernel_object_exposed: bool,
+    /// Effect of a user-space redefinition attempt.
+    pub on_redefine: RedefinitionEffect,
+    /// Whether `Object.freeze` protects the prototype from pollution.
+    pub prototype_frozen: bool,
+}
+
+/// The kernel interface: the full table of interposed APIs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelInterface {
+    entries: BTreeMap<String, InterfaceEntry>,
+}
+
+impl Default for KernelInterface {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl KernelInterface {
+    /// The standard JSKernel interface: every timing- and
+    /// concurrency-relevant API of the paper's prototype.
+    #[must_use]
+    pub fn standard() -> KernelInterface {
+        let api = |on_redefine| InterfaceEntry {
+            kind: InterpositionKind::ApiCall,
+            kernel_object_exposed: false,
+            on_redefine,
+            prototype_frozen: true,
+        };
+        let trap = InterfaceEntry {
+            kind: InterpositionKind::Trap,
+            kernel_object_exposed: false,
+            on_redefine: RedefinitionEffect::Rejected,
+            prototype_frozen: true,
+        };
+        let stub = InterfaceEntry {
+            kind: InterpositionKind::Stub,
+            kernel_object_exposed: false,
+            on_redefine: RedefinitionEffect::BreaksFunctionalityOnly,
+            prototype_frozen: true,
+        };
+        let mut entries = BTreeMap::new();
+        for name in [
+            "setTimeout",
+            "setInterval",
+            "clearTimeout",
+            "requestAnimationFrame",
+            "cancelAnimationFrame",
+            "postMessage",
+            "fetch",
+            "XMLHttpRequest.send",
+            "importScripts",
+            "performance.now",
+            "Date.now",
+            "indexedDB.open",
+        ] {
+            entries.insert(name.to_owned(), api(RedefinitionEffect::BreaksFunctionalityOnly));
+        }
+        // Legitimate-backup APIs: sites that keep the old definition call
+        // back through the kernel version.
+        entries.insert(
+            "requestAnimationFrame(backup)".to_owned(),
+            api(RedefinitionEffect::CallsThroughKernel),
+        );
+        for name in ["onmessage", "onerror", "onload"] {
+            entries.insert(name.to_owned(), trap.clone());
+        }
+        for name in ["Worker", "SharedArrayBuffer", "AbortController"] {
+            entries.insert(name.to_owned(), stub.clone());
+        }
+        KernelInterface { entries }
+    }
+
+    /// The entry for an API, if interposed.
+    #[must_use]
+    pub fn entry(&self, api: &str) -> Option<&InterfaceEntry> {
+        self.entries.get(api)
+    }
+
+    /// Whether an API is interposed at all.
+    #[must_use]
+    pub fn is_interposed(&self, api: &str) -> bool {
+        self.entries.contains_key(api)
+    }
+
+    /// Simulates a user-space redefinition attempt (§VI). Returns the
+    /// effect; in no case does the adversary gain access to kernel objects.
+    #[must_use]
+    pub fn attempt_redefine(&self, api: &str) -> RedefinitionEffect {
+        match self.entries.get(api) {
+            Some(e) => e.on_redefine,
+            // Un-interposed APIs are redefinable, but carry no kernel state.
+            None => RedefinitionEffect::BreaksFunctionalityOnly,
+        }
+    }
+
+    /// Whether *any* interposed API exposes a kernel object — the §VI
+    /// invariant the robustness tests assert is always `false`.
+    #[must_use]
+    pub fn any_kernel_object_exposed(&self) -> bool {
+        self.entries.values().any(|e| e.kernel_object_exposed)
+    }
+
+    /// Number of interposed APIs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Names of all interposed APIs.
+    pub fn api_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_interface_covers_concurrency_apis() {
+        let ki = KernelInterface::standard();
+        for api in ["setTimeout", "postMessage", "performance.now", "Worker", "onmessage", "fetch"] {
+            assert!(ki.is_interposed(api), "{api} must be interposed");
+        }
+        assert!(ki.len() >= 15);
+    }
+
+    #[test]
+    fn no_kernel_object_is_ever_exposed() {
+        assert!(!KernelInterface::standard().any_kernel_object_exposed());
+    }
+
+    #[test]
+    fn trapped_setters_reject_redefinition() {
+        let ki = KernelInterface::standard();
+        assert_eq!(ki.attempt_redefine("onmessage"), RedefinitionEffect::Rejected);
+        assert_eq!(
+            ki.entry("onmessage").unwrap().kind,
+            InterpositionKind::Trap
+        );
+    }
+
+    #[test]
+    fn stubs_break_functionality_without_bypass() {
+        let ki = KernelInterface::standard();
+        assert_eq!(
+            ki.attempt_redefine("Worker"),
+            RedefinitionEffect::BreaksFunctionalityOnly
+        );
+    }
+
+    #[test]
+    fn backup_copies_call_through_kernel() {
+        let ki = KernelInterface::standard();
+        assert_eq!(
+            ki.attempt_redefine("requestAnimationFrame(backup)"),
+            RedefinitionEffect::CallsThroughKernel
+        );
+    }
+
+    #[test]
+    fn prototypes_are_frozen() {
+        let ki = KernelInterface::standard();
+        assert!(ki.entries.values().all(|e| e.prototype_frozen));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let ki = KernelInterface::standard();
+        let json = serde_json::to_string(&ki).unwrap();
+        let back: KernelInterface = serde_json::from_str(&json).unwrap();
+        assert_eq!(ki, back);
+    }
+}

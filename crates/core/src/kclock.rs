@@ -1,0 +1,149 @@
+//! The kernel clock (paper §III-C2).
+//!
+//! "A clock in JSKernel is simply a counter that ticks based on certain
+//! information, which could be a physical clock tick or specific API calls."
+//!
+//! The kernel clock is the heart of JSKernel's timing defense: the value
+//! user space observes through `performance.now` (and friends) is a
+//! deterministic function of *how many kernel events have been dispatched
+//! and how many API calls have been made* — never of how long anything
+//! physically took. Two runs that make the same API calls in the same order
+//! read identical clocks, however different their physical timings.
+
+use jsk_sim::time::{SimDuration, SimTime};
+
+/// A deterministic, API-driven clock.
+///
+/// # Examples
+///
+/// ```
+/// use jsk_core::kclock::KernelClock;
+/// use jsk_sim::time::{SimDuration, SimTime};
+///
+/// let mut clock = KernelClock::new(SimDuration::from_micros(1));
+/// let t0 = clock.display();
+/// clock.tick();                      // an API call
+/// clock.tick();
+/// let t1 = clock.display();
+/// assert_eq!(t1 - t0, SimDuration::from_micros(2));
+///
+/// clock.advance_to(SimTime::from_millis(4));  // an event dispatched at its
+/// assert!(clock.display() >= SimTime::from_millis(4)); // predicted time
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelClock {
+    /// Deterministic base, advanced to each dispatched event's predicted
+    /// time.
+    base: SimTime,
+    /// API calls observed since the base last advanced.
+    ticks: u64,
+    /// Virtual duration of one tick.
+    tick_unit: SimDuration,
+}
+
+impl KernelClock {
+    /// Creates a clock ticking `tick_unit` per API call.
+    #[must_use]
+    pub fn new(tick_unit: SimDuration) -> KernelClock {
+        KernelClock { base: SimTime::ZERO, ticks: 0, tick_unit }
+    }
+
+    /// Ticks by one API call (the paper's "ticking API", tick-by form).
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+    }
+
+    /// Ticks by `n` API calls.
+    pub fn tick_by(&mut self, n: u64) {
+        self.ticks += n;
+    }
+
+    /// Advances the base to `predicted` (the paper's "ticking API",
+    /// tick-*to* form) — called when the dispatcher invokes an event at its
+    /// predicted time. Never moves backwards; resets the per-base tick
+    /// count so ticks measure "calls since the last event".
+    pub fn advance_to(&mut self, predicted: SimTime) {
+        let current = self.display();
+        if predicted > current {
+            self.base = predicted;
+            self.ticks = 0;
+        }
+    }
+
+    /// The displayed time (the paper's "displaying API").
+    #[must_use]
+    pub fn display(&self) -> SimTime {
+        self.base + self.tick_unit * self.ticks
+    }
+
+    /// The configured tick unit.
+    #[must_use]
+    pub fn tick_unit(&self) -> SimDuration {
+        self.tick_unit
+    }
+
+    /// API calls counted since the base last advanced.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> KernelClock {
+        KernelClock::new(SimDuration::from_micros(1))
+    }
+
+    #[test]
+    fn ticks_advance_display_linearly() {
+        let mut c = clock();
+        for i in 1..=10u64 {
+            c.tick();
+            assert_eq!(c.display(), SimTime::ZERO + SimDuration::from_micros(i));
+        }
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = clock();
+        c.advance_to(SimTime::from_millis(5));
+        assert_eq!(c.display(), SimTime::from_millis(5));
+        // Advancing backwards is ignored.
+        c.advance_to(SimTime::from_millis(3));
+        assert_eq!(c.display(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn advance_resets_tick_count() {
+        let mut c = clock();
+        c.tick_by(100);
+        c.advance_to(SimTime::from_millis(1));
+        assert_eq!(c.ticks(), 0);
+        assert_eq!(c.display(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn advance_to_respects_accumulated_ticks() {
+        let mut c = clock();
+        c.tick_by(2_000); // 2 ms of ticks
+        // Predicted time earlier than the displayed time must not rewind.
+        c.advance_to(SimTime::from_millis(1));
+        assert_eq!(c.display(), SimTime::ZERO + SimDuration::from_micros(2_000));
+    }
+
+    #[test]
+    fn displayed_duration_counts_calls_not_physical_time() {
+        // The clock-edge defense in one assertion: the observable span of a
+        // computation is tick_unit × calls, independent of anything else.
+        let mut c = clock();
+        let before = c.display();
+        for _ in 0..37 {
+            c.tick();
+        }
+        let after = c.display();
+        assert_eq!(after - before, SimDuration::from_micros(37));
+    }
+}

@@ -1,0 +1,785 @@
+//! The JSKernel mediator: the paper's kernel assembled.
+//!
+//! [`JsKernel`] implements the browser's [`jsk_browser::mediator::Mediator`]
+//! seam with the four kernel components of §III-A:
+//!
+//! * **kernel objects** — a per-thread [`KernelEventQueue`] and
+//!   [`KernelClock`];
+//! * **scheduler** — registration pushes a *pending* event with a
+//!   deterministic predicted time; confirmation flips it to *confirmed*;
+//! * **dispatcher** — releases confirmed events strictly in predicted
+//!   order, waiting whenever the head is still pending;
+//! * **thread manager** — kernel threads mirroring user workers, with
+//!   obligation tracking driven by the kernel-space message overlay
+//!   (Listing 4's `pendingChildFetch`/`confirmFetch` protocol).
+//!
+//! The policy engine decides every intercepted API call; the kernel clock
+//! makes every observable duration a function of API-call counts rather
+//! than physical time.
+
+use crate::comm::KernelMsg;
+use crate::config::KernelConfig;
+use crate::equeue::KernelEventQueue;
+use crate::interface::KernelInterface;
+use crate::kclock::KernelClock;
+use crate::kevent::{KEventStatus, KernelEvent};
+use crate::policy::PolicyEngine;
+use crate::stats::KernelStats;
+use crate::threads::{KThreadStatus, ThreadManager};
+use jsk_browser::event::{AsyncEventInfo, AsyncKind};
+use jsk_browser::ids::{EventToken, RequestId, ThreadId, WorkerId, MAIN_THREAD};
+use jsk_browser::mediator::{
+    ApiOutcome, ClockRead, ConfirmDecision, InterposeClass, Mediator, MediatorCtx,
+};
+use jsk_browser::trace::ApiCall;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Whether `JSK_DEBUG` tracing is enabled (checked once).
+fn debug_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("JSK_DEBUG").is_ok())
+}
+
+/// Per-thread kernel state: the thread's own event queue and clock
+/// (§III-E1: "a kernel thread maintains a separate event queue and clock
+/// from the main thread").
+#[derive(Debug)]
+struct ThreadKernel {
+    equeue: KernelEventQueue,
+    clock: KernelClock,
+}
+
+/// The JSKernel.
+pub struct JsKernel {
+    cfg: KernelConfig,
+    engine: PolicyEngine,
+    threads: ThreadManager,
+    interface: KernelInterface,
+    per_thread: HashMap<ThreadId, ThreadKernel>,
+    /// token → (thread, predicted) for dispatch-time clock advance.
+    token_info: HashMap<EventToken, (ThreadId, SimTime)>,
+    /// Predicted time of the task currently (or last) dispatched per
+    /// thread — the *causal* virtual time registrations inherit, so a
+    /// registration's prediction is a function of the event history that
+    /// caused it, never of physical durations.
+    task_base: HashMap<ThreadId, SimTime>,
+    /// The one event per thread that has been released to the browser's
+    /// event loop but has not started running yet. The dispatcher is
+    /// *serialized*: it releases the next event only after the previous
+    /// one's task body ran, so every registration that task makes (chained
+    /// timers, self-posted messages) is in the queue before the next
+    /// ordering decision — otherwise a later-predicted event could overtake
+    /// a chain's not-yet-registered successor.
+    inflight: HashMap<ThreadId, EventToken>,
+    /// Last predicted instant per stream — Listing 3's `predictOnMessage()`:
+    /// successive events of a periodic source form a deterministic
+    /// arithmetic ladder, so the number that fall into any observation
+    /// window never reflects physical durations. Keyed by (sender thread,
+    /// browsing context, receiver thread, class, period): different
+    /// channels and different pages never share a ladder, so one page's
+    /// traffic cannot shift another's slots.
+    stream_last: HashMap<(ThreadId, u32, ThreadId, &'static str, u64), SimTime>,
+    /// Fetches owned by workers, as learned from interceptions.
+    fetch_worker: HashMap<RequestId, WorkerId>,
+    /// Kernel-space messages observed (protocol statistics / tests).
+    kernel_msgs_seen: u64,
+    /// Main-side record of announced child fetches (Listing 4 state).
+    pending_child_fetches: HashMap<RequestId, WorkerId>,
+    /// Workers whose backing browser thread has not been announced yet
+    /// (CreateWorker interception precedes the thread spawn).
+    pending_bind: std::collections::VecDeque<WorkerId>,
+    /// Runtime counters.
+    stats: KernelStats,
+}
+
+impl std::fmt::Debug for JsKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsKernel")
+            .field("deterministic", &self.cfg.deterministic)
+            .field("policies", &self.engine.policies().len())
+            .field("threads", &self.per_thread.len())
+            .field("kernel_msgs_seen", &self.kernel_msgs_seen)
+            .finish()
+    }
+}
+
+impl Default for JsKernel {
+    fn default() -> Self {
+        Self::new(KernelConfig::full())
+    }
+}
+
+impl JsKernel {
+    /// Creates a kernel with the given configuration.
+    #[must_use]
+    pub fn new(cfg: KernelConfig) -> JsKernel {
+        let engine = PolicyEngine::new(cfg.policies.clone());
+        JsKernel {
+            engine,
+            threads: ThreadManager::new(),
+            interface: KernelInterface::standard(),
+            per_thread: HashMap::new(),
+            token_info: HashMap::new(),
+            fetch_worker: HashMap::new(),
+            kernel_msgs_seen: 0,
+            pending_child_fetches: HashMap::new(),
+            pending_bind: std::collections::VecDeque::new(),
+            stats: KernelStats::new(),
+            task_base: HashMap::new(),
+            inflight: HashMap::new(),
+            stream_last: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Predicts an event's invocation instant. One-shot kinds predict from
+    /// the kernel clock; periodic kinds (messages, intervals, frames, media
+    /// and CSS ticks) additionally ride a per-stream ladder so successive
+    /// predictions are exactly one quantum apart.
+    fn predict(&mut self, info: &AsyncEventInfo) -> SimTime {
+        let prediction = self.cfg.prediction;
+        let quantum = prediction.delay_for(&info.kind);
+        // Messages are predicted on the *sender's* kernel clock: Listing 3
+        // interposes `JSKernel_WorkerPostMessage` in the sending thread, so
+        // the prediction inherits the sender's deterministic timeline and a
+        // busy receiver cannot imprint physical durations on it.
+        let clock_thread = match info.kind {
+            AsyncKind::Message { from } => from,
+            _ => info.thread,
+        };
+        // Tick the clock so same-task registrations stay strictly ordered.
+        self.tk(clock_thread).clock.tick();
+        // The causal base: the predicted time of the task making the
+        // registration. Using the thread-global clock here would let
+        // *other* streams' dispatches (which advance that clock) imprint
+        // physical interleavings on this stream's predictions.
+        let causal = self
+            .task_base
+            .get(&clock_thread)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            + SimDuration::from_nanos(self.tk(clock_thread).clock.ticks());
+        let base = causal + quantum;
+        let key = |label: &'static str| {
+            (clock_thread, info.context, info.thread, label, quantum.as_nanos())
+        };
+        match info.kind {
+            // Browser-driven re-arms: the previous firing *is* the cause, so
+            // the ladder is purely arithmetic after the first event.
+            AsyncKind::Interval { .. } | AsyncKind::Media | AsyncKind::CssTick => {
+                let label = match info.kind {
+                    AsyncKind::Interval { .. } => "interval",
+                    AsyncKind::Media => "media",
+                    _ => "css",
+                };
+                let k = key(label);
+                let predicted = match self.stream_last.get(&k) {
+                    Some(&last) => last + quantum,
+                    None => base,
+                };
+                self.stream_last.insert(k, predicted);
+                predicted
+            }
+            // Task-driven streams: causal base, floored by the stream
+            // ladder so same-task bursts spread one quantum apart.
+            AsyncKind::Message { .. } | AsyncKind::Raf | AsyncKind::Timeout { .. } => {
+                let label = match info.kind {
+                    AsyncKind::Message { .. } => "message",
+                    AsyncKind::Raf => "raf",
+                    _ => "timeout",
+                };
+                let k = key(label);
+                let predicted = match self.stream_last.get(&k) {
+                    Some(&last) => base.max(last + quantum),
+                    None => base,
+                };
+                self.stream_last.insert(k, predicted);
+                predicted
+            }
+            AsyncKind::Net { .. } | AsyncKind::Idb => base,
+        }
+    }
+
+    /// The kernel interface table (for §VI robustness checks).
+    #[must_use]
+    pub fn interface(&self) -> &KernelInterface {
+        &self.interface
+    }
+
+    /// The kernel thread manager (read-only view).
+    #[must_use]
+    pub fn thread_manager(&self) -> &ThreadManager {
+        &self.threads
+    }
+
+    /// Number of kernel-space overlay messages processed.
+    #[must_use]
+    pub fn kernel_messages_seen(&self) -> u64 {
+        self.kernel_msgs_seen
+    }
+
+    /// Runtime counters (scheduling pressure, policy denials, …).
+    #[must_use]
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Advances a thread's kernel clock to an external timeline value —
+    /// the §III-E2 clock-exchange primitive. DeterFox-style defenses use
+    /// this to resynchronize a context's clock at context switches (which
+    /// is exactly the cross-context leak Loopscan exploits).
+    pub fn resync_clock(&mut self, thread: ThreadId, at: SimTime) {
+        self.tk(thread).clock.advance_to(at);
+    }
+
+    fn tk(&mut self, thread: ThreadId) -> &mut ThreadKernel {
+        self.per_thread.entry(thread).or_insert_with(|| ThreadKernel {
+            equeue: KernelEventQueue::new(),
+            clock: KernelClock::new(self.cfg.tick_unit),
+        })
+    }
+
+    /// Releases at most one dispatchable head event on `thread` (the
+    /// serialized dispatcher). If the released event is `just_confirmed`,
+    /// its decision is returned (it is not yet in the browser's withheld
+    /// set); otherwise it is released via a ctx op.
+    fn dispatch(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        thread: ThreadId,
+        just_confirmed: Option<EventToken>,
+    ) -> ConfirmDecision {
+        let now = ctx.now;
+        if self.inflight.contains_key(&thread) {
+            return ConfirmDecision::Withhold;
+        }
+        let mut waited_behind_pending = false;
+        let mut deferred = false;
+        let tk = self.tk(thread);
+        // Discard cancelled heads; stop at a pending head. A confirmed head
+        // whose predicted instant is still in the future is *not* released
+        // yet: the decision is deferred to that instant (via a tick), by
+        // which time every event predicted earlier has had a chance to
+        // register — releasing early would let this event overtake an
+        // earlier-predicted reply still in flight on another thread.
+        let head = loop {
+            match tk.equeue.top() {
+                None => break None,
+                Some(e) => match e.status {
+                    KEventStatus::Pending => {
+                        waited_behind_pending = true;
+                        break None;
+                    }
+                    KEventStatus::Cancelled | KEventStatus::Dispatched => {
+                        tk.equeue.pop();
+                    }
+                    KEventStatus::Confirmed => {
+                        if e.predicted > now {
+                            deferred = true;
+                            ctx.schedule_tick(thread, e.predicted);
+                            break None;
+                        }
+                        let mut e = tk.equeue.pop().expect("top exists");
+                        e.status = KEventStatus::Dispatched;
+                        break Some(e);
+                    }
+                },
+            }
+        };
+        if waited_behind_pending {
+            self.stats.withheld_behind_pending += 1;
+        }
+        if deferred {
+            self.stats.deferred_to_prediction += 1;
+        }
+        let Some(head) = head else {
+            return ConfirmDecision::Withhold;
+        };
+        if debug_enabled() {
+            eprintln!(
+                "[rel] {} tok={} pred={} at={}",
+                head.kind.label(),
+                head.token.index(),
+                head.predicted,
+                now
+            );
+        }
+        // now ≥ predicted here: the event runs at the scheduler's pace
+        // (§III-D3, "following the time sequence determined by the
+        // scheduler").
+        self.stats.dispatched += 1;
+        self.inflight.insert(thread, head.token);
+        if Some(head.token) == just_confirmed {
+            ConfirmDecision::InvokeAt(now)
+        } else {
+            ctx.release(head.token, now);
+            ConfirmDecision::Withhold
+        }
+    }
+
+    fn settle_fetch(&mut self, ctx: &mut MediatorCtx<'_>, req: RequestId) {
+        self.threads.settle_fetch(req);
+        self.pending_child_fetches.remove(&req);
+        if let Some(worker) = self.fetch_worker.remove(&req) {
+            if let Some(t) = self.threads.get(worker) {
+                let from = t.kernel_worker;
+                // Worker-side kernel → main-side kernel: the fetch settled.
+                ctx.kernel_send(
+                    from,
+                    MAIN_THREAD,
+                    KernelMsg::FetchSettled { req, worker }.encode(),
+                    ctx.now + self.cfg.kernel_channel_latency,
+                );
+            }
+        }
+    }
+}
+
+impl Mediator for JsKernel {
+    fn name(&self) -> &str {
+        "jskernel"
+    }
+
+    fn on_thread_started(&mut self, _ctx: &mut MediatorCtx<'_>, thread: ThreadId, is_worker: bool) {
+        self.tk(thread);
+        if is_worker {
+            // Thread creation is synchronous after the CreateWorker
+            // interception, so bindings resolve in FIFO order.
+            if let Some(worker) = self.pending_bind.pop_front() {
+                self.threads.bind(worker, thread);
+            }
+        }
+    }
+
+    fn read_clock(&mut self, _ctx: &mut MediatorCtx<'_>, read: ClockRead) -> SimTime {
+        if !self.cfg.deterministic {
+            return read.native_display();
+        }
+        let precision = self.cfg.display_precision;
+        let tk = self.tk(read.thread);
+        // The paper's clock "ticks based on specific API calls": reading it
+        // is itself an API call.
+        tk.clock.tick();
+        tk.clock.display().quantize_down(precision)
+    }
+
+    fn on_register(&mut self, _ctx: &mut MediatorCtx<'_>, info: &AsyncEventInfo) {
+        if !self.cfg.deterministic {
+            return;
+        }
+        let predicted = self.predict(info);
+        self.stats.registered += 1;
+        if debug_enabled() {
+            eprintln!(
+                "[reg] {} tok={} thread={} pred={}",
+                info.kind.label(),
+                info.token.index(),
+                info.thread.index(),
+                predicted
+            );
+        }
+        self.tk(info.thread)
+            .equeue
+            .push(KernelEvent::pending(info.token, info.thread, info.kind, predicted));
+        self.token_info.insert(info.token, (info.thread, predicted));
+    }
+
+    fn on_confirm(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        info: &AsyncEventInfo,
+        raw_fire: SimTime,
+    ) -> ConfirmDecision {
+        // Network confirmations settle kernel fetch obligations regardless
+        // of scheduling mode.
+        if let AsyncKind::Net { req, .. } = info.kind {
+            self.settle_fetch(ctx, req);
+        }
+        if !self.cfg.deterministic {
+            return ConfirmDecision::InvokeAt(raw_fire);
+        }
+        self.stats.confirmed += 1;
+        if let Some(e) = self.tk(info.thread).equeue.lookup_mut(info.token) {
+            if e.status == KEventStatus::Pending {
+                e.status = KEventStatus::Confirmed;
+            }
+        } else {
+            // Unknown to the kernel (registered before the kernel attached):
+            // fall back to raw behaviour.
+            return ConfirmDecision::InvokeAt(raw_fire);
+        }
+        self.dispatch(ctx, info.thread, Some(info.token))
+    }
+
+    fn on_cancel(&mut self, ctx: &mut MediatorCtx<'_>, token: EventToken) {
+        let Some(&(thread, _)) = self.token_info.get(&token) else {
+            return;
+        };
+        if let Some(e) = self.tk(thread).equeue.lookup_mut(token) {
+            // §III-D2: pending or confirmed events are marked cancelled;
+            // already-dispatched events ignore the request.
+            if e.is_live() {
+                e.status = KEventStatus::Cancelled;
+                self.stats.cancelled += 1;
+            }
+        }
+        self.token_info.remove(&token);
+        // A cancelled head may unblock confirmed events behind it.
+        let _ = self.dispatch(ctx, thread, None);
+    }
+
+    fn on_task_dispatched(
+        &mut self,
+        _ctx: &mut MediatorCtx<'_>,
+        thread: ThreadId,
+        token: Option<EventToken>,
+        _context: u32,
+    ) {
+
+        if !self.cfg.deterministic {
+            return;
+        }
+        if let Some(t) = token {
+            if self.inflight.get(&thread) == Some(&t) {
+                self.inflight.remove(&thread);
+                // Re-drain only after this task's body has run (the tick
+                // event processes after the current browser event), so the
+                // task's own registrations take part in the next ordering
+                // decision.
+                _ctx.schedule_tick(thread, _ctx.now);
+            }
+            if let Some((tid, predicted)) = self.token_info.remove(&t) {
+                debug_assert_eq!(tid, thread, "event dispatched on the wrong thread");
+                self.task_base.insert(thread, predicted);
+                self.tk(thread).clock.advance_to(predicted);
+                return;
+            }
+        }
+        self.tk(thread).clock.tick();
+    }
+
+    fn on_api(&mut self, ctx: &mut MediatorCtx<'_>, call: &ApiCall) -> ApiOutcome {
+        // Thread-manager bookkeeping first (facts the policies rely on).
+        match call {
+            ApiCall::CreateWorker { parent, worker, src, .. } => {
+                // The kernel thread object is created here; its backing
+                // browser thread is learned from on_thread_started order —
+                // we record with the parent and fix up below via
+                // ThreadSource messages in tests. The browser thread id for
+                // real workers is parent-count-based; we instead learn it
+                // lazily on the first Fetch from that thread.
+                self.threads.register(*worker, ThreadId::new(u64::MAX), *parent, src.clone());
+                self.pending_bind.push_back(*worker);
+                // §III-E2: pass the thread source over the kernel channel.
+                ctx.kernel_send(
+                    *parent,
+                    *parent,
+                    KernelMsg::ThreadSource { worker: *worker, src: src.clone() }.encode(),
+                    ctx.now + self.cfg.kernel_channel_latency,
+                );
+            }
+            ApiCall::Fetch { thread, req, .. } => {
+                // Learn worker↔thread bindings lazily and record the
+                // obligation (Listing 4: pendingChildFetch).
+                if let Some(kt) = self.threads.by_thread_mut(*thread) {
+                    kt.pending_fetches.insert(*req);
+                    let worker = kt.worker;
+                    self.fetch_worker.insert(*req, worker);
+                    ctx.kernel_send(
+                        *thread,
+                        MAIN_THREAD,
+                        KernelMsg::PendingChildFetch { req: *req, worker }.encode(),
+                        ctx.now + self.cfg.kernel_channel_latency,
+                    );
+                }
+            }
+            ApiCall::TerminateWorker { worker, .. } => {
+                if let Some(kt) = self.threads.get_mut(*worker) {
+                    kt.status = KThreadStatus::UserClosed;
+                }
+            }
+            _ => {}
+        }
+        self.stats.api_calls += 1;
+        let (outcome, rule) = self.engine.decide(call, &self.threads);
+        if matches!(outcome, ApiOutcome::Deny { .. }) {
+            if let Some(r) = rule {
+                self.stats.record_denial(r);
+            }
+        }
+        outcome
+    }
+
+    fn on_tick(&mut self, ctx: &mut MediatorCtx<'_>, thread: ThreadId) {
+        if self.cfg.deterministic {
+            let _ = self.dispatch(ctx, thread, None);
+        }
+    }
+
+    fn on_kernel_message(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        from: ThreadId,
+        _to: ThreadId,
+        payload: &JsValue,
+    ) {
+        let Some(msg) = KernelMsg::decode(payload) else {
+            return;
+        };
+        self.kernel_msgs_seen += 1;
+        self.stats.kernel_messages += 1;
+        match msg {
+            KernelMsg::PendingChildFetch { req, worker } => {
+                // Main-side kernel records the obligation and confirms
+                // receipt (Listing 4's confirmFetch).
+                self.pending_child_fetches.insert(req, worker);
+                ctx.kernel_send(
+                    MAIN_THREAD,
+                    from,
+                    KernelMsg::ConfirmFetch { req }.encode(),
+                    ctx.now + self.cfg.kernel_channel_latency,
+                );
+            }
+            KernelMsg::ConfirmFetch { .. } => {
+                // Worker-side kernel: the main kernel acknowledged.
+            }
+            KernelMsg::FetchSettled { req, .. } => {
+                self.pending_child_fetches.remove(&req);
+            }
+            KernelMsg::CleanWorker { worker } => {
+                if self.threads.safe_to_close(worker) {
+                    if let Some(kt) = self.threads.get_mut(worker) {
+                        kt.status = KThreadStatus::Closed;
+                    }
+                }
+            }
+            KernelMsg::ClockSync { kclock_ns } => {
+                // §III-E2: clock exchange — never let a thread's kernel
+                // clock fall behind a peer's announcement.
+                let tk = self.tk(from);
+                tk.clock.advance_to(SimTime::from_nanos(kclock_ns));
+            }
+            KernelMsg::ThreadSource { worker, src } => {
+                if let Some(kt) = self.threads.get_mut(worker) {
+                    kt.src = src;
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn freeze_sab_reads(&self) -> bool {
+        self.cfg.deterministic
+    }
+
+    fn interposition_cost(&self, class: InterposeClass) -> SimDuration {
+        match class {
+            InterposeClass::Clock => self.cfg.costs.clock,
+            InterposeClass::Timer => self.cfg.costs.timer,
+            InterposeClass::Message => self.cfg.costs.message,
+            InterposeClass::Worker => self.cfg.costs.worker,
+            InterposeClass::Net => self.cfg.costs.net,
+            InterposeClass::Dom => self.cfg.costs.dom,
+            InterposeClass::Sab => self.cfg.costs.sab,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_sim::rng::SimRng;
+
+    fn info(token: u64, thread: u64, kind: AsyncKind) -> AsyncEventInfo {
+        AsyncEventInfo {
+            token: EventToken::new(token),
+            thread: ThreadId::new(thread),
+            kind,
+            registered_at: SimTime::ZERO,
+            doc_generation: 0,
+            context: 0,
+        }
+    }
+
+    #[test]
+    fn confirmed_events_wait_for_pending_heads() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        // Register a message (predicted +1 ms) then a raf (predicted +10 ms).
+        let msg = info(1, 0, AsyncKind::Message { from: ThreadId::new(1) });
+        let raf = info(2, 0, AsyncKind::Raf);
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &msg);
+            k.on_register(&mut ctx, &raf);
+        }
+        // The raf's raw trigger fires *first* physically — it must be
+        // withheld because the earlier-predicted message is still pending.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(16), &mut rng);
+        let d = k.on_confirm(&mut ctx, &raf, SimTime::from_millis(16));
+        assert_eq!(d, ConfirmDecision::Withhold);
+        assert!(ctx.into_ops().is_empty());
+        // When the message confirms, it dispatches immediately; the raf is
+        // still held — the serialized dispatcher releases the next event
+        // only after the message's task body has run.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(20), &mut rng);
+        let d = k.on_confirm(&mut ctx, &msg, SimTime::from_millis(20));
+        let ConfirmDecision::InvokeAt(msg_at) = d else {
+            panic!("message should dispatch immediately")
+        };
+        assert!(ctx.into_ops().is_empty(), "raf held until the message ran");
+        // The message's task runs; the post-task tick re-drains and only
+        // then releases the raf.
+        let mut ctx = MediatorCtx::new(msg_at, &mut rng);
+        k.on_task_dispatched(&mut ctx, ThreadId::new(0), Some(EventToken::new(1)), 0);
+        let _ = ctx.into_ops(); // carries the scheduled tick
+        let mut ctx = MediatorCtx::new(msg_at, &mut rng);
+        k.on_tick(&mut ctx, ThreadId::new(0));
+        let ops = ctx.into_ops();
+        assert!(
+            ops.iter().any(|op| matches!(
+                op,
+                jsk_browser::mediator::MediatorOp::Release { token, .. }
+                if *token == EventToken::new(2)
+            )),
+            "raf released after the message ran: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn in_order_confirmations_dispatch_immediately() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let msg = info(1, 0, AsyncKind::Message { from: ThreadId::new(1) });
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &msg);
+        }
+        // Confirm after the predicted instant has passed: dispatches at once.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(2), &mut rng);
+        let d = k.on_confirm(&mut ctx, &msg, SimTime::from_millis(2));
+        assert!(matches!(d, ConfirmDecision::InvokeAt(_)));
+        // An early confirmation is deferred to the predicted instant via a
+        // scheduled tick instead.
+        let early = info(9, 3, AsyncKind::Message { from: ThreadId::new(1) });
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &early);
+        }
+        let mut ctx = MediatorCtx::new(SimTime::from_micros(100), &mut rng);
+        let d = k.on_confirm(&mut ctx, &early, SimTime::from_micros(100));
+        assert_eq!(d, ConfirmDecision::Withhold);
+        let ops = ctx.into_ops();
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            jsk_browser::mediator::MediatorOp::ScheduleTick { .. }
+        )));
+    }
+
+    #[test]
+    fn cancelled_head_unblocks_followers() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let first = info(1, 0, AsyncKind::Message { from: ThreadId::new(1) });
+        let second = info(2, 0, AsyncKind::Raf);
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &first);
+            k.on_register(&mut ctx, &second);
+        }
+        // Confirm the raf (withheld behind the pending message), then
+        // cancel the message.
+        {
+            let mut ctx = MediatorCtx::new(SimTime::from_millis(16), &mut rng);
+            assert_eq!(
+                k.on_confirm(&mut ctx, &second, SimTime::from_millis(16)),
+                ConfirmDecision::Withhold
+            );
+        }
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(17), &mut rng);
+        k.on_cancel(&mut ctx, EventToken::new(1));
+        let ops = ctx.into_ops();
+        assert!(
+            ops.iter().any(|op| matches!(
+                op,
+                jsk_browser::mediator::MediatorOp::Release { token, .. }
+                if *token == EventToken::new(2)
+            )),
+            "raf must be released after the head cancels: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_clock_reads_are_physical_time_independent() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let mut read_at = |k: &mut JsKernel, raw_ms: u64| {
+            let mut ctx = MediatorCtx::new(SimTime::from_millis(raw_ms), &mut rng);
+            k.read_clock(
+                &mut ctx,
+                ClockRead {
+                    thread: ThreadId::new(0),
+                    kind: jsk_browser::mediator::ClockKind::PerformanceNow,
+                    raw: SimTime::from_millis(raw_ms),
+                    native_precision: SimDuration::from_micros(5),
+                },
+            )
+        };
+        let a = read_at(&mut k, 100);
+        let b = read_at(&mut k, 900);
+        // 800 ms of physical time passed; the kernel clock moved one tick.
+        assert!(b - a <= SimDuration::from_micros(10), "moved {:?}", b - a);
+    }
+
+    #[test]
+    fn nondeterministic_mode_passes_clock_through() {
+        let mut k = JsKernel::new(KernelConfig::cve_only());
+        let mut rng = SimRng::new(0);
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(5), &mut rng);
+        let read = ClockRead {
+            thread: ThreadId::new(0),
+            kind: jsk_browser::mediator::ClockKind::PerformanceNow,
+            raw: SimTime::from_nanos(5_432_100),
+            native_precision: SimDuration::from_micros(5),
+        };
+        assert_eq!(k.read_clock(&mut ctx, read), SimTime::from_nanos(5_430_000));
+    }
+
+    #[test]
+    fn kernel_message_protocol_round_trip() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(1), &mut rng);
+        let msg = KernelMsg::PendingChildFetch {
+            req: RequestId::new(3),
+            worker: WorkerId::new(0),
+        }
+        .encode();
+        k.on_kernel_message(&mut ctx, ThreadId::new(1), MAIN_THREAD, &msg);
+        assert_eq!(k.kernel_messages_seen(), 1);
+        // The main-side kernel answers with confirmFetch.
+        let ops = ctx.into_ops();
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            jsk_browser::mediator::MediatorOp::KernelSend { payload, .. }
+            if matches!(KernelMsg::decode(payload), Some(KernelMsg::ConfirmFetch { .. }))
+        )));
+        // User traffic is ignored.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(2), &mut rng);
+        k.on_kernel_message(&mut ctx, ThreadId::new(1), MAIN_THREAD, &JsValue::from(1.0));
+        assert_eq!(k.kernel_messages_seen(), 1);
+    }
+}
+

@@ -1,0 +1,329 @@
+//! The manually-specified per-CVE policies (paper §II-B2, §IV-B).
+//!
+//! Each policy models the interplay of the vulnerability's triggering
+//! conditions, exactly as the paper describes writing them: "An expert reads
+//! and understands the exploit code … to extract the critical triggering
+//! conditions … and writes the policy to model the interplay between these
+//! triggering conditions." The trigger models are documented per CVE in
+//! DESIGN.md §4.
+
+use crate::policy::spec::{ApiSelector, Condition, PolicyAction, PolicyRule, PolicySpec};
+
+fn rule(id: &str, on: ApiSelector, when: Condition, action: PolicyAction) -> PolicyRule {
+    PolicyRule { id: id.to_owned(), on, when, action }
+}
+
+fn deny(reason: &str) -> PolicyAction {
+    PolicyAction::Deny { reason: reason.to_owned() }
+}
+
+/// CVE-2018-5092 (Listing 4): a use-after-free where an abort signal
+/// reaches a fetch freed by a false worker termination.
+#[must_use]
+pub fn cve_2018_5092() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2018-5092".into(),
+        description: "track pending child fetches; keep the kernel worker \
+                      alive until they settle; never deliver aborts to \
+                      requests whose owner is gone"
+            .into(),
+        scheduling: None,
+        rules: vec![
+            rule(
+                "2018-5092/defer-termination-with-pending-fetch",
+                ApiSelector::TerminateWorker,
+                Condition { has_pending_fetches: Some(true), ..Condition::default() },
+                PolicyAction::DeferTermination,
+            ),
+            rule(
+                "2018-5092/suppress-abort-to-dead-owner",
+                ApiSelector::DeliverAbort,
+                Condition { owner_alive: Some(false), ..Condition::default() },
+                deny("abort target was freed; suppressing use-after-free"),
+            ),
+            rule(
+                "2018-5092/clean-close",
+                ApiSelector::CloseDocument,
+                Condition::default(),
+                PolicyAction::CancelDocBound,
+            ),
+        ],
+    }
+}
+
+/// CVE-2017-7843: IndexedDB access in private browsing must not persist.
+#[must_use]
+pub fn cve_2017_7843() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2017-7843".into(),
+        description: "deny durable indexedDB in private mode to obey the \
+                      mode's specification"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2017-7843/no-private-persist",
+            ApiSelector::IdbOpen,
+            Condition { private_mode: Some(true), persist: Some(true), ..Condition::default() },
+            deny("indexedDB persistence denied in private browsing"),
+        )],
+    }
+}
+
+/// CVE-2015-7215: `importScripts()` error messages leak cross-origin data.
+#[must_use]
+pub fn cve_2015_7215() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2015-7215".into(),
+        description: "sanitize importScripts error messages by throwing a \
+                      new message without cross-origin information"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2015-7215/sanitize-import-error",
+            ApiSelector::ErrorEvent,
+            Condition { leaks_cross_origin: Some(true), ..Condition::default() },
+            PolicyAction::SanitizeError { replacement: "Script error.".into() },
+        )],
+    }
+}
+
+/// CVE-2014-3194: a worker posts to a message port whose owning document
+/// was freed.
+#[must_use]
+pub fn cve_2014_3194() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2014-3194".into(),
+        description: "drop messages addressed to freed documents; clean up \
+                      ports on navigation"
+            .into(),
+        scheduling: None,
+        rules: vec![
+            rule(
+                "2014-3194/drop-message-to-freed-doc",
+                ApiSelector::PostMessage,
+                Condition { to_doc_freed: Some(true), ..Condition::default() },
+                deny("receiving document was freed"),
+            ),
+            rule(
+                "2014-3194/clean-navigate",
+                ApiSelector::Navigate,
+                Condition::default(),
+                PolicyAction::CancelDocBound,
+            ),
+        ],
+    }
+}
+
+/// CVE-2014-1719: a worker terminated while its message is mid-dispatch on
+/// the owner thread.
+#[must_use]
+pub fn cve_2014_1719() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2014-1719".into(),
+        description: "defer termination until the in-flight dispatch \
+                      completes"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2014-1719/defer-termination-mid-dispatch",
+            ApiSelector::TerminateWorker,
+            Condition { during_dispatch: Some(true), ..Condition::default() },
+            PolicyAction::DeferTermination,
+        )],
+    }
+}
+
+/// CVE-2014-1488: a worker's transferred ArrayBuffer is freed when the
+/// worker terminates.
+#[must_use]
+pub fn cve_2014_1488() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2014-1488".into(),
+        description: "if the worker passed a transferable object, terminate \
+                      it only at the user level; the kernel maintains the \
+                      worker to avoid the triggering condition"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2014-1488/defer-termination-with-live-transfers",
+            ApiSelector::TerminateWorker,
+            Condition { has_live_transfers: Some(true), ..Condition::default() },
+            PolicyAction::DeferTermination,
+        )],
+    }
+}
+
+/// CVE-2014-1487: cross-origin information disclosure in worker-creation
+/// error messages.
+#[must_use]
+pub fn cve_2014_1487() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2014-1487".into(),
+        description: "sanitize the error message of the onerror callback"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2014-1487/sanitize-worker-error",
+            ApiSelector::ErrorEvent,
+            Condition { leaks_cross_origin: Some(true), ..Condition::default() },
+            PolicyAction::SanitizeError { replacement: "Script error.".into() },
+        )],
+    }
+}
+
+/// CVE-2013-6646: worker-message callbacks run against a closed window's
+/// freed global.
+#[must_use]
+pub fn cve_2013_6646() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2013-6646".into(),
+        description: "drain or cancel queued worker messages before the \
+                      document closes"
+            .into(),
+        scheduling: None,
+        // Unconditional: worker messages can be in flight (registered but
+        // not yet queued) and invisible to the queue count at close time.
+        rules: vec![rule(
+            "2013-6646/clean-close",
+            ApiSelector::CloseDocument,
+            Condition::default(),
+            PolicyAction::CancelDocBound,
+        )],
+    }
+}
+
+/// CVE-2013-5602: null dereference when assigning `onmessage` on a closing
+/// worker.
+#[must_use]
+pub fn cve_2013_5602() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2013-5602".into(),
+        description: "hook the onmessage setter; drop assignments on \
+                      closing workers"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2013-5602/drop-assignment-on-closing-worker",
+            ApiSelector::SetOnMessage,
+            Condition {
+                assigns_worker_handler: Some(true),
+                worker_closing: Some(true),
+                ..Condition::default()
+            },
+            PolicyAction::DropQuietly,
+        )],
+    }
+}
+
+/// CVE-2013-1714: worker XHR bypasses the same-origin policy.
+#[must_use]
+pub fn cve_2013_1714() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2013-1714".into(),
+        description: "check the origins for all the requests coming from a \
+                      web worker"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2013-1714/enforce-sop-in-workers",
+            ApiSelector::XhrSend,
+            Condition { from_worker: Some(true), cross_origin: Some(true), ..Condition::default() },
+            deny("cross-origin request from worker blocked by kernel SOP check"),
+        )],
+    }
+}
+
+/// CVE-2011-1190: workers created from sandboxed frames inherit the parent
+/// origin.
+#[must_use]
+pub fn cve_2011_1190() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2011-1190".into(),
+        description: "force an opaque origin on workers created by \
+                      sandboxed contexts"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2011-1190/opaque-origin-for-sandboxed-creators",
+            ApiSelector::CreateWorker,
+            Condition { sandboxed: Some(true), ..Condition::default() },
+            PolicyAction::OpaqueOrigin,
+        )],
+    }
+}
+
+/// CVE-2010-4576: document navigated away while an operation is in flight;
+/// the completion touches the freed document.
+#[must_use]
+pub fn cve_2010_4576() -> PolicySpec {
+    PolicySpec {
+        name: "policy_cve-2010-4576".into(),
+        description: "cancel document-bound completions on navigation"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "2010-4576/cancel-doc-bound-on-navigate",
+            ApiSelector::Navigate,
+            Condition::default(),
+            PolicyAction::CancelDocBound,
+        )],
+    }
+}
+
+/// All twelve per-CVE policies of Table I, in the table's order.
+#[must_use]
+pub fn all_cve_policies() -> Vec<PolicySpec> {
+    vec![
+        cve_2018_5092(),
+        cve_2017_7843(),
+        cve_2015_7215(),
+        cve_2014_3194(),
+        cve_2014_1719(),
+        cve_2014_1488(),
+        cve_2014_1487(),
+        cve_2013_6646(),
+        cve_2013_5602(),
+        cve_2013_1714(),
+        cve_2011_1190(),
+        cve_2010_4576(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_twelve_policies_with_unique_names() {
+        let all = all_cve_policies();
+        assert_eq!(all.len(), 12);
+        let names: std::collections::HashSet<_> = all.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn every_policy_round_trips_through_json() {
+        for p in all_cve_policies() {
+            let back = PolicySpec::from_json(&p.to_json()).unwrap();
+            assert_eq!(p, back, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn every_policy_has_at_least_one_rule_and_no_scheduling() {
+        for p in all_cve_policies() {
+            assert!(!p.rules.is_empty(), "{}", p.name);
+            assert!(p.scheduling.is_none(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn rule_ids_reference_their_cve() {
+        for p in all_cve_policies() {
+            let cve = p.name.trim_start_matches("policy_cve-");
+            for r in &p.rules {
+                assert!(r.id.starts_with(cve), "{} rule {}", p.name, r.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Security policies (paper §II-B): JSON-representable specs, the twelve
+//! manually-written per-CVE policies, the general deterministic scheduling
+//! policy, and the engine that matches intercepted calls against them.
+
+pub mod cve;
+pub mod engine;
+pub mod spec;
+pub mod synth;
+
+pub use engine::PolicyEngine;
+pub use synth::synthesize;
+pub use spec::{ApiSelector, CallFacts, Condition, PolicyAction, PolicyRule, PolicySpec};
+
+use crate::scheduler::PredictionConfig;
+
+/// The general deterministic scheduling policy of Listing 3: no API rules,
+/// just the deterministic prediction component.
+#[must_use]
+pub fn deterministic_policy() -> PolicySpec {
+    PolicySpec {
+        name: "policy_deterministic".into(),
+        description: "arrange all asynchronous events in a deterministic \
+                      order: push a pending event with a predicted time at \
+                      registration, confirm on the real trigger, dispatch \
+                      strictly in predicted order"
+            .into(),
+        scheduling: Some(PredictionConfig::default()),
+        rules: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_policy_is_scheduling_only() {
+        let p = deterministic_policy();
+        assert!(p.scheduling.is_some());
+        assert!(p.rules.is_empty());
+        let back = PolicySpec::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,288 @@
+//! Security policy representation (paper §II-B).
+//!
+//! "A security policy in JSKERNEL, represented in a JSON format, …
+//! specifies the corresponding functions to be invoked for a user-space
+//! function call in either the main or the worker thread."
+//!
+//! A [`PolicySpec`] is a named bundle of [`PolicyRule`]s (each an API
+//! selector, a condition, and an action) plus an optional scheduling
+//! component (the general deterministic policy of Listing 3 is a scheduling
+//! policy with no API rules; the per-CVE policies of Listing 4 are API
+//! rules with no scheduling component). Policies serialize to and from
+//! JSON via serde.
+
+use crate::scheduler::PredictionConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which intercepted API call a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ApiSelector {
+    /// `new Worker(...)`.
+    CreateWorker,
+    /// Worker teardown.
+    TerminateWorker,
+    /// `postMessage`.
+    PostMessage,
+    /// `onmessage` setter assignments.
+    SetOnMessage,
+    /// `fetch`.
+    Fetch,
+    /// Abort-signal delivery.
+    DeliverAbort,
+    /// `XMLHttpRequest.send`.
+    XhrSend,
+    /// `importScripts`.
+    ImportScripts,
+    /// Error-event delivery.
+    ErrorEvent,
+    /// `indexedDB.open`.
+    IdbOpen,
+    /// Document navigation.
+    Navigate,
+    /// Document close.
+    CloseDocument,
+    /// `ArrayBuffer` access.
+    BufferAccess,
+}
+
+/// The condition under which a rule fires. Every field is optional; all
+/// present fields must match the call's extracted facts (conjunction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Condition {
+    /// The call originates in a worker thread.
+    pub from_worker: Option<bool>,
+    /// The target URL is cross-origin.
+    pub cross_origin: Option<bool>,
+    /// The creating context is sandboxed.
+    pub sandboxed: Option<bool>,
+    /// The worker being assigned to is closing.
+    pub worker_closing: Option<bool>,
+    /// The assignment targets a `Worker` object's handler (not `self`).
+    pub assigns_worker_handler: Option<bool>,
+    /// The owner thread is mid-dispatch of this worker's message.
+    pub during_dispatch: Option<bool>,
+    /// The worker has live transferred buffers.
+    pub has_live_transfers: Option<bool>,
+    /// The worker has fetches in flight.
+    pub has_pending_fetches: Option<bool>,
+    /// The request's owner thread is still alive.
+    pub owner_alive: Option<bool>,
+    /// The receiving document has been freed.
+    pub to_doc_freed: Option<bool>,
+    /// The session is in private-browsing mode.
+    pub private_mode: Option<bool>,
+    /// The call requests durable persistence.
+    pub persist: Option<bool>,
+    /// The error message embeds cross-origin information.
+    pub leaks_cross_origin: Option<bool>,
+    /// Worker-message tasks are still queued on the closing thread.
+    pub has_pending_worker_messages: Option<bool>,
+}
+
+/// Concrete facts extracted from one intercepted call, matched against
+/// [`Condition`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CallFacts {
+    /// See [`Condition::from_worker`].
+    pub from_worker: bool,
+    /// See [`Condition::cross_origin`].
+    pub cross_origin: bool,
+    /// See [`Condition::sandboxed`].
+    pub sandboxed: bool,
+    /// See [`Condition::worker_closing`].
+    pub worker_closing: bool,
+    /// See [`Condition::assigns_worker_handler`].
+    pub assigns_worker_handler: bool,
+    /// See [`Condition::during_dispatch`].
+    pub during_dispatch: bool,
+    /// See [`Condition::has_live_transfers`].
+    pub has_live_transfers: bool,
+    /// See [`Condition::has_pending_fetches`].
+    pub has_pending_fetches: bool,
+    /// See [`Condition::owner_alive`].
+    pub owner_alive: bool,
+    /// See [`Condition::to_doc_freed`].
+    pub to_doc_freed: bool,
+    /// See [`Condition::private_mode`].
+    pub private_mode: bool,
+    /// See [`Condition::persist`].
+    pub persist: bool,
+    /// See [`Condition::leaks_cross_origin`].
+    pub leaks_cross_origin: bool,
+    /// See [`Condition::has_pending_worker_messages`].
+    pub has_pending_worker_messages: bool,
+}
+
+impl Condition {
+    /// Whether all present fields match `facts`.
+    #[must_use]
+    pub fn matches(&self, facts: &CallFacts) -> bool {
+        fn ok(cond: Option<bool>, fact: bool) -> bool {
+            cond.is_none_or(|c| c == fact)
+        }
+        ok(self.from_worker, facts.from_worker)
+            && ok(self.cross_origin, facts.cross_origin)
+            && ok(self.sandboxed, facts.sandboxed)
+            && ok(self.worker_closing, facts.worker_closing)
+            && ok(self.assigns_worker_handler, facts.assigns_worker_handler)
+            && ok(self.during_dispatch, facts.during_dispatch)
+            && ok(self.has_live_transfers, facts.has_live_transfers)
+            && ok(self.has_pending_fetches, facts.has_pending_fetches)
+            && ok(self.owner_alive, facts.owner_alive)
+            && ok(self.to_doc_freed, facts.to_doc_freed)
+            && ok(self.private_mode, facts.private_mode)
+            && ok(self.persist, facts.persist)
+            && ok(self.leaks_cross_origin, facts.leaks_cross_origin)
+            && ok(self.has_pending_worker_messages, facts.has_pending_worker_messages)
+    }
+}
+
+/// What a matching rule does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PolicyAction {
+    /// Let the call proceed.
+    Allow,
+    /// Block the call.
+    Deny {
+        /// Why (goes to the trace).
+        reason: String,
+    },
+    /// Close only the user-visible object; keep the kernel thread alive
+    /// until obligations settle.
+    DeferTermination,
+    /// Replace the error message.
+    SanitizeError {
+        /// The replacement text.
+        replacement: String,
+    },
+    /// Force an opaque origin on the created worker.
+    OpaqueOrigin,
+    /// Cleanly cancel document-bound callbacks before teardown.
+    CancelDocBound,
+    /// Silently ignore the assignment.
+    DropQuietly,
+}
+
+/// One rule: selector + condition + action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Stable identifier for traces and tests.
+    pub id: String,
+    /// Which API call it applies to.
+    pub on: ApiSelector,
+    /// When it fires.
+    #[serde(default)]
+    pub when: Condition,
+    /// What it does.
+    pub action: PolicyAction,
+}
+
+/// A named security policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Policy name (e.g. `"policy_deterministic"` or
+    /// `"policy_cve-2018-5092"`).
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// The deterministic scheduling component, if this is a general
+    /// scheduling policy (Listing 3).
+    #[serde(default)]
+    pub scheduling: Option<PredictionConfig>,
+    /// API interception rules (Listing 4).
+    #[serde(default)]
+    pub rules: Vec<PolicyRule>,
+}
+
+impl PolicySpec {
+    /// Serializes the policy to pretty JSON (the paper's wire format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("policies are serializable")
+    }
+
+    /// Parses a policy from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error for malformed JSON or a JSON
+    /// value that does not describe a policy.
+    pub fn from_json(json: &str) -> Result<PolicySpec, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_condition_matches_everything() {
+        let c = Condition::default();
+        assert!(c.matches(&CallFacts::default()));
+        assert!(c.matches(&CallFacts { from_worker: true, ..CallFacts::default() }));
+    }
+
+    #[test]
+    fn conditions_are_conjunctive() {
+        let c = Condition {
+            from_worker: Some(true),
+            cross_origin: Some(true),
+            ..Condition::default()
+        };
+        assert!(c.matches(&CallFacts {
+            from_worker: true,
+            cross_origin: true,
+            ..CallFacts::default()
+        }));
+        assert!(!c.matches(&CallFacts {
+            from_worker: true,
+            cross_origin: false,
+            ..CallFacts::default()
+        }));
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let spec = PolicySpec {
+            name: "policy_cve-2013-1714".into(),
+            description: "origin check for worker requests".into(),
+            scheduling: None,
+            rules: vec![PolicyRule {
+                id: "block-cross-origin-worker-xhr".into(),
+                on: ApiSelector::XhrSend,
+                when: Condition {
+                    from_worker: Some(true),
+                    cross_origin: Some(true),
+                    ..Condition::default()
+                },
+                action: PolicyAction::Deny { reason: "same-origin policy".into() },
+            }],
+        };
+        let json = spec.to_json();
+        assert!(json.contains("xhr_send"));
+        let back = PolicySpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn scheduling_policy_round_trips() {
+        let spec = PolicySpec {
+            name: "policy_deterministic".into(),
+            description: "Listing 3".into(),
+            scheduling: Some(crate::scheduler::PredictionConfig::default()),
+            rules: Vec::new(),
+        };
+        let back = PolicySpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(PolicySpec::from_json("{").is_err());
+        assert!(PolicySpec::from_json("{\"name\": 3}").is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Automatic policy extraction (the paper's stated future work, §VI: "We
+//! leave it as a future work to automatically extract policies for a new
+//! vulnerability").
+//!
+//! Given a trace from a run that exhibited dangerous native behaviour, the
+//! synthesizer derives blocking rules **from the facts alone** — it never
+//! consults the CVE oracle, so it generalizes to trigger sequences that
+//! have no CVE number yet. Each dangerous fact class maps to the narrowest
+//! interception that prevents it:
+//!
+//! | observed fact | derived rule |
+//! |---|---|
+//! | abort delivered to a dead owner | deny `DeliverAbort` when the owner is gone; defer termination while fetches are pending |
+//! | freed-transfer access | defer termination while transfers are live |
+//! | termination mid-dispatch | defer termination during dispatch |
+//! | message to a freed document | deny the delivery; cancel doc-bound work on navigation |
+//! | callback after close | cancel doc-bound work at close |
+//! | null-deref on assignment | drop assignments on closing workers |
+//! | cross-origin worker request | enforce the origin check in workers |
+//! | inherited-origin request | force opaque origins for sandboxed creators |
+//! | stale-document callback | cancel doc-bound work on navigation |
+//! | leaking error message | sanitize error messages |
+//! | private-mode persistence | deny durable storage in private mode |
+
+use crate::policy::spec::{ApiSelector, Condition, PolicyAction, PolicyRule, PolicySpec};
+use jsk_browser::trace::{Fact, Trace};
+use std::collections::BTreeSet;
+
+fn rule(id: &str, on: ApiSelector, when: Condition, action: PolicyAction) -> PolicyRule {
+    PolicyRule { id: format!("synth/{id}"), on, when, action }
+}
+
+fn deny(reason: &str) -> PolicyAction {
+    PolicyAction::Deny { reason: format!("synthesized: {reason}") }
+}
+
+/// Derives the blocking rules implied by one dangerous fact.
+fn rules_for(fact: &Fact) -> Vec<PolicyRule> {
+    match fact {
+        Fact::AbortDelivered { owner_alive: false, .. } => vec![
+            rule(
+                "suppress-abort-to-dead-owner",
+                ApiSelector::DeliverAbort,
+                Condition { owner_alive: Some(false), ..Condition::default() },
+                deny("abort target was freed"),
+            ),
+            rule(
+                "defer-termination-with-pending-fetches",
+                ApiSelector::TerminateWorker,
+                Condition { has_pending_fetches: Some(true), ..Condition::default() },
+                PolicyAction::DeferTermination,
+            ),
+            rule(
+                "clean-close",
+                ApiSelector::CloseDocument,
+                Condition::default(),
+                PolicyAction::CancelDocBound,
+            ),
+        ],
+        Fact::FreedBufferAccess { .. } | Fact::TransferFreed { .. } => vec![rule(
+            "defer-termination-with-live-transfers",
+            ApiSelector::TerminateWorker,
+            Condition { has_live_transfers: Some(true), ..Condition::default() },
+            PolicyAction::DeferTermination,
+        )],
+        Fact::DispatchUseAfterFree { .. } => vec![rule(
+            "defer-termination-mid-dispatch",
+            ApiSelector::TerminateWorker,
+            Condition { during_dispatch: Some(true), ..Condition::default() },
+            PolicyAction::DeferTermination,
+        )],
+        Fact::MessageToFreedDoc { .. } => vec![
+            rule(
+                "drop-message-to-freed-doc",
+                ApiSelector::PostMessage,
+                Condition { to_doc_freed: Some(true), ..Condition::default() },
+                deny("receiving document was freed"),
+            ),
+            rule(
+                "clean-navigate",
+                ApiSelector::Navigate,
+                Condition::default(),
+                PolicyAction::CancelDocBound,
+            ),
+        ],
+        // Unconditional: messages can be in flight (registered but not yet
+        // queued) and invisible to the queue count at interception time.
+        Fact::CallbackAfterClose { .. } => vec![rule(
+            "clean-close",
+            ApiSelector::CloseDocument,
+            Condition::default(),
+            PolicyAction::CancelDocBound,
+        )],
+        Fact::NullDerefOnAssign { .. } => vec![rule(
+            "drop-assignment-on-closing-worker",
+            ApiSelector::SetOnMessage,
+            Condition {
+                assigns_worker_handler: Some(true),
+                worker_closing: Some(true),
+                ..Condition::default()
+            },
+            PolicyAction::DropQuietly,
+        )],
+        Fact::CrossOriginWorkerRequest { .. } => vec![rule(
+            "enforce-sop-in-workers",
+            ApiSelector::XhrSend,
+            Condition { from_worker: Some(true), cross_origin: Some(true), ..Condition::default() },
+            deny("cross-origin request from worker"),
+        )],
+        Fact::InheritedOriginRequest { .. } => vec![rule(
+            "opaque-origin-for-sandboxed-creators",
+            ApiSelector::CreateWorker,
+            Condition { sandboxed: Some(true), ..Condition::default() },
+            PolicyAction::OpaqueOrigin,
+        )],
+        Fact::StaleDocCallback { .. } => vec![rule(
+            "cancel-doc-bound-on-navigate",
+            ApiSelector::Navigate,
+            Condition::default(),
+            PolicyAction::CancelDocBound,
+        )],
+        Fact::ErrorMessageDelivered { leaked_cross_origin: true, .. } => vec![rule(
+            "sanitize-error-messages",
+            ApiSelector::ErrorEvent,
+            Condition { leaks_cross_origin: Some(true), ..Condition::default() },
+            PolicyAction::SanitizeError { replacement: "Script error.".into() },
+        )],
+        Fact::IdbPersistedInPrivateMode { .. } => vec![rule(
+            "no-private-persist",
+            ApiSelector::IdbOpen,
+            Condition { private_mode: Some(true), persist: Some(true), ..Condition::default() },
+            deny("durable storage in private mode"),
+        )],
+        _ => Vec::new(),
+    }
+}
+
+/// Synthesizes a policy from a trace: one rule per distinct dangerous
+/// behaviour observed. Returns `None` when the trace contains nothing
+/// dangerous.
+#[must_use]
+pub fn synthesize(name: &str, trace: &Trace) -> Option<PolicySpec> {
+    let mut seen = BTreeSet::new();
+    let mut rules = Vec::new();
+    for (_, fact) in trace.facts() {
+        for r in rules_for(fact) {
+            if seen.insert(r.id.clone()) {
+                rules.push(r);
+            }
+        }
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    Some(PolicySpec {
+        name: format!("policy_synth-{name}"),
+        description: format!(
+            "automatically extracted from a trace exhibiting {} dangerous behaviour class(es)",
+            rules.len()
+        ),
+        scheduling: None,
+        rules,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::ids::{RequestId, ThreadId};
+    use jsk_sim::time::SimTime;
+
+    #[test]
+    fn benign_trace_yields_no_policy() {
+        let mut trace = Trace::new();
+        trace.fact(
+            SimTime::from_millis(1),
+            Fact::FetchSettled { req: RequestId::new(0), ok: true },
+        );
+        assert!(synthesize("x", &trace).is_none());
+    }
+
+    #[test]
+    fn dangerous_facts_yield_deduplicated_rules() {
+        let mut trace = Trace::new();
+        for i in 0..3 {
+            trace.fact(
+                SimTime::from_millis(i),
+                Fact::CrossOriginWorkerRequest {
+                    thread: ThreadId::new(1),
+                    url: format!("https://victim.example/{i}"),
+                },
+            );
+        }
+        let policy = synthesize("sop", &trace).expect("dangerous trace");
+        assert_eq!(policy.rules.len(), 1, "repeated facts dedupe");
+        assert_eq!(policy.rules[0].on, ApiSelector::XhrSend);
+        // And it survives the JSON wire format.
+        let back = PolicySpec::from_json(&policy.to_json()).unwrap();
+        assert_eq!(back, policy);
+    }
+
+    #[test]
+    fn dead_owner_abort_yields_the_5092_rule_set() {
+        let mut trace = Trace::new();
+        trace.fact(
+            SimTime::from_millis(1),
+            Fact::AbortDelivered {
+                req: RequestId::new(0),
+                owner: ThreadId::new(1),
+                owner_alive: false,
+            },
+        );
+        let policy = synthesize("uaf", &trace).expect("dangerous trace");
+        let ids: Vec<&str> = policy.rules.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"synth/suppress-abort-to-dead-owner"));
+        assert!(ids.contains(&"synth/defer-termination-with-pending-fetches"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Kernel runtime statistics.
+//!
+//! A deployed kernel needs observability: how many events it scheduled,
+//! how often the dispatcher had to hold a confirmed event behind a pending
+//! head, how many API calls each policy denied. [`KernelStats`] is updated
+//! by the kernel's hooks and exposed through
+//! [`JsKernel::stats`](crate::kernel::JsKernel::stats); the Criterion
+//! micro-benchmarks and the ablation harness read it to explain *why* a
+//! configuration behaves as it does.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters describing one kernel's activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Asynchronous events registered (pending kernel events created).
+    pub registered: u64,
+    /// Events confirmed by their raw browser trigger.
+    pub confirmed: u64,
+    /// Events dispatched to user space.
+    pub dispatched: u64,
+    /// Events cancelled before dispatch.
+    pub cancelled: u64,
+    /// Times a confirmed event was withheld because an earlier-predicted
+    /// event was still pending (the dispatcher "waiting", §III-D3).
+    pub withheld_behind_pending: u64,
+    /// Times a release decision was deferred to the event's predicted
+    /// instant.
+    pub deferred_to_prediction: u64,
+    /// Intercepted API calls, total.
+    pub api_calls: u64,
+    /// Denials per policy-rule id.
+    pub denials: BTreeMap<String, u64>,
+    /// Kernel-space overlay messages processed.
+    pub kernel_messages: u64,
+}
+
+impl KernelStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> KernelStats {
+        KernelStats::default()
+    }
+
+    /// Total denials across all rules.
+    #[must_use]
+    pub fn total_denials(&self) -> u64 {
+        self.denials.values().sum()
+    }
+
+    /// Records a denial by rule id.
+    pub fn record_denial(&mut self, rule_id: &str) {
+        *self.denials.entry(rule_id.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Fraction of confirmed events that had to wait behind a pending head
+    /// (0 when nothing confirmed yet) — a determinism-pressure gauge.
+    #[must_use]
+    pub fn wait_fraction(&self) -> f64 {
+        if self.confirmed == 0 {
+            return 0.0;
+        }
+        self.withheld_behind_pending as f64 / self.confirmed as f64
+    }
+}
+
+impl std::fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "kernel: {} registered, {} confirmed, {} dispatched, {} cancelled",
+            self.registered, self.confirmed, self.dispatched, self.cancelled
+        )?;
+        writeln!(
+            f,
+            "dispatcher: {} waits behind pending heads ({:.1}%), {} deferred to prediction",
+            self.withheld_behind_pending,
+            self.wait_fraction() * 100.0,
+            self.deferred_to_prediction
+        )?;
+        write!(
+            f,
+            "policies: {} api calls, {} denials across {} rules; {} kernel messages",
+            self.api_calls,
+            self.total_denials(),
+            self.denials.len(),
+            self.kernel_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denial_accounting() {
+        let mut s = KernelStats::new();
+        s.record_denial("rule-a");
+        s.record_denial("rule-a");
+        s.record_denial("rule-b");
+        assert_eq!(s.total_denials(), 3);
+        assert_eq!(s.denials.get("rule-a"), Some(&2));
+    }
+
+    #[test]
+    fn wait_fraction_handles_zero() {
+        let s = KernelStats::new();
+        assert_eq!(s.wait_fraction(), 0.0);
+        let s = KernelStats { confirmed: 10, withheld_behind_pending: 3, ..KernelStats::new() };
+        assert!((s.wait_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let mut s = KernelStats::new();
+        s.registered = 5;
+        s.record_denial("x");
+        let text = s.to_string();
+        assert!(text.contains("5 registered"));
+        assert!(text.contains("1 denials"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut s = KernelStats::new();
+        s.record_denial("r");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: KernelStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,49 @@
+//! The shipped policy files: `policies/*.json` at the repository root hold
+//! the JSON form of every built-in policy (the paper's §II-B wire format).
+//! This test keeps them in sync with the code; regenerate with
+//! `JSK_REGEN_POLICIES=1 cargo test -p jsk-core --test policy_files`.
+
+use jsk_core::policy::{cve, deterministic_policy, PolicySpec};
+use std::path::PathBuf;
+
+fn policy_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../policies")
+}
+
+fn builtin_policies() -> Vec<PolicySpec> {
+    let mut all = vec![deterministic_policy()];
+    all.extend(cve::all_cve_policies());
+    all
+}
+
+#[test]
+fn policies_on_disk_are_in_sync_with_code() {
+    let dir = policy_dir();
+    let regen = std::env::var("JSK_REGEN_POLICIES").is_ok();
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create policies dir");
+    }
+    for policy in builtin_policies() {
+        let path = dir.join(format!("{}.json", policy.name));
+        let expected = policy.to_json() + "\n";
+        if regen {
+            std::fs::write(&path, &expected).expect("write policy file");
+            continue;
+        }
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e} (run with JSK_REGEN_POLICIES=1)", path.display()));
+        assert_eq!(
+            on_disk, expected,
+            "{} out of sync with the code (run with JSK_REGEN_POLICIES=1)",
+            path.display()
+        );
+        // And it parses back to the same spec.
+        let parsed = PolicySpec::from_json(&on_disk).expect("valid policy JSON");
+        assert_eq!(parsed, policy);
+    }
+}
+
+#[test]
+fn there_are_thirteen_builtin_policies() {
+    assert_eq!(builtin_policies().len(), 13);
+}

@@ -1,0 +1,148 @@
+//! Chrome Zero / JavaScript Zero (Schwarz, Lipp & Gruss, NDSS '18),
+//! re-implemented over the simulator.
+//!
+//! JavaScript Zero redefines individual APIs in a browser extension: the
+//! fine-grained clock gets fuzzy low-resolution readings, and `Worker` is
+//! replaced by a **polyfill** that runs the worker cooperatively on the
+//! main thread — sacrificing true parallelism ("at the price of reduced
+//! functionalities", §IV-B). Because its policies only see one API at a
+//! time, it cannot capture the multi-function invocation sequences of web
+//! concurrency attacks; its CVE wins come solely from the polyfill removing
+//! real worker threads.
+
+use jsk_browser::event::AsyncEventInfo;
+use jsk_browser::mediator::{ApiOutcome, ClockRead, ConfirmDecision, InterposeClass, Mediator, MediatorCtx};
+use jsk_browser::trace::ApiCall;
+use jsk_sim::time::{SimDuration, SimTime};
+
+/// The Chrome Zero defense.
+#[derive(Debug, Clone)]
+pub struct ChromeZero {
+    /// Clock resolution after redefinition.
+    pub clock_grain: SimDuration,
+    /// Per-event policy-evaluation delay: every dispatched event runs
+    /// through the extension's policy chain before its handler (the
+    /// visible slowdown of the paper's Figure 3).
+    pub event_delay: SimDuration,
+}
+
+impl Default for ChromeZero {
+    fn default() -> Self {
+        ChromeZero {
+            clock_grain: SimDuration::from_micros(100),
+            event_delay: SimDuration::from_micros(1_200),
+        }
+    }
+}
+
+impl Mediator for ChromeZero {
+    fn name(&self) -> &str {
+        "chrome-zero"
+    }
+
+    fn read_clock(&mut self, ctx: &mut MediatorCtx<'_>, read: ClockRead) -> SimTime {
+        // Fuzzy low-resolution time: random sub-grain offset per read.
+        let q = self.clock_grain;
+        let phase = ctx.rng.duration_between(SimDuration::ZERO, q);
+        (read.raw + phase).quantize_down(q)
+    }
+
+    fn on_confirm(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        _info: &AsyncEventInfo,
+        raw_fire: SimTime,
+    ) -> ConfirmDecision {
+        let d = ctx.rng.jitter(self.event_delay, 0.3);
+        ConfirmDecision::InvokeAt(raw_fire + d)
+    }
+
+    fn on_api(&mut self, _ctx: &mut MediatorCtx<'_>, call: &ApiCall) -> ApiOutcome {
+        match call {
+            ApiCall::CreateWorker { .. } => ApiOutcome::PolyfillWorker,
+            _ => ApiOutcome::Allow,
+        }
+    }
+
+    fn compute_scale(&self) -> f64 {
+        // Proxy-wrapped globals keep V8 from optimizing hot script paths.
+        1.12
+    }
+
+    fn allow_sab(&self) -> bool {
+        // JavaScript Zero removes the SharedArrayBuffer constructor.
+        false
+    }
+
+    fn interposition_cost(&self, class: InterposeClass) -> SimDuration {
+        // Chrome Zero wraps every call in policy-checking proxies; the
+        // paper measures it visibly slower than JSKernel (Figure 3).
+        match class {
+            InterposeClass::Clock => SimDuration::from_nanos(500),
+            InterposeClass::Timer => SimDuration::from_nanos(1_500),
+            InterposeClass::Message => SimDuration::from_nanos(2_000),
+            InterposeClass::Worker => SimDuration::from_nanos(6_000),
+            InterposeClass::Net => SimDuration::from_nanos(2_000),
+            InterposeClass::Dom => SimDuration::from_nanos(900),
+            InterposeClass::Sab => SimDuration::from_nanos(1_200),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::ids::{ThreadId, WorkerId};
+    use jsk_browser::mediator::ClockKind;
+    use jsk_sim::rng::SimRng;
+
+    #[test]
+    fn workers_are_polyfilled() {
+        let mut cz = ChromeZero::default();
+        let mut rng = SimRng::new(0);
+        let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+        let outcome = cz.on_api(
+            &mut ctx,
+            &ApiCall::CreateWorker {
+                parent: ThreadId::new(0),
+                worker: WorkerId::new(0),
+                src: "w.js".into(),
+                sandboxed: false,
+            },
+        );
+        assert_eq!(outcome, ApiOutcome::PolyfillWorker);
+    }
+
+    #[test]
+    fn clock_is_fuzzy_low_resolution() {
+        let mut cz = ChromeZero::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+        let raw = SimTime::from_nanos(1_234_567);
+        let reads: Vec<SimTime> = (0..20)
+            .map(|_| {
+                cz.read_clock(
+                    &mut ctx,
+                    ClockRead {
+                        thread: ThreadId::new(0),
+                        kind: ClockKind::PerformanceNow,
+                        raw,
+                        native_precision: SimDuration::from_micros(5),
+                    },
+                )
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = reads.iter().collect();
+        assert!(distinct.len() >= 2, "reads must be fuzzed");
+        for r in &reads {
+            assert_eq!(r.as_nanos() % 100_000, 0, "on the 100 µs grid");
+        }
+    }
+
+    #[test]
+    fn overhead_exceeds_a_microsecond_for_hot_classes() {
+        let cz = ChromeZero::default();
+        assert!(cz.interposition_cost(InterposeClass::Message) > SimDuration::from_micros(1));
+        assert!(cz.interposition_cost(InterposeClass::Dom) < SimDuration::from_micros(1));
+    }
+}

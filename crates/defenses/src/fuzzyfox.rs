@@ -1,0 +1,136 @@
+//! Fuzzyfox (Kohlbrenner & Shacham, USENIX Security '16), re-implemented
+//! over the simulator.
+//!
+//! Fuzzyfox randomizes execution timing: explicit clocks get a fuzzy grain
+//! with randomized edges, and the event loop is padded with pause tasks
+//! that stretch every asynchronous turnaround by a noisy multiplicative
+//! factor. The paper's evaluation (Table II) shows the resulting behaviour:
+//! clock-edge attacks die (edges are random), but operations measured over
+//! async events are merely *inflated* (SVG filtering: 109 ms / 145 ms) and
+//! remain distinguishable when averaged over repeated runs.
+
+use jsk_browser::event::AsyncEventInfo;
+use jsk_browser::mediator::{ClockRead, ConfirmDecision, Mediator, MediatorCtx};
+use jsk_sim::time::{SimDuration, SimTime};
+
+/// The Fuzzyfox defense.
+#[derive(Debug, Clone)]
+pub struct Fuzzyfox {
+    /// Fuzzy clock grain.
+    pub clock_grain: SimDuration,
+    /// Mean of the multiplicative event-turnaround inflation (total factor
+    /// is `1 + pause_mult`).
+    pub pause_mult: f64,
+    /// Standard deviation of the inflation factor.
+    pub pause_sd: f64,
+    /// Upper bound on the added delay: pause tasks pile up in front of an
+    /// event, but only so many fit in the queue — a multi-second network
+    /// fetch is not stretched into the minute range.
+    pub max_pause: SimDuration,
+}
+
+impl Default for Fuzzyfox {
+    fn default() -> Self {
+        Fuzzyfox {
+            clock_grain: SimDuration::from_millis(1),
+            pause_mult: 4.5,
+            pause_sd: 0.8,
+            max_pause: SimDuration::from_millis(250),
+        }
+    }
+}
+
+impl Mediator for Fuzzyfox {
+    fn name(&self) -> &str {
+        "fuzzyfox"
+    }
+
+    fn read_clock(&mut self, ctx: &mut MediatorCtx<'_>, read: ClockRead) -> SimTime {
+        // Randomized edges: each read lands on a grid whose phase is drawn
+        // fresh, so counting operations between observed edges yields noise
+        // (this is what defeats the clock-edge attack).
+        let q = self.clock_grain;
+        let phase = ctx.rng.duration_between(SimDuration::ZERO, q);
+        (read.raw + phase).quantize_down(q)
+    }
+
+    fn on_confirm(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        info: &AsyncEventInfo,
+        raw_fire: SimTime,
+    ) -> ConfirmDecision {
+        // Pause tasks: the longer an event's raw turnaround, the more pause
+        // quanta accumulated in front of it.
+        let lateness = raw_fire.saturating_duration_since(info.registered_at);
+        let factor = ctx.rng.normal(self.pause_mult, self.pause_sd).max(0.0);
+        let extra = lateness.mul_f64(factor).min(self.max_pause);
+        ConfirmDecision::InvokeAt(raw_fire + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::event::AsyncKind;
+    use jsk_browser::ids::{EventToken, ThreadId};
+    use jsk_sim::rng::SimRng;
+
+    fn info(registered_ms: u64) -> AsyncEventInfo {
+        AsyncEventInfo {
+            token: EventToken::new(1),
+            thread: ThreadId::new(0),
+            kind: AsyncKind::Raf,
+            registered_at: SimTime::from_millis(registered_ms),
+            doc_generation: 0,
+            context: 0,
+        }
+    }
+
+    #[test]
+    fn clock_edges_are_randomized() {
+        let mut ff = Fuzzyfox::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+        // The same raw instant reads differently across reads (phase noise).
+        let raw = SimTime::from_nanos(10_500_000);
+        let reads: Vec<SimTime> = (0..20)
+            .map(|_| {
+                ff.read_clock(
+                    &mut ctx,
+                    ClockRead {
+                        thread: ThreadId::new(0),
+                        kind: jsk_browser::mediator::ClockKind::PerformanceNow,
+                        raw,
+                        native_precision: SimDuration::from_micros(5),
+                    },
+                )
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = reads.iter().collect();
+        assert!(distinct.len() >= 2, "edges must be fuzzed: {reads:?}");
+        // Every read is on the 1 ms grid and within one grain of raw.
+        for r in &reads {
+            assert_eq!(r.as_nanos() % 1_000_000, 0);
+            assert!(r.as_nanos() >= 10_000_000 && r.as_nanos() <= 11_000_000);
+        }
+    }
+
+    #[test]
+    fn event_turnaround_is_inflated_multiplicatively() {
+        let mut ff = Fuzzyfox::default();
+        let mut rng = SimRng::new(2);
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(30), &mut rng);
+        let mut total = SimDuration::ZERO;
+        let n = 200;
+        for _ in 0..n {
+            let d = ff.on_confirm(&mut ctx, &info(10), SimTime::from_millis(30));
+            let ConfirmDecision::InvokeAt(at) = d else { panic!() };
+            assert!(at >= SimTime::from_millis(30));
+            total += at - SimTime::from_millis(30);
+        }
+        // Raw turnaround was 20 ms; mean extra ≈ 4.5 × 20 = 90 ms.
+        let mean_ms = total.as_millis_f64() / f64::from(n);
+        assert!((mean_ms - 90.0).abs() < 10.0, "mean extra {mean_ms}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # jsk-defenses — the baseline defenses of the evaluation
+//!
+//! Re-implementations of every defense JSKernel is compared against
+//! (Table I / Table II / Figure 3), each as a
+//! [`Mediator`](jsk_browser::mediator::Mediator) over the same simulated
+//! browser substrate:
+//!
+//! * [`fuzzyfox::Fuzzyfox`] — fuzzy clocks with randomized edges + pause
+//!   tasks stretching event turnarounds;
+//! * [`deterfox::DeterFox`] — per-context deterministic execution (sharing
+//!   the scheduling machinery JSKernel adopted from it), with the
+//!   cross-context resynchronization Loopscan exploits;
+//! * [`tor::TorBrowser`] — 100 ms explicit clocks with deterministic edges
+//!   and circuit-inflated network latency;
+//! * [`chrome_zero::ChromeZero`] — per-API redefinition: fuzzy
+//!   low-resolution clock and a polyfill (main-thread) `Worker`;
+//! * the legacy (undefended) browsers via
+//!   [`jsk_browser::mediator::LegacyMediator`].
+//!
+//! [`registry::DefenseKind`] builds any of them paired with the engine it
+//! ships on.
+
+pub mod chrome_zero;
+pub mod deterfox;
+pub mod fuzzyfox;
+pub mod registry;
+pub mod tor;
+
+pub use chrome_zero::ChromeZero;
+pub use deterfox::DeterFox;
+pub use fuzzyfox::Fuzzyfox;
+pub use registry::DefenseKind;
+pub use tor::TorBrowser;

@@ -1,0 +1,78 @@
+//! The Tor Browser's timing defense, re-implemented over the simulator.
+//!
+//! Tor Browser coarsens explicit clocks to a 100 ms grain (with
+//! *deterministic* edges — the property clock-edge attacks exploit) and
+//! routes traffic through circuits, multiplying network latency. It does
+//! nothing about implicit clocks, so every attack of Table I that measures
+//! with event counts still works.
+
+use jsk_browser::mediator::{ClockRead, Mediator, MediatorCtx};
+use jsk_sim::time::{SimDuration, SimTime};
+
+/// The Tor Browser defense.
+#[derive(Debug, Clone)]
+pub struct TorBrowser {
+    /// Explicit-clock grain (100 ms in the shipping browser).
+    pub clock_grain: SimDuration,
+}
+
+impl Default for TorBrowser {
+    fn default() -> Self {
+        TorBrowser { clock_grain: SimDuration::from_millis(100) }
+    }
+}
+
+impl TorBrowser {
+    /// The network latency multiplier a Tor circuit adds; the registry
+    /// applies it to the browser configuration.
+    #[must_use]
+    pub fn net_latency_scale() -> f64 {
+        12.0
+    }
+}
+
+impl Mediator for TorBrowser {
+    fn name(&self) -> &str {
+        "tor"
+    }
+
+    fn read_clock(&mut self, _ctx: &mut MediatorCtx<'_>, read: ClockRead) -> SimTime {
+        read.raw.quantize_down(self.clock_grain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::ids::ThreadId;
+    use jsk_browser::mediator::ClockKind;
+    use jsk_sim::rng::SimRng;
+
+    #[test]
+    fn clock_is_coarse_with_deterministic_edges() {
+        let mut tor = TorBrowser::default();
+        let mut rng = SimRng::new(0);
+        let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+        let read_at = |t: &mut TorBrowser, ctx: &mut MediatorCtx<'_>, ns: u64| {
+            t.read_clock(
+                ctx,
+                ClockRead {
+                    thread: ThreadId::new(0),
+                    kind: ClockKind::PerformanceNow,
+                    raw: SimTime::from_nanos(ns),
+                    native_precision: SimDuration::from_millis(1),
+                },
+            )
+        };
+        assert_eq!(read_at(&mut tor, &mut ctx, 99_999_999), SimTime::ZERO);
+        assert_eq!(
+            read_at(&mut tor, &mut ctx, 100_000_000),
+            SimTime::from_millis(100)
+        );
+        // Deterministic edge: repeat reads agree exactly.
+        assert_eq!(
+            read_at(&mut tor, &mut ctx, 150_000_000),
+            read_at(&mut tor, &mut ctx, 150_000_000)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Seeded randomness for reproducible stochastic timing models.
+//!
+//! Every source of "physical" noise in the simulation — network latency
+//! jitter, CPU cost jitter, Fuzzyfox's fuzzing — draws from a [`SimRng`]
+//! seeded at construction, so a run is a pure function of its seed. Derived
+//! generators ([`SimRng::fork`]) give independent streams per subsystem
+//! without coupling their consumption orders.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A seeded random number generator with timing-oriented helpers.
+pub struct SimRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimRng").field("seed", &self.seed).finish()
+    }
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimRng { rng: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator whose stream depends on this
+    /// generator's seed and `label`, but **not** on how much of this
+    /// generator's stream has been consumed.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng::new(h)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        self.rng.random_range(lo..hi)
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.rng.random_range(0..n)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// A sample from the normal distribution `N(mean, std²)` via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        // Box–Muller transform; avoid ln(0).
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std * z
+    }
+
+    /// A duration jittered around `base`: `N(base, (rel_std · base)²)`,
+    /// truncated below at 5 % of `base` so costs never collapse to zero or go
+    /// negative.
+    pub fn jitter(&mut self, base: SimDuration, rel_std: f64) -> SimDuration {
+        if base.is_zero() || rel_std <= 0.0 {
+            return base;
+        }
+        let base_ns = base.as_nanos() as f64;
+        let sample = self.normal(base_ns, rel_std * base_ns);
+        SimDuration::from_nanos(sample.max(0.05 * base_ns) as u64)
+    }
+
+    /// A duration uniform in `[lo, hi)`.
+    pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if lo >= hi {
+            return lo;
+        }
+        SimDuration::from_nanos(self.range_u64(lo.as_nanos(), hi.as_nanos()))
+    }
+}
+
+impl Clone for SimRng {
+    fn clone(&self) -> Self {
+        SimRng { rng: self.rng.clone(), seed: self.seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.range_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_stable_and_label_sensitive() {
+        let root = SimRng::new(42);
+        let mut f1 = root.fork("net");
+        let mut f2 = root.fork("net");
+        let mut f3 = root.fork("cpu");
+        let a = f1.range_u64(0, u64::MAX - 1);
+        assert_eq!(a, f2.range_u64(0, u64::MAX - 1));
+        assert_ne!(a, f3.range_u64(0, u64::MAX - 1));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut r = SimRng::new(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn jitter_stays_positive_and_near_base() {
+        let mut r = SimRng::new(5);
+        let base = SimDuration::from_millis(10);
+        for _ in 0..1_000 {
+            let j = r.jitter(base, 0.3);
+            assert!(j.as_nanos() >= base.as_nanos() / 20);
+            assert!(j.as_nanos() < base.as_nanos() * 4);
+        }
+        assert_eq!(r.jitter(SimDuration::ZERO, 0.3), SimDuration::ZERO);
+        assert_eq!(r.jitter(base, 0.0), base);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(7.5), "clamped above 1");
+    }
+
+    #[test]
+    fn duration_between_degenerate_range() {
+        let mut r = SimRng::new(1);
+        let d = SimDuration::from_millis(4);
+        assert_eq!(r.duration_between(d, d), d);
+    }
+}

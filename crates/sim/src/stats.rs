@@ -1,0 +1,302 @@
+//! Statistics used by attack verdicts and the evaluation harnesses.
+//!
+//! The attack harness declares a defense broken when measurements taken
+//! under two different secrets are *statistically distinguishable*; the
+//! compatibility test compares DOM serializations by *cosine similarity*;
+//! Figure 3 plots a *CDF*. This module implements those primitives over
+//! plain `&[f64]` slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Smallest observation (0 for empty samples).
+    pub min: f64,
+    /// Largest observation (0 for empty samples).
+    pub max: f64,
+    /// Median (interpolated; 0 for empty samples).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) of an already sorted, non-empty slice, with
+/// linear interpolation.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The `p`-th percentile (0–100) of an unsorted, non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains NaN.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Welch's t statistic for two samples (unequal variances).
+///
+/// Returns 0 when either sample has fewer than two observations, or when both
+/// variances vanish and the means are equal; returns `f64::INFINITY`-like
+/// large values when variances vanish but means differ.
+#[must_use]
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let se2 = sa.std.powi(2) / sa.n as f64 + sb.std.powi(2) / sb.n as f64;
+    let diff = sa.mean - sb.mean;
+    if se2 == 0.0 {
+        return if diff == 0.0 { 0.0 } else { f64::INFINITY * diff.signum() };
+    }
+    diff / se2.sqrt()
+}
+
+/// Verdict of a two-sample distinguishability test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distinguishability {
+    /// The two samples are statistically separable — an attacker telling the
+    /// two secrets apart from these measurements succeeds.
+    Distinguishable,
+    /// The samples are statistically indistinguishable.
+    Indistinguishable,
+}
+
+impl Distinguishability {
+    /// Whether the verdict is [`Distinguishable`](Self::Distinguishable).
+    #[must_use]
+    pub fn is_distinguishable(self) -> bool {
+        matches!(self, Distinguishability::Distinguishable)
+    }
+}
+
+/// Tests whether two measurement samples are distinguishable.
+///
+/// Criteria (both must hold):
+/// 1. |Welch t| > 3.0 — the mean gap is large relative to sampling noise;
+/// 2. the relative mean gap exceeds `min_rel_gap` (guards against
+///    vanishingly small but statistically significant differences an
+///    attacker could not exploit over few runs).
+///
+/// Identical deterministic samples (zero variance, equal means) are
+/// indistinguishable; zero variance with different means is trivially
+/// distinguishable.
+#[must_use]
+pub fn distinguishable(a: &[f64], b: &[f64], min_rel_gap: f64) -> Distinguishability {
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let scale = sa.mean.abs().max(sb.mean.abs()).max(f64::MIN_POSITIVE);
+    let rel_gap = (sa.mean - sb.mean).abs() / scale;
+    let t = welch_t(a, b).abs();
+    if t > 3.0 && rel_gap > min_rel_gap {
+        Distinguishability::Distinguishable
+    } else {
+        Distinguishability::Indistinguishable
+    }
+}
+
+/// Cosine similarity of two non-negative feature vectors, in `[0, 1]`.
+///
+/// Used by the compatibility evaluation (§V-B2) over DOM term-frequency
+/// vectors. Two zero vectors are defined to be identical (similarity 1);
+/// one zero vector against a non-zero one gives 0.
+#[must_use]
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: dimension mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// An empirical cumulative distribution function: sorted `(value, fraction)`
+/// points suitable for plotting (Figure 3).
+#[must_use]
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Pearson correlation coefficient of paired samples, in `[-1, 1]`.
+///
+/// Used to check that the script-parsing attack's measurements grow with
+/// file size (Figure 2): a defense is broken when the correlation between
+/// size and reported time is strong.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let sx = Summary::of(xs);
+    let sy = Summary::of(ys);
+    if sx.std == 0.0 || sy.std == 0.0 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let cov: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - sx.mean) * (y - sy.mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    (cov / (sx.std * sy.std)).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.2909944487358056).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_separates_clear_gap() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 20.0 + (i % 3) as f64 * 0.1).collect();
+        assert!(welch_t(&a, &b).abs() > 10.0);
+    }
+
+    #[test]
+    fn distinguishable_on_separated_samples() {
+        let a = vec![10.0, 10.1, 9.9, 10.05, 9.95, 10.0];
+        let b = vec![12.0, 12.1, 11.9, 12.05, 11.95, 12.0];
+        assert!(distinguishable(&a, &b, 0.02).is_distinguishable());
+    }
+
+    #[test]
+    fn indistinguishable_on_identical_deterministic_samples() {
+        let a = vec![10.0; 25];
+        let b = vec![10.0; 25];
+        assert!(!distinguishable(&a, &b, 0.02).is_distinguishable());
+    }
+
+    #[test]
+    fn deterministic_but_different_means_distinguishes() {
+        let a = vec![10.0; 25];
+        let b = vec![11.0; 25];
+        assert!(distinguishable(&a, &b, 0.02).is_distinguishable());
+    }
+
+    #[test]
+    fn overlapping_noise_is_indistinguishable() {
+        // Same mean, large variance.
+        let a: Vec<f64> = (0..25).map(|i| 100.0 + ((i * 37) % 50) as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| 100.0 + ((i * 23) % 50) as f64).collect();
+        assert!(!distinguishable(&a, &b, 0.02).is_distinguishable());
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        let sim = cosine_similarity(&[3.0, 4.0, 0.0], &[3.0, 4.0, 1.0]);
+        assert!(sim > 0.97 && sim < 1.0);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn pearson_detects_linear_trend() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-9);
+        let flat = vec![5.0; 10];
+        assert_eq!(pearson(&xs, &flat), 0.0);
+    }
+}

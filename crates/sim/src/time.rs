@@ -1,0 +1,375 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulated activity is ordered on a single virtual timeline measured in
+//! integer nanoseconds. Integer nanoseconds (rather than `f64` milliseconds)
+//! keep the simulation exactly reproducible: there is no accumulation of
+//! floating-point rounding across millions of events, and equal instants
+//! compare equal.
+//!
+//! Two types are provided, mirroring `std::time`:
+//!
+//! * [`SimTime`] — an absolute instant on the virtual timeline.
+//! * [`SimDuration`] — a span between two instants.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsk_sim::time::{SimTime, SimDuration};
+//!
+//! let start = SimTime::ZERO;
+//! let later = start + SimDuration::from_millis(16);
+//! assert_eq!(later.duration_since(start), SimDuration::from_millis(16));
+//! assert_eq!(later.as_nanos(), 16_000_000);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the virtual timeline, in nanoseconds since the
+/// start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the virtual timeline.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after the simulation origin.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after the simulation origin.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after the simulation origin.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since the simulation origin.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the simulation origin, with fractional part.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since the simulation origin, with fractional part.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; virtual time never runs
+    /// backwards, so such a call is a logic error in the caller.
+    #[must_use]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is later than self"),
+        )
+    }
+
+    /// The span from `earlier` to `self`, or [`SimDuration::ZERO`] if
+    /// `earlier` is later than `self`.
+    #[must_use]
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Rounds this instant *down* to a multiple of `quantum`.
+    ///
+    /// Used by coarse-clock defenses (e.g. the Tor Browser's 100 ms clock)
+    /// to degrade timer precision.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jsk_sim::time::{SimTime, SimDuration};
+    /// let t = SimTime::from_nanos(123_456_789);
+    /// assert_eq!(
+    ///     t.quantize_down(SimDuration::from_millis(100)),
+    ///     SimTime::from_millis(100),
+    /// );
+    /// ```
+    #[must_use]
+    pub fn quantize_down(self, quantum: SimDuration) -> SimTime {
+        if quantum.0 == 0 {
+            return self;
+        }
+        SimTime(self.0 - self.0 % quantum.0)
+    }
+
+    /// Rounds this instant *up* to a multiple of `quantum` (identity when
+    /// already aligned).
+    #[must_use]
+    pub fn quantize_up(self, quantum: SimDuration) -> SimTime {
+        if quantum.0 == 0 {
+            return self;
+        }
+        let rem = self.0 % quantum.0;
+        if rem == 0 {
+            self
+        } else {
+            SimTime(self.0 - rem + quantum.0)
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span of `ns` nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span of `us` microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span of `s` seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional milliseconds, rounding to the nearest
+    /// nanosecond and clamping negatives to zero.
+    #[must_use]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if ms <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((ms * 1e6).round() as u64)
+    }
+
+    /// The span in whole nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Whether this is the empty span.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of spans.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to the nearest
+    /// nanosecond.
+    #[must_use]
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "mul_f64 with negative factor");
+        SimDuration((self.0 as f64 * k).round().max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimDuration::from_secs(2).as_millis_f64(), 2_000.0);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_nanos(), 1_500_000);
+        assert_eq!(SimDuration::from_millis_f64(-4.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_millis(6);
+        assert_eq!((t + d).as_millis_f64(), 16.0);
+        assert_eq!((t - d).as_millis_f64(), 4.0);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 3, SimDuration::from_millis(18));
+        assert_eq!(d / 2, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_backwards() {
+        let _ = SimTime::ZERO.duration_since(SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        assert_eq!(
+            SimTime::ZERO.saturating_duration_since(SimTime::from_nanos(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn quantize_down_and_up() {
+        let q = SimDuration::from_millis(5);
+        assert_eq!(SimTime::from_millis(12).quantize_down(q), SimTime::from_millis(10));
+        assert_eq!(SimTime::from_millis(12).quantize_up(q), SimTime::from_millis(15));
+        assert_eq!(SimTime::from_millis(15).quantize_up(q), SimTime::from_millis(15));
+        assert_eq!(SimTime::from_millis(12).quantize_down(SimDuration::ZERO), SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .sum();
+        assert_eq!(total, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn display_formats_ms() {
+        assert_eq!(SimTime::from_millis(1).to_string(), "1.000000ms");
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500000ms");
+    }
+}

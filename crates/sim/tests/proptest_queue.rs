@@ -1,0 +1,136 @@
+//! Property-based tests for the simulation substrate.
+
+use jsk_sim::queue::TimeQueue;
+use jsk_sim::stats::{cdf_points, cosine_similarity, percentile, Summary};
+use jsk_sim::time::{SimDuration, SimTime};
+use jsk_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping drains entries in non-decreasing time order, and entries that
+    /// share an instant pop in insertion order.
+    #[test]
+    fn queue_pops_sorted_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = TimeQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(p) = q.pop() {
+            popped.push((p.time, p.value));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Under any interleaving of pushes and cancels, `len()` equals the
+    /// number of entries that eventually pop.
+    #[test]
+    fn queue_len_is_exact_under_cancellation(
+        ops in proptest::collection::vec((0u64..100, proptest::bool::ANY), 1..150),
+    ) {
+        let mut q = TimeQueue::new();
+        let mut keys = Vec::new();
+        for &(t, cancel_prev) in &ops {
+            keys.push(q.push(SimTime::from_millis(t), ()));
+            if cancel_prev && keys.len() >= 2 {
+                let victim = keys[keys.len() - 2];
+                q.cancel(victim);
+            }
+        }
+        let declared = q.len();
+        let mut actual = 0;
+        while q.pop().is_some() {
+            actual += 1;
+        }
+        prop_assert_eq!(declared, actual);
+    }
+
+    /// Cancelling an already popped key is always a no-op reporting `false`.
+    #[test]
+    fn cancel_after_pop_is_noop(times in proptest::collection::vec(0u64..20, 1..50)) {
+        let mut q = TimeQueue::new();
+        let keys: Vec<_> = times
+            .iter()
+            .map(|&t| q.push(SimTime::from_millis(t), ()))
+            .collect();
+        let mut popped_keys = Vec::new();
+        while let Some(p) = q.pop() {
+            popped_keys.push(p.key);
+        }
+        prop_assert_eq!(popped_keys.len(), keys.len());
+        for k in popped_keys {
+            prop_assert!(!q.cancel(k));
+        }
+    }
+
+    /// Summary statistics respect basic order relations.
+    #[test]
+    fn summary_orderings(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// Percentiles are monotone in `p` and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+        let p25 = percentile(&xs, 25.0);
+        let p50 = percentile(&xs, 50.0);
+        let p75 = percentile(&xs, 75.0);
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        prop_assert!(percentile(&xs, 0.0) <= p25);
+        prop_assert!(p75 <= percentile(&xs, 100.0));
+    }
+
+    /// Cosine similarity is symmetric, bounded, and 1 on self.
+    #[test]
+    fn cosine_properties(
+        a in proptest::collection::vec(0.0f64..1e3, 1..20),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// CDF points are monotone in both coordinates and end at fraction 1.
+    #[test]
+    fn cdf_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..80)) {
+        let pts = cdf_points(&xs);
+        prop_assert_eq!(pts.len(), xs.len());
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    /// Forked RNG streams are reproducible functions of (seed, label).
+    #[test]
+    fn rng_fork_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = SimRng::new(seed).fork(&label);
+        let mut b = SimRng::new(seed).fork(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.range_u64(0, 1 << 40), b.range_u64(0, 1 << 40));
+        }
+    }
+
+    /// Jitter never returns zero for a non-zero base and stays positive.
+    #[test]
+    fn jitter_positive(seed in any::<u64>(), base_ms in 1u64..1000, rel in 0.0f64..1.0) {
+        let mut r = SimRng::new(seed);
+        let base = SimDuration::from_millis(base_ms);
+        let j = r.jitter(base, rel);
+        prop_assert!(j.as_nanos() > 0);
+    }
+}

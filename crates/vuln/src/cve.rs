@@ -1,0 +1,151 @@
+//! The twelve web-concurrency CVEs of Table I.
+//!
+//! Each [`Cve`] carries its published description and the trigger-condition
+//! model this reproduction detects (synthesized from the NVD/Bugzilla
+//! entries the paper cites; see DESIGN.md §4 for the per-CVE mapping).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A web-concurrency CVE evaluated in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cve {
+    /// Firefox: abort signal delivered to a fetch freed by a false worker
+    /// termination (use-after-free).
+    Cve2018_5092,
+    /// Firefox: IndexedDB in private browsing persists across the session
+    /// (fingerprinting).
+    Cve2017_7843,
+    /// Firefox: `importScripts()` error message discloses cross-origin
+    /// information.
+    Cve2015_7215,
+    /// Chrome: message port used after its owning document was freed
+    /// (use-after-free).
+    Cve2014_3194,
+    /// Chrome: worker terminated while its message is mid-dispatch
+    /// (use-after-free).
+    Cve2014_1719,
+    /// Firefox: transferable ArrayBuffer freed with its source worker
+    /// (use-after-free).
+    Cve2014_1488,
+    /// Firefox: worker-creation error message discloses cross-origin
+    /// information.
+    Cve2014_1487,
+    /// Chrome: worker-message callback runs against a closed window's
+    /// freed global (use-after-free).
+    Cve2013_6646,
+    /// Firefox: null dereference assigning `onmessage` on a closing worker.
+    Cve2013_5602,
+    /// Firefox: worker `XMLHttpRequest` bypasses the same-origin policy.
+    Cve2013_1714,
+    /// Chrome: worker created in a sandboxed frame inherits the parent
+    /// origin (sandbox escape).
+    Cve2011_1190,
+    /// Chrome: completion callback touches a document navigated away
+    /// (use-after-free).
+    Cve2010_4576,
+}
+
+impl Cve {
+    /// All twelve, in Table I's order.
+    #[must_use]
+    pub fn all() -> [Cve; 12] {
+        [
+            Cve::Cve2018_5092,
+            Cve::Cve2017_7843,
+            Cve::Cve2015_7215,
+            Cve::Cve2014_3194,
+            Cve::Cve2014_1719,
+            Cve::Cve2014_1488,
+            Cve::Cve2014_1487,
+            Cve::Cve2013_6646,
+            Cve::Cve2013_5602,
+            Cve::Cve2013_1714,
+            Cve::Cve2011_1190,
+            Cve::Cve2010_4576,
+        ]
+    }
+
+    /// The CVE identifier string.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Cve::Cve2018_5092 => "CVE-2018-5092",
+            Cve::Cve2017_7843 => "CVE-2017-7843",
+            Cve::Cve2015_7215 => "CVE-2015-7215",
+            Cve::Cve2014_3194 => "CVE-2014-3194",
+            Cve::Cve2014_1719 => "CVE-2014-1719",
+            Cve::Cve2014_1488 => "CVE-2014-1488",
+            Cve::Cve2014_1487 => "CVE-2014-1487",
+            Cve::Cve2013_6646 => "CVE-2013-6646",
+            Cve::Cve2013_5602 => "CVE-2013-5602",
+            Cve::Cve2013_1714 => "CVE-2013-1714",
+            Cve::Cve2011_1190 => "CVE-2011-1190",
+            Cve::Cve2010_4576 => "CVE-2010-4576",
+        }
+    }
+
+    /// The trigger-condition sequence this reproduction models.
+    #[must_use]
+    pub fn trigger_summary(self) -> &'static str {
+        match self {
+            Cve::Cve2018_5092 => {
+                "fetch pending in worker → false worker termination → abort \
+                 delivered to the freed request"
+            }
+            Cve::Cve2017_7843 => "durable indexedDB open persists in a private-mode session",
+            Cve::Cve2015_7215 => {
+                "cross-origin importScripts failure delivers an error message \
+                 carrying target content"
+            }
+            Cve::Cve2014_3194 => "worker message delivered to a freed document",
+            Cve::Cve2014_1719 => {
+                "worker terminated while its message dispatch frame is live \
+                 on the owner thread"
+            }
+            Cve::Cve2014_1488 => {
+                "worker transfers an ArrayBuffer, terminates, and the \
+                 still-owned buffer's backing store is accessed after the \
+                 free"
+            }
+            Cve::Cve2014_1487 => {
+                "cross-origin worker-creation failure delivers an error \
+                 message carrying target content"
+            }
+            Cve::Cve2013_6646 => "queued worker message dispatches after the window closed",
+            Cve::Cve2013_5602 => "onmessage assigned on a worker in its closing state",
+            Cve::Cve2013_1714 => "cross-origin XMLHttpRequest issued from a worker thread",
+            Cve::Cve2011_1190 => {
+                "worker created by a sandboxed frame inherits the parent \
+                 origin and issues an authorized request"
+            }
+            Cve::Cve2010_4576 => {
+                "network completion callback runs against a navigated-away \
+                 document generation"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_unique_ids() {
+        let all = Cve::all();
+        let ids: std::collections::HashSet<_> = all.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), 12);
+        for c in all {
+            assert!(c.id().starts_with("CVE-"));
+            assert!(!c.trigger_summary().is_empty());
+            assert_eq!(c.to_string(), c.id());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # jsk-vuln — the vulnerability substrate
+//!
+//! Trigger-condition models for the twelve web-concurrency CVEs of the
+//! paper's Table I ([`cve::Cve`]) and the exploit oracle ([`oracle::scan`])
+//! that recognises their sequences in a browser trace.
+//!
+//! A CVE counts as *triggered* exactly when its documented sequence of
+//! native-behaviour facts occurred — the oracle never consults the
+//! installed defense, so a defense can only win by preventing the sequence.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsk_browser::ids::ThreadId;
+//! use jsk_browser::trace::{Fact, Trace};
+//! use jsk_sim::time::SimTime;
+//! use jsk_vuln::{oracle, Cve};
+//!
+//! let mut trace = Trace::new();
+//! trace.fact(
+//!     SimTime::from_millis(3),
+//!     Fact::CrossOriginWorkerRequest {
+//!         thread: ThreadId::new(1),
+//!         url: "https://victim.example/api".into(),
+//!     },
+//! );
+//! let report = oracle::scan(&trace);
+//! assert!(report.is_triggered(Cve::Cve2013_1714));
+//! ```
+
+pub mod cve;
+pub mod oracle;
+
+pub use cve::Cve;
+pub use oracle::{scan, TriggerEvidence, VulnReport};

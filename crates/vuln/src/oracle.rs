@@ -1,0 +1,421 @@
+//! The exploit oracle: state machines over the browser trace.
+//!
+//! A CVE is **triggered** exactly when its documented sequence of trace
+//! facts occurred. The oracle never consults the installed defense: a
+//! defense succeeds only by making the sequence impossible.
+
+use crate::cve::Cve;
+use jsk_browser::trace::{ErrorSource, Fact, Trace};
+use jsk_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Evidence that a CVE's trigger sequence occurred.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerEvidence {
+    /// When the final step of the sequence happened.
+    pub at: SimTime,
+    /// Human-readable witness of the sequence.
+    pub witness: String,
+}
+
+/// The oracle's verdict for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VulnReport {
+    triggered: BTreeMap<Cve, TriggerEvidence>,
+}
+
+impl VulnReport {
+    /// Whether `cve` was triggered.
+    #[must_use]
+    pub fn is_triggered(&self, cve: Cve) -> bool {
+        self.triggered.contains_key(&cve)
+    }
+
+    /// The evidence for `cve`, if triggered.
+    #[must_use]
+    pub fn evidence(&self, cve: Cve) -> Option<&TriggerEvidence> {
+        self.triggered.get(&cve)
+    }
+
+    /// All triggered CVEs in id order.
+    pub fn triggered(&self) -> impl Iterator<Item = (&Cve, &TriggerEvidence)> {
+        self.triggered.iter()
+    }
+
+    /// Number of triggered CVEs.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.triggered.len()
+    }
+}
+
+/// Scans a trace for all twelve trigger sequences.
+#[must_use]
+pub fn scan(trace: &Trace) -> VulnReport {
+    let mut report = VulnReport::default();
+    let mut add = |cve: Cve, at: SimTime, witness: String| {
+        report
+            .triggered
+            .entry(cve)
+            .or_insert(TriggerEvidence { at, witness });
+    };
+
+    // Sequencing state for the multi-step detectors.
+    // CVE-2018-5092: fetch started (with signal) from a worker thread →
+    // that worker really terminated while the fetch was pending → abort
+    // delivered to the dead-owner request.
+    let mut worker_threads = HashMap::new(); // thread → worker
+    let mut pending_worker_fetches = HashMap::new(); // req → thread
+    let mut settled = HashSet::new();
+    let mut dead_threads = HashSet::new();
+    // CVE-2014-1488: transfer freed → later access of that buffer.
+    let mut freed_buffers = HashSet::new();
+    // CVE-2011-1190: inherited-origin sandboxed worker → authorized request.
+    let mut tainted_threads = HashSet::new();
+
+    for (t, fact) in trace.facts() {
+        let at = *t;
+        match fact {
+            Fact::WorkerStarted { worker, thread, sandboxed_parent, inherited_origin, .. } => {
+                worker_threads.insert(*thread, *worker);
+                if *sandboxed_parent && *inherited_origin {
+                    tainted_threads.insert(*thread);
+                }
+            }
+            Fact::FetchStarted { req, thread, has_signal }
+                if *has_signal && worker_threads.contains_key(thread) => {
+                    pending_worker_fetches.insert(*req, *thread);
+                }
+            Fact::FetchSettled { req, .. } => {
+                settled.insert(*req);
+            }
+            Fact::WorkerTerminated { worker, user_level_only, .. }
+                if !user_level_only => {
+                    if let Some((&thread, _)) =
+                        worker_threads.iter().find(|(_, w)| *w == worker)
+                    {
+                        dead_threads.insert(thread);
+                    }
+                }
+            Fact::AbortDelivered { req, owner, owner_alive } => {
+                let was_worker_fetch = pending_worker_fetches.contains_key(req);
+                if !owner_alive
+                    && was_worker_fetch
+                    && !settled.contains(req)
+                    && dead_threads.contains(owner)
+                {
+                    add(
+                        Cve::Cve2018_5092,
+                        at,
+                        format!("abort reached freed {req} of terminated worker thread {owner}"),
+                    );
+                }
+            }
+            Fact::IdbPersistedInPrivateMode { thread } => {
+                add(
+                    Cve::Cve2017_7843,
+                    at,
+                    format!("indexedDB persisted during private session on {thread}"),
+                );
+            }
+            Fact::ErrorMessageDelivered { source, leaked_cross_origin, message, .. }
+                if *leaked_cross_origin => {
+                    match source {
+                        ErrorSource::ImportScripts => add(
+                            Cve::Cve2015_7215,
+                            at,
+                            format!("importScripts error leaked: {message}"),
+                        ),
+                        ErrorSource::WorkerCreation => add(
+                            Cve::Cve2014_1487,
+                            at,
+                            format!("worker-creation error leaked: {message}"),
+                        ),
+                    }
+                }
+            Fact::MessageToFreedDoc { from, to } => {
+                add(
+                    Cve::Cve2014_3194,
+                    at,
+                    format!("message from {from} delivered to freed document on {to}"),
+                );
+            }
+            Fact::DispatchUseAfterFree { worker } => {
+                add(
+                    Cve::Cve2014_1719,
+                    at,
+                    format!("{worker} terminated mid-dispatch"),
+                );
+            }
+            Fact::TransferFreed { buffer } => {
+                freed_buffers.insert(*buffer);
+            }
+            Fact::FreedBufferAccess { buffer, thread }
+                if freed_buffers.contains(buffer) => {
+                    add(
+                        Cve::Cve2014_1488,
+                        at,
+                        format!("{thread} accessed freed transferred {buffer}"),
+                    );
+                }
+            Fact::CallbackAfterClose { thread } => {
+                add(
+                    Cve::Cve2013_6646,
+                    at,
+                    format!("worker-message callback ran after close on {thread}"),
+                );
+            }
+            Fact::NullDerefOnAssign { worker } => {
+                add(
+                    Cve::Cve2013_5602,
+                    at,
+                    format!("onmessage assigned on closing {worker}"),
+                );
+            }
+            Fact::CrossOriginWorkerRequest { thread, url } => {
+                add(
+                    Cve::Cve2013_1714,
+                    at,
+                    format!("worker thread {thread} sent cross-origin XHR to {url}"),
+                );
+            }
+            Fact::InheritedOriginRequest { thread }
+                if tainted_threads.contains(thread) => {
+                    add(
+                        Cve::Cve2011_1190,
+                        at,
+                        format!("sandbox-created worker on {thread} used inherited origin"),
+                    );
+                }
+            Fact::StaleDocCallback { thread } => {
+                add(
+                    Cve::Cve2010_4576,
+                    at,
+                    format!("completion ran against navigated-away document on {thread}"),
+                );
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::ids::{BufferId, RequestId, ThreadId, WorkerId};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_trace_triggers_nothing() {
+        let report = scan(&Trace::new());
+        assert_eq!(report.count(), 0);
+        for cve in Cve::all() {
+            assert!(!report.is_triggered(cve));
+        }
+    }
+
+    #[test]
+    fn cve_2018_5092_requires_the_full_sequence() {
+        // Abort to a dead owner WITHOUT the worker-fetch prefix: no trigger.
+        let mut trace = Trace::new();
+        trace.fact(
+            t(1),
+            Fact::AbortDelivered { req: RequestId::new(0), owner: ThreadId::new(1), owner_alive: false },
+        );
+        assert!(!scan(&trace).is_triggered(Cve::Cve2018_5092));
+
+        // The full sequence triggers.
+        let mut trace = Trace::new();
+        trace.fact(
+            t(0),
+            Fact::WorkerStarted {
+                worker: WorkerId::new(0),
+                thread: ThreadId::new(1),
+                parent: ThreadId::new(0),
+                sandboxed_parent: false,
+                inherited_origin: true,
+            },
+        );
+        trace.fact(
+            t(1),
+            Fact::FetchStarted { req: RequestId::new(0), thread: ThreadId::new(1), has_signal: true },
+        );
+        trace.fact(
+            t(2),
+            Fact::WorkerTerminated {
+                worker: WorkerId::new(0),
+                reason: jsk_browser::trace::TerminationReason::DocumentTeardown,
+                during_dispatch: false,
+                freed_transfers: 0,
+                user_level_only: false,
+            },
+        );
+        trace.fact(
+            t(3),
+            Fact::AbortDelivered { req: RequestId::new(0), owner: ThreadId::new(1), owner_alive: false },
+        );
+        let report = scan(&trace);
+        assert!(report.is_triggered(Cve::Cve2018_5092));
+        assert_eq!(report.evidence(Cve::Cve2018_5092).unwrap().at, t(3));
+    }
+
+    #[test]
+    fn settled_fetch_does_not_trigger_5092() {
+        let mut trace = Trace::new();
+        trace.fact(
+            t(0),
+            Fact::WorkerStarted {
+                worker: WorkerId::new(0),
+                thread: ThreadId::new(1),
+                parent: ThreadId::new(0),
+                sandboxed_parent: false,
+                inherited_origin: true,
+            },
+        );
+        trace.fact(
+            t(1),
+            Fact::FetchStarted { req: RequestId::new(0), thread: ThreadId::new(1), has_signal: true },
+        );
+        trace.fact(t(2), Fact::FetchSettled { req: RequestId::new(0), ok: true });
+        trace.fact(
+            t(3),
+            Fact::WorkerTerminated {
+                worker: WorkerId::new(0),
+                reason: jsk_browser::trace::TerminationReason::Explicit,
+                during_dispatch: false,
+                freed_transfers: 0,
+                user_level_only: false,
+            },
+        );
+        trace.fact(
+            t(4),
+            Fact::AbortDelivered { req: RequestId::new(0), owner: ThreadId::new(1), owner_alive: false },
+        );
+        assert!(!scan(&trace).is_triggered(Cve::Cve2018_5092));
+    }
+
+    #[test]
+    fn error_leaks_route_to_their_cve_by_source() {
+        let mut trace = Trace::new();
+        trace.fact(
+            t(1),
+            Fact::ErrorMessageDelivered {
+                thread: ThreadId::new(0),
+                source: ErrorSource::WorkerCreation,
+                message: "leak".into(),
+                leaked_cross_origin: true,
+            },
+        );
+        trace.fact(
+            t(2),
+            Fact::ErrorMessageDelivered {
+                thread: ThreadId::new(1),
+                source: ErrorSource::ImportScripts,
+                message: "leak".into(),
+                leaked_cross_origin: true,
+            },
+        );
+        // Sanitized (non-leaking) errors trigger nothing.
+        trace.fact(
+            t(3),
+            Fact::ErrorMessageDelivered {
+                thread: ThreadId::new(1),
+                source: ErrorSource::ImportScripts,
+                message: "Script error.".into(),
+                leaked_cross_origin: false,
+            },
+        );
+        let report = scan(&trace);
+        assert!(report.is_triggered(Cve::Cve2014_1487));
+        assert!(report.is_triggered(Cve::Cve2015_7215));
+        assert_eq!(report.count(), 2);
+    }
+
+    #[test]
+    fn cve_2014_1488_needs_free_before_access() {
+        let mut trace = Trace::new();
+        // Access of a freed buffer that was never a transfer-free: still
+        // requires the TransferFreed prefix.
+        trace.fact(
+            t(1),
+            Fact::FreedBufferAccess { buffer: BufferId::new(0), thread: ThreadId::new(0) },
+        );
+        assert!(!scan(&trace).is_triggered(Cve::Cve2014_1488));
+
+        trace.fact(t(2), Fact::TransferFreed { buffer: BufferId::new(0) });
+        trace.fact(
+            t(3),
+            Fact::FreedBufferAccess { buffer: BufferId::new(0), thread: ThreadId::new(0) },
+        );
+        assert!(scan(&trace).is_triggered(Cve::Cve2014_1488));
+    }
+
+    #[test]
+    fn cve_2011_1190_needs_tainted_worker() {
+        let mut trace = Trace::new();
+        trace.fact(t(1), Fact::InheritedOriginRequest { thread: ThreadId::new(1) });
+        assert!(!scan(&trace).is_triggered(Cve::Cve2011_1190));
+
+        trace.fact(
+            t(2),
+            Fact::WorkerStarted {
+                worker: WorkerId::new(0),
+                thread: ThreadId::new(2),
+                parent: ThreadId::new(0),
+                sandboxed_parent: true,
+                inherited_origin: true,
+            },
+        );
+        trace.fact(t(3), Fact::InheritedOriginRequest { thread: ThreadId::new(2) });
+        assert!(scan(&trace).is_triggered(Cve::Cve2011_1190));
+    }
+
+    #[test]
+    fn single_fact_detectors_fire() {
+        let cases: Vec<(Fact, Cve)> = vec![
+            (
+                Fact::IdbPersistedInPrivateMode { thread: ThreadId::new(0) },
+                Cve::Cve2017_7843,
+            ),
+            (
+                Fact::MessageToFreedDoc { from: ThreadId::new(1), to: ThreadId::new(0) },
+                Cve::Cve2014_3194,
+            ),
+            (
+                Fact::DispatchUseAfterFree { worker: WorkerId::new(0) },
+                Cve::Cve2014_1719,
+            ),
+            (
+                Fact::CallbackAfterClose { thread: ThreadId::new(0) },
+                Cve::Cve2013_6646,
+            ),
+            (
+                Fact::NullDerefOnAssign { worker: WorkerId::new(0) },
+                Cve::Cve2013_5602,
+            ),
+            (
+                Fact::CrossOriginWorkerRequest {
+                    thread: ThreadId::new(1),
+                    url: "https://victim.example/x".into(),
+                },
+                Cve::Cve2013_1714,
+            ),
+            (
+                Fact::StaleDocCallback { thread: ThreadId::new(0) },
+                Cve::Cve2010_4576,
+            ),
+        ];
+        for (fact, cve) in cases {
+            let mut trace = Trace::new();
+            trace.fact(t(1), fact);
+            let report = scan(&trace);
+            assert!(report.is_triggered(cve), "{cve}");
+            assert_eq!(report.count(), 1, "{cve}");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The API-specific compatibility test (§V-B1).
+//!
+//! The paper samples 20 CodePen applications, five per searched API, runs
+//! each under Firefox / Fuzzyfox / DeterFox / JSKernel, and counts apps
+//! with *observable differences* (wrong FPS, stalled animations, broken
+//! output). Result: Fuzzyfox 13/20 differ, DeterFox 7/20, JSKernel 4/20 —
+//! and JSKernel's differences are all time-related (`performance.now`-paced
+//! animations), never functional breakage.
+//!
+//! Our stand-ins are 20 small apps, five per API family, each reporting a
+//! *behaviour metric* (frame rate, animation progress, tick counts, worker
+//! round-trips). An app shows an observable difference under a defense when
+//! its metric deviates from the undefended run by more than the tolerance,
+//! or when it fails to produce output at all.
+
+use jsk_browser::browser::Browser;
+use jsk_browser::scope::JsScope;
+use jsk_browser::task::{cb, worker_script};
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The API family an app exercises (the paper's search terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApiFamily {
+    /// `performance.now`-paced animation/timing apps.
+    PerformanceNow,
+    /// `setTimeout`/`setInterval`-driven apps.
+    Timers,
+    /// `requestAnimationFrame` render loops.
+    AnimationFrame,
+    /// Web-worker compute apps.
+    Workers,
+}
+
+impl ApiFamily {
+    /// All four families, five apps each.
+    pub const ALL: [ApiFamily; 4] = [
+        ApiFamily::PerformanceNow,
+        ApiFamily::Timers,
+        ApiFamily::AnimationFrame,
+        ApiFamily::Workers,
+    ];
+
+    /// The family's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ApiFamily::PerformanceNow => "performance.now",
+            ApiFamily::Timers => "timers",
+            ApiFamily::AnimationFrame => "requestAnimationFrame",
+            ApiFamily::Workers => "workers",
+        }
+    }
+}
+
+/// One synthetic CodePen-style app.
+#[derive(Debug, Clone, Copy)]
+pub struct App {
+    /// The API it exercises.
+    pub family: ApiFamily,
+    /// Index within the family (0..5), varying the app's parameters.
+    pub index: usize,
+}
+
+impl App {
+    /// The twenty apps of the test set.
+    #[must_use]
+    pub fn test_set() -> Vec<App> {
+        let mut apps = Vec::with_capacity(20);
+        for family in ApiFamily::ALL {
+            for index in 0..5 {
+                apps.push(App { family, index });
+            }
+        }
+        apps
+    }
+
+    /// A short identifier.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{}-{}", self.family.name(), self.index)
+    }
+
+    /// Runs the app and returns its behaviour metric (`None` when the app
+    /// produced no output — a hard breakage).
+    pub fn run(&self, browser: &mut Browser) -> Option<f64> {
+        let app = *self;
+        browser.boot(move |scope| app.body(scope));
+        browser.run_for(SimDuration::from_millis(700));
+        browser.record_value("metric").and_then(JsValue::as_f64)
+    }
+
+    fn body(self, scope: &mut JsScope<'_>) {
+        match self.family {
+            // performance.now apps come in two shapes. Indices 0–2 are
+            // *adaptive*: each frame measures its own compute budget with
+            // performance.now and adjusts a quality level — precisely the
+            // "fine-grained time-related operations" whose behaviour the
+            // paper saw change under JSKernel (a kernel clock reports ~zero
+            // in-task time, so the app keeps raising quality). Indices 3–4
+            // pace an animation by elapsed time, which every clock
+            // discipline preserves on average.
+            ApiFamily::PerformanceNow if self.index < 3 => {
+                let frames = 10 + self.index as u32;
+                let budget_ms = 4.0 + self.index as f64;
+                let quality = Rc::new(RefCell::new(10.0f64));
+                fn frame(
+                    scope: &mut JsScope<'_>,
+                    left: u32,
+                    budget_ms: f64,
+                    quality: Rc<RefCell<f64>>,
+                ) {
+                    scope.request_animation_frame(cb(move |scope, _| {
+                        let t0 = scope.performance_now();
+                        scope.compute(SimDuration::from_millis_f64(budget_ms + 2.0));
+                        let t1 = scope.performance_now();
+                        if t1 - t0 > budget_ms {
+                            *quality.borrow_mut() -= 1.0;
+                        } else {
+                            *quality.borrow_mut() += 1.0;
+                        }
+                        if left > 0 {
+                            frame(scope, left - 1, budget_ms, quality.clone());
+                        } else {
+                            scope.record("metric", JsValue::from(*quality.borrow()));
+                        }
+                    }));
+                }
+                frame(scope, frames, budget_ms, quality);
+            }
+            ApiFamily::PerformanceNow => {
+                let frames = 12 + self.index as u32;
+                let pos = Rc::new(RefCell::new(0.0f64));
+                let last = Rc::new(RefCell::new(None::<f64>));
+                fn frame(
+                    scope: &mut JsScope<'_>,
+                    left: u32,
+                    pos: Rc<RefCell<f64>>,
+                    last: Rc<RefCell<Option<f64>>>,
+                ) {
+                    scope.request_animation_frame(cb(move |scope, _| {
+                        let now = scope.performance_now();
+                        if let Some(prev) = *last.borrow() {
+                            // pixels = 0.1 px/ms of *observed* time
+                            *pos.borrow_mut() += (now - prev) * 0.1;
+                        }
+                        *last.borrow_mut() = Some(now);
+                        if left > 0 {
+                            frame(scope, left - 1, pos.clone(), last.clone());
+                        } else {
+                            scope.record("metric", JsValue::from(*pos.borrow()));
+                        }
+                    }));
+                }
+                frame(scope, frames, pos, last);
+            }
+            // A timer-driven app: counts interval firings in a window.
+            ApiFamily::Timers => {
+                let period = 8.0 + self.index as f64 * 4.0;
+                let count = Rc::new(RefCell::new(0.0f64));
+                let c = count.clone();
+                scope.set_interval(period, cb(move |_, _| {
+                    *c.borrow_mut() += 1.0;
+                }));
+                scope.set_timeout(400.0, cb(move |scope, _| {
+                    scope.record("metric", JsValue::from(*count.borrow()));
+                }));
+            }
+            // A rAF render loop: the metric is frames rendered in a window
+            // (the app's FPS).
+            ApiFamily::AnimationFrame => {
+                let frames = Rc::new(RefCell::new(0.0f64));
+                fn render(scope: &mut JsScope<'_>, frames: Rc<RefCell<f64>>) {
+                    scope.request_animation_frame(cb(move |scope, _| {
+                        *frames.borrow_mut() += 1.0;
+                        render(scope, frames.clone());
+                    }));
+                }
+                render(scope, frames.clone());
+                scope.set_timeout(400.0, cb(move |scope, _| {
+                    scope.record("metric", JsValue::from(*frames.borrow()));
+                }));
+            }
+            // A worker compute app: ship N jobs to a worker, metric = sum of
+            // results (functional, not timing — must be identical under
+            // every defense).
+            ApiFamily::Workers => {
+                let jobs = 3 + self.index as u32;
+                let w = scope.create_worker(
+                    "compute.js",
+                    worker_script(|scope| {
+                        scope.set_onmessage(cb(|scope, v| {
+                            let n = v.as_f64().unwrap_or_default();
+                            scope.post_message(JsValue::from(n * n));
+                        }));
+                    }),
+                );
+                let sum = Rc::new(RefCell::new(0.0f64));
+                let got = Rc::new(RefCell::new(0u32));
+                let s2 = sum.clone();
+                scope.set_worker_onmessage(w, cb(move |scope, v| {
+                    *s2.borrow_mut() += v.as_f64().unwrap_or_default();
+                    *got.borrow_mut() += 1;
+                    if *got.borrow() == jobs {
+                        scope.record("metric", JsValue::from(*s2.borrow()));
+                    }
+                }));
+                for i in 1..=jobs {
+                    scope.post_message_to_worker(w, JsValue::from(f64::from(i)));
+                }
+            }
+        }
+    }
+}
+
+/// One app's comparison against the undefended baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppComparison {
+    /// App id.
+    pub app: String,
+    /// Baseline metric (undefended).
+    pub baseline: Option<f64>,
+    /// Defended metric.
+    pub defended: Option<f64>,
+    /// Whether the difference is observable.
+    pub observable_difference: bool,
+}
+
+/// Relative tolerance below which a metric difference is not "observable".
+pub const TOLERANCE: f64 = 0.10;
+
+/// Runs the 20-app test set under `defended` and compares against
+/// `baseline` (both constructors receive the seed).
+pub fn run_comparison(
+    mut baseline: impl FnMut(u64) -> Browser,
+    mut defended: impl FnMut(u64) -> Browser,
+) -> Vec<AppComparison> {
+    App::test_set()
+        .into_iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let seed = 0xC0DE + i as u64;
+            let base = app.run(&mut baseline(seed));
+            let def = app.run(&mut defended(seed));
+            let observable = match (base, def) {
+                (Some(b), Some(d)) => {
+                    let scale = b.abs().max(1e-9);
+                    (d - b).abs() / scale > TOLERANCE
+                }
+                (None, None) => false,
+                _ => true, // one side produced nothing: hard breakage
+            };
+            AppComparison {
+                app: app.id(),
+                baseline: base,
+                defended: def,
+                observable_difference: observable,
+            }
+        })
+        .collect()
+}
+
+/// Counts observable differences.
+#[must_use]
+pub fn observable_count(rows: &[AppComparison]) -> usize {
+    rows.iter().filter(|r| r.observable_difference).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::browser::BrowserConfig;
+    use jsk_browser::mediator::LegacyMediator;
+    use jsk_browser::profile::BrowserProfile;
+
+    fn legacy(seed: u64) -> Browser {
+        Browser::new(
+            BrowserConfig::new(BrowserProfile::firefox(), seed),
+            Box::new(LegacyMediator),
+        )
+    }
+
+    #[test]
+    fn twenty_apps_five_per_family() {
+        let apps = App::test_set();
+        assert_eq!(apps.len(), 20);
+        for family in ApiFamily::ALL {
+            assert_eq!(apps.iter().filter(|a| a.family == family).count(), 5);
+        }
+    }
+
+    #[test]
+    fn every_app_produces_a_metric_on_legacy() {
+        for app in App::test_set() {
+            let m = app.run(&mut legacy(1));
+            assert!(m.is_some(), "{} produced no output", app.id());
+        }
+    }
+
+    #[test]
+    fn legacy_vs_legacy_shows_no_observable_differences() {
+        let rows = run_comparison(legacy, legacy);
+        assert_eq!(observable_count(&rows), 0, "{rows:#?}");
+    }
+}

@@ -1,0 +1,264 @@
+//! A Dromaeo-like JavaScript micro-benchmark suite (§V-A1).
+//!
+//! Dromaeo mixes pure-computation tests (math, strings, regexes) with
+//! DOM-heavy tests. Interposition-based defenses pay per *interposed call*,
+//! so pure-compute tests show ~0 % overhead while the DOM-attribute test —
+//! thousands of attribute gets/sets and little else — is the worst case
+//! (the paper measures 21.15 % for JSKernel; suite mean 1.99 %, median
+//! 0.30 %).
+//!
+//! Durations are measured by the harness (`Browser::thread_busy_until`),
+//! not by in-page clocks, so the numbers are meaningful under
+//! clock-degrading defenses too.
+
+use jsk_browser::browser::Browser;
+use jsk_browser::ids::MAIN_THREAD;
+use jsk_browser::scope::JsScope;
+use jsk_browser::task::cb;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One Dromaeo-like test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DromaeoTest {
+    /// Cordic trigonometry (pure compute).
+    MathCordic,
+    /// Prime sieve (pure compute).
+    MathPrimes,
+    /// String concatenation (pure compute).
+    StringConcat,
+    /// Regex matching (pure compute).
+    RegexMatch,
+    /// Array sorting (pure compute).
+    ArraySort,
+    /// Base64 encode/decode (pure compute).
+    Base64,
+    /// JSON round-trips (pure compute).
+    JsonParse,
+    /// Attribute get/set storm — the interposition worst case.
+    DomAttr,
+    /// Element creation + append.
+    DomModify,
+    /// Tree traversal with occasional attribute reads.
+    DomTraverse,
+    /// Query-like scans over attributes.
+    DomQuery,
+    /// Timer scheduling churn.
+    EventTimers,
+    /// Clock-read churn.
+    TimeNow,
+    /// Mixed page update (DOM + compute).
+    PageUpdate,
+}
+
+impl DromaeoTest {
+    /// The full suite in display order.
+    #[must_use]
+    pub fn suite() -> [DromaeoTest; 14] {
+        [
+            DromaeoTest::MathCordic,
+            DromaeoTest::MathPrimes,
+            DromaeoTest::StringConcat,
+            DromaeoTest::RegexMatch,
+            DromaeoTest::ArraySort,
+            DromaeoTest::Base64,
+            DromaeoTest::JsonParse,
+            DromaeoTest::DomAttr,
+            DromaeoTest::DomModify,
+            DromaeoTest::DomTraverse,
+            DromaeoTest::DomQuery,
+            DromaeoTest::EventTimers,
+            DromaeoTest::TimeNow,
+            DromaeoTest::PageUpdate,
+        ]
+    }
+
+    /// Test name as Dromaeo prints it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DromaeoTest::MathCordic => "math-cordic",
+            DromaeoTest::MathPrimes => "math-primes",
+            DromaeoTest::StringConcat => "string-concat",
+            DromaeoTest::RegexMatch => "regex-match",
+            DromaeoTest::ArraySort => "array-sort",
+            DromaeoTest::Base64 => "string-base64",
+            DromaeoTest::JsonParse => "json-parse",
+            DromaeoTest::DomAttr => "dom-attr",
+            DromaeoTest::DomModify => "dom-modify",
+            DromaeoTest::DomTraverse => "dom-traverse",
+            DromaeoTest::DomQuery => "dom-query",
+            DromaeoTest::EventTimers => "event-timers",
+            DromaeoTest::TimeNow => "time-now",
+            DromaeoTest::PageUpdate => "page-update",
+        }
+    }
+
+    /// Runs the test body against a scope.
+    pub fn run(self, scope: &mut JsScope<'_>) {
+        match self {
+            DromaeoTest::MathCordic => scope.busy_loop(600_000),
+            DromaeoTest::MathPrimes => scope.busy_loop(800_000),
+            DromaeoTest::StringConcat => {
+                scope.busy_loop(300_000);
+                scope.compute(SimDuration::from_micros(900));
+            }
+            DromaeoTest::RegexMatch => scope.compute(SimDuration::from_millis(11)),
+            DromaeoTest::ArraySort => scope.compute(SimDuration::from_millis(9)),
+            DromaeoTest::Base64 => scope.compute(SimDuration::from_millis(7)),
+            DromaeoTest::JsonParse => scope.compute(SimDuration::from_millis(8)),
+            DromaeoTest::DomAttr => {
+                let el = scope.create_element("div");
+                for i in 0..12_000 {
+                    scope.set_attribute(el, "data-k", format!("{i}"));
+                    let _ = scope.get_attribute(el, "data-k");
+                }
+            }
+            DromaeoTest::DomModify => {
+                let root = scope.document_root();
+                for _ in 0..1_500 {
+                    let el = scope.create_element("span");
+                    scope.append_child(root, el);
+                }
+            }
+            DromaeoTest::DomTraverse => {
+                let root = scope.document_root();
+                let el = scope.create_element("ul");
+                scope.append_child(root, el);
+                for _ in 0..2_000 {
+                    let _ = scope.get_attribute(el, "class");
+                    scope.compute(SimDuration::from_nanos(2_500));
+                }
+            }
+            DromaeoTest::DomQuery => {
+                let el = scope.create_element("table");
+                for _ in 0..3_000 {
+                    let _ = scope.get_attribute(el, "id");
+                    scope.compute(SimDuration::from_nanos(1_200));
+                }
+            }
+            DromaeoTest::EventTimers => {
+                for _ in 0..300 {
+                    let id = scope.set_timeout(1_000.0, cb(|_, _| {}));
+                    scope.clear_timer(id);
+                }
+                scope.compute(SimDuration::from_millis(2));
+            }
+            DromaeoTest::TimeNow => {
+                // Clock reads interleaved with the work they time, like real
+                // animation/benchmark code.
+                for _ in 0..8_000 {
+                    let _ = scope.performance_now();
+                    scope.compute(SimDuration::from_nanos(400));
+                }
+            }
+            DromaeoTest::PageUpdate => {
+                let root = scope.document_root();
+                for i in 0..400 {
+                    let el = scope.create_element("li");
+                    scope.set_attribute(el, "idx", format!("{i}"));
+                    scope.append_child(root, el);
+                    scope.compute(SimDuration::from_micros(20));
+                }
+            }
+        }
+    }
+}
+
+/// One test's measured duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DromaeoResult {
+    /// Test name.
+    pub test: String,
+    /// Duration in milliseconds (harness-measured CPU time).
+    pub ms: f64,
+}
+
+/// Runs the whole suite in `browser`, one test per task, and returns the
+/// per-test durations.
+pub fn run_suite(browser: &mut Browser) -> Vec<DromaeoResult> {
+    let mut results = Vec::new();
+    for test in DromaeoTest::suite() {
+        let before = browser.thread_busy_until(MAIN_THREAD);
+        browser.boot(move |scope| {
+            test.run(scope);
+            scope.record(format!("done/{}", test.name()), JsValue::from(true));
+        });
+        browser.run_until_idle();
+        let after = browser.thread_busy_until(MAIN_THREAD);
+        results.push(DromaeoResult {
+            test: test.name().to_owned(),
+            ms: after.saturating_duration_since(before).as_millis_f64(),
+        });
+    }
+    results
+}
+
+/// Per-test percentage overhead of `defended` relative to `baseline`.
+///
+/// # Panics
+///
+/// Panics if the two suites are not aligned test-for-test.
+#[must_use]
+pub fn overhead_percent(
+    baseline: &[DromaeoResult],
+    defended: &[DromaeoResult],
+) -> Vec<(String, f64)> {
+    baseline
+        .iter()
+        .zip(defended)
+        .map(|(b, d)| {
+            assert_eq!(b.test, d.test, "suites must align");
+            let pct = if b.ms > 0.0 { (d.ms - b.ms) / b.ms * 100.0 } else { 0.0 };
+            (b.test.clone(), pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::browser::BrowserConfig;
+    use jsk_browser::mediator::LegacyMediator;
+    use jsk_browser::profile::BrowserProfile;
+    use jsk_sim::stats::percentile;
+
+    fn run_with(mediator: Box<dyn jsk_browser::mediator::Mediator>) -> Vec<DromaeoResult> {
+        let mut b = Browser::new(BrowserConfig::new(BrowserProfile::chrome(), 99), mediator);
+        run_suite(&mut b)
+    }
+
+    #[test]
+    fn suite_runs_and_every_test_takes_time() {
+        let results = run_with(Box::new(LegacyMediator));
+        assert_eq!(results.len(), 14);
+        for r in &results {
+            assert!(r.ms > 0.5, "{} took {} ms", r.test, r.ms);
+        }
+    }
+
+    #[test]
+    fn legacy_rerun_is_reproducible() {
+        let a = run_with(Box::new(LegacyMediator));
+        let b = run_with(Box::new(LegacyMediator));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.ms - y.ms).abs() < 1e-9, "{}", x.test);
+        }
+    }
+
+    #[test]
+    fn overhead_percent_aligns_and_computes() {
+        let base = vec![DromaeoResult { test: "t".into(), ms: 100.0 }];
+        let def = vec![DromaeoResult { test: "t".into(), ms: 121.0 }];
+        let o = overhead_percent(&base, &def);
+        assert!((o[0].1 - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_is_computable_over_suite() {
+        let results = run_with(Box::new(LegacyMediator));
+        let times: Vec<f64> = results.iter().map(|r| r.ms).collect();
+        assert!(percentile(&times, 50.0) > 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # jsk-workloads — evaluation workloads
+//!
+//! Synthetic, seeded stand-ins for the paper's evaluation workloads:
+//! Alexa-like site profiles ([`site`]), the Raptor tp6 loading test
+//! ([`raptor`]), a Dromaeo-like micro benchmark suite ([`dromaeo`]), the
+//! 16-worker creation benchmark ([`workerbench`]), and the DOM-similarity
+//! compatibility methodology ([`compat`]).
+
+pub mod codepen;
+pub mod compat;
+pub mod dromaeo;
+pub mod raptor;
+pub mod site;
+pub mod workerbench;
+
+pub use site::{load_result, load_site, load_site_in_context, LoadResult, SiteProfile};

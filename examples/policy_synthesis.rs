@@ -1,0 +1,49 @@
+//! Automatic policy extraction (the paper's §VI future work, implemented):
+//! observe an exploit on the undefended browser, derive a blocking policy
+//! from the trace's dangerous facts alone, install it, and show the re-run
+//! is clean.
+//!
+//! ```sh
+//! cargo run --example policy_synthesis
+//! ```
+
+use jskernel::attacks::cve_exploits::Exploit2018_5092;
+use jskernel::attacks::harness::CveExploit;
+use jskernel::browser::Browser;
+use jskernel::core::policy::synthesize;
+use jskernel::core::{config::KernelConfig, kernel::JsKernel};
+use jskernel::vuln::oracle;
+use jskernel::DefenseKind;
+
+fn main() {
+    let exploit = Exploit2018_5092;
+    let cve = exploit.cve();
+
+    // Phase 1 — observe: run the exploit on the undefended browser.
+    let mut victim = Browser::new(
+        DefenseKind::LegacyChrome.config(1),
+        DefenseKind::LegacyChrome.mediator(),
+    );
+    exploit.run(&mut victim);
+    let report = oracle::scan(victim.trace());
+    println!("observation run ({}):", cve);
+    for (c, e) in report.triggered() {
+        println!("  triggered {c}: {}", e.witness);
+    }
+
+    // Phase 2 — extract: derive rules from the dangerous facts (the
+    // synthesizer never consults the CVE oracle).
+    let policy = synthesize("observed", victim.trace()).expect("dangerous trace");
+    println!("\nsynthesized policy:\n{}", policy.to_json());
+
+    // Phase 3 — enforce: install only the synthesized policy and re-run.
+    let kernel = JsKernel::new(KernelConfig::timing_only().with_policy(policy));
+    let mut defended = Browser::new(DefenseKind::JsKernel.config(1), Box::new(kernel));
+    exploit.run(&mut defended);
+    let report = oracle::scan(defended.trace());
+    println!(
+        "re-run under the synthesized policy: {} triggered vulnerabilities",
+        report.count()
+    );
+    assert_eq!(report.count(), 0);
+}

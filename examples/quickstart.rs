@@ -1,0 +1,65 @@
+//! Quickstart: build a simulated browser, install the JSKernel, and run a
+//! page that uses timers, a worker, `fetch`, and the DOM.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use jskernel::browser::net::ResourceSpec;
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::browser::{Browser, BrowserConfig, JsValue};
+use jskernel::browser_profile::BrowserProfile;
+use jskernel::{JsKernel, KernelConfig};
+
+fn main() {
+    // A Chrome-profile browser with the full JSKernel (deterministic
+    // scheduling + all twelve CVE policies) installed as its "extension".
+    let cfg = BrowserConfig::new(BrowserProfile::chrome(), 42);
+    let mut browser = Browser::new(cfg, Box::new(JsKernel::new(KernelConfig::full())));
+
+    browser.register_resource("https://attacker.example/data.json", ResourceSpec::of_size(4_096));
+
+    browser.boot(|scope| {
+        // DOM.
+        let heading = scope.create_element("h1");
+        scope.set_text(heading, "hello from user space");
+        let root = scope.document_root();
+        scope.append_child(root, heading);
+
+        // A worker that doubles numbers.
+        let worker = scope.create_worker(
+            "doubler.js",
+            worker_script(|scope| {
+                scope.set_onmessage(cb(|scope, v| {
+                    let n = v.as_f64().unwrap_or_default();
+                    scope.post_message(JsValue::from(n * 2.0));
+                }));
+            }),
+        );
+        scope.set_worker_onmessage(worker, cb(|scope, v| {
+            scope.record("doubled", v);
+        }));
+        scope.set_timeout(5.0, cb(move |scope, _| {
+            scope.post_message_to_worker(worker, JsValue::from(21.0));
+        }));
+
+        // A fetch.
+        scope.fetch("https://attacker.example/data.json", None, cb(|scope, v| {
+            scope.record("fetch_ok", v.get("ok").cloned().unwrap_or_default());
+        }));
+
+        // The kernel clock: reads advance with API activity, not physical
+        // time.
+        let t0 = scope.performance_now();
+        scope.record("clock_ms", JsValue::from(t0));
+    });
+
+    browser.run_until_idle();
+
+    println!("defense installed : {}", browser.defense_name());
+    println!("doubled 21        : {:?}", browser.record_value("doubled"));
+    println!("fetch ok          : {:?}", browser.record_value("fetch_ok"));
+    println!("kernel clock (ms) : {:?}", browser.record_value("clock_ms"));
+    println!("document          : {}", browser.dom().serialize());
+    println!("simulated events  : {}", browser.steps());
+}

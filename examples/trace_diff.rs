@@ -1,0 +1,84 @@
+//! Trace forensics: run the same exploit under the undefended browser and
+//! under JSKernel, export both traces as JSON, and diff their dangerous
+//! facts — the workflow an analyst uses to see *what* a defense changed.
+//!
+//! ```sh
+//! cargo run --example trace_diff
+//! ```
+
+use jskernel::attacks::cve_exploits::Exploit2014_1488;
+use jskernel::attacks::harness::CveExploit;
+use jskernel::browser::trace::{Fact, Trace, TraceItem};
+use jskernel::browser::Browser;
+use jskernel::DefenseKind;
+use std::collections::BTreeMap;
+
+/// Buckets a trace's facts by variant name.
+fn fact_histogram(trace: &Trace) -> BTreeMap<String, usize> {
+    let mut hist = BTreeMap::new();
+    for entry in trace.entries() {
+        if let TraceItem::Fact(f) = &entry.item {
+            let label = match f {
+                Fact::FetchStarted { .. } => "FetchStarted",
+                Fact::FetchSettled { .. } => "FetchSettled",
+                Fact::AbortDelivered { .. } => "AbortDelivered",
+                Fact::WorkerStarted { .. } => "WorkerStarted",
+                Fact::WorkerTerminated { user_level_only: false, .. } => "WorkerTerminated(real)",
+                Fact::WorkerTerminated { .. } => "WorkerTerminated(user-level)",
+                Fact::TransferFreed { .. } => "TransferFreed",
+                Fact::FreedBufferAccess { .. } => "FreedBufferAccess",
+                Fact::Denied { .. } => "Denied",
+                other => {
+                    let dbg = format!("{other:?}");
+                    let name = dbg.split([' ', '{']).next().unwrap_or("Other").to_owned();
+                    return_insert(&mut hist, name);
+                    continue;
+                }
+            };
+            return_insert(&mut hist, label.to_owned());
+        }
+    }
+    hist
+}
+
+fn return_insert(hist: &mut BTreeMap<String, usize>, key: String) {
+    *hist.entry(key).or_insert(0) += 1;
+}
+
+fn run(kind: DefenseKind) -> Browser {
+    let exploit = Exploit2014_1488;
+    let mut cfg = kind.config(3);
+    exploit.configure(&mut cfg);
+    let mut browser = Browser::new(cfg, kind.mediator());
+    exploit.run(&mut browser);
+    browser
+}
+
+fn main() {
+    let legacy = run(DefenseKind::LegacyChrome);
+    let kernel = run(DefenseKind::JsKernel);
+
+    println!("CVE-2014-1488 exploit — fact histograms\n");
+    println!("{:<30}{:>8}{:>10}", "fact", "legacy", "jskernel");
+    let lh = fact_histogram(legacy.trace());
+    let kh = fact_histogram(kernel.trace());
+    let keys: std::collections::BTreeSet<_> = lh.keys().chain(kh.keys()).collect();
+    for k in keys {
+        println!(
+            "{:<30}{:>8}{:>10}",
+            k,
+            lh.get(k).copied().unwrap_or(0),
+            kh.get(k).copied().unwrap_or(0)
+        );
+    }
+
+    // The JSON export is what offline tools (and the policy synthesizer)
+    // consume.
+    let json = kernel.trace_json();
+    println!(
+        "\nkernel trace: {} entries, {} bytes of JSON (Browser::trace_json)",
+        kernel.trace().len(),
+        json.len()
+    );
+    assert!(json.contains("WorkerTerminated"));
+}

@@ -1,0 +1,51 @@
+//! # jskernel — reproduction of "JSKernel: Fortifying JavaScript against
+//! Web Concurrency Attacks via a Kernel-like Structure" (DSN 2020)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — the discrete-event simulation substrate;
+//! * [`browser`] — the event-driven browser (threads, event loops, workers,
+//!   timers, messaging, DOM, network) with the defense-mediator seam;
+//! * [`core`] — **JSKernel itself**: kernel event queue, kernel clock,
+//!   two-phase scheduler, dispatcher, thread manager, and JSON security
+//!   policies;
+//! * [`defenses`] — the baselines: Fuzzyfox, DeterFox, Tor Browser,
+//!   Chrome Zero, and the legacy browsers;
+//! * [`vuln`] — trigger models and the exploit oracle for the twelve
+//!   web-concurrency CVEs;
+//! * [`attacks`] — the full Table I attack suite with statistical verdicts;
+//! * [`workloads`] — Alexa-like sites, Raptor tp6, a Dromaeo-like micro
+//!   suite, the worker benchmark, and the compatibility methodology.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use jskernel::browser::{Browser, BrowserConfig};
+//! use jskernel::browser_profile::BrowserProfile;
+//! use jskernel::core::{config::KernelConfig, kernel::JsKernel};
+//!
+//! // A Chrome-profile browser with the full JSKernel installed.
+//! let cfg = BrowserConfig::new(BrowserProfile::chrome(), 42);
+//! let mut browser = Browser::new(cfg, Box::new(JsKernel::new(KernelConfig::full())));
+//! browser.boot(|scope| {
+//!     let t = scope.performance_now();
+//!     scope.console_log(jskernel::browser::JsValue::from(t));
+//! });
+//! browser.run_until_idle();
+//! assert_eq!(browser.console().len(), 1);
+//! ```
+
+pub use jsk_attacks as attacks;
+pub use jsk_browser as browser;
+pub use jsk_core as core;
+pub use jsk_defenses as defenses;
+pub use jsk_sim as sim;
+pub use jsk_vuln as vuln;
+pub use jsk_workloads as workloads;
+
+/// Convenience re-export of the engine profiles.
+pub use jsk_browser::profile as browser_profile;
+/// Convenience re-export of the defense registry.
+pub use jsk_defenses::registry::DefenseKind;
+/// Convenience re-export of the kernel.
+pub use jsk_core::{JsKernel, KernelConfig};

@@ -1,0 +1,159 @@
+//! Workspace-level integration tests: the full stack (simulator → browser →
+//! defenses → kernel → attacks → oracle) exercised end to end.
+
+use jskernel::attacks::cve_exploits::{all_exploits, Exploit2018_5092};
+use jskernel::attacks::harness::{run_cve_attack, run_timing_attack};
+use jskernel::attacks::{CacheAttack, SvgFiltering};
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::browser::{Browser, BrowserConfig, JsValue};
+use jskernel::browser_profile::BrowserProfile;
+use jskernel::DefenseKind;
+
+#[test]
+fn jskernel_defends_the_whole_matrix_spotcheck() {
+    // A representative timing attack and every CVE exploit against the
+    // kernel — all must be defended (Table I's JSKernel column).
+    let svg = run_timing_attack(&SvgFiltering::default(), DefenseKind::JsKernel, 5, 1);
+    assert!(svg.defended(), "SVG: {:?} vs {:?}", svg.a, svg.b);
+    for exploit in all_exploits() {
+        let r = run_cve_attack(exploit.as_ref(), DefenseKind::JsKernel, 1);
+        assert!(r.defended(), "{} leaked: {:?}", r.cve, r.witness);
+    }
+}
+
+#[test]
+fn legacy_browsers_are_vulnerable_spotcheck() {
+    let svg = run_timing_attack(&SvgFiltering::default(), DefenseKind::LegacyChrome, 5, 2);
+    assert!(!svg.defended(), "legacy must be vulnerable to SVG filtering");
+    let cache = run_timing_attack(&CacheAttack, DefenseKind::LegacyFirefox, 5, 2);
+    assert!(!cache.defended(), "legacy must be vulnerable to the cache attack");
+    for exploit in all_exploits() {
+        let r = run_cve_attack(exploit.as_ref(), DefenseKind::LegacyChrome, 2);
+        assert!(!r.defended(), "{} must trigger on legacy Chrome", r.cve);
+    }
+}
+
+#[test]
+fn timing_only_defenses_do_not_stop_cves() {
+    for kind in [DefenseKind::Fuzzyfox, DefenseKind::DeterFox, DefenseKind::TorBrowser] {
+        let r = run_cve_attack(&Exploit2018_5092, kind, 3);
+        assert!(
+            !r.defended(),
+            "{} is a timing defense; CVE-2018-5092 must still trigger",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn chrome_zero_polyfill_blocks_worker_parallelism_cves_only() {
+    use jskernel::vuln::Cve;
+    let mut defended = Vec::new();
+    let mut vulnerable = Vec::new();
+    for exploit in all_exploits() {
+        let r = run_cve_attack(exploit.as_ref(), DefenseKind::ChromeZero, 4);
+        if r.defended() {
+            defended.push(r.cve);
+        } else {
+            vulnerable.push(r.cve);
+        }
+    }
+    // The polyfill removes real worker threads: the UAF/teardown CVEs die…
+    for cve in [Cve::Cve2018_5092, Cve::Cve2014_1488, Cve::Cve2014_1719] {
+        assert!(defended.contains(&cve), "{cve} should die with the polyfill");
+    }
+    // …but single-API information leaks survive (the paper's point: Chrome
+    // Zero cannot see multi-function sequences).
+    for cve in [Cve::Cve2017_7843, Cve::Cve2014_1487, Cve::Cve2015_7215] {
+        assert!(vulnerable.contains(&cve), "{cve} should survive Chrome Zero");
+    }
+}
+
+#[test]
+fn same_seed_same_records_across_full_stack() {
+    let run = || {
+        let mut b = DefenseKind::JsKernel.build(99);
+        b.boot(|scope| {
+            let w = scope.create_worker(
+                "w.js",
+                worker_script(|scope| {
+                    scope.set_onmessage(cb(|scope, v| {
+                        let n = v.as_f64().unwrap_or_default();
+                        scope.post_message(JsValue::from(n + 1.0));
+                    }));
+                }),
+            );
+            scope.set_worker_onmessage(w, cb(|scope, v| {
+                let t = scope.performance_now();
+                scope.record("reply_at", JsValue::from(t));
+                scope.record("reply", v);
+            }));
+            scope.post_message_to_worker(w, JsValue::from(1.0));
+        });
+        b.run_until_idle();
+        (
+            b.record_value("reply").cloned(),
+            b.record_value("reply_at").cloned(),
+            b.trace().len(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn kernel_preserves_functional_behaviour_of_a_busy_page() {
+    // Backward compatibility: a page exercising most of the API surface
+    // computes identical *functional* results under legacy and kernel.
+    let run = |kind: DefenseKind| {
+        let mut b = kind.build(123);
+        b.boot(|scope| {
+            // DOM tree.
+            let root = scope.document_root();
+            for i in 0..5 {
+                let li = scope.create_element("li");
+                scope.set_attribute(li, "n", format!("{i}"));
+                scope.append_child(root, li);
+            }
+            // Timer arithmetic.
+            scope.set_timeout(3.0, cb(|scope, _| {
+                scope.record("three", JsValue::from(3.0));
+            }));
+            // Worker round trip with transfer.
+            let w = scope.create_worker(
+                "w.js",
+                worker_script(|scope| {
+                    scope.set_onmessage(cb(|scope, v| {
+                        scope.post_message(v);
+                    }));
+                }),
+            );
+            scope.set_worker_onmessage(w, cb(|scope, v| {
+                scope.record("echo", v);
+            }));
+            scope.post_message_to_worker(w, JsValue::from("payload"));
+        });
+        b.run_until_idle();
+        (
+            b.dom().serialize(),
+            b.record_value("three").cloned(),
+            b.record_value("echo").cloned(),
+        )
+    };
+    let legacy = run(DefenseKind::LegacyChrome);
+    let kernel = run(DefenseKind::JsKernel);
+    assert_eq!(legacy, kernel);
+}
+
+#[test]
+fn private_mode_flows_through_harness_config() {
+    let mut cfg = BrowserConfig::new(BrowserProfile::chrome(), 5);
+    cfg.private_mode = true;
+    let mut b = Browser::new(cfg, DefenseKind::JsKernel.mediator());
+    b.boot(|scope| {
+        let ok = scope.idb_open("db", true);
+        scope.record("ok", JsValue::from(ok));
+    });
+    b.run_until_idle();
+    assert_eq!(b.record_value("ok"), Some(&JsValue::from(false)));
+    assert_eq!(b.idb_private_leftovers(), 0);
+}

@@ -1,0 +1,59 @@
+//! The kernel's runtime statistics tell the defense's story: scheduling
+//! pressure under attack, policy denials per rule.
+
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::browser::{Browser, JsValue};
+use jskernel::core::JsKernel;
+use jskernel::sim::time::SimDuration;
+use jskernel::DefenseKind;
+
+fn busy_page(browser: &mut Browser) {
+    browser.boot(|scope| {
+        let w = scope.create_worker(
+            "w.js",
+            worker_script(|scope| {
+                scope.set_interval(2.0, cb(|scope, _| {
+                    scope.post_message(JsValue::from(1.0));
+                }));
+            }),
+        );
+        scope.set_worker_onmessage(w, cb(|_, _| {}));
+        // Cross-origin worker XHR: denied by the 1714 policy.
+        let _w2 = scope.create_worker(
+            "x.js",
+            worker_script(|scope| {
+                scope.xhr_send("https://victim.example/a", cb(|_, _| {}));
+                scope.xhr_send("https://victim.example/b", cb(|_, _| {}));
+            }),
+        );
+    });
+    browser.run_for(SimDuration::from_millis(200));
+}
+
+#[test]
+fn stats_reflect_scheduling_and_denials() {
+    let mut browser = DefenseKind::JsKernel.build(55);
+    busy_page(&mut browser);
+    let kernel: &JsKernel = browser.mediator_as().expect("kernel installed");
+    let stats = kernel.stats();
+    assert!(stats.registered > 20, "events registered: {}", stats.registered);
+    assert!(stats.dispatched > 10, "events dispatched: {}", stats.dispatched);
+    assert!(stats.confirmed >= stats.dispatched);
+    assert_eq!(stats.total_denials(), 2, "{:?}", stats.denials);
+    assert!(stats
+        .denials
+        .keys()
+        .all(|k| k.contains("1714")), "{:?}", stats.denials);
+    assert!(stats.api_calls > 4);
+    // The Display form is a readable one-stop summary.
+    let text = stats.to_string();
+    assert!(text.contains("registered"));
+    assert!(text.contains("denials"));
+}
+
+#[test]
+fn non_kernel_mediators_expose_no_stats() {
+    let mut browser = DefenseKind::LegacyChrome.build(56);
+    busy_page(&mut browser);
+    assert!(browser.mediator_as::<JsKernel>().is_none());
+}

@@ -1,0 +1,58 @@
+//! End-to-end test of automatic policy extraction (§VI future work): run an
+//! exploit on the undefended browser, synthesize a policy from the observed
+//! trace, install it into the kernel, and verify the re-run is clean.
+
+use jskernel::attacks::cve_exploits::all_exploits;
+use jskernel::attacks::harness::CveExploit;
+use jskernel::browser::Browser;
+use jskernel::core::policy::synthesize;
+use jskernel::core::{config::KernelConfig, kernel::JsKernel};
+use jskernel::vuln::oracle;
+use jskernel::DefenseKind;
+
+#[test]
+fn synthesized_policies_block_their_own_exploits() {
+    for exploit in all_exploits() {
+        let cve = exploit.cve();
+
+        // 1. Observe the exploit on the undefended browser.
+        let mut cfg = DefenseKind::LegacyChrome.config(7);
+        exploit.configure(&mut cfg);
+        let mut victim = Browser::new(cfg, DefenseKind::LegacyChrome.mediator());
+        exploit.run(&mut victim);
+        assert!(
+            oracle::scan(victim.trace()).is_triggered(cve),
+            "{cve}: the observation run must exhibit the trigger"
+        );
+
+        // 2. Extract a policy from the trace alone (no CVE knowledge).
+        let policy = synthesize(cve.id(), victim.trace())
+            .unwrap_or_else(|| panic!("{cve}: dangerous trace must yield a policy"));
+
+        // 3. Install *only* the synthesized policy (plus deterministic
+        //    scheduling) and re-run the exploit.
+        let kernel_cfg = KernelConfig::timing_only().with_policy(policy);
+        let mut bcfg = DefenseKind::JsKernel.config(7);
+        exploit.configure(&mut bcfg);
+        let mut defended = Browser::new(bcfg, Box::new(JsKernel::new(kernel_cfg)));
+        exploit.run(&mut defended);
+        let report = oracle::scan(defended.trace());
+        assert!(
+            !report.is_triggered(cve),
+            "{cve}: the synthesized policy must block the re-run: {:?}",
+            report.evidence(cve)
+        );
+    }
+}
+
+#[test]
+fn synthesis_on_a_benign_run_yields_nothing() {
+    let mut browser = DefenseKind::LegacyChrome.build(8);
+    browser.boot(|scope| {
+        scope.set_timeout(5.0, jskernel::browser::cb(|scope, _| {
+            let _ = scope.performance_now();
+        }));
+    });
+    browser.run_until_idle();
+    assert!(synthesize("benign", browser.trace()).is_none());
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the kernel's core invariants (DESIGN.md §6).
+
+use jsk_core::equeue::KernelEventQueue;
+use jsk_core::kclock::KernelClock;
+use jsk_core::kevent::{KEventStatus, KernelEvent};
+use jsk_core::policy::{cve, PolicyEngine};
+use jsk_core::threads::ThreadManager;
+use jskernel::browser::event::AsyncKind;
+use jskernel::browser::ids::{EventToken, RequestId, ThreadId};
+use jskernel::browser::trace::ApiCall;
+use jskernel::browser::value::JsValue;
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::sim::time::{SimDuration, SimTime};
+use jskernel::DefenseKind;
+use proptest::prelude::*;
+
+proptest! {
+    /// The kernel event queue pops in non-decreasing predicted order with
+    /// stable ties, regardless of push order.
+    #[test]
+    fn equeue_orders_by_prediction(preds in proptest::collection::vec(0u64..40, 1..120)) {
+        let mut q = KernelEventQueue::new();
+        for (i, &p) in preds.iter().enumerate() {
+            q.push(KernelEvent::pending(
+                EventToken::new(i as u64),
+                ThreadId::new(0),
+                AsyncKind::Raf,
+                SimTime::from_millis(p),
+            ));
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some(e) = q.pop() {
+            if let Some((lp, lt)) = last {
+                prop_assert!(e.predicted >= lp);
+                if e.predicted == lp {
+                    prop_assert!(e.token.index() > lt, "FIFO tie-break");
+                }
+            }
+            last = Some((e.predicted, e.token.index()));
+        }
+    }
+
+    /// drain_dispatchable never returns an event while an earlier-predicted
+    /// event is still pending, under any confirm/cancel pattern.
+    #[test]
+    fn drain_respects_pending_heads(
+        states in proptest::collection::vec(0u8..3, 1..60),
+    ) {
+        let mut q = KernelEventQueue::new();
+        for (i, &s) in states.iter().enumerate() {
+            q.push(KernelEvent::pending(
+                EventToken::new(i as u64),
+                ThreadId::new(0),
+                AsyncKind::Raf,
+                SimTime::from_millis(i as u64),
+            ));
+            let status = match s {
+                0 => KEventStatus::Pending,
+                1 => KEventStatus::Confirmed,
+                _ => KEventStatus::Cancelled,
+            };
+            q.lookup_mut(EventToken::new(i as u64)).unwrap().status = status;
+        }
+        let first_pending = states.iter().position(|&s| s == 0);
+        let drained = q.drain_dispatchable();
+        for e in &drained {
+            if let Some(fp) = first_pending {
+                prop_assert!(
+                    (e.token.index() as usize) < fp,
+                    "drained {} but index {} is pending",
+                    e.token.index(),
+                    fp
+                );
+            }
+            prop_assert_eq!(e.status, KEventStatus::Dispatched);
+        }
+    }
+
+    /// The kernel clock never decreases under any interleaving of ticks and
+    /// advances.
+    #[test]
+    fn kclock_is_monotone(ops in proptest::collection::vec((proptest::bool::ANY, 0u64..50), 1..200)) {
+        let mut c = KernelClock::new(SimDuration::from_micros(1));
+        let mut last = c.display();
+        for (tick, adv) in ops {
+            if tick {
+                c.tick();
+            } else {
+                c.advance_to(SimTime::from_millis(adv));
+            }
+            let now = c.display();
+            prop_assert!(now >= last, "clock went backwards");
+            last = now;
+        }
+    }
+
+    /// The policy engine is deterministic and total: any combination of
+    /// abort facts yields a decision, and the same input twice yields the
+    /// same decision.
+    #[test]
+    fn policy_engine_is_total_and_deterministic(owner_alive in proptest::bool::ANY, req in 0u64..100) {
+        let engine = PolicyEngine::new(cve::all_cve_policies());
+        let threads = ThreadManager::new();
+        let call = ApiCall::DeliverAbort {
+            req: RequestId::new(req),
+            owner: ThreadId::new(1),
+            owner_alive,
+        };
+        let (a, ra) = engine.decide(&call, &threads);
+        let (b, rb) = engine.decide(&call, &threads);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(ra, rb);
+        // Abort suppression iff the owner is gone.
+        prop_assert_eq!(
+            matches!(a, jskernel::browser::mediator::ApiOutcome::Deny { .. }),
+            !owner_alive
+        );
+    }
+
+    /// Full-stack determinism: an arbitrary little program produces the
+    /// same observable records under the kernel for any physical seed.
+    #[test]
+    fn kernel_observables_are_seed_independent(
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+        delays in proptest::collection::vec(1u32..30, 1..5),
+    ) {
+        let run = |seed: u64| {
+            let mut b = DefenseKind::JsKernel.build(seed);
+            let ds = delays.clone();
+            b.boot(move |scope| {
+                let w = scope.create_worker("w.js", worker_script(|scope| {
+                    scope.set_onmessage(cb(|scope, v| {
+                        scope.post_message(v);
+                    }));
+                }));
+                scope.set_worker_onmessage(w, cb(|scope, v| {
+                    let t = scope.performance_now();
+                    let n = v.as_f64().unwrap_or_default();
+                    scope.record(format!("at{n}"), JsValue::from(t));
+                }));
+                for (i, d) in ds.iter().enumerate() {
+                    scope.set_timeout(f64::from(*d), cb(move |scope, _| {
+                        scope.post_message_to_worker(w, JsValue::from(i as f64));
+                    }));
+                }
+            });
+            b.run_until_idle();
+            b.records().clone()
+        };
+        prop_assert_eq!(run(seed_a), run(seed_b));
+    }
+}

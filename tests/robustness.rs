@@ -1,0 +1,137 @@
+//! §VI robustness: self-modifying adversaries and failure injection.
+//!
+//! "Even if the adversary knows that JSKERNEL is present, the adversary
+//! cannot bypass the protection enforced by it."
+
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::browser::value::JsValue;
+use jskernel::core::interface::{KernelInterface, RedefinitionEffect};
+use jskernel::sim::time::SimDuration;
+use jskernel::DefenseKind;
+
+#[test]
+fn redefinition_never_exposes_kernel_objects() {
+    let ki = KernelInterface::standard();
+    // (i)+(ii): whatever the adversary redefines, no kernel object leaks
+    // and non-configurable traps reject.
+    for api in ki.api_names() {
+        let effect = ki.attempt_redefine(api);
+        assert_ne!(
+            ki.entry(api).map(|e| e.kernel_object_exposed),
+            Some(true),
+            "{api} must not expose kernel objects"
+        );
+        if api == "onmessage" || api == "onerror" || api == "onload" {
+            assert_eq!(effect, RedefinitionEffect::Rejected, "{api}");
+        }
+    }
+    assert!(!ki.any_kernel_object_exposed());
+}
+
+#[test]
+fn kernel_is_injected_into_new_contexts() {
+    // (iii): a worker created at runtime is mediated from its first task —
+    // its clock readings are kernel readings, not physical time.
+    let mut b = DefenseKind::JsKernel.build(17);
+    b.boot(|scope| {
+        let _w = scope.create_worker(
+            "late.js",
+            worker_script(|scope| {
+                let t0 = scope.performance_now();
+                scope.compute(SimDuration::from_millis(40));
+                let t1 = scope.performance_now();
+                scope.record("worker_delta", JsValue::from(t1 - t0));
+            }),
+        );
+    });
+    b.run_until_idle();
+    let delta = b
+        .record_value("worker_delta")
+        .and_then(JsValue::as_f64)
+        .expect("worker measured");
+    assert!(
+        delta < 1.0,
+        "a 40 ms compute must be invisible to the kernel clock in a fresh \
+         worker context too, got {delta} ms"
+    );
+}
+
+#[test]
+fn attacker_rewriting_handlers_mid_run_gains_nothing() {
+    // An adversarial page that re-registers its own handlers (the
+    // "self-modifying code" pattern) still observes only kernel time.
+    let mut b = DefenseKind::JsKernel.build(18);
+    b.boot(|scope| {
+        let w = scope.create_worker(
+            "w.js",
+            worker_script(|scope| {
+                scope.post_message(JsValue::from("poke"));
+            }),
+        );
+        // A benign handler, immediately replaced by an "attack" version
+        // measuring a secret — redefinition still goes through the kernel
+        // trap, and the replacement observes only kernel time.
+        scope.set_worker_onmessage(w, cb(|_, _| {}));
+        scope.set_worker_onmessage(w, cb(|scope, _| {
+            let t0 = scope.performance_now();
+            scope.compute(SimDuration::from_millis(25));
+            let t1 = scope.performance_now();
+            scope.record("observed", JsValue::from(t1 - t0));
+        }));
+    });
+    b.run_until_idle();
+    let v = b
+        .record_value("observed")
+        .and_then(JsValue::as_f64)
+        .expect("redefined handler ran");
+    assert!(v < 1.0, "redefined handler still reads kernel time: {v}");
+}
+
+#[test]
+fn message_loss_does_not_wedge_the_kernel_queue() {
+    // Failure injection: a worker is user-terminated while messages are in
+    // flight (they get dropped at user level). Later traffic must still
+    // flow — the kernel queue must not deadlock on the lost events.
+    let mut b = DefenseKind::JsKernel.build(19);
+    b.boot(|scope| {
+        let w = scope.create_worker(
+            "w.js",
+            worker_script(|scope| {
+                scope.set_interval(2.0, cb(|scope, _| {
+                    scope.post_message(JsValue::from(1.0));
+                }));
+            }),
+        );
+        scope.set_worker_onmessage(w, cb(|_, _| {}));
+        scope.set_timeout(30.0, cb(move |scope, _| {
+            scope.terminate_worker(w);
+        }));
+        // Unrelated periodic work must keep running after the loss.
+        scope.set_timeout(120.0, cb(|scope, _| {
+            scope.record("alive_after", JsValue::from(true));
+        }));
+    });
+    b.run_for(SimDuration::from_millis(400));
+    assert_eq!(b.record_value("alive_after"), Some(&JsValue::from(true)));
+}
+
+#[test]
+fn navigation_mid_attack_does_not_wedge_the_kernel_queue() {
+    let mut b = DefenseKind::JsKernel.build(20);
+    b.boot(|scope| {
+        // A page with lots of in-flight async state…
+        for i in 0..20 {
+            scope.set_timeout(f64::from(i) * 3.0, cb(|_, _| {}));
+        }
+        scope.fetch("https://attacker.example/x.bin", None, cb(|_, _| {}));
+        // …navigates away, then schedules fresh work.
+        scope.set_timeout(25.0, cb(|scope, _| {
+            scope.navigate();
+            scope.set_timeout(10.0, cb(|scope, _| {
+                scope.record("post_nav", JsValue::from(true));
+            }));
+        }));
+    });
+    b.run_for(SimDuration::from_millis(400));
+    assert_eq!(b.record_value("post_nav"), Some(&JsValue::from(true)));
+}

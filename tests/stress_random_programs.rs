@@ -1,0 +1,148 @@
+//! Randomized stress: arbitrary little programs over the web-API surface
+//! must (a) run to completion under every defense — no deadlocks, no
+//! panics, no wedged kernel queues — and (b) produce functionally identical
+//! records under legacy and JSKernel (backward compatibility, §V-B).
+
+use jskernel::browser::task::{cb, worker_script};
+use jskernel::browser::{Browser, JsValue};
+use jskernel::sim::time::SimDuration;
+use jskernel::DefenseKind;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One step of a random program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `setTimeout(delay, <count beacon>)`.
+    Timer(u16),
+    /// Compute for the given microseconds.
+    Compute(u32),
+    /// Create an echo worker and ping it.
+    WorkerEcho(u16),
+    /// Fetch a (default) resource.
+    Fetch,
+    /// Self-post a counting task.
+    PostTask,
+    /// Create a worker and immediately terminate it.
+    WorkerChurn,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..60).prop_map(Op::Timer),
+        (10u32..20_000).prop_map(Op::Compute),
+        (1u16..40).prop_map(Op::WorkerEcho),
+        Just(Op::Fetch),
+        Just(Op::PostTask),
+        Just(Op::WorkerChurn),
+    ]
+}
+
+/// Runs a program and returns (beacon count, completed).
+fn run_program(kind: DefenseKind, seed: u64, ops: &[Op]) -> (u64, bool) {
+    let mut browser = kind.build(seed);
+    let ops = ops.to_vec();
+    let expected = ops.len() as u64;
+    browser.boot(move |scope| {
+        let beacons: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+        let beacon = |b: &Rc<RefCell<u64>>| {
+            let b = b.clone();
+            cb(move |scope, _| {
+                *b.borrow_mut() += 1;
+                let n = *b.borrow();
+                scope.record("beacons", JsValue::from(n as f64));
+            })
+        };
+        for op in &ops {
+            match op {
+                Op::Timer(delay) => {
+                    scope.set_timeout(f64::from(*delay), beacon(&beacons));
+                }
+                Op::Compute(us) => {
+                    scope.compute(SimDuration::from_micros(u64::from(*us)));
+                    *beacons.borrow_mut() += 1;
+                    let n = *beacons.borrow();
+                    scope.record("beacons", JsValue::from(n as f64));
+                }
+                Op::WorkerEcho(ping) => {
+                    let w = scope.create_worker(
+                        "echo.js",
+                        worker_script(|scope| {
+                            scope.set_onmessage(cb(|scope, v| {
+                                scope.post_message(v);
+                            }));
+                        }),
+                    );
+                    scope.set_worker_onmessage(w, beacon(&beacons));
+                    let ping = f64::from(*ping);
+                    scope.set_timeout(ping, cb(move |scope, _| {
+                        scope.post_message_to_worker(w, JsValue::from(1.0));
+                    }));
+                }
+                Op::Fetch => {
+                    scope.fetch("https://attacker.example/r", None, beacon(&beacons));
+                }
+                Op::PostTask => {
+                    scope.post_task(beacon(&beacons));
+                }
+                Op::WorkerChurn => {
+                    let w = scope.create_worker("churn.js", worker_script(|_| {}));
+                    scope.set_timeout(3.0, cb(move |scope, _| {
+                        scope.terminate_worker(w);
+                    }));
+                    *beacons.borrow_mut() += 1;
+                    let n = *beacons.borrow();
+                    scope.record("beacons", JsValue::from(n as f64));
+                }
+            }
+        }
+    });
+    browser.run_for(SimDuration::from_secs(5));
+    let beacons = browser
+        .record_value("beacons")
+        .and_then(JsValue::as_f64)
+        .unwrap_or(0.0) as u64;
+    (beacons, beacons == expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every defense runs every program to completion: all beacons fire.
+    #[test]
+    fn programs_complete_under_every_defense(
+        ops in proptest::collection::vec(arb_op(), 1..10),
+        seed in 0u64..1_000,
+    ) {
+        for kind in [
+            DefenseKind::LegacyChrome,
+            DefenseKind::JsKernel,
+            DefenseKind::ChromeZero,
+            DefenseKind::DeterFox,
+        ] {
+            let (beacons, done) = run_program(kind, seed, &ops);
+            prop_assert!(
+                done,
+                "{}: {beacons}/{} beacons for {ops:?}",
+                kind.label(),
+                ops.len()
+            );
+        }
+    }
+
+    /// Backward compatibility: the kernel never changes how many beacons a
+    /// program produces, and the kernel run is seed-independent.
+    #[test]
+    fn kernel_is_functionally_transparent(
+        ops in proptest::collection::vec(arb_op(), 1..8),
+        seed_a in 0u64..500,
+        seed_b in 500u64..1_000,
+    ) {
+        let (legacy, _) = run_program(DefenseKind::LegacyChrome, seed_a, &ops);
+        let (kernel_a, _) = run_program(DefenseKind::JsKernel, seed_a, &ops);
+        let (kernel_b, _) = run_program(DefenseKind::JsKernel, seed_b, &ops);
+        prop_assert_eq!(legacy, kernel_a, "kernel must not change results");
+        prop_assert_eq!(kernel_a, kernel_b, "kernel results are seed-independent");
+    }
+}
