@@ -9,6 +9,7 @@
 
 use jsk_browser::browser::{Browser, BrowserConfig};
 use jsk_defenses::registry::DefenseKind;
+use jsk_sim::fault::FaultPlan;
 use jsk_sim::stats::{distinguishable, Distinguishability, Summary};
 use jsk_vuln::{oracle, Cve};
 use serde::{Deserialize, Serialize};
@@ -153,7 +154,24 @@ pub fn run_cve_attack(
     defense: DefenseKind,
     seed: u64,
 ) -> CveAttackResult {
+    run_cve_attack_with_faults(exploit, defense, seed, FaultPlan::default())
+}
+
+/// Runs a CVE exploit against a defense while the given fault plan perturbs
+/// the simulated browser (lost/duplicated messages, dropped confirmations,
+/// worker crashes, network failures). The run must terminate and the oracle
+/// verdict must be computable regardless of the plan — that is the
+/// robustness claim the fault suite checks.
+pub fn run_cve_attack_with_faults(
+    exploit: &dyn CveExploit,
+    defense: DefenseKind,
+    seed: u64,
+    plan: FaultPlan,
+) -> CveAttackResult {
     let mut cfg = defense.config(seed);
+    if !plan.is_inert() {
+        cfg = cfg.with_fault(plan);
+    }
     exploit.configure(&mut cfg);
     let mut browser = Browser::new(cfg, defense.mediator());
     exploit.run(&mut browser);

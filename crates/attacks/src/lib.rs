@@ -27,8 +27,10 @@ pub use harness::{
     TimingAttackResult,
 };
 pub use loopscan::Loopscan;
+pub use raf_attacks::{
+    CssAnimationClock, FloatingPoint, HistorySniffing, SvgFiltering, VideoVttClock,
+};
 pub use sab_clock::SabClock;
-pub use raf_attacks::{CssAnimationClock, FloatingPoint, HistorySniffing, SvgFiltering, VideoVttClock};
 pub use timer_attacks::{CacheAttack, ClockEdge, ImageDecoding, ScriptParsing};
 
 /// All ten timing-attack rows of Table I, in the table's order.

@@ -105,18 +105,24 @@ impl TimingAttack for Loopscan {
                         *m = gap;
                     }
                 }
-                scope.set_timeout(0.0, cb(move |scope, _| {
-                    tick_coarse(scope, last.clone(), max_gap.clone());
-                }));
+                scope.set_timeout(
+                    0.0,
+                    cb(move |scope, _| {
+                        tick_coarse(scope, last.clone(), max_gap.clone());
+                    }),
+                );
             }
             if coarse {
                 tick_coarse(scope, last.clone(), max_gap.clone());
             } else {
                 tick(scope, last.clone(), max_gap.clone());
             }
-            scope.set_timeout(window_ms, cb(move |scope, _| {
-                scope.record("measurement", JsValue::from(*max_gap.borrow()));
-            }));
+            scope.set_timeout(
+                window_ms,
+                cb(move |scope, _| {
+                    scope.record("measurement", JsValue::from(*max_gap.borrow()));
+                }),
+            );
         });
 
         // Victim context (1): the site loads on the same main thread. The
@@ -151,7 +157,11 @@ mod tests {
         let (google, youtube) = r.summaries();
         // Table II Chrome: 4.5 ms vs 8.8 ms.
         assert!((3.0..7.0).contains(&google.mean), "google {}", google.mean);
-        assert!((6.5..12.0).contains(&youtube.mean), "youtube {}", youtube.mean);
+        assert!(
+            (6.5..12.0).contains(&youtube.mean),
+            "youtube {}",
+            youtube.mean
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub struct SvgFiltering {
 
 impl Default for SvgFiltering {
     fn default() -> Self {
-        SvgFiltering { px_a: 256 * 256, px_b: 512 * 512 }
+        SvgFiltering {
+            px_a: 256 * 256,
+            px_b: 512 * 512,
+        }
     }
 }
 
@@ -121,7 +124,9 @@ impl TimingAttack for FloatingPoint {
 
     fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
         let subnormal = secret == Secret::B;
-        raf_measured(browser, 12, move |scope| scope.float_ops(300_000, subnormal));
+        raf_measured(browser, 12, move |scope| {
+            scope.float_ops(300_000, subnormal)
+        });
         read_measure(browser)
     }
 }
@@ -137,27 +142,30 @@ fn count_ticks_during_tasks(
     browser.boot(move |scope| {
         let ticks = start_ticker(scope);
         // Let the ticker settle, then run the secret across several tasks.
-        scope.set_timeout(80.0, cb(move |scope, _| {
-            let t0 = *ticks.borrow();
-            fn step(
-                scope: &mut JsScope<'_>,
-                left: u32,
-                cost: SimDuration,
-                ticks: TickCounter,
-                t0: u64,
-            ) {
-                scope.compute(cost);
-                if left > 1 {
-                    scope.post_task(cb(move |scope, _| {
-                        step(scope, left - 1, cost, ticks.clone(), t0);
-                    }));
-                } else {
-                    let dt = *ticks.borrow() - t0;
-                    scope.record("measurement", JsValue::from(dt as f64));
+        scope.set_timeout(
+            80.0,
+            cb(move |scope, _| {
+                let t0 = *ticks.borrow();
+                fn step(
+                    scope: &mut JsScope<'_>,
+                    left: u32,
+                    cost: SimDuration,
+                    ticks: TickCounter,
+                    t0: u64,
+                ) {
+                    scope.compute(cost);
+                    if left > 1 {
+                        scope.post_task(cb(move |scope, _| {
+                            step(scope, left - 1, cost, ticks.clone(), t0);
+                        }));
+                    } else {
+                        let dt = *ticks.borrow() - t0;
+                        scope.record("measurement", JsValue::from(dt as f64));
+                    }
                 }
-            }
-            step(scope, tasks, task_cost, ticks.clone(), t0);
-        }));
+                step(scope, tasks, task_cost, ticks.clone(), t0);
+            }),
+        );
     });
     browser.run_for(SimDuration::from_secs(6));
     read_measure(browser)
@@ -232,12 +240,7 @@ impl TimingAttack for VideoVttClock {
             Secret::A => self.cost_a,
             Secret::B => self.cost_b,
         };
-        count_ticks_during_tasks(
-            browser,
-            |scope| start_media_ticker(scope, 33.3),
-            cost,
-            10,
-        )
+        count_ticks_during_tasks(browser, |scope| start_media_ticker(scope, 33.3), cost, 10)
     }
 }
 
@@ -272,8 +275,12 @@ mod tests {
 
     #[test]
     fn css_clock_beats_legacy_not_kernel() {
-        let legacy =
-            run_timing_attack(&CssAnimationClock::default(), DefenseKind::LegacyChrome, 6, 23);
+        let legacy = run_timing_attack(
+            &CssAnimationClock::default(),
+            DefenseKind::LegacyChrome,
+            6,
+            23,
+        );
         assert!(!legacy.defended(), "{:?} vs {:?}", legacy.a, legacy.b);
         let kernel = run_timing_attack(&CssAnimationClock::default(), DefenseKind::JsKernel, 6, 23);
         assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);

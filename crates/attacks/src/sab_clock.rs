@@ -70,12 +70,15 @@ impl TimingAttack for SabClock {
                 }),
             );
             // Give the counter time to spin up, then measure.
-            scope.set_timeout(40.0, cb(move |scope, _| {
-                let c0 = scope.sab_read(sab, 0).unwrap_or(0.0);
-                scope.compute(op);
-                let c1 = scope.sab_read(sab, 0).unwrap_or(0.0);
-                scope.record("measurement", JsValue::from(c1 - c0));
-            }));
+            scope.set_timeout(
+                40.0,
+                cb(move |scope, _| {
+                    let c0 = scope.sab_read(sab, 0).unwrap_or(0.0);
+                    scope.compute(op);
+                    let c1 = scope.sab_read(sab, 0).unwrap_or(0.0);
+                    scope.record("measurement", JsValue::from(c1 - c0));
+                }),
+            );
         });
         browser.run_for(SimDuration::from_millis(120));
         browser
@@ -112,6 +115,11 @@ mod tests {
             kernel.b
         );
         let cz = run_timing_attack(&SabClock::default(), DefenseKind::ChromeZero, 5, 41);
-        assert!(cz.defended(), "no constructor, no clock: {:?} vs {:?}", cz.a, cz.b);
+        assert!(
+            cz.defended(),
+            "no constructor, no clock: {:?} vs {:?}",
+            cz.a,
+            cz.b
+        );
     }
 }

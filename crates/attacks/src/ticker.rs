@@ -20,10 +20,13 @@ pub type TickCounter = Rc<RefCell<u64>>;
 pub fn start_timeout_ticker(scope: &mut JsScope<'_>, delay_ms: f64) -> TickCounter {
     let counter: TickCounter = Rc::new(RefCell::new(0));
     fn arm(scope: &mut JsScope<'_>, delay_ms: f64, counter: TickCounter) {
-        scope.set_timeout(delay_ms, cb(move |scope, _| {
-            *counter.borrow_mut() += 1;
-            arm(scope, delay_ms, counter.clone());
-        }));
+        scope.set_timeout(
+            delay_ms,
+            cb(move |scope, _| {
+                *counter.borrow_mut() += 1;
+                arm(scope, delay_ms, counter.clone());
+            }),
+        );
     }
     arm(scope, delay_ms, counter.clone());
     counter
@@ -57,9 +60,12 @@ pub fn start_css_ticker(scope: &mut JsScope<'_>) -> TickCounter {
 pub fn start_media_ticker(scope: &mut JsScope<'_>, period_ms: f64) -> TickCounter {
     let counter: TickCounter = Rc::new(RefCell::new(0));
     let c = counter.clone();
-    scope.start_media_ticker(period_ms, cb(move |_, _| {
-        *c.borrow_mut() += 1;
-    }));
+    scope.start_media_ticker(
+        period_ms,
+        cb(move |_, _| {
+            *c.borrow_mut() += 1;
+        }),
+    );
     counter
 }
 
@@ -84,9 +90,12 @@ mod tests {
         let mut b = browser();
         b.boot(|scope| {
             let ticks = start_timeout_ticker(scope, 0.0);
-            scope.set_timeout(200.0, cb(move |scope, _| {
-                scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
-            }));
+            scope.set_timeout(
+                200.0,
+                cb(move |scope, _| {
+                    scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
+                }),
+            );
         });
         b.run_for(SimDuration::from_millis(400));
         let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();
@@ -99,9 +108,12 @@ mod tests {
         let mut b = browser();
         b.boot(|scope| {
             let ticks = start_post_task_ticker(scope);
-            scope.set_timeout(50.0, cb(move |scope, _| {
-                scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
-            }));
+            scope.set_timeout(
+                50.0,
+                cb(move |scope, _| {
+                    scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
+                }),
+            );
         });
         b.run_for(SimDuration::from_millis(100));
         let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();
@@ -113,9 +125,12 @@ mod tests {
         let mut b = browser();
         b.boot(|scope| {
             let ticks = start_css_ticker(scope);
-            scope.set_timeout(167.0, cb(move |scope, _| {
-                scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
-            }));
+            scope.set_timeout(
+                167.0,
+                cb(move |scope, _| {
+                    scope.record("ticks", JsValue::from(*ticks.borrow() as f64));
+                }),
+            );
         });
         b.run_for(SimDuration::from_millis(300));
         let ticks = b.record_value("ticks").unwrap().as_f64().unwrap();

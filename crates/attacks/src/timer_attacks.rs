@@ -82,9 +82,15 @@ pub struct ScriptParsing {
 
 impl Default for ScriptParsing {
     fn default() -> Self {
-        ScriptParsing { size_a_mb: 2, size_b_mb: 9 }
+        ScriptParsing {
+            size_a_mb: 2,
+            size_b_mb: 9,
+        }
     }
 }
+
+/// A resource loader (script or image) the shared measurement body drives.
+type Loader = Box<dyn Fn(&mut jsk_browser::scope::JsScope<'_>, jsk_browser::task::Callback)>;
 
 impl ScriptParsing {
     const URL: &'static str = "https://victim.example/friends-list.js";
@@ -100,12 +106,11 @@ impl ScriptParsing {
     /// with the image-decoding attack (the loader differs).
     fn measure_load(browser: &mut Browser, as_image: bool) -> f64 {
         browser.boot(move |scope| {
-            let load: Box<dyn Fn(&mut jsk_browser::scope::JsScope<'_>, jsk_browser::task::Callback)> =
-                if as_image {
-                    Box::new(|scope, on| scope.load_image(ScriptParsing::URL, on))
-                } else {
-                    Box::new(|scope, on| scope.load_script(ScriptParsing::URL, on))
-                };
+            let load: Loader = if as_image {
+                Box::new(|scope, on| scope.load_image(ScriptParsing::URL, on))
+            } else {
+                Box::new(|scope, on| scope.load_script(ScriptParsing::URL, on))
+            };
             // First (cold) load warms the HTTP cache.
             let again = move |scope: &mut jsk_browser::scope::JsScope<'_>, _: JsValue| {
                 // Second load: pre-schedule a fan of independent 1 ms-grid
@@ -114,9 +119,12 @@ impl ScriptParsing {
                 let fired = Rc::new(RefCell::new(0u64));
                 for i in 1..=60u64 {
                     let fired = fired.clone();
-                    scope.set_timeout(i as f64, cb(move |_, _| {
-                        *fired.borrow_mut() += 1;
-                    }));
+                    scope.set_timeout(
+                        i as f64,
+                        cb(move |_, _| {
+                            *fired.borrow_mut() += 1;
+                        }),
+                    );
                 }
                 let on_done = cb(move |scope: &mut jsk_browser::scope::JsScope<'_>, _| {
                     // Read the count one task later, so timers displaced by
@@ -172,7 +180,10 @@ pub struct ImageDecoding {
 
 impl Default for ImageDecoding {
     fn default() -> Self {
-        ImageDecoding { size_a_mb: 2, size_b_mb: 8 }
+        ImageDecoding {
+            size_a_mb: 2,
+            size_b_mb: 8,
+        }
     }
 }
 
@@ -283,8 +294,7 @@ mod tests {
 
     #[test]
     fn script_parsing_beats_legacy_not_kernel() {
-        let legacy =
-            run_timing_attack(&ScriptParsing::default(), DefenseKind::LegacyChrome, 6, 11);
+        let legacy = run_timing_attack(&ScriptParsing::default(), DefenseKind::LegacyChrome, 6, 11);
         assert!(!legacy.defended(), "{:?} vs {:?}", legacy.a, legacy.b);
         let kernel = run_timing_attack(&ScriptParsing::default(), DefenseKind::JsKernel, 6, 11);
         assert!(kernel.defended(), "{:?} vs {:?}", kernel.a, kernel.b);

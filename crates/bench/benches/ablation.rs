@@ -57,7 +57,8 @@ fn main() {
                     (jsk_attacks::Secret::A, &mut a),
                     (jsk_attacks::Secret::B, &mut b),
                 ] {
-                    let seed = 31 + t as u64 * 2 + u64::from(matches!(secret, jsk_attacks::Secret::B));
+                    let seed =
+                        31 + t as u64 * 2 + u64::from(matches!(secret, jsk_attacks::Secret::B));
                     let mut browser = build(cfg, seed, None);
                     attack.prepare(&mut browser, secret);
                     bucket.push(attack.measure(&mut browser, secret));

@@ -23,7 +23,13 @@ fn main() {
 
     let mut report = Report::new(
         "Dromaeo micro-benchmark (Chrome): per-test time and overhead",
-        &["Test", "Chrome (ms)", "JSKernel (ms)", "JSK overhead", "ChromeZero overhead"],
+        &[
+            "Test",
+            "Chrome (ms)",
+            "JSKernel (ms)",
+            "JSK overhead",
+            "ChromeZero overhead",
+        ],
     );
     for (i, b) in base.iter().enumerate() {
         report.row(vec![
@@ -44,6 +50,11 @@ fn main() {
         .cloned()
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("non-empty suite");
-    println!("\nJSKernel summary: mean {mean:+.2}% (paper 1.99%), median {median:+.2}% (paper 0.30%)");
-    println!("worst case: {} {:+.2}% (paper: DOM-attribute 21.15%)", worst.0, worst.1);
+    println!(
+        "\nJSKernel summary: mean {mean:+.2}% (paper 1.99%), median {median:+.2}% (paper 0.30%)"
+    );
+    println!(
+        "worst case: {} {:+.2}% (paper: DOM-attribute 21.15%)",
+        worst.0, worst.1
+    );
 }

@@ -41,7 +41,10 @@ fn main() {
         let mut ys = Vec::new();
         for &mb in &sizes {
             // Measure one size by making both secrets that size and pooling.
-            let attack = ScriptParsing { size_a_mb: mb, size_b_mb: mb };
+            let attack = ScriptParsing {
+                size_a_mb: mb,
+                size_b_mb: mb,
+            };
             let result = run_timing_attack(&attack, col, trials, 0xF16002 + mb);
             let mut all = result.a.clone();
             all.extend_from_slice(&result.b);

@@ -60,7 +60,12 @@ fn main() {
     }
     report.print();
 
-    let get = |label: &str| medians.iter().find(|(l, _)| *l == label).map_or(f64::NAN, |(_, m)| *m);
+    let get = |label: &str| {
+        medians
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(f64::NAN, |(_, m)| *m)
+    };
     println!("\nShape checks (medians):");
     println!(
         "  JSKernel(C) vs Chrome: {:+.1}%  (paper: no observable overhead)",

@@ -51,8 +51,12 @@ fn paper_expectation(row: &str, defense: DefenseKind) -> Option<bool> {
         // real parallel worker thread is essential to the trigger.
         (cve, "chromezero") => Some(matches!(
             cve,
-            "CVE-2018-5092" | "CVE-2014-1719" | "CVE-2014-1488" | "CVE-2013-5602"
-                | "CVE-2013-1714" | "CVE-2011-1190"
+            "CVE-2018-5092"
+                | "CVE-2014-1719"
+                | "CVE-2014-1488"
+                | "CVE-2013-5602"
+                | "CVE-2013-1714"
+                | "CVE-2011-1190"
         )),
         (_, "fuzzyfox" | "deterfox" | "tor") => Some(false), // timing-only defenses
         _ => Some(false),

@@ -28,8 +28,16 @@ fn main() {
         "Worker benchmark — time to create 16 workers (5 repeats)",
         &["Config", "mean (ms)", "std (ms)"],
     );
-    report.row(vec!["Chrome".into(), format!("{:.3}", sl.mean), format!("{:.3}", sl.std)]);
-    report.row(vec!["JSKernel".into(), format!("{:.3}", sk.mean), format!("{:.3}", sk.std)]);
+    report.row(vec![
+        "Chrome".into(),
+        format!("{:.3}", sl.mean),
+        format!("{:.3}", sl.std),
+    ]);
+    report.row(vec![
+        "JSKernel".into(),
+        format!("{:.3}", sk.mean),
+        format!("{:.3}", sk.std),
+    ]);
     report.print();
 
     let overhead = (sk.mean / sl.mean - 1.0) * 100.0;

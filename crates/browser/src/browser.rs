@@ -30,6 +30,7 @@ use crate::worker::{
     BufferRecord, RequestRecord, RequestState, SharedBuffer, SignalRecord, WorkerRecord,
     WorkerState,
 };
+use jsk_sim::fault::{ConfirmFate, FaultInjector, FaultPlan, FaultStats, MessageFate};
 use jsk_sim::queue::{QueueKey, TimeQueue};
 use jsk_sim::rng::SimRng;
 use jsk_sim::time::{SimDuration, SimTime};
@@ -50,6 +51,8 @@ pub struct BrowserConfig {
     pub net_latency_scale: f64,
     /// Hard cap on processed simulation events (runaway guard).
     pub step_limit: u64,
+    /// Faults to inject during the run (`None` → fault-free).
+    pub fault: Option<FaultPlan>,
 }
 
 impl BrowserConfig {
@@ -63,7 +66,15 @@ impl BrowserConfig {
             origin: "https://attacker.example".to_owned(),
             net_latency_scale: 1.0,
             step_limit: 5_000_000,
+            fault: None,
         }
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> BrowserConfig {
+        self.fault = Some(plan);
+        self
     }
 }
 
@@ -86,6 +97,8 @@ enum SimEvent {
         to: ThreadId,
         payload: JsValue,
     },
+    /// A fault-plan worker crash (worker addressed by creation order).
+    WorkerCrash(u64),
 }
 
 /// A registered, not-yet-confirmed asynchronous event.
@@ -187,13 +200,18 @@ pub struct Browser {
     /// Last delivery instant per (from, to) message channel — `postMessage`
     /// channels are FIFO, so later sends never overtake earlier ones.
     channel_last: HashMap<(u64, u64), SimTime>,
+    /// Fault injector, when a plan is installed.
+    pub(crate) fault: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for Browser {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Browser")
             .field("engine", &self.cfg.profile.engine)
-            .field("defense", &self.mediator.as_ref().map(|m| m.name().to_owned()))
+            .field(
+                "defense",
+                &self.mediator.as_ref().map(|m| m.name().to_owned()),
+            )
             .field("now", &self.now)
             .field("threads", &self.threads.len())
             .field("steps", &self.steps)
@@ -207,6 +225,7 @@ impl Browser {
     pub fn new(cfg: BrowserConfig, mediator: Box<dyn Mediator>) -> Browser {
         let root = SimRng::new(cfg.seed);
         let main = ThreadState::new(MAIN_THREAD, ThreadKind::Main, cfg.origin.clone());
+        let fault = cfg.fault.clone().map(FaultInjector::new);
         let mut b = Browser {
             rng_cpu: root.fork("cpu"),
             rng_net: root.fork("net"),
@@ -242,9 +261,30 @@ impl Browser {
             worker_scripts: HashMap::new(),
             request_tokens: HashMap::new(),
             channel_last: HashMap::new(),
+            fault,
         };
+        // Worker crashes are scheduled up front: the plan names victims by
+        // creation order, so a crash for a not-yet-created (or never-created)
+        // worker is simply a no-op when it fires.
+        let crashes: Vec<jsk_sim::fault::WorkerCrash> = b
+            .fault
+            .as_ref()
+            .map(|inj| inj.plan().worker_crashes.clone())
+            .unwrap_or_default();
+        for crash in crashes {
+            b.events.push(
+                SimTime::from_millis(crash.at_ms),
+                SimEvent::WorkerCrash(crash.worker),
+            );
+        }
         b.with_mediator(|m, ctx| m.on_thread_started(ctx, MAIN_THREAD, false));
         b
+    }
+
+    /// Counters for faults injected so far (`None` when no plan installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(FaultInjector::stats)
     }
 
     // --- public driving API ------------------------------------------------
@@ -481,7 +521,12 @@ impl Browser {
                     self.events
                         .push(at.max(self.now), SimEvent::MediatorTick(thread));
                 }
-                MediatorOp::KernelSend { from, to, payload, at } => {
+                MediatorOp::KernelSend {
+                    from,
+                    to,
+                    payload,
+                    at,
+                } => {
                     self.events.push(
                         at.max(self.now),
                         SimEvent::KernelMessage { from, to, payload },
@@ -499,7 +544,10 @@ impl Browser {
             let t = self.current_instant();
             self.trace.fact(
                 t,
-                Fact::Denied { what: format!("{call:?}"), reason: reason.clone() },
+                Fact::Denied {
+                    what: format!("{call:?}"),
+                    reason: reason.clone(),
+                },
             );
         }
         outcome
@@ -524,6 +572,21 @@ impl Browser {
             SimEvent::KernelMessage { from, to, payload } => {
                 self.with_mediator(|m, ctx| m.on_kernel_message(ctx, from, to, &payload));
             }
+            SimEvent::WorkerCrash(index) => self.crash_worker(index),
+        }
+    }
+
+    /// Fault-plan worker crash: abrupt teardown, no defense interception —
+    /// the process just died.
+    fn crash_worker(&mut self, index: u64) {
+        let i = index as usize;
+        if i >= self.workers.len() || self.workers[i].state == WorkerState::Closed {
+            return;
+        }
+        let wid = self.workers[i].id;
+        self.do_terminate(wid, TerminationReason::Crash, false);
+        if let Some(inj) = self.fault.as_mut() {
+            inj.note_worker_crashed();
         }
     }
 
@@ -557,9 +620,25 @@ impl Browser {
             context: self.cur.as_ref().map_or(0, |c| c.context),
         };
         self.with_mediator(|m, ctx| m.on_register(ctx, &info));
-        let raw_key = self
-            .events
-            .push(raw_fire_at.max(self.now), SimEvent::RawTrigger(token));
+        // Confirmation faults: a dropped confirmation leaves the event
+        // registered but never triggers it (the kernel sees a Pending event
+        // that never confirms — the watchdog's livelock case); a delayed one
+        // pushes the raw trigger out.
+        let fate = match self.fault.as_mut() {
+            Some(inj) => inj.confirm_fate(),
+            None => ConfirmFate::Deliver,
+        };
+        let raw_key = match fate {
+            ConfirmFate::Drop => None,
+            ConfirmFate::Deliver => Some(
+                self.events
+                    .push(raw_fire_at.max(self.now), SimEvent::RawTrigger(token)),
+            ),
+            ConfirmFate::Delay(d) => Some(
+                self.events
+                    .push(raw_fire_at.max(self.now) + d, SimEvent::RawTrigger(token)),
+            ),
+        };
         self.pending.insert(
             token,
             PendingEvent {
@@ -567,7 +646,7 @@ impl Browser {
                 callback,
                 arg,
                 source,
-                raw_key: Some(raw_key),
+                raw_key,
                 from_worker,
                 polyfill_worker,
                 nesting,
@@ -613,6 +692,10 @@ impl Browser {
             }
             ConfirmDecision::Withhold => {
                 self.withheld.insert(token, pe);
+            }
+            ConfirmDecision::Drop => {
+                // The mediator already wrote this event off (e.g. the
+                // watchdog expired it); a late confirmation is discarded.
             }
         }
     }
@@ -735,8 +818,7 @@ impl Browser {
             self.schedule_pump(thread, start);
             return;
         }
-        let task = self
-            .threads[i]
+        let task = self.threads[i]
             .run_queue
             .pop()
             .expect("peeked task exists")
@@ -878,7 +960,11 @@ impl Browser {
 
     // --- requestAnimationFrame --------------------------------------------------
 
-    pub(crate) fn request_raf(&mut self, thread: ThreadId, callback: Callback) -> crate::ids::RafId {
+    pub(crate) fn request_raf(
+        &mut self,
+        thread: ThreadId,
+        callback: Callback,
+    ) -> crate::ids::RafId {
         let vsync = self.cfg.profile.sched.vsync;
         let instant = self.current_instant();
         let mut fire = instant.quantize_up(vsync);
@@ -923,8 +1009,7 @@ impl Browser {
         let created_gen = self.threads[parent.index() as usize].doc_generation;
         let parent_origin = self.threads[parent.index() as usize].origin.clone();
         let spec = self.net.lookup(&src);
-        let cross = crate::net::is_cross_origin(&self.cfg.origin, &src)
-            && src.contains("://");
+        let cross = crate::net::is_cross_origin(&self.cfg.origin, &src) && src.contains("://");
 
         let (thread, polyfill, origin_kind) = match &outcome {
             ApiOutcome::Deny { .. } => {
@@ -1015,8 +1100,11 @@ impl Browser {
 
     fn spawn_thread(&mut self, owner: ThreadId, worker: WorkerId, origin: String) -> ThreadId {
         let tid = ThreadId::new(self.threads.len() as u64);
-        self.threads
-            .push(ThreadState::new(tid, ThreadKind::Worker { owner, worker }, origin));
+        self.threads.push(ThreadState::new(
+            tid,
+            ThreadKind::Worker { owner, worker },
+            origin,
+        ));
         self.thread_epochs.push(0);
         self.with_mediator(|m, ctx| m.on_thread_started(ctx, tid, true));
         tid
@@ -1101,8 +1189,7 @@ impl Browser {
             .cur
             .as_ref()
             .is_some_and(|c| c.thread == self.workers[i].owner && c.from_worker == Some(wid));
-        let live_transfers = self
-            .workers[i]
+        let live_transfers = self.workers[i]
             .transferred_out
             .iter()
             .filter(|b| !self.buffers[b.index() as usize].freed)
@@ -1194,6 +1281,11 @@ impl Browser {
         if during_dispatch && !polyfill {
             self.fact(Fact::DispatchUseAfterFree { worker: wid });
         }
+        if !polyfill {
+            // The thread is gone for good: let the mediator reap whatever it
+            // still holds for it (orphaned kernel events, inflight slots).
+            self.with_mediator(|m, ctx| m.on_thread_exited(ctx, thread));
+        }
     }
 
     fn finish_worker_teardown(&mut self, wid: WorkerId) {
@@ -1204,7 +1296,10 @@ impl Browser {
     }
 
     fn deliver_error_to_owner(&mut self, wid: WorkerId, message: String, cross_origin: bool) {
-        let owner = self.workers.get(wid.index() as usize).map_or(MAIN_THREAD, |w| w.owner);
+        let owner = self
+            .workers
+            .get(wid.index() as usize)
+            .map_or(MAIN_THREAD, |w| w.owner);
         self.deliver_error_event(
             owner,
             Some(wid),
@@ -1235,13 +1330,18 @@ impl Browser {
             ApiOutcome::Deny { .. } => return,
             _ => (native_message, leaks_cross_origin),
         };
-        let latency = self
-            .rng_sched
-            .jitter(self.cfg.profile.sched.message_latency, self.cfg.profile.sched.message_jitter);
+        let latency = self.rng_sched.jitter(
+            self.cfg.profile.sched.message_latency,
+            self.cfg.profile.sched.message_jitter,
+        );
         let msg_for_fact = message.clone();
         let token = self.register_async(
             thread,
-            AsyncKind::Net { req: RequestId::new(u64::MAX), class: crate::event::NetClass::ScriptLoad, cached: false },
+            AsyncKind::Net {
+                req: RequestId::new(u64::MAX),
+                class: crate::event::NetClass::ScriptLoad,
+                cached: false,
+            },
             TaskSource::Net,
             std::rc::Rc::new(move |scope: &mut JsScope<'_>, arg| {
                 scope.browser.fact(Fact::ErrorMessageDelivered {
@@ -1289,7 +1389,9 @@ impl Browser {
             return None;
         }
         let id = SabId::new(self.sabs.len() as u64);
-        self.sabs.push(SharedBuffer { cells: vec![0.0; len] });
+        self.sabs.push(SharedBuffer {
+            cells: vec![0.0; len],
+        });
         Some(id)
     }
 
@@ -1303,8 +1405,10 @@ impl Browser {
     /// worker's tight loop, modelled analytically).
     pub(crate) fn sab_start_counter(&mut self, id: SabId, idx: usize, period: SimDuration) {
         let start = self.current_instant();
-        self.sab_counters
-            .insert((id.index(), idx), (start, period.max(SimDuration::from_nanos(1))));
+        self.sab_counters.insert(
+            (id.index(), idx),
+            (start, period.max(SimDuration::from_nanos(1))),
+        );
     }
 
     /// The cell's value at the current virtual instant, counters included.
@@ -1482,11 +1586,19 @@ impl Browser {
         }
         let owner = self.requests[ri].thread;
         let owner_alive = self.requests[ri].owner_alive;
-        let outcome = self.intercept(ApiCall::DeliverAbort { req, owner, owner_alive });
+        let outcome = self.intercept(ApiCall::DeliverAbort {
+            req,
+            owner,
+            owner_alive,
+        });
         if matches!(outcome, ApiOutcome::Deny { .. }) {
             return;
         }
-        self.fact(Fact::AbortDelivered { req, owner, owner_alive });
+        self.fact(Fact::AbortDelivered {
+            req,
+            owner,
+            owner_alive,
+        });
         self.requests[ri].state = RequestState::Aborted;
         if let Some(tok) = self.request_tokens.get(&req).copied() {
             // Replace the success callback with an abort-error delivery when
@@ -1501,9 +1613,7 @@ impl Browser {
                     if let Some(k) = pe.raw_key.take() {
                         self.events.cancel(k);
                     }
-                    let k = self
-                        .events
-                        .push(self.now, SimEvent::RawTrigger(tok));
+                    let k = self.events.push(self.now, SimEvent::RawTrigger(tok));
                     if let Some(pe) = self.pending.get_mut(&tok) {
                         pe.raw_key = Some(k);
                     }
@@ -1575,10 +1685,43 @@ impl Browser {
         proposed: SimTime,
     ) -> SimTime {
         let key = (from.index(), to.index());
-        let last = self.channel_last.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let last = self
+            .channel_last
+            .get(&key)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let at = proposed.max(last + SimDuration::from_nanos(1));
         self.channel_last.insert(key, at);
         at
+    }
+
+    /// The delivery instants for one cross-thread message after fault
+    /// injection: `[]` = lost, one instant = normal, two = duplicated. A
+    /// reordered message keeps the channel's FIFO high-water mark at its
+    /// *undelayed* arrival, so later sends can overtake it.
+    pub(crate) fn message_arrivals(
+        &mut self,
+        from: ThreadId,
+        to: ThreadId,
+        proposed: SimTime,
+    ) -> Vec<SimTime> {
+        let fate = match self.fault.as_mut() {
+            Some(inj) => inj.message_fate(),
+            None => MessageFate::Deliver,
+        };
+        match fate {
+            MessageFate::Deliver => vec![self.channel_arrival(from, to, proposed)],
+            MessageFate::Drop => Vec::new(),
+            MessageFate::Duplicate => {
+                let first = self.channel_arrival(from, to, proposed);
+                let second = self.channel_arrival(from, to, first);
+                vec![first, second]
+            }
+            MessageFate::Delay(d) => {
+                let at = self.channel_arrival(from, to, proposed);
+                vec![at + d]
+            }
+        }
     }
 }
 
@@ -1609,12 +1752,18 @@ mod tests {
     fn run_until_respects_the_deadline() {
         let mut b = browser(2);
         b.boot(|scope| {
-            scope.set_timeout(10.0, cb(|scope, _| {
-                scope.record("early", JsValue::from(true));
-            }));
-            scope.set_timeout(100.0, cb(|scope, _| {
-                scope.record("late", JsValue::from(true));
-            }));
+            scope.set_timeout(
+                10.0,
+                cb(|scope, _| {
+                    scope.record("early", JsValue::from(true));
+                }),
+            );
+            scope.set_timeout(
+                100.0,
+                cb(|scope, _| {
+                    scope.record("late", JsValue::from(true));
+                }),
+            );
         });
         b.run_until(SimTime::from_millis(50));
         assert!(b.record_value("early").is_some());
@@ -1645,9 +1794,12 @@ mod tests {
     fn clear_timer_on_interval_stops_rearming() {
         let mut b = browser(4);
         b.boot(|scope| {
-            let id = scope.set_interval(5.0, cb(|scope, _| {
-                scope.record("ticked", JsValue::from(true));
-            }));
+            let id = scope.set_interval(
+                5.0,
+                cb(|scope, _| {
+                    scope.record("ticked", JsValue::from(true));
+                }),
+            );
             // Cleared before the first firing: never ticks.
             scope.clear_timer(id);
         });
@@ -1689,16 +1841,19 @@ mod tests {
             let stamps: std::rc::Rc<std::cell::RefCell<Vec<f64>>> =
                 std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
             let s2 = stamps.clone();
-            scope.set_interval(10.0, cb(move |scope, _| {
-                s2.borrow_mut().push(scope.browser_now_ms());
-                if s2.borrow().len() == 20 {
-                    let first = s2.borrow()[0];
-                    let last = *s2.borrow().last().unwrap();
-                    // 19 periods of 10 ms: drift must stay within the
-                    // per-firing jitter bound, never accumulate.
-                    scope.record("span", JsValue::from(last - first));
-                }
-            }));
+            scope.set_interval(
+                10.0,
+                cb(move |scope, _| {
+                    s2.borrow_mut().push(scope.browser_now_ms());
+                    if s2.borrow().len() == 20 {
+                        let first = s2.borrow()[0];
+                        let last = *s2.borrow().last().unwrap();
+                        // 19 periods of 10 ms: drift must stay within the
+                        // per-firing jitter bound, never accumulate.
+                        scope.record("span", JsValue::from(last - first));
+                    }
+                }),
+            );
         });
         b.run_for(SimDuration::from_millis(400));
         let span = b.record_value("span").unwrap().as_f64().unwrap();
@@ -1718,21 +1873,32 @@ mod tests {
         let mut b = browser(9);
         b.register_resource("https://x.example/big", ResourceSpec::of_size(1 << 20));
         b.boot(|scope| {
-            scope.fetch("https://x.example/big", None, cb(|scope, v| {
-                let t = scope.browser_now_ms();
-                scope.record("big_done", JsValue::from(t));
-                let _ = v;
-            }));
-            scope.fetch("https://x.example/small", None, cb(|scope, v| {
-                let t = scope.browser_now_ms();
-                scope.record("small_done", JsValue::from(t));
-                let _ = v;
-            }));
+            scope.fetch(
+                "https://x.example/big",
+                None,
+                cb(|scope, v| {
+                    let t = scope.browser_now_ms();
+                    scope.record("big_done", JsValue::from(t));
+                    let _ = v;
+                }),
+            );
+            scope.fetch(
+                "https://x.example/small",
+                None,
+                cb(|scope, v| {
+                    let t = scope.browser_now_ms();
+                    scope.record("small_done", JsValue::from(t));
+                    let _ = v;
+                }),
+            );
         });
         b.run_until_idle();
         let big = b.record_value("big_done").unwrap().as_f64().unwrap();
         let small = b.record_value("small_done").unwrap().as_f64().unwrap();
-        assert!(big > small + 300.0, "1 MB over ADSL ≫ default 2 KB: {big} vs {small}");
+        assert!(
+            big > small + 300.0,
+            "1 MB over ADSL ≫ default 2 KB: {big} vs {small}"
+        );
     }
 
     #[test]
@@ -1748,15 +1914,21 @@ mod tests {
                     scope.sab_run_counter(sab, 0, 1_000); // 1 µs per increment
                 }),
             );
-            scope.set_timeout(20.0, cb(move |scope, _| {
-                let c0 = scope.sab_read(sab, 0).unwrap();
-                scope.compute(SimDuration::from_millis(3));
-                let c1 = scope.sab_read(sab, 0).unwrap();
-                scope.record("delta", JsValue::from(c1 - c0));
-            }));
+            scope.set_timeout(
+                20.0,
+                cb(move |scope, _| {
+                    let c0 = scope.sab_read(sab, 0).unwrap();
+                    scope.compute(SimDuration::from_millis(3));
+                    let c1 = scope.sab_read(sab, 0).unwrap();
+                    scope.record("delta", JsValue::from(c1 - c0));
+                }),
+            );
         });
         b.run_until_idle();
         let delta = b.record_value("delta").unwrap().as_f64().unwrap();
-        assert!((delta - 3_000.0).abs() < 200.0, "3 ms at 1 µs/increment: {delta}");
+        assert!(
+            (delta - 3_000.0).abs() < 200.0,
+            "3 ms at 1 µs/increment: {delta}"
+        );
     }
 }

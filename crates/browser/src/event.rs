@@ -108,9 +108,16 @@ mod tests {
     #[test]
     fn labels_are_distinct_for_timing_kinds() {
         let kinds = [
-            AsyncKind::Timeout { delay: SimDuration::ZERO, nesting: 0 },
-            AsyncKind::Interval { delay: SimDuration::ZERO },
-            AsyncKind::Message { from: ThreadId::new(0) },
+            AsyncKind::Timeout {
+                delay: SimDuration::ZERO,
+                nesting: 0,
+            },
+            AsyncKind::Interval {
+                delay: SimDuration::ZERO,
+            },
+            AsyncKind::Message {
+                from: ThreadId::new(0),
+            },
             AsyncKind::Raf,
             AsyncKind::Media,
             AsyncKind::CssTick,

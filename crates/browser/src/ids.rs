@@ -2,12 +2,24 @@
 
 use jsk_sim::define_id_with_gen;
 
-define_id_with_gen!(ThreadId, "Identifies a JavaScript thread (the main thread or a worker thread).");
-define_id_with_gen!(WorkerId, "Identifies a `Worker` object as seen from its owner.");
+define_id_with_gen!(
+    ThreadId,
+    "Identifies a JavaScript thread (the main thread or a worker thread)."
+);
+define_id_with_gen!(
+    WorkerId,
+    "Identifies a `Worker` object as seen from its owner."
+);
 define_id_with_gen!(EventToken, "Identifies one registered asynchronous event (timer, message delivery, animation frame, network callback, …) across its registration → raw-trigger → confirmation → invocation lifecycle.");
-define_id_with_gen!(TimerId, "Handle returned by `setTimeout`/`setInterval`, accepted by `clearTimeout`.");
+define_id_with_gen!(
+    TimerId,
+    "Handle returned by `setTimeout`/`setInterval`, accepted by `clearTimeout`."
+);
 define_id_with_gen!(RafId, "Handle returned by `requestAnimationFrame`.");
-define_id_with_gen!(RequestId, "Identifies a network request (`fetch`, XHR, resource load).");
+define_id_with_gen!(
+    RequestId,
+    "Identifies a network request (`fetch`, XHR, resource load)."
+);
 define_id_with_gen!(NodeId, "Identifies a DOM node.");
 define_id_with_gen!(BufferId, "Identifies an `ArrayBuffer` (transferable).");
 define_id_with_gen!(SignalId, "Identifies an `AbortController`'s signal.");

@@ -61,6 +61,10 @@ pub enum ConfirmDecision {
     /// Hold the event; the mediator will release it later via
     /// [`MediatorCtx::release`] (or drop it via [`MediatorCtx::drop_event`]).
     Withhold,
+    /// Discard the event outright: its callback never runs. Returned for
+    /// confirmations of events the mediator already gave up on (e.g. a
+    /// watchdog-expired event whose confirmation finally arrived).
+    Drop,
 }
 
 /// Decision returned by [`Mediator::on_api`].
@@ -149,7 +153,11 @@ impl<'a> MediatorCtx<'a> {
     /// Creates a context; the browser calls this around each hook.
     #[must_use]
     pub fn new(now: SimTime, rng: &'a mut SimRng) -> MediatorCtx<'a> {
-        MediatorCtx { now, rng, ops: Vec::new() }
+        MediatorCtx {
+            now,
+            rng,
+            ops: Vec::new(),
+        }
     }
 
     /// Queues release of a withheld event at `at`.
@@ -169,7 +177,12 @@ impl<'a> MediatorCtx<'a> {
 
     /// Queues a kernel-space message.
     pub fn kernel_send(&mut self, from: ThreadId, to: ThreadId, payload: JsValue, at: SimTime) {
-        self.ops.push(MediatorOp::KernelSend { from, to, payload, at });
+        self.ops.push(MediatorOp::KernelSend {
+            from,
+            to,
+            payload,
+            at,
+        });
     }
 
     /// Drains the queued operations (browser-internal).
@@ -213,6 +226,13 @@ pub trait Mediator {
     /// creation). Kernel mediators use this to set up per-thread state.
     fn on_thread_started(&mut self, ctx: &mut MediatorCtx<'_>, thread: ThreadId, is_worker: bool) {
         let _ = (ctx, thread, is_worker);
+    }
+
+    /// A worker thread died (termination or crash). Kernel mediators reap
+    /// the dead thread's still-queued events here so serialized dispatch
+    /// never waits on an event that can no longer confirm.
+    fn on_thread_exited(&mut self, ctx: &mut MediatorCtx<'_>, thread: ThreadId) {
+        let _ = (ctx, thread);
     }
 
     /// A clock API is being read; returns the instant the user space sees.
@@ -356,7 +376,12 @@ mod tests {
             ConfirmDecision::InvokeAt(fire)
         );
         assert_eq!(
-            m.on_api(&mut ctx, &ApiCall::Navigate { thread: ThreadId::new(0) }),
+            m.on_api(
+                &mut ctx,
+                &ApiCall::Navigate {
+                    thread: ThreadId::new(0)
+                }
+            ),
             ApiOutcome::Allow
         );
         assert_eq!(m.interposition_cost(InterposeClass::Dom), SimDuration::ZERO);

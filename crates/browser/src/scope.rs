@@ -11,7 +11,9 @@
 
 use crate::browser::Browser;
 use crate::event::{AsyncKind, NetClass};
-use crate::ids::{BufferId, NodeId, RafId, RequestId, SabId, SignalId, ThreadId, TimerId, WorkerId};
+use crate::ids::{
+    BufferId, NodeId, RafId, RequestId, SabId, SignalId, ThreadId, TimerId, WorkerId,
+};
 use crate::mediator::{ApiOutcome, ClockKind, ClockRead, InterposeClass};
 use crate::task::{cb, Callback, TaskSource, WorkerScript};
 use crate::trace::{ApiCall, Fact, TerminationReason};
@@ -121,7 +123,15 @@ impl<'a> JsScope<'a> {
         };
         let thread = self.thread;
         let displayed = self.browser.with_mediator(|m, ctx| {
-            m.read_clock(ctx, ClockRead { thread, kind, raw, native_precision })
+            m.read_clock(
+                ctx,
+                ClockRead {
+                    thread,
+                    kind,
+                    raw,
+                    native_precision,
+                },
+            )
         });
         displayed.as_millis_f64()
     }
@@ -316,32 +326,37 @@ impl<'a> JsScope<'a> {
         self.transfer_buffers(&transfer, to);
         let latency = self.message_latency();
         let proposed = self.browser.current_instant() + latency;
-        let at = self.browser.channel_arrival(from, to, proposed);
-        if self.browser.workers[wi].polyfill {
-            let target = worker;
-            self.browser.register_async(
-                to,
-                AsyncKind::Message { from },
-                TaskSource::Message,
-                cb(move |scope: &mut JsScope<'_>, v| scope.dispatch_polyfill_message(target, v)),
-                value,
-                at,
-                None,
-                Some(worker),
-                0,
-            );
-        } else {
-            self.browser.register_async(
-                to,
-                AsyncKind::Message { from },
-                TaskSource::Message,
-                cb(move |scope: &mut JsScope<'_>, v| scope.dispatch_incoming_message(v)),
-                value,
-                at,
-                None,
-                None,
-                0,
-            );
+        // Fault injection decides delivery instants: none (lost), one
+        // (normal/reordered), or two (duplicated).
+        for at in self.browser.message_arrivals(from, to, proposed) {
+            if self.browser.workers[wi].polyfill {
+                let target = worker;
+                self.browser.register_async(
+                    to,
+                    AsyncKind::Message { from },
+                    TaskSource::Message,
+                    cb(move |scope: &mut JsScope<'_>, v| {
+                        scope.dispatch_polyfill_message(target, v);
+                    }),
+                    value.clone(),
+                    at,
+                    None,
+                    Some(worker),
+                    0,
+                );
+            } else {
+                self.browser.register_async(
+                    to,
+                    AsyncKind::Message { from },
+                    TaskSource::Message,
+                    cb(move |scope: &mut JsScope<'_>, v| scope.dispatch_incoming_message(v)),
+                    value.clone(),
+                    at,
+                    None,
+                    None,
+                    0,
+                );
+            }
         }
     }
 
@@ -384,19 +399,22 @@ impl<'a> JsScope<'a> {
         }
         let latency = self.message_latency();
         let proposed = self.browser.current_instant() + latency;
-        let at = self.browser.channel_arrival(from, owner, proposed);
         let src = worker;
-        self.browser.register_async(
-            owner,
-            AsyncKind::Message { from },
-            TaskSource::Message,
-            cb(move |scope: &mut JsScope<'_>, v| scope.dispatch_worker_message_to_owner(src, v)),
-            value,
-            at,
-            Some(worker),
-            None,
-            0,
-        );
+        for at in self.browser.message_arrivals(from, owner, proposed) {
+            self.browser.register_async(
+                owner,
+                AsyncKind::Message { from },
+                TaskSource::Message,
+                cb(move |scope: &mut JsScope<'_>, v| {
+                    scope.dispatch_worker_message_to_owner(src, v);
+                }),
+                value.clone(),
+                at,
+                Some(worker),
+                None,
+                0,
+            );
+        }
     }
 
     fn message_latency(&mut self) -> SimDuration {
@@ -445,13 +463,17 @@ impl<'a> JsScope<'a> {
     pub(crate) fn dispatch_worker_message_to_owner(&mut self, worker: WorkerId, value: JsValue) {
         let ti = self.thread.index() as usize;
         let wi = worker.index() as usize;
-        let stale = self.browser.workers[wi].created_gen
-            < self.browser.threads[ti].doc_generation;
+        let stale = self.browser.workers[wi].created_gen < self.browser.threads[ti].doc_generation;
         if stale {
-            self.browser.fact(Fact::MessageToFreedDoc { from: self.browser.workers[wi].thread, to: self.thread });
+            self.browser.fact(Fact::MessageToFreedDoc {
+                from: self.browser.workers[wi].thread,
+                to: self.thread,
+            });
         }
         if self.browser.threads[ti].closing {
-            self.browser.fact(Fact::CallbackAfterClose { thread: self.thread });
+            self.browser.fact(Fact::CallbackAfterClose {
+                thread: self.thread,
+            });
         }
         let handler = self.browser.workers[wi].owner_onmessage.clone();
         if let Some(h) = handler {
@@ -463,8 +485,12 @@ impl<'a> JsScope<'a> {
     /// is set, else this global's `onerror`).
     pub(crate) fn dispatch_error_for(&mut self, via_worker: Option<WorkerId>, value: JsValue) {
         let handler = match via_worker {
-            Some(w) => self.browser.workers[w.index() as usize].owner_onerror.clone(),
-            None => self.browser.threads[self.thread.index() as usize].onerror.clone(),
+            Some(w) => self.browser.workers[w.index() as usize]
+                .owner_onerror
+                .clone(),
+            None => self.browser.threads[self.thread.index() as usize]
+                .onerror
+                .clone(),
         };
         if let Some(h) = handler {
             h(self, value);
@@ -555,7 +581,12 @@ impl<'a> JsScope<'a> {
     }
 
     /// `fetch(url, {signal})`; `callback` receives `{ok, error?, url}`.
-    pub fn fetch(&mut self, url: impl Into<String>, signal: Option<SignalId>, callback: Callback) -> RequestId {
+    pub fn fetch(
+        &mut self,
+        url: impl Into<String>,
+        signal: Option<SignalId>,
+        callback: Callback,
+    ) -> RequestId {
         self.interpose(InterposeClass::Net);
         let url = url.into();
         let req = RequestId::new(self.browser.requests.len() as u64);
@@ -604,16 +635,70 @@ impl<'a> JsScope<'a> {
                 .net
                 .plan_load(&url, &profile, &mut self.browser.rng_cpu, scale)
         };
-        self.browser.fact(Fact::FetchStarted { req, thread, has_signal: signal.is_some() });
-        let arg = JsValue::object([
-            ("ok", JsValue::Bool(plan.ok)),
-            ("url", JsValue::from(url.clone())),
-        ]);
-        let at = self.browser.current_instant() + plan.net_time;
+        self.browser.fact(Fact::FetchStarted {
+            req,
+            thread,
+            has_signal: signal.is_some(),
+        });
+        // Network fault injection with retry-with-backoff: each faulted
+        // attempt costs its failure time (a round trip for an error, the
+        // timeout for a timeout) plus the plan's backoff before the next
+        // attempt. The whole chain is resolved now — virtual time makes the
+        // schedule exact — and a single completion is registered at the end.
+        let mut fault_extra = SimDuration::ZERO;
+        let mut fault_error: Option<&'static str> = None;
+        if let Some(inj) = self.browser.fault.as_mut() {
+            let mut attempt = 0u32;
+            loop {
+                match inj.net_fate() {
+                    jsk_sim::fault::NetFate::Ok => {
+                        fault_error = None;
+                        break;
+                    }
+                    jsk_sim::fault::NetFate::Error => {
+                        fault_extra += plan.net_time;
+                        fault_error = Some("NetworkError");
+                    }
+                    jsk_sim::fault::NetFate::Timeout(d) => {
+                        fault_extra += d;
+                        fault_error = Some("TimeoutError");
+                    }
+                }
+                match inj.retry_after(attempt) {
+                    Some(backoff) => {
+                        fault_extra += backoff;
+                        attempt += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        let (arg, at) = match fault_error {
+            Some(err) => (
+                JsValue::object([
+                    ("ok", JsValue::Bool(false)),
+                    ("error", JsValue::from(err)),
+                    ("url", JsValue::from(url.clone())),
+                ]),
+                // fault_extra already includes the final failing attempt.
+                self.browser.current_instant() + fault_extra,
+            ),
+            None => (
+                JsValue::object([
+                    ("ok", JsValue::Bool(plan.ok)),
+                    ("url", JsValue::from(url.clone())),
+                ]),
+                self.browser.current_instant() + fault_extra + plan.net_time,
+            ),
+        };
         let user = callback;
         let token = self.browser.register_async(
             thread,
-            AsyncKind::Net { req, class: NetClass::Fetch, cached: plan.cached },
+            AsyncKind::Net {
+                req,
+                class: NetClass::Fetch,
+                cached: plan.cached,
+            },
             TaskSource::Net,
             cb(move |scope: &mut JsScope<'_>, v| {
                 scope.finish_fetch(req);
@@ -638,7 +723,11 @@ impl<'a> JsScope<'a> {
         let at = self.browser.current_instant() + SimDuration::from_micros(50);
         self.browser.register_async(
             thread,
-            AsyncKind::Net { req: RequestId::new(u64::MAX), class: NetClass::Fetch, cached: false },
+            AsyncKind::Net {
+                req: RequestId::new(u64::MAX),
+                class: NetClass::Fetch,
+                cached: false,
+            },
             TaskSource::Net,
             callback,
             arg,
@@ -656,7 +745,9 @@ impl<'a> JsScope<'a> {
             r.doc_generation < self.browser.threads[r.thread.index() as usize].doc_generation
         };
         if stale {
-            self.browser.fact(Fact::StaleDocCallback { thread: self.thread });
+            self.browser.fact(Fact::StaleDocCallback {
+                thread: self.thread,
+            });
         }
         if self.browser.requests[ri].state == RequestState::Pending {
             self.browser.requests[ri].state = RequestState::Settled;
@@ -699,11 +790,12 @@ impl<'a> JsScope<'a> {
             return;
         }
         if from_worker && cross {
-            self.browser
-                .fact(Fact::CrossOriginWorkerRequest { thread, url: url.clone() });
+            self.browser.fact(Fact::CrossOriginWorkerRequest {
+                thread,
+                url: url.clone(),
+            });
         }
-        if self.browser.threads[ti].origin_kind
-            == crate::thread::OriginKind::InheritedFromSandbox
+        if self.browser.threads[ti].origin_kind == crate::thread::OriginKind::InheritedFromSandbox
             && !cross
         {
             self.browser.fact(Fact::InheritedOriginRequest { thread });
@@ -719,7 +811,11 @@ impl<'a> JsScope<'a> {
         let at = self.browser.current_instant() + plan.net_time;
         self.browser.register_async(
             thread,
-            AsyncKind::Net { req: RequestId::new(u64::MAX), class: NetClass::Xhr, cached: plan.cached },
+            AsyncKind::Net {
+                req: RequestId::new(u64::MAX),
+                class: NetClass::Xhr,
+                cached: plan.cached,
+            },
             TaskSource::Net,
             callback,
             arg,
@@ -813,7 +909,11 @@ impl<'a> JsScope<'a> {
         let req = RequestId::new(u64::MAX);
         self.browser.register_async(
             thread,
-            AsyncKind::Net { req, class, cached: plan.cached },
+            AsyncKind::Net {
+                req,
+                class,
+                cached: plan.cached,
+            },
             TaskSource::Net,
             cb(move |scope: &mut JsScope<'_>, v| {
                 if ok {
@@ -885,10 +985,10 @@ impl<'a> JsScope<'a> {
     /// channel. The access caches the key as a side effect.
     pub fn access_cached(&mut self, key: impl AsRef<str>) {
         let profile = self.browser.cfg.profile;
-        let d = self
-            .browser
-            .content_cache
-            .access(key.as_ref(), &profile, &mut self.browser.rng_cpu);
+        let d =
+            self.browser
+                .content_cache
+                .access(key.as_ref(), &profile, &mut self.browser.rng_cpu);
         self.add_cost(d);
     }
 
@@ -909,7 +1009,12 @@ impl<'a> JsScope<'a> {
     }
 
     /// `element.setAttribute(key, value)`.
-    pub fn set_attribute(&mut self, node: NodeId, key: impl Into<String>, value: impl Into<String>) {
+    pub fn set_attribute(
+        &mut self,
+        node: NodeId,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) {
         self.interpose(InterposeClass::Dom);
         self.add_cost(self.browser.cfg.profile.cpu.dom_attr);
         self.browser.dom.set_attribute(node, key, value);
@@ -963,9 +1068,14 @@ impl<'a> JsScope<'a> {
         }
         let freed = self.browser.buffers[bi].freed;
         let thread = self.thread;
-        let _ = self.browser.intercept(ApiCall::BufferAccess { thread, buffer, freed });
+        let _ = self.browser.intercept(ApiCall::BufferAccess {
+            thread,
+            buffer,
+            freed,
+        });
         if freed {
-            self.browser.fact(Fact::FreedBufferAccess { buffer, thread });
+            self.browser
+                .fact(Fact::FreedBufferAccess { buffer, thread });
         }
         self.add_cost(SimDuration::from_nanos(200));
         !freed

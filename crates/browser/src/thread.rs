@@ -157,7 +157,10 @@ mod tests {
         assert!(m.ready);
         let w = ThreadState::new(
             ThreadId::new(1),
-            ThreadKind::Worker { owner: ThreadId::new(0), worker: WorkerId::new(0) },
+            ThreadKind::Worker {
+                owner: ThreadId::new(0),
+                worker: WorkerId::new(0),
+            },
             "https://a".into(),
         );
         assert!(!w.ready);

@@ -38,6 +38,8 @@ pub enum TerminationReason {
     /// The owning document closed or navigated away — the paper's "false
     /// termination" path (Listing 2).
     DocumentTeardown,
+    /// The worker's thread died abruptly (fault-injected crash).
+    Crash,
 }
 
 /// A JavaScript built-in invocation, as seen by defense mediators and the
@@ -348,12 +350,18 @@ impl Trace {
 
     /// Appends an API record.
     pub fn api(&mut self, time: SimTime, call: ApiCall) {
-        self.entries.push(TraceEntry { time, item: TraceItem::Api(call) });
+        self.entries.push(TraceEntry {
+            time,
+            item: TraceItem::Api(call),
+        });
     }
 
     /// Appends a fact record.
     pub fn fact(&mut self, time: SimTime, fact: Fact) {
-        self.entries.push(TraceEntry { time, item: TraceItem::Fact(fact) });
+        self.entries.push(TraceEntry {
+            time,
+            item: TraceItem::Fact(fact),
+        });
     }
 
     /// All records in order.
@@ -400,11 +408,15 @@ mod tests {
         let mut t = Trace::new();
         t.api(
             SimTime::from_millis(1),
-            ApiCall::Navigate { thread: ThreadId::new(0) },
+            ApiCall::Navigate {
+                thread: ThreadId::new(0),
+            },
         );
         t.fact(
             SimTime::from_millis(2),
-            Fact::StaleDocCallback { thread: ThreadId::new(0) },
+            Fact::StaleDocCallback {
+                thread: ThreadId::new(0),
+            },
         );
         assert_eq!(t.len(), 2);
         assert_eq!(t.apis().count(), 1);

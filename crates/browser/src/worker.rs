@@ -184,7 +184,10 @@ mod tests {
         assert!(!w2.user_alive());
         let mut w3 = record();
         w3.state = WorkerState::Closing;
-        assert!(w3.user_alive(), "closing workers still accept (that's the 5602 window)");
+        assert!(
+            w3.user_alive(),
+            "closing workers still accept (that's the 5602 window)"
+        );
     }
 
     #[test]

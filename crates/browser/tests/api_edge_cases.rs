@@ -58,10 +58,13 @@ fn sab_is_shared_across_threads() {
             }),
         );
         // Read back on main once the worker signals.
-        scope.set_timeout(30.0, cb(move |scope, _| {
-            let v = scope.sab_read(sab, 0).unwrap_or_default();
-            scope.record("shared", JsValue::from(v));
-        }));
+        scope.set_timeout(
+            30.0,
+            cb(move |scope, _| {
+                let v = scope.sab_read(sab, 0).unwrap_or_default();
+                scope.record("shared", JsValue::from(v));
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("shared"), Some(&JsValue::from(123.0)));
@@ -75,9 +78,12 @@ fn sandboxed_worker_inherits_origin_natively() {
             let _w = scope.create_worker(
                 "w.js",
                 worker_script(|scope| {
-                    scope.xhr_send("https://attacker.example/api", cb(|scope, v| {
-                        scope.record("ok", v.get("ok").cloned().unwrap_or_default());
-                    }));
+                    scope.xhr_send(
+                        "https://attacker.example/api",
+                        cb(|scope, v| {
+                            scope.record("ok", v.get("ok").cloned().unwrap_or_default());
+                        }),
+                    );
                 }),
             );
         });
@@ -86,9 +92,10 @@ fn sandboxed_worker_inherits_origin_natively() {
     });
     b.run_until_idle();
     assert_eq!(b.record_value("ok"), Some(&JsValue::from(true)));
-    let inherited = b.trace().facts().any(|(_, f)| {
-        matches!(f, Fact::InheritedOriginRequest { .. })
-    });
+    let inherited = b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::InheritedOriginRequest { .. }));
     assert!(inherited, "the native bug grants the parent origin");
 }
 
@@ -99,25 +106,37 @@ fn media_and_css_tickers_run_and_stop() {
         let media = Rc::new(RefCell::new(0u32));
         let css = Rc::new(RefCell::new(0u32));
         let m2 = media.clone();
-        let media_id = scope.start_media_ticker(33.3, cb(move |_, _| {
-            *m2.borrow_mut() += 1;
-        }));
+        let media_id = scope.start_media_ticker(
+            33.3,
+            cb(move |_, _| {
+                *m2.borrow_mut() += 1;
+            }),
+        );
         let c2 = css.clone();
         scope.start_css_animation(cb(move |_, _| {
             *c2.borrow_mut() += 1;
         }));
-        scope.set_timeout(200.0, cb(move |scope, _| {
-            scope.clear_timer(media_id);
-            scope.record("media_at_stop", JsValue::from(f64::from(*media.borrow())));
-            let css = css.clone();
-            scope.set_timeout(200.0, cb(move |scope, _| {
-                scope.record("css_total", JsValue::from(f64::from(*css.borrow())));
-            }));
-        }));
+        scope.set_timeout(
+            200.0,
+            cb(move |scope, _| {
+                scope.clear_timer(media_id);
+                scope.record("media_at_stop", JsValue::from(f64::from(*media.borrow())));
+                let css = css.clone();
+                scope.set_timeout(
+                    200.0,
+                    cb(move |scope, _| {
+                        scope.record("css_total", JsValue::from(f64::from(*css.borrow())));
+                    }),
+                );
+            }),
+        );
     });
     b.run_for(SimDuration::from_millis(600));
     let media = b.record_value("media_at_stop").unwrap().as_f64().unwrap();
-    assert!((4.0..9.0).contains(&media), "media ticks in 200 ms: {media}");
+    assert!(
+        (4.0..9.0).contains(&media),
+        "media ticks in 200 ms: {media}"
+    );
     let css = b.record_value("css_total").unwrap().as_f64().unwrap();
     assert!(css >= 18.0, "css ran the whole 400 ms: {css}");
 }
@@ -142,7 +161,10 @@ fn cancel_animation_frame_prevents_callback() {
 #[test]
 fn import_scripts_success_consumes_parse_time() {
     let mut b = chrome(6);
-    b.register_resource("https://attacker.example/lib.js", ResourceSpec::of_size(4 << 20));
+    b.register_resource(
+        "https://attacker.example/lib.js",
+        ResourceSpec::of_size(4 << 20),
+    );
     b.boot(|scope| {
         let _w = scope.create_worker(
             "w.js",
@@ -169,18 +191,27 @@ fn navigation_resets_dom_but_keeps_history() {
         let d = scope.create_element("div");
         let root = scope.document_root();
         scope.append_child(root, d);
-        scope.set_timeout(5.0, cb(|scope, _| {
-            scope.navigate();
-            scope.set_timeout(5.0, cb(|scope, _| {
-                scope.style_link("https://visited.example");
-                scope.record("done", JsValue::from(true));
-            }));
-        }));
+        scope.set_timeout(
+            5.0,
+            cb(|scope, _| {
+                scope.navigate();
+                scope.set_timeout(
+                    5.0,
+                    cb(|scope, _| {
+                        scope.style_link("https://visited.example");
+                        scope.record("done", JsValue::from(true));
+                    }),
+                );
+            }),
+        );
     });
     b.run_until_idle();
     assert!(b.record_value("done").is_some());
     let dom = b.dom().serialize();
-    assert!(!dom.contains("<div>"), "navigation must reset the tree: {dom}");
+    assert!(
+        !dom.contains("<div>"),
+        "navigation must reset the tree: {dom}"
+    );
     assert!(dom.contains("<a "), "post-navigation content present");
 }
 
@@ -199,9 +230,12 @@ fn transferred_buffer_changes_owner() {
                 }));
             }),
         );
-        scope.set_worker_onmessage(w, cb(|scope, v| {
-            scope.record("worker_read", v);
-        }));
+        scope.set_worker_onmessage(
+            w,
+            cb(|scope, v| {
+                scope.record("worker_read", v);
+            }),
+        );
         let buf = scope.create_buffer(64);
         scope.post_message_to_worker_transfer(w, JsValue::from(buf.index()), vec![buf]);
     });
@@ -213,9 +247,12 @@ fn transferred_buffer_changes_owner() {
 fn same_origin_xhr_from_main_succeeds() {
     let mut b = chrome(9);
     b.boot(|scope| {
-        scope.xhr_send("https://attacker.example/data", cb(|scope, v| {
-            scope.record("ok", v.get("ok").cloned().unwrap_or_default());
-        }));
+        scope.xhr_send(
+            "https://attacker.example/data",
+            cb(|scope, v| {
+                scope.record("ok", v.get("ok").cloned().unwrap_or_default());
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("ok"), Some(&JsValue::from(true)));
@@ -242,9 +279,12 @@ fn console_log_collects_output_in_order() {
     let mut b = chrome(11);
     b.boot(|scope| {
         scope.console_log(JsValue::from("first"));
-        scope.set_timeout(2.0, cb(|scope, _| {
-            scope.console_log(JsValue::from("second"));
-        }));
+        scope.set_timeout(
+            2.0,
+            cb(|scope, _| {
+                scope.console_log(JsValue::from("second"));
+            }),
+        );
     });
     b.run_until_idle();
     let logs: Vec<&str> = b.console().iter().filter_map(JsValue::as_str).collect();
@@ -261,9 +301,12 @@ fn worker_self_close_eventually_closes() {
                 scope.close();
             }),
         );
-        scope.set_timeout(60.0, cb(move |scope, _| {
-            scope.record("alive", JsValue::from(scope.worker_alive(w)));
-        }));
+        scope.set_timeout(
+            60.0,
+            cb(move |scope, _| {
+                scope.record("alive", JsValue::from(scope.worker_alive(w)));
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("alive"), Some(&JsValue::from(false)));

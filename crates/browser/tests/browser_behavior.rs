@@ -24,10 +24,13 @@ fn chrome(seed: u64) -> Browser {
 fn set_timeout_fires_after_clamped_delay() {
     let mut b = chrome(1);
     b.boot(|scope| {
-        scope.set_timeout(10.0, cb(|scope, _| {
-            let t = scope.performance_now();
-            scope.record("at", JsValue::from(t));
-        }));
+        scope.set_timeout(
+            10.0,
+            cb(|scope, _| {
+                let t = scope.performance_now();
+                scope.record("at", JsValue::from(t));
+            }),
+        );
     });
     b.run_until_idle();
     let at = b.record_value("at").unwrap().as_f64().unwrap();
@@ -41,13 +44,16 @@ fn timers_fire_in_delay_order() {
         let order = Rc::new(RefCell::new(Vec::new()));
         for (label, delay) in [("c", 30.0), ("a", 5.0), ("b", 12.0)] {
             let order = order.clone();
-            scope.set_timeout(delay, cb(move |scope, _| {
-                order.borrow_mut().push(label);
-                if order.borrow().len() == 3 {
-                    let s: String = order.borrow().concat();
-                    scope.record("order", JsValue::from(s));
-                }
-            }));
+            scope.set_timeout(
+                delay,
+                cb(move |scope, _| {
+                    order.borrow_mut().push(label);
+                    if order.borrow().len() == 3 {
+                        let s: String = order.borrow().concat();
+                        scope.record("order", JsValue::from(s));
+                    }
+                }),
+            );
         }
     });
     b.run_until_idle();
@@ -58,13 +64,19 @@ fn timers_fire_in_delay_order() {
 fn clear_timeout_prevents_firing() {
     let mut b = chrome(3);
     b.boot(|scope| {
-        let id = scope.set_timeout(50.0, cb(|scope, _| {
-            scope.record("fired", JsValue::from(true));
-        }));
+        let id = scope.set_timeout(
+            50.0,
+            cb(|scope, _| {
+                scope.record("fired", JsValue::from(true));
+            }),
+        );
         scope.clear_timer(id);
-        scope.set_timeout(60.0, cb(|scope, _| {
-            scope.record("done", JsValue::from(true));
-        }));
+        scope.set_timeout(
+            60.0,
+            cb(|scope, _| {
+                scope.record("done", JsValue::from(true));
+            }),
+        );
     });
     b.run_until_idle();
     assert!(b.record_value("fired").is_none());
@@ -79,16 +91,19 @@ fn interval_repeats_until_cleared() {
         let count2 = count.clone();
         let id = Rc::new(RefCell::new(None));
         let id2 = id.clone();
-        let handle = scope.set_interval(10.0, cb(move |scope, _| {
-            *count2.borrow_mut() += 1;
-            let n = *count2.borrow();
-            scope.record("ticks", JsValue::from(f64::from(n)));
-            if n >= 5 {
-                if let Some(h) = *id2.borrow() {
-                    scope.clear_timer(h);
+        let handle = scope.set_interval(
+            10.0,
+            cb(move |scope, _| {
+                *count2.borrow_mut() += 1;
+                let n = *count2.borrow();
+                scope.record("ticks", JsValue::from(f64::from(n)));
+                if n >= 5 {
+                    if let Some(h) = *id2.borrow() {
+                        scope.clear_timer(h);
+                    }
                 }
-            }
-        }));
+            }),
+        );
         *id.borrow_mut() = Some(handle);
     });
     b.run_for(SimDuration::from_millis(500));
@@ -100,19 +115,22 @@ fn interval_repeats_until_cleared() {
 fn nested_timers_respect_four_ms_clamp() {
     let mut b = chrome(5);
     b.boot(|scope| {
-        fn chain(scope: &mut jsk_browser::scope::JsScope<'_>, depth: u32, stamps: Rc<RefCell<Vec<f64>>>) {
+        fn chain(
+            scope: &mut jsk_browser::scope::JsScope<'_>,
+            depth: u32,
+            stamps: Rc<RefCell<Vec<f64>>>,
+        ) {
             let t = scope.performance_now();
             stamps.borrow_mut().push(t);
             if depth < 10 {
-                scope.set_timeout(0.0, cb(move |scope, _| {
-                    chain(scope, depth + 1, stamps.clone());
-                }));
+                scope.set_timeout(
+                    0.0,
+                    cb(move |scope, _| {
+                        chain(scope, depth + 1, stamps.clone());
+                    }),
+                );
             } else {
-                let gaps: Vec<f64> = stamps
-                    .borrow()
-                    .windows(2)
-                    .map(|w| w[1] - w[0])
-                    .collect();
+                let gaps: Vec<f64> = stamps.borrow().windows(2).map(|w| w[1] - w[0]).collect();
                 // After the nesting threshold, gaps must be >= ~4 ms.
                 let deep_gaps = &gaps[6..];
                 let min_deep = deep_gaps.iter().cloned().fold(f64::MAX, f64::min);
@@ -144,7 +162,11 @@ fn raf_fires_on_frame_boundary() {
 fn raf_chain_counts_frames() {
     let mut b = chrome(7);
     b.boot(|scope| {
-        fn frame(scope: &mut jsk_browser::scope::JsScope<'_>, n: u32, stamps: Rc<RefCell<Vec<f64>>>) {
+        fn frame(
+            scope: &mut jsk_browser::scope::JsScope<'_>,
+            n: u32,
+            stamps: Rc<RefCell<Vec<f64>>>,
+        ) {
             scope.request_animation_frame(cb(move |scope, ts| {
                 stamps.borrow_mut().push(ts.as_f64().unwrap());
                 if n < 5 {
@@ -167,33 +189,48 @@ fn raf_chain_counts_frames() {
 fn busy_main_thread_delays_timer() {
     let mut b = chrome(8);
     b.boot(|scope| {
-        scope.set_timeout(1.0, cb(|scope, _| {
-            // Block the main thread for ~50 ms.
-            scope.compute(SimDuration::from_millis(50));
-        }));
-        scope.set_timeout(2.0, cb(|scope, _| {
-            let t = scope.performance_now();
-            scope.record("after_block", JsValue::from(t));
-        }));
+        scope.set_timeout(
+            1.0,
+            cb(|scope, _| {
+                // Block the main thread for ~50 ms.
+                scope.compute(SimDuration::from_millis(50));
+            }),
+        );
+        scope.set_timeout(
+            2.0,
+            cb(|scope, _| {
+                let t = scope.performance_now();
+                scope.record("after_block", JsValue::from(t));
+            }),
+        );
     });
     b.run_until_idle();
     let t = b.record_value("after_block").unwrap().as_f64().unwrap();
-    assert!(t >= 50.0, "second timer must wait out the blocking task, got {t}");
+    assert!(
+        t >= 50.0,
+        "second timer must wait out the blocking task, got {t}"
+    );
 }
 
 #[test]
 fn worker_runs_in_parallel_with_main() {
     let mut b = chrome(9);
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            // The worker burns 30 ms, then reports.
-            scope.compute(SimDuration::from_millis(30));
-            scope.post_message(JsValue::from("done"));
-        }));
-        scope.set_worker_onmessage(w, cb(|scope, _| {
-            let t = scope.performance_now();
-            scope.record("worker_done_at", JsValue::from(t));
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                // The worker burns 30 ms, then reports.
+                scope.compute(SimDuration::from_millis(30));
+                scope.post_message(JsValue::from("done"));
+            }),
+        );
+        scope.set_worker_onmessage(
+            w,
+            cb(|scope, _| {
+                let t = scope.performance_now();
+                scope.record("worker_done_at", JsValue::from(t));
+            }),
+        );
         // Main thread also burns 30 ms.
         scope.compute(SimDuration::from_millis(30));
     });
@@ -207,19 +244,25 @@ fn worker_runs_in_parallel_with_main() {
 fn messages_are_fifo_per_channel() {
     let mut b = chrome(10);
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            for i in 0..10 {
-                scope.post_message(JsValue::from(f64::from(i)));
-            }
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                for i in 0..10 {
+                    scope.post_message(JsValue::from(f64::from(i)));
+                }
+            }),
+        );
         let seen = Rc::new(RefCell::new(Vec::new()));
-        scope.set_worker_onmessage(w, cb(move |scope, v| {
-            seen.borrow_mut().push(v.as_f64().unwrap());
-            if seen.borrow().len() == 10 {
-                let sorted = seen.borrow().windows(2).all(|w| w[0] < w[1]);
-                scope.record("fifo", JsValue::from(sorted));
-            }
-        }));
+        scope.set_worker_onmessage(
+            w,
+            cb(move |scope, v| {
+                seen.borrow_mut().push(v.as_f64().unwrap());
+                if seen.borrow().len() == 10 {
+                    let sorted = seen.borrow().windows(2).all(|w| w[0] < w[1]);
+                    scope.record("fifo", JsValue::from(sorted));
+                }
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("fifo"), Some(&JsValue::from(true)));
@@ -229,16 +272,22 @@ fn messages_are_fifo_per_channel() {
 fn messages_to_unstarted_worker_are_buffered() {
     let mut b = chrome(11);
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            scope.set_onmessage(cb(|scope, v| {
-                scope.post_message(v);
-            }));
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.set_onmessage(cb(|scope, v| {
+                    scope.post_message(v);
+                }));
+            }),
+        );
         // Sent immediately — likely before the worker thread even spawns.
         scope.post_message_to_worker(w, JsValue::from("early"));
-        scope.set_worker_onmessage(w, cb(|scope, v| {
-            scope.record("echo", v);
-        }));
+        scope.set_worker_onmessage(
+            w,
+            cb(|scope, v| {
+                scope.record("echo", v);
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("echo"), Some(&JsValue::from("early")));
@@ -248,54 +297,79 @@ fn messages_to_unstarted_worker_are_buffered() {
 fn terminated_worker_stops_processing() {
     let mut b = chrome(12);
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            scope.set_onmessage(cb(|scope, v| {
-                scope.post_message(v);
-            }));
-        }));
-        scope.set_worker_onmessage(w, cb(|scope, v| {
-            scope.record("echo", v);
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.set_onmessage(cb(|scope, v| {
+                    scope.post_message(v);
+                }));
+            }),
+        );
+        scope.set_worker_onmessage(
+            w,
+            cb(|scope, v| {
+                scope.record("echo", v);
+            }),
+        );
         // Give the worker time to start, then terminate, then try to talk.
-        scope.set_timeout(20.0, cb(move |scope, _| {
-            scope.terminate_worker(w);
-            scope.post_message_to_worker(w, JsValue::from("late"));
-        }));
+        scope.set_timeout(
+            20.0,
+            cb(move |scope, _| {
+                scope.terminate_worker(w);
+                scope.post_message_to_worker(w, JsValue::from("late"));
+            }),
+        );
     });
     b.run_until_idle();
     assert!(b.record_value("echo").is_none());
-    let terminated = b
-        .trace()
-        .facts()
-        .any(|(_, f)| matches!(f, Fact::WorkerTerminated { user_level_only: false, .. }));
+    let terminated = b.trace().facts().any(|(_, f)| {
+        matches!(
+            f,
+            Fact::WorkerTerminated {
+                user_level_only: false,
+                ..
+            }
+        )
+    });
     assert!(terminated);
 }
 
 #[test]
 fn fetch_settles_and_abort_cancels() {
     let mut b = chrome(13);
-    b.register_resource("https://attacker.example/a.bin", ResourceSpec::of_size(10_000));
+    b.register_resource(
+        "https://attacker.example/a.bin",
+        ResourceSpec::of_size(10_000),
+    );
     b.boot(|scope| {
         // Plain fetch settles ok.
-        scope.fetch("https://attacker.example/a.bin", None, cb(|scope, v| {
-            scope.record("plain", v.get("ok").cloned().unwrap_or_default());
-        }));
+        scope.fetch(
+            "https://attacker.example/a.bin",
+            None,
+            cb(|scope, v| {
+                scope.record("plain", v.get("ok").cloned().unwrap_or_default());
+            }),
+        );
         // Aborted fetch reports AbortError (distinct URL so the HTTP cache
         // can't satisfy it before the abort lands).
         let sig = scope.new_abort_controller();
-        scope.fetch("https://attacker.example/b.bin", Some(sig), cb(|scope, v| {
-            scope.record("aborted_ok", v.get("ok").cloned().unwrap_or_default());
-            scope.record(
-                "aborted_err",
-                v.get("error").cloned().unwrap_or_default(),
-            );
-        }));
+        scope.fetch(
+            "https://attacker.example/b.bin",
+            Some(sig),
+            cb(|scope, v| {
+                scope.record("aborted_ok", v.get("ok").cloned().unwrap_or_default());
+                scope.record("aborted_err", v.get("error").cloned().unwrap_or_default());
+            }),
+        );
         scope.set_timeout(1.0, cb(move |scope, _| scope.abort(sig)));
     });
     b.run_until_idle();
     assert_eq!(b.record_value("plain"), Some(&JsValue::from(true)));
     assert_eq!(b.record_value("aborted_ok"), Some(&JsValue::from(false)));
-    assert_eq!(b.record_value("aborted_err"), Some(&JsValue::from("AbortError")));
+    assert_eq!(
+        b.record_value("aborted_err"),
+        Some(&JsValue::from("AbortError"))
+    );
 }
 
 #[test]
@@ -304,25 +378,43 @@ fn close_after_worker_fetch_leaves_dangling_abort_fact() {
     // signal-carrying fetch is false-terminated by document close; the abort
     // then reaches the freed request.
     let mut b = chrome(14);
-    b.register_resource("https://attacker.example/fetchedfile0.html", ResourceSpec::of_size(5 << 20));
+    b.register_resource(
+        "https://attacker.example/fetchedfile0.html",
+        ResourceSpec::of_size(5 << 20),
+    );
     b.boot(|scope| {
-        let _w = scope.create_worker("worker.js", worker_script(|scope| {
-            let sig = scope.new_abort_controller();
-            scope.fetch(
-                "https://attacker.example/fetchedfile0.html",
-                Some(sig),
-                cb(|_, _| {}),
-            );
-        }));
-        scope.set_timeout(40.0, cb(|scope, _| {
-            scope.close();
-        }));
+        let _w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                let sig = scope.new_abort_controller();
+                scope.fetch(
+                    "https://attacker.example/fetchedfile0.html",
+                    Some(sig),
+                    cb(|_, _| {}),
+                );
+            }),
+        );
+        scope.set_timeout(
+            40.0,
+            cb(|scope, _| {
+                scope.close();
+            }),
+        );
     });
     b.run_until_idle();
     let dangling = b.trace().facts().any(|(_, f)| {
-        matches!(f, Fact::AbortDelivered { owner_alive: false, .. })
+        matches!(
+            f,
+            Fact::AbortDelivered {
+                owner_alive: false,
+                ..
+            }
+        )
     });
-    assert!(dangling, "expected an abort delivered to a dead-owner request");
+    assert!(
+        dangling,
+        "expected an abort delivered to a dead-owner request"
+    );
 }
 
 #[test]
@@ -330,20 +422,29 @@ fn transfer_then_terminate_frees_buffer() {
     // CVE-2014-1488's native sequence.
     let mut b = chrome(15);
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            let buf = scope.create_buffer(1 << 16);
-            scope.post_message_transfer(JsValue::from(buf.index()), vec![buf]);
-        }));
-        scope.set_worker_onmessage(w, cb(move |scope, v| {
-            let buf = jsk_browser::ids::BufferId::new(v.as_f64().unwrap() as u64);
-            scope.terminate_worker(w);
-            let ok = scope.read_buffer(buf);
-            scope.record("buffer_ok", JsValue::from(ok));
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                let buf = scope.create_buffer(1 << 16);
+                scope.post_message_transfer(JsValue::from(buf.index()), vec![buf]);
+            }),
+        );
+        scope.set_worker_onmessage(
+            w,
+            cb(move |scope, v| {
+                let buf = jsk_browser::ids::BufferId::new(v.as_f64().unwrap() as u64);
+                scope.terminate_worker(w);
+                let ok = scope.read_buffer(buf);
+                scope.record("buffer_ok", JsValue::from(ok));
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("buffer_ok"), Some(&JsValue::from(false)));
-    assert!(b.trace().facts().any(|(_, f)| matches!(f, Fact::FreedBufferAccess { .. })));
+    assert!(b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::FreedBufferAccess { .. })));
 }
 
 #[test]
@@ -351,14 +452,23 @@ fn worker_xhr_bypasses_sop_natively() {
     // CVE-2013-1714: cross-origin XHR allowed from workers, blocked on main.
     let mut b = chrome(16);
     b.boot(|scope| {
-        scope.xhr_send("https://victim.example/secret", cb(|scope, v| {
-            scope.record("main_ok", v.get("ok").cloned().unwrap_or_default());
-        }));
-        let _w = scope.create_worker("worker.js", worker_script(|scope| {
-            scope.xhr_send("https://victim.example/secret", cb(|scope, v| {
-                scope.record("worker_ok", v.get("ok").cloned().unwrap_or_default());
-            }));
-        }));
+        scope.xhr_send(
+            "https://victim.example/secret",
+            cb(|scope, v| {
+                scope.record("main_ok", v.get("ok").cloned().unwrap_or_default());
+            }),
+        );
+        let _w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.xhr_send(
+                    "https://victim.example/secret",
+                    cb(|scope, v| {
+                        scope.record("worker_ok", v.get("ok").cloned().unwrap_or_default());
+                    }),
+                );
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(b.record_value("main_ok"), Some(&JsValue::from(false)));
@@ -376,16 +486,25 @@ fn missing_cross_origin_worker_script_leaks_in_error() {
     b.register_resource("https://victim.example/w.js", ResourceSpec::missing());
     b.boot(|scope| {
         let w = scope.create_worker("https://victim.example/w.js", worker_script(|_| {}));
-        scope.set_worker_onerror(w, cb(|scope, msg| {
-            scope.record("err", msg);
-        }));
+        scope.set_worker_onerror(
+            w,
+            cb(|scope, msg| {
+                scope.record("err", msg);
+            }),
+        );
     });
     b.run_until_idle();
     let err = b.record_value("err").unwrap().as_str().unwrap().to_owned();
-    assert!(err.contains("victim.example"), "message should leak URL: {err}");
+    assert!(
+        err.contains("victim.example"),
+        "message should leak URL: {err}"
+    );
     assert!(b.trace().facts().any(|(_, f)| matches!(
         f,
-        Fact::ErrorMessageDelivered { leaked_cross_origin: true, .. }
+        Fact::ErrorMessageDelivered {
+            leaked_cross_origin: true,
+            ..
+        }
     )));
 }
 
@@ -417,17 +536,26 @@ fn onmessage_assignment_on_closing_worker_crashes_natively() {
     // self-closes while the owner assigns late.
     let mut b = chrome(19);
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            scope.close();
-        }));
-        scope.set_timeout(30.0, cb(move |scope, _| {
-            scope.set_worker_onmessage(w, cb(|_, _| {}));
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.close();
+            }),
+        );
+        scope.set_timeout(
+            30.0,
+            cb(move |scope, _| {
+                scope.set_worker_onmessage(w, cb(|_, _| {}));
+            }),
+        );
     });
     b.run_until_idle();
     // Self-close fully closes; assignment on closed is inert, so no fact.
     // (The exploit drives Closing explicitly; see jsk-attacks::cve5602.)
-    let crashed = b.trace().facts().any(|(_, f)| matches!(f, Fact::NullDerefOnAssign { .. }));
+    let crashed = b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::NullDerefOnAssign { .. }));
     assert!(!crashed);
 }
 
@@ -435,26 +563,44 @@ fn onmessage_assignment_on_closing_worker_crashes_natively() {
 fn navigation_gives_stale_doc_window() {
     // CVE-2014-3194 / CVE-2010-4576 native windows.
     let mut b = chrome(20);
-    b.register_resource("https://attacker.example/slow.bin", ResourceSpec::of_size(4 << 20));
+    b.register_resource(
+        "https://attacker.example/slow.bin",
+        ResourceSpec::of_size(4 << 20),
+    );
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            // Keep posting; some posts land after the owner navigates.
-            let tick = cb(move |scope: &mut jsk_browser::scope::JsScope<'_>, _| {
-                scope.post_message(JsValue::from(1.0));
-            });
-            scope.set_interval(4.0, tick);
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                // Keep posting; some posts land after the owner navigates.
+                let tick = cb(move |scope: &mut jsk_browser::scope::JsScope<'_>, _| {
+                    scope.post_message(JsValue::from(1.0));
+                });
+                scope.set_interval(4.0, tick);
+            }),
+        );
         scope.set_worker_onmessage(w, cb(|_, _| {}));
         // A slow fetch whose callback arrives after navigation.
         scope.fetch("https://attacker.example/slow.bin", None, cb(|_, _| {}));
-        scope.set_timeout(30.0, cb(|scope, _| {
-            scope.navigate();
-        }));
+        scope.set_timeout(
+            30.0,
+            cb(|scope, _| {
+                scope.navigate();
+            }),
+        );
     });
     b.run_until_idle();
-    let stale_msg = b.trace().facts().any(|(_, f)| matches!(f, Fact::MessageToFreedDoc { .. }));
-    let stale_net = b.trace().facts().any(|(_, f)| matches!(f, Fact::StaleDocCallback { .. }));
-    assert!(stale_msg || stale_net, "expected a stale-document callback fact");
+    let stale_msg = b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::MessageToFreedDoc { .. }));
+    let stale_net = b
+        .trace()
+        .facts()
+        .any(|(_, f)| matches!(f, Fact::StaleDocCallback { .. }));
+    assert!(
+        stale_msg || stale_net,
+        "expected a stale-document callback fact"
+    );
 }
 
 #[test]
@@ -462,17 +608,23 @@ fn same_seed_is_deterministic() {
     let run = |seed| {
         let mut b = chrome(seed);
         b.boot(|scope| {
-            let w = scope.create_worker("worker.js", worker_script(|scope| {
-                for i in 0..5 {
-                    scope.post_message(JsValue::from(f64::from(i)));
-                }
-            }));
+            let w = scope.create_worker(
+                "worker.js",
+                worker_script(|scope| {
+                    for i in 0..5 {
+                        scope.post_message(JsValue::from(f64::from(i)));
+                    }
+                }),
+            );
             let n = Rc::new(RefCell::new(0u32));
-            scope.set_worker_onmessage(w, cb(move |scope, _| {
-                *n.borrow_mut() += 1;
-                let t = scope.performance_now();
-                scope.record(format!("t{}", n.borrow()), JsValue::from(t));
-            }));
+            scope.set_worker_onmessage(
+                w,
+                cb(move |scope, _| {
+                    *n.borrow_mut() += 1;
+                    let t = scope.performance_now();
+                    scope.record(format!("t{}", n.borrow()), JsValue::from(t));
+                }),
+            );
         });
         b.run_until_idle();
         (1..=5)
@@ -496,7 +648,10 @@ fn performance_now_is_quantized_to_profile_precision() {
     // Chrome precision is 5 µs = 0.005 ms.
     let quantum = 0.005;
     let rem = (t / quantum).fract();
-    assert!(!(1e-6..=1.0 - 1e-6).contains(&rem), "t={t} not on 5 µs grid");
+    assert!(
+        !(1e-6..=1.0 - 1e-6).contains(&rem),
+        "t={t} not on 5 µs grid"
+    );
 }
 
 #[test]
@@ -525,19 +680,28 @@ fn polyfill_context_worker_is_owner_thread() {
         Box::new(Polyfiller),
     );
     b.boot(|scope| {
-        let w = scope.create_worker("worker.js", worker_script(|scope| {
-            scope.record("worker_thread", JsValue::from(scope.thread().index()));
-            scope.set_onmessage(cb(|scope, v| {
-                scope.post_message(v);
-            }));
-        }));
+        let w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.record("worker_thread", JsValue::from(scope.thread().index()));
+                scope.set_onmessage(cb(|scope, v| {
+                    scope.post_message(v);
+                }));
+            }),
+        );
         scope.record("main_thread", JsValue::from(scope.thread().index()));
-        scope.set_worker_onmessage(w, cb(|scope, v| {
-            scope.record("echo", v);
-        }));
-        scope.set_timeout(10.0, cb(move |scope, _| {
-            scope.post_message_to_worker(w, JsValue::from("ping"));
-        }));
+        scope.set_worker_onmessage(
+            w,
+            cb(|scope, v| {
+                scope.record("echo", v);
+            }),
+        );
+        scope.set_timeout(
+            10.0,
+            cb(move |scope, _| {
+                scope.post_message_to_worker(w, JsValue::from("ping"));
+            }),
+        );
     });
     b.run_until_idle();
     assert_eq!(

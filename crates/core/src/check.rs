@@ -1,0 +1,175 @@
+//! Debug-mode kernel invariant checker.
+//!
+//! When [`KernelConfig::check_invariants`](crate::config::KernelConfig) is
+//! set, the kernel validates its own scheduling invariants after every
+//! registration and dispatch instead of trusting them:
+//!
+//! 1. **Queue order** — the event queue's iteration order is sorted by
+//!    predicted time (the `(predicted, seq)` index and the event records
+//!    agree with each other).
+//! 2. **No overtaking** — a dispatched event's predicted time is never
+//!    later than any event still queued on the same thread, i.e. a
+//!    confirmed event never jumps an earlier-predicted one.
+//! 3. **Clock monotonicity** — each thread's displayed kernel clock never
+//!    moves backwards.
+//!
+//! Violations are recorded, not panicked on: the harness asserts
+//! [`JsKernel::invariant_violations`](crate::kernel::JsKernel::invariant_violations)
+//! is empty at the end of a run, so a failing property test reports every
+//! broken invariant at once.
+
+use crate::equeue::KernelEventQueue;
+use crate::kevent::KernelEvent;
+use jsk_browser::ids::ThreadId;
+use jsk_sim::time::SimTime;
+use std::collections::HashMap;
+
+/// Records violations of the kernel's scheduling invariants.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    last_display: HashMap<ThreadId, SimTime>,
+    violations: Vec<String>,
+}
+
+impl InvariantChecker {
+    /// Creates a checker with no recorded violations.
+    #[must_use]
+    pub fn new() -> InvariantChecker {
+        InvariantChecker::default()
+    }
+
+    /// The violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Whether any invariant has been violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Invariant 1: the queue iterates in non-decreasing predicted order
+    /// and its index covers exactly the stored events.
+    pub fn check_queue(&mut self, thread: ThreadId, q: &KernelEventQueue) {
+        let mut prev: Option<SimTime> = None;
+        let mut seen = 0usize;
+        for e in q.iter_in_order() {
+            if let Some(p) = prev {
+                if e.predicted < p {
+                    self.violations.push(format!(
+                        "equeue order broken on thread {}: event {} predicted {} \
+                         follows {}",
+                        thread.index(),
+                        e.token.index(),
+                        e.predicted,
+                        p
+                    ));
+                }
+            }
+            prev = Some(e.predicted);
+            seen += 1;
+        }
+        if seen != q.len() {
+            self.violations.push(format!(
+                "equeue index out of sync on thread {}: {} ordered keys for {} events",
+                thread.index(),
+                seen,
+                q.len()
+            ));
+        }
+    }
+
+    /// Invariant 2: the event being dispatched precedes (or ties) every
+    /// event still queued — no confirmed event overtakes an
+    /// earlier-predicted one.
+    pub fn check_dispatch(
+        &mut self,
+        thread: ThreadId,
+        dispatched: &KernelEvent,
+        remaining: &KernelEventQueue,
+    ) {
+        self.check_queue(thread, remaining);
+        if let Some(next) = remaining.iter_in_order().next() {
+            if next.predicted < dispatched.predicted {
+                self.violations.push(format!(
+                    "dispatch overtook on thread {}: released event {} (predicted {}) \
+                     ahead of queued event {} (predicted {})",
+                    thread.index(),
+                    dispatched.token.index(),
+                    dispatched.predicted,
+                    next.token.index(),
+                    next.predicted
+                ));
+            }
+        }
+    }
+
+    /// Invariant 3: a thread's displayed kernel clock never runs backwards.
+    pub fn check_clock(&mut self, thread: ThreadId, display: SimTime) {
+        if let Some(&last) = self.last_display.get(&thread) {
+            if display < last {
+                self.violations.push(format!(
+                    "kernel clock ran backwards on thread {}: {} after {}",
+                    thread.index(),
+                    display,
+                    last
+                ));
+            }
+        }
+        self.last_display.insert(thread, display);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kevent::KernelEvent;
+    use jsk_browser::event::AsyncKind;
+    use jsk_browser::ids::EventToken;
+
+    fn ev(token: u64, predicted_ms: u64) -> KernelEvent {
+        KernelEvent::pending(
+            EventToken::new(token),
+            ThreadId::new(0),
+            AsyncKind::Raf,
+            SimTime::from_millis(predicted_ms),
+        )
+    }
+
+    #[test]
+    fn clean_queue_passes() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        let mut chk = InvariantChecker::new();
+        chk.check_queue(ThreadId::new(0), &q);
+        assert!(chk.is_clean(), "{:?}", chk.violations());
+    }
+
+    #[test]
+    fn dispatch_overtake_is_flagged() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(2, 5));
+        let mut chk = InvariantChecker::new();
+        // Pretend we dispatched an event predicted *after* the queued one.
+        chk.check_dispatch(ThreadId::new(0), &ev(1, 10), &q);
+        assert_eq!(chk.violations().len(), 1);
+        assert!(chk.violations()[0].contains("overtook"));
+    }
+
+    #[test]
+    fn clock_regression_is_flagged() {
+        let mut chk = InvariantChecker::new();
+        chk.check_clock(ThreadId::new(0), SimTime::from_millis(5));
+        chk.check_clock(ThreadId::new(0), SimTime::from_millis(7));
+        assert!(chk.is_clean());
+        chk.check_clock(ThreadId::new(0), SimTime::from_millis(6));
+        assert_eq!(chk.violations().len(), 1);
+        assert!(chk.violations()[0].contains("backwards"));
+        // Other threads are tracked independently.
+        chk.check_clock(ThreadId::new(1), SimTime::ZERO);
+        assert_eq!(chk.violations().len(), 1);
+    }
+}

@@ -101,12 +101,25 @@ mod tests {
     #[test]
     fn round_trips_all_variants() {
         let msgs = [
-            KernelMsg::PendingChildFetch { req: RequestId::new(1), worker: WorkerId::new(2) },
-            KernelMsg::ConfirmFetch { req: RequestId::new(1) },
-            KernelMsg::FetchSettled { req: RequestId::new(1), worker: WorkerId::new(2) },
-            KernelMsg::CleanWorker { worker: WorkerId::new(2) },
+            KernelMsg::PendingChildFetch {
+                req: RequestId::new(1),
+                worker: WorkerId::new(2),
+            },
+            KernelMsg::ConfirmFetch {
+                req: RequestId::new(1),
+            },
+            KernelMsg::FetchSettled {
+                req: RequestId::new(1),
+                worker: WorkerId::new(2),
+            },
+            KernelMsg::CleanWorker {
+                worker: WorkerId::new(2),
+            },
             KernelMsg::ClockSync { kclock_ns: 123_456 },
-            KernelMsg::ThreadSource { worker: WorkerId::new(2), src: "worker.js".into() },
+            KernelMsg::ThreadSource {
+                worker: WorkerId::new(2),
+                src: "worker.js".into(),
+            },
         ];
         for m in msgs {
             let wire = m.encode();
@@ -117,7 +130,10 @@ mod tests {
 
     #[test]
     fn user_traffic_is_not_decoded() {
-        let user = JsValue::object([("type", JsValue::from("user")), ("data", JsValue::from(1.0))]);
+        let user = JsValue::object([
+            ("type", JsValue::from("user")),
+            ("data", JsValue::from(1.0)),
+        ]);
         assert!(!KernelMsg::is_kernel_traffic(&user));
         assert!(KernelMsg::decode(&user).is_none());
         assert!(KernelMsg::decode(&JsValue::from(3.0)).is_none());

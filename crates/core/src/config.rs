@@ -59,6 +59,18 @@ pub struct KernelConfig {
     pub costs: InterpositionCosts,
     /// Latency of the kernel-space overlay channel.
     pub kernel_channel_latency: SimDuration,
+    /// How long the dispatcher lets a pending head block confirmed work
+    /// before writing it off as lost (§III-D2 cancellation applied by the
+    /// kernel itself). Zero disables the watchdog.
+    #[serde(default)]
+    pub watchdog_hold: SimDuration,
+    /// Upper bound on queued events per thread; registrations beyond it
+    /// fall back to raw (unmediated) scheduling. Zero means unbounded.
+    #[serde(default)]
+    pub equeue_capacity: usize,
+    /// Run the debug invariant checker after every dispatch.
+    #[serde(default)]
+    pub check_invariants: bool,
 }
 
 impl Default for KernelConfig {
@@ -84,6 +96,9 @@ impl KernelConfig {
             display_precision: SimDuration::from_micros(10),
             costs: InterpositionCosts::default(),
             kernel_channel_latency: SimDuration::from_micros(60),
+            watchdog_hold: SimDuration::from_millis(2000),
+            equeue_capacity: 65_536,
+            check_invariants: false,
         }
     }
 
@@ -144,8 +159,7 @@ mod tests {
 
     #[test]
     fn with_policy_appends() {
-        let cfg = KernelConfig::timing_only()
-            .with_policy(crate::policy::cve::cve_2013_1714());
+        let cfg = KernelConfig::timing_only().with_policy(crate::policy::cve::cve_2013_1714());
         assert_eq!(cfg.policies.len(), 2);
     }
 }

@@ -47,6 +47,21 @@ impl KernelEventQueue {
         self.order.insert(key, token);
     }
 
+    /// Bounded push: refuses (returning the event) when the queue already
+    /// holds `capacity` events. A `capacity` of 0 means unbounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the event back when the queue is full, so the caller can
+    /// apply its overflow policy instead of growing without bound.
+    pub fn try_push(&mut self, event: KernelEvent, capacity: usize) -> Result<(), KernelEvent> {
+        if capacity > 0 && self.events.len() >= capacity {
+            return Err(event);
+        }
+        self.push(event);
+        Ok(())
+    }
+
     /// The earliest event, kept in the queue (the paper's `top` API).
     #[must_use]
     pub fn top(&self) -> Option<&KernelEvent> {
@@ -95,14 +110,42 @@ impl KernelEventQueue {
         self.events.is_empty()
     }
 
+    /// Whether any queued event is confirmed — i.e. whether a pending head
+    /// is actively blocking ready work (the watchdog's arming condition).
+    #[must_use]
+    pub fn has_confirmed(&self) -> bool {
+        self.events
+            .values()
+            .any(|(e, _)| e.status == KEventStatus::Confirmed)
+    }
+
+    /// Marks every live (pending or confirmed) event cancelled and returns
+    /// how many were hit — orphan reaping when the owning thread dies.
+    pub fn cancel_live(&mut self) -> u64 {
+        let mut n = 0;
+        for (e, _) in self.events.values_mut() {
+            if e.is_live() {
+                e.status = KEventStatus::Cancelled;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The queued events in dispatch order (invariant-checker view).
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &KernelEvent> + '_ {
+        self.order
+            .values()
+            .map(move |t| &self.events.get(t).expect("order/events in sync").0)
+    }
+
     /// Pops every leading event that is ready to go out: cancelled events
     /// are discarded, confirmed events are returned in predicted order, and
     /// the drain stops at the first pending event (the dispatcher "waits for
     /// the event to become ready", §III-D3).
     pub fn drain_dispatchable(&mut self) -> Vec<KernelEvent> {
         let mut out = Vec::new();
-        loop {
-            let Some(head) = self.top() else { break };
+        while let Some(head) = self.top() {
             match head.status {
                 KEventStatus::Pending => break,
                 KEventStatus::Cancelled | KEventStatus::Dispatched => {
@@ -224,5 +267,57 @@ mod tests {
         let mut q = KernelEventQueue::new();
         q.push(ev(1, 10));
         q.push(ev(1, 20));
+    }
+
+    #[test]
+    fn try_push_respects_capacity() {
+        let mut q = KernelEventQueue::new();
+        assert!(q.try_push(ev(1, 10), 2).is_ok());
+        assert!(q.try_push(ev(2, 20), 2).is_ok());
+        let rejected = q.try_push(ev(3, 30), 2).unwrap_err();
+        assert_eq!(rejected.token, EventToken::new(3));
+        assert_eq!(q.len(), 2);
+        // Capacity 0 means unbounded.
+        assert!(q.try_push(ev(3, 30), 0).is_ok());
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn has_confirmed_sees_non_head_confirmations() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        assert!(!q.has_confirmed());
+        q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
+        assert!(q.has_confirmed());
+    }
+
+    #[test]
+    fn cancel_live_skips_dispatched() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        q.push(ev(3, 30));
+        q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Dispatched;
+        q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
+        assert_eq!(q.cancel_live(), 2);
+        assert_eq!(
+            q.lookup(EventToken::new(3)).unwrap().status,
+            KEventStatus::Cancelled
+        );
+        assert_eq!(
+            q.lookup(EventToken::new(1)).unwrap().status,
+            KEventStatus::Dispatched
+        );
+    }
+
+    #[test]
+    fn iter_in_order_follows_predicted_time() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 30));
+        q.push(ev(2, 10));
+        q.push(ev(3, 20));
+        let tokens: Vec<u64> = q.iter_in_order().map(|e| e.token.index()).collect();
+        assert_eq!(tokens, vec![2, 3, 1]);
     }
 }

@@ -105,7 +105,10 @@ impl KernelInterface {
             "Date.now",
             "indexedDB.open",
         ] {
-            entries.insert(name.to_owned(), api(RedefinitionEffect::BreaksFunctionalityOnly));
+            entries.insert(
+                name.to_owned(),
+                api(RedefinitionEffect::BreaksFunctionalityOnly),
+            );
         }
         // Legitimate-backup APIs: sites that keep the old definition call
         // back through the kernel version.
@@ -177,7 +180,14 @@ mod tests {
     #[test]
     fn standard_interface_covers_concurrency_apis() {
         let ki = KernelInterface::standard();
-        for api in ["setTimeout", "postMessage", "performance.now", "Worker", "onmessage", "fetch"] {
+        for api in [
+            "setTimeout",
+            "postMessage",
+            "performance.now",
+            "Worker",
+            "onmessage",
+            "fetch",
+        ] {
             assert!(ki.is_interposed(api), "{api} must be interposed");
         }
         assert!(ki.len() >= 15);
@@ -191,11 +201,11 @@ mod tests {
     #[test]
     fn trapped_setters_reject_redefinition() {
         let ki = KernelInterface::standard();
-        assert_eq!(ki.attempt_redefine("onmessage"), RedefinitionEffect::Rejected);
         assert_eq!(
-            ki.entry("onmessage").unwrap().kind,
-            InterpositionKind::Trap
+            ki.attempt_redefine("onmessage"),
+            RedefinitionEffect::Rejected
         );
+        assert_eq!(ki.entry("onmessage").unwrap().kind, InterpositionKind::Trap);
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl KernelClock {
     /// Creates a clock ticking `tick_unit` per API call.
     #[must_use]
     pub fn new(tick_unit: SimDuration) -> KernelClock {
-        KernelClock { base: SimTime::ZERO, ticks: 0, tick_unit }
+        KernelClock {
+            base: SimTime::ZERO,
+            ticks: 0,
+            tick_unit,
+        }
     }
 
     /// Ticks by one API call (the paper's "ticking API", tick-by form).
@@ -129,7 +133,7 @@ mod tests {
     fn advance_to_respects_accumulated_ticks() {
         let mut c = clock();
         c.tick_by(2_000); // 2 ms of ticks
-        // Predicted time earlier than the displayed time must not rewind.
+                          // Predicted time earlier than the displayed time must not rewind.
         c.advance_to(SimTime::from_millis(1));
         assert_eq!(c.display(), SimTime::ZERO + SimDuration::from_micros(2_000));
     }

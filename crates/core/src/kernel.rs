@@ -17,6 +17,7 @@
 //! makes every observable duration a function of API-call counts rather
 //! than physical time.
 
+use crate::check::InvariantChecker;
 use crate::comm::KernelMsg;
 use crate::config::KernelConfig;
 use crate::equeue::KernelEventQueue;
@@ -91,6 +92,16 @@ pub struct JsKernel {
     /// Workers whose backing browser thread has not been announced yet
     /// (CreateWorker interception precedes the thread spawn).
     pending_bind: std::collections::VecDeque<WorkerId>,
+    /// Watchdog state per thread: the pending head that is currently
+    /// blocking confirmed work, and when the kernel first saw it blocking.
+    /// A pending head with nothing confirmed behind it costs nothing and is
+    /// never timed; a blocked head whose confirmation was lost would stall
+    /// the thread forever (livelock), so after `cfg.watchdog_hold` the
+    /// dispatcher writes it off as cancelled (§III-D2 applied by the kernel
+    /// itself rather than by user space).
+    watchdog: HashMap<ThreadId, (EventToken, SimTime)>,
+    /// Debug invariant checker (`cfg.check_invariants`).
+    checker: Option<InvariantChecker>,
     /// Runtime counters.
     stats: KernelStats,
 }
@@ -131,6 +142,8 @@ impl JsKernel {
             task_base: HashMap::new(),
             inflight: HashMap::new(),
             stream_last: HashMap::new(),
+            watchdog: HashMap::new(),
+            checker: cfg.check_invariants.then(InvariantChecker::new),
             cfg,
         }
     }
@@ -164,7 +177,13 @@ impl JsKernel {
             + SimDuration::from_nanos(self.tk(clock_thread).clock.ticks());
         let base = causal + quantum;
         let key = |label: &'static str| {
-            (clock_thread, info.context, info.thread, label, quantum.as_nanos())
+            (
+                clock_thread,
+                info.context,
+                info.thread,
+                label,
+                quantum.as_nanos(),
+            )
         };
         match info.kind {
             // Browser-driven re-arms: the previous firing *is* the cause, so
@@ -242,10 +261,12 @@ impl JsKernel {
     }
 
     fn tk(&mut self, thread: ThreadId) -> &mut ThreadKernel {
-        self.per_thread.entry(thread).or_insert_with(|| ThreadKernel {
-            equeue: KernelEventQueue::new(),
-            clock: KernelClock::new(self.cfg.tick_unit),
-        })
+        self.per_thread
+            .entry(thread)
+            .or_insert_with(|| ThreadKernel {
+                equeue: KernelEventQueue::new(),
+                clock: KernelClock::new(self.cfg.tick_unit),
+            })
     }
 
     /// Releases at most one dispatchable head event on `thread` (the
@@ -264,35 +285,41 @@ impl JsKernel {
         }
         let mut waited_behind_pending = false;
         let mut deferred = false;
-        let tk = self.tk(thread);
-        // Discard cancelled heads; stop at a pending head. A confirmed head
-        // whose predicted instant is still in the future is *not* released
-        // yet: the decision is deferred to that instant (via a tick), by
-        // which time every event predicted earlier has had a chance to
-        // register — releasing early would let this event overtake an
+        // Discard cancelled heads; stop at a pending head (unless the
+        // watchdog just wrote it off). A confirmed head whose predicted
+        // instant is still in the future is *not* released yet: the
+        // decision is deferred to that instant (via a tick), by which time
+        // every event predicted earlier has had a chance to register —
+        // releasing early would let this event overtake an
         // earlier-predicted reply still in flight on another thread.
         let head = loop {
-            match tk.equeue.top() {
+            let top = self
+                .tk(thread)
+                .equeue
+                .top()
+                .map(|e| (e.status, e.predicted));
+            match top {
                 None => break None,
-                Some(e) => match e.status {
-                    KEventStatus::Pending => {
-                        waited_behind_pending = true;
+                Some((KEventStatus::Pending, _)) => {
+                    if self.watchdog_fire(ctx, thread) {
+                        continue;
+                    }
+                    waited_behind_pending = true;
+                    break None;
+                }
+                Some((KEventStatus::Cancelled | KEventStatus::Dispatched, _)) => {
+                    self.tk(thread).equeue.pop();
+                }
+                Some((KEventStatus::Confirmed, predicted)) => {
+                    if predicted > now {
+                        deferred = true;
+                        ctx.schedule_tick(thread, predicted);
                         break None;
                     }
-                    KEventStatus::Cancelled | KEventStatus::Dispatched => {
-                        tk.equeue.pop();
-                    }
-                    KEventStatus::Confirmed => {
-                        if e.predicted > now {
-                            deferred = true;
-                            ctx.schedule_tick(thread, e.predicted);
-                            break None;
-                        }
-                        let mut e = tk.equeue.pop().expect("top exists");
-                        e.status = KEventStatus::Dispatched;
-                        break Some(e);
-                    }
-                },
+                    let mut e = self.tk(thread).equeue.pop().expect("top exists");
+                    e.status = KEventStatus::Dispatched;
+                    break Some(e);
+                }
             }
         };
         if waited_behind_pending {
@@ -304,6 +331,12 @@ impl JsKernel {
         let Some(head) = head else {
             return ConfirmDecision::Withhold;
         };
+        if let Some(mut chk) = self.checker.take() {
+            let tk = self.tk(thread);
+            chk.check_dispatch(thread, &head, &tk.equeue);
+            chk.check_clock(thread, tk.clock.display());
+            self.checker = Some(chk);
+        }
         if debug_enabled() {
             eprintln!(
                 "[rel] {} tok={} pred={} at={}",
@@ -324,6 +357,74 @@ impl JsKernel {
             ctx.release(head.token, now);
             ConfirmDecision::Withhold
         }
+    }
+
+    /// The blocked-head watchdog. Called from the dispatcher when the head
+    /// is pending. Returns `true` when it just expired the head (the caller
+    /// should re-examine the queue).
+    ///
+    /// A countdown starts only when the pending head is actually blocking
+    /// confirmed work, and it restarts whenever a *different* event becomes
+    /// the blocked head — the hold is measured per head, not per queue, so a
+    /// healthy pipeline that keeps making progress never expires anything.
+    fn watchdog_fire(&mut self, ctx: &mut MediatorCtx<'_>, thread: ThreadId) -> bool {
+        let hold = self.cfg.watchdog_hold;
+        if hold == SimDuration::ZERO {
+            return false;
+        }
+        let now = ctx.now;
+        let (head_token, blocked) = {
+            let tk = self.tk(thread);
+            let Some(head) = tk.equeue.top() else {
+                self.watchdog.remove(&thread);
+                return false;
+            };
+            (head.token, tk.equeue.has_confirmed())
+        };
+        if !blocked {
+            // Nothing confirmed behind the head: no livelock risk. Any
+            // running countdown is stale (the blockage resolved).
+            self.watchdog.remove(&thread);
+            return false;
+        }
+        match self.watchdog.get(&thread) {
+            Some(&(tok, t0)) if tok == head_token => {
+                if now < t0 + hold {
+                    return false;
+                }
+                // The head blocked confirmed work for the full hold: its
+                // confirmation is presumed lost. Write it off so the thread
+                // keeps making progress. token_info is *kept* — if the
+                // confirmation does arrive late, on_confirm must Drop it
+                // rather than fall back to raw invocation.
+                if let Some(e) = self.tk(thread).equeue.lookup_mut(head_token) {
+                    e.status = KEventStatus::Cancelled;
+                }
+                self.stats.watchdog_expired += 1;
+                self.watchdog.remove(&thread);
+                if debug_enabled() {
+                    eprintln!("[wdg] expired tok={} at={}", head_token.index(), now);
+                }
+                true
+            }
+            _ => {
+                // New blocked head: arm the countdown and make sure the
+                // dispatcher runs again at the deadline even if no other
+                // event wakes this thread up.
+                self.watchdog.insert(thread, (head_token, now));
+                ctx.schedule_tick(thread, now + hold);
+                false
+            }
+        }
+    }
+
+    /// Invariant violations recorded so far (empty unless
+    /// `cfg.check_invariants` is set).
+    #[must_use]
+    pub fn invariant_violations(&self) -> &[String] {
+        self.checker
+            .as_ref()
+            .map_or(&[], InvariantChecker::violations)
     }
 
     fn settle_fetch(&mut self, ctx: &mut MediatorCtx<'_>, req: RequestId) {
@@ -387,10 +488,28 @@ impl Mediator for JsKernel {
                 predicted
             );
         }
-        self.tk(info.thread)
+        let capacity = self.cfg.equeue_capacity;
+        let event = KernelEvent::pending(info.token, info.thread, info.kind, predicted);
+        if self
+            .tk(info.thread)
             .equeue
-            .push(KernelEvent::pending(info.token, info.thread, info.kind, predicted));
+            .try_push(event, capacity)
+            .is_err()
+        {
+            // Backpressure: the queue is full, so this event is left to raw
+            // (unmediated) scheduling instead of growing the kernel without
+            // bound. token_info is *not* written — on_confirm's
+            // unknown-token path then invokes it at its raw trigger time,
+            // preserving liveness at the cost of determinism for the
+            // overflowing tail.
+            self.stats.equeue_overflow += 1;
+            return;
+        }
         self.token_info.insert(info.token, (info.thread, predicted));
+        if let Some(mut chk) = self.checker.take() {
+            chk.check_queue(info.thread, &self.tk(info.thread).equeue);
+            self.checker = Some(chk);
+        }
     }
 
     fn on_confirm(
@@ -408,16 +527,34 @@ impl Mediator for JsKernel {
             return ConfirmDecision::InvokeAt(raw_fire);
         }
         self.stats.confirmed += 1;
-        if let Some(e) = self.tk(info.thread).equeue.lookup_mut(info.token) {
+        let status = self.tk(info.thread).equeue.lookup_mut(info.token).map(|e| {
             if e.status == KEventStatus::Pending {
                 e.status = KEventStatus::Confirmed;
             }
-        } else {
-            // Unknown to the kernel (registered before the kernel attached):
-            // fall back to raw behaviour.
-            return ConfirmDecision::InvokeAt(raw_fire);
+            e.status
+        });
+        match status {
+            Some(KEventStatus::Cancelled) => {
+                // The kernel already wrote this event off (watchdog expiry,
+                // orphan reap, or an explicit cancel). The late confirmation
+                // must not resurrect it: drop it outright, and re-drain in
+                // case the cancelled head was the blockage.
+                let _ = self.dispatch(ctx, info.thread, None);
+                ConfirmDecision::Drop
+            }
+            Some(_) => self.dispatch(ctx, info.thread, Some(info.token)),
+            None => {
+                if self.token_info.remove(&info.token).is_some() {
+                    // Tracked, but no longer queued: the kernel disposed of
+                    // it (a written-off head already popped by the drain).
+                    ConfirmDecision::Drop
+                } else {
+                    // Never tracked (registered before the kernel attached,
+                    // or dropped by equeue backpressure): raw behaviour.
+                    ConfirmDecision::InvokeAt(raw_fire)
+                }
+            }
         }
-        self.dispatch(ctx, info.thread, Some(info.token))
     }
 
     fn on_cancel(&mut self, ctx: &mut MediatorCtx<'_>, token: EventToken) {
@@ -444,7 +581,6 @@ impl Mediator for JsKernel {
         token: Option<EventToken>,
         _context: u32,
     ) {
-
         if !self.cfg.deterministic {
             return;
         }
@@ -461,29 +597,57 @@ impl Mediator for JsKernel {
                 debug_assert_eq!(tid, thread, "event dispatched on the wrong thread");
                 self.task_base.insert(thread, predicted);
                 self.tk(thread).clock.advance_to(predicted);
+                if let Some(mut chk) = self.checker.take() {
+                    chk.check_clock(thread, self.tk(thread).clock.display());
+                    self.checker = Some(chk);
+                }
                 return;
             }
         }
         self.tk(thread).clock.tick();
     }
 
+    fn on_thread_exited(&mut self, _ctx: &mut MediatorCtx<'_>, thread: ThreadId) {
+        // The thread died without unwinding: reap every event it still owed
+        // us so no other bookkeeping waits on a confirmation that can never
+        // come. token_info entries are kept — a raw trigger already in
+        // flight for a reaped event must be dropped, not invoked.
+        let reaped = self.tk(thread).equeue.cancel_live();
+        self.stats.orphans_reaped += reaped;
+        self.inflight.remove(&thread);
+        self.watchdog.remove(&thread);
+        if let Some(kt) = self.threads.by_thread_mut(thread) {
+            kt.status = KThreadStatus::Closed;
+        }
+    }
+
     fn on_api(&mut self, ctx: &mut MediatorCtx<'_>, call: &ApiCall) -> ApiOutcome {
         // Thread-manager bookkeeping first (facts the policies rely on).
         match call {
-            ApiCall::CreateWorker { parent, worker, src, .. } => {
+            ApiCall::CreateWorker {
+                parent,
+                worker,
+                src,
+                ..
+            } => {
                 // The kernel thread object is created here; its backing
                 // browser thread is learned from on_thread_started order —
                 // we record with the parent and fix up below via
                 // ThreadSource messages in tests. The browser thread id for
                 // real workers is parent-count-based; we instead learn it
                 // lazily on the first Fetch from that thread.
-                self.threads.register(*worker, ThreadId::new(u64::MAX), *parent, src.clone());
+                self.threads
+                    .register(*worker, ThreadId::new(u64::MAX), *parent, src.clone());
                 self.pending_bind.push_back(*worker);
                 // §III-E2: pass the thread source over the kernel channel.
                 ctx.kernel_send(
                     *parent,
                     *parent,
-                    KernelMsg::ThreadSource { worker: *worker, src: src.clone() }.encode(),
+                    KernelMsg::ThreadSource {
+                        worker: *worker,
+                        src: src.clone(),
+                    }
+                    .encode(),
                     ctx.now + self.cfg.kernel_channel_latency,
                 );
             }
@@ -618,7 +782,13 @@ mod tests {
         let mut k = JsKernel::default();
         let mut rng = SimRng::new(0);
         // Register a message (predicted +1 ms) then a raf (predicted +10 ms).
-        let msg = info(1, 0, AsyncKind::Message { from: ThreadId::new(1) });
+        let msg = info(
+            1,
+            0,
+            AsyncKind::Message {
+                from: ThreadId::new(1),
+            },
+        );
         let raf = info(2, 0, AsyncKind::Raf);
         {
             let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
@@ -630,7 +800,12 @@ mod tests {
         let mut ctx = MediatorCtx::new(SimTime::from_millis(16), &mut rng);
         let d = k.on_confirm(&mut ctx, &raf, SimTime::from_millis(16));
         assert_eq!(d, ConfirmDecision::Withhold);
-        assert!(ctx.into_ops().is_empty());
+        // The watchdog arms a deadline tick for the now-blocked head, but
+        // nothing may be released.
+        assert!(!ctx
+            .into_ops()
+            .iter()
+            .any(|op| matches!(op, jsk_browser::mediator::MediatorOp::Release { .. })));
         // When the message confirms, it dispatches immediately; the raf is
         // still held — the serialized dispatcher releases the next event
         // only after the message's task body has run.
@@ -662,7 +837,13 @@ mod tests {
     fn in_order_confirmations_dispatch_immediately() {
         let mut k = JsKernel::default();
         let mut rng = SimRng::new(0);
-        let msg = info(1, 0, AsyncKind::Message { from: ThreadId::new(1) });
+        let msg = info(
+            1,
+            0,
+            AsyncKind::Message {
+                from: ThreadId::new(1),
+            },
+        );
         {
             let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
             k.on_register(&mut ctx, &msg);
@@ -673,7 +854,13 @@ mod tests {
         assert!(matches!(d, ConfirmDecision::InvokeAt(_)));
         // An early confirmation is deferred to the predicted instant via a
         // scheduled tick instead.
-        let early = info(9, 3, AsyncKind::Message { from: ThreadId::new(1) });
+        let early = info(
+            9,
+            3,
+            AsyncKind::Message {
+                from: ThreadId::new(1),
+            },
+        );
         {
             let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
             k.on_register(&mut ctx, &early);
@@ -682,17 +869,22 @@ mod tests {
         let d = k.on_confirm(&mut ctx, &early, SimTime::from_micros(100));
         assert_eq!(d, ConfirmDecision::Withhold);
         let ops = ctx.into_ops();
-        assert!(ops.iter().any(|op| matches!(
-            op,
-            jsk_browser::mediator::MediatorOp::ScheduleTick { .. }
-        )));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, jsk_browser::mediator::MediatorOp::ScheduleTick { .. })));
     }
 
     #[test]
     fn cancelled_head_unblocks_followers() {
         let mut k = JsKernel::default();
         let mut rng = SimRng::new(0);
-        let first = info(1, 0, AsyncKind::Message { from: ThreadId::new(1) });
+        let first = info(
+            1,
+            0,
+            AsyncKind::Message {
+                from: ThreadId::new(1),
+            },
+        );
         let second = info(2, 0, AsyncKind::Raf);
         {
             let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
@@ -758,6 +950,181 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_expires_lost_confirmation_and_unblocks() {
+        let mut k = JsKernel::default();
+        let hold = k.config().watchdog_hold;
+        assert!(hold > SimDuration::ZERO, "full config arms the watchdog");
+        let mut rng = SimRng::new(0);
+        let msg = info(
+            1,
+            0,
+            AsyncKind::Message {
+                from: ThreadId::new(1),
+            },
+        );
+        let raf = info(2, 0, AsyncKind::Raf);
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &msg);
+            k.on_register(&mut ctx, &raf);
+        }
+        // The raf confirms; the message's confirmation is lost in transit.
+        // The raf is withheld and the watchdog arms a deadline tick.
+        let armed_at = SimTime::from_millis(16);
+        let mut ctx = MediatorCtx::new(armed_at, &mut rng);
+        assert_eq!(
+            k.on_confirm(&mut ctx, &raf, armed_at),
+            ConfirmDecision::Withhold
+        );
+        let ops = ctx.into_ops();
+        assert!(
+            ops.iter().any(|op| matches!(
+                op,
+                jsk_browser::mediator::MediatorOp::ScheduleTick { at, .. }
+                if *at == armed_at + hold
+            )),
+            "watchdog deadline tick armed: {ops:?}"
+        );
+        // At the deadline the blocked head is written off and the raf goes
+        // out — the thread is not livelocked.
+        let mut ctx = MediatorCtx::new(armed_at + hold, &mut rng);
+        k.on_tick(&mut ctx, ThreadId::new(0));
+        let ops = ctx.into_ops();
+        assert!(
+            ops.iter().any(|op| matches!(
+                op,
+                jsk_browser::mediator::MediatorOp::Release { token, .. }
+                if *token == EventToken::new(2)
+            )),
+            "raf released after watchdog expiry: {ops:?}"
+        );
+        assert_eq!(k.stats().watchdog_expired, 1);
+        // The lost confirmation finally arrives: the event was written off,
+        // so it must be dropped — never invoked via the raw fallback.
+        let late = armed_at + hold + SimDuration::from_millis(1);
+        let mut ctx = MediatorCtx::new(late, &mut rng);
+        assert_eq!(k.on_confirm(&mut ctx, &msg, late), ConfirmDecision::Drop);
+    }
+
+    #[test]
+    fn watchdog_ignores_unblocked_pending_heads() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let msg = info(
+            1,
+            0,
+            AsyncKind::Message {
+                from: ThreadId::new(1),
+            },
+        );
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &msg);
+        }
+        // A pending head with nothing confirmed behind it blocks no one:
+        // ticks must not arm a countdown or expire anything.
+        for ms in [100u64, 10_000, 100_000] {
+            let mut ctx = MediatorCtx::new(SimTime::from_millis(ms), &mut rng);
+            k.on_tick(&mut ctx, ThreadId::new(0));
+        }
+        assert_eq!(k.stats().watchdog_expired, 0);
+        // The event still dispatches normally when its confirmation arrives.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(200_000), &mut rng);
+        assert!(matches!(
+            k.on_confirm(&mut ctx, &msg, SimTime::from_millis(200_000)),
+            ConfirmDecision::InvokeAt(_)
+        ));
+    }
+
+    #[test]
+    fn thread_exit_reaps_orphans_and_drops_late_confirms() {
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let a = info(
+            1,
+            5,
+            AsyncKind::Timeout {
+                delay: SimDuration::from_millis(10),
+                nesting: 0,
+            },
+        );
+        let b = info(2, 5, AsyncKind::Raf);
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &a);
+            k.on_register(&mut ctx, &b);
+        }
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(1), &mut rng);
+        k.on_thread_exited(&mut ctx, ThreadId::new(5));
+        assert_eq!(k.stats().orphans_reaped, 2);
+        // A raw trigger already in flight for a reaped event is dropped.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(12), &mut rng);
+        assert_eq!(
+            k.on_confirm(&mut ctx, &a, SimTime::from_millis(12)),
+            ConfirmDecision::Drop
+        );
+    }
+
+    #[test]
+    fn equeue_overflow_falls_back_to_raw_scheduling() {
+        let mut cfg = KernelConfig::full();
+        cfg.equeue_capacity = 1;
+        let mut k = JsKernel::new(cfg);
+        let mut rng = SimRng::new(0);
+        let first = info(1, 0, AsyncKind::Raf);
+        let second = info(2, 0, AsyncKind::Raf);
+        {
+            let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+            k.on_register(&mut ctx, &first);
+            k.on_register(&mut ctx, &second);
+        }
+        assert_eq!(k.stats().equeue_overflow, 1);
+        // The overflowed event keeps its raw browser scheduling — liveness
+        // is preserved even though determinism is lost for the tail.
+        let raw = SimTime::from_millis(16);
+        let mut ctx = MediatorCtx::new(raw, &mut rng);
+        assert_eq!(
+            k.on_confirm(&mut ctx, &second, raw),
+            ConfirmDecision::InvokeAt(raw)
+        );
+    }
+
+    #[test]
+    fn invariant_checker_stays_clean_on_normal_flow() {
+        let mut cfg = KernelConfig::full();
+        cfg.check_invariants = true;
+        let mut k = JsKernel::new(cfg);
+        let mut rng = SimRng::new(0);
+        for t in 1..=3u64 {
+            let msg = info(
+                t,
+                0,
+                AsyncKind::Message {
+                    from: ThreadId::new(1),
+                },
+            );
+            {
+                let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+                k.on_register(&mut ctx, &msg);
+            }
+            let at = SimTime::from_millis(5 * t);
+            let mut ctx = MediatorCtx::new(at, &mut rng);
+            let d = k.on_confirm(&mut ctx, &msg, at);
+            if let ConfirmDecision::InvokeAt(when) = d {
+                let mut ctx = MediatorCtx::new(when, &mut rng);
+                k.on_task_dispatched(&mut ctx, ThreadId::new(0), Some(EventToken::new(t)), 0);
+                let mut ctx = MediatorCtx::new(when, &mut rng);
+                k.on_tick(&mut ctx, ThreadId::new(0));
+            }
+        }
+        assert!(
+            k.invariant_violations().is_empty(),
+            "violations: {:?}",
+            k.invariant_violations()
+        );
+    }
+
+    #[test]
     fn kernel_message_protocol_round_trip() {
         let mut k = JsKernel::default();
         let mut rng = SimRng::new(0);
@@ -782,4 +1149,3 @@ mod tests {
         assert_eq!(k.kernel_messages_seen(), 1);
     }
 }
-

@@ -48,7 +48,13 @@ impl KernelEvent {
         kind: AsyncKind,
         predicted: SimTime,
     ) -> KernelEvent {
-        KernelEvent { token, thread, kind, predicted, status: KEventStatus::Pending }
+        KernelEvent {
+            token,
+            thread,
+            kind,
+            predicted,
+            status: KEventStatus::Pending,
+        }
     }
 
     /// Whether the event still blocks later-predicted events (pending or

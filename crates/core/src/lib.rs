@@ -35,6 +35,7 @@
 //! assert!(browser.record_value("kernel_clock_ms").is_some());
 //! ```
 
+pub mod check;
 pub mod comm;
 pub mod config;
 pub mod equeue;
@@ -49,4 +50,4 @@ pub mod threads;
 
 pub use config::KernelConfig;
 pub use kernel::JsKernel;
-pub use policy::{deterministic_policy, PolicySpec};
+pub use policy::{deterministic_policy, policy_from_json_or_default, PolicySpec};

@@ -10,11 +10,18 @@
 use crate::policy::spec::{ApiSelector, Condition, PolicyAction, PolicyRule, PolicySpec};
 
 fn rule(id: &str, on: ApiSelector, when: Condition, action: PolicyAction) -> PolicyRule {
-    PolicyRule { id: id.to_owned(), on, when, action }
+    PolicyRule {
+        id: id.to_owned(),
+        on,
+        when,
+        action,
+    }
 }
 
 fn deny(reason: &str) -> PolicyAction {
-    PolicyAction::Deny { reason: reason.to_owned() }
+    PolicyAction::Deny {
+        reason: reason.to_owned(),
+    }
 }
 
 /// CVE-2018-5092 (Listing 4): a use-after-free where an abort signal
@@ -32,13 +39,19 @@ pub fn cve_2018_5092() -> PolicySpec {
             rule(
                 "2018-5092/defer-termination-with-pending-fetch",
                 ApiSelector::TerminateWorker,
-                Condition { has_pending_fetches: Some(true), ..Condition::default() },
+                Condition {
+                    has_pending_fetches: Some(true),
+                    ..Condition::default()
+                },
                 PolicyAction::DeferTermination,
             ),
             rule(
                 "2018-5092/suppress-abort-to-dead-owner",
                 ApiSelector::DeliverAbort,
-                Condition { owner_alive: Some(false), ..Condition::default() },
+                Condition {
+                    owner_alive: Some(false),
+                    ..Condition::default()
+                },
                 deny("abort target was freed; suppressing use-after-free"),
             ),
             rule(
@@ -63,7 +76,11 @@ pub fn cve_2017_7843() -> PolicySpec {
         rules: vec![rule(
             "2017-7843/no-private-persist",
             ApiSelector::IdbOpen,
-            Condition { private_mode: Some(true), persist: Some(true), ..Condition::default() },
+            Condition {
+                private_mode: Some(true),
+                persist: Some(true),
+                ..Condition::default()
+            },
             deny("indexedDB persistence denied in private browsing"),
         )],
     }
@@ -81,8 +98,13 @@ pub fn cve_2015_7215() -> PolicySpec {
         rules: vec![rule(
             "2015-7215/sanitize-import-error",
             ApiSelector::ErrorEvent,
-            Condition { leaks_cross_origin: Some(true), ..Condition::default() },
-            PolicyAction::SanitizeError { replacement: "Script error.".into() },
+            Condition {
+                leaks_cross_origin: Some(true),
+                ..Condition::default()
+            },
+            PolicyAction::SanitizeError {
+                replacement: "Script error.".into(),
+            },
         )],
     }
 }
@@ -101,7 +123,10 @@ pub fn cve_2014_3194() -> PolicySpec {
             rule(
                 "2014-3194/drop-message-to-freed-doc",
                 ApiSelector::PostMessage,
-                Condition { to_doc_freed: Some(true), ..Condition::default() },
+                Condition {
+                    to_doc_freed: Some(true),
+                    ..Condition::default()
+                },
                 deny("receiving document was freed"),
             ),
             rule(
@@ -127,7 +152,10 @@ pub fn cve_2014_1719() -> PolicySpec {
         rules: vec![rule(
             "2014-1719/defer-termination-mid-dispatch",
             ApiSelector::TerminateWorker,
-            Condition { during_dispatch: Some(true), ..Condition::default() },
+            Condition {
+                during_dispatch: Some(true),
+                ..Condition::default()
+            },
             PolicyAction::DeferTermination,
         )],
     }
@@ -147,7 +175,10 @@ pub fn cve_2014_1488() -> PolicySpec {
         rules: vec![rule(
             "2014-1488/defer-termination-with-live-transfers",
             ApiSelector::TerminateWorker,
-            Condition { has_live_transfers: Some(true), ..Condition::default() },
+            Condition {
+                has_live_transfers: Some(true),
+                ..Condition::default()
+            },
             PolicyAction::DeferTermination,
         )],
     }
@@ -159,14 +190,18 @@ pub fn cve_2014_1488() -> PolicySpec {
 pub fn cve_2014_1487() -> PolicySpec {
     PolicySpec {
         name: "policy_cve-2014-1487".into(),
-        description: "sanitize the error message of the onerror callback"
-            .into(),
+        description: "sanitize the error message of the onerror callback".into(),
         scheduling: None,
         rules: vec![rule(
             "2014-1487/sanitize-worker-error",
             ApiSelector::ErrorEvent,
-            Condition { leaks_cross_origin: Some(true), ..Condition::default() },
-            PolicyAction::SanitizeError { replacement: "Script error.".into() },
+            Condition {
+                leaks_cross_origin: Some(true),
+                ..Condition::default()
+            },
+            PolicyAction::SanitizeError {
+                replacement: "Script error.".into(),
+            },
         )],
     }
 }
@@ -227,7 +262,11 @@ pub fn cve_2013_1714() -> PolicySpec {
         rules: vec![rule(
             "2013-1714/enforce-sop-in-workers",
             ApiSelector::XhrSend,
-            Condition { from_worker: Some(true), cross_origin: Some(true), ..Condition::default() },
+            Condition {
+                from_worker: Some(true),
+                cross_origin: Some(true),
+                ..Condition::default()
+            },
             deny("cross-origin request from worker blocked by kernel SOP check"),
         )],
     }
@@ -246,7 +285,10 @@ pub fn cve_2011_1190() -> PolicySpec {
         rules: vec![rule(
             "2011-1190/opaque-origin-for-sandboxed-creators",
             ApiSelector::CreateWorker,
-            Condition { sandboxed: Some(true), ..Condition::default() },
+            Condition {
+                sandboxed: Some(true),
+                ..Condition::default()
+            },
             PolicyAction::OpaqueOrigin,
         )],
     }
@@ -258,8 +300,7 @@ pub fn cve_2011_1190() -> PolicySpec {
 pub fn cve_2010_4576() -> PolicySpec {
     PolicySpec {
         name: "policy_cve-2010-4576".into(),
-        description: "cancel document-bound completions on navigation"
-            .into(),
+        description: "cancel document-bound completions on navigation".into(),
         scheduling: None,
         rules: vec![rule(
             "2010-4576/cancel-doc-bound-on-navigate",

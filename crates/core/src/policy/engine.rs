@@ -11,7 +11,10 @@ use jsk_browser::trace::ApiCall;
 /// kernel-managed worker).
 #[must_use]
 pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFacts) {
-    let mut f = CallFacts { owner_alive: true, ..CallFacts::default() };
+    let mut f = CallFacts {
+        owner_alive: true,
+        ..CallFacts::default()
+    };
     let sel = match call {
         ApiCall::CreateWorker { sandboxed, .. } => {
             f.sandboxed = *sandboxed;
@@ -28,12 +31,18 @@ pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFa
             f.has_pending_fetches = *pending_fetches > 0;
             ApiSelector::TerminateWorker
         }
-        ApiCall::PostMessage { from, to_doc_freed, .. } => {
+        ApiCall::PostMessage {
+            from, to_doc_freed, ..
+        } => {
             f.from_worker = threads.by_thread(*from).is_some();
             f.to_doc_freed = *to_doc_freed;
             ApiSelector::PostMessage
         }
-        ApiCall::SetOnMessage { worker, worker_closing, .. } => {
+        ApiCall::SetOnMessage {
+            worker,
+            worker_closing,
+            ..
+        } => {
             f.assigns_worker_handler = worker.is_some();
             f.worker_closing = *worker_closing;
             ApiSelector::SetOnMessage
@@ -42,12 +51,18 @@ pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFa
             f.from_worker = threads.by_thread(*thread).is_some();
             ApiSelector::Fetch
         }
-        ApiCall::DeliverAbort { owner_alive, owner, .. } => {
+        ApiCall::DeliverAbort {
+            owner_alive, owner, ..
+        } => {
             f.owner_alive = *owner_alive;
             f.from_worker = threads.by_thread(*owner).is_some();
             ApiSelector::DeliverAbort
         }
-        ApiCall::XhrSend { from_worker, cross_origin, .. } => {
+        ApiCall::XhrSend {
+            from_worker,
+            cross_origin,
+            ..
+        } => {
             f.from_worker = *from_worker;
             f.cross_origin = *cross_origin;
             ApiSelector::XhrSend
@@ -57,17 +72,26 @@ pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFa
             f.cross_origin = *cross_origin;
             ApiSelector::ImportScripts
         }
-        ApiCall::ErrorEvent { leaks_cross_origin, .. } => {
+        ApiCall::ErrorEvent {
+            leaks_cross_origin, ..
+        } => {
             f.leaks_cross_origin = *leaks_cross_origin;
             ApiSelector::ErrorEvent
         }
-        ApiCall::IdbOpen { private_mode, persist, .. } => {
+        ApiCall::IdbOpen {
+            private_mode,
+            persist,
+            ..
+        } => {
             f.private_mode = *private_mode;
             f.persist = *persist;
             ApiSelector::IdbOpen
         }
         ApiCall::Navigate { .. } => ApiSelector::Navigate,
-        ApiCall::CloseDocument { pending_worker_messages, .. } => {
+        ApiCall::CloseDocument {
+            pending_worker_messages,
+            ..
+        } => {
             f.has_pending_worker_messages = *pending_worker_messages > 0;
             ApiSelector::CloseDocument
         }
@@ -81,11 +105,13 @@ pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFa
 pub fn action_to_outcome(action: &PolicyAction) -> ApiOutcome {
     match action {
         PolicyAction::Allow => ApiOutcome::Allow,
-        PolicyAction::Deny { reason } => ApiOutcome::Deny { reason: reason.clone() },
+        PolicyAction::Deny { reason } => ApiOutcome::Deny {
+            reason: reason.clone(),
+        },
         PolicyAction::DeferTermination => ApiOutcome::DeferTermination,
-        PolicyAction::SanitizeError { replacement } => {
-            ApiOutcome::SanitizeError { replacement: replacement.clone() }
-        }
+        PolicyAction::SanitizeError { replacement } => ApiOutcome::SanitizeError {
+            replacement: replacement.clone(),
+        },
         PolicyAction::OpaqueOrigin => ApiOutcome::OpaqueOrigin,
         PolicyAction::CancelDocBound => ApiOutcome::CancelDocBound,
         PolicyAction::DropQuietly => ApiOutcome::DropQuietly,
@@ -243,13 +269,18 @@ mod tests {
             src: "w.js".into(),
             sandboxed: true,
         };
-        assert_eq!(e.decide(&call, &ThreadManager::new()).0, ApiOutcome::OpaqueOrigin);
+        assert_eq!(
+            e.decide(&call, &ThreadManager::new()).0,
+            ApiOutcome::OpaqueOrigin
+        );
     }
 
     #[test]
     fn empty_engine_allows_everything() {
         let e = PolicyEngine::default();
-        let call = ApiCall::Navigate { thread: ThreadId::new(0) };
+        let call = ApiCall::Navigate {
+            thread: ThreadId::new(0),
+        };
         assert_eq!(e.decide(&call, &ThreadManager::new()).0, ApiOutcome::Allow);
     }
 }

@@ -8,8 +8,8 @@ pub mod spec;
 pub mod synth;
 
 pub use engine::PolicyEngine;
-pub use synth::synthesize;
 pub use spec::{ApiSelector, CallFacts, Condition, PolicyAction, PolicyRule, PolicySpec};
+pub use synth::synthesize;
 
 use crate::scheduler::PredictionConfig;
 
@@ -27,6 +27,15 @@ pub fn deterministic_policy() -> PolicySpec {
         scheduling: Some(PredictionConfig::default()),
         rules: Vec::new(),
     }
+}
+
+/// Loads a policy from JSON, falling back to the deterministic scheduling
+/// policy when the JSON is malformed. Loading an operator-supplied policy
+/// file must never panic the kernel, and the safe degradation is *more*
+/// protection (deterministic scheduling), not less (no policy at all).
+#[must_use]
+pub fn policy_from_json_or_default(json: &str) -> PolicySpec {
+    PolicySpec::from_json(json).unwrap_or_else(|_| deterministic_policy())
 }
 
 #[cfg(test)]

@@ -135,7 +135,10 @@ impl Condition {
             && ok(self.private_mode, facts.private_mode)
             && ok(self.persist, facts.persist)
             && ok(self.leaks_cross_origin, facts.leaks_cross_origin)
-            && ok(self.has_pending_worker_messages, facts.has_pending_worker_messages)
+            && ok(
+                self.has_pending_worker_messages,
+                facts.has_pending_worker_messages,
+            )
     }
 }
 
@@ -223,7 +226,10 @@ mod tests {
     fn empty_condition_matches_everything() {
         let c = Condition::default();
         assert!(c.matches(&CallFacts::default()));
-        assert!(c.matches(&CallFacts { from_worker: true, ..CallFacts::default() }));
+        assert!(c.matches(&CallFacts {
+            from_worker: true,
+            ..CallFacts::default()
+        }));
     }
 
     #[test]
@@ -259,7 +265,9 @@ mod tests {
                     cross_origin: Some(true),
                     ..Condition::default()
                 },
-                action: PolicyAction::Deny { reason: "same-origin policy".into() },
+                action: PolicyAction::Deny {
+                    reason: "same-origin policy".into(),
+                },
             }],
         };
         let json = spec.to_json();

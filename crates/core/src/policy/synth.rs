@@ -27,27 +27,42 @@ use jsk_browser::trace::{Fact, Trace};
 use std::collections::BTreeSet;
 
 fn rule(id: &str, on: ApiSelector, when: Condition, action: PolicyAction) -> PolicyRule {
-    PolicyRule { id: format!("synth/{id}"), on, when, action }
+    PolicyRule {
+        id: format!("synth/{id}"),
+        on,
+        when,
+        action,
+    }
 }
 
 fn deny(reason: &str) -> PolicyAction {
-    PolicyAction::Deny { reason: format!("synthesized: {reason}") }
+    PolicyAction::Deny {
+        reason: format!("synthesized: {reason}"),
+    }
 }
 
 /// Derives the blocking rules implied by one dangerous fact.
 fn rules_for(fact: &Fact) -> Vec<PolicyRule> {
     match fact {
-        Fact::AbortDelivered { owner_alive: false, .. } => vec![
+        Fact::AbortDelivered {
+            owner_alive: false, ..
+        } => vec![
             rule(
                 "suppress-abort-to-dead-owner",
                 ApiSelector::DeliverAbort,
-                Condition { owner_alive: Some(false), ..Condition::default() },
+                Condition {
+                    owner_alive: Some(false),
+                    ..Condition::default()
+                },
                 deny("abort target was freed"),
             ),
             rule(
                 "defer-termination-with-pending-fetches",
                 ApiSelector::TerminateWorker,
-                Condition { has_pending_fetches: Some(true), ..Condition::default() },
+                Condition {
+                    has_pending_fetches: Some(true),
+                    ..Condition::default()
+                },
                 PolicyAction::DeferTermination,
             ),
             rule(
@@ -60,20 +75,29 @@ fn rules_for(fact: &Fact) -> Vec<PolicyRule> {
         Fact::FreedBufferAccess { .. } | Fact::TransferFreed { .. } => vec![rule(
             "defer-termination-with-live-transfers",
             ApiSelector::TerminateWorker,
-            Condition { has_live_transfers: Some(true), ..Condition::default() },
+            Condition {
+                has_live_transfers: Some(true),
+                ..Condition::default()
+            },
             PolicyAction::DeferTermination,
         )],
         Fact::DispatchUseAfterFree { .. } => vec![rule(
             "defer-termination-mid-dispatch",
             ApiSelector::TerminateWorker,
-            Condition { during_dispatch: Some(true), ..Condition::default() },
+            Condition {
+                during_dispatch: Some(true),
+                ..Condition::default()
+            },
             PolicyAction::DeferTermination,
         )],
         Fact::MessageToFreedDoc { .. } => vec![
             rule(
                 "drop-message-to-freed-doc",
                 ApiSelector::PostMessage,
-                Condition { to_doc_freed: Some(true), ..Condition::default() },
+                Condition {
+                    to_doc_freed: Some(true),
+                    ..Condition::default()
+                },
                 deny("receiving document was freed"),
             ),
             rule(
@@ -104,13 +128,20 @@ fn rules_for(fact: &Fact) -> Vec<PolicyRule> {
         Fact::CrossOriginWorkerRequest { .. } => vec![rule(
             "enforce-sop-in-workers",
             ApiSelector::XhrSend,
-            Condition { from_worker: Some(true), cross_origin: Some(true), ..Condition::default() },
+            Condition {
+                from_worker: Some(true),
+                cross_origin: Some(true),
+                ..Condition::default()
+            },
             deny("cross-origin request from worker"),
         )],
         Fact::InheritedOriginRequest { .. } => vec![rule(
             "opaque-origin-for-sandboxed-creators",
             ApiSelector::CreateWorker,
-            Condition { sandboxed: Some(true), ..Condition::default() },
+            Condition {
+                sandboxed: Some(true),
+                ..Condition::default()
+            },
             PolicyAction::OpaqueOrigin,
         )],
         Fact::StaleDocCallback { .. } => vec![rule(
@@ -119,16 +150,28 @@ fn rules_for(fact: &Fact) -> Vec<PolicyRule> {
             Condition::default(),
             PolicyAction::CancelDocBound,
         )],
-        Fact::ErrorMessageDelivered { leaked_cross_origin: true, .. } => vec![rule(
+        Fact::ErrorMessageDelivered {
+            leaked_cross_origin: true,
+            ..
+        } => vec![rule(
             "sanitize-error-messages",
             ApiSelector::ErrorEvent,
-            Condition { leaks_cross_origin: Some(true), ..Condition::default() },
-            PolicyAction::SanitizeError { replacement: "Script error.".into() },
+            Condition {
+                leaks_cross_origin: Some(true),
+                ..Condition::default()
+            },
+            PolicyAction::SanitizeError {
+                replacement: "Script error.".into(),
+            },
         )],
         Fact::IdbPersistedInPrivateMode { .. } => vec![rule(
             "no-private-persist",
             ApiSelector::IdbOpen,
-            Condition { private_mode: Some(true), persist: Some(true), ..Condition::default() },
+            Condition {
+                private_mode: Some(true),
+                persist: Some(true),
+                ..Condition::default()
+            },
             deny("durable storage in private mode"),
         )],
         _ => Vec::new(),
@@ -174,7 +217,10 @@ mod tests {
         let mut trace = Trace::new();
         trace.fact(
             SimTime::from_millis(1),
-            Fact::FetchSettled { req: RequestId::new(0), ok: true },
+            Fact::FetchSettled {
+                req: RequestId::new(0),
+                ok: true,
+            },
         );
         assert!(synthesize("x", &trace).is_none());
     }

@@ -106,16 +106,25 @@ mod tests {
     #[test]
     fn timers_predict_their_requested_delay() {
         let p = PredictionConfig::default();
-        let kind = AsyncKind::Timeout { delay: SimDuration::from_millis(25), nesting: 0 };
+        let kind = AsyncKind::Timeout {
+            delay: SimDuration::from_millis(25),
+            nesting: 0,
+        };
         assert_eq!(p.delay_for(&kind), SimDuration::from_millis(25));
     }
 
     #[test]
     fn short_timers_are_clamped() {
         let p = PredictionConfig::default();
-        let shallow = AsyncKind::Timeout { delay: SimDuration::ZERO, nesting: 0 };
+        let shallow = AsyncKind::Timeout {
+            delay: SimDuration::ZERO,
+            nesting: 0,
+        };
         assert_eq!(p.delay_for(&shallow), SimDuration::from_millis(1));
-        let deep = AsyncKind::Timeout { delay: SimDuration::ZERO, nesting: 9 };
+        let deep = AsyncKind::Timeout {
+            delay: SimDuration::ZERO,
+            nesting: 9,
+        };
         assert_eq!(p.delay_for(&deep), SimDuration::from_millis(4));
     }
 
@@ -123,12 +132,25 @@ mod tests {
     fn predictions_are_kind_constants() {
         let p = PredictionConfig::default();
         assert_eq!(
-            p.delay_for(&AsyncKind::Message { from: ThreadId::new(3) }),
+            p.delay_for(&AsyncKind::Message {
+                from: ThreadId::new(3)
+            }),
             SimDuration::from_millis(1)
         );
-        assert_eq!(p.delay_for(&AsyncKind::Raf), SimDuration::from_micros(16_667));
-        let cached = AsyncKind::Net { req: RequestId::new(0), class: jsk_browser::event::NetClass::Fetch, cached: true };
-        let uncached = AsyncKind::Net { req: RequestId::new(0), class: jsk_browser::event::NetClass::Fetch, cached: false };
+        assert_eq!(
+            p.delay_for(&AsyncKind::Raf),
+            SimDuration::from_micros(16_667)
+        );
+        let cached = AsyncKind::Net {
+            req: RequestId::new(0),
+            class: jsk_browser::event::NetClass::Fetch,
+            cached: true,
+        };
+        let uncached = AsyncKind::Net {
+            req: RequestId::new(0),
+            class: jsk_browser::event::NetClass::Fetch,
+            cached: false,
+        };
         assert!(p.delay_for(&uncached) > p.delay_for(&cached));
     }
 

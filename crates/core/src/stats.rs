@@ -34,6 +34,16 @@ pub struct KernelStats {
     pub denials: BTreeMap<String, u64>,
     /// Kernel-space overlay messages processed.
     pub kernel_messages: u64,
+    /// Pending head events written off by the watchdog after blocking
+    /// confirmed work for longer than the configured hold.
+    #[serde(default)]
+    pub watchdog_expired: u64,
+    /// Live events cancelled because their owning thread died.
+    #[serde(default)]
+    pub orphans_reaped: u64,
+    /// Registrations refused because the per-thread event queue was full.
+    #[serde(default)]
+    pub equeue_overflow: u64,
 }
 
 impl KernelStats {
@@ -79,13 +89,18 @@ impl std::fmt::Display for KernelStats {
             self.wait_fraction() * 100.0,
             self.deferred_to_prediction
         )?;
-        write!(
+        writeln!(
             f,
             "policies: {} api calls, {} denials across {} rules; {} kernel messages",
             self.api_calls,
             self.total_denials(),
             self.denials.len(),
             self.kernel_messages
+        )?;
+        write!(
+            f,
+            "degradation: {} watchdog expiries, {} orphans reaped, {} equeue overflows",
+            self.watchdog_expired, self.orphans_reaped, self.equeue_overflow
         )
     }
 }
@@ -108,7 +123,11 @@ mod tests {
     fn wait_fraction_handles_zero() {
         let s = KernelStats::new();
         assert_eq!(s.wait_fraction(), 0.0);
-        let s = KernelStats { confirmed: 10, withheld_behind_pending: 3, ..KernelStats::new() };
+        let s = KernelStats {
+            confirmed: 10,
+            withheld_behind_pending: 3,
+            ..KernelStats::new()
+        };
         assert!((s.wait_fraction() - 0.3).abs() < 1e-12);
     }
 

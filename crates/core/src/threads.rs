@@ -136,9 +136,8 @@ impl ThreadManager {
     /// obligations).
     #[must_use]
     pub fn safe_to_close(&self, worker: WorkerId) -> bool {
-        self.get(worker).is_none_or(|t| {
-            t.pending_fetches.is_empty() && t.live_transfers.is_empty()
-        })
+        self.get(worker)
+            .is_none_or(|t| t.pending_fetches.is_empty() && t.live_transfers.is_empty())
     }
 
     /// Whether a request belongs to a worker the user already closed.
@@ -174,7 +173,12 @@ mod tests {
 
     fn mgr() -> ThreadManager {
         let mut m = ThreadManager::new();
-        m.register(WorkerId::new(0), ThreadId::new(1), ThreadId::new(0), "worker.js");
+        m.register(
+            WorkerId::new(0),
+            ThreadId::new(1),
+            ThreadId::new(0),
+            "worker.js",
+        );
         m
     }
 
@@ -186,7 +190,10 @@ mod tests {
         assert_eq!(t.kernel_worker, ThreadId::new(1));
         assert_eq!(t.src, "worker.js");
         assert_eq!(t.status, KThreadStatus::Started);
-        assert_eq!(m.by_thread(ThreadId::new(1)).unwrap().worker, WorkerId::new(0));
+        assert_eq!(
+            m.by_thread(ThreadId::new(1)).unwrap().worker,
+            WorkerId::new(0)
+        );
         assert!(m.by_thread(ThreadId::new(9)).is_none());
     }
 

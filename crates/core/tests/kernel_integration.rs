@@ -41,33 +41,45 @@ fn implicit_clock_count(browser: &mut Browser, secret_px: u64) -> f64 {
             "worker.js",
             worker_script(|scope| {
                 // A steady tick stream back to the main thread.
-                scope.set_interval(1.0, cb(|scope, _| {
-                    scope.post_message(JsValue::from(1.0));
-                }));
+                scope.set_interval(
+                    1.0,
+                    cb(|scope, _| {
+                        scope.post_message(JsValue::from(1.0));
+                    }),
+                );
             }),
         );
         let count = Rc::new(RefCell::new(0u64));
         let count2 = count.clone();
-        scope.set_worker_onmessage(w, cb(move |_, _| {
-            *count2.borrow_mut() += 1;
-        }));
+        scope.set_worker_onmessage(
+            w,
+            cb(move |_, _| {
+                *count2.borrow_mut() += 1;
+            }),
+        );
         // Give the ticker time to run, then measure the secret op between
         // two frames.
-        scope.set_timeout(60.0, cb(move |scope, _| {
-            let count = count.clone();
-            scope.request_animation_frame(cb(move |scope, _| {
-                let before = *count.borrow();
-                scope.apply_svg_filter(secret_px);
+        scope.set_timeout(
+            60.0,
+            cb(move |scope, _| {
                 let count = count.clone();
                 scope.request_animation_frame(cb(move |scope, _| {
-                    let ticks = *count.borrow() - before;
-                    scope.record("ticks", JsValue::from(ticks as f64));
+                    let before = *count.borrow();
+                    scope.apply_svg_filter(secret_px);
+                    let count = count.clone();
+                    scope.request_animation_frame(cb(move |scope, _| {
+                        let ticks = *count.borrow() - before;
+                        scope.record("ticks", JsValue::from(ticks as f64));
+                    }));
                 }));
-            }));
-        }));
+            }),
+        );
     });
     browser.run_for(SimDuration::from_millis(400));
-    browser.record_value("ticks").and_then(JsValue::as_f64).unwrap()
+    browser
+        .record_value("ticks")
+        .and_then(JsValue::as_f64)
+        .unwrap()
 }
 
 #[test]
@@ -82,7 +94,10 @@ fn implicit_clock_distinguishes_secrets_on_legacy() {
             diffs += 1;
         }
     }
-    assert!(diffs >= 3, "legacy implicit clock should see the secret ({diffs}/5)");
+    assert!(
+        diffs >= 3,
+        "legacy implicit clock should see the secret ({diffs}/5)"
+    );
 }
 
 #[test]
@@ -92,7 +107,10 @@ fn implicit_clock_is_deterministic_under_kernel() {
     let mut counts = Vec::new();
     for seed in 0..4 {
         counts.push(implicit_clock_count(&mut kernel_browser(seed), 64 * 64));
-        counts.push(implicit_clock_count(&mut kernel_browser(100 + seed), 2048 * 2048));
+        counts.push(implicit_clock_count(
+            &mut kernel_browser(100 + seed),
+            2048 * 2048,
+        ));
     }
     let first = counts[0];
     assert!(
@@ -111,11 +129,17 @@ fn kernel_clock_hides_compute_duration() {
             scope.record("elapsed", JsValue::from(t1 - t0));
         });
         browser.run_until_idle();
-        browser.record_value("elapsed").and_then(JsValue::as_f64).unwrap()
+        browser
+            .record_value("elapsed")
+            .and_then(JsValue::as_f64)
+            .unwrap()
     };
     let legacy_short = measure(&mut legacy_browser(1), 5);
     let legacy_long = measure(&mut legacy_browser(2), 50);
-    assert!(legacy_long > legacy_short + 40.0, "legacy sees real durations");
+    assert!(
+        legacy_long > legacy_short + 40.0,
+        "legacy sees real durations"
+    );
 
     let kernel_short = measure(&mut kernel_browser(1), 5);
     let kernel_long = measure(&mut kernel_browser(2), 50);
@@ -147,13 +171,24 @@ fn cve_2018_5092_sequence_is_blocked_by_kernel() {
             scope.set_timeout(40.0, cb(|scope, _| scope.close()));
         });
         browser.run_until_idle();
-        browser
-            .trace()
-            .facts()
-            .any(|(_, f)| matches!(f, Fact::AbortDelivered { owner_alive: false, .. }))
+        browser.trace().facts().any(|(_, f)| {
+            matches!(
+                f,
+                Fact::AbortDelivered {
+                    owner_alive: false,
+                    ..
+                }
+            )
+        })
     };
-    assert!(run(legacy_browser(7)), "legacy must exhibit the dangling abort");
-    assert!(!run(kernel_browser(7)), "kernel must prevent the dangling abort");
+    assert!(
+        run(legacy_browser(7)),
+        "legacy must exhibit the dangling abort"
+    );
+    assert!(
+        !run(kernel_browser(7)),
+        "kernel must prevent the dangling abort"
+    );
 }
 
 #[test]
@@ -167,17 +202,26 @@ fn cve_2014_1488_transfer_free_is_blocked_by_kernel() {
                     scope.post_message_transfer(JsValue::from(buf.index()), vec![buf]);
                 }),
             );
-            scope.set_worker_onmessage(w, cb(move |scope, v| {
-                let buf = jsk_browser::ids::BufferId::new(v.as_f64().unwrap() as u64);
-                scope.terminate_worker(w);
-                let ok = scope.read_buffer(buf);
-                scope.record("ok", JsValue::from(ok));
-            }));
+            scope.set_worker_onmessage(
+                w,
+                cb(move |scope, v| {
+                    let buf = jsk_browser::ids::BufferId::new(v.as_f64().unwrap() as u64);
+                    scope.terminate_worker(w);
+                    let ok = scope.read_buffer(buf);
+                    scope.record("ok", JsValue::from(ok));
+                }),
+            );
         });
         browser.run_until_idle();
-        browser.record_value("ok").and_then(JsValue::as_bool).unwrap()
+        browser
+            .record_value("ok")
+            .and_then(JsValue::as_bool)
+            .unwrap()
     };
-    assert!(!run(legacy_browser(8)), "legacy frees the transferred buffer");
+    assert!(
+        !run(legacy_browser(8)),
+        "legacy frees the transferred buffer"
+    );
     assert!(run(kernel_browser(8)), "kernel keeps the buffer alive");
 }
 
@@ -188,9 +232,12 @@ fn cve_2013_1714_worker_sop_enforced_by_kernel() {
             let _w = scope.create_worker(
                 "worker.js",
                 worker_script(|scope| {
-                    scope.xhr_send("https://victim.example/secret", cb(|scope, v| {
-                        scope.record("ok", v.get("ok").cloned().unwrap_or_default());
-                    }));
+                    scope.xhr_send(
+                        "https://victim.example/secret",
+                        cb(|scope, v| {
+                            scope.record("ok", v.get("ok").cloned().unwrap_or_default());
+                        }),
+                    );
                 }),
             );
         });
@@ -200,8 +247,14 @@ fn cve_2013_1714_worker_sop_enforced_by_kernel() {
             .and_then(JsValue::as_bool)
             .unwrap_or(false)
     };
-    assert!(run(legacy_browser(9)), "legacy lets worker XHR cross origins");
-    assert!(!run(kernel_browser(9)), "kernel blocks cross-origin worker XHR");
+    assert!(
+        run(legacy_browser(9)),
+        "legacy lets worker XHR cross origins"
+    );
+    assert!(
+        !run(kernel_browser(9)),
+        "kernel blocks cross-origin worker XHR"
+    );
 }
 
 #[test]
@@ -210,9 +263,12 @@ fn cve_2014_1487_error_is_sanitized_by_kernel() {
         browser.register_resource("https://victim.example/w.js", ResourceSpec::missing());
         browser.boot(|scope| {
             let w = scope.create_worker("https://victim.example/w.js", worker_script(|_| {}));
-            scope.set_worker_onerror(w, cb(|scope, msg| {
-                scope.record("err", msg);
-            }));
+            scope.set_worker_onerror(
+                w,
+                cb(|scope, msg| {
+                    scope.record("err", msg);
+                }),
+            );
         });
         browser.run_until_idle();
         browser
@@ -241,7 +297,7 @@ fn cve_2017_7843_private_idb_denied_by_kernel() {
         browser.idb_private_leftovers()
     };
     assert_eq!(run(Box::new(LegacyMediator)), 1);
-    assert_eq!(run(Box::new(JsKernel::default())), 0);
+    assert_eq!(run(Box::<JsKernel>::default()), 0);
 }
 
 #[test]
@@ -249,27 +305,43 @@ fn legacy_pages_still_work_under_kernel() {
     // Backward compatibility: a page using timers, workers, fetch, and DOM
     // produces the same functional results under the kernel.
     let run = |mut browser: Browser| {
-        browser.register_resource("https://attacker.example/data.bin", ResourceSpec::of_size(4_096));
+        browser.register_resource(
+            "https://attacker.example/data.bin",
+            ResourceSpec::of_size(4_096),
+        );
         browser.boot(|scope| {
             let div = scope.create_element("div");
             scope.set_attribute(div, "id", "app");
             let root = scope.document_root();
             scope.append_child(root, div);
-            let w = scope.create_worker("worker.js", worker_script(|scope| {
-                scope.set_onmessage(cb(|scope, v| {
-                    let n = v.as_f64().unwrap();
-                    scope.post_message(JsValue::from(n * 2.0));
-                }));
-            }));
-            scope.set_worker_onmessage(w, cb(|scope, v| {
-                scope.record("doubled", v);
-            }));
-            scope.set_timeout(5.0, cb(move |scope, _| {
-                scope.post_message_to_worker(w, JsValue::from(21.0));
-            }));
-            scope.fetch("https://attacker.example/data.bin", None, cb(|scope, v| {
-                scope.record("fetched", v.get("ok").cloned().unwrap_or_default());
-            }));
+            let w = scope.create_worker(
+                "worker.js",
+                worker_script(|scope| {
+                    scope.set_onmessage(cb(|scope, v| {
+                        let n = v.as_f64().unwrap();
+                        scope.post_message(JsValue::from(n * 2.0));
+                    }));
+                }),
+            );
+            scope.set_worker_onmessage(
+                w,
+                cb(|scope, v| {
+                    scope.record("doubled", v);
+                }),
+            );
+            scope.set_timeout(
+                5.0,
+                cb(move |scope, _| {
+                    scope.post_message_to_worker(w, JsValue::from(21.0));
+                }),
+            );
+            scope.fetch(
+                "https://attacker.example/data.bin",
+                None,
+                cb(|scope, v| {
+                    scope.record("fetched", v.get("ok").cloned().unwrap_or_default());
+                }),
+            );
         });
         browser.run_until_idle();
         (
@@ -290,13 +362,23 @@ fn legacy_pages_still_work_under_kernel() {
 #[test]
 fn kernel_overlay_protocol_runs_for_worker_fetches() {
     let mut browser = kernel_browser(13);
-    browser.register_resource("https://attacker.example/f.bin", ResourceSpec::of_size(8_192));
+    browser.register_resource(
+        "https://attacker.example/f.bin",
+        ResourceSpec::of_size(8_192),
+    );
     browser.boot(|scope| {
-        let _w = scope.create_worker("worker.js", worker_script(|scope| {
-            scope.fetch("https://attacker.example/f.bin", None, cb(|scope, _| {
-                scope.record("done", JsValue::from(true));
-            }));
-        }));
+        let _w = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.fetch(
+                    "https://attacker.example/f.bin",
+                    None,
+                    cb(|scope, _| {
+                        scope.record("done", JsValue::from(true));
+                    }),
+                );
+            }),
+        );
     });
     browser.run_until_idle();
     assert_eq!(browser.record_value("done"), Some(&JsValue::from(true)));

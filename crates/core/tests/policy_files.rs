@@ -3,7 +3,9 @@
 //! This test keeps them in sync with the code; regenerate with
 //! `JSK_REGEN_POLICIES=1 cargo test -p jsk-core --test policy_files`.
 
-use jsk_core::policy::{cve, deterministic_policy, PolicySpec};
+use jsk_core::policy::{
+    cve, deterministic_policy, policy_from_json_or_default, PolicyEngine, PolicySpec,
+};
 use std::path::PathBuf;
 
 fn policy_dir() -> PathBuf {
@@ -30,10 +32,15 @@ fn policies_on_disk_are_in_sync_with_code() {
             std::fs::write(&path, &expected).expect("write policy file");
             continue;
         }
-        let on_disk = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("missing {}: {e} (run with JSK_REGEN_POLICIES=1)", path.display()));
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing {}: {e} (run with JSK_REGEN_POLICIES=1)",
+                path.display()
+            )
+        });
         assert_eq!(
-            on_disk, expected,
+            on_disk,
+            expected,
             "{} out of sync with the code (run with JSK_REGEN_POLICIES=1)",
             path.display()
         );
@@ -46,4 +53,55 @@ fn policies_on_disk_are_in_sync_with_code() {
 #[test]
 fn there_are_thirteen_builtin_policies() {
     assert_eq!(builtin_policies().len(), 13);
+}
+
+/// Every `policies/*.json` file on disk — not just the ones the builtin
+/// list expects — parses, round-trips through serialization, and drives
+/// the policy engine.
+#[test]
+fn every_policy_file_on_disk_round_trips_through_the_engine() {
+    let mut specs = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(policy_dir())
+        .expect("policies/ exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 13, "deterministic + 12 CVE policies on disk");
+    for path in entries {
+        let body = std::fs::read_to_string(&path).expect("readable policy file");
+        let spec = PolicySpec::from_json(&body)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        let back = PolicySpec::from_json(&spec.to_json())
+            .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}", path.display()));
+        assert_eq!(spec, back, "{} must round-trip", path.display());
+        specs.push(spec);
+    }
+    let engine = PolicyEngine::new(specs);
+    assert_eq!(engine.policies().len(), 13);
+}
+
+/// Loading a malformed policy file must never panic: the loader degrades
+/// to the deterministic scheduling policy — degradation tightens protection
+/// rather than dropping it.
+#[test]
+fn malformed_policy_json_falls_back_without_panicking() {
+    for bad in [
+        "",
+        "{",
+        "not json at all",
+        r#"{"name": 42}"#,
+        r#"{"rules": "should be a list"}"#,
+        "\u{0}\u{1}\u{2}",
+    ] {
+        let spec = policy_from_json_or_default(bad);
+        assert_eq!(spec.name, "policy_deterministic", "input: {bad:?}");
+        assert!(spec.scheduling.is_some());
+    }
+    // A truncated-on-disk copy of a real policy also degrades cleanly.
+    let path = policy_dir().join("policy_cve-2018-5092.json");
+    let body = std::fs::read_to_string(path).expect("shipped policy exists");
+    let spec = policy_from_json_or_default(&body[..body.len() / 2]);
+    assert_eq!(spec.name, "policy_deterministic");
 }

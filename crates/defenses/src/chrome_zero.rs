@@ -11,7 +11,9 @@
 //! real worker threads.
 
 use jsk_browser::event::AsyncEventInfo;
-use jsk_browser::mediator::{ApiOutcome, ClockRead, ConfirmDecision, InterposeClass, Mediator, MediatorCtx};
+use jsk_browser::mediator::{
+    ApiOutcome, ClockRead, ConfirmDecision, InterposeClass, Mediator, MediatorCtx,
+};
 use jsk_browser::trace::ApiCall;
 use jsk_sim::time::{SimDuration, SimTime};
 

@@ -42,7 +42,10 @@ impl Default for DeterFox {
             dom: SimDuration::ZERO,
             sab: SimDuration::ZERO,
         };
-        DeterFox { inner: JsKernel::new(cfg), last_context: HashMap::new() }
+        DeterFox {
+            inner: JsKernel::new(cfg),
+            last_context: HashMap::new(),
+        }
     }
 }
 
@@ -108,10 +111,7 @@ impl Mediator for DeterFox {
         self.inner.on_kernel_message(ctx, from, to, payload);
     }
 
-    fn interposition_cost(
-        &self,
-        class: jsk_browser::mediator::InterposeClass,
-    ) -> SimDuration {
+    fn interposition_cost(&self, class: jsk_browser::mediator::InterposeClass) -> SimDuration {
         self.inner.interposition_cost(class)
     }
 }

@@ -125,7 +125,9 @@ mod tests {
         let n = 200;
         for _ in 0..n {
             let d = ff.on_confirm(&mut ctx, &info(10), SimTime::from_millis(30));
-            let ConfirmDecision::InvokeAt(at) = d else { panic!() };
+            let ConfirmDecision::InvokeAt(at) = d else {
+                panic!()
+            };
             assert!(at >= SimTime::from_millis(30));
             total += at - SimTime::from_millis(30);
         }

@@ -76,9 +76,9 @@ impl DefenseKind {
     #[must_use]
     pub fn engine(self) -> Engine {
         match self {
-            DefenseKind::LegacyChrome
-            | DefenseKind::ChromeZero
-            | DefenseKind::JsKernel => Engine::Chrome,
+            DefenseKind::LegacyChrome | DefenseKind::ChromeZero | DefenseKind::JsKernel => {
+                Engine::Chrome
+            }
             DefenseKind::LegacyFirefox
             | DefenseKind::Fuzzyfox
             | DefenseKind::DeterFox
@@ -92,16 +92,16 @@ impl DefenseKind {
     #[must_use]
     pub fn mediator(self) -> Box<dyn Mediator> {
         match self {
-            DefenseKind::LegacyChrome
-            | DefenseKind::LegacyFirefox
-            | DefenseKind::LegacyEdge => Box::new(LegacyMediator),
+            DefenseKind::LegacyChrome | DefenseKind::LegacyFirefox | DefenseKind::LegacyEdge => {
+                Box::new(LegacyMediator)
+            }
             DefenseKind::Fuzzyfox => Box::new(Fuzzyfox::default()),
             DefenseKind::DeterFox => Box::new(DeterFox::default()),
             DefenseKind::TorBrowser => Box::new(TorBrowser::default()),
             DefenseKind::ChromeZero => Box::new(ChromeZero::default()),
-            DefenseKind::JsKernel
-            | DefenseKind::JsKernelFirefox
-            | DefenseKind::JsKernelEdge => Box::new(JsKernel::new(KernelConfig::full())),
+            DefenseKind::JsKernel | DefenseKind::JsKernelFirefox | DefenseKind::JsKernelEdge => {
+                Box::new(JsKernel::new(KernelConfig::full()))
+            }
         }
     }
 

@@ -18,7 +18,9 @@ pub struct TorBrowser {
 
 impl Default for TorBrowser {
     fn default() -> Self {
-        TorBrowser { clock_grain: SimDuration::from_millis(100) }
+        TorBrowser {
+            clock_grain: SimDuration::from_millis(100),
+        }
     }
 }
 

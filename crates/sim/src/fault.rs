@@ -1,0 +1,473 @@
+//! Fault injection for robustness experiments.
+//!
+//! A [`FaultPlan`] is a seeded, serializable description of the faults a
+//! simulation run should experience: lost / duplicated / reordered
+//! cross-thread messages, dropped or delayed event confirmations, worker
+//! crashes at fixed instants, and network errors or timeouts (plus the
+//! retry-with-backoff knob the fetch path uses to recover from them).
+//!
+//! The plan itself is inert data. A [`FaultInjector`] pairs it with a
+//! [`SimRng`] forked from the plan's own seed, so fault *decisions* are a
+//! pure function of `(plan, decision order)` — independent of the browser's
+//! other randomness streams. Running the same program under the same plan
+//! twice yields the identical fault schedule and therefore the identical
+//! observable trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsk_sim::fault::{FaultPlan, FaultInjector, MessageFate};
+//!
+//! let plan = FaultPlan::new(7).with_message_loss(1.0);
+//! let mut inj = FaultInjector::new(plan);
+//! assert_eq!(inj.message_fate(), MessageFate::Drop);
+//! assert_eq!(inj.stats().messages_dropped, 1);
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Kill one worker at a fixed virtual instant.
+///
+/// Workers are addressed by **creation order** (0 = first worker spawned in
+/// the run), not by `WorkerId`, so a plan can be written before the program
+/// runs and serialized independently of any browser types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerCrash {
+    /// Index of the victim in worker-creation order.
+    pub worker: u64,
+    /// Virtual time of the crash, in milliseconds from simulation start.
+    pub at_ms: u64,
+}
+
+/// A seeded, serializable schedule of faults for one simulation run.
+///
+/// All probabilities are in `[0, 1]`; the default plan injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the injector's private randomness stream.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability that a cross-thread `postMessage` is silently lost.
+    #[serde(default)]
+    pub message_loss: f64,
+    /// Probability that a cross-thread message is delivered twice.
+    #[serde(default)]
+    pub message_duplication: f64,
+    /// Probability that a message is held back long enough for later sends
+    /// on the same channel to overtake it.
+    #[serde(default)]
+    pub message_reorder: f64,
+    /// How long a reordered message is held back, in milliseconds.
+    #[serde(default)]
+    pub message_reorder_ms: u64,
+    /// Probability that an event's confirmation never arrives (the event
+    /// stays Pending in the kernel forever unless the watchdog expires it).
+    #[serde(default)]
+    pub confirm_drop: f64,
+    /// Probability that an event's confirmation is delayed.
+    #[serde(default)]
+    pub confirm_delay: f64,
+    /// How long a delayed confirmation is held back, in milliseconds.
+    #[serde(default)]
+    pub confirm_delay_ms: u64,
+    /// Probability that a network load fails outright with an error.
+    #[serde(default)]
+    pub net_error: f64,
+    /// Probability that a network load times out instead of completing.
+    #[serde(default)]
+    pub net_timeout: f64,
+    /// How long a timed-out load spins before failing, in milliseconds.
+    #[serde(default)]
+    pub net_timeout_ms: u64,
+    /// How many times the fetch path retries a faulted load before giving
+    /// up and surfacing the error (0 = no retries).
+    #[serde(default)]
+    pub fetch_max_retries: u32,
+    /// Base backoff between fetch retries, in milliseconds; attempt `n`
+    /// waits `fetch_retry_backoff_ms << n`.
+    #[serde(default)]
+    pub fetch_retry_backoff_ms: u64,
+    /// Workers to kill at fixed instants.
+    #[serde(default)]
+    pub worker_crashes: Vec<WorkerCrash>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            message_loss: 0.0,
+            message_duplication: 0.0,
+            message_reorder: 0.0,
+            message_reorder_ms: 20,
+            confirm_drop: 0.0,
+            confirm_delay: 0.0,
+            confirm_delay_ms: 50,
+            net_error: 0.0,
+            net_timeout: 0.0,
+            net_timeout_ms: 1_000,
+            fetch_max_retries: 0,
+            fetch_retry_backoff_ms: 10,
+            worker_crashes: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing, with the given injector seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the probability of message loss.
+    #[must_use]
+    pub fn with_message_loss(mut self, p: f64) -> Self {
+        self.message_loss = p;
+        self
+    }
+
+    /// Sets the probability of message duplication.
+    #[must_use]
+    pub fn with_message_duplication(mut self, p: f64) -> Self {
+        self.message_duplication = p;
+        self
+    }
+
+    /// Sets the probability and hold-back of message reordering.
+    #[must_use]
+    pub fn with_message_reorder(mut self, p: f64, hold_ms: u64) -> Self {
+        self.message_reorder = p;
+        self.message_reorder_ms = hold_ms;
+        self
+    }
+
+    /// Sets the probability of lost confirmations.
+    #[must_use]
+    pub fn with_confirm_drop(mut self, p: f64) -> Self {
+        self.confirm_drop = p;
+        self
+    }
+
+    /// Sets the probability and hold-back of delayed confirmations.
+    #[must_use]
+    pub fn with_confirm_delay(mut self, p: f64, delay_ms: u64) -> Self {
+        self.confirm_delay = p;
+        self.confirm_delay_ms = delay_ms;
+        self
+    }
+
+    /// Sets the probability of outright network errors.
+    #[must_use]
+    pub fn with_net_error(mut self, p: f64) -> Self {
+        self.net_error = p;
+        self
+    }
+
+    /// Sets the probability and duration of network timeouts.
+    #[must_use]
+    pub fn with_net_timeout(mut self, p: f64, timeout_ms: u64) -> Self {
+        self.net_timeout = p;
+        self.net_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Enables fetch retry-with-backoff.
+    #[must_use]
+    pub fn with_fetch_retries(mut self, max_retries: u32, backoff_ms: u64) -> Self {
+        self.fetch_max_retries = max_retries;
+        self.fetch_retry_backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Schedules a worker crash.
+    #[must_use]
+    pub fn with_worker_crash(mut self, worker: u64, at_ms: u64) -> Self {
+        self.worker_crashes.push(WorkerCrash { worker, at_ms });
+        self
+    }
+
+    /// `true` if this plan can never inject anything.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.message_loss <= 0.0
+            && self.message_duplication <= 0.0
+            && self.message_reorder <= 0.0
+            && self.confirm_drop <= 0.0
+            && self.confirm_delay <= 0.0
+            && self.net_error <= 0.0
+            && self.net_timeout <= 0.0
+            && self.worker_crashes.is_empty()
+    }
+}
+
+/// What the injector decided for one cross-thread message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Hold the message back by this much (later sends may overtake it).
+    Delay(SimDuration),
+}
+
+/// What the injector decided for one event confirmation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmFate {
+    /// Confirm normally.
+    Deliver,
+    /// The confirmation never arrives.
+    Drop,
+    /// The confirmation arrives late by this much.
+    Delay(SimDuration),
+}
+
+/// What the injector decided for one network load attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFate {
+    /// The load proceeds normally.
+    Ok,
+    /// The load fails immediately with a network error.
+    Error,
+    /// The load spins for this long, then fails.
+    Timeout(SimDuration),
+}
+
+/// Counters for every fault actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages silently lost.
+    pub messages_dropped: u64,
+    /// Messages delivered twice.
+    pub messages_duplicated: u64,
+    /// Messages held back past later sends.
+    pub messages_delayed: u64,
+    /// Confirmations that never arrived.
+    pub confirms_dropped: u64,
+    /// Confirmations that arrived late.
+    pub confirms_delayed: u64,
+    /// Loads failed with immediate network errors.
+    pub net_errors: u64,
+    /// Loads failed by timeout.
+    pub net_timeouts: u64,
+    /// Fetch attempts retried after a faulted load.
+    pub fetch_retries: u64,
+    /// Workers killed by the crash schedule.
+    pub workers_crashed: u64,
+}
+
+/// Draws fault decisions from a [`FaultPlan`]'s private randomness stream
+/// and counts what it injected.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector whose decision stream depends only on the plan's
+    /// seed.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::new(plan.seed).fork("fault-injector");
+        FaultInjector {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan this injector draws from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters for faults injected so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Decides the fate of one cross-thread message. Faults are mutually
+    /// exclusive per message; loss is tried first, then duplication, then
+    /// reordering.
+    pub fn message_fate(&mut self) -> MessageFate {
+        if self.rng.chance(self.plan.message_loss) {
+            self.stats.messages_dropped += 1;
+            return MessageFate::Drop;
+        }
+        if self.rng.chance(self.plan.message_duplication) {
+            self.stats.messages_duplicated += 1;
+            return MessageFate::Duplicate;
+        }
+        if self.rng.chance(self.plan.message_reorder) {
+            self.stats.messages_delayed += 1;
+            return MessageFate::Delay(SimDuration::from_millis(self.plan.message_reorder_ms));
+        }
+        MessageFate::Deliver
+    }
+
+    /// Decides the fate of one event confirmation.
+    pub fn confirm_fate(&mut self) -> ConfirmFate {
+        if self.rng.chance(self.plan.confirm_drop) {
+            self.stats.confirms_dropped += 1;
+            return ConfirmFate::Drop;
+        }
+        if self.rng.chance(self.plan.confirm_delay) {
+            self.stats.confirms_delayed += 1;
+            return ConfirmFate::Delay(SimDuration::from_millis(self.plan.confirm_delay_ms));
+        }
+        ConfirmFate::Deliver
+    }
+
+    /// Decides the fate of one network load attempt.
+    pub fn net_fate(&mut self) -> NetFate {
+        if self.rng.chance(self.plan.net_error) {
+            self.stats.net_errors += 1;
+            return NetFate::Error;
+        }
+        if self.rng.chance(self.plan.net_timeout) {
+            self.stats.net_timeouts += 1;
+            return NetFate::Timeout(SimDuration::from_millis(self.plan.net_timeout_ms));
+        }
+        NetFate::Ok
+    }
+
+    /// Whether a faulted fetch should retry after `attempt` failed tries,
+    /// and if so, after how long. Backoff doubles per attempt.
+    pub fn retry_after(&mut self, attempt: u32) -> Option<SimDuration> {
+        if attempt >= self.plan.fetch_max_retries {
+            return None;
+        }
+        self.stats.fetch_retries += 1;
+        let shift = attempt.min(20);
+        Some(SimDuration::from_millis(
+            self.plan
+                .fetch_retry_backoff_ms
+                .saturating_mul(1u64 << shift),
+        ))
+    }
+
+    /// Records that the crash schedule killed a worker.
+    pub fn note_worker_crashed(&mut self) {
+        self.stats.workers_crashed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            assert_eq!(inj.message_fate(), MessageFate::Deliver);
+            assert_eq!(inj.confirm_fate(), ConfirmFate::Deliver);
+            assert_eq!(inj.net_fate(), NetFate::Ok);
+        }
+        assert_eq!(*inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn certain_faults_fire_and_are_counted() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .with_message_loss(1.0)
+                .with_confirm_drop(1.0)
+                .with_net_error(1.0),
+        );
+        assert_eq!(inj.message_fate(), MessageFate::Drop);
+        assert_eq!(inj.confirm_fate(), ConfirmFate::Drop);
+        assert_eq!(inj.net_fate(), NetFate::Error);
+        assert_eq!(inj.stats().messages_dropped, 1);
+        assert_eq!(inj.stats().confirms_dropped, 1);
+        assert_eq!(inj.stats().net_errors, 1);
+    }
+
+    #[test]
+    fn same_seed_same_decision_stream() {
+        let plan = FaultPlan::new(42)
+            .with_message_loss(0.3)
+            .with_message_duplication(0.3)
+            .with_message_reorder(0.3, 15);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..500 {
+            assert_eq!(a.message_fate(), b.message_fate());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::new(FaultPlan::new(1).with_message_loss(0.5));
+        let mut b = FaultInjector::new(FaultPlan::new(2).with_message_loss(0.5));
+        let fa: Vec<MessageFate> = (0..64).map(|_| a.message_fate()).collect();
+        let fb: Vec<MessageFate> = (0..64).map(|_| b.message_fate()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_gives_up() {
+        let mut inj = FaultInjector::new(FaultPlan::new(0).with_fetch_retries(3, 10));
+        assert_eq!(inj.retry_after(0), Some(SimDuration::from_millis(10)));
+        assert_eq!(inj.retry_after(1), Some(SimDuration::from_millis(20)));
+        assert_eq!(inj.retry_after(2), Some(SimDuration::from_millis(40)));
+        assert_eq!(inj.retry_after(3), None);
+        assert_eq!(inj.stats().fetch_retries, 3);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::new(9)
+            .with_message_loss(0.25)
+            .with_confirm_delay(0.5, 75)
+            .with_net_timeout(0.1, 2_000)
+            .with_fetch_retries(2, 5)
+            .with_worker_crash(0, 300);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn plan_deserializes_from_sparse_json() {
+        // Omitted fields take their defaults, so hand-written plans can name
+        // only the faults they care about.
+        let back: FaultPlan =
+            serde_json::from_str(r#"{"seed": 3, "message_loss": 0.5}"#).expect("deserialize");
+        assert_eq!(back.seed, 3);
+        assert!((back.message_loss - 0.5).abs() < 1e-12);
+        assert_eq!(back.fetch_max_retries, 0);
+        assert!(back.worker_crashes.is_empty());
+    }
+
+    #[test]
+    fn reorder_and_timeout_carry_configured_durations() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(4)
+                .with_message_reorder(1.0, 33)
+                .with_net_timeout(1.0, 444),
+        );
+        assert_eq!(
+            inj.message_fate(),
+            MessageFate::Delay(SimDuration::from_millis(33))
+        );
+        assert_eq!(
+            inj.net_fate(),
+            NetFate::Timeout(SimDuration::from_millis(444))
+        );
+    }
+}

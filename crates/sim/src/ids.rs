@@ -88,7 +88,10 @@ impl<T> IdGen<T> {
     /// Creates a generator starting from index 0.
     #[must_use]
     pub fn new() -> Self {
-        IdGen { next: 0, _marker: PhantomData }
+        IdGen {
+            next: 0,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of ids handed out so far.

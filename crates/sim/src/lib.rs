@@ -26,12 +26,14 @@
 //! assert_eq!(first.value, "message arrived");
 //! ```
 
+pub mod fault;
 pub mod ids;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fault::{ConfirmFate, FaultInjector, FaultPlan, FaultStats, MessageFate, NetFate};
 pub use queue::{Popped, QueueKey, TimeQueue};
 pub use rng::SimRng;
 pub use stats::{cosine_similarity, distinguishable, Distinguishability, Summary};

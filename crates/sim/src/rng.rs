@@ -27,7 +27,10 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SimRng { rng: StdRng::seed_from_u64(seed), seed }
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this generator was created with.
@@ -111,7 +114,10 @@ impl SimRng {
 
 impl Clone for SimRng {
     fn clone(&self) -> Self {
-        SimRng { rng: self.rng.clone(), seed: self.seed }
+        SimRng {
+            rng: self.rng.clone(),
+            seed: self.seed,
+        }
     }
 }
 

@@ -30,7 +30,14 @@ impl Summary {
     #[must_use]
     pub fn of(xs: &[f64]) -> Summary {
         if xs.is_empty() {
-            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
         }
         let n = xs.len();
         let mean = xs.iter().sum::<f64>() / n as f64;
@@ -95,7 +102,11 @@ pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
     let se2 = sa.std.powi(2) / sa.n as f64 + sb.std.powi(2) / sb.n as f64;
     let diff = sa.mean - sb.mean;
     if se2 == 0.0 {
-        return if diff == 0.0 { 0.0 } else { f64::INFINITY * diff.signum() };
+        return if diff == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * diff.signum()
+        };
     }
     diff / se2.sqrt()
 }

@@ -352,10 +352,22 @@ mod tests {
     #[test]
     fn quantize_down_and_up() {
         let q = SimDuration::from_millis(5);
-        assert_eq!(SimTime::from_millis(12).quantize_down(q), SimTime::from_millis(10));
-        assert_eq!(SimTime::from_millis(12).quantize_up(q), SimTime::from_millis(15));
-        assert_eq!(SimTime::from_millis(15).quantize_up(q), SimTime::from_millis(15));
-        assert_eq!(SimTime::from_millis(12).quantize_down(SimDuration::ZERO), SimTime::from_millis(12));
+        assert_eq!(
+            SimTime::from_millis(12).quantize_down(q),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            SimTime::from_millis(12).quantize_up(q),
+            SimTime::from_millis(15)
+        );
+        assert_eq!(
+            SimTime::from_millis(15).quantize_up(q),
+            SimTime::from_millis(15)
+        );
+        assert_eq!(
+            SimTime::from_millis(12).quantize_down(SimDuration::ZERO),
+            SimTime::from_millis(12)
+        );
     }
 
     #[test]

@@ -77,28 +77,42 @@ pub fn scan(trace: &Trace) -> VulnReport {
     for (t, fact) in trace.facts() {
         let at = *t;
         match fact {
-            Fact::WorkerStarted { worker, thread, sandboxed_parent, inherited_origin, .. } => {
+            Fact::WorkerStarted {
+                worker,
+                thread,
+                sandboxed_parent,
+                inherited_origin,
+                ..
+            } => {
                 worker_threads.insert(*thread, *worker);
                 if *sandboxed_parent && *inherited_origin {
                     tainted_threads.insert(*thread);
                 }
             }
-            Fact::FetchStarted { req, thread, has_signal }
-                if *has_signal && worker_threads.contains_key(thread) => {
-                    pending_worker_fetches.insert(*req, *thread);
-                }
+            Fact::FetchStarted {
+                req,
+                thread,
+                has_signal,
+            } if *has_signal && worker_threads.contains_key(thread) => {
+                pending_worker_fetches.insert(*req, *thread);
+            }
             Fact::FetchSettled { req, .. } => {
                 settled.insert(*req);
             }
-            Fact::WorkerTerminated { worker, user_level_only, .. }
-                if !user_level_only => {
-                    if let Some((&thread, _)) =
-                        worker_threads.iter().find(|(_, w)| *w == worker)
-                    {
-                        dead_threads.insert(thread);
-                    }
+            Fact::WorkerTerminated {
+                worker,
+                user_level_only,
+                ..
+            } if !user_level_only => {
+                if let Some((&thread, _)) = worker_threads.iter().find(|(_, w)| *w == worker) {
+                    dead_threads.insert(thread);
                 }
-            Fact::AbortDelivered { req, owner, owner_alive } => {
+            }
+            Fact::AbortDelivered {
+                req,
+                owner,
+                owner_alive,
+            } => {
                 let was_worker_fetch = pending_worker_fetches.contains_key(req);
                 if !owner_alive
                     && was_worker_fetch
@@ -119,21 +133,23 @@ pub fn scan(trace: &Trace) -> VulnReport {
                     format!("indexedDB persisted during private session on {thread}"),
                 );
             }
-            Fact::ErrorMessageDelivered { source, leaked_cross_origin, message, .. }
-                if *leaked_cross_origin => {
-                    match source {
-                        ErrorSource::ImportScripts => add(
-                            Cve::Cve2015_7215,
-                            at,
-                            format!("importScripts error leaked: {message}"),
-                        ),
-                        ErrorSource::WorkerCreation => add(
-                            Cve::Cve2014_1487,
-                            at,
-                            format!("worker-creation error leaked: {message}"),
-                        ),
-                    }
-                }
+            Fact::ErrorMessageDelivered {
+                source,
+                leaked_cross_origin,
+                message,
+                ..
+            } if *leaked_cross_origin => match source {
+                ErrorSource::ImportScripts => add(
+                    Cve::Cve2015_7215,
+                    at,
+                    format!("importScripts error leaked: {message}"),
+                ),
+                ErrorSource::WorkerCreation => add(
+                    Cve::Cve2014_1487,
+                    at,
+                    format!("worker-creation error leaked: {message}"),
+                ),
+            },
             Fact::MessageToFreedDoc { from, to } => {
                 add(
                     Cve::Cve2014_3194,
@@ -151,14 +167,13 @@ pub fn scan(trace: &Trace) -> VulnReport {
             Fact::TransferFreed { buffer } => {
                 freed_buffers.insert(*buffer);
             }
-            Fact::FreedBufferAccess { buffer, thread }
-                if freed_buffers.contains(buffer) => {
-                    add(
-                        Cve::Cve2014_1488,
-                        at,
-                        format!("{thread} accessed freed transferred {buffer}"),
-                    );
-                }
+            Fact::FreedBufferAccess { buffer, thread } if freed_buffers.contains(buffer) => {
+                add(
+                    Cve::Cve2014_1488,
+                    at,
+                    format!("{thread} accessed freed transferred {buffer}"),
+                );
+            }
             Fact::CallbackAfterClose { thread } => {
                 add(
                     Cve::Cve2013_6646,
@@ -180,14 +195,13 @@ pub fn scan(trace: &Trace) -> VulnReport {
                     format!("worker thread {thread} sent cross-origin XHR to {url}"),
                 );
             }
-            Fact::InheritedOriginRequest { thread }
-                if tainted_threads.contains(thread) => {
-                    add(
-                        Cve::Cve2011_1190,
-                        at,
-                        format!("sandbox-created worker on {thread} used inherited origin"),
-                    );
-                }
+            Fact::InheritedOriginRequest { thread } if tainted_threads.contains(thread) => {
+                add(
+                    Cve::Cve2011_1190,
+                    at,
+                    format!("sandbox-created worker on {thread} used inherited origin"),
+                );
+            }
             Fact::StaleDocCallback { thread } => {
                 add(
                     Cve::Cve2010_4576,
@@ -225,7 +239,11 @@ mod tests {
         let mut trace = Trace::new();
         trace.fact(
             t(1),
-            Fact::AbortDelivered { req: RequestId::new(0), owner: ThreadId::new(1), owner_alive: false },
+            Fact::AbortDelivered {
+                req: RequestId::new(0),
+                owner: ThreadId::new(1),
+                owner_alive: false,
+            },
         );
         assert!(!scan(&trace).is_triggered(Cve::Cve2018_5092));
 
@@ -243,7 +261,11 @@ mod tests {
         );
         trace.fact(
             t(1),
-            Fact::FetchStarted { req: RequestId::new(0), thread: ThreadId::new(1), has_signal: true },
+            Fact::FetchStarted {
+                req: RequestId::new(0),
+                thread: ThreadId::new(1),
+                has_signal: true,
+            },
         );
         trace.fact(
             t(2),
@@ -257,7 +279,11 @@ mod tests {
         );
         trace.fact(
             t(3),
-            Fact::AbortDelivered { req: RequestId::new(0), owner: ThreadId::new(1), owner_alive: false },
+            Fact::AbortDelivered {
+                req: RequestId::new(0),
+                owner: ThreadId::new(1),
+                owner_alive: false,
+            },
         );
         let report = scan(&trace);
         assert!(report.is_triggered(Cve::Cve2018_5092));
@@ -279,9 +305,19 @@ mod tests {
         );
         trace.fact(
             t(1),
-            Fact::FetchStarted { req: RequestId::new(0), thread: ThreadId::new(1), has_signal: true },
+            Fact::FetchStarted {
+                req: RequestId::new(0),
+                thread: ThreadId::new(1),
+                has_signal: true,
+            },
         );
-        trace.fact(t(2), Fact::FetchSettled { req: RequestId::new(0), ok: true });
+        trace.fact(
+            t(2),
+            Fact::FetchSettled {
+                req: RequestId::new(0),
+                ok: true,
+            },
+        );
         trace.fact(
             t(3),
             Fact::WorkerTerminated {
@@ -294,7 +330,11 @@ mod tests {
         );
         trace.fact(
             t(4),
-            Fact::AbortDelivered { req: RequestId::new(0), owner: ThreadId::new(1), owner_alive: false },
+            Fact::AbortDelivered {
+                req: RequestId::new(0),
+                owner: ThreadId::new(1),
+                owner_alive: false,
+            },
         );
         assert!(!scan(&trace).is_triggered(Cve::Cve2018_5092));
     }
@@ -343,14 +383,25 @@ mod tests {
         // requires the TransferFreed prefix.
         trace.fact(
             t(1),
-            Fact::FreedBufferAccess { buffer: BufferId::new(0), thread: ThreadId::new(0) },
+            Fact::FreedBufferAccess {
+                buffer: BufferId::new(0),
+                thread: ThreadId::new(0),
+            },
         );
         assert!(!scan(&trace).is_triggered(Cve::Cve2014_1488));
 
-        trace.fact(t(2), Fact::TransferFreed { buffer: BufferId::new(0) });
+        trace.fact(
+            t(2),
+            Fact::TransferFreed {
+                buffer: BufferId::new(0),
+            },
+        );
         trace.fact(
             t(3),
-            Fact::FreedBufferAccess { buffer: BufferId::new(0), thread: ThreadId::new(0) },
+            Fact::FreedBufferAccess {
+                buffer: BufferId::new(0),
+                thread: ThreadId::new(0),
+            },
         );
         assert!(scan(&trace).is_triggered(Cve::Cve2014_1488));
     }
@@ -358,7 +409,12 @@ mod tests {
     #[test]
     fn cve_2011_1190_needs_tainted_worker() {
         let mut trace = Trace::new();
-        trace.fact(t(1), Fact::InheritedOriginRequest { thread: ThreadId::new(1) });
+        trace.fact(
+            t(1),
+            Fact::InheritedOriginRequest {
+                thread: ThreadId::new(1),
+            },
+        );
         assert!(!scan(&trace).is_triggered(Cve::Cve2011_1190));
 
         trace.fact(
@@ -371,7 +427,12 @@ mod tests {
                 inherited_origin: true,
             },
         );
-        trace.fact(t(3), Fact::InheritedOriginRequest { thread: ThreadId::new(2) });
+        trace.fact(
+            t(3),
+            Fact::InheritedOriginRequest {
+                thread: ThreadId::new(2),
+            },
+        );
         assert!(scan(&trace).is_triggered(Cve::Cve2011_1190));
     }
 
@@ -379,23 +440,34 @@ mod tests {
     fn single_fact_detectors_fire() {
         let cases: Vec<(Fact, Cve)> = vec![
             (
-                Fact::IdbPersistedInPrivateMode { thread: ThreadId::new(0) },
+                Fact::IdbPersistedInPrivateMode {
+                    thread: ThreadId::new(0),
+                },
                 Cve::Cve2017_7843,
             ),
             (
-                Fact::MessageToFreedDoc { from: ThreadId::new(1), to: ThreadId::new(0) },
+                Fact::MessageToFreedDoc {
+                    from: ThreadId::new(1),
+                    to: ThreadId::new(0),
+                },
                 Cve::Cve2014_3194,
             ),
             (
-                Fact::DispatchUseAfterFree { worker: WorkerId::new(0) },
+                Fact::DispatchUseAfterFree {
+                    worker: WorkerId::new(0),
+                },
                 Cve::Cve2014_1719,
             ),
             (
-                Fact::CallbackAfterClose { thread: ThreadId::new(0) },
+                Fact::CallbackAfterClose {
+                    thread: ThreadId::new(0),
+                },
                 Cve::Cve2013_6646,
             ),
             (
-                Fact::NullDerefOnAssign { worker: WorkerId::new(0) },
+                Fact::NullDerefOnAssign {
+                    worker: WorkerId::new(0),
+                },
                 Cve::Cve2013_5602,
             ),
             (
@@ -406,7 +478,9 @@ mod tests {
                 Cve::Cve2013_1714,
             ),
             (
-                Fact::StaleDocCallback { thread: ThreadId::new(0) },
+                Fact::StaleDocCallback {
+                    thread: ThreadId::new(0),
+                },
                 Cve::Cve2010_4576,
             ),
         ];

@@ -162,12 +162,18 @@ impl App {
                 let period = 8.0 + self.index as f64 * 4.0;
                 let count = Rc::new(RefCell::new(0.0f64));
                 let c = count.clone();
-                scope.set_interval(period, cb(move |_, _| {
-                    *c.borrow_mut() += 1.0;
-                }));
-                scope.set_timeout(400.0, cb(move |scope, _| {
-                    scope.record("metric", JsValue::from(*count.borrow()));
-                }));
+                scope.set_interval(
+                    period,
+                    cb(move |_, _| {
+                        *c.borrow_mut() += 1.0;
+                    }),
+                );
+                scope.set_timeout(
+                    400.0,
+                    cb(move |scope, _| {
+                        scope.record("metric", JsValue::from(*count.borrow()));
+                    }),
+                );
             }
             // A rAF render loop: the metric is frames rendered in a window
             // (the app's FPS).
@@ -180,9 +186,12 @@ impl App {
                     }));
                 }
                 render(scope, frames.clone());
-                scope.set_timeout(400.0, cb(move |scope, _| {
-                    scope.record("metric", JsValue::from(*frames.borrow()));
-                }));
+                scope.set_timeout(
+                    400.0,
+                    cb(move |scope, _| {
+                        scope.record("metric", JsValue::from(*frames.borrow()));
+                    }),
+                );
             }
             // A worker compute app: ship N jobs to a worker, metric = sum of
             // results (functional, not timing — must be identical under
@@ -201,13 +210,16 @@ impl App {
                 let sum = Rc::new(RefCell::new(0.0f64));
                 let got = Rc::new(RefCell::new(0u32));
                 let s2 = sum.clone();
-                scope.set_worker_onmessage(w, cb(move |scope, v| {
-                    *s2.borrow_mut() += v.as_f64().unwrap_or_default();
-                    *got.borrow_mut() += 1;
-                    if *got.borrow() == jobs {
-                        scope.record("metric", JsValue::from(*s2.borrow()));
-                    }
-                }));
+                scope.set_worker_onmessage(
+                    w,
+                    cb(move |scope, v| {
+                        *s2.borrow_mut() += v.as_f64().unwrap_or_default();
+                        *got.borrow_mut() += 1;
+                        if *got.borrow() == jobs {
+                            scope.record("metric", JsValue::from(*s2.borrow()));
+                        }
+                    }),
+                );
                 for i in 1..=jobs {
                     scope.post_message_to_worker(w, JsValue::from(f64::from(i)));
                 }

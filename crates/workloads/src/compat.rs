@@ -105,7 +105,11 @@ pub fn run_check(
             mismatches.push(row);
         }
     }
-    CompatSummary { total: n, same, mismatches }
+    CompatSummary {
+        total: n,
+        same,
+        mismatches,
+    }
 }
 
 #[cfg(test)]

@@ -210,7 +210,11 @@ pub fn overhead_percent(
         .zip(defended)
         .map(|(b, d)| {
             assert_eq!(b.test, d.test, "suites must align");
-            let pct = if b.ms > 0.0 { (d.ms - b.ms) / b.ms * 100.0 } else { 0.0 };
+            let pct = if b.ms > 0.0 {
+                (d.ms - b.ms) / b.ms * 100.0
+            } else {
+                0.0
+            };
             (b.test.clone(), pct)
         })
         .collect()
@@ -249,8 +253,14 @@ mod tests {
 
     #[test]
     fn overhead_percent_aligns_and_computes() {
-        let base = vec![DromaeoResult { test: "t".into(), ms: 100.0 }];
-        let def = vec![DromaeoResult { test: "t".into(), ms: 121.0 }];
+        let base = vec![DromaeoResult {
+            test: "t".into(),
+            ms: 100.0,
+        }];
+        let def = vec![DromaeoResult {
+            test: "t".into(),
+            ms: 121.0,
+        }];
         let o = overhead_percent(&base, &def);
         assert!((o[0].1 - 21.0).abs() < 1e-9);
     }

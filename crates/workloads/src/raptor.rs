@@ -46,7 +46,11 @@ pub fn run_subtest(
         }
     }
     let s = Summary::of(&times);
-    RaptorRow { site: site.to_owned(), mean_ms: s.mean, std_ms: s.std }
+    RaptorRow {
+        site: site.to_owned(),
+        mean_ms: s.mean,
+        std_ms: s.std,
+    }
 }
 
 /// Runs the whole tp6-1 suite with a defense.
@@ -86,8 +90,16 @@ mod tests {
         // Table III Chrome: google 48.3, amazon 107.2, youtube 298.9 —
         // require the right decade, not the exact value.
         assert!((30.0..90.0).contains(&google.mean_ms), "{}", google.mean_ms);
-        assert!((70.0..180.0).contains(&amazon.mean_ms), "{}", amazon.mean_ms);
-        assert!((200.0..450.0).contains(&youtube.mean_ms), "{}", youtube.mean_ms);
+        assert!(
+            (70.0..180.0).contains(&amazon.mean_ms),
+            "{}",
+            amazon.mean_ms
+        );
+        assert!(
+            (200.0..450.0).contains(&youtube.mean_ms),
+            "{}",
+            youtube.mean_ms
+        );
     }
 
     #[test]

@@ -201,7 +201,10 @@ pub fn load_result(browser: &Browser, profile: &SiteProfile) -> Option<LoadResul
     let hero = browser
         .record_value(&format!("{}/hero", profile.name))?
         .as_f64()?;
-    Some(LoadResult { onload_ms: onload, hero_ms: hero })
+    Some(LoadResult {
+        onload_ms: onload,
+        hero_ms: hero,
+    })
 }
 
 /// Builds the page body inside an existing scope: DOM, workers, resource
@@ -220,14 +223,17 @@ pub fn build_page(scope: &mut JsScope<'_>, profile: &SiteProfile, scale: f64) {
     // campaign id derives from sub-millisecond load timing, which varies
     // with every visit's physical jitter regardless of the defense.
     if profile.dynamic_ads {
-        scope.set_timeout(12.0, cb(|scope, _| {
-            let ad = scope.create_element("iframe");
-            let micros = (scope.browser_now_ms() * 1_000.0) as u64;
-            let nonce = micros % 7;
-            scope.set_attribute(ad, "data-ad", format!("campaign-{nonce}"));
-            let root = scope.document_root();
-            scope.append_child(root, ad);
-        }));
+        scope.set_timeout(
+            12.0,
+            cb(|scope, _| {
+                let ad = scope.create_element("iframe");
+                let micros = (scope.browser_now_ms() * 1_000.0) as u64;
+                let nonce = micros % 7;
+                scope.set_attribute(ad, "data-ad", format!("campaign-{nonce}"));
+                let root = scope.document_root();
+                scope.append_child(root, ad);
+            }),
+        );
     }
     // Workers.
     for w in 0..profile.workers {
@@ -249,14 +255,17 @@ pub fn build_page(scope: &mut JsScope<'_>, profile: &SiteProfile, scale: f64) {
     for (url, _) in &profile.resources {
         let left = left.clone();
         let name = name.clone();
-        scope.load_script(url.clone(), cb(move |scope, _| {
-            let mut l = left.borrow_mut();
-            *l -= 1;
-            if *l == 0 {
-                let t = scope.browser_now_ms();
-                scope.record(format!("{name}/onload"), JsValue::from(t));
-            }
-        }));
+        scope.load_script(
+            url.clone(),
+            cb(move |scope, _| {
+                let mut l = left.borrow_mut();
+                *l -= 1;
+                if *l == 0 {
+                    let t = scope.browser_now_ms();
+                    scope.record(format!("{name}/onload"), JsValue::from(t));
+                }
+            }),
+        );
     }
     if total == 0 {
         let t = scope.browser_now_ms();
@@ -270,19 +279,22 @@ pub fn build_page(scope: &mut JsScope<'_>, profile: &SiteProfile, scale: f64) {
         let cost = task.cost.mul_f64(scale);
         let done = done.clone();
         let name = name.clone();
-        scope.set_timeout(task.delay_ms * scale, cb(move |scope, _| {
-            scope.compute(cost);
-            let mut d = done.borrow_mut();
-            *d += 1;
-            if *d == n_tasks {
-                let hero = scope.create_element("main");
-                scope.set_attribute(hero, "id", "hero");
-                let root = scope.document_root();
-                scope.append_child(root, hero);
-                let t = scope.browser_now_ms();
-                scope.record(format!("{name}/hero"), JsValue::from(t));
-            }
-        }));
+        scope.set_timeout(
+            task.delay_ms * scale,
+            cb(move |scope, _| {
+                scope.compute(cost);
+                let mut d = done.borrow_mut();
+                *d += 1;
+                if *d == n_tasks {
+                    let hero = scope.create_element("main");
+                    scope.set_attribute(hero, "id", "hero");
+                    let root = scope.document_root();
+                    scope.append_child(root, hero);
+                    let t = scope.browser_now_ms();
+                    scope.record(format!("{name}/hero"), JsValue::from(t));
+                }
+            }),
+        );
     }
 }
 
@@ -307,7 +319,9 @@ mod tests {
 
     #[test]
     fn roughly_a_tenth_of_sites_have_dynamic_ads() {
-        let ads = (0..500).filter(|&r| SiteProfile::generate(r).dynamic_ads).count();
+        let ads = (0..500)
+            .filter(|&r| SiteProfile::generate(r).dynamic_ads)
+            .count();
         assert!((25..=80).contains(&ads), "{ads}/500 sites with ads");
     }
 
@@ -372,6 +386,9 @@ mod tests {
         };
         let chrome = hero(BrowserProfile::chrome());
         let firefox = hero(BrowserProfile::firefox());
-        assert!(firefox > chrome * 3.0, "chrome {chrome} vs firefox {firefox}");
+        assert!(
+            firefox > chrome * 3.0,
+            "chrome {chrome} vs firefox {firefox}"
+        );
     }
 }

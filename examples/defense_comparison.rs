@@ -29,8 +29,16 @@ fn main() {
             kind.label(),
             low.mean,
             high.mean,
-            if svg.defended() { "defends" } else { "VULNERABLE" },
-            if cve.defended() { "defends" } else { "VULNERABLE" },
+            if svg.defended() {
+                "defends"
+            } else {
+                "VULNERABLE"
+            },
+            if cve.defended() {
+                "defends"
+            } else {
+                "VULNERABLE"
+            },
         );
     }
     println!(

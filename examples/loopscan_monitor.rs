@@ -35,7 +35,11 @@ fn main() {
             kind.label(),
             a.mean,
             b.mean,
-            if r.defended() { "defends" } else { "VULNERABLE" },
+            if r.defended() {
+                "defends"
+            } else {
+                "VULNERABLE"
+            },
         );
     }
     let _ = Secret::A;

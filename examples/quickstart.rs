@@ -17,7 +17,10 @@ fn main() {
     let cfg = BrowserConfig::new(BrowserProfile::chrome(), 42);
     let mut browser = Browser::new(cfg, Box::new(JsKernel::new(KernelConfig::full())));
 
-    browser.register_resource("https://attacker.example/data.json", ResourceSpec::of_size(4_096));
+    browser.register_resource(
+        "https://attacker.example/data.json",
+        ResourceSpec::of_size(4_096),
+    );
 
     browser.boot(|scope| {
         // DOM.
@@ -36,17 +39,27 @@ fn main() {
                 }));
             }),
         );
-        scope.set_worker_onmessage(worker, cb(|scope, v| {
-            scope.record("doubled", v);
-        }));
-        scope.set_timeout(5.0, cb(move |scope, _| {
-            scope.post_message_to_worker(worker, JsValue::from(21.0));
-        }));
+        scope.set_worker_onmessage(
+            worker,
+            cb(|scope, v| {
+                scope.record("doubled", v);
+            }),
+        );
+        scope.set_timeout(
+            5.0,
+            cb(move |scope, _| {
+                scope.post_message_to_worker(worker, JsValue::from(21.0));
+            }),
+        );
 
         // A fetch.
-        scope.fetch("https://attacker.example/data.json", None, cb(|scope, v| {
-            scope.record("fetch_ok", v.get("ok").cloned().unwrap_or_default());
-        }));
+        scope.fetch(
+            "https://attacker.example/data.json",
+            None,
+            cb(|scope, v| {
+                scope.record("fetch_ok", v.get("ok").cloned().unwrap_or_default());
+            }),
+        );
 
         // The kernel clock: reads advance with API activity, not physical
         // time.

@@ -23,7 +23,10 @@ fn fact_histogram(trace: &Trace) -> BTreeMap<String, usize> {
                 Fact::FetchSettled { .. } => "FetchSettled",
                 Fact::AbortDelivered { .. } => "AbortDelivered",
                 Fact::WorkerStarted { .. } => "WorkerStarted",
-                Fact::WorkerTerminated { user_level_only: false, .. } => "WorkerTerminated(real)",
+                Fact::WorkerTerminated {
+                    user_level_only: false,
+                    ..
+                } => "WorkerTerminated(real)",
                 Fact::WorkerTerminated { .. } => "WorkerTerminated(user-level)",
                 Fact::TransferFreed { .. } => "TransferFreed",
                 Fact::FreedBufferAccess { .. } => "FreedBufferAccess",

@@ -45,7 +45,7 @@ pub use jsk_workloads as workloads;
 
 /// Convenience re-export of the engine profiles.
 pub use jsk_browser::profile as browser_profile;
-/// Convenience re-export of the defense registry.
-pub use jsk_defenses::registry::DefenseKind;
 /// Convenience re-export of the kernel.
 pub use jsk_core::{JsKernel, KernelConfig};
+/// Convenience re-export of the defense registry.
+pub use jsk_defenses::registry::DefenseKind;

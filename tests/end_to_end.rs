@@ -24,9 +24,15 @@ fn jskernel_defends_the_whole_matrix_spotcheck() {
 #[test]
 fn legacy_browsers_are_vulnerable_spotcheck() {
     let svg = run_timing_attack(&SvgFiltering::default(), DefenseKind::LegacyChrome, 5, 2);
-    assert!(!svg.defended(), "legacy must be vulnerable to SVG filtering");
+    assert!(
+        !svg.defended(),
+        "legacy must be vulnerable to SVG filtering"
+    );
     let cache = run_timing_attack(&CacheAttack, DefenseKind::LegacyFirefox, 5, 2);
-    assert!(!cache.defended(), "legacy must be vulnerable to the cache attack");
+    assert!(
+        !cache.defended(),
+        "legacy must be vulnerable to the cache attack"
+    );
     for exploit in all_exploits() {
         let r = run_cve_attack(exploit.as_ref(), DefenseKind::LegacyChrome, 2);
         assert!(!r.defended(), "{} must trigger on legacy Chrome", r.cve);
@@ -35,7 +41,11 @@ fn legacy_browsers_are_vulnerable_spotcheck() {
 
 #[test]
 fn timing_only_defenses_do_not_stop_cves() {
-    for kind in [DefenseKind::Fuzzyfox, DefenseKind::DeterFox, DefenseKind::TorBrowser] {
+    for kind in [
+        DefenseKind::Fuzzyfox,
+        DefenseKind::DeterFox,
+        DefenseKind::TorBrowser,
+    ] {
         let r = run_cve_attack(&Exploit2018_5092, kind, 3);
         assert!(
             !r.defended(),
@@ -60,12 +70,18 @@ fn chrome_zero_polyfill_blocks_worker_parallelism_cves_only() {
     }
     // The polyfill removes real worker threads: the UAF/teardown CVEs die…
     for cve in [Cve::Cve2018_5092, Cve::Cve2014_1488, Cve::Cve2014_1719] {
-        assert!(defended.contains(&cve), "{cve} should die with the polyfill");
+        assert!(
+            defended.contains(&cve),
+            "{cve} should die with the polyfill"
+        );
     }
     // …but single-API information leaks survive (the paper's point: Chrome
     // Zero cannot see multi-function sequences).
     for cve in [Cve::Cve2017_7843, Cve::Cve2014_1487, Cve::Cve2015_7215] {
-        assert!(vulnerable.contains(&cve), "{cve} should survive Chrome Zero");
+        assert!(
+            vulnerable.contains(&cve),
+            "{cve} should survive Chrome Zero"
+        );
     }
 }
 
@@ -83,11 +99,14 @@ fn same_seed_same_records_across_full_stack() {
                     }));
                 }),
             );
-            scope.set_worker_onmessage(w, cb(|scope, v| {
-                let t = scope.performance_now();
-                scope.record("reply_at", JsValue::from(t));
-                scope.record("reply", v);
-            }));
+            scope.set_worker_onmessage(
+                w,
+                cb(|scope, v| {
+                    let t = scope.performance_now();
+                    scope.record("reply_at", JsValue::from(t));
+                    scope.record("reply", v);
+                }),
+            );
             scope.post_message_to_worker(w, JsValue::from(1.0));
         });
         b.run_until_idle();
@@ -115,9 +134,12 @@ fn kernel_preserves_functional_behaviour_of_a_busy_page() {
                 scope.append_child(root, li);
             }
             // Timer arithmetic.
-            scope.set_timeout(3.0, cb(|scope, _| {
-                scope.record("three", JsValue::from(3.0));
-            }));
+            scope.set_timeout(
+                3.0,
+                cb(|scope, _| {
+                    scope.record("three", JsValue::from(3.0));
+                }),
+            );
             // Worker round trip with transfer.
             let w = scope.create_worker(
                 "w.js",
@@ -127,9 +149,12 @@ fn kernel_preserves_functional_behaviour_of_a_busy_page() {
                     }));
                 }),
             );
-            scope.set_worker_onmessage(w, cb(|scope, v| {
-                scope.record("echo", v);
-            }));
+            scope.set_worker_onmessage(
+                w,
+                cb(|scope, v| {
+                    scope.record("echo", v);
+                }),
+            );
             scope.post_message_to_worker(w, JsValue::from("payload"));
         });
         b.run_until_idle();

@@ -12,9 +12,12 @@ fn busy_page(browser: &mut Browser) {
         let w = scope.create_worker(
             "w.js",
             worker_script(|scope| {
-                scope.set_interval(2.0, cb(|scope, _| {
-                    scope.post_message(JsValue::from(1.0));
-                }));
+                scope.set_interval(
+                    2.0,
+                    cb(|scope, _| {
+                        scope.post_message(JsValue::from(1.0));
+                    }),
+                );
             }),
         );
         scope.set_worker_onmessage(w, cb(|_, _| {}));
@@ -36,14 +39,23 @@ fn stats_reflect_scheduling_and_denials() {
     busy_page(&mut browser);
     let kernel: &JsKernel = browser.mediator_as().expect("kernel installed");
     let stats = kernel.stats();
-    assert!(stats.registered > 20, "events registered: {}", stats.registered);
-    assert!(stats.dispatched > 10, "events dispatched: {}", stats.dispatched);
+    assert!(
+        stats.registered > 20,
+        "events registered: {}",
+        stats.registered
+    );
+    assert!(
+        stats.dispatched > 10,
+        "events dispatched: {}",
+        stats.dispatched
+    );
     assert!(stats.confirmed >= stats.dispatched);
     assert_eq!(stats.total_denials(), 2, "{:?}", stats.denials);
-    assert!(stats
-        .denials
-        .keys()
-        .all(|k| k.contains("1714")), "{:?}", stats.denials);
+    assert!(
+        stats.denials.keys().all(|k| k.contains("1714")),
+        "{:?}",
+        stats.denials
+    );
     assert!(stats.api_calls > 4);
     // The Display form is a readable one-stop summary.
     let text = stats.to_string();

@@ -3,7 +3,6 @@
 //! trace, install it into the kernel, and verify the re-run is clean.
 
 use jskernel::attacks::cve_exploits::all_exploits;
-use jskernel::attacks::harness::CveExploit;
 use jskernel::browser::Browser;
 use jskernel::core::policy::synthesize;
 use jskernel::core::{config::KernelConfig, kernel::JsKernel};
@@ -49,9 +48,12 @@ fn synthesized_policies_block_their_own_exploits() {
 fn synthesis_on_a_benign_run_yields_nothing() {
     let mut browser = DefenseKind::LegacyChrome.build(8);
     browser.boot(|scope| {
-        scope.set_timeout(5.0, jskernel::browser::cb(|scope, _| {
-            let _ = scope.performance_now();
-        }));
+        scope.set_timeout(
+            5.0,
+            jskernel::browser::cb(|scope, _| {
+                let _ = scope.performance_now();
+            }),
+        );
     });
     browser.run_until_idle();
     assert!(synthesize("benign", browser.trace()).is_none());

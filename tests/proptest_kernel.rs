@@ -7,9 +7,9 @@ use jsk_core::policy::{cve, PolicyEngine};
 use jsk_core::threads::ThreadManager;
 use jskernel::browser::event::AsyncKind;
 use jskernel::browser::ids::{EventToken, RequestId, ThreadId};
+use jskernel::browser::task::{cb, worker_script};
 use jskernel::browser::trace::ApiCall;
 use jskernel::browser::value::JsValue;
-use jskernel::browser::task::{cb, worker_script};
 use jskernel::sim::time::{SimDuration, SimTime};
 use jskernel::DefenseKind;
 use proptest::prelude::*;

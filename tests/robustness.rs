@@ -72,12 +72,15 @@ fn attacker_rewriting_handlers_mid_run_gains_nothing() {
         // measuring a secret — redefinition still goes through the kernel
         // trap, and the replacement observes only kernel time.
         scope.set_worker_onmessage(w, cb(|_, _| {}));
-        scope.set_worker_onmessage(w, cb(|scope, _| {
-            let t0 = scope.performance_now();
-            scope.compute(SimDuration::from_millis(25));
-            let t1 = scope.performance_now();
-            scope.record("observed", JsValue::from(t1 - t0));
-        }));
+        scope.set_worker_onmessage(
+            w,
+            cb(|scope, _| {
+                let t0 = scope.performance_now();
+                scope.compute(SimDuration::from_millis(25));
+                let t1 = scope.performance_now();
+                scope.record("observed", JsValue::from(t1 - t0));
+            }),
+        );
     });
     b.run_until_idle();
     let v = b
@@ -97,19 +100,28 @@ fn message_loss_does_not_wedge_the_kernel_queue() {
         let w = scope.create_worker(
             "w.js",
             worker_script(|scope| {
-                scope.set_interval(2.0, cb(|scope, _| {
-                    scope.post_message(JsValue::from(1.0));
-                }));
+                scope.set_interval(
+                    2.0,
+                    cb(|scope, _| {
+                        scope.post_message(JsValue::from(1.0));
+                    }),
+                );
             }),
         );
         scope.set_worker_onmessage(w, cb(|_, _| {}));
-        scope.set_timeout(30.0, cb(move |scope, _| {
-            scope.terminate_worker(w);
-        }));
+        scope.set_timeout(
+            30.0,
+            cb(move |scope, _| {
+                scope.terminate_worker(w);
+            }),
+        );
         // Unrelated periodic work must keep running after the loss.
-        scope.set_timeout(120.0, cb(|scope, _| {
-            scope.record("alive_after", JsValue::from(true));
-        }));
+        scope.set_timeout(
+            120.0,
+            cb(|scope, _| {
+                scope.record("alive_after", JsValue::from(true));
+            }),
+        );
     });
     b.run_for(SimDuration::from_millis(400));
     assert_eq!(b.record_value("alive_after"), Some(&JsValue::from(true)));
@@ -125,12 +137,18 @@ fn navigation_mid_attack_does_not_wedge_the_kernel_queue() {
         }
         scope.fetch("https://attacker.example/x.bin", None, cb(|_, _| {}));
         // …navigates away, then schedules fresh work.
-        scope.set_timeout(25.0, cb(|scope, _| {
-            scope.navigate();
-            scope.set_timeout(10.0, cb(|scope, _| {
-                scope.record("post_nav", JsValue::from(true));
-            }));
-        }));
+        scope.set_timeout(
+            25.0,
+            cb(|scope, _| {
+                scope.navigate();
+                scope.set_timeout(
+                    10.0,
+                    cb(|scope, _| {
+                        scope.record("post_nav", JsValue::from(true));
+                    }),
+                );
+            }),
+        );
     });
     b.run_for(SimDuration::from_millis(400));
     assert_eq!(b.record_value("post_nav"), Some(&JsValue::from(true)));

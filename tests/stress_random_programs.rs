@@ -4,7 +4,7 @@
 //! records under legacy and JSKernel (backward compatibility, §V-B).
 
 use jskernel::browser::task::{cb, worker_script};
-use jskernel::browser::{Browser, JsValue};
+use jskernel::browser::JsValue;
 use jskernel::sim::time::SimDuration;
 use jskernel::DefenseKind;
 use proptest::prelude::*;
@@ -76,9 +76,12 @@ fn run_program(kind: DefenseKind, seed: u64, ops: &[Op]) -> (u64, bool) {
                     );
                     scope.set_worker_onmessage(w, beacon(&beacons));
                     let ping = f64::from(*ping);
-                    scope.set_timeout(ping, cb(move |scope, _| {
-                        scope.post_message_to_worker(w, JsValue::from(1.0));
-                    }));
+                    scope.set_timeout(
+                        ping,
+                        cb(move |scope, _| {
+                            scope.post_message_to_worker(w, JsValue::from(1.0));
+                        }),
+                    );
                 }
                 Op::Fetch => {
                     scope.fetch("https://attacker.example/r", None, beacon(&beacons));
@@ -88,9 +91,12 @@ fn run_program(kind: DefenseKind, seed: u64, ops: &[Op]) -> (u64, bool) {
                 }
                 Op::WorkerChurn => {
                     let w = scope.create_worker("churn.js", worker_script(|_| {}));
-                    scope.set_timeout(3.0, cb(move |scope, _| {
-                        scope.terminate_worker(w);
-                    }));
+                    scope.set_timeout(
+                        3.0,
+                        cb(move |scope, _| {
+                            scope.terminate_worker(w);
+                        }),
+                    );
                     *beacons.borrow_mut() += 1;
                     let n = *beacons.borrow();
                     scope.record("beacons", JsValue::from(n as f64));

@@ -1,0 +1,200 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the harness surface this workspace's benches use —
+//! `Criterion::bench_function`, `benchmark_group` (+ `sample_size`,
+//! `finish`), `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `criterion_group!`, `criterion_main!` — measuring with `std::time::Instant`
+//! and printing a compact `name: median time/iter over N samples` line
+//! instead of the real crate's statistical reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup allocations (accepted, not tuned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh batch every iteration.
+    PerIteration,
+}
+
+/// Runs closures and records wall-clock samples.
+pub struct Bencher {
+    samples: u32,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Bencher {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine` over several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then timed samples.
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.recorded.is_empty() {
+            return Duration::ZERO;
+        }
+        self.recorded.sort();
+        self.recorded[self.recorded.len() / 2]
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!(
+            "bench {}: {:?}/iter (median of {} samples)",
+            name.as_ref(),
+            b.median(),
+            self.sample_size
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u32);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        println!(
+            "bench {}/{}: {:?}/iter (median of {samples} samples)",
+            self.name,
+            name.as_ref(),
+            b.median()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,531 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small serialization framework under the `serde` name. It keeps
+//! the *derive-facing* surface the workspace actually uses — `#[derive(Serialize,
+//! Deserialize)]`, `#[serde(default)]`, `#[serde(rename_all = "snake_case")]` —
+//! but is built on a simple JSON-like [`Value`] data model rather than the
+//! full serde visitor architecture. `serde_json` in `vendor/serde_json`
+//! renders and parses that model.
+//!
+//! Encoding conventions match serde's externally-tagged defaults:
+//! structs are objects, newtype structs are their inner value, tuple structs
+//! are arrays, unit enum variants are strings, and data-carrying variants are
+//! single-key objects.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-like data model everything serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also unit and `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer.
+    I64(i64),
+    /// A non-negative integer, kept exact (no `f64` round-trip).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get_field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        self.as_obj()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// The standard "missing field" error.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can convert itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the input. `Option` fields
+    /// become `None` (matching serde); everything else errors.
+    fn from_missing_field(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self < 0 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let out = match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(n as $t),
+                    ref other => Err(DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"), other.type_name()))),
+                };
+                out
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(n) => Ok(n),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            ref other => Err(DeError::custom(format!(
+                "expected float, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::custom(format!(
+                "expected null, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+fn key_to_string<K: Serialize>(k: &K) -> String {
+    // JSON object keys must be strings; like serde_json, only keys whose
+    // serialized form is a string are supported.
+    match k.to_value() {
+        Value::Str(s) => s,
+        other => panic!(
+            "map key must serialize to a string, found {}",
+            other.type_name()
+        ),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    K::from_value(&Value::Str(s.to_string()))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize + std::hash::Hash + Eq, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic, as the simulation
+        // requires byte-identical output for identical state.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(pairs)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Sort elements so serialization is deterministic, as the simulation
+        // requires byte-identical output for identical state.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Arr(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Rc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_arr().ok_or_else(|| DeError::custom("expected array for tuple"))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!("expected tuple of {} elements, found {}", LEN, items.len())));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_is_none() {
+        assert_eq!(Option::<u32>::from_missing_field("x"), Ok(None));
+        assert!(u32::from_missing_field("x").is_err());
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v), Ok(u64::MAX));
+        let v = (-7i64).to_value();
+        assert_eq!(i64::from_value(&v), Ok(-7));
+    }
+
+    #[test]
+    fn maps_and_vecs_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2, 3]);
+        let v = m.to_value();
+        assert_eq!(BTreeMap::<String, Vec<u32>>::from_value(&v), Ok(m));
+    }
+}

@@ -1,0 +1,530 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! Value-based traits in the vendored `serde` crate, by parsing the raw token
+//! stream (the build environment has no `syn`/`quote`). Supported shapes are
+//! exactly what this workspace uses: non-generic structs (named, tuple,
+//! newtype, unit) and enums (unit, newtype, tuple, struct variants), with the
+//! container attributes `#[serde(default)]` and
+//! `#[serde(rename_all = "snake_case")]` and the field attribute
+//! `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    container_default: bool,
+    rename_all_snake: bool,
+    kind: Kind,
+}
+
+#[derive(Debug, Default)]
+struct SerdeAttrs {
+    default: bool,
+    rename_all_snake: bool,
+}
+
+/// Consumes leading `#[...]` attribute pairs from `toks` starting at `*i`,
+/// returning any `#[serde(...)]` settings found.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while *i + 1 < toks.len() {
+        let is_pound = matches!(&toks[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(&args.stream(), &mut out);
+                }
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+fn parse_serde_args(stream: &TokenStream, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        if let TokenTree::Ident(id) = &toks[j] {
+            match id.to_string().as_str() {
+                "default" => out.default = true,
+                "rename_all" => {
+                    // rename_all = "snake_case"
+                    if let Some(TokenTree::Literal(lit)) = toks.get(j + 2) {
+                        if lit.to_string().contains("snake_case") {
+                            out.rename_all_snake = true;
+                        } else {
+                            panic!("vendored serde_derive: unsupported rename_all {lit}");
+                        }
+                        j += 2;
+                    }
+                }
+                other => panic!("vendored serde_derive: unsupported serde attribute `{other}`"),
+            }
+        }
+        j += 1;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses the named fields of a brace-delimited body.
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "vendored serde_derive: expected field name, found {:?}",
+                toks[i].to_string()
+            );
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            default: attrs.default,
+        });
+        i += 1;
+        // Skip `: Type` up to the next top-level comma; commas inside
+        // parens/brackets are hidden by token groups, but generic arguments
+        // use bare `<`/`>` puncts, so track angle depth explicitly.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(toks.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') && angle == 0 {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _attrs = take_attrs(&toks, &mut i); // tolerates #[default], #[doc], …
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "vendored serde_derive: expected variant name, found {:?}",
+                toks[i].to_string()
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let data = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        variants.push(Variant { name, data });
+        // Skip to past the separating comma (also skips `= discr` forms).
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let keyword = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!(
+            "vendored serde_derive: expected struct/enum, found {:?}",
+            other.to_string()
+        ),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("vendored serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic types are not supported ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!(
+                "vendored serde_derive: unsupported struct body {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!(
+                "vendored serde_derive: unsupported enum body {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        container_default: attrs.default,
+        rename_all_snake: attrs.rename_all_snake,
+        kind,
+    }
+}
+
+/// serde's `rename_all = "snake_case"` rule: an underscore before every
+/// non-leading uppercase letter, then lowercase.
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() && i > 0 {
+            out.push('_');
+        }
+        out.push(c.to_ascii_lowercase());
+    }
+    out
+}
+
+fn wire_name(input: &Input, variant: &str) -> String {
+    if input.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn obj_literal(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return "serde::Value::Obj(::std::vec::Vec::new())".to_string();
+    }
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, expr)| format!("(::std::string::String::from(\"{k}\"), {expr})"))
+        .collect();
+    format!(
+        "serde::Value::Obj(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+/// Generates the match arm body deserializing named `fields` out of the
+/// object `src_expr` into constructor `ctor` (e.g. `Name` or `Name::Variant`).
+fn gen_named_de(ctor: &str, src_expr: &str, fields: &[Field], container_default: bool) -> String {
+    if container_default {
+        let mut body =
+            format!("{{ let mut __out: {ctor} = <{ctor} as ::std::default::Default>::default();\n");
+        for f in fields {
+            body.push_str(&format!(
+                "if let ::std::option::Option::Some(__x) = {src}.get_field(\"{n}\") {{ __out.{n} = serde::Deserialize::from_value(__x)?; }}\n",
+                src = src_expr,
+                n = f.name
+            ));
+        }
+        body.push_str("::std::result::Result::Ok(__out) }");
+        return body;
+    }
+    let mut inits = Vec::new();
+    for f in fields {
+        let fallback = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("serde::Deserialize::from_missing_field(\"{}\")?", f.name)
+        };
+        inits.push(format!(
+            "{n}: match {src}.get_field(\"{n}\") {{ ::std::option::Option::Some(__x) => serde::Deserialize::from_value(__x)?, ::std::option::Option::None => {fallback} }}",
+            n = f.name,
+            src = src_expr,
+        ));
+    }
+    format!(
+        "::std::result::Result::Ok({ctor} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.name.clone(),
+                        format!("serde::Serialize::to_value(&self.{})", f.name),
+                    )
+                })
+                .collect();
+            obj_literal(&pairs)
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "serde::Value::Arr(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let wire = wire_name(&input, &v.name);
+                let arm = match &v.data {
+                    VariantData::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(::std::string::String::from(\"{wire}\")),",
+                        v = v.name
+                    ),
+                    VariantData::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => {obj},",
+                        v = v.name,
+                        obj = obj_literal(&[(wire, "serde::Serialize::to_value(__f0)".to_string())])
+                    ),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        let arr = format!(
+                            "serde::Value::Arr(::std::vec::Vec::from([{}]))",
+                            items.join(", ")
+                        );
+                        format!(
+                            "{name}::{v}({binds}) => {obj},",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            obj = obj_literal(&[(wire, arr)])
+                        )
+                    }
+                    VariantData::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{n}: __b_{n}", n = f.name)).collect();
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| {
+                                (f.name.clone(), format!("serde::Serialize::to_value(__b_{})", f.name))
+                            })
+                            .collect();
+                        let inner = obj_literal(&pairs);
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {obj},",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            obj = obj_literal(&[(wire, inner)])
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+    );
+    out.parse()
+        .expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!(
+            "match __v {{ serde::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(serde::DeError::custom(\"expected null for unit struct {name}\")) }}"
+        ),
+        Kind::NamedStruct(fields) => {
+            let check = format!(
+                "if __v.as_obj().is_none() {{ return ::std::result::Result::Err(serde::DeError::custom(\"expected object for {name}\")); }}"
+            );
+            format!("{check}\n{}", gen_named_de(name, "__v", fields, input.container_default))
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_arr().ok_or_else(|| serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let wire = wire_name(&input, &v.name);
+                match &v.data {
+                    VariantData::Unit => unit_arms.push(format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(1) => data_arms.push(format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(__inner)?)),",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{wire}\" => {{\n\
+                             let __items = __inner.as_arr().ok_or_else(|| serde::DeError::custom(\"expected array for variant {wire}\"))?;\n\
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(serde::DeError::custom(\"wrong arity for variant {wire}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{v}({items}))\n}},",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        let ctor = format!("{name}::{v}", v = v.name);
+                        // Struct variants never use container-default.
+                        let mut inits = Vec::new();
+                        for f in fields {
+                            let fallback = if f.default {
+                                "::std::default::Default::default()".to_string()
+                            } else {
+                                format!("serde::Deserialize::from_missing_field(\"{}\")?", f.name)
+                            };
+                            inits.push(format!(
+                                "{n}: match __inner.get_field(\"{n}\") {{ ::std::option::Option::Some(__x) => serde::Deserialize::from_value(__x)?, ::std::option::Option::None => {fallback} }}",
+                                n = f.name
+                            ));
+                        }
+                        data_arms.push(format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({ctor} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{units}\n_ => ::std::result::Result::Err(serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __s))) }},\n\
+                 serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__k, __inner) = &__pairs[0];\n let _ = __inner;\n\
+                 match __k.as_str() {{\n{datas}\n_ => ::std::result::Result::Err(serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __k))) }}\n}},\n\
+                 _ => ::std::result::Result::Err(serde::DeError::custom(\"expected string or single-key object for enum {name}\"))\n}}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{ {body} }}\n}}"
+    );
+    out.parse()
+        .expect("vendored serde_derive: generated invalid Deserialize impl")
+}
