@@ -29,7 +29,11 @@ impl Secret {
 }
 
 /// A timing attack with an implicit clock.
-pub trait TimingAttack {
+///
+/// Attacks are `Send + Sync` so the bench harnesses can fan independent
+/// cells across a scoped thread pool (`jsk_bench::pool`); implementations
+/// are plain configuration structs, so the bounds cost nothing.
+pub trait TimingAttack: Send + Sync {
     /// Row label (matches Table I).
     fn name(&self) -> &'static str;
 
@@ -52,7 +56,10 @@ pub trait TimingAttack {
 }
 
 /// A CVE exploit script.
-pub trait CveExploit {
+///
+/// `Send + Sync` for the same reason as [`TimingAttack`]: exploit scripts
+/// are stateless and evaluated concurrently by the bench pool.
+pub trait CveExploit: Send + Sync {
     /// The vulnerability this exploits.
     fn cve(&self) -> Cve;
 
@@ -101,6 +108,20 @@ pub fn run_timing_attack(
     trials: usize,
     base_seed: u64,
 ) -> TimingAttackResult {
+    run_timing_attack_observed(attack, defense, trials, base_seed, &mut |_| {})
+}
+
+/// Like [`run_timing_attack`], but calls `observe` on every trial's browser
+/// after its measurement, so callers can harvest per-run state (kernel
+/// statistics, step counts) without changing the measured trajectory. The
+/// observer runs after `measure`, so it cannot perturb the verdict.
+pub fn run_timing_attack_observed(
+    attack: &dyn TimingAttack,
+    defense: DefenseKind,
+    trials: usize,
+    base_seed: u64,
+    observe: &mut dyn FnMut(&Browser),
+) -> TimingAttackResult {
     let mut a = Vec::with_capacity(trials);
     let mut b = Vec::with_capacity(trials);
     for t in 0..trials {
@@ -111,6 +132,7 @@ pub fn run_timing_attack(
             let mut browser = defense.build(seed);
             attack.prepare(&mut browser, secret);
             let m = attack.measure(&mut browser, secret);
+            observe(&browser);
             match secret {
                 Secret::A => a.push(m),
                 Secret::B => b.push(m),
@@ -155,6 +177,30 @@ pub fn run_cve_attack(
     seed: u64,
 ) -> CveAttackResult {
     run_cve_attack_with_faults(exploit, defense, seed, FaultPlan::default())
+}
+
+/// Like [`run_cve_attack`], but calls `observe` on the browser after the
+/// exploit has run (and before the oracle verdict is computed), so callers
+/// can harvest kernel statistics for throughput accounting.
+pub fn run_cve_attack_observed(
+    exploit: &dyn CveExploit,
+    defense: DefenseKind,
+    seed: u64,
+    observe: &mut dyn FnMut(&Browser),
+) -> CveAttackResult {
+    let mut cfg = defense.config(seed);
+    exploit.configure(&mut cfg);
+    let mut browser = Browser::new(cfg, defense.mediator());
+    exploit.run(&mut browser);
+    observe(&browser);
+    let report = oracle::scan(browser.trace());
+    let cve = exploit.cve();
+    CveAttackResult {
+        cve,
+        defense: defense.label().to_owned(),
+        triggered: report.is_triggered(cve),
+        witness: report.evidence(cve).map(|e| e.witness.clone()),
+    }
 }
 
 /// Runs a CVE exploit against a defense while the given fault plan perturbs

@@ -23,8 +23,8 @@ pub mod ticker;
 pub mod timer_attacks;
 
 pub use harness::{
-    run_cve_attack, run_timing_attack, CveAttackResult, CveExploit, Secret, TimingAttack,
-    TimingAttackResult,
+    run_cve_attack, run_cve_attack_observed, run_timing_attack, run_timing_attack_observed,
+    CveAttackResult, CveExploit, Secret, TimingAttack, TimingAttackResult,
 };
 pub use loopscan::Loopscan;
 pub use raf_attacks::{

@@ -9,12 +9,14 @@
 //! asynchronous events in a deterministic order. At present, JSKERNEL only
 //! defends against other web concurrency attacks on a case-by-case base").
 //!
-//! Run with `cargo bench -p jsk-bench --bench ablation`.
+//! Run with `cargo bench -p jsk-bench --bench ablation` (`JSK_JOBS=n` fans
+//! the attack × configuration cells across workers).
 
 use jsk_attacks::cve_exploits::all_exploits;
-use jsk_attacks::harness::{run_cve_attack, run_timing_attack, CveExploit, TimingAttack};
+use jsk_attacks::harness::{CveExploit, TimingAttack};
 use jsk_attacks::{CacheAttack, ClockEdge, SvgFiltering};
-use jsk_bench::{env_knob, verdict_cell, Report};
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{env_knob, pool, verdict_cell, Report};
 use jsk_browser::browser::Browser;
 use jsk_core::{config::KernelConfig, kernel::JsKernel};
 use jsk_defenses::registry::DefenseKind;
@@ -28,8 +30,58 @@ fn build(cfg: &KernelConfig, seed: u64, exploit: Option<&dyn CveExploit>) -> Bro
     Browser::new(bcfg, Box::new(JsKernel::new(cfg.clone())))
 }
 
+/// One ablation row.
+enum Row<'a> {
+    Timing(&'a dyn TimingAttack),
+    Cve(&'a dyn CveExploit),
+}
+
+impl Row<'_> {
+    fn name(&self) -> String {
+        match self {
+            Row::Timing(a) => a.name().to_owned(),
+            Row::Cve(e) => e.cve().id().to_owned(),
+        }
+    }
+}
+
+/// Evaluates one (row, config) cell; returns whether the config defends.
+fn run_cell(row: &Row<'_>, cfg: &KernelConfig, trials: usize, probe: &mut Probe) -> bool {
+    match row {
+        Row::Timing(attack) => {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for t in 0..trials {
+                for (secret, bucket) in [
+                    (jsk_attacks::Secret::A, &mut a),
+                    (jsk_attacks::Secret::B, &mut b),
+                ] {
+                    let seed =
+                        31 + t as u64 * 2 + u64::from(matches!(secret, jsk_attacks::Secret::B));
+                    let mut browser = build(cfg, seed, None);
+                    attack.prepare(&mut browser, secret);
+                    bucket.push(attack.measure(&mut browser, secret));
+                    probe.observe(&browser);
+                }
+            }
+            let verdict = jsk_sim::stats::distinguishable(&a, &b, attack.min_rel_gap());
+            !verdict.is_distinguishable()
+        }
+        Row::Cve(exploit) => {
+            let mut browser = build(cfg, 77, Some(*exploit));
+            exploit.run(&mut browser);
+            probe.observe(&browser);
+            let report = jsk_vuln::oracle::scan(browser.trace());
+            !report.is_triggered(exploit.cve())
+        }
+    }
+}
+
 fn main() {
     let trials = env_knob("JSK_TRIALS", 25).min(15);
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("ablation");
+    reporter.knob("JSK_TRIALS", trials);
     let configs: [(&str, KernelConfig); 3] = [
         ("full", KernelConfig::full()),
         ("timing-only", KernelConfig::timing_only()),
@@ -45,41 +97,31 @@ fn main() {
         Box::new(ClockEdge::default()),
         Box::new(SvgFiltering::default()),
     ];
-    for attack in &timing_attacks {
-        let mut cells = vec![attack.name().to_owned()];
-        for (_, cfg) in &configs {
-            // Run through the harness by substituting the mediator builder:
-            // evaluate manually with per-config browsers.
-            let mut a = Vec::new();
-            let mut b = Vec::new();
-            for t in 0..trials {
-                for (secret, bucket) in [
-                    (jsk_attacks::Secret::A, &mut a),
-                    (jsk_attacks::Secret::B, &mut b),
-                ] {
-                    let seed =
-                        31 + t as u64 * 2 + u64::from(matches!(secret, jsk_attacks::Secret::B));
-                    let mut browser = build(cfg, seed, None);
-                    attack.prepare(&mut browser, secret);
-                    bucket.push(attack.measure(&mut browser, secret));
-                }
-            }
-            let verdict = jsk_sim::stats::distinguishable(&a, &b, attack.min_rel_gap());
-            cells.push(verdict_cell(!verdict.is_distinguishable()));
-        }
-        report.row(cells);
-        eprintln!("  finished {}", attack.name());
-    }
+    let exploits = all_exploits();
+    let rows: Vec<Row<'_>> = timing_attacks
+        .iter()
+        .map(|a| Row::Timing(a.as_ref()))
+        .chain(exploits.iter().map(|e| Row::Cve(e.as_ref())))
+        .collect();
 
-    for exploit in all_exploits() {
-        let mut cells = vec![exploit.cve().id().to_owned()];
-        for (_, cfg) in &configs {
-            let mut browser = build(cfg, 77, Some(exploit.as_ref()));
-            exploit.run(&mut browser);
-            let report_v = jsk_vuln::oracle::scan(browser.trace());
-            cells.push(verdict_cell(!report_v.is_triggered(exploit.cve())));
+    let ncfg = configs.len();
+    let cells: Vec<(bool, Probe)> = pool::run_indexed(rows.len() * ncfg, jobs, |i| {
+        let (r, c) = (i / ncfg, i % ncfg);
+        let mut probe = Probe::default();
+        let defended = run_cell(&rows[r], &configs[c].1, trials, &mut probe);
+        eprintln!("  finished {} × {}", rows[r].name(), configs[c].0);
+        (defended, probe)
+    });
+
+    for (r, row) in rows.iter().enumerate() {
+        let mut text_cells = vec![row.name()];
+        for (c, (cfg_name, _)) in configs.iter().enumerate() {
+            let (defended, probe) = &cells[r * ncfg + c];
+            text_cells.push(verdict_cell(*defended));
+            reporter.cell(CellRecord::verdict(row.name(), *cfg_name, *defended));
+            reporter.absorb(probe);
         }
-        report.row(cells);
+        report.row(text_cells);
     }
     report.print();
     println!(
@@ -87,6 +129,5 @@ fn main() {
          (timing-only ✓, cve-only ✗); CVE rows need the policies (cve-only \
          ✓, timing-only mostly ✗); full defends everything."
     );
-    // Silence unused-import lint for the harness helpers used above.
-    let _ = (run_timing_attack, run_cve_attack);
+    reporter.finish().expect("write bench JSON");
 }

@@ -6,33 +6,70 @@
 //! 7/20, JSKernel in 4/20 — and JSKernel's differences are exclusively
 //! time-related (performance.now-paced animation speed), never breakage.
 //!
-//! Run with `cargo bench -p jsk-bench --bench codepen`.
+//! Run with `cargo bench -p jsk-bench --bench codepen` (`JSK_JOBS=n` fans
+//! the defense × app comparisons across workers).
 
-use jsk_bench::Report;
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{pool, Report};
 use jsk_defenses::registry::DefenseKind;
-use jsk_workloads::codepen::{observable_count, run_comparison};
+use jsk_workloads::codepen::{App, TOLERANCE};
 
 fn main() {
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("codepen");
     let baseline = DefenseKind::LegacyFirefox;
     let defenses = [
         (DefenseKind::Fuzzyfox, 13usize),
         (DefenseKind::DeterFox, 7),
         (DefenseKind::JsKernelFirefox, 4),
     ];
+    let apps = App::test_set();
+
+    // One work item per (defense, app): each comparison runs the app twice
+    // with the same seed (baseline and defended).
+    let napps = apps.len();
+    let comparisons: Vec<(bool, Probe)> = pool::run_indexed(defenses.len() * napps, jobs, |i| {
+        let (d, a) = (i / napps, i % napps);
+        let (kind, _) = defenses[d];
+        let app = &apps[a];
+        let seed = 0xC0DE + a as u64;
+        let mut probe = Probe::default();
+        let mut base_browser = baseline.build(seed);
+        let base = app.run(&mut base_browser);
+        probe.observe(&base_browser);
+        let mut def_browser = kind.build(seed);
+        let def = app.run(&mut def_browser);
+        probe.observe(&def_browser);
+        let observable = match (base, def) {
+            (Some(b), Some(d)) => {
+                let scale = b.abs().max(1e-9);
+                (d - b).abs() / scale > TOLERANCE
+            }
+            (None, None) => false,
+            _ => true, // one side produced nothing: hard breakage
+        };
+        (observable, probe)
+    });
+
     let mut report = Report::new(
         "API-specific compatibility — 20 CodePen-style apps (observable differences / paper)",
         &["Defense", "apps differing", "paper", "differing apps"],
     );
-    for (kind, paper) in defenses {
-        let rows = run_comparison(|seed| baseline.build(seed), |seed| kind.build(seed));
-        let differing: Vec<&str> = rows
-            .iter()
-            .filter(|r| r.observable_difference)
-            .map(|r| r.app.as_str())
-            .collect();
+    for (d, (kind, paper)) in defenses.iter().enumerate() {
+        let mut differing = Vec::new();
+        for (a, app) in apps.iter().enumerate() {
+            let (observable, probe) = &comparisons[d * napps + a];
+            reporter.absorb(probe);
+            // verdict = "no observable difference" — a flip in either
+            // direction is a behavioral change the regression gate catches.
+            reporter.cell(CellRecord::verdict(app.id(), kind.label(), !observable));
+            if *observable {
+                differing.push(app.id());
+            }
+        }
         report.row(vec![
             kind.label().to_owned(),
-            format!("{}/20", observable_count(&rows)),
+            format!("{}/20", differing.len()),
             format!("{paper}/20"),
             differing.join(", "),
         ]);
@@ -45,4 +82,5 @@ fn main() {
          disturbs most apps; DeterFox sits between. Functional apps (worker \
          compute) must be identical everywhere."
     );
+    reporter.finish().expect("write bench JSON");
 }

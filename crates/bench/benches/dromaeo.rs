@@ -3,23 +3,38 @@
 //!
 //! Paper: mean 1.99 %, median 0.30 %, worst case DOM-attribute 21.15 %.
 //!
-//! Run with `cargo bench -p jsk-bench --bench dromaeo`.
+//! Run with `cargo bench -p jsk-bench --bench dromaeo` (`JSK_JOBS=n` runs
+//! the three configurations' suites concurrently).
 
-use jsk_bench::Report;
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{pool, Report};
 use jsk_defenses::registry::DefenseKind;
 use jsk_sim::stats::percentile;
-use jsk_workloads::dromaeo::{overhead_percent, run_suite};
+use jsk_workloads::dromaeo::{overhead_percent, run_suite, DromaeoResult};
 
 fn main() {
-    let mut legacy = DefenseKind::LegacyChrome.build(0xD20);
-    let base = run_suite(&mut legacy);
-    let mut kernel = DefenseKind::JsKernel.build(0xD20);
-    let with_kernel = run_suite(&mut kernel);
-    let mut cz = DefenseKind::ChromeZero.build(0xD20);
-    let with_cz = run_suite(&mut cz);
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("dromaeo");
+    let configs = [
+        DefenseKind::LegacyChrome,
+        DefenseKind::JsKernel,
+        DefenseKind::ChromeZero,
+    ];
+    let suites: Vec<(Vec<DromaeoResult>, Probe)> = pool::run_indexed(configs.len(), jobs, |i| {
+        let mut browser = configs[i].build(0xD20);
+        let results = run_suite(&mut browser);
+        let mut probe = Probe::default();
+        probe.observe(&browser);
+        eprintln!("  finished {}", configs[i].label());
+        (results, probe)
+    });
+    let (base, with_kernel, with_cz) = (&suites[0].0, &suites[1].0, &suites[2].0);
+    for (_, probe) in &suites {
+        reporter.absorb(probe);
+    }
 
-    let k_overhead = overhead_percent(&base, &with_kernel);
-    let cz_overhead = overhead_percent(&base, &with_cz);
+    let k_overhead = overhead_percent(base, with_kernel);
+    let cz_overhead = overhead_percent(base, with_cz);
 
     let mut report = Report::new(
         "Dromaeo micro-benchmark (Chrome): per-test time and overhead",
@@ -39,6 +54,19 @@ fn main() {
             format!("{:+.2}%", k_overhead[i].1),
             format!("{:+.2}%", cz_overhead[i].1),
         ]);
+        reporter.cell(CellRecord::value(&b.test, "Chrome", b.ms, "ms"));
+        reporter.cell(CellRecord::value(
+            &b.test,
+            "JSKernel",
+            with_kernel[i].ms,
+            "ms",
+        ));
+        reporter.cell(CellRecord::value(
+            &b.test,
+            "JSK overhead",
+            k_overhead[i].1,
+            "%",
+        ));
     }
     report.print();
 
@@ -57,4 +85,7 @@ fn main() {
         "worst case: {} {:+.2}% (paper: DOM-attribute 21.15%)",
         worst.0, worst.1
     );
+    reporter.cell(CellRecord::value("summary", "mean overhead", mean, "%"));
+    reporter.cell(CellRecord::value("summary", "median overhead", median, "%"));
+    reporter.finish().expect("write bench JSON");
 }

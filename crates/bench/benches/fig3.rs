@@ -5,29 +5,32 @@
 //! observable overhead); DeterFox ≈ Firefox; Chrome Zero visibly slower
 //! than JSKernel-on-Chrome; Tor Browser and Fuzzyfox slowest.
 //!
-//! Run with `cargo bench -p jsk-bench --bench fig3` (`JSK_SITES=n`).
+//! Run with `cargo bench -p jsk-bench --bench fig3` (`JSK_SITES=n`;
+//! `JSK_JOBS=n` fans the configuration × site loads across workers —
+//! per-site seeds are fixed, so the CDF is schedule-invariant).
 
-use jsk_bench::{env_knob, Report};
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{env_knob, pool, Report};
 use jsk_defenses::registry::DefenseKind;
 use jsk_sim::stats::{percentile, Summary};
 use jsk_workloads::site::{load_result, load_site, SiteProfile};
 
-fn loading_times(kind: DefenseKind, sites: usize) -> Vec<f64> {
-    let mut times = Vec::with_capacity(sites);
-    for rank in 0..sites {
-        let profile = SiteProfile::generate(rank);
-        let mut browser = kind.build(0xF16_003 + rank as u64);
-        load_site(&mut browser, &profile);
-        let r = load_result(&browser, &profile).expect("site records load");
-        // Loading time: whichever lands later of onload and the hero
-        // element (modern sites keep loading after onload, §V-A3).
-        times.push(r.onload_ms.max(r.hero_ms));
-    }
-    times
+fn load_one(kind: DefenseKind, rank: usize, probe: &mut Probe) -> f64 {
+    let profile = SiteProfile::generate(rank);
+    let mut browser = kind.build(0xF16_003 + rank as u64);
+    load_site(&mut browser, &profile);
+    probe.observe(&browser);
+    let r = load_result(&browser, &profile).expect("site records load");
+    // Loading time: whichever lands later of onload and the hero
+    // element (modern sites keep loading after onload, §V-A3).
+    r.onload_ms.max(r.hero_ms)
 }
 
 fn main() {
     let sites = env_knob("JSK_SITES", 500);
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("fig3");
+    reporter.knob("JSK_SITES", sites);
     let configs = [
         DefenseKind::LegacyChrome,
         DefenseKind::JsKernel,
@@ -42,10 +45,35 @@ fn main() {
         format!("Figure 3 — CDF of loading time, top {sites} sites (ms at percentile)"),
         &["Config", "p10", "p25", "p50", "p75", "p90", "mean"],
     );
+
+    // One work item per (configuration, site): 8 × N fully independent
+    // loads, the finest useful grain for the pool.
+    let loads: Vec<(f64, Probe)> = pool::run_indexed(configs.len() * sites, jobs, |i| {
+        let (c, rank) = (i / sites, i % sites);
+        let mut probe = Probe::default();
+        let t = load_one(configs[c], rank, &mut probe);
+        (t, probe)
+    });
+
     let mut medians = Vec::new();
-    for kind in configs {
-        let times = loading_times(kind, sites);
+    for (c, kind) in configs.iter().enumerate() {
+        let mut times = Vec::with_capacity(sites);
+        for rank in 0..sites {
+            let (t, probe) = &loads[c * sites + rank];
+            times.push(*t);
+            reporter.absorb(probe);
+        }
         let s = Summary::of(&times);
+        for (name, v) in [
+            ("p10", percentile(&times, 10.0)),
+            ("p25", percentile(&times, 25.0)),
+            ("p50", percentile(&times, 50.0)),
+            ("p75", percentile(&times, 75.0)),
+            ("p90", percentile(&times, 90.0)),
+            ("mean", s.mean),
+        ] {
+            reporter.cell(CellRecord::value(kind.label(), name, v, "ms"));
+        }
         report.row(vec![
             kind.label().to_owned(),
             format!("{:.0}", percentile(&times, 10.0)),
@@ -83,4 +111,5 @@ fn main() {
         "  Tor Browser vs Firefox: {:+.1}%  (paper: Tor much slower)",
         (get("Tor Browser") / get("Firefox") - 1.0) * 100.0
     );
+    reporter.finish().expect("write bench JSON");
 }

@@ -1,0 +1,114 @@
+//! The CI regression gate: diffs the fresh `BENCH_<target>.json` runs
+//! against the committed `bench_results/baseline.json` and exits non-zero
+//! on any defense-matrix verdict flip or throughput regression beyond the
+//! tolerance.
+//!
+//! * `cargo bench -p jsk-bench --bench regress` — check fresh runs against
+//!   the baseline (run the other bench targets first).
+//! * `JSK_REGRESS_WRITE=1 cargo bench -p jsk-bench --bench regress` —
+//!   regenerate the baseline from the fresh runs instead of checking.
+//! * `JSK_REGRESS_TOL=n` — throughput/value tolerance in percent
+//!   (default 25; CI uses a wider band because wall-clock throughput is
+//!   machine-dependent).
+
+use jsk_bench::record::{out_root, run_path, BenchRun, SCHEMA_VERSION};
+use jsk_bench::regress::{compare_runs, tolerance_pct, Baseline, ALL_TARGETS};
+use std::path::Path;
+
+fn read_run(path: &Path) -> Result<BenchRun, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn write_baseline(root: &Path) {
+    let mut baseline = Baseline::new();
+    for target in ALL_TARGETS {
+        let path = run_path(root, target);
+        match read_run(&path) {
+            Ok(run) => {
+                baseline.targets.insert(target.to_owned(), run);
+            }
+            Err(e) => eprintln!("warning: leaving `{target}` out of the baseline: {e}"),
+        }
+    }
+    let path = root.join("bench_results").join("baseline.json");
+    std::fs::create_dir_all(root.join("bench_results")).expect("create bench_results/");
+    let mut json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    json.push('\n');
+    std::fs::write(&path, json).expect("write baseline");
+    println!(
+        "wrote {} target(s) to {}",
+        baseline.targets.len(),
+        path.display()
+    );
+}
+
+fn main() {
+    let root = out_root();
+    if std::env::var("JSK_REGRESS_WRITE").is_ok_and(|v| v == "1") {
+        write_baseline(&root);
+        return;
+    }
+
+    let baseline_path = root.join("bench_results").join("baseline.json");
+    let baseline: Baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        }),
+        Err(e) => {
+            eprintln!(
+                "no baseline at {} ({e}); run the bench targets, then \
+                 JSK_REGRESS_WRITE=1 cargo bench -p jsk-bench --bench regress",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    if baseline.schema != SCHEMA_VERSION {
+        eprintln!(
+            "baseline schema {} != current {}; regenerate it",
+            baseline.schema, SCHEMA_VERSION
+        );
+        std::process::exit(1);
+    }
+
+    let tol = tolerance_pct();
+    println!(
+        "regression gate: {} baseline target(s), tolerance {tol:.0}%\n",
+        baseline.targets.len()
+    );
+    let mut fatal = 0usize;
+    let mut notes = 0usize;
+    for (target, base) in &baseline.targets {
+        let fresh = match read_run(&run_path(&root, target)) {
+            Ok(run) => run,
+            Err(e) => {
+                println!("[FAIL] {target}: fresh run missing — {e}");
+                fatal += 1;
+                continue;
+            }
+        };
+        let findings = compare_runs(base, &fresh, tol);
+        if findings.is_empty() {
+            println!(
+                "[ok]   {target}: {} cells ({} verdicts) match; throughput within {tol:.0}%",
+                base.record.cells.len(),
+                base.record.verdict_count()
+            );
+        }
+        for finding in findings {
+            println!("{finding}");
+            if finding.fatal {
+                fatal += 1;
+            } else {
+                notes += 1;
+            }
+        }
+    }
+    println!("\nregression gate: {fatal} failure(s), {notes} note(s)");
+    if fatal > 0 {
+        std::process::exit(1);
+    }
+}

@@ -4,12 +4,18 @@
 //! reconstructed from its prose (see DESIGN.md §4).
 //!
 //! Run with `cargo bench -p jsk-bench --bench table1`
-//! (`JSK_TRIALS=n` controls trials per secret; default 25).
+//! (`JSK_TRIALS=n` controls trials per secret, default 25; `JSK_JOBS=n`
+//! fans the 176 independent cells across worker threads — per-cell seeds
+//! are fixed, so the output is bit-identical to a serial run).
 
-use jsk_attacks::harness::{run_cve_attack, run_timing_attack};
+use jsk_attacks::harness::{
+    run_cve_attack_observed, run_timing_attack_observed, CveExploit, TimingAttack,
+};
 use jsk_attacks::{all_timing_attacks, cve_exploits::all_exploits};
-use jsk_bench::{env_knob, verdict_cell, Report};
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{env_knob, pool, verdict_cell, Report};
 use jsk_defenses::registry::DefenseKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The paper's expected cell (true = defends), reconstructed from §IV prose
 /// per (attack row, defense column).
@@ -67,8 +73,33 @@ fn is_timing(row: &str) -> bool {
     !row.starts_with("CVE-")
 }
 
+/// One Table I row: a timing attack or a CVE exploit.
+enum Row<'a> {
+    Timing(&'a dyn TimingAttack),
+    Cve(&'a dyn CveExploit),
+}
+
+impl Row<'_> {
+    fn name(&self) -> String {
+        match self {
+            Row::Timing(a) => a.name().to_owned(),
+            Row::Cve(e) => e.cve().id().to_owned(),
+        }
+    }
+
+    fn display_label(&self) -> String {
+        match self {
+            Row::Timing(a) => format!("{} [{}]", a.name(), a.clock()),
+            Row::Cve(e) => e.cve().id().to_owned(),
+        }
+    }
+}
+
 fn main() {
     let trials = env_knob("JSK_TRIALS", 25);
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("table1");
+    reporter.knob("JSK_TRIALS", trials);
     let columns = DefenseKind::table1_columns();
     let mut headers: Vec<&str> = vec!["Attack"];
     let labels: Vec<String> = columns.iter().map(|c| c.label().to_owned()).collect();
@@ -78,35 +109,53 @@ fn main() {
         &headers,
     );
 
-    for attack in all_timing_attacks() {
-        let mut cells = vec![format!("{} [{}]", attack.name(), attack.clock())];
-        for &col in &columns {
-            let result = run_timing_attack(attack.as_ref(), col, trials, 0xA77AC4);
-            let defended = result.defended();
-            let marker = match paper_expectation(attack.name(), col) {
-                Some(expected) if expected != defended => " [≠]",
-                _ => "",
-            };
-            cells.push(format!("{}{marker}", verdict_cell(defended)));
-        }
-        report.row(cells);
-        eprintln!("  finished {}", attack.name());
-    }
+    let attacks = all_timing_attacks();
+    let exploits = all_exploits();
+    let rows: Vec<Row<'_>> = attacks
+        .iter()
+        .map(|a| Row::Timing(a.as_ref()))
+        .chain(exploits.iter().map(|e| Row::Cve(e.as_ref())))
+        .collect();
 
-    for exploit in all_exploits() {
-        let row_name = exploit.cve().id().to_owned();
-        let mut cells = vec![row_name.clone()];
-        for &col in &columns {
-            let result = run_cve_attack(exploit.as_ref(), col, 0xC0FFEE);
-            let defended = result.defended();
-            let marker = match paper_expectation(&row_name, col) {
-                Some(expected) if expected != defended => " [≠]",
+    // Fan the 22×8 independent cells across the pool: each cell's seeds
+    // depend only on its coordinates, so the matrix is schedule-invariant.
+    let ncols = columns.len();
+    let total = rows.len() * ncols;
+    let done = AtomicUsize::new(0);
+    let cells: Vec<(bool, Probe)> = pool::run_indexed(total, jobs, |i| {
+        let (r, c) = (i / ncols, i % ncols);
+        let col = columns[c];
+        let mut probe = Probe::default();
+        let defended = match rows[r] {
+            Row::Timing(attack) => {
+                run_timing_attack_observed(attack, col, trials, 0xA77AC4, &mut |b| {
+                    probe.observe(b);
+                })
+                .defended()
+            }
+            Row::Cve(exploit) => {
+                run_cve_attack_observed(exploit, col, 0xC0FFEE, &mut |b| probe.observe(b))
+                    .defended()
+            }
+        };
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("  [{n}/{total}] {} × {}", rows[r].name(), col.label());
+        (defended, probe)
+    });
+
+    for (r, row) in rows.iter().enumerate() {
+        let mut text_cells = vec![row.display_label()];
+        for (c, &col) in columns.iter().enumerate() {
+            let (defended, probe) = &cells[r * ncols + c];
+            let marker = match paper_expectation(&row.name(), col) {
+                Some(expected) if expected != *defended => " [≠]",
                 _ => "",
             };
-            cells.push(format!("{}{marker}", verdict_cell(defended)));
+            text_cells.push(format!("{}{marker}", verdict_cell(*defended)));
+            reporter.cell(CellRecord::verdict(row.name(), col.label(), *defended));
+            reporter.absorb(probe);
         }
-        report.row(cells);
-        eprintln!("  finished {row_name}");
+        report.row(text_cells);
     }
 
     report.print();
@@ -117,4 +166,5 @@ fn main() {
          Tor none; Chrome Zero only the worker-parallelism CVEs via its \
          polyfill. Cells marked [≠] deviate — see EXPERIMENTS.md."
     );
+    reporter.finish().expect("write bench JSON");
 }

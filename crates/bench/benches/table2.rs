@@ -1,11 +1,14 @@
 //! Table II — averaged measured times under the SVG-filtering attack
 //! (low/high resolution) and Loopscan (google/youtube), per defense.
 //!
-//! Run with `cargo bench -p jsk-bench --bench table2`.
+//! Run with `cargo bench -p jsk-bench --bench table2` (`JSK_JOBS=n` fans
+//! the per-defense columns across workers; fixed seeds keep the output
+//! bit-identical to a serial run).
 
-use jsk_attacks::harness::run_timing_attack;
+use jsk_attacks::harness::run_timing_attack_observed;
 use jsk_attacks::{Loopscan, SvgFiltering};
-use jsk_bench::{env_knob, Report};
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{env_knob, pool, Report};
 use jsk_defenses::registry::DefenseKind;
 
 /// Table II's published cells: (defense, svg low, svg high, loopscan
@@ -22,6 +25,9 @@ const PAPER: [(&str, f64, f64, f64, f64); 7] = [
 
 fn main() {
     let trials = env_knob("JSK_TRIALS", 25);
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("table2");
+    reporter.knob("JSK_TRIALS", trials);
     let columns = [
         DefenseKind::LegacyChrome,
         DefenseKind::LegacyFirefox,
@@ -42,11 +48,37 @@ fn main() {
         ],
     );
 
-    for col in columns {
-        let svg = run_timing_attack(&SvgFiltering::default(), col, trials, 0x7AB1E2);
-        let loop_r = run_timing_attack(&Loopscan::default(), col, trials.min(12), 0x7AB1E3);
+    let measured: Vec<([f64; 4], Probe)> = pool::run_indexed(columns.len(), jobs, |i| {
+        let col = columns[i];
+        let mut probe = Probe::default();
+        let svg =
+            run_timing_attack_observed(&SvgFiltering::default(), col, trials, 0x7AB1E2, &mut |b| {
+                probe.observe(b);
+            });
+        let loop_r = run_timing_attack_observed(
+            &Loopscan::default(),
+            col,
+            trials.min(12),
+            0x7AB1E3,
+            &mut |b| probe.observe(b),
+        );
         let (svg_low, svg_high) = svg.summaries();
         let (ls_google, ls_youtube) = loop_r.summaries();
+        eprintln!("  finished {}", col.label());
+        (
+            [svg_low.mean, svg_high.mean, ls_google.mean, ls_youtube.mean],
+            probe,
+        )
+    });
+
+    const TARGETS: [&str; 4] = [
+        "SVG low-res",
+        "SVG high-res",
+        "Loopscan google",
+        "Loopscan youtube",
+    ];
+    for (i, col) in columns.iter().enumerate() {
+        let (means, probe) = &measured[i];
         let paper = PAPER
             .iter()
             .find(|p| p.0 == col.label())
@@ -54,12 +86,15 @@ fn main() {
             .unwrap_or((col.label(), f64::NAN, f64::NAN, f64::NAN, f64::NAN));
         report.row(vec![
             col.label().to_owned(),
-            format!("{:.2} / {:.2}", svg_low.mean, paper.1),
-            format!("{:.2} / {:.2}", svg_high.mean, paper.2),
-            format!("{:.2} / {:.1}", ls_google.mean, paper.3),
-            format!("{:.2} / {:.1}", ls_youtube.mean, paper.4),
+            format!("{:.2} / {:.2}", means[0], paper.1),
+            format!("{:.2} / {:.2}", means[1], paper.2),
+            format!("{:.2} / {:.1}", means[2], paper.3),
+            format!("{:.2} / {:.1}", means[3], paper.4),
         ]);
-        eprintln!("  finished {}", col.label());
+        for (t, target) in TARGETS.iter().enumerate() {
+            reporter.cell(CellRecord::value(*target, col.label(), means[t], "ms"));
+        }
+        reporter.absorb(probe);
     }
     report.print();
     println!(
@@ -67,4 +102,5 @@ fn main() {
          google/youtube; JSKernel's cells are constants, equal across \
          secrets. Known deviations are recorded in EXPERIMENTS.md."
     );
+    reporter.finish().expect("write bench JSON");
 }

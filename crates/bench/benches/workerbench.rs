@@ -1,26 +1,37 @@
 //! §V-A1 — the worker-creation benchmark: 16 workers, 5 repeats, with and
 //! without JSKernel. Paper: ~0.9 % average overhead.
 //!
-//! Run with `cargo bench -p jsk-bench --bench workerbench`.
+//! Run with `cargo bench -p jsk-bench --bench workerbench` (`JSK_JOBS=n`
+//! fans the configuration × repeat runs across workers).
 
-use jsk_bench::Report;
+use jsk_bench::record::{BenchReporter, CellRecord, Probe};
+use jsk_bench::{pool, Report};
 use jsk_defenses::registry::DefenseKind;
 use jsk_sim::stats::Summary;
 use jsk_workloads::workerbench::run;
 
-fn times(kind: DefenseKind, repeats: usize) -> Vec<f64> {
-    (0..repeats)
-        .map(|i| {
-            let mut b = kind.build(0xB0B + i as u64);
-            run(&mut b, 16).total_ms
-        })
-        .collect()
-}
-
 fn main() {
     let repeats = 5;
-    let legacy = times(DefenseKind::LegacyChrome, repeats);
-    let kernel = times(DefenseKind::JsKernel, repeats);
+    let jobs = pool::jobs();
+    let mut reporter = BenchReporter::new("workerbench");
+    let configs = [DefenseKind::LegacyChrome, DefenseKind::JsKernel];
+
+    // One work item per (configuration, repeat).
+    let runs: Vec<(f64, Probe)> = pool::run_indexed(configs.len() * repeats, jobs, |i| {
+        let (c, r) = (i / repeats, i % repeats);
+        let mut browser = configs[c].build(0xB0B + r as u64);
+        let total = run(&mut browser, 16).total_ms;
+        let mut probe = Probe::default();
+        probe.observe(&browser);
+        (total, probe)
+    });
+    let series = |c: usize| -> Vec<f64> { (0..repeats).map(|r| runs[c * repeats + r].0).collect() };
+    for (_, probe) in &runs {
+        reporter.absorb(probe);
+    }
+
+    let legacy = series(0);
+    let kernel = series(1);
     let sl = Summary::of(&legacy);
     let sk = Summary::of(&kernel);
 
@@ -42,4 +53,8 @@ fn main() {
 
     let overhead = (sk.mean / sl.mean - 1.0) * 100.0;
     println!("\nJSKernel worker-creation overhead: {overhead:+.2}% (paper: 0.9%)");
+    reporter.cell(CellRecord::value("16 workers", "Chrome", sl.mean, "ms"));
+    reporter.cell(CellRecord::value("16 workers", "JSKernel", sk.mean, "ms"));
+    reporter.cell(CellRecord::value("16 workers", "overhead", overhead, "%"));
+    reporter.finish().expect("write bench JSON");
 }

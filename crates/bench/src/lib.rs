@@ -7,18 +7,50 @@
 //!
 //! Environment knobs: `JSK_TRIALS` (timing-attack trials per secret,
 //! default 25), `JSK_SITES` (Figure 3 site count, default 500),
-//! `JSK_COMPAT_SITES` (compatibility check population, default 100).
+//! `JSK_COMPAT_SITES` (compatibility check population, default 100),
+//! `JSK_JOBS` (bench worker threads, default: available parallelism),
+//! `JSK_REGRESS_TOL` (regression-gate tolerance in percent, default 25),
+//! `JSK_BENCH_OUT` (output root override for the JSON artifacts).
+//!
+//! Shared runtime: [`pool`] fans deterministic trials across worker
+//! threads, [`record`] emits the machine-readable `BENCH_<target>.json`
+//! perf artifacts, and [`regress`] gates fresh runs against the committed
+//! `bench_results/baseline.json`.
 
 use std::fmt::Write as _;
 
+pub mod pool;
+pub mod record;
+pub mod regress;
+
 /// Reads a positive integer knob from the environment.
+///
+/// An unset variable silently yields `default`; a present-but-invalid one
+/// (unparsable, zero, negative) yields `default` **with a one-line warning
+/// on stderr**, so `JSK_TRIALS=abc` can no longer masquerade as a
+/// deliberate configuration.
 #[must_use]
 pub fn env_knob(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => parse_knob(name, &raw, default),
+    }
+}
+
+/// The parse/fallback half of [`env_knob`], split out so the fallback
+/// paths are unit-testable without mutating the process environment.
+#[must_use]
+pub fn parse_knob(name: &str, raw: &str, default: usize) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v > 0 => v,
+        _ => {
+            eprintln!(
+                "warning: ignoring {name}={raw:?} (expected a positive \
+                 integer); using default {default}"
+            );
+            default
+        }
+    }
 }
 
 /// A printable table with a title, column headers, and string rows.
@@ -129,6 +161,37 @@ mod tests {
     #[test]
     fn knobs_parse_and_default() {
         assert_eq!(env_knob("JSK_DOES_NOT_EXIST", 7), 7);
+    }
+
+    #[test]
+    fn knob_parses_valid_values() {
+        assert_eq!(parse_knob("JSK_X", "12", 7), 12);
+        assert_eq!(parse_knob("JSK_X", " 3 ", 7), 3, "whitespace tolerated");
+    }
+
+    #[test]
+    fn knob_falls_back_on_garbage() {
+        assert_eq!(parse_knob("JSK_X", "abc", 7), 7);
+        assert_eq!(parse_knob("JSK_X", "", 7), 7);
+        assert_eq!(parse_knob("JSK_X", "12.5", 7), 7);
+    }
+
+    #[test]
+    fn knob_rejects_non_positive() {
+        assert_eq!(parse_knob("JSK_X", "0", 7), 7);
+        assert_eq!(parse_knob("JSK_X", "-3", 7), 7);
+    }
+
+    #[test]
+    fn env_knob_reads_set_variables() {
+        // Unique variable names per assertion: the test harness runs
+        // tests concurrently and the environment is process-global.
+        std::env::set_var("JSK_TEST_KNOB_VALID", "9");
+        assert_eq!(env_knob("JSK_TEST_KNOB_VALID", 7), 9);
+        std::env::set_var("JSK_TEST_KNOB_BAD", "abc");
+        assert_eq!(env_knob("JSK_TEST_KNOB_BAD", 7), 7);
+        std::env::set_var("JSK_TEST_KNOB_ZERO", "0");
+        assert_eq!(env_knob("JSK_TEST_KNOB_ZERO", 7), 7);
     }
 
     #[test]

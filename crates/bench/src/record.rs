@@ -1,0 +1,405 @@
+//! Machine-readable bench records.
+//!
+//! Every harness feeds a [`BenchReporter`] alongside its human-readable
+//! [`Report`](crate::Report) text. On [`BenchReporter::finish`] two JSON
+//! files are written:
+//!
+//! * `bench_results/<target>.json` — the **deterministic** [`BenchRecord`]
+//!   only (per-cell verdicts/values, merged kernel statistics, simulated
+//!   step counts). This file is byte-identical across `JSK_JOBS` settings
+//!   and across machines; the determinism test asserts it.
+//! * `BENCH_<target>.json` at the repository top level — the full
+//!   [`BenchRun`]: the record merged with the run's [`RunMeta`]
+//!   (wall-clock, worker count, simulated events/sec throughput). This is
+//!   the perf-trajectory artifact CI uploads and the regression checker
+//!   consumes.
+//!
+//! Output lands under the repository root regardless of the working
+//! directory (`cargo bench` runs harnesses from the package root);
+//! `JSK_BENCH_OUT` overrides the root for sandboxed runs.
+
+use jsk_browser::browser::Browser;
+use jsk_core::stats::StatsSnapshot;
+use jsk_core::JsKernel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Current schema version of all bench JSON files.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One cell of a bench table: a row/column coordinate with a defense
+/// verdict and/or a measured value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Row label (attack, site, test …).
+    pub row: String,
+    /// Column label (defense, configuration …).
+    pub column: String,
+    /// Defense verdict, when the cell is a ✓/✗ matrix cell
+    /// (`true` = defends).
+    #[serde(default)]
+    pub verdict: Option<bool>,
+    /// Measured value, when the cell is a magnitude.
+    #[serde(default)]
+    pub value: Option<f64>,
+    /// Unit of `value` (`ms`, `%`, `steps` …).
+    #[serde(default)]
+    pub unit: Option<String>,
+}
+
+impl CellRecord {
+    /// A verdict-only matrix cell.
+    #[must_use]
+    pub fn verdict(row: impl Into<String>, column: impl Into<String>, defended: bool) -> Self {
+        CellRecord {
+            row: row.into(),
+            column: column.into(),
+            verdict: Some(defended),
+            value: None,
+            unit: None,
+        }
+    }
+
+    /// A measured-value cell.
+    #[must_use]
+    pub fn value(
+        row: impl Into<String>,
+        column: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+    ) -> Self {
+        CellRecord {
+            row: row.into(),
+            column: column.into(),
+            verdict: None,
+            value: Some(value),
+            unit: Some(unit.into()),
+        }
+    }
+
+    /// Coordinate key used by the regression checker.
+    #[must_use]
+    pub fn key(&self) -> (String, String) {
+        (self.row.clone(), self.column.clone())
+    }
+}
+
+/// Per-run observation harvested from simulated browsers: event-loop step
+/// counts (every browser) and kernel statistics (browsers with a JSKernel
+/// mediator installed). Probes are collected per work item inside pool
+/// workers and merged in index order, so the totals are deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Probe {
+    /// Browsers observed.
+    pub browsers: u64,
+    /// Total event-loop steps across observed browsers.
+    pub steps: u64,
+    /// Merged kernel statistics (zero for kernel-less configurations).
+    pub stats: StatsSnapshot,
+}
+
+impl Probe {
+    /// Harvests one browser's post-run state.
+    pub fn observe(&mut self, browser: &Browser) {
+        self.browsers += 1;
+        self.steps += browser.steps();
+        if let Some(kernel) = browser.mediator_as::<JsKernel>() {
+            self.stats.merge(&kernel.stats().snapshot());
+        }
+    }
+
+    /// Accumulates another probe.
+    pub fn merge(&mut self, other: &Probe) {
+        self.browsers += other.browsers;
+        self.steps += other.steps;
+        self.stats.merge(&other.stats);
+    }
+}
+
+/// The deterministic portion of a bench run: identical across `JSK_JOBS`
+/// settings and machines for fixed knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Schema version.
+    pub schema: u32,
+    /// Bench target name (`table1`, `fig3` …).
+    pub target: String,
+    /// The knobs the run was produced with (`JSK_TRIALS` …). Runs with
+    /// different knobs are not comparable; the regression checker skips
+    /// them.
+    pub knobs: BTreeMap<String, usize>,
+    /// Per-cell verdicts and values.
+    pub cells: Vec<CellRecord>,
+    /// Merged observation over all instrumented browsers.
+    pub probe: Probe,
+}
+
+impl BenchRecord {
+    /// Number of verdict cells.
+    #[must_use]
+    pub fn verdict_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.verdict.is_some()).count()
+    }
+}
+
+/// Environment-dependent metadata of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Worker threads used (`JSK_JOBS`).
+    pub jobs: usize,
+    /// Wall-clock duration of the harness, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated event-loop steps per wall-clock second (all browsers).
+    pub steps_per_sec: f64,
+    /// Simulated kernel events per wall-clock second (derived from
+    /// [`StatsSnapshot::total_events`]; 0 when no kernel ran).
+    pub kernel_events_per_sec: f64,
+}
+
+/// A full bench run: deterministic record + run metadata. This is the
+/// shape of `BENCH_<target>.json` and of each entry in
+/// `bench_results/baseline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// The deterministic record.
+    pub record: BenchRecord,
+    /// The environment-dependent metadata.
+    pub meta: RunMeta,
+}
+
+/// Resolves the repository root for bench output: `JSK_BENCH_OUT` when
+/// set, else two levels above this crate's manifest.
+#[must_use]
+pub fn out_root() -> PathBuf {
+    std::env::var_os("JSK_BENCH_OUT").map_or_else(
+        || Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(".."),
+        PathBuf::from,
+    )
+}
+
+/// Path of the deterministic record for `target`.
+#[must_use]
+pub fn record_path(root: &Path, target: &str) -> PathBuf {
+    root.join("bench_results").join(format!("{target}.json"))
+}
+
+/// Path of the merged run artifact for `target`.
+#[must_use]
+pub fn run_path(root: &Path, target: &str) -> PathBuf {
+    root.join(format!("BENCH_{target}.json"))
+}
+
+/// Collects cells and probes for one bench target and writes the JSON
+/// artifacts on [`finish`](BenchReporter::finish).
+#[derive(Debug)]
+pub struct BenchReporter {
+    record: BenchRecord,
+    jobs: usize,
+    start: Instant,
+}
+
+impl BenchReporter {
+    /// Starts a reporter for `target`; the wall clock starts here, so
+    /// construct it before the first trial.
+    #[must_use]
+    pub fn new(target: impl Into<String>) -> BenchReporter {
+        BenchReporter {
+            record: BenchRecord {
+                schema: SCHEMA_VERSION,
+                target: target.into(),
+                knobs: BTreeMap::new(),
+                cells: Vec::new(),
+                probe: Probe::default(),
+            },
+            jobs: crate::pool::jobs(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records a knob the run was produced with.
+    pub fn knob(&mut self, name: impl Into<String>, value: usize) -> &mut Self {
+        self.record.knobs.insert(name.into(), value);
+        self
+    }
+
+    /// Overrides the recorded worker count (for tests pinning `jobs`).
+    pub fn set_jobs(&mut self, jobs: usize) -> &mut Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Appends a cell.
+    pub fn cell(&mut self, cell: CellRecord) -> &mut Self {
+        self.record.cells.push(cell);
+        self
+    }
+
+    /// Merges a probe harvested from one work item.
+    pub fn absorb(&mut self, probe: &Probe) -> &mut Self {
+        self.record.probe.merge(probe);
+        self
+    }
+
+    /// Finalizes the run without writing files (used by tests).
+    #[must_use]
+    pub fn into_run(self) -> BenchRun {
+        let wall = self.start.elapsed();
+        let wall_secs = wall.as_secs_f64();
+        let steps_per_sec = if wall_secs > 0.0 {
+            self.record.probe.steps as f64 / wall_secs
+        } else {
+            0.0
+        };
+        let kernel_events_per_sec = self.record.probe.stats.events_per_sec(wall_secs);
+        BenchRun {
+            record: self.record,
+            meta: RunMeta {
+                jobs: self.jobs,
+                wall_ms: wall_secs * 1e3,
+                steps_per_sec,
+                kernel_events_per_sec,
+            },
+        }
+    }
+
+    /// Finalizes the run, writes `bench_results/<target>.json` and
+    /// `BENCH_<target>.json` under [`out_root`], and prints where they
+    /// went plus a one-line throughput summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating `bench_results/` or
+    /// writing either file.
+    pub fn finish(self) -> io::Result<BenchRun> {
+        let run = self.into_run();
+        let root = out_root();
+        std::fs::create_dir_all(root.join("bench_results"))?;
+        let rec_path = record_path(&root, &run.record.target);
+        let run_p = run_path(&root, &run.record.target);
+        // Stable pretty JSON with a trailing newline: byte-identical
+        // across jobs settings for the record file.
+        let to_json = |v: String| {
+            let mut s = v;
+            s.push('\n');
+            s
+        };
+        let rec_json = serde_json::to_string_pretty(&run.record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&rec_path, to_json(rec_json))?;
+        let run_json = serde_json::to_string_pretty(&run)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&run_p, to_json(run_json))?;
+        println!(
+            "\n[bench-json] {} cells={} verdicts={} jobs={} wall={:.0}ms \
+             sim-steps/s={:.0} kernel-events/s={:.0}",
+            run.record.target,
+            run.record.cells.len(),
+            run.record.verdict_count(),
+            run.meta.jobs,
+            run.meta.wall_ms,
+            run.meta.steps_per_sec,
+            run.meta.kernel_events_per_sec,
+        );
+        println!(
+            "[bench-json] wrote {} and {}",
+            rec_path.display(),
+            run_p.display()
+        );
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_roundtrip_and_key() {
+        let v = CellRecord::verdict("Loopscan", "JSKernel", true);
+        assert_eq!(v.key(), ("Loopscan".to_owned(), "JSKernel".to_owned()));
+        let m = CellRecord::value("amazon", "Chrome", 107.2, "ms");
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CellRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn probe_merges() {
+        let mut a = Probe {
+            browsers: 1,
+            steps: 10,
+            ..Probe::default()
+        };
+        let b = Probe {
+            browsers: 2,
+            steps: 5,
+            ..Probe::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.browsers, 3);
+        assert_eq!(a.steps, 15);
+    }
+
+    #[test]
+    fn reporter_builds_deterministic_record() {
+        let mut r = BenchReporter::new("unit");
+        r.knob("JSK_TRIALS", 3).set_jobs(4);
+        r.cell(CellRecord::verdict("row", "col", false));
+        r.absorb(&Probe {
+            browsers: 1,
+            steps: 100,
+            ..Probe::default()
+        });
+        let run = r.into_run();
+        assert_eq!(run.record.target, "unit");
+        assert_eq!(run.record.knobs["JSK_TRIALS"], 3);
+        assert_eq!(run.meta.jobs, 4);
+        assert_eq!(run.record.verdict_count(), 1);
+        assert_eq!(run.record.probe.steps, 100);
+        let json = serde_json::to_string(&run).unwrap();
+        let back: BenchRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(run, back);
+    }
+
+    #[test]
+    fn probe_observes_kernel_stats() {
+        use jsk_defenses::registry::DefenseKind;
+        let mut browser = DefenseKind::JsKernel.build(7);
+        browser.boot(|scope| {
+            scope.set_timeout(1.0, jsk_browser::task::cb(|_, _| {}));
+        });
+        browser.run_until_idle();
+        let mut probe = Probe::default();
+        probe.observe(&browser);
+        assert_eq!(probe.browsers, 1);
+        assert!(probe.steps > 0);
+        assert!(probe.stats.total_events() > 0, "{:?}", probe.stats);
+
+        // A legacy browser contributes steps but no kernel stats.
+        let mut legacy = DefenseKind::LegacyChrome.build(7);
+        legacy.boot(|scope| {
+            scope.set_timeout(1.0, jsk_browser::task::cb(|_, _| {}));
+        });
+        legacy.run_until_idle();
+        let mut lp = Probe::default();
+        lp.observe(&legacy);
+        assert!(lp.steps > 0);
+        assert_eq!(lp.stats.total_events(), 0);
+    }
+
+    #[test]
+    fn paths_are_rooted() {
+        let root = Path::new("/tmp/x");
+        assert_eq!(
+            record_path(root, "table1"),
+            Path::new("/tmp/x/bench_results/table1.json")
+        );
+        assert_eq!(
+            run_path(root, "table1"),
+            Path::new("/tmp/x/BENCH_table1.json")
+        );
+    }
+}

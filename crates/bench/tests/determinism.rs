@@ -1,0 +1,86 @@
+//! Parallelism must not change results: a bench cell evaluated with
+//! `JSK_JOBS=1` and `JSK_JOBS=8` must produce identical [`BenchRecord`]s —
+//! same verdicts, same kernel-stat counters, byte-identical JSON. This is
+//! the contract that lets the JSON artifacts double as regression
+//! baselines regardless of the machine's core count.
+
+use jsk_attacks::harness::run_timing_attack_observed;
+use jsk_attacks::{all_timing_attacks, CacheAttack};
+use jsk_bench::pool;
+use jsk_bench::record::{BenchRecord, BenchReporter, CellRecord, Probe};
+use jsk_defenses::registry::DefenseKind;
+
+const COLUMNS: [DefenseKind; 3] = [
+    DefenseKind::LegacyChrome,
+    DefenseKind::JsKernel,
+    DefenseKind::DeterFox,
+];
+
+/// Builds a miniature table1-style record with the given worker count,
+/// exactly the way the bench targets do it: fan cells through the pool,
+/// then assemble in index order.
+fn build_record(jobs: usize, trials: usize) -> BenchRecord {
+    let mut reporter = BenchReporter::new("determinism-test");
+    reporter.knob("JSK_TRIALS", trials).set_jobs(jobs);
+    let cells: Vec<(bool, Probe)> = pool::run_indexed(COLUMNS.len(), jobs, |i| {
+        let mut probe = Probe::default();
+        let result =
+            run_timing_attack_observed(&CacheAttack, COLUMNS[i], trials, 0xA77AC4, &mut |b| {
+                probe.observe(b);
+            });
+        (result.defended(), probe)
+    });
+    for (i, (defended, probe)) in cells.iter().enumerate() {
+        reporter.cell(CellRecord::verdict(
+            "Cache Attack",
+            COLUMNS[i].label(),
+            *defended,
+        ));
+        reporter.absorb(probe);
+    }
+    reporter.into_run().record
+}
+
+#[test]
+fn parallel_record_is_bit_identical_to_serial() {
+    let serial = build_record(1, 3);
+    let parallel = build_record(8, 3);
+    assert_eq!(
+        serial, parallel,
+        "JSK_JOBS=8 must reproduce JSK_JOBS=1 exactly"
+    );
+    // The deterministic record file must match byte-for-byte.
+    let a = serde_json::to_string_pretty(&serial).unwrap();
+    let b = serde_json::to_string_pretty(&parallel).unwrap();
+    assert_eq!(a, b);
+    // And it must actually contain work: verdicts and kernel counters.
+    assert_eq!(serial.verdict_count(), COLUMNS.len());
+    assert!(serial.probe.steps > 0);
+    assert!(
+        serial.probe.stats.total_events() > 0,
+        "the JSKernel column must contribute kernel stats: {:?}",
+        serial.probe.stats
+    );
+}
+
+#[test]
+fn repeated_serial_runs_are_stable() {
+    // Guards the premise of the whole scheme: the simulation itself is
+    // deterministic for fixed seeds, independent of wall-clock.
+    assert_eq!(build_record(1, 2), build_record(1, 2));
+}
+
+#[test]
+fn timing_attack_results_identical_under_pool() {
+    // The full attack-result payload (both sample vectors), not just the
+    // verdict, must be schedule-invariant.
+    let attacks = all_timing_attacks();
+    let attack = attacks.first().expect("suite non-empty").as_ref();
+    let serial = pool::run_indexed(COLUMNS.len(), 1, |i| {
+        run_timing_attack_observed(attack, COLUMNS[i], 2, 7, &mut |_| {})
+    });
+    let parallel = pool::run_indexed(COLUMNS.len(), 8, |i| {
+        run_timing_attack_observed(attack, COLUMNS[i], 2, 7, &mut |_| {})
+    });
+    assert_eq!(serial, parallel);
+}

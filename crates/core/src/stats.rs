@@ -75,6 +75,76 @@ impl KernelStats {
     }
 }
 
+/// A flat, mergeable summary of [`KernelStats`] sized for throughput
+/// accounting: the bench reporter sums one snapshot per simulated browser
+/// and divides by wall-clock time to get simulated kernel events per
+/// second. Unlike the full stats, the per-rule denial map is collapsed to
+/// a single counter so snapshots merge in O(1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Asynchronous events registered.
+    pub registered: u64,
+    /// Events confirmed by their raw trigger.
+    pub confirmed: u64,
+    /// Events dispatched to user space.
+    pub dispatched: u64,
+    /// Events cancelled before dispatch.
+    pub cancelled: u64,
+    /// Intercepted API calls.
+    pub api_calls: u64,
+    /// Total denials across all rules.
+    pub denials: u64,
+    /// Kernel-space overlay messages processed.
+    pub kernel_messages: u64,
+}
+
+impl StatsSnapshot {
+    /// Total simulated kernel events: everything the kernel had to look at
+    /// (registrations, intercepted API calls, overlay messages). This is
+    /// the numerator of the events/sec throughput metric.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.registered + self.api_calls + self.kernel_messages
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.registered += other.registered;
+        self.confirmed += other.confirmed;
+        self.dispatched += other.dispatched;
+        self.cancelled += other.cancelled;
+        self.api_calls += other.api_calls;
+        self.denials += other.denials;
+        self.kernel_messages += other.kernel_messages;
+    }
+
+    /// Simulated kernel events per wall-clock second (0 when the wall time
+    /// is not positive).
+    #[must_use]
+    pub fn events_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_events() as f64 / wall_secs
+    }
+}
+
+impl KernelStats {
+    /// Collapses the counters into a mergeable [`StatsSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            registered: self.registered,
+            confirmed: self.confirmed,
+            dispatched: self.dispatched,
+            cancelled: self.cancelled,
+            api_calls: self.api_calls,
+            denials: self.total_denials(),
+            kernel_messages: self.kernel_messages,
+        }
+    }
+}
+
 impl std::fmt::Display for KernelStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -139,6 +209,35 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("5 registered"));
         assert!(text.contains("1 denials"));
+    }
+
+    #[test]
+    fn snapshot_collapses_and_merges() {
+        let mut s = KernelStats::new();
+        s.registered = 4;
+        s.api_calls = 10;
+        s.kernel_messages = 6;
+        s.record_denial("a");
+        s.record_denial("b");
+        let snap = s.snapshot();
+        assert_eq!(snap.denials, 2);
+        assert_eq!(snap.total_events(), 20);
+        let mut acc = StatsSnapshot::default();
+        acc.merge(&snap);
+        acc.merge(&snap);
+        assert_eq!(acc.total_events(), 40);
+        assert_eq!(acc.denials, 4);
+    }
+
+    #[test]
+    fn snapshot_throughput() {
+        let snap = StatsSnapshot {
+            registered: 500,
+            ..StatsSnapshot::default()
+        };
+        assert!((snap.events_per_sec(2.0) - 250.0).abs() < 1e-9);
+        assert_eq!(snap.events_per_sec(0.0), 0.0);
+        assert_eq!(snap.events_per_sec(-1.0), 0.0);
     }
 
     #[test]

@@ -47,9 +47,23 @@ pub fn compare_site(
     baseline: impl Fn() -> Box<dyn Mediator>,
     defended: impl Fn() -> Box<dyn Mediator>,
 ) -> CompatRow {
-    let visit = |seed: u64, m: Box<dyn Mediator>| {
+    compare_site_observed(profile, cfg, baseline, defended, &mut |_| {})
+}
+
+/// Like [`compare_site`], but calls `observe` on each of the three visit
+/// browsers (two undefended, one defended) after its load completes, so
+/// callers can harvest kernel statistics for throughput accounting.
+pub fn compare_site_observed(
+    profile: &SiteProfile,
+    cfg: impl Fn(u64) -> BrowserConfig,
+    baseline: impl Fn() -> Box<dyn Mediator>,
+    defended: impl Fn() -> Box<dyn Mediator>,
+    observe: &mut dyn FnMut(&Browser),
+) -> CompatRow {
+    let mut visit = |seed: u64, m: Box<dyn Mediator>| {
         let mut b = Browser::new(cfg(seed), m);
         load_site(&mut b, profile);
+        observe(&b);
         b
     };
     // Two visits with different seeds model two real visits (dynamic

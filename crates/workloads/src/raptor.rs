@@ -31,13 +31,26 @@ pub struct RaptorRow {
 pub fn run_subtest(
     site: &str,
     repeats: usize,
+    make_browser: impl FnMut(u64) -> Browser,
+) -> RaptorRow {
+    run_subtest_observed(site, repeats, make_browser, &mut |_| {})
+}
+
+/// Like [`run_subtest`], but calls `observe` on every loaded browser so
+/// callers can harvest per-run kernel statistics (the first, skipped load
+/// is observed too — its work is still simulated work).
+pub fn run_subtest_observed(
+    site: &str,
+    repeats: usize,
     mut make_browser: impl FnMut(u64) -> Browser,
+    observe: &mut dyn FnMut(&Browser),
 ) -> RaptorRow {
     let profile = SiteProfile::named(site);
     let mut times = Vec::new();
     for i in 0..repeats {
         let mut browser = make_browser(1_000 + i as u64);
         load_site(&mut browser, &profile);
+        observe(&browser);
         let hero = load_result(&browser, &profile)
             .expect("site load records hero time")
             .hero_ms;
