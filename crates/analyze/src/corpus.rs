@@ -1,0 +1,179 @@
+//! The analysis corpus: the twelve CVE exploit programs plus the Listing 1
+//! implicit-clock attack, each runnable in two modes:
+//!
+//! * **raw** — the undefended browser (legacy mediator). The analyzer must
+//!   flag every program here: at least one race or attack signature.
+//! * **kernel** — a [`JsKernel`] running a given policy (typically
+//!   `policies/policy_deterministic.json`). The serialized dispatcher's
+//!   chain and comm edges order everything the programs contend on, so the
+//!   race detector must come back empty.
+
+use crate::report::{analyze, AnalysisReport};
+use jsk_attacks::cve_exploits::all_exploits;
+use jsk_browser::browser::{Browser, BrowserConfig};
+use jsk_browser::mediator::{LegacyMediator, Mediator};
+use jsk_browser::profile::BrowserProfile;
+use jsk_browser::task::{cb, worker_script};
+use jsk_browser::trace::Trace;
+use jsk_browser::value::JsValue;
+use jsk_core::policy::PolicySpec;
+use jsk_core::{JsKernel, KernelConfig};
+use jsk_sim::time::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The Listing 1 program's corpus name.
+pub const LISTING1: &str = "listing-1";
+
+/// How a corpus program is scheduled and mediated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusMode {
+    /// Undefended: legacy mediator, raw scheduling.
+    Raw,
+    /// A kernel running exactly this policy.
+    Kernel(PolicySpec),
+}
+
+/// All corpus program names: the twelve CVE ids (Table I order) plus
+/// [`LISTING1`].
+#[must_use]
+pub fn program_names() -> Vec<String> {
+    all_exploits()
+        .iter()
+        .map(|e| e.cve().id().to_owned())
+        .chain(std::iter::once(LISTING1.to_owned()))
+        .collect()
+}
+
+/// The kernel configuration hosting one policy: the policy's scheduling
+/// component (when present) drives the deterministic dispatcher; without
+/// one the kernel only enforces the policy's API rules.
+#[must_use]
+pub fn kernel_config_for(spec: &PolicySpec) -> KernelConfig {
+    let mut cfg = KernelConfig::timing_only();
+    match spec.scheduling {
+        Some(prediction) => {
+            cfg.prediction = prediction;
+            cfg.deterministic = true;
+        }
+        None => cfg.deterministic = false,
+    }
+    cfg.policies = vec![spec.clone()];
+    cfg
+}
+
+fn mediator_for(mode: &CorpusMode) -> Box<dyn Mediator> {
+    match mode {
+        CorpusMode::Raw => Box::new(LegacyMediator),
+        CorpusMode::Kernel(spec) => Box::new(JsKernel::new(kernel_config_for(spec))),
+    }
+}
+
+/// Runs one corpus program and returns its trace.
+///
+/// # Panics
+///
+/// Panics when `name` is not one of [`program_names`].
+#[must_use]
+pub fn run_program_trace(name: &str, mode: &CorpusMode, seed: u64) -> Trace {
+    if name == LISTING1 {
+        return listing1_trace(mode, seed);
+    }
+    let exploit = all_exploits()
+        .into_iter()
+        .find(|e| e.cve().id() == name)
+        .unwrap_or_else(|| panic!("unknown corpus program `{name}`"));
+    let mut cfg = BrowserConfig::new(BrowserProfile::chrome(), seed);
+    exploit.configure(&mut cfg);
+    let mut browser = Browser::new(cfg, mediator_for(mode));
+    exploit.run(&mut browser);
+    browser.trace().clone()
+}
+
+/// Runs one corpus program through the full analyzer.
+///
+/// # Panics
+///
+/// Panics when `name` is not one of [`program_names`].
+#[must_use]
+pub fn run_program(name: &str, mode: &CorpusMode, seed: u64) -> AnalysisReport {
+    analyze(&run_program_trace(name, mode, seed))
+}
+
+/// The Listing 1 attack (worker `postMessage` ticker bracketing a
+/// secret-dependent SVG filter), same shape as
+/// `examples/implicit_clock_attack.rs`.
+fn listing1_trace(mode: &CorpusMode, seed: u64) -> Trace {
+    let secret_px = 2048 * 2048;
+    let mut browser = Browser::new(
+        BrowserConfig::new(BrowserProfile::chrome(), seed),
+        mediator_for(mode),
+    );
+    browser.boot(move |scope| {
+        let worker = scope.create_worker(
+            "worker.js",
+            worker_script(|scope| {
+                scope.set_interval(
+                    1.0,
+                    cb(|scope, _| {
+                        scope.post_message(JsValue::from(1.0));
+                    }),
+                );
+            }),
+        );
+        let count = Rc::new(RefCell::new(0u64));
+        let counter = count.clone();
+        scope.set_worker_onmessage(
+            worker,
+            cb(move |_, _| {
+                *counter.borrow_mut() += 1;
+            }),
+        );
+        scope.set_timeout(
+            60.0,
+            cb(move |scope, _| {
+                let count = count.clone();
+                scope.request_animation_frame(cb(move |scope, _| {
+                    let before = *count.borrow();
+                    scope.apply_svg_filter(secret_px);
+                    let count = count.clone();
+                    scope.request_animation_frame(cb(move |scope, _| {
+                        let ticks = *count.borrow() - before;
+                        scope.record("ticks", JsValue::from(ticks as f64));
+                    }));
+                }));
+            }),
+        );
+    });
+    browser.run_for(SimDuration::from_millis(400));
+    browser.trace().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::PatternKind;
+
+    #[test]
+    fn corpus_has_thirteen_programs() {
+        let names = program_names();
+        assert_eq!(names.len(), 13);
+        assert!(names.contains(&"CVE-2018-5092".to_owned()));
+        assert_eq!(names.last().map(String::as_str), Some(LISTING1));
+    }
+
+    #[test]
+    fn listing1_raw_run_shows_the_ticker() {
+        let report = run_program(LISTING1, &CorpusMode::Raw, 1);
+        assert!(report
+            .patterns
+            .iter()
+            .any(|p| p.kind == PatternKind::ImplicitClockTicker));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown corpus program")]
+    fn unknown_program_panics() {
+        let _ = run_program_trace("CVE-0000-0000", &CorpusMode::Raw, 1);
+    }
+}

@@ -1,0 +1,623 @@
+//! The policy linter.
+//!
+//! Static checks over [`PolicySpec`]s, catching rules that cannot do what
+//! their author intended before the policy ever reaches a kernel:
+//!
+//! * **shadowed rules** — the engine takes the first matching non-allow
+//!   rule, so a rule preceded by a more general one on the same selector is
+//!   dead code;
+//! * **unmatchable conditions** — a condition constraining a fact the
+//!   kernel's classifier never populates for that selector can never fire
+//!   (the rule references an event shape the kernel never emits);
+//! * **no-op allows** — the engine skips `allow` rules entirely, so they
+//!   have no effect in any position;
+//! * **incomplete CVE coverage** — a `policy_cve-*` policy whose rules
+//!   never intercept the racy pair of its CVE cannot totally order it;
+//! * **defer livelock** — an *unconditional* `defer_termination` re-defers
+//!   every teardown forever; without the kernel watchdog to write off the
+//!   held obligations this livelocks the event queue.
+
+use jsk_core::policy::spec::{ApiSelector, Condition, PolicyAction, PolicyRule, PolicySpec};
+use jsk_sim::time::SimDuration;
+use serde::Serialize;
+use std::mem::discriminant;
+
+/// Lint severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum LintLevel {
+    /// Suspicious but possibly intentional (e.g. redundancy across
+    /// independently deployable policies).
+    Warning,
+    /// The rule cannot work as written.
+    Error,
+}
+
+/// What the linter found.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum LintKind {
+    /// An earlier rule on the same selector matches a superset of this
+    /// rule's condition and takes a *different* action — this rule is dead.
+    ShadowedRule {
+        /// The rule that always wins.
+        winner: String,
+    },
+    /// As above but the earlier rule (in another policy) takes the same
+    /// kind of action — benign redundancy between standalone policies.
+    RedundantAcrossPolicies {
+        /// The rule that always wins.
+        winner: String,
+    },
+    /// The condition constrains a fact the classifier never populates for
+    /// this selector, with a value the default can never take.
+    UnmatchableCondition {
+        /// The offending condition field.
+        field: String,
+    },
+    /// The condition constrains an unpopulated fact with its default value
+    /// — always true, so the constraint does nothing.
+    VacuousCondition {
+        /// The offending condition field.
+        field: String,
+    },
+    /// `allow` rules are skipped by the engine; this rule has no effect.
+    NoOpAllow,
+    /// A per-CVE policy without a single interception rule on its CVE's
+    /// racy pair.
+    IncompleteCoverage {
+        /// The CVE left uncovered.
+        cve: String,
+        /// The selectors that would cover it.
+        expected: Vec<ApiSelector>,
+    },
+    /// An unconditional `defer_termination` defers every teardown again and
+    /// again; only the watchdog can break the cycle.
+    DeferLivelock,
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PolicyLint {
+    /// The policy the finding is in.
+    pub policy: String,
+    /// The rule, when the finding is rule-level.
+    pub rule: Option<String>,
+    /// Severity.
+    pub level: LintLevel,
+    /// What was found.
+    pub kind: LintKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// All condition fields by name, for reflection-style iteration.
+fn condition_fields(c: &Condition) -> [(&'static str, Option<bool>); 14] {
+    [
+        ("from_worker", c.from_worker),
+        ("cross_origin", c.cross_origin),
+        ("sandboxed", c.sandboxed),
+        ("worker_closing", c.worker_closing),
+        ("assigns_worker_handler", c.assigns_worker_handler),
+        ("during_dispatch", c.during_dispatch),
+        ("has_live_transfers", c.has_live_transfers),
+        ("has_pending_fetches", c.has_pending_fetches),
+        ("owner_alive", c.owner_alive),
+        ("to_doc_freed", c.to_doc_freed),
+        ("private_mode", c.private_mode),
+        ("persist", c.persist),
+        ("leaks_cross_origin", c.leaks_cross_origin),
+        ("has_pending_worker_messages", c.has_pending_worker_messages),
+    ]
+}
+
+/// The condition fields `jsk_core::policy::engine::classify` actually
+/// populates per selector. Everything else keeps its default (`owner_alive`
+/// is `true`, all other facts `false`).
+fn populated_fields(sel: ApiSelector) -> &'static [&'static str] {
+    match sel {
+        ApiSelector::CreateWorker => &["sandboxed"],
+        ApiSelector::TerminateWorker => &[
+            "during_dispatch",
+            "has_live_transfers",
+            "has_pending_fetches",
+        ],
+        ApiSelector::PostMessage => &["from_worker", "to_doc_freed"],
+        ApiSelector::SetOnMessage => &["assigns_worker_handler", "worker_closing"],
+        ApiSelector::Fetch => &["from_worker"],
+        ApiSelector::DeliverAbort => &["owner_alive", "from_worker"],
+        ApiSelector::XhrSend | ApiSelector::ImportScripts => &["from_worker", "cross_origin"],
+        ApiSelector::ErrorEvent => &["leaks_cross_origin"],
+        ApiSelector::IdbOpen => &["private_mode", "persist"],
+        ApiSelector::Navigate | ApiSelector::BufferAccess => &[],
+        ApiSelector::CloseDocument => &["has_pending_worker_messages"],
+    }
+}
+
+/// The default a fact keeps when the classifier does not populate it.
+fn default_fact(field: &str) -> bool {
+    field == "owner_alive"
+}
+
+/// The selector(s) that intercept each CVE's racy pair — the calls a
+/// per-CVE policy must order (or block) to close its race. Keyed by the
+/// `NNNN-NNNN` tail of the policy name.
+fn racy_pair_selectors(cve_tail: &str) -> Option<&'static [ApiSelector]> {
+    Some(match cve_tail {
+        "2018-5092" => &[ApiSelector::TerminateWorker, ApiSelector::DeliverAbort],
+        "2017-7843" => &[ApiSelector::IdbOpen],
+        "2015-7215" | "2014-1487" => &[ApiSelector::ErrorEvent],
+        "2014-3194" => &[ApiSelector::PostMessage, ApiSelector::Navigate],
+        "2014-1719" | "2014-1488" => &[ApiSelector::TerminateWorker],
+        "2013-6646" => &[ApiSelector::CloseDocument, ApiSelector::PostMessage],
+        "2013-5602" => &[ApiSelector::SetOnMessage],
+        "2013-1714" => &[ApiSelector::XhrSend],
+        "2011-1190" => &[ApiSelector::CreateWorker],
+        "2010-4576" => &[ApiSelector::Navigate],
+        _ => return None,
+    })
+}
+
+/// Whether any call matching `specific` also matches `general` — i.e.
+/// `general`'s constraints are a subset of `specific`'s.
+fn condition_implies(general: &Condition, specific: &Condition) -> bool {
+    condition_fields(general)
+        .iter()
+        .zip(condition_fields(specific).iter())
+        .all(|((_, g), (_, s))| g.is_none() || g == s)
+}
+
+fn is_unconditional_defer(rule: &PolicyRule) -> bool {
+    rule.action == PolicyAction::DeferTermination && rule.when == Condition::default()
+}
+
+fn rule_lints(policy: &str, rule: &PolicyRule, out: &mut Vec<PolicyLint>) {
+    let populated = populated_fields(rule.on);
+    for (field, constraint) in condition_fields(&rule.when) {
+        let Some(value) = constraint else { continue };
+        if populated.contains(&field) {
+            continue;
+        }
+        let (level, kind, message) = if value == default_fact(field) {
+            (
+                LintLevel::Warning,
+                LintKind::VacuousCondition {
+                    field: field.to_owned(),
+                },
+                format!(
+                    "`{field}` is never populated for `{:?}` and defaults to \
+                     {value}; the constraint is always true",
+                    rule.on
+                ),
+            )
+        } else {
+            (
+                LintLevel::Error,
+                LintKind::UnmatchableCondition {
+                    field: field.to_owned(),
+                },
+                format!(
+                    "the kernel never emits `{:?}` events with `{field}` = \
+                     {value}; this rule can never fire",
+                    rule.on
+                ),
+            )
+        };
+        out.push(PolicyLint {
+            policy: policy.to_owned(),
+            rule: Some(rule.id.clone()),
+            level,
+            kind,
+            message,
+        });
+    }
+    if rule.action == PolicyAction::Allow {
+        out.push(PolicyLint {
+            policy: policy.to_owned(),
+            rule: Some(rule.id.clone()),
+            level: LintLevel::Warning,
+            kind: LintKind::NoOpAllow,
+            message: "the engine skips `allow` rules; this rule has no effect".to_owned(),
+        });
+    }
+}
+
+/// Shadowing between two rules in the flattened match order. `cross_policy`
+/// softens same-action-kind duplicates to a warning: standalone per-CVE
+/// policies intentionally repeat shared cleanup rules.
+fn shadow_lint(
+    policy: &str,
+    earlier: &PolicyRule,
+    later: &PolicyRule,
+    cross_policy: bool,
+) -> Option<PolicyLint> {
+    if earlier.on != later.on
+        || earlier.action == PolicyAction::Allow
+        || later.action == PolicyAction::Allow
+        || !condition_implies(&earlier.when, &later.when)
+    {
+        return None;
+    }
+    let same_action_kind = discriminant(&earlier.action) == discriminant(&later.action);
+    let (level, kind) = if cross_policy && same_action_kind {
+        (
+            LintLevel::Warning,
+            LintKind::RedundantAcrossPolicies {
+                winner: earlier.id.clone(),
+            },
+        )
+    } else {
+        (
+            LintLevel::Error,
+            LintKind::ShadowedRule {
+                winner: earlier.id.clone(),
+            },
+        )
+    };
+    Some(PolicyLint {
+        policy: policy.to_owned(),
+        rule: Some(later.id.clone()),
+        level,
+        kind,
+        message: format!(
+            "rule `{}` can never fire: `{}` matches first on every call it matches",
+            later.id, earlier.id
+        ),
+    })
+}
+
+fn coverage_lint(spec: &PolicySpec, out: &mut Vec<PolicyLint>) {
+    let Some(tail) = spec.name.strip_prefix("policy_cve-") else {
+        return;
+    };
+    let Some(expected) = racy_pair_selectors(tail) else {
+        return;
+    };
+    let covered = spec
+        .rules
+        .iter()
+        .any(|r| r.action != PolicyAction::Allow && expected.contains(&r.on));
+    if !covered {
+        out.push(PolicyLint {
+            policy: spec.name.clone(),
+            rule: None,
+            level: LintLevel::Error,
+            kind: LintKind::IncompleteCoverage {
+                cve: format!("CVE-{tail}"),
+                expected: expected.to_vec(),
+            },
+            message: format!(
+                "no rule intercepts the racy pair of CVE-{tail} \
+                 (expected a rule on one of {expected:?}); the policy \
+                 cannot totally order it"
+            ),
+        });
+    }
+}
+
+fn defer_lint(
+    policy: &str,
+    rule: &PolicyRule,
+    watchdog_hold: Option<SimDuration>,
+) -> Option<PolicyLint> {
+    if !is_unconditional_defer(rule) {
+        return None;
+    }
+    let watchdog_active = watchdog_hold.is_some_and(|h| h > SimDuration::ZERO);
+    let (level, tail) = if watchdog_active {
+        (
+            LintLevel::Warning,
+            "only the kernel watchdog breaks the cycle",
+        )
+    } else {
+        (
+            LintLevel::Error,
+            "with no watchdog hold configured the event queue livelocks",
+        )
+    };
+    Some(PolicyLint {
+        policy: policy.to_owned(),
+        rule: Some(rule.id.clone()),
+        level,
+        kind: LintKind::DeferLivelock,
+        message: format!("unconditional defer_termination re-defers every teardown; {tail}"),
+    })
+}
+
+/// Lints one policy in isolation. The defer-livelock check assumes no
+/// watchdog context (worst case); use [`lint_policy_set`] to lint against a
+/// kernel configuration.
+#[must_use]
+pub fn lint_policy(spec: &PolicySpec) -> Vec<PolicyLint> {
+    let mut out = Vec::new();
+    for (i, rule) in spec.rules.iter().enumerate() {
+        rule_lints(&spec.name, rule, &mut out);
+        for earlier in &spec.rules[..i] {
+            if let Some(l) = shadow_lint(&spec.name, earlier, rule, false) {
+                out.push(l);
+            }
+        }
+        if let Some(l) = defer_lint(&spec.name, rule, None) {
+            out.push(l);
+        }
+    }
+    coverage_lint(spec, &mut out);
+    out
+}
+
+/// Lints a policy set in its install (match) order, the way a kernel would
+/// run it: per-policy lints, cross-policy shadowing, and the defer-livelock
+/// check against the kernel's actual `watchdog_hold`.
+#[must_use]
+pub fn lint_policy_set(
+    specs: &[PolicySpec],
+    watchdog_hold: Option<SimDuration>,
+) -> Vec<PolicyLint> {
+    let mut out = Vec::new();
+    for (pi, spec) in specs.iter().enumerate() {
+        for (ri, rule) in spec.rules.iter().enumerate() {
+            rule_lints(&spec.name, rule, &mut out);
+            for earlier in &spec.rules[..ri] {
+                if let Some(l) = shadow_lint(&spec.name, earlier, rule, false) {
+                    out.push(l);
+                }
+            }
+            for earlier_spec in &specs[..pi] {
+                for earlier in &earlier_spec.rules {
+                    if let Some(l) = shadow_lint(&spec.name, earlier, rule, true) {
+                        out.push(l);
+                    }
+                }
+            }
+            if let Some(l) = defer_lint(&spec.name, rule, watchdog_hold) {
+                out.push(l);
+            }
+        }
+        coverage_lint(spec, &mut out);
+    }
+    out
+}
+
+/// The error-level findings of a lint run.
+#[must_use]
+pub fn errors(lints: &[PolicyLint]) -> Vec<&PolicyLint> {
+    lints
+        .iter()
+        .filter(|l| l.level == LintLevel::Error)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(id: &str, on: ApiSelector, when: Condition, action: PolicyAction) -> PolicyRule {
+        PolicyRule {
+            id: id.into(),
+            on,
+            when,
+            action,
+        }
+    }
+
+    fn spec(name: &str, rules: Vec<PolicyRule>) -> PolicySpec {
+        PolicySpec {
+            name: name.into(),
+            description: "test".into(),
+            scheduling: None,
+            rules,
+        }
+    }
+
+    fn deny() -> PolicyAction {
+        PolicyAction::Deny {
+            reason: "test".into(),
+        }
+    }
+
+    #[test]
+    fn general_rule_shadows_specific_rule() {
+        let s = spec(
+            "p",
+            vec![
+                rule("broad", ApiSelector::XhrSend, Condition::default(), deny()),
+                rule(
+                    "narrow",
+                    ApiSelector::XhrSend,
+                    Condition {
+                        cross_origin: Some(true),
+                        ..Condition::default()
+                    },
+                    PolicyAction::DropQuietly,
+                ),
+            ],
+        );
+        let lints = lint_policy(&s);
+        assert!(lints.iter().any(|l| matches!(
+            &l.kind,
+            LintKind::ShadowedRule { winner } if winner == "broad"
+        )));
+        // The reverse order is fine: specific first, general as fallback.
+        let ok = spec(
+            "p",
+            vec![
+                rule(
+                    "narrow",
+                    ApiSelector::XhrSend,
+                    Condition {
+                        cross_origin: Some(true),
+                        ..Condition::default()
+                    },
+                    PolicyAction::DropQuietly,
+                ),
+                rule("broad", ApiSelector::XhrSend, Condition::default(), deny()),
+            ],
+        );
+        assert!(lint_policy(&ok).is_empty());
+    }
+
+    #[test]
+    fn unmatchable_condition_is_an_error_vacuous_a_warning() {
+        let s = spec(
+            "p",
+            vec![
+                // `cross_origin` is never populated for TerminateWorker and
+                // defaults to false — requiring true can never match.
+                rule(
+                    "dead",
+                    ApiSelector::TerminateWorker,
+                    Condition {
+                        cross_origin: Some(true),
+                        ..Condition::default()
+                    },
+                    deny(),
+                ),
+                // Requiring the default is always-true noise.
+                rule(
+                    "noise",
+                    ApiSelector::Navigate,
+                    Condition {
+                        owner_alive: Some(true),
+                        ..Condition::default()
+                    },
+                    PolicyAction::CancelDocBound,
+                ),
+            ],
+        );
+        let lints = lint_policy(&s);
+        let dead = lints.iter().find(|l| l.rule.as_deref() == Some("dead"));
+        assert!(matches!(
+            dead.map(|l| (&l.kind, l.level)),
+            Some((LintKind::UnmatchableCondition { .. }, LintLevel::Error))
+        ));
+        let noise = lints.iter().find(|l| l.rule.as_deref() == Some("noise"));
+        assert!(matches!(
+            noise.map(|l| (&l.kind, l.level)),
+            Some((LintKind::VacuousCondition { .. }, LintLevel::Warning))
+        ));
+    }
+
+    #[test]
+    fn allow_rules_are_flagged_as_noops() {
+        let s = spec(
+            "p",
+            vec![rule(
+                "let-through",
+                ApiSelector::Fetch,
+                Condition::default(),
+                PolicyAction::Allow,
+            )],
+        );
+        let lints = lint_policy(&s);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::NoOpAllow);
+    }
+
+    #[test]
+    fn cve_policy_missing_its_racy_pair_is_incomplete() {
+        // A "5092 policy" that only touches error events cannot order the
+        // terminate/abort pair.
+        let s = spec(
+            "policy_cve-2018-5092",
+            vec![rule(
+                "wrong-target",
+                ApiSelector::ErrorEvent,
+                Condition {
+                    leaks_cross_origin: Some(true),
+                    ..Condition::default()
+                },
+                deny(),
+            )],
+        );
+        let lints = lint_policy(&s);
+        assert!(lints.iter().any(|l| matches!(
+            &l.kind,
+            LintKind::IncompleteCoverage { cve, .. } if cve == "CVE-2018-5092"
+        )));
+    }
+
+    #[test]
+    fn unconditional_defer_depends_on_the_watchdog() {
+        let s = spec(
+            "p",
+            vec![rule(
+                "defer-everything",
+                ApiSelector::TerminateWorker,
+                Condition::default(),
+                PolicyAction::DeferTermination,
+            )],
+        );
+        // Alone (no watchdog context): error.
+        let alone = lint_policy(&s);
+        assert!(alone
+            .iter()
+            .any(|l| l.kind == LintKind::DeferLivelock && l.level == LintLevel::Error));
+        // Against a kernel with a live watchdog: downgraded to warning.
+        let held = lint_policy_set(
+            std::slice::from_ref(&s),
+            Some(SimDuration::from_millis(2000)),
+        );
+        assert!(held
+            .iter()
+            .any(|l| l.kind == LintKind::DeferLivelock && l.level == LintLevel::Warning));
+        // Zero hold disables the watchdog: error again.
+        let zero = lint_policy_set(std::slice::from_ref(&s), Some(SimDuration::ZERO));
+        assert!(zero
+            .iter()
+            .any(|l| l.kind == LintKind::DeferLivelock && l.level == LintLevel::Error));
+        // A conditioned defer is fine.
+        let cond = spec(
+            "p",
+            vec![rule(
+                "defer-pending",
+                ApiSelector::TerminateWorker,
+                Condition {
+                    has_pending_fetches: Some(true),
+                    ..Condition::default()
+                },
+                PolicyAction::DeferTermination,
+            )],
+        );
+        assert!(lint_policy(&cond).is_empty());
+    }
+
+    #[test]
+    fn cross_policy_duplicate_with_same_action_kind_is_a_warning() {
+        let a = spec(
+            "a",
+            vec![rule(
+                "a/clean",
+                ApiSelector::CloseDocument,
+                Condition::default(),
+                PolicyAction::CancelDocBound,
+            )],
+        );
+        let b = spec(
+            "b",
+            vec![rule(
+                "b/clean",
+                ApiSelector::CloseDocument,
+                Condition::default(),
+                PolicyAction::CancelDocBound,
+            )],
+        );
+        let lints = lint_policy_set(&[a.clone(), b], None);
+        assert!(lints.iter().all(|l| l.level == LintLevel::Warning));
+        assert!(lints.iter().any(|l| matches!(
+            &l.kind,
+            LintKind::RedundantAcrossPolicies { winner } if winner == "a/clean"
+        )));
+        // Different action kind: the later rule silently loses — error.
+        let c = spec(
+            "c",
+            vec![rule(
+                "c/deny",
+                ApiSelector::CloseDocument,
+                Condition::default(),
+                deny(),
+            )],
+        );
+        let lints = lint_policy_set(&[a, c], None);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(&l.kind, LintKind::ShadowedRule { .. })));
+    }
+}

@@ -1,0 +1,84 @@
+//! The combined analysis report: races + attack patterns, JSON-stable.
+
+use crate::hb::{detect_races, HbGraph, RaceFinding};
+use crate::scanner::{scan, PatternFinding};
+use jsk_browser::trace::Trace;
+use serde::Serialize;
+
+/// Everything the analyzer found in one trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnalysisReport {
+    /// Task nodes in the happens-before graph.
+    pub nodes: usize,
+    /// Shared-state accesses examined.
+    pub accesses: usize,
+    /// Detected races (conflicting unordered access pairs).
+    pub races: Vec<RaceFinding>,
+    /// Flagged attack signatures.
+    pub patterns: Vec<PatternFinding>,
+}
+
+impl AnalysisReport {
+    /// Race-free. Patterns may still be present — they flag *attempted*
+    /// shapes, which a correct kernel defeats without muting the trace.
+    #[must_use]
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// Whether anything at all was flagged.
+    #[must_use]
+    pub fn has_findings(&self) -> bool {
+        !self.races.is_empty() || !self.patterns.is_empty()
+    }
+
+    /// Deterministic pretty JSON (field order fixed by the struct, vectors
+    /// pre-sorted by the analyses).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+
+    /// One-line summary for logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} nodes, {} accesses: {} race(s), {} pattern(s)",
+            self.nodes,
+            self.accesses,
+            self.races.len(),
+            self.patterns.len()
+        )
+    }
+}
+
+/// Runs the full analysis over one trace: builds the happens-before graph,
+/// detects races, and scans for attack signatures.
+#[must_use]
+pub fn analyze(trace: &Trace) -> AnalysisReport {
+    let graph = HbGraph::from_trace(trace);
+    AnalysisReport {
+        nodes: graph.node_count(),
+        accesses: trace.accesses().count(),
+        races: detect_races(trace, &graph),
+        patterns: scan(trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_clean_and_serializes() {
+        let report = analyze(&Trace::new());
+        assert!(report.is_race_free());
+        assert!(!report.has_findings());
+        assert_eq!(
+            report.summary(),
+            "0 nodes, 0 accesses: 0 race(s), 0 pattern(s)"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"races\": []"));
+    }
+}

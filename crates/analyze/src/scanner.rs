@@ -1,0 +1,480 @@
+//! The concurrency-attack pattern scanner.
+//!
+//! Where the race detector proves a *pair of accesses* can be reordered,
+//! this pass recognises *attack shapes*: state machines over the API/fact
+//! stream that flag potential web-concurrency attack signatures and map
+//! each to the CVE family it belongs to. A signature firing does not mean
+//! the attack succeeded — an intercepted `DeliverAbort` to a dead owner is
+//! flagged even when a policy then denies it; the point is that the program
+//! *attempted* the shape, which is what an auditor wants surfaced.
+
+use jsk_browser::ids::BufferId;
+use jsk_browser::trace::{ApiCall, Fact, Trace, TraceItem};
+use jsk_sim::time::SimTime;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The recognised attack signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum PatternKind {
+    /// A tight cross-thread `postMessage` stream usable as an implicit
+    /// clock (Listing 1's ticker; §II-A1).
+    ImplicitClockTicker,
+    /// `worker.terminate()` while the owner is mid-dispatch of that
+    /// worker's message.
+    MidDispatchTermination,
+    /// An access window onto a transferred buffer whose backing store was
+    /// freed by teardown.
+    FreedTransferWindow,
+    /// An abort signal aimed at a request whose owner thread already died.
+    AbortAfterOwnerDeath,
+    /// An `onmessage` assignment landing on a worker in its closing state.
+    ClosingWorkerAssignment,
+    /// An error message carrying cross-origin information toward user code.
+    ErrorLeak,
+    /// A network completion running against a navigated-away document
+    /// generation.
+    StaleDocCompletion,
+    /// A `postMessage` aimed at a thread whose document has been freed.
+    FreedDocDelivery,
+    /// A document close racing still-queued worker-message callbacks.
+    CallbackAfterCloseWindow,
+    /// A cross-origin request leaving a worker (SOP bypass).
+    WorkerSopBypass,
+    /// A sandboxed context creating a worker that can inherit the parent
+    /// origin.
+    SandboxOriginInheritance,
+    /// A durable IndexedDB open during a private-mode session.
+    PrivateModePersistence,
+}
+
+impl PatternKind {
+    /// The CVE family (or attack class) this signature maps to.
+    #[must_use]
+    pub fn cve_family(self) -> &'static [&'static str] {
+        match self {
+            PatternKind::ImplicitClockTicker => &["timing-channel (Listing 1)"],
+            PatternKind::MidDispatchTermination => &["CVE-2014-1719"],
+            PatternKind::FreedTransferWindow => &["CVE-2014-1488"],
+            PatternKind::AbortAfterOwnerDeath => &["CVE-2018-5092"],
+            PatternKind::ClosingWorkerAssignment => &["CVE-2013-5602"],
+            PatternKind::ErrorLeak => &["CVE-2014-1487", "CVE-2015-7215"],
+            PatternKind::StaleDocCompletion => &["CVE-2010-4576"],
+            PatternKind::FreedDocDelivery => &["CVE-2014-3194"],
+            PatternKind::CallbackAfterCloseWindow => &["CVE-2013-6646"],
+            PatternKind::WorkerSopBypass => &["CVE-2013-1714"],
+            PatternKind::SandboxOriginInheritance => &["CVE-2011-1190"],
+            PatternKind::PrivateModePersistence => &["CVE-2017-7843"],
+        }
+    }
+}
+
+/// One flagged signature.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PatternFinding {
+    /// The signature.
+    pub kind: PatternKind,
+    /// When the deciding record was observed.
+    pub at: SimTime,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl PatternFinding {
+    /// The CVE family of the signature.
+    #[must_use]
+    pub fn cve_family(&self) -> &'static [&'static str] {
+        self.kind.cve_family()
+    }
+}
+
+/// A ticker channel needs this many sends to count as a clock.
+const TICKER_MIN_SENDS: usize = 20;
+/// … with a median inter-send gap at or below this (50 Hz+).
+const TICKER_MAX_MEDIAN_GAP: SimTime = SimTime::from_millis(20);
+
+/// Scans a trace for attack signatures. Output is deterministic: sorted by
+/// `(time, kind, detail)`, one finding per distinct piece of evidence.
+#[must_use]
+pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
+    let mut out: Vec<PatternFinding> = Vec::new();
+    let mut seen: BTreeSet<(PatternKind, String)> = BTreeSet::new();
+    let mut freed_buffers: BTreeSet<BufferId> = BTreeSet::new();
+    // (from, to) -> send instants, for the ticker pass.
+    let mut channels: BTreeMap<(u64, u64), Vec<SimTime>> = BTreeMap::new();
+
+    let push = |out: &mut Vec<PatternFinding>,
+                seen: &mut BTreeSet<(PatternKind, String)>,
+                kind: PatternKind,
+                at: SimTime,
+                key: String,
+                detail: String| {
+        if seen.insert((kind, key)) {
+            out.push(PatternFinding { kind, at, detail });
+        }
+    };
+
+    for entry in trace.entries() {
+        let at = entry.time;
+        match &entry.item {
+            TraceItem::Api(call) => match call {
+                ApiCall::PostMessage {
+                    from,
+                    to,
+                    to_doc_freed,
+                    ..
+                } => {
+                    channels
+                        .entry((from.index(), to.index()))
+                        .or_default()
+                        .push(at);
+                    if *to_doc_freed {
+                        push(
+                            &mut out,
+                            &mut seen,
+                            PatternKind::FreedDocDelivery,
+                            at,
+                            format!("api:{from}->{to}"),
+                            format!("postMessage from {from} to {to} whose document is freed"),
+                        );
+                    }
+                }
+                ApiCall::TerminateWorker {
+                    worker,
+                    during_dispatch: true,
+                    ..
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::MidDispatchTermination,
+                    at,
+                    format!("{worker}"),
+                    format!("terminate({worker}) while its message is mid-dispatch"),
+                ),
+                ApiCall::BufferAccess { buffer, freed, .. }
+                    if (*freed || freed_buffers.contains(buffer)) =>
+                {
+                    push(
+                        &mut out,
+                        &mut seen,
+                        PatternKind::FreedTransferWindow,
+                        at,
+                        format!("{buffer}"),
+                        format!("access to {buffer} after its backing store was freed"),
+                    );
+                }
+                ApiCall::DeliverAbort {
+                    req,
+                    owner_alive: false,
+                    ..
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::AbortAfterOwnerDeath,
+                    at,
+                    format!("{req}"),
+                    format!("abort delivery to {req} whose owner thread is dead"),
+                ),
+                ApiCall::SetOnMessage {
+                    worker: Some(worker),
+                    worker_closing: true,
+                    ..
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::ClosingWorkerAssignment,
+                    at,
+                    format!("{worker}"),
+                    format!("onmessage assigned to closing {worker}"),
+                ),
+                ApiCall::ErrorEvent {
+                    thread,
+                    message,
+                    leaks_cross_origin: true,
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::ErrorLeak,
+                    at,
+                    format!("api:{thread}:{message}"),
+                    format!("error event on {thread} embeds cross-origin data: {message:?}"),
+                ),
+                ApiCall::CloseDocument {
+                    thread,
+                    pending_worker_messages,
+                } if *pending_worker_messages > 0 => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::CallbackAfterCloseWindow,
+                    at,
+                    format!("window:{thread}"),
+                    format!(
+                        "document close on {thread} with {pending_worker_messages} \
+                         worker messages still queued"
+                    ),
+                ),
+                ApiCall::XhrSend {
+                    thread,
+                    from_worker: true,
+                    url,
+                    cross_origin: true,
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::WorkerSopBypass,
+                    at,
+                    format!("api:{thread}:{url}"),
+                    format!("cross-origin XHR from worker {thread} to {url:?}"),
+                ),
+                ApiCall::CreateWorker {
+                    worker,
+                    sandboxed: true,
+                    ..
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::SandboxOriginInheritance,
+                    at,
+                    format!("api:{worker}"),
+                    format!("{worker} created from a sandboxed context"),
+                ),
+                ApiCall::IdbOpen {
+                    thread,
+                    private_mode: true,
+                    persist: true,
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::PrivateModePersistence,
+                    at,
+                    format!("api:{thread}"),
+                    format!("durable indexedDB.open on {thread} during private mode"),
+                ),
+                _ => {}
+            },
+            TraceItem::Fact(fact) => match fact {
+                Fact::TransferFreed { buffer } => {
+                    freed_buffers.insert(*buffer);
+                }
+                Fact::FreedBufferAccess { buffer, thread } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::FreedTransferWindow,
+                    at,
+                    format!("{buffer}"),
+                    format!("{thread} touched freed {buffer}"),
+                ),
+                Fact::NullDerefOnAssign { worker } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::ClosingWorkerAssignment,
+                    at,
+                    format!("{worker}"),
+                    format!("null-pointer setter on closing {worker}"),
+                ),
+                Fact::ErrorMessageDelivered {
+                    thread,
+                    message,
+                    leaked_cross_origin: true,
+                    ..
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::ErrorLeak,
+                    at,
+                    format!("fact:{thread}:{message}"),
+                    format!("cross-origin error text delivered on {thread}: {message:?}"),
+                ),
+                Fact::StaleDocCallback { thread } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::StaleDocCompletion,
+                    at,
+                    format!("{thread}"),
+                    format!("network completion ran against a stale document on {thread}"),
+                ),
+                Fact::MessageToFreedDoc { from, to } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::FreedDocDelivery,
+                    at,
+                    format!("fact:{from}->{to}"),
+                    format!("message from {from} delivered into freed document on {to}"),
+                ),
+                Fact::CallbackAfterClose { thread } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::CallbackAfterCloseWindow,
+                    at,
+                    format!("ran:{thread}"),
+                    format!("worker-message callback ran on {thread} after document close"),
+                ),
+                Fact::CrossOriginWorkerRequest { thread, url } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::WorkerSopBypass,
+                    at,
+                    format!("fact:{thread}:{url}"),
+                    format!("cross-origin request left worker {thread} for {url:?}"),
+                ),
+                Fact::WorkerStarted {
+                    worker,
+                    sandboxed_parent: true,
+                    inherited_origin: true,
+                    ..
+                } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::SandboxOriginInheritance,
+                    at,
+                    format!("fact:{worker}"),
+                    format!("{worker} inherited its sandboxed parent's origin"),
+                ),
+                Fact::IdbPersistedInPrivateMode { thread } => push(
+                    &mut out,
+                    &mut seen,
+                    PatternKind::PrivateModePersistence,
+                    at,
+                    format!("fact:{thread}"),
+                    format!("IndexedDB data persisted during private mode on {thread}"),
+                ),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    for ((from, to), sends) in &channels {
+        if sends.len() < TICKER_MIN_SENDS {
+            continue;
+        }
+        let mut gaps: Vec<u64> = sends
+            .windows(2)
+            .map(|w| w[1].as_nanos().saturating_sub(w[0].as_nanos()))
+            .collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        if median <= TICKER_MAX_MEDIAN_GAP.as_nanos() {
+            out.push(PatternFinding {
+                kind: PatternKind::ImplicitClockTicker,
+                at: sends[0],
+                detail: format!(
+                    "thread {from} streams {} posts to thread {to} \
+                     (median gap {median} ns) — usable as an implicit clock",
+                    sends.len()
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|x, y| (x.at, x.kind, &x.detail).cmp(&(y.at, y.kind, &y.detail)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::ids::ThreadId;
+
+    #[test]
+    fn steady_stream_is_a_ticker_slow_stream_is_not() {
+        let mut fast = Trace::new();
+        let mut slow = Trace::new();
+        for i in 0..40u64 {
+            let call = ApiCall::PostMessage {
+                from: ThreadId::new(1),
+                to: ThreadId::new(0),
+                transfer_count: 0,
+                to_doc_freed: false,
+            };
+            fast.api(SimTime::from_millis(i), call.clone());
+            slow.api(SimTime::from_millis(i * 100), call);
+        }
+        let fast_hits = scan(&fast);
+        assert_eq!(fast_hits.len(), 1);
+        assert_eq!(fast_hits[0].kind, PatternKind::ImplicitClockTicker);
+        assert!(scan(&slow).is_empty());
+    }
+
+    #[test]
+    fn short_bursts_are_not_tickers() {
+        let mut t = Trace::new();
+        for i in 0..(TICKER_MIN_SENDS as u64 - 1) {
+            t.api(
+                SimTime::from_millis(i),
+                ApiCall::PostMessage {
+                    from: ThreadId::new(1),
+                    to: ThreadId::new(0),
+                    transfer_count: 0,
+                    to_doc_freed: false,
+                },
+            );
+        }
+        assert!(scan(&t).is_empty());
+    }
+
+    #[test]
+    fn freed_buffer_window_needs_the_free_first() {
+        use jsk_browser::ids::BufferId;
+        let buffer = BufferId::new(4);
+        let mut t = Trace::new();
+        t.api(
+            SimTime::from_millis(1),
+            ApiCall::BufferAccess {
+                thread: ThreadId::new(0),
+                buffer,
+                freed: false,
+            },
+        );
+        assert!(scan(&t).is_empty());
+        t.fact(SimTime::from_millis(2), Fact::TransferFreed { buffer });
+        t.api(
+            SimTime::from_millis(3),
+            ApiCall::BufferAccess {
+                thread: ThreadId::new(0),
+                buffer,
+                freed: false,
+            },
+        );
+        let hits = scan(&t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].kind, PatternKind::FreedTransferWindow);
+        assert_eq!(hits[0].cve_family(), &["CVE-2014-1488"]);
+    }
+
+    #[test]
+    fn repeated_evidence_reports_once() {
+        let mut t = Trace::new();
+        for i in 0..5 {
+            t.api(
+                SimTime::from_millis(i),
+                ApiCall::IdbOpen {
+                    thread: ThreadId::new(0),
+                    private_mode: true,
+                    persist: true,
+                },
+            );
+        }
+        assert_eq!(scan(&t).len(), 1);
+    }
+
+    #[test]
+    fn every_kind_names_a_family() {
+        for kind in [
+            PatternKind::ImplicitClockTicker,
+            PatternKind::MidDispatchTermination,
+            PatternKind::FreedTransferWindow,
+            PatternKind::AbortAfterOwnerDeath,
+            PatternKind::ClosingWorkerAssignment,
+            PatternKind::ErrorLeak,
+            PatternKind::StaleDocCompletion,
+            PatternKind::FreedDocDelivery,
+            PatternKind::CallbackAfterCloseWindow,
+            PatternKind::WorkerSopBypass,
+            PatternKind::SandboxOriginInheritance,
+            PatternKind::PrivateModePersistence,
+        ] {
+            assert!(!kind.cve_family().is_empty());
+        }
+    }
+}

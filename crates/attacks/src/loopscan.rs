@@ -113,9 +113,9 @@ impl TimingAttack for Loopscan {
                 );
             }
             if coarse {
-                tick_coarse(scope, last.clone(), max_gap.clone());
+                tick_coarse(scope, last, max_gap.clone());
             } else {
-                tick(scope, last.clone(), max_gap.clone());
+                tick(scope, last, max_gap.clone());
             }
             scope.set_timeout(
                 window_ms,

@@ -125,7 +125,7 @@ impl TimingAttack for FloatingPoint {
     fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
         let subnormal = secret == Secret::B;
         raf_measured(browser, 12, move |scope| {
-            scope.float_ops(300_000, subnormal)
+            scope.float_ops(300_000, subnormal);
         });
         read_measure(browser)
     }

@@ -70,6 +70,35 @@ fn repeated_serial_runs_are_stable() {
     assert_eq!(build_record(1, 2), build_record(1, 2));
 }
 
+/// Analysis reports for the whole corpus (raw + deterministic-kernel mode
+/// per program), fanned through the pool at the given width.
+fn corpus_reports(jobs: usize) -> Vec<String> {
+    use jsk_analyze::corpus::{program_names, run_program, CorpusMode};
+    use jsk_core::policy::deterministic_policy;
+
+    let names = program_names();
+    let kernel = CorpusMode::Kernel(deterministic_policy());
+    let modes: Vec<(String, CorpusMode)> = names
+        .iter()
+        .flat_map(|n| [(n.clone(), CorpusMode::Raw), (n.clone(), kernel.clone())])
+        .collect();
+    pool::run_indexed(modes.len(), jobs, |i| {
+        let (name, mode) = &modes[i];
+        run_program(name, mode, 7).to_json()
+    })
+}
+
+#[test]
+fn analysis_reports_are_bit_identical_under_pool() {
+    // The analyzer rides the same contract as the bench records: the race
+    // report for every corpus program must not depend on JSK_JOBS.
+    let serial = corpus_reports(1);
+    let parallel = corpus_reports(8);
+    assert_eq!(serial, parallel, "JSK_JOBS must not change analysis output");
+    assert_eq!(serial.len(), 26); // 13 programs × {raw, kernel}
+    assert!(serial.iter().any(|json| json.contains("\"races\": [\n")));
+}
+
 #[test]
 fn timing_attack_results_identical_under_pool() {
     // The full attack-result payload (both sample vectors), not just the

@@ -24,7 +24,10 @@ use crate::profile::BrowserProfile;
 use crate::scope::JsScope;
 use crate::task::{Callback, Task, TaskSource, WorkerScript};
 use crate::thread::{OriginKind, ThreadKind, ThreadState};
-use crate::trace::{ApiCall, Fact, TerminationReason, Trace};
+use crate::trace::{
+    AccessKind, AccessRecord, AccessTarget, ApiCall, Fact, HbEdge, NodeRecord, TerminationReason,
+    Trace,
+};
 use crate::value::JsValue;
 use crate::worker::{
     BufferRecord, RequestRecord, RequestState, SharedBuffer, SignalRecord, WorkerRecord,
@@ -96,6 +99,9 @@ enum SimEvent {
         from: ThreadId,
         to: ThreadId,
         payload: JsValue,
+        /// HB node the send was attributed to, restored into the receiving
+        /// hook's context so kernel replies keep their provenance.
+        sender_node: Option<u64>,
     },
     /// A fault-plan worker crash (worker addressed by creation order).
     WorkerCrash(u64),
@@ -113,6 +119,75 @@ struct PendingEvent {
     polyfill_worker: Option<WorkerId>,
     nesting: u32,
     context: u32,
+    /// HB node of the task that registered the event (the fork edge the
+    /// eventual callback task inherits).
+    forked_from: Option<u64>,
+}
+
+/// Parameters for [`Browser::register_async`]. The six fields every
+/// registration needs ride the constructor; provenance extras default and
+/// chain (`.via_worker(..)`, `.in_polyfill(..)`, `.nesting(..)`).
+pub(crate) struct AsyncReg {
+    thread: ThreadId,
+    kind: AsyncKind,
+    source: TaskSource,
+    callback: Callback,
+    arg: JsValue,
+    raw_fire_at: SimTime,
+    from_worker: Option<WorkerId>,
+    polyfill_worker: Option<WorkerId>,
+    nesting: u32,
+    /// `Some(x)` pins the callback task's HB ancestor to `x`; `None` (the
+    /// default) attributes it to whatever is running at registration time.
+    forked_from: Option<Option<u64>>,
+}
+
+impl AsyncReg {
+    pub(crate) fn new(
+        thread: ThreadId,
+        kind: AsyncKind,
+        source: TaskSource,
+        callback: Callback,
+        arg: JsValue,
+        raw_fire_at: SimTime,
+    ) -> AsyncReg {
+        AsyncReg {
+            thread,
+            kind,
+            source,
+            callback,
+            arg,
+            raw_fire_at,
+            from_worker: None,
+            polyfill_worker: None,
+            nesting: 0,
+            forked_from: None,
+        }
+    }
+
+    /// Marks the eventual task as dispatching a message from `worker`.
+    pub(crate) fn via_worker(mut self, worker: WorkerId) -> AsyncReg {
+        self.from_worker = Some(worker);
+        self
+    }
+
+    /// Runs the eventual task inside a polyfill worker context.
+    pub(crate) fn in_polyfill(mut self, worker: Option<WorkerId>) -> AsyncReg {
+        self.polyfill_worker = worker;
+        self
+    }
+
+    /// Sets the timer nesting depth.
+    pub(crate) fn nesting(mut self, nesting: u32) -> AsyncReg {
+        self.nesting = nesting;
+        self
+    }
+
+    /// Pins the HB ancestor instead of using the ambient one.
+    pub(crate) fn forked(mut self, node: Option<u64>) -> AsyncReg {
+        self.forked_from = Some(node);
+        self
+    }
 }
 
 /// A repeating or one-shot timer registration.
@@ -145,6 +220,8 @@ pub(crate) struct CurTask {
     pub polyfill_worker: Option<WorkerId>,
     pub sandboxed: bool,
     pub context: u32,
+    /// The task's happens-before node id.
+    pub node: u64,
     /// Per-task SAB read snapshots (kernel-frozen reads, §III-E2).
     pub sab_seen: HashMap<(u64, usize), f64>,
 }
@@ -202,6 +279,14 @@ pub struct Browser {
     channel_last: HashMap<(u64, u64), SimTime>,
     /// Fault injector, when a plan is installed.
     pub(crate) fault: Option<FaultInjector>,
+    /// Next happens-before node id (one per dispatched task).
+    next_node: u64,
+    /// HB attribution for hooks running outside a task (kernel-message
+    /// delivery carries the sender's node here).
+    hb_ctx_node: Option<u64>,
+    /// Synthetic HB node for browser-initiated teardown work (async worker
+    /// teardown has no dispatched task to attribute its frees to).
+    hb_synth_node: Option<u64>,
 }
 
 impl std::fmt::Debug for Browser {
@@ -262,6 +347,9 @@ impl Browser {
             request_tokens: HashMap::new(),
             channel_last: HashMap::new(),
             fault,
+            next_node: 0,
+            hb_ctx_node: None,
+            hb_synth_node: None,
         };
         // Worker crashes are scheduled up front: the plan names victims by
         // creation order, so a crash for a not-yet-created (or never-created)
@@ -495,14 +583,52 @@ impl Browser {
     ) -> R {
         let mut m = self.mediator.take().expect("mediator hook reentrancy");
         let instant = self.current_instant();
+        let node = self.hb_current_node();
         let (r, ops) = {
             let mut ctx = MediatorCtx::new(instant, &mut self.rng_med);
+            ctx.node = node;
             let r = f(m.as_mut(), &mut ctx);
             (r, ctx.into_ops())
         };
         self.mediator = Some(m);
         self.apply_ops(ops);
         r
+    }
+
+    /// The HB node the current moment is attributed to: the running task,
+    /// or a context carried in from outside (kernel-message delivery,
+    /// synthetic teardown work). `None` when nothing JS-visible is running.
+    pub(crate) fn hb_current_node(&self) -> Option<u64> {
+        self.cur
+            .as_ref()
+            .map(|c| c.node)
+            .or(self.hb_ctx_node)
+            .or(self.hb_synth_node)
+    }
+
+    /// Records a shared-state access attributed to the current HB node;
+    /// accesses with no attributable node (pure machinery) are not recorded.
+    pub(crate) fn hb_access(
+        &mut self,
+        thread: ThreadId,
+        target: AccessTarget,
+        kind: AccessKind,
+        what: &str,
+    ) {
+        let Some(node) = self.hb_current_node() else {
+            return;
+        };
+        let t = self.current_instant();
+        self.trace.access(
+            t,
+            AccessRecord {
+                node,
+                thread,
+                target,
+                kind,
+                what: what.to_owned(),
+            },
+        );
     }
 
     fn apply_ops(&mut self, ops: Vec<MediatorOp>) {
@@ -526,20 +652,30 @@ impl Browser {
                     to,
                     payload,
                     at,
+                    sender_node,
                 } => {
                     self.events.push(
                         at.max(self.now),
-                        SimEvent::KernelMessage { from, to, payload },
+                        SimEvent::KernelMessage {
+                            from,
+                            to,
+                            payload,
+                            sender_node,
+                        },
                     );
+                }
+                MediatorOp::OrderEdge { from, to, kind } => {
+                    let t = self.current_instant();
+                    self.trace.edge(t, HbEdge { from, to, kind });
                 }
             }
         }
     }
 
-    pub(crate) fn intercept(&mut self, call: ApiCall) -> ApiOutcome {
+    pub(crate) fn intercept(&mut self, call: &ApiCall) -> ApiOutcome {
         let t = self.current_instant();
         self.trace.api(t, call.clone());
-        let outcome = self.with_mediator(|m, ctx| m.on_api(ctx, &call));
+        let outcome = self.with_mediator(|m, ctx| m.on_api(ctx, call));
         if let ApiOutcome::Deny { reason } = &outcome {
             let t = self.current_instant();
             self.trace.fact(
@@ -569,8 +705,17 @@ impl Browser {
             SimEvent::MediatorTick(tid) => {
                 self.with_mediator(|m, ctx| m.on_tick(ctx, tid));
             }
-            SimEvent::KernelMessage { from, to, payload } => {
+            SimEvent::KernelMessage {
+                from,
+                to,
+                payload,
+                sender_node,
+            } => {
+                // The receiving hook runs outside any task; attribute it (and
+                // any replies it sends) to the original sender's node.
+                self.hb_ctx_node = sender_node;
                 self.with_mediator(|m, ctx| m.on_kernel_message(ctx, from, to, &payload));
+                self.hb_ctx_node = None;
             }
             SimEvent::WorkerCrash(index) => self.crash_worker(index),
         }
@@ -597,19 +742,23 @@ impl Browser {
     }
 
     /// Registers an asynchronous event and schedules its raw trigger.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn register_async(
-        &mut self,
-        thread: ThreadId,
-        kind: AsyncKind,
-        source: TaskSource,
-        callback: Callback,
-        arg: JsValue,
-        raw_fire_at: SimTime,
-        from_worker: Option<WorkerId>,
-        polyfill_worker: Option<WorkerId>,
-        nesting: u32,
-    ) -> EventToken {
+    pub(crate) fn register_async(&mut self, reg: AsyncReg) -> EventToken {
+        let AsyncReg {
+            thread,
+            kind,
+            source,
+            callback,
+            arg,
+            raw_fire_at,
+            from_worker,
+            polyfill_worker,
+            nesting,
+            forked_from,
+        } = reg;
+        // The registering task is the callback task's HB ancestor (the
+        // timer-arm→fire / send→deliver fork edge), unless the caller
+        // explicitly pinned a different ancestor (interval re-arms).
+        let forked_from = forked_from.unwrap_or_else(|| self.hb_current_node());
         let token = self.fresh_token();
         let info = AsyncEventInfo {
             token,
@@ -651,6 +800,7 @@ impl Browser {
                 polyfill_worker,
                 nesting,
                 context: info.context,
+                forked_from,
             },
         );
         token
@@ -681,7 +831,7 @@ impl Browser {
         pe.raw_key = None;
         // Repeating registrations (intervals, media, CSS ticks) re-arm before
         // the current firing is even confirmed, like the real event loop.
-        self.maybe_rearm(token);
+        self.maybe_rearm(token, pe.forked_from);
         let raw_fire = self.now;
         let info = pe.info;
         let decision = self.with_mediator(|m, ctx| m.on_confirm(ctx, &info, raw_fire));
@@ -712,11 +862,12 @@ impl Browser {
             sandboxed: false,
             epoch: 0, // overwritten by enqueue_task
             context: pe.context,
+            forked_from: pe.forked_from,
         };
         self.enqueue_task(pe.info.thread, at, task);
     }
 
-    fn maybe_rearm(&mut self, fired: EventToken) {
+    fn maybe_rearm(&mut self, fired: EventToken, forked_from: Option<u64>) {
         let Some(idx) = self
             .timers
             .iter()
@@ -763,16 +914,13 @@ impl Browser {
             .jitter(period, self.cfg.profile.sched.timer_jitter)
             .saturating_sub(period);
         let target = (anchor + period * n + jitter).max(self.now);
+        // Re-arms happen outside any task; every firing keeps the node that
+        // armed the timer as its HB ancestor.
         let token = self.register_async(
-            thread,
-            kind,
-            source,
-            callback,
-            JsValue::Undefined,
-            target,
-            None,
-            poly,
-            nesting,
+            AsyncReg::new(thread, kind, source, callback, JsValue::Undefined, target)
+                .in_polyfill(poly)
+                .nesting(nesting)
+                .forked(forked_from),
         );
         self.timers[idx].current_token = token;
     }
@@ -856,7 +1004,34 @@ impl Browser {
         let i = thread.index() as usize;
         let start = self.now;
         let task_context = task.context;
+        // Every dispatched task is one HB node; its fork ancestor is the
+        // task that registered the callback / sent the message.
+        let node = self.next_node;
+        self.next_node += 1;
+        self.trace.node(
+            self.now,
+            NodeRecord {
+                node,
+                thread,
+                forked_from: task.forked_from,
+                label: source_label(task.source).to_owned(),
+            },
+        );
+        // The dispatch hook sees the new node (kernels chain consecutive
+        // dispatches into DispatchChain edges off it).
+        self.hb_ctx_node = Some(node);
         self.with_mediator(|m, ctx| m.on_task_dispatched(ctx, thread, task.token, task_context));
+        // Delivering a message or a network completion reads the target
+        // document's state — the access that races with navigation/close.
+        if matches!(task.source, TaskSource::Message | TaskSource::Net) {
+            self.hb_access(
+                thread,
+                AccessTarget::Document { thread },
+                AccessKind::Read,
+                "deliver-into-document",
+            );
+        }
+        self.hb_ctx_node = None;
         self.cur = Some(CurTask {
             thread,
             start,
@@ -867,6 +1042,7 @@ impl Browser {
             polyfill_worker: task.polyfill_worker,
             sandboxed: task.sandboxed,
             context: task.context,
+            node,
             sab_seen: HashMap::new(),
         });
         let cb = task.callback.clone();
@@ -920,15 +1096,16 @@ impl Browser {
         let poly = self.cur.as_ref().and_then(|c| c.polyfill_worker);
         let fire_at = self.current_instant() + jittered;
         let token = self.register_async(
-            thread,
-            kind,
-            source,
-            callback.clone(),
-            JsValue::Undefined,
-            fire_at,
-            None,
-            poly,
-            nesting,
+            AsyncReg::new(
+                thread,
+                kind,
+                source,
+                callback.clone(),
+                JsValue::Undefined,
+                fire_at,
+            )
+            .in_polyfill(poly)
+            .nesting(nesting),
         );
         let id = TimerId::new(self.timers.len() as u64);
         self.timers.push(TimerRecord {
@@ -971,16 +1148,17 @@ impl Browser {
         if fire <= instant {
             fire += vsync;
         }
+        let poly = self.cur.as_ref().and_then(|c| c.polyfill_worker);
         let token = self.register_async(
-            thread,
-            AsyncKind::Raf,
-            TaskSource::Animation,
-            callback,
-            JsValue::Undefined,
-            fire,
-            None,
-            self.cur.as_ref().and_then(|c| c.polyfill_worker),
-            0,
+            AsyncReg::new(
+                thread,
+                AsyncKind::Raf,
+                TaskSource::Animation,
+                callback,
+                JsValue::Undefined,
+                fire,
+            )
+            .in_polyfill(poly),
         );
         let id = crate::ids::RafId::new(self.next_raf);
         self.next_raf += 1;
@@ -1000,7 +1178,7 @@ impl Browser {
         let parent = self.cur.as_ref().map_or(MAIN_THREAD, |c| c.thread);
         let sandboxed = self.cur.as_ref().is_some_and(|c| c.sandboxed);
         let wid = WorkerId::new(self.workers.len() as u64);
-        let outcome = self.intercept(ApiCall::CreateWorker {
+        let outcome = self.intercept(&ApiCall::CreateWorker {
             parent,
             worker: wid,
             src: src.clone(),
@@ -1029,16 +1207,18 @@ impl Browser {
                     owner_onmessage: None,
                     owner_onerror: None,
                     onerror_set: false,
+                    created_by_node: None,
+                    closed_by_node: None,
                 });
                 return wid;
             }
             ApiOutcome::PolyfillWorker => (parent, true, OriginKind::Normal),
             ApiOutcome::OpaqueOrigin => {
-                let tid = self.spawn_thread(parent, wid, parent_origin.clone());
+                let tid = self.spawn_thread(parent, wid, parent_origin);
                 (tid, false, OriginKind::Opaque)
             }
             _ => {
-                let tid = self.spawn_thread(parent, wid, parent_origin.clone());
+                let tid = self.spawn_thread(parent, wid, parent_origin);
                 // Native bug (CVE-2011-1190): workers created from sandboxed
                 // contexts inherit the parent origin.
                 let kind = if sandboxed {
@@ -1068,7 +1248,15 @@ impl Browser {
             owner_onmessage: None,
             owner_onerror: None,
             onerror_set: false,
+            created_by_node: self.hb_current_node(),
+            closed_by_node: None,
         });
+        self.hb_access(
+            parent,
+            AccessTarget::WorkerLifecycle { worker: wid },
+            AccessKind::Write,
+            "create-worker",
+        );
         self.fact(Fact::WorkerStarted {
             worker: wid,
             thread,
@@ -1120,6 +1308,7 @@ impl Browser {
         };
         let thread = self.workers[i].thread;
         let polyfill = self.workers[i].polyfill;
+        let created_by = self.workers[i].created_by_node;
         let task = Task {
             callback: std::rc::Rc::new(move |scope: &mut JsScope<'_>, _| {
                 script(scope);
@@ -1134,6 +1323,9 @@ impl Browser {
             sandboxed: false,
             epoch: 0,
             context: 0,
+            // create→first-run: the worker's top-level script is ordered
+            // after the task that constructed the Worker.
+            forked_from: created_by,
         };
         self.enqueue_task(thread, self.now, task);
     }
@@ -1176,6 +1368,9 @@ impl Browser {
             sandboxed: false,
             epoch: 0,
             context: 0,
+            // Flushed after the worker-ready task, which itself is ordered
+            // after the buffering delivery — transitively after the send.
+            forked_from: self.hb_current_node(),
         };
         self.enqueue_task(thread, at, task);
     }
@@ -1195,7 +1390,7 @@ impl Browser {
             .filter(|b| !self.buffers[b.index() as usize].freed)
             .count();
         let pending_fetches = self.workers[i].pending_fetches.len();
-        let outcome = self.intercept(ApiCall::TerminateWorker {
+        let outcome = self.intercept(&ApiCall::TerminateWorker {
             worker: wid,
             reason,
             during_dispatch,
@@ -1221,6 +1416,7 @@ impl Browser {
                     // asynchronously: it sits in the "closing" state for a
                     // short window (the CVE-2013-5602 null-deref window).
                     self.workers[i].state = WorkerState::Closing;
+                    self.workers[i].closed_by_node = self.hb_current_node();
                     let at = self.current_instant() + SimDuration::from_millis(5);
                     self.events.push(at, SimEvent::WorkerTeardown(wid));
                 } else {
@@ -1242,12 +1438,19 @@ impl Browser {
         }
         self.workers[i].state = WorkerState::Closed;
         let thread = self.workers[i].thread;
+        let owner = self.workers[i].owner;
         let polyfill = self.workers[i].polyfill;
         if !polyfill {
             let ti = thread.index() as usize;
             self.threads[ti].kill();
             self.thread_epochs[ti] += 1;
         }
+        self.hb_access(
+            owner,
+            AccessTarget::WorkerLifecycle { worker: wid },
+            AccessKind::Write,
+            "terminate-worker",
+        );
         // Native bug (CVE-2014-1488): buffers this worker transferred out are
         // backed by its allocator and get freed with it.
         let transfers: Vec<BufferId> = self.workers[i].transferred_out.clone();
@@ -1258,6 +1461,12 @@ impl Browser {
                 if !self.buffers[bi].freed {
                     self.buffers[bi].freed = true;
                     freed += 1;
+                    self.hb_access(
+                        owner,
+                        AccessTarget::Buffer { buffer: b },
+                        AccessKind::Write,
+                        "free-transferred-buffer",
+                    );
                     self.fact(Fact::TransferFreed { buffer: b });
                 }
             }
@@ -1291,7 +1500,26 @@ impl Browser {
     fn finish_worker_teardown(&mut self, wid: WorkerId) {
         let i = wid.index() as usize;
         if self.workers[i].state != WorkerState::Closed {
+            // Asynchronous teardown runs outside any task: give it a
+            // synthetic HB node forked from the task that initiated it, so
+            // the frees it performs are ordered after the close but remain
+            // concurrent with everything else — the use-after-termination
+            // window the race detector must see.
+            let node = self.next_node;
+            self.next_node += 1;
+            let thread = self.workers[i].thread;
+            self.trace.node(
+                self.now,
+                NodeRecord {
+                    node,
+                    thread,
+                    forked_from: self.workers[i].closed_by_node,
+                    label: "worker-teardown".to_owned(),
+                },
+            );
+            self.hb_synth_node = Some(node);
             self.do_terminate(wid, TerminationReason::DocumentTeardown, false);
+            self.hb_synth_node = None;
         }
     }
 
@@ -1320,7 +1548,7 @@ impl Browser {
         native_message: String,
         leaks_cross_origin: bool,
     ) {
-        let outcome = self.intercept(ApiCall::ErrorEvent {
+        let outcome = self.intercept(&ApiCall::ErrorEvent {
             thread,
             message: native_message.clone(),
             leaks_cross_origin,
@@ -1335,7 +1563,7 @@ impl Browser {
             self.cfg.profile.sched.message_jitter,
         );
         let msg_for_fact = message.clone();
-        let token = self.register_async(
+        let token = self.register_async(AsyncReg::new(
             thread,
             AsyncKind::Net {
                 req: RequestId::new(u64::MAX),
@@ -1354,10 +1582,7 @@ impl Browser {
             }),
             JsValue::from(message),
             self.current_instant() + latency,
-            None,
-            None,
-            0,
-        );
+        ));
         let _ = token;
     }
 
@@ -1427,7 +1652,7 @@ impl Browser {
     // --- document teardown -------------------------------------------------------
 
     pub(crate) fn navigate_impl(&mut self, thread: ThreadId) {
-        let outcome = self.intercept(ApiCall::Navigate { thread });
+        let outcome = self.intercept(&ApiCall::Navigate { thread });
         let clean = matches!(outcome, ApiOutcome::CancelDocBound);
         let ti = thread.index() as usize;
         if clean {
@@ -1436,6 +1661,12 @@ impl Browser {
         // Bump the generation and reset the tree either way.
         self.threads[ti].doc_generation += 1;
         self.dom.navigate();
+        self.hb_access(
+            thread,
+            AccessTarget::Document { thread },
+            AccessKind::Write,
+            "navigate",
+        );
         // Workers owned by this document tear down.
         let owned: Vec<WorkerId> = self
             .workers
@@ -1461,6 +1692,7 @@ impl Browser {
             } else {
                 // Native path: teardown is asynchronous, leaving a window in
                 // which the worker can still post to the freed document.
+                self.workers[w.index() as usize].closed_by_node = self.hb_current_node();
                 let teardown_at = self.now + SimDuration::from_millis(10);
                 self.events.push(teardown_at, SimEvent::WorkerTeardown(w));
             }
@@ -1470,11 +1702,17 @@ impl Browser {
     pub(crate) fn close_document_impl(&mut self, thread: ThreadId) {
         let ti = thread.index() as usize;
         let pending_msgs = self.threads[ti].queued_worker_messages;
-        let outcome = self.intercept(ApiCall::CloseDocument {
+        let outcome = self.intercept(&ApiCall::CloseDocument {
             thread,
             pending_worker_messages: pending_msgs,
         });
         let clean = matches!(outcome, ApiOutcome::CancelDocBound);
+        self.hb_access(
+            thread,
+            AccessTarget::Document { thread },
+            AccessKind::Write,
+            "close-document",
+        );
         if clean {
             self.cancel_doc_bound(thread);
             let owned: Vec<WorkerId> = self
@@ -1586,7 +1824,7 @@ impl Browser {
         }
         let owner = self.requests[ri].thread;
         let owner_alive = self.requests[ri].owner_alive;
-        let outcome = self.intercept(ApiCall::DeliverAbort {
+        let outcome = self.intercept(&ApiCall::DeliverAbort {
             req,
             owner,
             owner_alive,
@@ -1599,6 +1837,12 @@ impl Browser {
             owner,
             owner_alive,
         });
+        self.hb_access(
+            owner,
+            AccessTarget::Request { req },
+            AccessKind::Write,
+            "deliver-abort",
+        );
         self.requests[ri].state = RequestState::Aborted;
         if let Some(tok) = self.request_tokens.get(&req).copied() {
             // Replace the success callback with an abort-error delivery when
@@ -1640,7 +1884,7 @@ impl Browser {
     // --- IndexedDB ------------------------------------------------------------------
 
     pub(crate) fn idb_open_impl(&mut self, thread: ThreadId, name: String, persist: bool) -> bool {
-        let outcome = self.intercept(ApiCall::IdbOpen {
+        let outcome = self.intercept(&ApiCall::IdbOpen {
             thread,
             private_mode: self.cfg.private_mode,
             persist,
@@ -1722,6 +1966,20 @@ impl Browser {
                 vec![at + d]
             }
         }
+    }
+}
+
+/// Short HB-node label for a task source.
+fn source_label(source: TaskSource) -> &'static str {
+    match source {
+        TaskSource::Script => "script",
+        TaskSource::Timer => "timer",
+        TaskSource::Message => "message",
+        TaskSource::Animation => "raf",
+        TaskSource::Net => "net",
+        TaskSource::Media => "media",
+        TaskSource::CssAnimation => "css",
+        TaskSource::Kernel => "kernel",
     }
 }
 
@@ -1840,7 +2098,7 @@ mod tests {
         b.boot(|scope| {
             let stamps: std::rc::Rc<std::cell::RefCell<Vec<f64>>> =
                 std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-            let s2 = stamps.clone();
+            let s2 = stamps;
             scope.set_interval(
                 10.0,
                 cb(move |scope, _| {

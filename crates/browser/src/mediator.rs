@@ -16,7 +16,7 @@
 
 use crate::event::AsyncEventInfo;
 use crate::ids::{EventToken, ThreadId};
-use crate::trace::ApiCall;
+use crate::trace::{ApiCall, EdgeKind};
 use crate::value::JsValue;
 use jsk_sim::rng::SimRng;
 use jsk_sim::time::{SimDuration, SimTime};
@@ -135,6 +135,19 @@ pub enum MediatorOp {
         payload: JsValue,
         /// Delivery instant.
         at: SimTime,
+        /// The HB node the send is attributed to (the task the hook ran
+        /// inside, if any) — carried to the receiver so kernel-induced
+        /// orderings become [`crate::trace::HbEdge`]s.
+        sender_node: Option<u64>,
+    },
+    /// Record a happens-before ordering edge in the trace.
+    OrderEdge {
+        /// Source node (ordered before).
+        from: u64,
+        /// Destination node (ordered after).
+        to: u64,
+        /// Why the edge exists.
+        kind: EdgeKind,
     },
 }
 
@@ -146,6 +159,10 @@ pub struct MediatorCtx<'a> {
     /// A seeded RNG stream reserved for the mediator (used e.g. by
     /// Fuzzyfox's fuzzing).
     pub rng: &'a mut SimRng,
+    /// The happens-before node of the task the hook is running inside, if
+    /// the hook fires during a dispatched task. `None` for hooks that run
+    /// outside any task (e.g. boot, machinery ticks).
+    pub node: Option<u64>,
     ops: Vec<MediatorOp>,
 }
 
@@ -156,6 +173,7 @@ impl<'a> MediatorCtx<'a> {
         MediatorCtx {
             now,
             rng,
+            node: None,
             ops: Vec::new(),
         }
     }
@@ -175,14 +193,23 @@ impl<'a> MediatorCtx<'a> {
         self.ops.push(MediatorOp::ScheduleTick { thread, at });
     }
 
-    /// Queues a kernel-space message.
+    /// Queues a kernel-space message. The send is attributed to the HB node
+    /// of the task the hook is running inside (if any), so a reply forwarded
+    /// from `on_kernel_message` inherits the original sender's provenance.
     pub fn kernel_send(&mut self, from: ThreadId, to: ThreadId, payload: JsValue, at: SimTime) {
         self.ops.push(MediatorOp::KernelSend {
             from,
             to,
             payload,
             at,
+            sender_node: self.node,
         });
+    }
+
+    /// Queues recording of a happens-before ordering edge (`from` happens
+    /// before `to`) in the browser trace.
+    pub fn order_edge(&mut self, from: u64, to: u64, kind: EdgeKind) {
+        self.ops.push(MediatorOp::OrderEdge { from, to, kind });
     }
 
     /// Drains the queued operations (browser-internal).

@@ -9,14 +9,14 @@
 //! reads advance realistically and single-threaded execution blocks the
 //! thread's event loop.
 
-use crate::browser::Browser;
+use crate::browser::{AsyncReg, Browser};
 use crate::event::{AsyncKind, NetClass};
 use crate::ids::{
     BufferId, NodeId, RafId, RequestId, SabId, SignalId, ThreadId, TimerId, WorkerId,
 };
 use crate::mediator::{ApiOutcome, ClockKind, ClockRead, InterposeClass};
 use crate::task::{cb, Callback, TaskSource, WorkerScript};
-use crate::trace::{ApiCall, Fact, TerminationReason};
+use crate::trace::{AccessKind, AccessTarget, ApiCall, Fact, TerminationReason};
 use crate::value::JsValue;
 use crate::worker::{RequestState, WorkerState};
 use jsk_sim::time::SimDuration;
@@ -201,16 +201,17 @@ impl<'a> JsScope<'a> {
         let thread = self.thread;
         let proposed = self.browser.current_instant() + SimDuration::from_micros(30);
         let at = self.browser.channel_arrival(thread, thread, proposed);
+        let poly = self.browser.cur.as_ref().and_then(|c| c.polyfill_worker);
         self.browser.register_async(
-            thread,
-            AsyncKind::Message { from: thread },
-            TaskSource::Message,
-            callback,
-            JsValue::Undefined,
-            at,
-            None,
-            self.browser.cur.as_ref().and_then(|c| c.polyfill_worker),
-            0,
+            AsyncReg::new(
+                thread,
+                AsyncKind::Message { from: thread },
+                TaskSource::Message,
+                callback,
+                JsValue::Undefined,
+                at,
+            )
+            .in_polyfill(poly),
         );
     }
 
@@ -241,7 +242,7 @@ impl<'a> JsScope<'a> {
     pub fn set_onmessage(&mut self, callback: Callback) {
         self.interpose(InterposeClass::Message);
         let thread = self.thread;
-        let _ = self.browser.intercept(ApiCall::SetOnMessage {
+        let _ = self.browser.intercept(&ApiCall::SetOnMessage {
             thread,
             worker: None,
             worker_closing: false,
@@ -269,7 +270,7 @@ impl<'a> JsScope<'a> {
         self.interpose(InterposeClass::Message);
         let wi = worker.index() as usize;
         let closing = matches!(self.browser.workers[wi].state, WorkerState::Closing);
-        let outcome = self.browser.intercept(ApiCall::SetOnMessage {
+        let outcome = self.browser.intercept(&ApiCall::SetOnMessage {
             thread: self.thread,
             worker: Some(worker),
             worker_closing: closing,
@@ -301,6 +302,11 @@ impl<'a> JsScope<'a> {
 
     /// `worker.postMessage(value, [transfer])` — owner to worker with
     /// transferred buffers.
+    //
+    // Takes `value`/`transfer` by value to mirror the Web API's hand-off
+    // semantics; fault-injected duplicate deliveries force the internal
+    // clones.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn post_message_to_worker_transfer(
         &mut self,
         worker: WorkerId,
@@ -314,7 +320,7 @@ impl<'a> JsScope<'a> {
         }
         let to = self.browser.workers[wi].thread;
         let from = self.thread;
-        let outcome = self.browser.intercept(ApiCall::PostMessage {
+        let outcome = self.browser.intercept(&ApiCall::PostMessage {
             from,
             to,
             transfer_count: transfer.len(),
@@ -332,30 +338,27 @@ impl<'a> JsScope<'a> {
             if self.browser.workers[wi].polyfill {
                 let target = worker;
                 self.browser.register_async(
-                    to,
-                    AsyncKind::Message { from },
-                    TaskSource::Message,
-                    cb(move |scope: &mut JsScope<'_>, v| {
-                        scope.dispatch_polyfill_message(target, v);
-                    }),
-                    value.clone(),
-                    at,
-                    None,
-                    Some(worker),
-                    0,
+                    AsyncReg::new(
+                        to,
+                        AsyncKind::Message { from },
+                        TaskSource::Message,
+                        cb(move |scope: &mut JsScope<'_>, v| {
+                            scope.dispatch_polyfill_message(target, v);
+                        }),
+                        value.clone(),
+                        at,
+                    )
+                    .in_polyfill(Some(worker)),
                 );
             } else {
-                self.browser.register_async(
+                self.browser.register_async(AsyncReg::new(
                     to,
                     AsyncKind::Message { from },
                     TaskSource::Message,
                     cb(move |scope: &mut JsScope<'_>, v| scope.dispatch_incoming_message(v)),
                     value.clone(),
                     at,
-                    None,
-                    None,
-                    0,
-                );
+                ));
             }
         }
     }
@@ -366,6 +369,10 @@ impl<'a> JsScope<'a> {
     }
 
     /// `postMessage(value, [transfer])` from a worker back to its owner.
+    //
+    // By value for the same Web-API hand-off reason as
+    // [`post_message_to_worker_transfer`](JsScope::post_message_to_worker_transfer).
+    #[allow(clippy::needless_pass_by_value)]
     pub fn post_message_transfer(&mut self, value: JsValue, transfer: Vec<BufferId>) {
         self.interpose(InterposeClass::Message);
         let Some(worker) = self.current_worker() else {
@@ -379,7 +386,7 @@ impl<'a> JsScope<'a> {
         let from = self.thread;
         let to_doc_freed = self.browser.workers[wi].created_gen
             < self.browser.threads[owner.index() as usize].doc_generation;
-        let outcome = self.browser.intercept(ApiCall::PostMessage {
+        let outcome = self.browser.intercept(&ApiCall::PostMessage {
             from,
             to: owner,
             transfer_count: transfer.len(),
@@ -402,17 +409,17 @@ impl<'a> JsScope<'a> {
         let src = worker;
         for at in self.browser.message_arrivals(from, owner, proposed) {
             self.browser.register_async(
-                owner,
-                AsyncKind::Message { from },
-                TaskSource::Message,
-                cb(move |scope: &mut JsScope<'_>, v| {
-                    scope.dispatch_worker_message_to_owner(src, v);
-                }),
-                value.clone(),
-                at,
-                Some(worker),
-                None,
-                0,
+                AsyncReg::new(
+                    owner,
+                    AsyncKind::Message { from },
+                    TaskSource::Message,
+                    cb(move |scope: &mut JsScope<'_>, v| {
+                        scope.dispatch_worker_message_to_owner(src, v);
+                    }),
+                    value.clone(),
+                    at,
+                )
+                .via_worker(worker),
             );
         }
     }
@@ -617,7 +624,7 @@ impl<'a> JsScope<'a> {
                 return req;
             }
         }
-        let outcome = self.browser.intercept(ApiCall::Fetch {
+        let outcome = self.browser.intercept(&ApiCall::Fetch {
             thread,
             req,
             url: url.clone(),
@@ -640,6 +647,12 @@ impl<'a> JsScope<'a> {
             thread,
             has_signal: signal.is_some(),
         });
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Request { req },
+            AccessKind::Write,
+            "fetch-start",
+        );
         // Network fault injection with retry-with-backoff: each faulted
         // attempt costs its failure time (a round trip for an error, the
         // timeout for a timeout) plus the plan's backoff before the next
@@ -678,21 +691,18 @@ impl<'a> JsScope<'a> {
                 JsValue::object([
                     ("ok", JsValue::Bool(false)),
                     ("error", JsValue::from(err)),
-                    ("url", JsValue::from(url.clone())),
+                    ("url", JsValue::from(url)),
                 ]),
                 // fault_extra already includes the final failing attempt.
                 self.browser.current_instant() + fault_extra,
             ),
             None => (
-                JsValue::object([
-                    ("ok", JsValue::Bool(plan.ok)),
-                    ("url", JsValue::from(url.clone())),
-                ]),
+                JsValue::object([("ok", JsValue::Bool(plan.ok)), ("url", JsValue::from(url))]),
                 self.browser.current_instant() + fault_extra + plan.net_time,
             ),
         };
         let user = callback;
-        let token = self.browser.register_async(
+        let token = self.browser.register_async(AsyncReg::new(
             thread,
             AsyncKind::Net {
                 req,
@@ -706,10 +716,7 @@ impl<'a> JsScope<'a> {
             }),
             arg,
             at,
-            None,
-            None,
-            0,
-        );
+        ));
         self.browser.request_token(req, token);
         req
     }
@@ -721,7 +728,7 @@ impl<'a> JsScope<'a> {
         ]);
         let thread = self.thread;
         let at = self.browser.current_instant() + SimDuration::from_micros(50);
-        self.browser.register_async(
+        self.browser.register_async(AsyncReg::new(
             thread,
             AsyncKind::Net {
                 req: RequestId::new(u64::MAX),
@@ -732,10 +739,7 @@ impl<'a> JsScope<'a> {
             callback,
             arg,
             at,
-            None,
-            None,
-            0,
-        );
+        ));
     }
 
     fn finish_fetch(&mut self, req: RequestId) {
@@ -751,6 +755,13 @@ impl<'a> JsScope<'a> {
         }
         if self.browser.requests[ri].state == RequestState::Pending {
             self.browser.requests[ri].state = RequestState::Settled;
+            let thread = self.thread;
+            self.browser.hb_access(
+                thread,
+                AccessTarget::Request { req },
+                AccessKind::Write,
+                "fetch-settle",
+            );
             self.browser.fact(Fact::FetchSettled { req, ok: true });
         }
         if let Some(w) = self.current_worker() {
@@ -774,7 +785,7 @@ impl<'a> JsScope<'a> {
         let from_worker = self.browser.threads[ti].kind.is_worker();
         let origin = self.browser.threads[ti].origin.clone();
         let cross = crate::net::is_cross_origin(&origin, &url);
-        let outcome = self.browser.intercept(ApiCall::XhrSend {
+        let outcome = self.browser.intercept(&ApiCall::XhrSend {
             thread,
             from_worker,
             url: url.clone(),
@@ -809,7 +820,7 @@ impl<'a> JsScope<'a> {
         };
         let arg = JsValue::object([("ok", JsValue::Bool(plan.ok))]);
         let at = self.browser.current_instant() + plan.net_time;
-        self.browser.register_async(
+        self.browser.register_async(AsyncReg::new(
             thread,
             AsyncKind::Net {
                 req: RequestId::new(u64::MAX),
@@ -820,10 +831,7 @@ impl<'a> JsScope<'a> {
             callback,
             arg,
             at,
-            None,
-            None,
-            0,
-        );
+        ));
     }
 
     /// `importScripts(url)` in a worker. Returns `false` when the load
@@ -835,7 +843,7 @@ impl<'a> JsScope<'a> {
         let thread = self.thread;
         let origin = self.browser.threads[thread.index() as usize].origin.clone();
         let cross = crate::net::is_cross_origin(&origin, &url);
-        let outcome = self.browser.intercept(ApiCall::ImportScripts {
+        let outcome = self.browser.intercept(&ApiCall::ImportScripts {
             thread,
             url: url.clone(),
             cross_origin: cross,
@@ -907,7 +915,7 @@ impl<'a> JsScope<'a> {
         let at = self.browser.current_instant() + plan.net_time;
         let user = callback;
         let req = RequestId::new(u64::MAX);
-        self.browser.register_async(
+        self.browser.register_async(AsyncReg::new(
             thread,
             AsyncKind::Net {
                 req,
@@ -930,10 +938,7 @@ impl<'a> JsScope<'a> {
             }),
             arg,
             at,
-            None,
-            None,
-            0,
-        );
+        ));
     }
 
     // --- measured operations (attack targets) -----------------------------------------
@@ -1005,6 +1010,13 @@ impl<'a> JsScope<'a> {
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> bool {
         self.interpose(InterposeClass::Dom);
         self.add_cost(self.browser.cfg.profile.cpu.dom_append);
+        let thread = self.thread;
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Dom { node: parent },
+            AccessKind::Write,
+            "append-child",
+        );
         self.browser.dom.append_child(parent, child)
     }
 
@@ -1017,6 +1029,13 @@ impl<'a> JsScope<'a> {
     ) {
         self.interpose(InterposeClass::Dom);
         self.add_cost(self.browser.cfg.profile.cpu.dom_attr);
+        let thread = self.thread;
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Dom { node },
+            AccessKind::Write,
+            "set-attribute",
+        );
         self.browser.dom.set_attribute(node, key, value);
     }
 
@@ -1024,6 +1043,13 @@ impl<'a> JsScope<'a> {
     pub fn get_attribute(&mut self, node: NodeId, key: &str) -> Option<String> {
         self.interpose(InterposeClass::Dom);
         self.add_cost(self.browser.cfg.profile.cpu.dom_attr);
+        let thread = self.thread;
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Dom { node },
+            AccessKind::Read,
+            "get-attribute",
+        );
         self.browser.dom.attribute(node, key).map(str::to_owned)
     }
 
@@ -1031,6 +1057,13 @@ impl<'a> JsScope<'a> {
     pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
         self.interpose(InterposeClass::Dom);
         self.add_cost(self.browser.cfg.profile.cpu.dom_attr);
+        let thread = self.thread;
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Dom { node },
+            AccessKind::Write,
+            "set-text",
+        );
         self.browser.dom.set_text(node, text);
     }
 
@@ -1068,11 +1101,17 @@ impl<'a> JsScope<'a> {
         }
         let freed = self.browser.buffers[bi].freed;
         let thread = self.thread;
-        let _ = self.browser.intercept(ApiCall::BufferAccess {
+        let _ = self.browser.intercept(&ApiCall::BufferAccess {
             thread,
             buffer,
             freed,
         });
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Buffer { buffer },
+            AccessKind::Read,
+            "read-buffer",
+        );
         if freed {
             self.browser
                 .fact(Fact::FreedBufferAccess { buffer, thread });
@@ -1107,6 +1146,16 @@ impl<'a> JsScope<'a> {
     pub fn sab_write(&mut self, sab: SabId, idx: usize, value: f64) {
         self.interpose(InterposeClass::Sab);
         self.add_cost(SimDuration::from_nanos(40));
+        let thread = self.thread;
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Sab {
+                sab,
+                idx: idx as u64,
+            },
+            AccessKind::Write,
+            "sab-write",
+        );
         if let Some(cell) = self.browser.sab_cell(sab, idx) {
             *cell = value;
         }
@@ -1121,6 +1170,16 @@ impl<'a> JsScope<'a> {
     pub fn sab_read(&mut self, sab: SabId, idx: usize) -> Option<f64> {
         self.interpose(InterposeClass::Sab);
         self.add_cost(SimDuration::from_nanos(40));
+        let thread = self.thread;
+        self.browser.hb_access(
+            thread,
+            AccessTarget::Sab {
+                sab,
+                idx: idx as u64,
+            },
+            AccessKind::Read,
+            "sab-read",
+        );
         let frozen = self.browser.with_mediator(|m, _| m.freeze_sab_reads());
         let raw = self.browser.sab_value_now(sab, idx)?;
         if !frozen {

@@ -93,6 +93,10 @@ pub struct Task {
     /// share the event loop but belong to different pages — the distinction
     /// DeterFox's per-context determinism hinges on.
     pub context: u32,
+    /// The happens-before node of the task that created this one (the task
+    /// running when the callback was registered / the message was sent).
+    /// `None` for browser-initiated work with no JS ancestor.
+    pub forked_from: Option<u64>,
 }
 
 impl Task {
@@ -110,6 +114,7 @@ impl Task {
             sandboxed: false,
             epoch: 0,
             context: 0,
+            forked_from: None,
         }
     }
 
@@ -129,7 +134,7 @@ impl Task {
 
     /// Marks the task as dispatching a message from `worker`.
     #[must_use]
-    pub fn from_worker(mut self, worker: WorkerId) -> Task {
+    pub fn via_worker(mut self, worker: WorkerId) -> Task {
         self.from_worker = Some(worker);
         self
     }
@@ -138,6 +143,13 @@ impl Task {
     #[must_use]
     pub fn in_polyfill(mut self, worker: WorkerId) -> Task {
         self.polyfill_worker = Some(worker);
+        self
+    }
+
+    /// Records the HB node of the task that created this one.
+    #[must_use]
+    pub fn forked_from(mut self, node: Option<u64>) -> Task {
+        self.forked_from = node;
         self
     }
 }
@@ -164,7 +176,7 @@ mod tests {
         let t = Task::new(cb(|_, _| {}), JsValue::from(1.0), TaskSource::Timer)
             .with_token(EventToken::new(3))
             .with_nesting(2)
-            .from_worker(WorkerId::new(4));
+            .via_worker(WorkerId::new(4));
         assert_eq!(t.source, TaskSource::Timer);
         assert_eq!(t.token, Some(EventToken::new(3)));
         assert_eq!(t.nesting, 2);

@@ -14,7 +14,7 @@
 //! facts occurs. A defense succeeds by preventing the sequence, never by
 //! muting the trace.
 
-use crate::ids::{BufferId, RequestId, ThreadId, WorkerId};
+use crate::ids::{BufferId, NodeId, RequestId, SabId, ThreadId, WorkerId};
 use jsk_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -317,6 +317,119 @@ pub enum Fact {
     },
 }
 
+/// One unit of concurrency in the happens-before graph: a single dispatched
+/// callback execution (a "task node", EventRacer-style). Node ids are
+/// assigned monotonically in dispatch order, so every happens-before edge
+/// points from a lower id to a higher one — the trace order is already a
+/// topological order of the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// The node id (dense, starting at 0).
+    pub node: u64,
+    /// The thread the task ran on.
+    pub thread: ThreadId,
+    /// The node that registered this task's event (the *fork* edge source):
+    /// timer arm → fire, `postMessage` send → deliver, fetch → completion,
+    /// worker create → first run. `None` for roots (the boot task).
+    pub forked_from: Option<u64>,
+    /// Short label of why the task ran (task source / lifecycle step).
+    pub label: String,
+}
+
+/// Which ordering mechanism induced a happens-before edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Registration → invocation (implicit in [`NodeRecord::forked_from`];
+    /// also used for synthesized edges in analysis).
+    Fork,
+    /// The kernel's serialized dispatcher released these two tasks
+    /// consecutively on one thread — a schedule-invariant order under the
+    /// deterministic scheduling policy.
+    DispatchChain,
+    /// A kernel-space overlay message (`jsk_core::comm`) carried the
+    /// sender's node to the receiving thread's next dispatched task.
+    KernelComm,
+}
+
+/// An explicit happens-before ordering edge recorded by a mediator (the
+/// kernel). Fork edges are *not* recorded this way — they live on the
+/// [`NodeRecord`] itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HbEdge {
+    /// Source node (happens before).
+    pub from: u64,
+    /// Target node (happens after).
+    pub to: u64,
+    /// The ordering mechanism.
+    pub kind: EdgeKind,
+}
+
+/// What a memory/state access touched — the conflict domain of the race
+/// detector. Two accesses conflict when their targets are equal and at
+/// least one is a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessTarget {
+    /// A thread's current document (navigation/close write it; callback
+    /// deliveries read it).
+    Document {
+        /// The owning thread.
+        thread: ThreadId,
+    },
+    /// A network request's state (start/settle/abort all write it).
+    Request {
+        /// The request.
+        req: RequestId,
+    },
+    /// A worker's lifecycle state (create/terminate write it).
+    WorkerLifecycle {
+        /// The worker handle.
+        worker: WorkerId,
+    },
+    /// An `ArrayBuffer` backing store (transfer-free writes; reads read).
+    Buffer {
+        /// The buffer.
+        buffer: BufferId,
+    },
+    /// One `SharedArrayBuffer` cell.
+    Sab {
+        /// The SAB.
+        sab: SabId,
+        /// Cell index.
+        idx: u64,
+    },
+    /// A DOM node (mutations write; attribute reads read).
+    Dom {
+        /// The DOM node.
+        node: NodeId,
+    },
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Observation only.
+    Read,
+    /// State mutation.
+    Write,
+}
+
+/// One recorded shared-state access, attributed to the task node that
+/// performed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// The task node performing the access.
+    pub node: u64,
+    /// The thread it ran on.
+    pub thread: ThreadId,
+    /// What was touched.
+    pub target: AccessTarget,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Call-site label (e.g. `"navigate"`, `"abort-deliver"`) — the leaf of
+    /// the access stack the race report prints.
+    pub what: String,
+}
+
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceItem {
@@ -324,6 +437,12 @@ pub enum TraceItem {
     Api(ApiCall),
     /// A native semantic consequence.
     Fact(Fact),
+    /// A dispatched task node (happens-before graph vertex + fork edge).
+    Node(NodeRecord),
+    /// A kernel-recorded ordering edge.
+    Edge(HbEdge),
+    /// A shared-state access.
+    Access(AccessRecord),
 }
 
 /// A timestamped trace record.
@@ -364,6 +483,30 @@ impl Trace {
         });
     }
 
+    /// Appends a task-node record.
+    pub fn node(&mut self, time: SimTime, node: NodeRecord) {
+        self.entries.push(TraceEntry {
+            time,
+            item: TraceItem::Node(node),
+        });
+    }
+
+    /// Appends an ordering-edge record.
+    pub fn edge(&mut self, time: SimTime, edge: HbEdge) {
+        self.entries.push(TraceEntry {
+            time,
+            item: TraceItem::Edge(edge),
+        });
+    }
+
+    /// Appends a shared-state access record.
+    pub fn access(&mut self, time: SimTime, access: AccessRecord) {
+        self.entries.push(TraceEntry {
+            time,
+            item: TraceItem::Access(access),
+        });
+    }
+
     /// All records in order.
     #[must_use]
     pub fn entries(&self) -> &[TraceEntry] {
@@ -374,7 +517,7 @@ impl Trace {
     pub fn facts(&self) -> impl Iterator<Item = (&SimTime, &Fact)> {
         self.entries.iter().filter_map(|e| match &e.item {
             TraceItem::Fact(f) => Some((&e.time, f)),
-            TraceItem::Api(_) => None,
+            _ => None,
         })
     }
 
@@ -382,7 +525,31 @@ impl Trace {
     pub fn apis(&self) -> impl Iterator<Item = (&SimTime, &ApiCall)> {
         self.entries.iter().filter_map(|e| match &e.item {
             TraceItem::Api(a) => Some((&e.time, a)),
-            TraceItem::Fact(_) => None,
+            _ => None,
+        })
+    }
+
+    /// Iterates over the task nodes in dispatch order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&SimTime, &NodeRecord)> {
+        self.entries.iter().filter_map(|e| match &e.item {
+            TraceItem::Node(n) => Some((&e.time, n)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the kernel-recorded ordering edges in order.
+    pub fn edges(&self) -> impl Iterator<Item = (&SimTime, &HbEdge)> {
+        self.entries.iter().filter_map(|e| match &e.item {
+            TraceItem::Edge(ed) => Some((&e.time, ed)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the shared-state accesses in order.
+    pub fn accesses(&self) -> impl Iterator<Item = (&SimTime, &AccessRecord)> {
+        self.entries.iter().filter_map(|e| match &e.item {
+            TraceItem::Access(a) => Some((&e.time, a)),
+            _ => None,
         })
     }
 
@@ -430,5 +597,48 @@ mod tests {
         let t = Trace::new();
         assert!(t.is_empty());
         assert_eq!(t.entries().len(), 0);
+    }
+
+    #[test]
+    fn hb_records_filter_and_round_trip() {
+        let mut t = Trace::new();
+        t.node(
+            SimTime::from_millis(1),
+            NodeRecord {
+                node: 0,
+                thread: ThreadId::new(0),
+                forked_from: None,
+                label: "boot".into(),
+            },
+        );
+        t.edge(
+            SimTime::from_millis(2),
+            HbEdge {
+                from: 0,
+                to: 1,
+                kind: EdgeKind::DispatchChain,
+            },
+        );
+        t.access(
+            SimTime::from_millis(3),
+            AccessRecord {
+                node: 0,
+                thread: ThreadId::new(0),
+                target: AccessTarget::Document {
+                    thread: ThreadId::new(0),
+                },
+                kind: AccessKind::Write,
+                what: "navigate".into(),
+            },
+        );
+        assert_eq!(t.nodes().count(), 1);
+        assert_eq!(t.edges().count(), 1);
+        assert_eq!(t.accesses().count(), 1);
+        // HB records are invisible to the fact/api views the oracle uses.
+        assert_eq!(t.facts().count(), 0);
+        assert_eq!(t.apis().count(), 0);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
     }
 }

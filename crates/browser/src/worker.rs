@@ -64,6 +64,11 @@ pub struct WorkerRecord {
     pub owner_onerror: Option<Callback>,
     /// `onerror` handler registered by the owner on the Worker object.
     pub onerror_set: bool,
+    /// HB node of the task that created the worker (create→first-run edge).
+    pub created_by_node: Option<u64>,
+    /// HB node of the task that initiated teardown, when teardown is
+    /// asynchronous (the synthetic teardown node forks from it).
+    pub closed_by_node: Option<u64>,
 }
 
 impl WorkerRecord {
@@ -170,6 +175,8 @@ mod tests {
             owner_onmessage: None,
             owner_onerror: None,
             onerror_set: false,
+            created_by_node: None,
+            closed_by_node: None,
         }
     }
 

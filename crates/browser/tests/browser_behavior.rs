@@ -88,7 +88,7 @@ fn interval_repeats_until_cleared() {
     let mut b = chrome(4);
     b.boot(|scope| {
         let count = Rc::new(RefCell::new(0u32));
-        let count2 = count.clone();
+        let count2 = count;
         let id = Rc::new(RefCell::new(None));
         let id2 = id.clone();
         let handle = scope.set_interval(

@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn origin_parsing_is_consistent(host in "[a-z]{1,10}", path in "[a-z0-9/]{0,20}") {
         let url = format!("https://{host}.example/{path}");
-        let origin = origin_of(&url).to_owned();
+        let origin = origin_of(&url);
         prop_assert!(!is_cross_origin(&origin, &url));
         prop_assert_eq!(origin_of(&origin), origin.as_str());
         prop_assert!(is_cross_origin("https://other.example", &url));

@@ -92,6 +92,17 @@ impl KernelMsg {
     pub fn is_kernel_traffic(value: &JsValue) -> bool {
         value.get("type").and_then(JsValue::as_str) == Some(KERNEL_TYPE)
     }
+
+    /// Whether this message induces a happens-before ordering between its
+    /// sender's task and the receiving thread's subsequent work. All of the
+    /// confirm/release protocol does; a [`ClockSync`](KernelMsg::ClockSync)
+    /// does not — it carries a clock reading, not an obligation, and
+    /// treating it as an ordering edge would over-approximate HB and mask
+    /// real races.
+    #[must_use]
+    pub fn induces_hb(&self) -> bool {
+        !matches!(self, KernelMsg::ClockSync { .. })
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +137,19 @@ mod tests {
             assert!(KernelMsg::is_kernel_traffic(&wire));
             assert_eq!(KernelMsg::decode(&wire), Some(m));
         }
+    }
+
+    #[test]
+    fn only_clock_sync_is_hb_free() {
+        assert!(!KernelMsg::ClockSync { kclock_ns: 1 }.induces_hb());
+        assert!(KernelMsg::ConfirmFetch {
+            req: RequestId::new(1)
+        }
+        .induces_hb());
+        assert!(KernelMsg::CleanWorker {
+            worker: WorkerId::new(0)
+        }
+        .induces_hb());
     }
 
     #[test]

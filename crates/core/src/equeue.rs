@@ -8,6 +8,13 @@
 //! Ordering is by `(predicted, insertion-order)` so same-instant predictions
 //! keep registration order — the property the dispatcher's determinism
 //! rests on.
+//!
+//! This total order is also what licenses the kernel's happens-before
+//! announcements: because the serialized dispatcher releases events strictly
+//! in this order and waits for each task body to finish, consecutive
+//! dispatched tasks on a thread really are ordered, and the kernel may emit
+//! a [`DispatchChain`](jsk_browser::trace::EdgeKind::DispatchChain) edge
+//! between them for the race detector to credit.
 
 use crate::kevent::{KEventStatus, KernelEvent};
 use jsk_browser::ids::EventToken;

@@ -32,7 +32,7 @@ use jsk_browser::ids::{EventToken, RequestId, ThreadId, WorkerId, MAIN_THREAD};
 use jsk_browser::mediator::{
     ApiOutcome, ClockRead, ConfirmDecision, InterposeClass, Mediator, MediatorCtx,
 };
-use jsk_browser::trace::ApiCall;
+use jsk_browser::trace::{ApiCall, EdgeKind};
 use jsk_browser::value::JsValue;
 use jsk_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -92,6 +92,19 @@ pub struct JsKernel {
     /// Workers whose backing browser thread has not been announced yet
     /// (CreateWorker interception precedes the thread spawn).
     pending_bind: std::collections::VecDeque<WorkerId>,
+    /// The HB node of the last task dispatched per thread. Under
+    /// deterministic scheduling the serialized dispatcher totally orders a
+    /// thread's tasks, and the kernel *announces* that guarantee to the
+    /// trace as [`EdgeKind::DispatchChain`] edges — the race detector only
+    /// credits orderings a mediator actually enforced.
+    last_node: HashMap<ThreadId, u64>,
+    /// HB nodes of tasks whose kernel-space messages (any [`KernelMsg`]
+    /// where [`KernelMsg::induces_hb`] holds) were delivered to a thread
+    /// that has not dispatched its next task yet. Drained into
+    /// [`EdgeKind::KernelComm`] edges at that next dispatch: the
+    /// confirm/release protocol orders the sender's task before everything
+    /// the receiver runs afterwards.
+    pending_comm: HashMap<ThreadId, Vec<u64>>,
     /// Watchdog state per thread: the pending head that is currently
     /// blocking confirmed work, and when the kernel first saw it blocking.
     /// A pending head with nothing confirmed behind it costs nothing and is
@@ -142,6 +155,8 @@ impl JsKernel {
             task_base: HashMap::new(),
             inflight: HashMap::new(),
             stream_last: HashMap::new(),
+            last_node: HashMap::new(),
+            pending_comm: HashMap::new(),
             watchdog: HashMap::new(),
             checker: cfg.check_invariants.then(InvariantChecker::new),
             cfg,
@@ -576,11 +591,34 @@ impl Mediator for JsKernel {
 
     fn on_task_dispatched(
         &mut self,
-        _ctx: &mut MediatorCtx<'_>,
+        ctx: &mut MediatorCtx<'_>,
         thread: ThreadId,
         token: Option<EventToken>,
         _context: u32,
     ) {
+        // HB edge announcement. `ctx.node` is `None` for epoch-stale
+        // dispatch notifications — those never ran user code, so they must
+        // neither break the chain nor consume pending comm edges.
+        if let Some(node) = ctx.node {
+            // Kernel-channel deliveries since this thread's last task order
+            // their senders before everything the thread runs from now on.
+            if let Some(senders) = self.pending_comm.remove(&thread) {
+                for from in senders {
+                    if from != node {
+                        ctx.order_edge(from, node, EdgeKind::KernelComm);
+                    }
+                }
+            }
+            // The serialized dispatcher totally orders a thread's tasks —
+            // but only when deterministic scheduling is actually on; raw
+            // passthrough enforces nothing and must not claim an edge.
+            if self.cfg.deterministic {
+                if let Some(&prev) = self.last_node.get(&thread) {
+                    ctx.order_edge(prev, node, EdgeKind::DispatchChain);
+                }
+                self.last_node.insert(thread, node);
+            }
+        }
         if !self.cfg.deterministic {
             return;
         }
@@ -591,7 +629,7 @@ impl Mediator for JsKernel {
                 // event processes after the current browser event), so the
                 // task's own registrations take part in the next ordering
                 // decision.
-                _ctx.schedule_tick(thread, _ctx.now);
+                ctx.schedule_tick(thread, ctx.now);
             }
             if let Some((tid, predicted)) = self.token_info.remove(&t) {
                 debug_assert_eq!(tid, thread, "event dispatched on the wrong thread");
@@ -616,6 +654,10 @@ impl Mediator for JsKernel {
         self.stats.orphans_reaped += reaped;
         self.inflight.remove(&thread);
         self.watchdog.remove(&thread);
+        // A dead thread dispatches nothing more: pending comm edges to it
+        // can never be emitted, and its chain ends here.
+        self.last_node.remove(&thread);
+        self.pending_comm.remove(&thread);
         if let Some(kt) = self.threads.by_thread_mut(thread) {
             kt.status = KThreadStatus::Closed;
         }
@@ -693,7 +735,7 @@ impl Mediator for JsKernel {
         &mut self,
         ctx: &mut MediatorCtx<'_>,
         from: ThreadId,
-        _to: ThreadId,
+        to: ThreadId,
         payload: &JsValue,
     ) {
         let Some(msg) = KernelMsg::decode(payload) else {
@@ -701,6 +743,15 @@ impl Mediator for JsKernel {
         };
         self.kernel_msgs_seen += 1;
         self.stats.kernel_messages += 1;
+        // Obligation-carrying messages order the sending task before the
+        // receiver's subsequent work; `ctx.node` carries the original
+        // sender's HB node (forwarded replies inherit it). ClockSync is
+        // excluded — see [`KernelMsg::induces_hb`].
+        if msg.induces_hb() {
+            if let Some(sender) = ctx.node {
+                self.pending_comm.entry(to).or_default().push(sender);
+            }
+        }
         match msg {
             KernelMsg::PendingChildFetch { req, worker } => {
                 // Main-side kernel records the obligation and confirms
@@ -1122,6 +1173,89 @@ mod tests {
             "violations: {:?}",
             k.invariant_violations()
         );
+    }
+
+    #[test]
+    fn dispatch_chain_and_comm_edges_are_announced() {
+        use jsk_browser::mediator::MediatorOp;
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        // First dispatched task on thread 0: nothing to chain from yet.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(1), &mut rng);
+        ctx.node = Some(7);
+        k.on_task_dispatched(&mut ctx, ThreadId::new(0), None, 0);
+        assert!(!ctx
+            .into_ops()
+            .iter()
+            .any(|op| matches!(op, MediatorOp::OrderEdge { .. })));
+        // An obligation-carrying kernel message from node 7 lands on
+        // thread 0; a ClockSync from node 8 must induce nothing.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(2), &mut rng);
+        ctx.node = Some(7);
+        k.on_kernel_message(
+            &mut ctx,
+            ThreadId::new(1),
+            ThreadId::new(0),
+            &KernelMsg::ConfirmFetch {
+                req: RequestId::new(1),
+            }
+            .encode(),
+        );
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(2), &mut rng);
+        ctx.node = Some(8);
+        k.on_kernel_message(
+            &mut ctx,
+            ThreadId::new(1),
+            ThreadId::new(0),
+            &KernelMsg::ClockSync { kclock_ns: 42 }.encode(),
+        );
+        // The next dispatch on thread 0 announces the chain edge and the
+        // comm edge — and only those two.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(3), &mut rng);
+        ctx.node = Some(9);
+        k.on_task_dispatched(&mut ctx, ThreadId::new(0), None, 0);
+        let ops = ctx.into_ops();
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            MediatorOp::OrderEdge {
+                from: 7,
+                to: 9,
+                kind: EdgeKind::KernelComm
+            }
+        )));
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            MediatorOp::OrderEdge {
+                from: 7,
+                to: 9,
+                kind: EdgeKind::DispatchChain
+            }
+        )));
+        assert_eq!(
+            ops.iter()
+                .filter(|op| matches!(op, MediatorOp::OrderEdge { .. }))
+                .count(),
+            2
+        );
+        // Stale dispatch notifications (no node) neither break the chain
+        // nor emit edges; a non-deterministic kernel claims no chain edges.
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(4), &mut rng);
+        k.on_task_dispatched(&mut ctx, ThreadId::new(0), None, 0);
+        assert!(!ctx
+            .into_ops()
+            .iter()
+            .any(|op| matches!(op, MediatorOp::OrderEdge { .. })));
+        let mut raw = JsKernel::new(KernelConfig::cve_only());
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(1), &mut rng);
+        ctx.node = Some(1);
+        raw.on_task_dispatched(&mut ctx, ThreadId::new(0), None, 0);
+        let mut ctx = MediatorCtx::new(SimTime::from_millis(2), &mut rng);
+        ctx.node = Some(2);
+        raw.on_task_dispatched(&mut ctx, ThreadId::new(0), None, 0);
+        assert!(!ctx
+            .into_ops()
+            .iter()
+            .any(|op| matches!(op, MediatorOp::OrderEdge { .. })));
     }
 
     #[test]

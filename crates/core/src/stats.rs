@@ -101,21 +101,27 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Total simulated kernel events: everything the kernel had to look at
     /// (registrations, intercepted API calls, overlay messages). This is
-    /// the numerator of the events/sec throughput metric.
+    /// the numerator of the events/sec throughput metric. Saturates rather
+    /// than wrapping, like [`merge`](StatsSnapshot::merge).
     #[must_use]
     pub fn total_events(&self) -> u64 {
-        self.registered + self.api_calls + self.kernel_messages
+        self.registered
+            .saturating_add(self.api_calls)
+            .saturating_add(self.kernel_messages)
     }
 
-    /// Accumulates another snapshot into this one.
+    /// Accumulates another snapshot into this one. Counters saturate at
+    /// `u64::MAX`: snapshots are merged across arbitrarily many simulated
+    /// browsers, and a pegged throughput gauge is more useful than a
+    /// wrapped one (and than a debug-build panic mid-bench).
     pub fn merge(&mut self, other: &StatsSnapshot) {
-        self.registered += other.registered;
-        self.confirmed += other.confirmed;
-        self.dispatched += other.dispatched;
-        self.cancelled += other.cancelled;
-        self.api_calls += other.api_calls;
-        self.denials += other.denials;
-        self.kernel_messages += other.kernel_messages;
+        self.registered = self.registered.saturating_add(other.registered);
+        self.confirmed = self.confirmed.saturating_add(other.confirmed);
+        self.dispatched = self.dispatched.saturating_add(other.dispatched);
+        self.cancelled = self.cancelled.saturating_add(other.cancelled);
+        self.api_calls = self.api_calls.saturating_add(other.api_calls);
+        self.denials = self.denials.saturating_add(other.denials);
+        self.kernel_messages = self.kernel_messages.saturating_add(other.kernel_messages);
     }
 
     /// Simulated kernel events per wall-clock second (0 when the wall time

@@ -1,0 +1,171 @@
+//! Failure-path coverage for the kernel invariant checker and edge cases
+//! for the mergeable stats snapshot.
+//!
+//! The unit tests in `check.rs` exercise the happy paths; here each
+//! invariant is violated on purpose through the public API and the
+//! checker must *record* (not panic on) every violation. The one message
+//! the checker can emit that these tests do not trigger is "equeue index
+//! out of sync": the queue's index and records cannot diverge in count
+//! through the public API, only through a bug inside the queue itself.
+
+use jsk_browser::event::AsyncKind;
+use jsk_browser::ids::{EventToken, ThreadId};
+use jsk_core::check::InvariantChecker;
+use jsk_core::equeue::KernelEventQueue;
+use jsk_core::kevent::KernelEvent;
+use jsk_core::stats::{KernelStats, StatsSnapshot};
+use jsk_sim::time::SimTime;
+
+fn ev(token: u64, predicted_ms: u64) -> KernelEvent {
+    KernelEvent::pending(
+        EventToken::new(token),
+        ThreadId::new(0),
+        AsyncKind::Raf,
+        SimTime::from_millis(predicted_ms),
+    )
+}
+
+#[test]
+fn stale_order_key_breaks_queue_order() {
+    // The order index is keyed on the predicted time at push; rewriting an
+    // event's prediction in place leaves the index stale, so iteration
+    // yields records out of predicted order — exactly what invariant 1
+    // exists to catch.
+    let mut q = KernelEventQueue::new();
+    q.push(ev(1, 10));
+    q.push(ev(2, 20));
+    q.lookup_mut(EventToken::new(2)).unwrap().predicted = SimTime::from_millis(5);
+    let mut chk = InvariantChecker::new();
+    chk.check_queue(ThreadId::new(3), &q);
+    assert!(!chk.is_clean());
+    assert_eq!(chk.violations().len(), 1);
+    assert!(chk.violations()[0].contains("equeue order broken on thread 3"));
+}
+
+#[test]
+fn dispatch_overtake_names_both_events() {
+    let mut q = KernelEventQueue::new();
+    q.push(ev(7, 5));
+    let mut chk = InvariantChecker::new();
+    chk.check_dispatch(ThreadId::new(1), &ev(9, 10), &q);
+    assert_eq!(chk.violations().len(), 1);
+    let v = &chk.violations()[0];
+    assert!(v.contains("overtook"));
+    assert!(v.contains("released event 9"), "{v}");
+    assert!(v.contains("queued event 7"), "{v}");
+}
+
+#[test]
+fn dispatch_tie_is_not_an_overtake() {
+    // Equal predictions are legal: ties are broken FIFO by the queue, so
+    // releasing one of two tied events must stay clean.
+    let mut q = KernelEventQueue::new();
+    q.push(ev(2, 10));
+    let mut chk = InvariantChecker::new();
+    chk.check_dispatch(ThreadId::new(0), &ev(1, 10), &q);
+    assert!(chk.is_clean(), "{:?}", chk.violations());
+}
+
+#[test]
+fn clock_tracking_is_per_thread() {
+    let mut chk = InvariantChecker::new();
+    chk.check_clock(ThreadId::new(0), SimTime::from_millis(9));
+    // A later thread starting from zero is not a regression.
+    chk.check_clock(ThreadId::new(1), SimTime::ZERO);
+    assert!(chk.is_clean());
+    // But each thread's own history is enforced.
+    chk.check_clock(ThreadId::new(1), SimTime::from_millis(4));
+    chk.check_clock(ThreadId::new(1), SimTime::from_millis(3));
+    assert_eq!(chk.violations().len(), 1);
+    assert!(chk.violations()[0].contains("thread 1"));
+}
+
+#[test]
+fn violations_accumulate_across_invariants() {
+    // The checker records instead of panicking so a harness assert at the
+    // end of a run reports every broken invariant at once.
+    let mut chk = InvariantChecker::new();
+
+    let mut q = KernelEventQueue::new();
+    q.push(ev(1, 10));
+    q.push(ev(2, 20));
+    q.lookup_mut(EventToken::new(2)).unwrap().predicted = SimTime::ZERO;
+    chk.check_queue(ThreadId::new(0), &q);
+
+    let mut clean = KernelEventQueue::new();
+    clean.push(ev(3, 1));
+    chk.check_dispatch(ThreadId::new(0), &ev(4, 2), &clean);
+
+    chk.check_clock(ThreadId::new(0), SimTime::from_millis(8));
+    chk.check_clock(ThreadId::new(0), SimTime::from_millis(7));
+
+    assert_eq!(chk.violations().len(), 3);
+    assert!(chk.violations()[0].contains("order broken"));
+    assert!(chk.violations()[1].contains("overtook"));
+    assert!(chk.violations()[2].contains("backwards"));
+}
+
+#[test]
+fn empty_snapshots_merge_to_empty() {
+    let mut acc = StatsSnapshot::default();
+    acc.merge(&StatsSnapshot::default());
+    assert_eq!(acc, StatsSnapshot::default());
+    assert_eq!(acc.total_events(), 0);
+    assert_eq!(acc.events_per_sec(1.0), 0.0);
+}
+
+#[test]
+fn merge_with_default_is_identity() {
+    let mut snap = StatsSnapshot {
+        registered: 3,
+        confirmed: 2,
+        dispatched: 2,
+        cancelled: 1,
+        api_calls: 9,
+        denials: 4,
+        kernel_messages: 6,
+    };
+    let before = snap;
+    snap.merge(&StatsSnapshot::default());
+    assert_eq!(snap, before);
+}
+
+#[test]
+fn merge_saturates_instead_of_wrapping() {
+    let mut acc = StatsSnapshot {
+        registered: u64::MAX - 1,
+        denials: u64::MAX,
+        ..StatsSnapshot::default()
+    };
+    let other = StatsSnapshot {
+        registered: 5,
+        denials: 1,
+        api_calls: 2,
+        ..StatsSnapshot::default()
+    };
+    acc.merge(&other);
+    assert_eq!(acc.registered, u64::MAX);
+    assert_eq!(acc.denials, u64::MAX);
+    assert_eq!(acc.api_calls, 2);
+}
+
+#[test]
+fn total_events_saturates() {
+    let snap = StatsSnapshot {
+        registered: u64::MAX,
+        api_calls: 10,
+        kernel_messages: 10,
+        ..StatsSnapshot::default()
+    };
+    assert_eq!(snap.total_events(), u64::MAX);
+    // Pegged totals still yield a finite throughput figure.
+    assert!(snap.events_per_sec(2.0).is_finite());
+}
+
+#[test]
+fn kernel_stats_snapshot_roundtrip_saturates_consistently() {
+    let mut s = KernelStats::new();
+    s.registered = u64::MAX;
+    s.api_calls = 1;
+    assert_eq!(s.snapshot().total_events(), u64::MAX);
+}

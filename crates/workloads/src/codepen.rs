@@ -209,7 +209,7 @@ impl App {
                 );
                 let sum = Rc::new(RefCell::new(0.0f64));
                 let got = Rc::new(RefCell::new(0u32));
-                let s2 = sum.clone();
+                let s2 = sum;
                 scope.set_worker_onmessage(
                     w,
                     cb(move |scope, v| {

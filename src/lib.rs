@@ -15,7 +15,9 @@
 //!   web-concurrency CVEs;
 //! * [`attacks`] — the full Table I attack suite with statistical verdicts;
 //! * [`workloads`] — Alexa-like sites, Raptor tp6, a Dromaeo-like micro
-//!   suite, the worker benchmark, and the compatibility methodology.
+//!   suite, the worker benchmark, and the compatibility methodology;
+//! * [`analyze`] — the happens-before race detector, attack-pattern
+//!   scanner, and policy linter (`cargo run --example analyze_trace`).
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 //! assert_eq!(browser.console().len(), 1);
 //! ```
 
+pub use jsk_analyze as analyze;
 pub use jsk_attacks as attacks;
 pub use jsk_browser as browser;
 pub use jsk_core as core;

@@ -1,0 +1,101 @@
+//! Schema-validates and lints every committed policy file, and checks the
+//! full kernel policy set the way a kernel would run it.
+
+use jskernel::analyze::lint::{errors, lint_policy, lint_policy_set, LintKind, LintLevel};
+use jskernel::core::policy::PolicySpec;
+use jskernel::vuln::Cve;
+use jskernel::KernelConfig;
+use std::fs;
+use std::path::PathBuf;
+
+fn policy_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/policies"))
+}
+
+fn load_all() -> Vec<(String, PolicySpec)> {
+    let mut files: Vec<PathBuf> = fs::read_dir(policy_dir())
+        .expect("policies/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let json = fs::read_to_string(&p).expect("policy readable");
+            let spec = PolicySpec::from_json(&json)
+                .unwrap_or_else(|e| panic!("{name} does not parse as a policy: {e}"));
+            (name, spec)
+        })
+        .collect()
+}
+
+#[test]
+fn all_thirteen_policy_files_parse() {
+    let policies = load_all();
+    assert_eq!(policies.len(), 13, "expected 13 committed policy files");
+    // File name and embedded policy name agree.
+    for (file, spec) in &policies {
+        assert_eq!(file, &format!("{}.json", spec.name), "{file}");
+    }
+    // Exactly one carries the scheduling component (Listing 3).
+    assert_eq!(
+        policies
+            .iter()
+            .filter(|(_, s)| s.scheduling.is_some())
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn every_committed_policy_lints_clean_standalone() {
+    for (file, spec) in load_all() {
+        let lints = lint_policy(&spec);
+        assert!(lints.is_empty(), "{file}: {lints:#?}");
+    }
+}
+
+#[test]
+fn every_cve_policy_covers_its_racy_pair() {
+    let policies = load_all();
+    for cve in Cve::all() {
+        // "CVE-2018-5092" -> "policy_cve-2018-5092.json"
+        let tail = cve.id().strip_prefix("CVE-").unwrap().to_lowercase();
+        let file = format!("policy_cve-{tail}.json");
+        let (_, spec) = policies
+            .iter()
+            .find(|(name, _)| *name == file)
+            .unwrap_or_else(|| panic!("no committed policy for {}", cve.id()));
+        let incomplete = lint_policy(spec)
+            .into_iter()
+            .any(|l| matches!(l.kind, LintKind::IncompleteCoverage { .. }));
+        assert!(!incomplete, "{file} does not cover {}", cve.id());
+    }
+}
+
+#[test]
+fn full_kernel_policy_set_has_no_error_lints() {
+    let cfg = KernelConfig::full();
+    let lints = lint_policy_set(&cfg.policies, Some(cfg.watchdog_hold));
+    let errs = errors(&lints);
+    assert!(errs.is_empty(), "{errs:#?}");
+    // The intentional redundancy between standalone CVE policies (shared
+    // cleanup rules) is surfaced, but only as warnings.
+    assert!(lints
+        .iter()
+        .any(|l| matches!(l.kind, LintKind::RedundantAcrossPolicies { .. })));
+    assert!(lints.iter().all(|l| l.level == LintLevel::Warning));
+}
+
+#[test]
+fn deterministic_policy_is_rule_free_and_lint_free() {
+    let (_, spec) = load_all()
+        .into_iter()
+        .find(|(name, _)| name == "policy_deterministic.json")
+        .expect("deterministic policy committed");
+    assert!(spec.scheduling.is_some());
+    assert!(spec.rules.is_empty());
+    assert!(lint_policy(&spec).is_empty());
+}
