@@ -25,14 +25,21 @@
 //! schedules that disagree about the order of the pair.
 
 use jsk_browser::ids::ThreadId;
-use jsk_browser::trace::{AccessKind, AccessRecord, AccessTarget, NodeRecord, Trace};
+use jsk_browser::trace::{
+    AccessKind, AccessRecord, AccessTarget, Interner, NodeRecord, Sym, Trace,
+};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// The happens-before graph of one trace.
 #[derive(Debug)]
 pub struct HbGraph {
-    labels: Vec<String>,
+    /// Node labels as symbols (`None` for ids the trace never recorded);
+    /// resolved against `strings` only when a finding is materialized.
+    labels: Vec<Option<Sym>>,
+    /// The trace's string table, carried so the graph can resolve symbols
+    /// without borrowing the trace.
+    strings: Interner,
     threads: Vec<ThreadId>,
     parents: Vec<Option<u64>>,
     /// Per-node ancestor bitset, one word per 64 nodes.
@@ -50,7 +57,7 @@ impl HbGraph {
             .map(|(_, rec)| rec.node as usize + 1)
             .max()
             .unwrap_or(0);
-        let mut labels = vec![String::new(); n];
+        let mut labels = vec![None; n];
         let mut threads = vec![ThreadId::new(0); n];
         let mut parents = vec![None; n];
         let mut preds: Vec<Vec<u64>> = vec![Vec::new(); n];
@@ -62,7 +69,7 @@ impl HbGraph {
                 label,
             } = rec;
             let i = *node as usize;
-            labels[i] = label.clone();
+            labels[i] = Some(*label);
             threads[i] = *thread;
             parents[i] = *forked_from;
             if let Some(p) = forked_from {
@@ -94,6 +101,7 @@ impl HbGraph {
         }
         HbGraph {
             labels,
+            strings: trace.strings().clone(),
             threads,
             parents,
             reach,
@@ -124,7 +132,11 @@ impl HbGraph {
     /// The node's label (empty for ids the trace never recorded).
     #[must_use]
     pub fn label(&self, node: u64) -> &str {
-        self.labels.get(node as usize).map_or("", String::as_str)
+        self.labels
+            .get(node as usize)
+            .copied()
+            .flatten()
+            .map_or("", |sym| self.strings.resolve(sym))
     }
 
     /// The thread the node's task ran on.
@@ -172,7 +184,7 @@ impl HbGraph {
             node: access.node,
             thread: access.thread,
             kind: access.kind,
-            what: access.what.clone(),
+            what: self.strings.resolve(access.what).to_owned(),
             stack,
         }
     }
@@ -252,7 +264,10 @@ pub fn detect_races(trace: &Trace, graph: &HbGraph) -> Vec<RaceFinding> {
     }
     let mut out = Vec::new();
     for (target, accesses) in by_target {
-        let mut dedup: BTreeMap<(String, String), RaceFinding> = BTreeMap::new();
+        // Dedup on the raw symbol pair: within one trace distinct symbols
+        // are distinct strings, so this is the same partition as the label
+        // pair without cloning a string per candidate pair.
+        let mut dedup: BTreeMap<(u32, u32), RaceFinding> = BTreeMap::new();
         for (i, a) in accesses.iter().enumerate() {
             for b in accesses.iter().skip(i + 1) {
                 if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
@@ -262,7 +277,7 @@ pub fn detect_races(trace: &Trace, graph: &HbGraph) -> Vec<RaceFinding> {
                     continue;
                 }
                 let (first, second) = if a.node <= b.node { (a, b) } else { (b, a) };
-                let key = (first.what.clone(), second.what.clone());
+                let key = (first.what.raw(), second.what.raw());
                 dedup
                     .entry(key)
                     .and_modify(|f| f.occurrences += 1)
@@ -277,8 +292,24 @@ pub fn detect_races(trace: &Trace, graph: &HbGraph) -> Vec<RaceFinding> {
         }
         out.extend(dedup.into_values());
     }
+    // The label pair breaks (target, node, node) ties: one node can host
+    // accesses with different labels, and symbol order is interning order,
+    // not lexicographic, so the tie-break must compare the resolved text.
     out.sort_by(|x, y| {
-        (x.target, x.first.node, x.second.node).cmp(&(y.target, y.first.node, y.second.node))
+        (
+            x.target,
+            x.first.node,
+            x.second.node,
+            &x.first.what,
+            &x.second.what,
+        )
+            .cmp(&(
+                y.target,
+                y.first.node,
+                y.second.node,
+                &y.first.what,
+                &y.second.what,
+            ))
     });
     out
 }
@@ -290,18 +321,20 @@ mod tests {
     use jsk_sim::time::SimTime;
 
     fn node(t: &mut Trace, id: u64, thread: u64, forked_from: Option<u64>, label: &str) {
+        let label = t.intern(label);
         t.node(
             SimTime::from_millis(id),
             NodeRecord {
                 node: id,
                 thread: ThreadId::new(thread),
                 forked_from,
-                label: label.into(),
+                label,
             },
         );
     }
 
     fn access(t: &mut Trace, node: u64, thread: u64, target: AccessTarget, kind: AccessKind) {
+        let what = t.intern(&format!("w{node}"));
         t.access(
             SimTime::from_millis(node),
             AccessRecord {
@@ -309,7 +342,7 @@ mod tests {
                 thread: ThreadId::new(thread),
                 target,
                 kind,
-                what: format!("w{node}"),
+                what,
             },
         );
     }
@@ -405,6 +438,7 @@ mod tests {
         for i in 2..6 {
             node(&mut t, i, 1, Some(0), "r");
         }
+        let store = t.intern("store");
         t.access(
             SimTime::ZERO,
             AccessRecord {
@@ -412,9 +446,10 @@ mod tests {
                 thread: ThreadId::new(0),
                 target: sab(0),
                 kind: AccessKind::Write,
-                what: "store".into(),
+                what: store,
             },
         );
+        let load = t.intern("load");
         for i in 2..6 {
             t.access(
                 SimTime::ZERO,
@@ -423,7 +458,7 @@ mod tests {
                     thread: ThreadId::new(1),
                     target: sab(0),
                     kind: AccessKind::Read,
-                    what: "load".into(),
+                    what: load,
                 },
             );
         }

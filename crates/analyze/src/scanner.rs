@@ -88,6 +88,15 @@ impl PatternFinding {
     }
 }
 
+/// Scanner dedup key: `(evidence stream, id word, id word)`.
+type SigKey = (u8, u64, u64);
+/// Evidence shared by the API and fact streams (dedups across both).
+const SIG_SHARED: u8 = 0;
+/// API-side evidence.
+const SIG_API: u8 = 1;
+/// Fact-side evidence.
+const SIG_FACT: u8 = 2;
+
 /// A ticker channel needs this many sends to count as a clock.
 const TICKER_MIN_SENDS: usize = 20;
 /// … with a median inter-send gap at or below this (50 Hz+).
@@ -98,16 +107,23 @@ const TICKER_MAX_MEDIAN_GAP: SimTime = SimTime::from_millis(20);
 #[must_use]
 pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
     let mut out: Vec<PatternFinding> = Vec::new();
-    let mut seen: BTreeSet<(PatternKind, String)> = BTreeSet::new();
+    // Dedup key: (tag, id, id). The tag separates a kind's API-side and
+    // fact-side evidence streams where they were distinct keys before
+    // (0 = shared across both, 1 = API, 2 = fact); the two words carry the
+    // record's ids — entity indexes and interned-string symbols. Ids and
+    // symbols are injective to their display strings, so the partition is
+    // exactly the one the old formatted-string keys produced, without
+    // allocating a key per record.
+    let mut seen: BTreeSet<(PatternKind, SigKey)> = BTreeSet::new();
     let mut freed_buffers: BTreeSet<BufferId> = BTreeSet::new();
     // (from, to) -> send instants, for the ticker pass.
     let mut channels: BTreeMap<(u64, u64), Vec<SimTime>> = BTreeMap::new();
 
     let push = |out: &mut Vec<PatternFinding>,
-                seen: &mut BTreeSet<(PatternKind, String)>,
+                seen: &mut BTreeSet<(PatternKind, SigKey)>,
                 kind: PatternKind,
                 at: SimTime,
-                key: String,
+                key: SigKey,
                 detail: String| {
         if seen.insert((kind, key)) {
             out.push(PatternFinding { kind, at, detail });
@@ -134,7 +150,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                             &mut seen,
                             PatternKind::FreedDocDelivery,
                             at,
-                            format!("api:{from}->{to}"),
+                            (SIG_API, from.index(), to.index()),
                             format!("postMessage from {from} to {to} whose document is freed"),
                         );
                     }
@@ -148,7 +164,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::MidDispatchTermination,
                     at,
-                    format!("{worker}"),
+                    (SIG_SHARED, worker.index(), 0),
                     format!("terminate({worker}) while its message is mid-dispatch"),
                 ),
                 ApiCall::BufferAccess { buffer, freed, .. }
@@ -159,7 +175,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                         &mut seen,
                         PatternKind::FreedTransferWindow,
                         at,
-                        format!("{buffer}"),
+                        (SIG_SHARED, buffer.index(), 0),
                         format!("access to {buffer} after its backing store was freed"),
                     );
                 }
@@ -172,7 +188,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::AbortAfterOwnerDeath,
                     at,
-                    format!("{req}"),
+                    (SIG_SHARED, req.index(), 0),
                     format!("abort delivery to {req} whose owner thread is dead"),
                 ),
                 ApiCall::SetOnMessage {
@@ -184,7 +200,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::ClosingWorkerAssignment,
                     at,
-                    format!("{worker}"),
+                    (SIG_SHARED, worker.index(), 0),
                     format!("onmessage assigned to closing {worker}"),
                 ),
                 ApiCall::ErrorEvent {
@@ -196,8 +212,11 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::ErrorLeak,
                     at,
-                    format!("api:{thread}:{message}"),
-                    format!("error event on {thread} embeds cross-origin data: {message:?}"),
+                    (SIG_API, thread.index(), u64::from(message.raw())),
+                    format!(
+                        "error event on {thread} embeds cross-origin data: {:?}",
+                        trace.resolve(*message)
+                    ),
                 ),
                 ApiCall::CloseDocument {
                     thread,
@@ -207,7 +226,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::CallbackAfterCloseWindow,
                     at,
-                    format!("window:{thread}"),
+                    (SIG_API, thread.index(), 0),
                     format!(
                         "document close on {thread} with {pending_worker_messages} \
                          worker messages still queued"
@@ -223,8 +242,11 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::WorkerSopBypass,
                     at,
-                    format!("api:{thread}:{url}"),
-                    format!("cross-origin XHR from worker {thread} to {url:?}"),
+                    (SIG_API, thread.index(), u64::from(url.raw())),
+                    format!(
+                        "cross-origin XHR from worker {thread} to {:?}",
+                        trace.resolve(*url)
+                    ),
                 ),
                 ApiCall::CreateWorker {
                     worker,
@@ -235,7 +257,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::SandboxOriginInheritance,
                     at,
-                    format!("api:{worker}"),
+                    (SIG_API, worker.index(), 0),
                     format!("{worker} created from a sandboxed context"),
                 ),
                 ApiCall::IdbOpen {
@@ -247,7 +269,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::PrivateModePersistence,
                     at,
-                    format!("api:{thread}"),
+                    (SIG_API, thread.index(), 0),
                     format!("durable indexedDB.open on {thread} during private mode"),
                 ),
                 _ => {}
@@ -261,7 +283,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::FreedTransferWindow,
                     at,
-                    format!("{buffer}"),
+                    (SIG_SHARED, buffer.index(), 0),
                     format!("{thread} touched freed {buffer}"),
                 ),
                 Fact::NullDerefOnAssign { worker } => push(
@@ -269,7 +291,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::ClosingWorkerAssignment,
                     at,
-                    format!("{worker}"),
+                    (SIG_SHARED, worker.index(), 0),
                     format!("null-pointer setter on closing {worker}"),
                 ),
                 Fact::ErrorMessageDelivered {
@@ -282,15 +304,18 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::ErrorLeak,
                     at,
-                    format!("fact:{thread}:{message}"),
-                    format!("cross-origin error text delivered on {thread}: {message:?}"),
+                    (SIG_FACT, thread.index(), u64::from(message.raw())),
+                    format!(
+                        "cross-origin error text delivered on {thread}: {:?}",
+                        trace.resolve(*message)
+                    ),
                 ),
                 Fact::StaleDocCallback { thread } => push(
                     &mut out,
                     &mut seen,
                     PatternKind::StaleDocCompletion,
                     at,
-                    format!("{thread}"),
+                    (SIG_SHARED, thread.index(), 0),
                     format!("network completion ran against a stale document on {thread}"),
                 ),
                 Fact::MessageToFreedDoc { from, to } => push(
@@ -298,7 +323,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::FreedDocDelivery,
                     at,
-                    format!("fact:{from}->{to}"),
+                    (SIG_FACT, from.index(), to.index()),
                     format!("message from {from} delivered into freed document on {to}"),
                 ),
                 Fact::CallbackAfterClose { thread } => push(
@@ -306,7 +331,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::CallbackAfterCloseWindow,
                     at,
-                    format!("ran:{thread}"),
+                    (SIG_FACT, thread.index(), 0),
                     format!("worker-message callback ran on {thread} after document close"),
                 ),
                 Fact::CrossOriginWorkerRequest { thread, url } => push(
@@ -314,8 +339,11 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::WorkerSopBypass,
                     at,
-                    format!("fact:{thread}:{url}"),
-                    format!("cross-origin request left worker {thread} for {url:?}"),
+                    (SIG_FACT, thread.index(), u64::from(url.raw())),
+                    format!(
+                        "cross-origin request left worker {thread} for {:?}",
+                        trace.resolve(*url)
+                    ),
                 ),
                 Fact::WorkerStarted {
                     worker,
@@ -327,7 +355,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::SandboxOriginInheritance,
                     at,
-                    format!("fact:{worker}"),
+                    (SIG_FACT, worker.index(), 0),
                     format!("{worker} inherited its sandboxed parent's origin"),
                 ),
                 Fact::IdbPersistedInPrivateMode { thread } => push(
@@ -335,7 +363,7 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     &mut seen,
                     PatternKind::PrivateModePersistence,
                     at,
-                    format!("fact:{thread}"),
+                    (SIG_FACT, thread.index(), 0),
                     format!("IndexedDB data persisted during private mode on {thread}"),
                 ),
                 _ => {}
@@ -387,7 +415,7 @@ mod tests {
                 transfer_count: 0,
                 to_doc_freed: false,
             };
-            fast.api(SimTime::from_millis(i), call.clone());
+            fast.api(SimTime::from_millis(i), call);
             slow.api(SimTime::from_millis(i * 100), call);
         }
         let fast_hits = scan(&fast);

@@ -1,0 +1,252 @@
+//! Hot-path throughput: the three structures the dispatch-path overhaul
+//! rebuilt — compiled policy decision tables, the heap-based event queue,
+//! and interned trace records — exercised as tight loops over the same
+//! operations the kernel performs per asynchronous event.
+//!
+//! The JSON record's cells are deterministic operation and outcome counts
+//! (byte-identical across machines and `JSK_JOBS` settings); wall-clock
+//! throughput prints per phase and lands in the run metadata's
+//! `steps_per_sec`, where the regression gate holds it to the committed
+//! baseline. There is no simulated browser in this harness, so
+//! `probe.steps` counts hot-path operations instead of event-loop steps.
+//!
+//! `JSK_HOTPATH_ROUNDS` scales every phase (default 1 000 000).
+
+use jsk_browser::event::AsyncKind;
+use jsk_browser::ids::{EventToken, RequestId, ThreadId, WorkerId};
+use jsk_browser::mediator::ApiOutcome;
+use jsk_browser::trace::{ApiCall, Fact, Interner, TerminationReason, Trace};
+use jsk_core::equeue::KernelEventQueue;
+use jsk_core::kevent::{KEventStatus, KernelEvent};
+use jsk_core::policy::{cve, PolicyEngine};
+use jsk_core::threads::ThreadManager;
+use jsk_sim::time::SimTime;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Events per equeue round: push 64, confirm 64, drain.
+const BATCH: u64 = 64;
+
+/// Distinct URLs in the trace-record phase, so the interner exercises its
+/// hit path (the steady state of a real page) rather than growing forever.
+const URL_POOL: usize = 64;
+
+struct Phase {
+    row: &'static str,
+    ops: u64,
+    wall_ms: f64,
+}
+
+fn timed(row: &'static str, f: impl FnOnce() -> u64) -> Phase {
+    let start = Instant::now();
+    let ops = f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rate = if wall_ms > 0.0 {
+        ops as f64 / wall_ms * 1e3
+    } else {
+        0.0
+    };
+    println!("[hotpath] {row}: {ops} ops in {wall_ms:.0}ms ({rate:.0} ops/s)");
+    Phase { row, ops, wall_ms }
+}
+
+/// A fixed mix of intercepted calls covering the busiest selectors: most
+/// are allowed (the steady state the paper's overhead numbers measure),
+/// two trip CVE policies so the deny path stays in the loop.
+fn call_mix(strings: &mut Interner) -> Vec<ApiCall> {
+    let url = strings.intern("https://origin.example/api");
+    let xurl = strings.intern("https://victim.example/secret");
+    let src = strings.intern("worker.js");
+    vec![
+        ApiCall::Fetch {
+            thread: ThreadId::new(1),
+            req: RequestId::new(1),
+            url,
+            has_signal: true,
+        },
+        ApiCall::XhrSend {
+            thread: ThreadId::new(1),
+            from_worker: true,
+            url,
+            cross_origin: false,
+        },
+        ApiCall::PostMessage {
+            from: ThreadId::new(1),
+            to: ThreadId::new(0),
+            transfer_count: 0,
+            to_doc_freed: false,
+        },
+        ApiCall::TerminateWorker {
+            worker: WorkerId::new(0),
+            reason: TerminationReason::Explicit,
+            during_dispatch: false,
+            live_transfers: 0,
+            pending_fetches: 0,
+        },
+        ApiCall::CreateWorker {
+            parent: ThreadId::new(0),
+            worker: WorkerId::new(0),
+            src,
+            sandboxed: false,
+        },
+        ApiCall::DeliverAbort {
+            req: RequestId::new(2),
+            owner: ThreadId::new(1),
+            owner_alive: false,
+        },
+        ApiCall::XhrSend {
+            thread: ThreadId::new(1),
+            from_worker: true,
+            url: xurl,
+            cross_origin: true,
+        },
+        ApiCall::SetOnMessage {
+            thread: ThreadId::new(0),
+            worker: Some(WorkerId::new(0)),
+            worker_closing: false,
+        },
+    ]
+}
+
+fn policy_decide(rounds: usize) -> (Phase, u64) {
+    let engine = PolicyEngine::new(cve::all_cve_policies());
+    let mut threads = ThreadManager::new();
+    let mut strings = Interner::new();
+    threads.register(
+        WorkerId::new(0),
+        ThreadId::new(1),
+        ThreadId::new(0),
+        strings.intern("worker.js"),
+    );
+    let mix = call_mix(&mut strings);
+    let mut denies = 0u64;
+    let phase = timed("policy-decide", || {
+        let mut ops = 0u64;
+        for _ in 0..rounds {
+            for call in &mix {
+                let (outcome, _) = engine.decide(black_box(call), &threads);
+                if !matches!(outcome, ApiOutcome::Allow) {
+                    denies += 1;
+                }
+                ops += 1;
+            }
+        }
+        ops
+    });
+    (phase, denies)
+}
+
+fn equeue_churn(rounds: u64) -> (Phase, u64) {
+    let mut q = KernelEventQueue::new();
+    let mut scratch = Vec::new();
+    let mut drained = 0u64;
+    let phase = timed("equeue-churn", || {
+        for r in 0..rounds {
+            for i in 0..BATCH {
+                q.push(KernelEvent::pending(
+                    EventToken::new(r * BATCH + i),
+                    ThreadId::new(0),
+                    AsyncKind::Raf,
+                    SimTime::from_millis(i),
+                ));
+            }
+            for i in 0..BATCH {
+                q.lookup_mut(EventToken::new(r * BATCH + i)).unwrap().status =
+                    KEventStatus::Confirmed;
+            }
+            scratch.clear();
+            q.drain_dispatchable_into(&mut scratch);
+            drained += scratch.len() as u64;
+            black_box(&scratch);
+        }
+        // One op per push, per confirm, and per drained event.
+        rounds * BATCH * 2 + drained
+    });
+    (phase, drained)
+}
+
+fn trace_record(rounds: usize) -> (Phase, u64) {
+    let urls: Vec<String> = (0..URL_POOL)
+        .map(|i| format!("https://site{i}.example/path"))
+        .collect();
+    let mut trace = Trace::new();
+    let phase = timed("trace-record", || {
+        let mut ops = 0u64;
+        for i in 0..rounds {
+            let t = SimTime::from_millis(i as u64);
+            let url = trace.intern(&urls[i % URL_POOL]);
+            trace.api(
+                t,
+                ApiCall::Fetch {
+                    thread: ThreadId::new(1),
+                    req: RequestId::new(i as u64),
+                    url,
+                    has_signal: false,
+                },
+            );
+            trace.fact(
+                t,
+                Fact::FetchStarted {
+                    req: RequestId::new(i as u64),
+                    thread: ThreadId::new(1),
+                    has_signal: false,
+                },
+            );
+            ops += 2;
+        }
+        black_box(&trace);
+        ops
+    });
+    let symbols = trace.strings().len() as u64;
+    (phase, symbols)
+}
+
+fn main() {
+    let rounds = jsk_bench::env_knob("JSK_HOTPATH_ROUNDS", 1_000_000);
+    let mut reporter = jsk_bench::record::BenchReporter::new("hotpath");
+    reporter.knob("JSK_HOTPATH_ROUNDS", rounds);
+
+    let (decide, denies) = policy_decide(rounds);
+    let (equeue, drained) = equeue_churn(rounds as u64 / 32);
+    let (record, symbols) = trace_record(rounds);
+
+    let mut report = jsk_bench::Report::new(
+        "Hot-path throughput (dispatch-path structures)",
+        &["phase", "ops", "wall ms", "kops/sec"],
+    );
+    let mut probe = jsk_bench::record::Probe::default();
+    for phase in [&decide, &equeue, &record] {
+        report.row(vec![
+            phase.row.to_owned(),
+            phase.ops.to_string(),
+            format!("{:.0}", phase.wall_ms),
+            format!("{:.0}", phase.ops as f64 / phase.wall_ms.max(1e-9)),
+        ]);
+        // No simulated browser here: steps count hot-path operations, so
+        // the run metadata's steps_per_sec is combined hot-path throughput.
+        probe.steps += phase.ops;
+    }
+    report.print();
+
+    // Cells are deterministic counts only; throughput lives in the meta.
+    for (phase, outcome, label, unit) in [
+        (&decide, denies, "non-allow outcomes", "denies"),
+        (&equeue, drained, "events drained", "events"),
+        (&record, symbols, "interned symbols", "symbols"),
+    ] {
+        reporter.cell(jsk_bench::record::CellRecord::value(
+            phase.row,
+            "ops",
+            phase.ops as f64,
+            "ops",
+        ));
+        reporter.cell(jsk_bench::record::CellRecord::value(
+            phase.row,
+            label,
+            outcome as f64,
+            unit,
+        ));
+    }
+    reporter.absorb(&probe);
+    reporter.finish().expect("write bench JSON");
+}

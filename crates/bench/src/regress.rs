@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Every JSON-emitting bench target, in run order.
-pub const ALL_TARGETS: [&str; 11] = [
+pub const ALL_TARGETS: [&str; 12] = [
     "table1",
     "table2",
     "table3",
@@ -34,6 +34,7 @@ pub const ALL_TARGETS: [&str; 11] = [
     "codepen",
     "ablation",
     "micro",
+    "hotpath",
 ];
 
 /// The committed baseline: one [`BenchRun`] per target.

@@ -99,6 +99,49 @@ fn analysis_reports_are_bit_identical_under_pool() {
     assert!(serial.iter().any(|json| json.contains("\"races\": [\n")));
 }
 
+/// Full serialized traces — symbol table included — from kernel browsers
+/// fanned through the pool. Interner symbols are assigned by first
+/// occurrence in record order, so worker width must not reassign them.
+fn worker_page_traces(jobs: usize) -> Vec<String> {
+    pool::run_indexed(4, jobs, |i| {
+        let mut browser = DefenseKind::JsKernel.build(i as u64 + 1);
+        browser.boot(|scope| {
+            let _w = scope.create_worker(
+                "worker.js",
+                jsk_browser::task::worker_script(|scope| {
+                    scope.fetch(
+                        "https://a.example/x",
+                        None,
+                        jsk_browser::task::cb(|_, _| {}),
+                    );
+                    scope.post_message(jsk_browser::value::JsValue::from("done"));
+                }),
+            );
+            scope.fetch(
+                "https://b.example/y",
+                None,
+                jsk_browser::task::cb(|_, _| {}),
+            );
+        });
+        browser.run_until_idle();
+        serde_json::to_string_pretty(browser.trace()).expect("trace serializes")
+    })
+}
+
+#[test]
+fn trace_symbol_tables_identical_under_pool() {
+    let serial = worker_page_traces(1);
+    let parallel = worker_page_traces(8);
+    assert_eq!(
+        serial, parallel,
+        "JSK_JOBS must not change interned traces or their symbol tables"
+    );
+    assert!(
+        serial[0].contains("worker.js") && serial[0].contains("https://a.example/x"),
+        "the symbol table must travel with the trace"
+    );
+}
+
 #[test]
 fn timing_attack_results_identical_under_pool() {
     // The full attack-result payload (both sample vectors), not just the

@@ -619,6 +619,7 @@ impl Browser {
             return;
         };
         let t = self.current_instant();
+        let what = self.trace.intern(what);
         self.trace.access(
             t,
             AccessRecord {
@@ -626,7 +627,7 @@ impl Browser {
                 thread,
                 target,
                 kind,
-                what: what.to_owned(),
+                what,
             },
         );
     }
@@ -674,17 +675,14 @@ impl Browser {
 
     pub(crate) fn intercept(&mut self, call: &ApiCall) -> ApiOutcome {
         let t = self.current_instant();
-        self.trace.api(t, call.clone());
+        self.trace.api(t, *call);
         let outcome = self.with_mediator(|m, ctx| m.on_api(ctx, call));
         if let ApiOutcome::Deny { reason } = &outcome {
             let t = self.current_instant();
-            self.trace.fact(
-                t,
-                Fact::Denied {
-                    what: format!("{call:?}"),
-                    reason: reason.clone(),
-                },
-            );
+            let what = call.describe(self.trace.strings());
+            let what = self.trace.intern(&what);
+            let reason = self.trace.intern(reason);
+            self.trace.fact(t, Fact::Denied { what, reason });
         }
         outcome
     }
@@ -1008,13 +1006,14 @@ impl Browser {
         // task that registered the callback / sent the message.
         let node = self.next_node;
         self.next_node += 1;
+        let label = self.trace.intern(source_label(task.source));
         self.trace.node(
             self.now,
             NodeRecord {
                 node,
                 thread,
                 forked_from: task.forked_from,
-                label: source_label(task.source).to_owned(),
+                label,
             },
         );
         // The dispatch hook sees the new node (kernels chain consecutive
@@ -1178,10 +1177,11 @@ impl Browser {
         let parent = self.cur.as_ref().map_or(MAIN_THREAD, |c| c.thread);
         let sandboxed = self.cur.as_ref().is_some_and(|c| c.sandboxed);
         let wid = WorkerId::new(self.workers.len() as u64);
+        let src_sym = self.trace.intern(&src);
         let outcome = self.intercept(&ApiCall::CreateWorker {
             parent,
             worker: wid,
-            src: src.clone(),
+            src: src_sym,
             sandboxed,
         });
         let created_gen = self.threads[parent.index() as usize].doc_generation;
@@ -1508,13 +1508,14 @@ impl Browser {
             let node = self.next_node;
             self.next_node += 1;
             let thread = self.workers[i].thread;
+            let label = self.trace.intern("worker-teardown");
             self.trace.node(
                 self.now,
                 NodeRecord {
                     node,
                     thread,
                     forked_from: self.workers[i].closed_by_node,
-                    label: "worker-teardown".to_owned(),
+                    label,
                 },
             );
             self.hb_synth_node = Some(node);
@@ -1548,9 +1549,10 @@ impl Browser {
         native_message: String,
         leaks_cross_origin: bool,
     ) {
+        let native_sym = self.trace.intern(&native_message);
         let outcome = self.intercept(&ApiCall::ErrorEvent {
             thread,
-            message: native_message.clone(),
+            message: native_sym,
             leaks_cross_origin,
         });
         let (message, leaked) = match outcome {
@@ -1562,7 +1564,9 @@ impl Browser {
             self.cfg.profile.sched.message_latency,
             self.cfg.profile.sched.message_jitter,
         );
-        let msg_for_fact = message.clone();
+        // The callback records the delivered text by symbol: `Sym` is
+        // `Copy`, so repeated deliveries no longer clone the message.
+        let msg_sym = self.trace.intern(&message);
         let token = self.register_async(AsyncReg::new(
             thread,
             AsyncKind::Net {
@@ -1575,7 +1579,7 @@ impl Browser {
                 scope.browser.fact(Fact::ErrorMessageDelivered {
                     thread: scope.thread(),
                     source,
-                    message: msg_for_fact.clone(),
+                    message: msg_sym,
                     leaked_cross_origin: leaked,
                 });
                 scope.dispatch_error_for(via_worker, arg);

@@ -624,10 +624,11 @@ impl<'a> JsScope<'a> {
                 return req;
             }
         }
+        let url_sym = self.browser.trace.intern(&url);
         let outcome = self.browser.intercept(&ApiCall::Fetch {
             thread,
             req,
-            url: url.clone(),
+            url: url_sym,
             has_signal: signal.is_some(),
         });
         if matches!(outcome, ApiOutcome::Deny { .. }) {
@@ -785,10 +786,11 @@ impl<'a> JsScope<'a> {
         let from_worker = self.browser.threads[ti].kind.is_worker();
         let origin = self.browser.threads[ti].origin.clone();
         let cross = crate::net::is_cross_origin(&origin, &url);
+        let url_sym = self.browser.trace.intern(&url);
         let outcome = self.browser.intercept(&ApiCall::XhrSend {
             thread,
             from_worker,
-            url: url.clone(),
+            url: url_sym,
             cross_origin: cross,
         });
         if matches!(outcome, ApiOutcome::Deny { .. }) {
@@ -803,7 +805,7 @@ impl<'a> JsScope<'a> {
         if from_worker && cross {
             self.browser.fact(Fact::CrossOriginWorkerRequest {
                 thread,
-                url: url.clone(),
+                url: url_sym,
             });
         }
         if self.browser.threads[ti].origin_kind == crate::thread::OriginKind::InheritedFromSandbox
@@ -843,9 +845,10 @@ impl<'a> JsScope<'a> {
         let thread = self.thread;
         let origin = self.browser.threads[thread.index() as usize].origin.clone();
         let cross = crate::net::is_cross_origin(&origin, &url);
+        let url_sym = self.browser.trace.intern(&url);
         let outcome = self.browser.intercept(&ApiCall::ImportScripts {
             thread,
-            url: url.clone(),
+            url: url_sym,
             cross_origin: cross,
         });
         if matches!(outcome, ApiOutcome::Deny { .. }) {

@@ -16,7 +16,111 @@
 
 use crate::ids::{BufferId, NodeId, RequestId, SabId, ThreadId, WorkerId};
 use jsk_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+
+/// An interned string: an index into the owning [`Trace`]'s string table.
+///
+/// Trace records are hot-path appends — one per intercepted API call, fact,
+/// task node, and shared-state access — so they store string payloads (URLs,
+/// script names, error messages, call-site labels) as symbols instead of
+/// owned `String`s. Interning makes every record `Copy` (appending never
+/// allocates for a string the trace has seen before) and lets analysis
+/// passes key dedup maps on a `u32` instead of cloning strings.
+///
+/// A symbol is only meaningful together with the [`Interner`] that issued
+/// it; resolve through [`Trace::resolve`] (or [`Interner::resolve`]).
+/// Serializes as its raw index; the table travels with the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw table index, for keying maps on an integer.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A deterministic string table: the first occurrence of each distinct
+/// string gets the next index, so identical record sequences always produce
+/// identical symbol assignments (and thus byte-identical serialized traces)
+/// regardless of how many analysis jobs run concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Returns the symbol for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&i) = self.index.get(s) {
+            return Sym(i);
+        }
+        let i = u32::try_from(self.strings.len()).expect("interner overflow: > u32::MAX strings");
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        Sym(i)
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol came from a different interner (index out of
+    /// range). A foreign symbol with an in-range index resolves to the
+    /// wrong string — symbols are only meaningful with their own table.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Two interners are equal when their tables match; the lookup index is
+/// derived state.
+impl PartialEq for Interner {
+    fn eq(&self, other: &Interner) -> bool {
+        self.strings == other.strings
+    }
+}
+
+/// Serializes as the bare string table (the index is rebuilt on read).
+impl Serialize for Interner {
+    fn to_value(&self) -> Value {
+        self.strings.to_value()
+    }
+}
+
+impl Deserialize for Interner {
+    fn from_value(v: &Value) -> Result<Interner, DeError> {
+        let strings = Vec::<String>::from_value(v)?;
+        let index = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), u32::try_from(i).expect("interner overflow")))
+            .collect();
+        Ok(Interner { strings, index })
+    }
+}
 
 /// Which API produced an error message (disambiguates the two error-leak
 /// CVEs, 2014-1487 vs 2015-7215).
@@ -44,7 +148,7 @@ pub enum TerminationReason {
 
 /// A JavaScript built-in invocation, as seen by defense mediators and the
 /// trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ApiCall {
     /// `new Worker(src)`.
     CreateWorker {
@@ -52,8 +156,8 @@ pub enum ApiCall {
         parent: ThreadId,
         /// The worker handle being created.
         worker: WorkerId,
-        /// Script name (the `src` URL).
-        src: String,
+        /// Script name (the `src` URL), interned in the owning trace.
+        src: Sym,
         /// Whether the creating context is a sandboxed frame.
         sandboxed: bool,
     },
@@ -98,8 +202,8 @@ pub enum ApiCall {
         thread: ThreadId,
         /// Request id.
         req: RequestId,
-        /// Target URL.
-        url: String,
+        /// Target URL, interned in the owning trace.
+        url: Sym,
         /// Whether an abort signal is attached.
         has_signal: bool,
     },
@@ -118,8 +222,8 @@ pub enum ApiCall {
         thread: ThreadId,
         /// `true` when issued from a worker.
         from_worker: bool,
-        /// Target URL.
-        url: String,
+        /// Target URL, interned in the owning trace.
+        url: Sym,
         /// Whether the URL is cross-origin for the requesting context.
         cross_origin: bool,
     },
@@ -127,8 +231,8 @@ pub enum ApiCall {
     ImportScripts {
         /// The worker thread.
         thread: ThreadId,
-        /// Target URL.
-        url: String,
+        /// Target URL, interned in the owning trace.
+        url: Sym,
         /// Whether the URL is cross-origin.
         cross_origin: bool,
     },
@@ -136,8 +240,8 @@ pub enum ApiCall {
     ErrorEvent {
         /// Receiving thread.
         thread: ThreadId,
-        /// The raw (native) message text.
-        message: String,
+        /// The raw (native) message text, interned in the owning trace.
+        message: Sym,
         /// Whether the message embeds cross-origin information.
         leaks_cross_origin: bool,
     },
@@ -173,8 +277,116 @@ pub enum ApiCall {
     },
 }
 
+impl ApiCall {
+    /// A human-readable one-line description with interned strings resolved
+    /// — the text recorded as [`Fact::Denied`]'s `what`. Mirrors the
+    /// derive-`Debug` struct-variant layout, with `Sym` fields shown as the
+    /// quoted strings they stand for.
+    #[must_use]
+    pub fn describe(&self, strings: &Interner) -> String {
+        let s = |sym: &Sym| strings.resolve(*sym);
+        match self {
+            ApiCall::CreateWorker {
+                parent,
+                worker,
+                src,
+                sandboxed,
+            } => format!(
+                "CreateWorker {{ parent: {parent:?}, worker: {worker:?}, src: {:?}, sandboxed: {sandboxed:?} }}",
+                s(src)
+            ),
+            ApiCall::TerminateWorker {
+                worker,
+                reason,
+                during_dispatch,
+                live_transfers,
+                pending_fetches,
+            } => format!(
+                "TerminateWorker {{ worker: {worker:?}, reason: {reason:?}, during_dispatch: {during_dispatch:?}, live_transfers: {live_transfers:?}, pending_fetches: {pending_fetches:?} }}"
+            ),
+            ApiCall::PostMessage {
+                from,
+                to,
+                transfer_count,
+                to_doc_freed,
+            } => format!(
+                "PostMessage {{ from: {from:?}, to: {to:?}, transfer_count: {transfer_count:?}, to_doc_freed: {to_doc_freed:?} }}"
+            ),
+            ApiCall::SetOnMessage {
+                thread,
+                worker,
+                worker_closing,
+            } => format!(
+                "SetOnMessage {{ thread: {thread:?}, worker: {worker:?}, worker_closing: {worker_closing:?} }}"
+            ),
+            ApiCall::Fetch {
+                thread,
+                req,
+                url,
+                has_signal,
+            } => format!(
+                "Fetch {{ thread: {thread:?}, req: {req:?}, url: {:?}, has_signal: {has_signal:?} }}",
+                s(url)
+            ),
+            ApiCall::DeliverAbort {
+                req,
+                owner,
+                owner_alive,
+            } => format!(
+                "DeliverAbort {{ req: {req:?}, owner: {owner:?}, owner_alive: {owner_alive:?} }}"
+            ),
+            ApiCall::XhrSend {
+                thread,
+                from_worker,
+                url,
+                cross_origin,
+            } => format!(
+                "XhrSend {{ thread: {thread:?}, from_worker: {from_worker:?}, url: {:?}, cross_origin: {cross_origin:?} }}",
+                s(url)
+            ),
+            ApiCall::ImportScripts {
+                thread,
+                url,
+                cross_origin,
+            } => format!(
+                "ImportScripts {{ thread: {thread:?}, url: {:?}, cross_origin: {cross_origin:?} }}",
+                s(url)
+            ),
+            ApiCall::ErrorEvent {
+                thread,
+                message,
+                leaks_cross_origin,
+            } => format!(
+                "ErrorEvent {{ thread: {thread:?}, message: {:?}, leaks_cross_origin: {leaks_cross_origin:?} }}",
+                s(message)
+            ),
+            ApiCall::IdbOpen {
+                thread,
+                private_mode,
+                persist,
+            } => format!(
+                "IdbOpen {{ thread: {thread:?}, private_mode: {private_mode:?}, persist: {persist:?} }}"
+            ),
+            ApiCall::Navigate { thread } => format!("Navigate {{ thread: {thread:?} }}"),
+            ApiCall::CloseDocument {
+                thread,
+                pending_worker_messages,
+            } => format!(
+                "CloseDocument {{ thread: {thread:?}, pending_worker_messages: {pending_worker_messages:?} }}"
+            ),
+            ApiCall::BufferAccess {
+                thread,
+                buffer,
+                freed,
+            } => format!(
+                "BufferAccess {{ thread: {thread:?}, buffer: {buffer:?}, freed: {freed:?} }}"
+            ),
+        }
+    }
+}
+
 /// A semantic consequence recorded after the "native" behaviour executed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Fact {
     /// A fetch went on the wire.
     FetchStarted {
@@ -256,8 +468,8 @@ pub enum Fact {
     CrossOriginWorkerRequest {
         /// The worker thread.
         thread: ThreadId,
-        /// Target URL.
-        url: String,
+        /// Target URL, interned in the owning trace.
+        url: Sym,
     },
     /// An error message string was delivered to user code.
     ErrorMessageDelivered {
@@ -265,8 +477,8 @@ pub enum Fact {
         thread: ThreadId,
         /// Which API produced it.
         source: ErrorSource,
-        /// The delivered text.
-        message: String,
+        /// The delivered text, interned in the owning trace.
+        message: Sym,
         /// Whether it still carried cross-origin information
         /// (CVE-2014-1487 / CVE-2015-7215 when `true`).
         leaked_cross_origin: bool,
@@ -310,10 +522,11 @@ pub enum Fact {
     },
     /// A defense denied an API call.
     Denied {
-        /// Short description of the denied call.
-        what: String,
-        /// The defense's reason.
-        reason: String,
+        /// Short description of the denied call (see [`ApiCall::describe`]),
+        /// interned in the owning trace.
+        what: Sym,
+        /// The defense's reason, interned in the owning trace.
+        reason: Sym,
     },
 }
 
@@ -322,7 +535,7 @@ pub enum Fact {
 /// assigned monotonically in dispatch order, so every happens-before edge
 /// points from a lower id to a higher one — the trace order is already a
 /// topological order of the graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeRecord {
     /// The node id (dense, starting at 0).
     pub node: u64,
@@ -332,8 +545,9 @@ pub struct NodeRecord {
     /// timer arm → fire, `postMessage` send → deliver, fetch → completion,
     /// worker create → first run. `None` for roots (the boot task).
     pub forked_from: Option<u64>,
-    /// Short label of why the task ran (task source / lifecycle step).
-    pub label: String,
+    /// Short label of why the task ran (task source / lifecycle step),
+    /// interned in the owning trace.
+    pub label: Sym,
 }
 
 /// Which ordering mechanism induced a happens-before edge.
@@ -415,7 +629,7 @@ pub enum AccessKind {
 
 /// One recorded shared-state access, attributed to the task node that
 /// performed it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AccessRecord {
     /// The task node performing the access.
     pub node: u64,
@@ -426,12 +640,14 @@ pub struct AccessRecord {
     /// Read or write.
     pub kind: AccessKind,
     /// Call-site label (e.g. `"navigate"`, `"abort-deliver"`) — the leaf of
-    /// the access stack the race report prints.
-    pub what: String,
+    /// the access stack the race report prints. Interned in the owning
+    /// trace.
+    pub what: Sym,
 }
 
-/// One trace record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One trace record. `Copy`: every payload string is interned, so records
+/// are a few plain words and appending one never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TraceItem {
     /// An intercepted built-in invocation.
     Api(ApiCall),
@@ -446,7 +662,7 @@ pub enum TraceItem {
 }
 
 /// A timestamped trace record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// Virtual instant.
     pub time: SimTime,
@@ -454,10 +670,15 @@ pub struct TraceEntry {
     pub item: TraceItem,
 }
 
-/// The full API/fact trace of a browser run.
+/// The full API/fact trace of a browser run, plus the string table its
+/// records' [`Sym`] fields index into.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
+    /// Defaulted on deserialize so symbol-free traces (and pre-interning
+    /// ones) still parse.
+    #[serde(default)]
+    strings: Interner,
 }
 
 impl Trace {
@@ -465,6 +686,23 @@ impl Trace {
     #[must_use]
     pub fn new() -> Trace {
         Trace::default()
+    }
+
+    /// Interns a string in this trace's table.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.strings.intern(s)
+    }
+
+    /// Resolves a symbol previously interned in this trace.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings.resolve(sym)
+    }
+
+    /// The trace's string table.
+    #[must_use]
+    pub fn strings(&self) -> &Interner {
+        &self.strings
     }
 
     /// Appends an API record.
@@ -602,13 +840,14 @@ mod tests {
     #[test]
     fn hb_records_filter_and_round_trip() {
         let mut t = Trace::new();
+        let boot = t.intern("boot");
         t.node(
             SimTime::from_millis(1),
             NodeRecord {
                 node: 0,
                 thread: ThreadId::new(0),
                 forked_from: None,
-                label: "boot".into(),
+                label: boot,
             },
         );
         t.edge(
@@ -619,6 +858,7 @@ mod tests {
                 kind: EdgeKind::DispatchChain,
             },
         );
+        let navigate = t.intern("navigate");
         t.access(
             SimTime::from_millis(3),
             AccessRecord {
@@ -628,7 +868,7 @@ mod tests {
                     thread: ThreadId::new(0),
                 },
                 kind: AccessKind::Write,
-                what: "navigate".into(),
+                what: navigate,
             },
         );
         assert_eq!(t.nodes().count(), 1);
@@ -640,5 +880,59 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+        assert_eq!(back.resolve(boot), "boot");
+        assert_eq!(back.resolve(navigate), "navigate");
+    }
+
+    #[test]
+    fn interner_reuses_symbols_and_round_trips() {
+        let mut t = Trace::new();
+        let a = t.intern("worker.js");
+        let b = t.intern("other.js");
+        let a2 = t.intern("worker.js");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.strings().len(), 2);
+        assert_eq!(t.resolve(a), "worker.js");
+        assert_eq!(t.resolve(b), "other.js");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.strings(), t.strings());
+        // The rebuilt lookup index keeps assigning the same symbols.
+        let mut back = back;
+        assert_eq!(back.intern("other.js"), b);
+    }
+
+    /// Old traces serialized before the string table existed still parse:
+    /// the `strings` field defaults to an empty interner.
+    #[test]
+    fn traces_without_a_string_table_still_parse() {
+        let t: Trace = serde_json::from_str(r#"{"entries": []}"#).unwrap();
+        assert!(t.is_empty());
+        assert!(t.strings().is_empty());
+    }
+
+    /// `describe` must stay in lockstep with derive-`Debug` (modulo symbol
+    /// resolution): `Fact::Denied.what` relies on it for readable output.
+    #[test]
+    fn describe_matches_derive_debug_with_symbols_resolved() {
+        let mut t = Trace::new();
+        let src = t.intern("w.js");
+        let call = ApiCall::CreateWorker {
+            parent: ThreadId::new(0),
+            worker: WorkerId::new(3),
+            src,
+            sandboxed: true,
+        };
+        let debug = format!("{call:?}");
+        let described = call.describe(t.strings());
+        // Same shape, with the symbol replaced by its quoted string.
+        assert_eq!(described, debug.replace(&format!("{src:?}"), "\"w.js\""));
+        assert!(described.contains("src: \"w.js\""), "{described}");
+
+        let plain = ApiCall::Navigate {
+            thread: ThreadId::new(7),
+        };
+        assert_eq!(plain.describe(t.strings()), format!("{plain:?}"));
     }
 }

@@ -12,6 +12,7 @@
 //! overlay, as do the clock-exchange and thread-source messages of §III-E2.
 
 use jsk_browser::ids::{RequestId, WorkerId};
+use jsk_browser::trace::Sym;
 use jsk_browser::value::JsValue;
 use serde::{Deserialize, Serialize};
 
@@ -59,8 +60,8 @@ pub enum KernelMsg {
     ThreadSource {
         /// The worker whose source travels.
         worker: WorkerId,
-        /// The source URL.
-        src: String,
+        /// The source URL, as a symbol in the browser trace's table.
+        src: Sym,
     },
 }
 
@@ -129,7 +130,7 @@ mod tests {
             KernelMsg::ClockSync { kclock_ns: 123_456 },
             KernelMsg::ThreadSource {
                 worker: WorkerId::new(2),
-                src: "worker.js".into(),
+                src: jsk_browser::trace::Interner::new().intern("worker.js"),
             },
         ];
         for m in msgs {

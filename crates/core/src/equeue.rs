@@ -15,17 +15,59 @@
 //! dispatched tasks on a thread really are ordered, and the kernel may emit
 //! a [`DispatchChain`](jsk_browser::trace::EdgeKind::DispatchChain) edge
 //! between them for the race detector to credit.
+//!
+//! # Representation
+//!
+//! The ordered index is a binary min-heap of `(predicted, seq, token)`
+//! entries with *lazy deletion*: [`remove`](KernelEventQueue::remove) only
+//! deletes from the authoritative `events` map, leaving a stale heap entry
+//! behind to be discarded when it surfaces. A stale entry is detected by a
+//! sequence-number mismatch (each push gets a globally unique `seq`, so a
+//! token re-pushed after removal never aliases its old entry). Every `&mut
+//! self` operation restores the invariant **the heap head, if any, is
+//! live**, which is what lets [`top`](KernelEventQueue::top) peek through
+//! `&self` without mutation. Compared to the previous `BTreeMap` index this
+//! makes push/pop O(log n) with no per-node allocation or rebalancing on
+//! the dispatch hot path. The token map uses the kernel's deterministic
+//! integer hasher ([`crate::fasthash`]): tokens are kernel-assigned, never
+//! attacker-controlled, so SipHash would be pure overhead on every
+//! push/confirm/remove.
 
+use crate::fasthash::FastMap;
 use crate::kevent::{KEventStatus, KernelEvent};
 use jsk_browser::ids::EventToken;
 use jsk_sim::time::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordering events by `(predicted, seq)`, smallest first.
+/// `token` rides along for the `events`-map lookup and never participates
+/// in the ordering (the unique `seq` already breaks all ties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    predicted: SimTime,
+    seq: u64,
+    token: EventToken,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, the queue wants min-first.
+        (other.predicted, other.seq).cmp(&(self.predicted, self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A queue of kernel events ordered by predicted time.
 #[derive(Debug, Default)]
 pub struct KernelEventQueue {
-    order: BTreeMap<(SimTime, u64), EventToken>,
-    events: HashMap<EventToken, (KernelEvent, u64)>,
+    heap: BinaryHeap<HeapEntry>,
+    events: FastMap<EventToken, (KernelEvent, u64)>,
     next_seq: u64,
 }
 
@@ -34,6 +76,27 @@ impl KernelEventQueue {
     #[must_use]
     pub fn new() -> KernelEventQueue {
         KernelEventQueue::default()
+    }
+
+    /// Whether a heap entry still refers to a stored event. The seq check
+    /// (not just presence) guards against a token that was removed and
+    /// pushed again: the re-push gets a fresh seq, so the old entry stays
+    /// stale.
+    fn is_live(&self, entry: &HeapEntry) -> bool {
+        self.events
+            .get(&entry.token)
+            .is_some_and(|&(_, seq)| seq == entry.seq)
+    }
+
+    /// Discards stale heads until the heap head is live (or the heap is
+    /// empty) — the invariant every `&mut self` method re-establishes.
+    fn fix_head(&mut self) {
+        while let Some(&entry) = self.heap.peek() {
+            if self.is_live(&entry) {
+                break;
+            }
+            self.heap.pop();
+        }
     }
 
     /// Pushes an event, ordered by its predicted time.
@@ -45,13 +108,18 @@ impl KernelEventQueue {
     pub fn push(&mut self, event: KernelEvent) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let key = (event.predicted, seq);
+        let entry = HeapEntry {
+            predicted: event.predicted,
+            seq,
+            token: event.token,
+        };
         let token = event.token;
         assert!(
             self.events.insert(token, (event, seq)).is_none(),
             "kernel event {token} pushed twice"
         );
-        self.order.insert(key, token);
+        // The new entry is live; a live head stays live — no fix needed.
+        self.heap.push(entry);
     }
 
     /// Bounded push: refuses (returning the event) when the queue already
@@ -72,24 +140,25 @@ impl KernelEventQueue {
     /// The earliest event, kept in the queue (the paper's `top` API).
     #[must_use]
     pub fn top(&self) -> Option<&KernelEvent> {
-        self.order
-            .values()
-            .next()
-            .map(|t| &self.events.get(t).expect("order/events in sync").0)
+        self.heap
+            .peek()
+            .map(|entry| &self.events.get(&entry.token).expect("heap head is live").0)
     }
 
     /// Removes and returns the earliest event (the paper's `pop` API).
     pub fn pop(&mut self) -> Option<KernelEvent> {
-        let (&key, &token) = self.order.iter().next()?;
-        self.order.remove(&key);
-        Some(self.events.remove(&token).expect("order/events in sync").0)
+        let entry = self.heap.pop()?;
+        let (event, _) = self.events.remove(&entry.token).expect("heap head is live");
+        self.fix_head();
+        Some(event)
     }
 
     /// Removes an event by token regardless of predicted time (the paper's
-    /// `remove` API).
+    /// `remove` API). The heap entry is left behind as a stale tombstone,
+    /// discarded lazily when it reaches the head.
     pub fn remove(&mut self, token: EventToken) -> Option<KernelEvent> {
-        let (event, seq) = self.events.remove(&token)?;
-        self.order.remove(&(event.predicted, seq));
+        let (event, _) = self.events.remove(&token)?;
+        self.fix_head();
         Some(event)
     }
 
@@ -139,19 +208,33 @@ impl KernelEventQueue {
         n
     }
 
-    /// The queued events in dispatch order (invariant-checker view).
+    /// The queued events in dispatch order (invariant-checker view). The
+    /// order follows the *heap keys* (predicted time at push), so an event
+    /// whose record was mutated in place after push shows up out of order —
+    /// exactly the index/record divergence invariant 1 exists to catch.
+    /// Sorts a fresh snapshot: a debug/checker path, never the dispatch hot
+    /// loop.
     pub fn iter_in_order(&self) -> impl Iterator<Item = &KernelEvent> + '_ {
-        self.order
-            .values()
-            .map(move |t| &self.events.get(t).expect("order/events in sync").0)
+        let mut entries: Vec<HeapEntry> = self
+            .heap
+            .iter()
+            .copied()
+            .filter(|e| self.is_live(e))
+            .collect();
+        entries.sort_by_key(|e| (e.predicted, e.seq));
+        entries
+            .into_iter()
+            .map(move |e| &self.events.get(&e.token).expect("live entry is stored").0)
     }
 
-    /// Pops every leading event that is ready to go out: cancelled events
-    /// are discarded, confirmed events are returned in predicted order, and
-    /// the drain stops at the first pending event (the dispatcher "waits for
-    /// the event to become ready", §III-D3).
-    pub fn drain_dispatchable(&mut self) -> Vec<KernelEvent> {
-        let mut out = Vec::new();
+    /// Pops every leading event that is ready to go out into `out`:
+    /// cancelled events are discarded, confirmed events are appended in
+    /// predicted order, and the drain stops at the first pending event (the
+    /// dispatcher "waits for the event to become ready", §III-D3).
+    ///
+    /// `out` is a caller-owned scratch buffer (it is *not* cleared), so a
+    /// steady-state dispatch loop reuses one allocation across steps.
+    pub fn drain_dispatchable_into(&mut self, out: &mut Vec<KernelEvent>) {
         while let Some(head) = self.top() {
             match head.status {
                 KEventStatus::Pending => break,
@@ -165,6 +248,13 @@ impl KernelEventQueue {
                 }
             }
         }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`drain_dispatchable_into`](KernelEventQueue::drain_dispatchable_into).
+    pub fn drain_dispatchable(&mut self) -> Vec<KernelEvent> {
+        let mut out = Vec::new();
+        self.drain_dispatchable_into(&mut out);
         out
     }
 }
@@ -228,6 +318,35 @@ mod tests {
     }
 
     #[test]
+    fn remove_head_keeps_top_live() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        // Removing the head leaves a stale heap entry; `top` must see
+        // through it without mutation.
+        q.remove(EventToken::new(1)).unwrap();
+        assert_eq!(q.top().unwrap().token, EventToken::new(2));
+        assert_eq!(q.pop().unwrap().token, EventToken::new(2));
+        assert!(q.top().is_none());
+    }
+
+    #[test]
+    fn repush_after_remove_is_not_aliased_by_stale_entry() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.push(ev(2, 20));
+        q.remove(EventToken::new(1)).unwrap();
+        // Re-push token 1 at a *later* time: the stale (10 ms) entry must
+        // not make it surface early.
+        q.push(ev(1, 30));
+        assert_eq!(q.pop().unwrap().token, EventToken::new(2));
+        let last = q.pop().unwrap();
+        assert_eq!(last.token, EventToken::new(1));
+        assert_eq!(last.predicted, SimTime::from_millis(30));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn lookup_and_mutate_status() {
         let mut q = KernelEventQueue::new();
         q.push(ev(1, 10));
@@ -266,6 +385,22 @@ mod tests {
         let out = q.drain_dispatchable();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].token, EventToken::new(2));
+    }
+
+    #[test]
+    fn drain_into_reuses_scratch_without_clearing() {
+        let mut q = KernelEventQueue::new();
+        q.push(ev(1, 10));
+        q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Confirmed;
+        let mut scratch = Vec::new();
+        q.drain_dispatchable_into(&mut scratch);
+        assert_eq!(scratch.len(), 1);
+        // A second drain appends; the caller owns clearing.
+        q.push(ev(2, 20));
+        q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
+        q.drain_dispatchable_into(&mut scratch);
+        let tokens: Vec<u64> = scratch.iter().map(|e| e.token.index()).collect();
+        assert_eq!(tokens, vec![1, 2]);
     }
 
     #[test]
@@ -326,5 +461,121 @@ mod tests {
         q.push(ev(3, 20));
         let tokens: Vec<u64> = q.iter_in_order().map(|e| e.token.index()).collect();
         assert_eq!(tokens, vec![2, 3, 1]);
+    }
+
+    /// Reference model: the previous `BTreeMap<(SimTime, seq)>` index.
+    /// Drives both implementations through the same pseudo-random op
+    /// sequence and asserts every observable output matches — same-time
+    /// FIFO tie-breaks, head skipping, removes, drains.
+    #[test]
+    fn equivalence_with_ordered_map_model() {
+        use std::collections::{BTreeMap, HashMap};
+
+        #[derive(Default)]
+        struct Model {
+            order: BTreeMap<(SimTime, u64), EventToken>,
+            events: HashMap<EventToken, (KernelEvent, u64)>,
+            next_seq: u64,
+        }
+        impl Model {
+            fn push(&mut self, event: KernelEvent) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.order.insert((event.predicted, seq), event.token);
+                self.events.insert(event.token, (event, seq));
+            }
+            fn pop(&mut self) -> Option<KernelEvent> {
+                let (&key, &token) = self.order.iter().next()?;
+                self.order.remove(&key);
+                Some(self.events.remove(&token).unwrap().0)
+            }
+            fn top_token(&self) -> Option<EventToken> {
+                self.order.values().next().copied()
+            }
+            fn remove(&mut self, token: EventToken) -> Option<KernelEvent> {
+                let (event, seq) = self.events.remove(&token)?;
+                self.order.remove(&(event.predicted, seq));
+                Some(event)
+            }
+            fn set_status(&mut self, token: EventToken, s: KEventStatus) -> bool {
+                match self.events.get_mut(&token) {
+                    Some((e, _)) => {
+                        e.status = s;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            fn drain(&mut self) -> Vec<KernelEvent> {
+                let mut out = Vec::new();
+                while let Some(tok) = self.top_token() {
+                    let status = self.events[&tok].0.status;
+                    match status {
+                        KEventStatus::Pending => break,
+                        KEventStatus::Cancelled | KEventStatus::Dispatched => {
+                            self.pop();
+                        }
+                        KEventStatus::Confirmed => {
+                            let mut e = self.pop().unwrap();
+                            e.status = KEventStatus::Dispatched;
+                            out.push(e);
+                        }
+                    }
+                }
+                out
+            }
+        }
+
+        let mut q = KernelEventQueue::new();
+        let mut m = Model::default();
+        // Deterministic LCG so the op mix is reproducible.
+        let mut state = 0x5DEECE66Du64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut next_token = 0u64;
+        for _ in 0..2000 {
+            match rand() % 6 {
+                // Push with a coarse time so same-time ties are common.
+                0 | 1 => {
+                    let t = ev(next_token, u64::from(rand() % 8));
+                    next_token += 1;
+                    q.push(t.clone());
+                    m.push(t);
+                }
+                2 => {
+                    let tok = EventToken::new(u64::from(rand()) % next_token.max(1));
+                    assert_eq!(q.remove(tok), m.remove(tok));
+                }
+                3 => {
+                    let tok = EventToken::new(u64::from(rand()) % next_token.max(1));
+                    let s = match rand() % 3 {
+                        0 => KEventStatus::Confirmed,
+                        1 => KEventStatus::Cancelled,
+                        _ => KEventStatus::Dispatched,
+                    };
+                    let in_model = m.set_status(tok, s);
+                    match q.lookup_mut(tok) {
+                        Some(e) => {
+                            assert!(in_model);
+                            e.status = s;
+                        }
+                        None => assert!(!in_model),
+                    }
+                }
+                4 => assert_eq!(q.drain_dispatchable(), m.drain()),
+                _ => assert_eq!(q.pop(), m.pop()),
+            }
+            assert_eq!(q.top().map(|e| e.token), m.top_token());
+            assert_eq!(q.len(), m.events.len());
+        }
+        // Drain both to the end: full order must agree.
+        while let Some(e) = m.pop() {
+            assert_eq!(q.pop(), Some(e));
+        }
+        assert!(q.pop().is_none());
     }
 }

@@ -678,8 +678,10 @@ impl Mediator for JsKernel {
                 // ThreadSource messages in tests. The browser thread id for
                 // real workers is parent-count-based; we instead learn it
                 // lazily on the first Fetch from that thread.
+                // One interned symbol covers both the thread table and the
+                // wire message — creation no longer clones the URL twice.
                 self.threads
-                    .register(*worker, ThreadId::new(u64::MAX), *parent, src.clone());
+                    .register(*worker, ThreadId::new(u64::MAX), *parent, *src);
                 self.pending_bind.push_back(*worker);
                 // §III-E2: pass the thread source over the kernel channel.
                 ctx.kernel_send(
@@ -687,7 +689,7 @@ impl Mediator for JsKernel {
                     *parent,
                     KernelMsg::ThreadSource {
                         worker: *worker,
-                        src: src.clone(),
+                        src: *src,
                     }
                     .encode(),
                     ctx.now + self.cfg.kernel_channel_latency,

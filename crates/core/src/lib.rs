@@ -39,6 +39,7 @@ pub mod check;
 pub mod comm;
 pub mod config;
 pub mod equeue;
+pub mod fasthash;
 pub mod interface;
 pub mod kclock;
 pub mod kernel;

@@ -118,10 +118,29 @@ pub fn action_to_outcome(action: &PolicyAction) -> ApiOutcome {
     }
 }
 
-/// The installed policy set.
+/// One compiled rule: a `(mask, value)` word-compare standing in for the
+/// 14-branch [`Condition::matches`](crate::policy::spec::Condition::matches)
+/// chain. Matching `Allow` rules are no-ops in `decide` (the scan just
+/// continues past them), so only non-`Allow` rules are compiled.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    mask: u16,
+    value: u16,
+    action: PolicyAction,
+    id: String,
+}
+
+/// The installed policy set, compiled at construction into per-selector
+/// decision tables: `decide` indexes the call's selector and scans only
+/// that selector's rules with one mask-and-compare each, instead of
+/// walking every rule of every policy through the interpreted condition
+/// chain. The source [`PolicySpec`]s are kept alongside for
+/// [`policies`](PolicyEngine::policies) (linting, serialization) and as
+/// the debug-mode reference the compiled path is asserted against.
 #[derive(Debug, Default)]
 pub struct PolicyEngine {
     policies: Vec<PolicySpec>,
+    tables: [Vec<CompiledRule>; ApiSelector::COUNT],
 }
 
 impl PolicyEngine {
@@ -129,11 +148,31 @@ impl PolicyEngine {
     /// first matching non-`Allow` rule wins).
     #[must_use]
     pub fn new(policies: Vec<PolicySpec>) -> PolicyEngine {
-        PolicyEngine { policies }
+        let mut engine = PolicyEngine {
+            policies: Vec::new(),
+            tables: std::array::from_fn(|_| Vec::new()),
+        };
+        for p in policies {
+            engine.install(p);
+        }
+        engine
     }
 
-    /// Adds a policy at the end of the match order.
+    /// Adds a policy at the end of the match order, compiling its rules
+    /// into the decision tables.
     pub fn install(&mut self, policy: PolicySpec) {
+        for r in &policy.rules {
+            if matches!(r.action, PolicyAction::Allow) {
+                continue;
+            }
+            let (mask, value) = r.when.compile();
+            self.tables[r.on.index()].push(CompiledRule {
+                mask,
+                value,
+                action: r.action.clone(),
+                id: r.id.clone(),
+            });
+        }
         self.policies.push(policy);
     }
 
@@ -148,9 +187,47 @@ impl PolicyEngine {
     #[must_use]
     pub fn decide(&self, call: &ApiCall, threads: &ThreadManager) -> (ApiOutcome, Option<&str>) {
         let (sel, facts) = classify(call, threads);
+        let decision = self.decide_compiled(sel, &facts);
+        debug_assert_eq!(
+            decision,
+            self.decide_interpreted(sel, &facts),
+            "compiled decision tables diverged from the interpreted matcher"
+        );
+        decision
+    }
+
+    /// The compiled fast path: scan the selector's table, first word-compare
+    /// hit wins. Public so property tests can pit it directly against
+    /// [`decide_interpreted`](PolicyEngine::decide_interpreted) on arbitrary
+    /// facts.
+    #[must_use]
+    pub fn decide_compiled(
+        &self,
+        sel: ApiSelector,
+        facts: &CallFacts,
+    ) -> (ApiOutcome, Option<&str>) {
+        let bits = facts.bits();
+        for r in &self.tables[sel.index()] {
+            if bits & r.mask == r.value {
+                return (action_to_outcome(&r.action), Some(&r.id));
+            }
+        }
+        (ApiOutcome::Allow, None)
+    }
+
+    /// The interpreted reference path: a linear walk of every rule through
+    /// [`Condition::matches`](crate::policy::spec::Condition::matches).
+    /// Kept as the semantics the compiled tables are checked against
+    /// (`debug_assert` in [`decide`](PolicyEngine::decide), property tests).
+    #[must_use]
+    pub fn decide_interpreted(
+        &self,
+        sel: ApiSelector,
+        facts: &CallFacts,
+    ) -> (ApiOutcome, Option<&str>) {
         for p in &self.policies {
             for r in &p.rules {
-                if r.on == sel && r.when.matches(&facts) {
+                if r.on == sel && r.when.matches(facts) {
                     match &r.action {
                         PolicyAction::Allow => continue,
                         other => return (action_to_outcome(other), Some(&r.id)),
@@ -170,6 +247,12 @@ mod tests {
 
     fn engine() -> PolicyEngine {
         PolicyEngine::new(cve::all_cve_policies())
+    }
+
+    /// `decide` classifies on ids and flags only — string payloads are
+    /// opaque symbols to it — so tests mint them from a scratch table.
+    fn sym(s: &str) -> jsk_browser::trace::Sym {
+        jsk_browser::trace::Interner::new().intern(s)
     }
 
     #[test]
@@ -203,7 +286,7 @@ mod tests {
         let cross = ApiCall::XhrSend {
             thread: ThreadId::new(1),
             from_worker: true,
-            url: "https://victim.example/x".into(),
+            url: sym("https://victim.example/x"),
             cross_origin: true,
         };
         let (outcome, rule) = e.decide(&cross, &ThreadManager::new());
@@ -213,7 +296,7 @@ mod tests {
         let same = ApiCall::XhrSend {
             thread: ThreadId::new(1),
             from_worker: true,
-            url: "https://attacker.example/x".into(),
+            url: sym("https://attacker.example/x"),
             cross_origin: false,
         };
         assert_eq!(e.decide(&same, &ThreadManager::new()).0, ApiOutcome::Allow);
@@ -248,7 +331,7 @@ mod tests {
         let e = engine();
         let call = ApiCall::ErrorEvent {
             thread: ThreadId::new(0),
-            message: "failed to load https://victim.example/w.js <secret>".into(),
+            message: sym("failed to load https://victim.example/w.js <secret>"),
             leaks_cross_origin: true,
         };
         let (outcome, _) = e.decide(&call, &ThreadManager::new());
@@ -266,7 +349,7 @@ mod tests {
         let call = ApiCall::CreateWorker {
             parent: ThreadId::new(0),
             worker: WorkerId::new(0),
-            src: "w.js".into(),
+            src: sym("w.js"),
             sandboxed: true,
         };
         assert_eq!(

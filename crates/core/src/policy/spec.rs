@@ -46,6 +46,44 @@ pub enum ApiSelector {
     BufferAccess,
 }
 
+impl ApiSelector {
+    /// Number of selector variants — the width of the engine's per-selector
+    /// decision-table array.
+    pub const COUNT: usize = 13;
+
+    /// Dense index for decision-table lookup.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One source of truth for the fact-field ↔ bit-position assignment shared
+/// by [`CallFacts::bits`] and [`Condition::compile`]. The positions are an
+/// internal encoding (never serialized), but both sides must agree or the
+/// compiled tables silently diverge from the interpreted matcher.
+macro_rules! for_each_fact {
+    ($apply:ident, $self_:expr) => {
+        $apply!(
+            $self_;
+            0 => from_worker,
+            1 => cross_origin,
+            2 => sandboxed,
+            3 => worker_closing,
+            4 => assigns_worker_handler,
+            5 => during_dispatch,
+            6 => has_live_transfers,
+            7 => has_pending_fetches,
+            8 => owner_alive,
+            9 => to_doc_freed,
+            10 => private_mode,
+            11 => persist,
+            12 => leaks_cross_origin,
+            13 => has_pending_worker_messages,
+        )
+    };
+}
+
 /// The condition under which a rule fires. Every field is optional; all
 /// present fields must match the call's extracted facts (conjunction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -115,7 +153,50 @@ pub struct CallFacts {
     pub has_pending_worker_messages: bool,
 }
 
+impl CallFacts {
+    /// Packs the 14 boolean facts into one word, one bit per field (the
+    /// assignment lives in `for_each_fact!`). A compiled
+    /// [`Condition`] then matches with a single mask-and-compare — see
+    /// [`Condition::compile`].
+    #[must_use]
+    pub fn bits(&self) -> u16 {
+        macro_rules! pack {
+            ($facts:expr; $($bit:literal => $field:ident,)*) => {{
+                let mut b: u16 = 0;
+                $( if $facts.$field { b |= 1 << $bit; } )*
+                b
+            }};
+        }
+        for_each_fact!(pack, self)
+    }
+}
+
 impl Condition {
+    /// Compiles the condition into a `(mask, value)` pair over the
+    /// [`CallFacts::bits`] encoding: the condition matches `facts` iff
+    /// `facts.bits() & mask == value`. Absent (`None`) fields contribute
+    /// nothing to the mask, reproducing the conjunction-over-present-fields
+    /// semantics of [`Condition::matches`] in one word compare.
+    #[must_use]
+    pub fn compile(&self) -> (u16, u16) {
+        macro_rules! pack {
+            ($cond:expr; $($bit:literal => $field:ident,)*) => {{
+                let mut mask: u16 = 0;
+                let mut value: u16 = 0;
+                $(
+                    if let Some(want) = $cond.$field {
+                        mask |= 1 << $bit;
+                        if want {
+                            value |= 1 << $bit;
+                        }
+                    }
+                )*
+                (mask, value)
+            }};
+        }
+        for_each_fact!(pack, self)
+    }
+
     /// Whether all present fields match `facts`.
     #[must_use]
     pub fn matches(&self, facts: &CallFacts) -> bool {
@@ -249,6 +330,92 @@ mod tests {
             cross_origin: false,
             ..CallFacts::default()
         }));
+    }
+
+    #[test]
+    fn bits_and_compile_share_one_encoding() {
+        // Every single-field condition must match exactly the facts with
+        // that field set (for Some(true)) or unset (for Some(false)),
+        // through both the interpreter and the compiled mask/value pair.
+        let field_setters: [fn(&mut CallFacts, bool); 14] = [
+            |f, v| f.from_worker = v,
+            |f, v| f.cross_origin = v,
+            |f, v| f.sandboxed = v,
+            |f, v| f.worker_closing = v,
+            |f, v| f.assigns_worker_handler = v,
+            |f, v| f.during_dispatch = v,
+            |f, v| f.has_live_transfers = v,
+            |f, v| f.has_pending_fetches = v,
+            |f, v| f.owner_alive = v,
+            |f, v| f.to_doc_freed = v,
+            |f, v| f.private_mode = v,
+            |f, v| f.persist = v,
+            |f, v| f.leaks_cross_origin = v,
+            |f, v| f.has_pending_worker_messages = v,
+        ];
+        let cond_setters: [fn(&mut Condition, Option<bool>); 14] = [
+            |c, v| c.from_worker = v,
+            |c, v| c.cross_origin = v,
+            |c, v| c.sandboxed = v,
+            |c, v| c.worker_closing = v,
+            |c, v| c.assigns_worker_handler = v,
+            |c, v| c.during_dispatch = v,
+            |c, v| c.has_live_transfers = v,
+            |c, v| c.has_pending_fetches = v,
+            |c, v| c.owner_alive = v,
+            |c, v| c.to_doc_freed = v,
+            |c, v| c.private_mode = v,
+            |c, v| c.persist = v,
+            |c, v| c.leaks_cross_origin = v,
+            |c, v| c.has_pending_worker_messages = v,
+        ];
+        for (i, set_fact) in field_setters.iter().enumerate() {
+            let mut facts = CallFacts::default();
+            set_fact(&mut facts, true);
+            // Each field owns a distinct bit.
+            assert_eq!(facts.bits(), 1 << i, "field {i} bit position");
+            for want in [true, false] {
+                let mut cond = Condition::default();
+                cond_setters[i](&mut cond, Some(want));
+                let (mask, value) = cond.compile();
+                assert_eq!(mask, 1 << i);
+                assert_eq!(value, u16::from(want) << i);
+                for facts_set in [true, false] {
+                    let mut f = CallFacts::default();
+                    set_fact(&mut f, facts_set);
+                    assert_eq!(
+                        f.bits() & mask == value,
+                        cond.matches(&f),
+                        "field {i}, want {want}, set {facts_set}"
+                    );
+                }
+            }
+        }
+        // The empty condition compiles to match-anything.
+        assert_eq!(Condition::default().compile(), (0, 0));
+    }
+
+    #[test]
+    fn selector_indices_are_dense() {
+        let all = [
+            ApiSelector::CreateWorker,
+            ApiSelector::TerminateWorker,
+            ApiSelector::PostMessage,
+            ApiSelector::SetOnMessage,
+            ApiSelector::Fetch,
+            ApiSelector::DeliverAbort,
+            ApiSelector::XhrSend,
+            ApiSelector::ImportScripts,
+            ApiSelector::ErrorEvent,
+            ApiSelector::IdbOpen,
+            ApiSelector::Navigate,
+            ApiSelector::CloseDocument,
+            ApiSelector::BufferAccess,
+        ];
+        assert_eq!(all.len(), ApiSelector::COUNT);
+        for (i, sel) in all.iter().enumerate() {
+            assert_eq!(sel.index(), i);
+        }
     }
 
     #[test]

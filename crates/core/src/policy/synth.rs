@@ -229,11 +229,12 @@ mod tests {
     fn dangerous_facts_yield_deduplicated_rules() {
         let mut trace = Trace::new();
         for i in 0..3 {
+            let url = trace.intern(&format!("https://victim.example/{i}"));
             trace.fact(
                 SimTime::from_millis(i),
                 Fact::CrossOriginWorkerRequest {
                     thread: ThreadId::new(1),
-                    url: format!("https://victim.example/{i}"),
+                    url,
                 },
             );
         }

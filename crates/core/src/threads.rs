@@ -8,8 +8,9 @@
 //! alive while a transferred buffer lives; suppress aborts to dead
 //! workers; …).
 
+use crate::fasthash::{FastMap, FastSet};
 use jsk_browser::ids::{BufferId, RequestId, ThreadId, WorkerId};
-use std::collections::{HashMap, HashSet};
+use jsk_browser::trace::Sym;
 
 /// Kernel thread status (paper: "started", "ready", "closed").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,22 +35,23 @@ pub struct KernelThread {
     pub kernel_worker: ThreadId,
     /// The creating thread.
     pub owner: ThreadId,
-    /// The user thread source (the paper's src field).
-    pub src: String,
+    /// The user thread source (the paper's src field), interned in the
+    /// browser trace. One symbol — registration no longer clones the URL.
+    pub src: Sym,
     /// Status.
     pub status: KThreadStatus,
     /// Fetches this worker has in flight (tracked through the
     /// pendingChildFetch / confirmFetch kernel messages of Listing 4).
-    pub pending_fetches: HashSet<RequestId>,
+    pub pending_fetches: FastSet<RequestId>,
     /// Buffers this worker transferred out that are still live.
-    pub live_transfers: HashSet<BufferId>,
+    pub live_transfers: FastSet<BufferId>,
 }
 
 /// The kernel's thread table.
 #[derive(Debug, Default)]
 pub struct ThreadManager {
-    threads: HashMap<WorkerId, KernelThread>,
-    by_browser_thread: HashMap<ThreadId, WorkerId>,
+    threads: FastMap<WorkerId, KernelThread>,
+    by_browser_thread: FastMap<ThreadId, WorkerId>,
 }
 
 impl ThreadManager {
@@ -65,7 +67,7 @@ impl ThreadManager {
         worker: WorkerId,
         kernel_worker: ThreadId,
         owner: ThreadId,
-        src: impl Into<String>,
+        src: Sym,
     ) {
         self.threads.insert(
             worker,
@@ -73,10 +75,10 @@ impl ThreadManager {
                 worker,
                 kernel_worker,
                 owner,
-                src: src.into(),
+                src,
                 status: KThreadStatus::Started,
-                pending_fetches: HashSet::new(),
-                live_transfers: HashSet::new(),
+                pending_fetches: FastSet::default(),
+                live_transfers: FastSet::default(),
             },
         );
         self.by_browser_thread.insert(kernel_worker, worker);
@@ -171,13 +173,17 @@ impl ThreadManager {
 mod tests {
     use super::*;
 
+    fn worker_js() -> Sym {
+        jsk_browser::trace::Interner::new().intern("worker.js")
+    }
+
     fn mgr() -> ThreadManager {
         let mut m = ThreadManager::new();
         m.register(
             WorkerId::new(0),
             ThreadId::new(1),
             ThreadId::new(0),
-            "worker.js",
+            worker_js(),
         );
         m
     }
@@ -188,7 +194,7 @@ mod tests {
         assert_eq!(m.len(), 1);
         let t = m.get(WorkerId::new(0)).unwrap();
         assert_eq!(t.kernel_worker, ThreadId::new(1));
-        assert_eq!(t.src, "worker.js");
+        assert_eq!(t.src, worker_js());
         assert_eq!(t.status, KThreadStatus::Started);
         assert_eq!(
             m.by_thread(ThreadId::new(1)).unwrap().worker,

@@ -108,7 +108,7 @@ mod tests {
             &ApiCall::CreateWorker {
                 parent: ThreadId::new(0),
                 worker: WorkerId::new(0),
-                src: "w.js".into(),
+                src: jsk_browser::trace::Interner::new().intern("w.js"),
                 sandboxed: false,
             },
         );

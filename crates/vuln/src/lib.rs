@@ -17,11 +17,12 @@
 //! use jsk_vuln::{oracle, Cve};
 //!
 //! let mut trace = Trace::new();
+//! let url = trace.intern("https://victim.example/api");
 //! trace.fact(
 //!     SimTime::from_millis(3),
 //!     Fact::CrossOriginWorkerRequest {
 //!         thread: ThreadId::new(1),
-//!         url: "https://victim.example/api".into(),
+//!         url,
 //!     },
 //! );
 //! let report = oracle::scan(&trace);

@@ -138,18 +138,21 @@ pub fn scan(trace: &Trace) -> VulnReport {
                 leaked_cross_origin,
                 message,
                 ..
-            } if *leaked_cross_origin => match source {
-                ErrorSource::ImportScripts => add(
-                    Cve::Cve2015_7215,
-                    at,
-                    format!("importScripts error leaked: {message}"),
-                ),
-                ErrorSource::WorkerCreation => add(
-                    Cve::Cve2014_1487,
-                    at,
-                    format!("worker-creation error leaked: {message}"),
-                ),
-            },
+            } if *leaked_cross_origin => {
+                let message = trace.resolve(*message);
+                match source {
+                    ErrorSource::ImportScripts => add(
+                        Cve::Cve2015_7215,
+                        at,
+                        format!("importScripts error leaked: {message}"),
+                    ),
+                    ErrorSource::WorkerCreation => add(
+                        Cve::Cve2014_1487,
+                        at,
+                        format!("worker-creation error leaked: {message}"),
+                    ),
+                }
+            }
             Fact::MessageToFreedDoc { from, to } => {
                 add(
                     Cve::Cve2014_3194,
@@ -189,6 +192,7 @@ pub fn scan(trace: &Trace) -> VulnReport {
                 );
             }
             Fact::CrossOriginWorkerRequest { thread, url } => {
+                let url = trace.resolve(*url);
                 add(
                     Cve::Cve2013_1714,
                     at,
@@ -342,12 +346,13 @@ mod tests {
     #[test]
     fn error_leaks_route_to_their_cve_by_source() {
         let mut trace = Trace::new();
+        let leak = trace.intern("leak");
         trace.fact(
             t(1),
             Fact::ErrorMessageDelivered {
                 thread: ThreadId::new(0),
                 source: ErrorSource::WorkerCreation,
-                message: "leak".into(),
+                message: leak,
                 leaked_cross_origin: true,
             },
         );
@@ -356,21 +361,26 @@ mod tests {
             Fact::ErrorMessageDelivered {
                 thread: ThreadId::new(1),
                 source: ErrorSource::ImportScripts,
-                message: "leak".into(),
+                message: leak,
                 leaked_cross_origin: true,
             },
         );
         // Sanitized (non-leaking) errors trigger nothing.
+        let sanitized = trace.intern("Script error.");
         trace.fact(
             t(3),
             Fact::ErrorMessageDelivered {
                 thread: ThreadId::new(1),
                 source: ErrorSource::ImportScripts,
-                message: "Script error.".into(),
+                message: sanitized,
                 leaked_cross_origin: false,
             },
         );
         let report = scan(&trace);
+        assert_eq!(
+            report.evidence(Cve::Cve2014_1487).unwrap().witness,
+            "worker-creation error leaked: leak"
+        );
         assert!(report.is_triggered(Cve::Cve2014_1487));
         assert!(report.is_triggered(Cve::Cve2015_7215));
         assert_eq!(report.count(), 2);
@@ -438,54 +448,58 @@ mod tests {
 
     #[test]
     fn single_fact_detectors_fire() {
-        let cases: Vec<(Fact, Cve)> = vec![
+        // Each case builds its fact against its own trace, so facts with
+        // interned payloads get symbols from the right table.
+        type FactCase = (fn(&mut Trace) -> Fact, Cve);
+        let cases: Vec<FactCase> = vec![
             (
-                Fact::IdbPersistedInPrivateMode {
+                |_| Fact::IdbPersistedInPrivateMode {
                     thread: ThreadId::new(0),
                 },
                 Cve::Cve2017_7843,
             ),
             (
-                Fact::MessageToFreedDoc {
+                |_| Fact::MessageToFreedDoc {
                     from: ThreadId::new(1),
                     to: ThreadId::new(0),
                 },
                 Cve::Cve2014_3194,
             ),
             (
-                Fact::DispatchUseAfterFree {
+                |_| Fact::DispatchUseAfterFree {
                     worker: WorkerId::new(0),
                 },
                 Cve::Cve2014_1719,
             ),
             (
-                Fact::CallbackAfterClose {
+                |_| Fact::CallbackAfterClose {
                     thread: ThreadId::new(0),
                 },
                 Cve::Cve2013_6646,
             ),
             (
-                Fact::NullDerefOnAssign {
+                |_| Fact::NullDerefOnAssign {
                     worker: WorkerId::new(0),
                 },
                 Cve::Cve2013_5602,
             ),
             (
-                Fact::CrossOriginWorkerRequest {
+                |trace| Fact::CrossOriginWorkerRequest {
                     thread: ThreadId::new(1),
-                    url: "https://victim.example/x".into(),
+                    url: trace.intern("https://victim.example/x"),
                 },
                 Cve::Cve2013_1714,
             ),
             (
-                Fact::StaleDocCallback {
+                |_| Fact::StaleDocCallback {
                     thread: ThreadId::new(0),
                 },
                 Cve::Cve2010_4576,
             ),
         ];
-        for (fact, cve) in cases {
+        for (mk, cve) in cases {
             let mut trace = Trace::new();
+            let fact = mk(&mut trace);
             trace.fact(t(1), fact);
             let report = scan(&trace);
             assert!(report.is_triggered(cve), "{cve}");

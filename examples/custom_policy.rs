@@ -88,13 +88,15 @@ fn main() {
         "worker fetch result: {:?}",
         browser.record_value("fetch_ok")
     );
-    let denied: Vec<String> = browser
-        .trace()
+    let trace = browser.trace();
+    let denied: Vec<String> = trace
         .facts()
         .filter_map(|(_, f)| match f {
-            jskernel::browser::trace::Fact::Denied { what, reason } => {
-                Some(format!("denied {what}: {reason}"))
-            }
+            jskernel::browser::trace::Fact::Denied { what, reason } => Some(format!(
+                "denied {}: {}",
+                trace.resolve(*what),
+                trace.resolve(*reason)
+            )),
             _ => None,
         })
         .collect();

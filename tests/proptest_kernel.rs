@@ -62,7 +62,8 @@ proptest! {
             q.lookup_mut(EventToken::new(i as u64)).unwrap().status = status;
         }
         let first_pending = states.iter().position(|&s| s == 0);
-        let drained = q.drain_dispatchable();
+        let mut drained = Vec::new();
+        q.drain_dispatchable_into(&mut drained);
         for e in &drained {
             if let Some(fp) = first_pending {
                 prop_assert!(
