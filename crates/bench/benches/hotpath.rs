@@ -201,6 +201,36 @@ fn trace_record(rounds: usize) -> (Phase, u64) {
     (phase, symbols)
 }
 
+/// The observability hot path: the exact per-event hook sequence the
+/// instrumented kernel performs (dispatch span, dispatched counter,
+/// latency histogram, depth gauge), driven through the dynamic
+/// [`Subscriber`](jsk_observe::Subscriber) handle the kernel holds. A
+/// metrics-only observer keeps the loop allocation-free after warm-up —
+/// this is the per-event cost `observe` adds when enabled.
+fn observe_hooks(rounds: u64) -> (Phase, u64, jsk_observe::MetricsSnapshot) {
+    let obs = jsk_observe::Observer::new().shared();
+    let handle = jsk_observe::handle_of(&obs);
+    let dispatch = handle.intern("kernel.dispatch");
+    let dispatched = handle.intern("kernel.dispatched");
+    let latency = handle.intern("kernel.dispatch_latency_ticks");
+    let depth = handle.intern("kernel.equeue_depth");
+    let phase = timed("observe-hooks", || {
+        for i in 0..rounds {
+            let t = SimTime::from_millis(i);
+            handle.span_enter(dispatch, 0, t);
+            handle.counter_add(dispatched, 1);
+            handle.histogram_record(latency, i % 257);
+            handle.gauge_set(depth, i % 63);
+            handle.span_exit(dispatch, 0, t);
+        }
+        // One op per hook invocation.
+        rounds * 5
+    });
+    let snapshot = obs.borrow().metrics();
+    let total = snapshot.counter("kernel.dispatched");
+    (phase, total, snapshot)
+}
+
 fn main() {
     let rounds = jsk_bench::env_knob("JSK_HOTPATH_ROUNDS", 1_000_000);
     let mut reporter = jsk_bench::record::BenchReporter::new("hotpath");
@@ -209,13 +239,14 @@ fn main() {
     let (decide, denies) = policy_decide(rounds);
     let (equeue, drained) = equeue_churn(rounds as u64 / 32);
     let (record, symbols) = trace_record(rounds);
+    let (observe, hooked, obs_snapshot) = observe_hooks(rounds as u64);
 
     let mut report = jsk_bench::Report::new(
         "Hot-path throughput (dispatch-path structures)",
         &["phase", "ops", "wall ms", "kops/sec"],
     );
     let mut probe = jsk_bench::record::Probe::default();
-    for phase in [&decide, &equeue, &record] {
+    for phase in [&decide, &equeue, &record, &observe] {
         report.row(vec![
             phase.row.to_owned(),
             phase.ops.to_string(),
@@ -233,6 +264,7 @@ fn main() {
         (&decide, denies, "non-allow outcomes", "denies"),
         (&equeue, drained, "events drained", "events"),
         (&record, symbols, "interned symbols", "symbols"),
+        (&observe, hooked, "dispatched counter", "events"),
     ] {
         reporter.cell(jsk_bench::record::CellRecord::value(
             phase.row,
@@ -248,5 +280,8 @@ fn main() {
         ));
     }
     reporter.absorb(&probe);
+    // The regression gate diffs these counters exactly against the
+    // committed baseline (deterministic under fixed knobs).
+    reporter.observe(&obs_snapshot);
     reporter.finish().expect("write bench JSON");
 }

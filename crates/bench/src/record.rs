@@ -157,6 +157,11 @@ pub struct RunMeta {
     /// Simulated kernel events per wall-clock second (derived from
     /// [`StatsSnapshot::total_events`]; 0 when no kernel ran).
     pub kernel_events_per_sec: f64,
+    /// Observability metrics harvested during the run (`None` when no
+    /// observer was attached). Counters are deterministic; the regression
+    /// checker compares them exactly when both sides carry a snapshot.
+    #[serde(default)]
+    pub observe: Option<jsk_observe::MetricsSnapshot>,
 }
 
 /// A full bench run: deterministic record + run metadata. This is the
@@ -199,6 +204,7 @@ pub struct BenchReporter {
     record: BenchRecord,
     jobs: usize,
     start: Instant,
+    observe: Option<jsk_observe::MetricsSnapshot>,
 }
 
 impl BenchReporter {
@@ -216,6 +222,7 @@ impl BenchReporter {
             },
             jobs: crate::pool::jobs(),
             start: Instant::now(),
+            observe: None,
         }
     }
 
@@ -243,6 +250,17 @@ impl BenchReporter {
         self
     }
 
+    /// Merges an observability metrics snapshot into the run metadata.
+    /// Merging is commutative, so worker snapshots may arrive in any
+    /// order without perturbing the recorded totals.
+    pub fn observe(&mut self, snapshot: &jsk_observe::MetricsSnapshot) -> &mut Self {
+        match self.observe.as_mut() {
+            Some(acc) => acc.merge(snapshot),
+            None => self.observe = Some(snapshot.clone()),
+        }
+        self
+    }
+
     /// Finalizes the run without writing files (used by tests).
     #[must_use]
     pub fn into_run(self) -> BenchRun {
@@ -261,6 +279,7 @@ impl BenchReporter {
                 wall_ms: wall_secs * 1e3,
                 steps_per_sec,
                 kernel_events_per_sec,
+                observe: self.observe,
             },
         }
     }

@@ -207,6 +207,8 @@ pub fn compare_runs(baseline: &BenchRun, fresh: &BenchRun, tol_pct: f64) -> Vec<
         ));
     }
 
+    compare_metrics(target, baseline, fresh, &mut findings);
+
     if baseline.meta.wall_ms < MIN_THROUGHPUT_WALL_MS {
         // A run this short measures scheduler jitter, not throughput.
         return findings;
@@ -238,6 +240,51 @@ pub fn compare_runs(baseline: &BenchRun, fresh: &BenchRun, tol_pct: f64) -> Vec<
     findings
 }
 
+/// Diffs the observability counters. The knobs already matched by the
+/// time this runs, so the counters are deterministic: any drift means
+/// simulated kernel behavior changed, which is fatal — the counter gate
+/// is the regression check the tracing layer buys us.
+fn compare_metrics(target: &str, baseline: &BenchRun, fresh: &BenchRun, out: &mut Vec<Finding>) {
+    match (&baseline.meta.observe, &fresh.meta.observe) {
+        (Some(base), Some(new)) => {
+            for (name, base_v) in &base.counters {
+                match new.counters.get(name) {
+                    None => out.push(Finding::fatal(
+                        target,
+                        format!("metric counter `{name}` missing from fresh run"),
+                    )),
+                    Some(new_v) if new_v != base_v => out.push(Finding::fatal(
+                        target,
+                        format!("metric counter drift `{name}`: {base_v} -> {new_v}"),
+                    )),
+                    Some(_) => {}
+                }
+            }
+            for name in new.counters.keys() {
+                if !base.counters.contains_key(name) {
+                    out.push(Finding::note(
+                        target,
+                        format!("metric counter `{name}` not in baseline — regenerate it"),
+                    ));
+                }
+            }
+        }
+        (Some(_), None) => out.push(Finding::note(
+            target,
+            "baseline carries observe metrics but fresh run has none \
+             (observe feature off?)"
+                .to_owned(),
+        )),
+        (None, Some(_)) => out.push(Finding::note(
+            target,
+            "fresh run carries observe metrics but baseline has none — \
+             regenerate the baseline to gate them"
+                .to_owned(),
+        )),
+        (None, None) => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +304,7 @@ mod tests {
                 wall_ms: 1000.0,
                 steps_per_sec,
                 kernel_events_per_sec: 0.0,
+                observe: None,
             },
         }
     }
@@ -326,6 +374,62 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(!f[0].fatal);
         assert!(f[0].message.contains("value drift"));
+    }
+
+    fn metrics(pairs: &[(&str, u64)]) -> jsk_observe::MetricsSnapshot {
+        let mut reg = jsk_observe::MetricsRegistry::default();
+        let mut strings = jsk_observe::Interner::default();
+        for (name, v) in pairs {
+            reg.counter_add(strings.intern(name), *v);
+        }
+        reg.snapshot(&strings)
+    }
+
+    #[test]
+    fn metric_counter_drift_is_fatal() {
+        let mut base = run(vec![], 1000.0);
+        base.meta.observe = Some(metrics(&[("kernel.dispatched", 100)]));
+        let mut fresh = base.clone();
+        fresh.meta.observe = Some(metrics(&[("kernel.dispatched", 99)]));
+        let f = compare_runs(&base, &fresh, 25.0);
+        assert!(
+            f.iter()
+                .any(|x| x.fatal && x.message.contains("metric counter drift")),
+            "{f:?}"
+        );
+        // Identical snapshots pass clean.
+        assert!(compare_runs(&base, &base.clone(), 25.0).is_empty());
+    }
+
+    #[test]
+    fn missing_metric_counter_is_fatal_but_new_one_is_a_note() {
+        let mut base = run(vec![], 1000.0);
+        base.meta.observe = Some(metrics(&[("kernel.dispatched", 100)]));
+        let mut fresh = base.clone();
+        fresh.meta.observe = Some(metrics(&[("kernel.registered", 100)]));
+        let f = compare_runs(&base, &fresh, 25.0);
+        assert!(
+            f.iter().any(|x| x.fatal && x.message.contains("missing")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|x| !x.fatal && x.message.contains("not in baseline")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn one_sided_metrics_are_notes() {
+        let mut base = run(vec![], 1000.0);
+        base.meta.observe = Some(metrics(&[("kernel.dispatched", 100)]));
+        let fresh = run(vec![], 1000.0);
+        let f = compare_runs(&base, &fresh, 25.0);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(!f[0].fatal);
+        let g = compare_runs(&fresh, &base, 25.0);
+        assert_eq!(g.len(), 1, "{g:?}");
+        assert!(!g[0].fatal && g[0].message.contains("regenerate"));
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct BrowserConfig {
     pub step_limit: u64,
     /// Faults to inject during the run (`None` → fault-free).
     pub fault: Option<FaultPlan>,
+    /// Observer to instrument the run with (`None` → uninstrumented).
+    #[cfg(feature = "observe")]
+    pub observer: Option<jsk_observe::ObsHandle>,
 }
 
 impl BrowserConfig {
@@ -70,6 +73,8 @@ impl BrowserConfig {
             net_latency_scale: 1.0,
             step_limit: 5_000_000,
             fault: None,
+            #[cfg(feature = "observe")]
+            observer: None,
         }
     }
 
@@ -78,6 +83,64 @@ impl BrowserConfig {
     pub fn with_fault(mut self, plan: FaultPlan) -> BrowserConfig {
         self.fault = Some(plan);
         self
+    }
+
+    /// Attaches an observer: the browser instruments task dispatch,
+    /// worker/net lifecycle, and fault hits, and hands the same handle to
+    /// the mediator (see `Mediator::attach_observer`) so the kernel
+    /// instruments its dispatch path. Build one with
+    /// `jsk_observe::handle_of(&Observer::with_trace().shared())`.
+    #[cfg(feature = "observe")]
+    #[must_use]
+    pub fn with_observer(mut self, observer: jsk_observe::ObsHandle) -> BrowserConfig {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+/// Pre-interned browser-side observability names (interned once when the
+/// observer attaches, so the hooks never touch a string).
+#[cfg(feature = "observe")]
+#[derive(Debug)]
+struct BrowserSyms {
+    task: jsk_observe::Sym,
+    tasks: jsk_observe::Sym,
+    fetches_started: jsk_observe::Sym,
+    fetches_settled: jsk_observe::Sym,
+    workers_started: jsk_observe::Sym,
+    workers_terminated: jsk_observe::Sym,
+    worker_started: jsk_observe::Sym,
+    worker_terminated: jsk_observe::Sym,
+    confirm_dropped: jsk_observe::Sym,
+    confirm_delayed: jsk_observe::Sym,
+    worker_crashes: jsk_observe::Sym,
+}
+
+/// The browser's attached observer plus its interned names.
+#[cfg(feature = "observe")]
+#[derive(Debug)]
+struct ObsCtx {
+    handle: jsk_observe::ObsHandle,
+    syms: BrowserSyms,
+}
+
+#[cfg(feature = "observe")]
+impl ObsCtx {
+    fn new(handle: jsk_observe::ObsHandle) -> ObsCtx {
+        let syms = BrowserSyms {
+            task: handle.intern("browser.task"),
+            tasks: handle.intern("browser.tasks"),
+            fetches_started: handle.intern("browser.fetches_started"),
+            fetches_settled: handle.intern("browser.fetches_settled"),
+            workers_started: handle.intern("browser.workers_started"),
+            workers_terminated: handle.intern("browser.workers_terminated"),
+            worker_started: handle.intern("browser.worker_started"),
+            worker_terminated: handle.intern("browser.worker_terminated"),
+            confirm_dropped: handle.intern("fault.confirm_dropped"),
+            confirm_delayed: handle.intern("fault.confirm_delayed"),
+            worker_crashes: handle.intern("fault.worker_crashes"),
+        };
+        ObsCtx { handle, syms }
     }
 }
 
@@ -287,6 +350,9 @@ pub struct Browser {
     /// Synthetic HB node for browser-initiated teardown work (async worker
     /// teardown has no dispatched task to attribute its frees to).
     hb_synth_node: Option<u64>,
+    /// Attached observer and its pre-interned names.
+    #[cfg(feature = "observe")]
+    obs: Option<ObsCtx>,
 }
 
 impl std::fmt::Debug for Browser {
@@ -311,6 +377,8 @@ impl Browser {
         let root = SimRng::new(cfg.seed);
         let main = ThreadState::new(MAIN_THREAD, ThreadKind::Main, cfg.origin.clone());
         let fault = cfg.fault.clone().map(FaultInjector::new);
+        #[cfg(feature = "observe")]
+        let obs = cfg.observer.clone().map(ObsCtx::new);
         let mut b = Browser {
             rng_cpu: root.fork("cpu"),
             rng_net: root.fork("net"),
@@ -350,7 +418,18 @@ impl Browser {
             next_node: 0,
             hb_ctx_node: None,
             hb_synth_node: None,
+            #[cfg(feature = "observe")]
+            obs,
         };
+        // The mediator gets the same observer so kernel spans, browser
+        // task spans, and fault instants land in one interner and export.
+        #[cfg(feature = "observe")]
+        if let Some(o) = b.obs.as_ref() {
+            let handle = o.handle.clone();
+            if let Some(m) = b.mediator.as_mut() {
+                m.attach_observer(handle);
+            }
+        }
         // Worker crashes are scheduled up front: the plan names victims by
         // creation order, so a crash for a not-yet-created (or never-created)
         // worker is simply a no-op when it fires.
@@ -689,6 +768,23 @@ impl Browser {
 
     pub(crate) fn fact(&mut self, fact: Fact) {
         let t = self.current_instant();
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            match &fact {
+                Fact::FetchStarted { .. } => o.handle.counter_add(o.syms.fetches_started, 1),
+                Fact::FetchSettled { .. } => o.handle.counter_add(o.syms.fetches_settled, 1),
+                Fact::WorkerStarted { thread, .. } => {
+                    o.handle.counter_add(o.syms.workers_started, 1);
+                    o.handle.instant(o.syms.worker_started, thread.index(), t);
+                }
+                Fact::WorkerTerminated { .. } => {
+                    o.handle.counter_add(o.syms.workers_terminated, 1);
+                    o.handle
+                        .instant(o.syms.worker_terminated, MAIN_THREAD.index(), t);
+                }
+                _ => {}
+            }
+        }
         self.trace.fact(t, fact);
     }
 
@@ -730,6 +826,10 @@ impl Browser {
         self.do_terminate(wid, TerminationReason::Crash, false);
         if let Some(inj) = self.fault.as_mut() {
             inj.note_worker_crashed();
+        }
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.counter_add(o.syms.worker_crashes, 1);
         }
     }
 
@@ -775,6 +875,14 @@ impl Browser {
             Some(inj) => inj.confirm_fate(),
             None => ConfirmFate::Deliver,
         };
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            match &fate {
+                ConfirmFate::Drop => o.handle.counter_add(o.syms.confirm_dropped, 1),
+                ConfirmFate::Delay(_) => o.handle.counter_add(o.syms.confirm_delayed, 1),
+                ConfirmFate::Deliver => {}
+            }
+        }
         let raw_key = match fate {
             ConfirmFate::Drop => None,
             ConfirmFate::Deliver => Some(
@@ -1044,12 +1152,24 @@ impl Browser {
             node,
             sab_seen: HashMap::new(),
         });
+        // The task span: its width is the task's simulated cost — the
+        // quantity the event-loop-occupancy attacks (Loophole) measure.
+        #[cfg(feature = "observe")]
+        let obs_task = self.obs.as_ref().map(|o| {
+            o.handle.span_enter(o.syms.task, thread.index(), start);
+            (o.handle.clone(), o.syms.task, o.syms.tasks)
+        });
         let cb = task.callback.clone();
         {
             let mut scope = JsScope::new(self, thread);
             cb(&mut scope, task.arg);
         }
         let cur = self.cur.take().expect("current task context");
+        #[cfg(feature = "observe")]
+        if let Some((h, task_sym, tasks_sym)) = obs_task {
+            h.span_exit(task_sym, thread.index(), start + cur.cost);
+            h.counter_add(tasks_sym, 1);
+        }
         let overhead = self.cfg.profile.sched.dispatch_overhead;
         if i < self.threads.len() && self.threads[i].alive {
             self.threads[i].busy_until = start + overhead + cur.cost;

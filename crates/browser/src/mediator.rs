@@ -249,6 +249,18 @@ pub trait Mediator {
     /// The defense's display name (used in tables and traces).
     fn name(&self) -> &str;
 
+    /// Hands the mediator a subscriber to instrument itself with.
+    ///
+    /// `Browser::new` calls this when its config carries an observer
+    /// (`BrowserConfig::with_observer`); kernels intern their span and
+    /// metric names here and hook their dispatch path. The default
+    /// ignores the handle — a defense without instrumentation stays
+    /// uninstrumented.
+    #[cfg(feature = "observe")]
+    fn attach_observer(&mut self, observer: jsk_observe::ObsHandle) {
+        let _ = observer;
+    }
+
     /// A thread came up (main thread at browser start, worker threads on
     /// creation). Kernel mediators use this to set up per-thread state.
     fn on_thread_started(&mut self, ctx: &mut MediatorCtx<'_>, thread: ThreadId, is_worker: bool) {

@@ -53,6 +53,107 @@ struct ThreadKernel {
     clock: KernelClock,
 }
 
+/// Pre-interned kernel observability names. Every counter here mirrors a
+/// [`KernelStats`] field and is bumped at the same site, so an observer's
+/// totals reconcile **exactly** with a stats snapshot (asserted by
+/// `tests/observe.rs`).
+#[cfg(feature = "observe")]
+struct KernelSyms {
+    dispatch: jsk_observe::Sym,
+    equeue_drain: jsk_observe::Sym,
+    policy_decide: jsk_observe::Sym,
+    registered: jsk_observe::Sym,
+    confirmed: jsk_observe::Sym,
+    dispatched: jsk_observe::Sym,
+    cancelled: jsk_observe::Sym,
+    withheld_behind_pending: jsk_observe::Sym,
+    deferred_to_prediction: jsk_observe::Sym,
+    api_calls: jsk_observe::Sym,
+    denials: jsk_observe::Sym,
+    kernel_messages: jsk_observe::Sym,
+    watchdog_expired: jsk_observe::Sym,
+    orphans_reaped: jsk_observe::Sym,
+    equeue_overflow: jsk_observe::Sym,
+    policy_allow: jsk_observe::Sym,
+    policy_deny: jsk_observe::Sym,
+    policy_defer: jsk_observe::Sym,
+    policy_sanitize: jsk_observe::Sym,
+    policy_other: jsk_observe::Sym,
+    equeue_depth: jsk_observe::Sym,
+    dispatch_latency_ticks: jsk_observe::Sym,
+    kevent_timeout: jsk_observe::Sym,
+    kevent_interval: jsk_observe::Sym,
+    kevent_message: jsk_observe::Sym,
+    kevent_raf: jsk_observe::Sym,
+    kevent_net: jsk_observe::Sym,
+    kevent_media: jsk_observe::Sym,
+    kevent_css_tick: jsk_observe::Sym,
+    kevent_idb: jsk_observe::Sym,
+}
+
+#[cfg(feature = "observe")]
+impl KernelSyms {
+    /// The async-span name for an event kind's register→dispatch lifetime.
+    fn kevent(&self, kind: AsyncKind) -> jsk_observe::Sym {
+        match kind {
+            AsyncKind::Timeout { .. } => self.kevent_timeout,
+            AsyncKind::Interval { .. } => self.kevent_interval,
+            AsyncKind::Message { .. } => self.kevent_message,
+            AsyncKind::Raf => self.kevent_raf,
+            AsyncKind::Net { .. } => self.kevent_net,
+            AsyncKind::Media => self.kevent_media,
+            AsyncKind::CssTick => self.kevent_css_tick,
+            AsyncKind::Idb => self.kevent_idb,
+        }
+    }
+}
+
+/// The kernel's attached observer plus its interned names.
+#[cfg(feature = "observe")]
+struct KernelObs {
+    handle: jsk_observe::ObsHandle,
+    syms: KernelSyms,
+}
+
+#[cfg(feature = "observe")]
+impl KernelObs {
+    fn new(handle: jsk_observe::ObsHandle) -> KernelObs {
+        let syms = KernelSyms {
+            dispatch: handle.intern("kernel.dispatch"),
+            equeue_drain: handle.intern("kernel.equeue_drain"),
+            policy_decide: handle.intern("policy.decide"),
+            registered: handle.intern("kernel.registered"),
+            confirmed: handle.intern("kernel.confirmed"),
+            dispatched: handle.intern("kernel.dispatched"),
+            cancelled: handle.intern("kernel.cancelled"),
+            withheld_behind_pending: handle.intern("kernel.withheld_behind_pending"),
+            deferred_to_prediction: handle.intern("kernel.deferred_to_prediction"),
+            api_calls: handle.intern("kernel.api_calls"),
+            denials: handle.intern("kernel.denials"),
+            kernel_messages: handle.intern("kernel.kernel_messages"),
+            watchdog_expired: handle.intern("kernel.watchdog_expired"),
+            orphans_reaped: handle.intern("kernel.orphans_reaped"),
+            equeue_overflow: handle.intern("kernel.equeue_overflow"),
+            policy_allow: handle.intern("policy.allow"),
+            policy_deny: handle.intern("policy.deny"),
+            policy_defer: handle.intern("policy.defer_termination"),
+            policy_sanitize: handle.intern("policy.sanitize_error"),
+            policy_other: handle.intern("policy.other"),
+            equeue_depth: handle.intern("kernel.equeue_depth"),
+            dispatch_latency_ticks: handle.intern("kernel.dispatch_latency_ticks"),
+            kevent_timeout: handle.intern("kevent.timeout"),
+            kevent_interval: handle.intern("kevent.interval"),
+            kevent_message: handle.intern("kevent.message"),
+            kevent_raf: handle.intern("kevent.raf"),
+            kevent_net: handle.intern("kevent.net"),
+            kevent_media: handle.intern("kevent.media"),
+            kevent_css_tick: handle.intern("kevent.css-tick"),
+            kevent_idb: handle.intern("kevent.idb"),
+        };
+        KernelObs { handle, syms }
+    }
+}
+
 /// The JSKernel.
 pub struct JsKernel {
     cfg: KernelConfig,
@@ -117,6 +218,9 @@ pub struct JsKernel {
     checker: Option<InvariantChecker>,
     /// Runtime counters.
     stats: KernelStats,
+    /// Attached observer and its pre-interned names.
+    #[cfg(feature = "observe")]
+    obs: Option<KernelObs>,
 }
 
 impl std::fmt::Debug for JsKernel {
@@ -160,6 +264,8 @@ impl JsKernel {
             watchdog: HashMap::new(),
             checker: cfg.check_invariants.then(InvariantChecker::new),
             cfg,
+            #[cfg(feature = "observe")]
+            obs: None,
         }
     }
 
@@ -294,6 +400,28 @@ impl JsKernel {
         thread: ThreadId,
         just_confirmed: Option<EventToken>,
     ) -> ConfirmDecision {
+        // The dispatch span: zero-width in sim-time (the kernel decides
+        // between simulated instants), nested around the drain span below
+        // by array order in the export.
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle
+                .span_enter(o.syms.dispatch, thread.index(), ctx.now);
+        }
+        let decision = self.dispatch_inner(ctx, thread, just_confirmed);
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.span_exit(o.syms.dispatch, thread.index(), ctx.now);
+        }
+        decision
+    }
+
+    fn dispatch_inner(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        thread: ThreadId,
+        just_confirmed: Option<EventToken>,
+    ) -> ConfirmDecision {
         let now = ctx.now;
         if self.inflight.contains_key(&thread) {
             return ConfirmDecision::Withhold;
@@ -307,6 +435,11 @@ impl JsKernel {
         // every event predicted earlier has had a chance to register —
         // releasing early would let this event overtake an
         // earlier-predicted reply still in flight on another thread.
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle
+                .span_enter(o.syms.equeue_drain, thread.index(), now);
+        }
         let head = loop {
             let top = self
                 .tk(thread)
@@ -337,11 +470,27 @@ impl JsKernel {
                 }
             }
         };
+        #[cfg(feature = "observe")]
+        if self.obs.is_some() {
+            let depth = self.tk(thread).equeue.len() as u64;
+            if let Some(o) = self.obs.as_ref() {
+                o.handle.span_exit(o.syms.equeue_drain, thread.index(), now);
+                o.handle.gauge_set(o.syms.equeue_depth, depth);
+            }
+        }
         if waited_behind_pending {
             self.stats.withheld_behind_pending += 1;
+            #[cfg(feature = "observe")]
+            if let Some(o) = self.obs.as_ref() {
+                o.handle.counter_add(o.syms.withheld_behind_pending, 1);
+            }
         }
         if deferred {
             self.stats.deferred_to_prediction += 1;
+            #[cfg(feature = "observe")]
+            if let Some(o) = self.obs.as_ref() {
+                o.handle.counter_add(o.syms.deferred_to_prediction, 1);
+            }
         }
         let Some(head) = head else {
             return ConfirmDecision::Withhold;
@@ -365,6 +514,23 @@ impl JsKernel {
         // (§III-D3, "following the time sequence determined by the
         // scheduler").
         self.stats.dispatched += 1;
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.counter_add(o.syms.dispatched, 1);
+            // Dispatch latency: how far past its predicted instant the
+            // event was released, in kernel clock ticks.
+            let tick = self.cfg.tick_unit.as_nanos().max(1);
+            let late = now.saturating_duration_since(head.predicted).as_nanos() / tick;
+            o.handle
+                .histogram_record(o.syms.dispatch_latency_ticks, late);
+            // Close the register→dispatch async span for this event.
+            o.handle.async_end(
+                o.syms.kevent(head.kind),
+                head.token.index(),
+                thread.index(),
+                now,
+            );
+        }
         self.inflight.insert(thread, head.token);
         if Some(head.token) == just_confirmed {
             ConfirmDecision::InvokeAt(now)
@@ -416,6 +582,12 @@ impl JsKernel {
                     e.status = KEventStatus::Cancelled;
                 }
                 self.stats.watchdog_expired += 1;
+                #[cfg(feature = "observe")]
+                if let Some(o) = self.obs.as_ref() {
+                    o.handle.counter_add(o.syms.watchdog_expired, 1);
+                    o.handle
+                        .instant(o.syms.watchdog_expired, thread.index(), now);
+                }
                 self.watchdog.remove(&thread);
                 if debug_enabled() {
                     eprintln!("[wdg] expired tok={} at={}", head_token.index(), now);
@@ -465,6 +637,12 @@ impl Mediator for JsKernel {
         "jskernel"
     }
 
+    #[cfg(feature = "observe")]
+    fn attach_observer(&mut self, observer: jsk_observe::ObsHandle) {
+        // Interns every span/metric name once; the hooks pass symbols only.
+        self.obs = Some(KernelObs::new(observer));
+    }
+
     fn on_thread_started(&mut self, _ctx: &mut MediatorCtx<'_>, thread: ThreadId, is_worker: bool) {
         self.tk(thread);
         if is_worker {
@@ -494,6 +672,18 @@ impl Mediator for JsKernel {
         }
         let predicted = self.predict(info);
         self.stats.registered += 1;
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.counter_add(o.syms.registered, 1);
+            // Open the register→dispatch async span (correlated by token;
+            // its width is the event's kernel-mediated latency).
+            o.handle.async_begin(
+                o.syms.kevent(info.kind),
+                info.token.index(),
+                info.thread.index(),
+                _ctx.now,
+            );
+        }
         if debug_enabled() {
             eprintln!(
                 "[reg] {} tok={} thread={} pred={}",
@@ -518,6 +708,10 @@ impl Mediator for JsKernel {
             // preserving liveness at the cost of determinism for the
             // overflowing tail.
             self.stats.equeue_overflow += 1;
+            #[cfg(feature = "observe")]
+            if let Some(o) = self.obs.as_ref() {
+                o.handle.counter_add(o.syms.equeue_overflow, 1);
+            }
             return;
         }
         self.token_info.insert(info.token, (info.thread, predicted));
@@ -542,6 +736,10 @@ impl Mediator for JsKernel {
             return ConfirmDecision::InvokeAt(raw_fire);
         }
         self.stats.confirmed += 1;
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.counter_add(o.syms.confirmed, 1);
+        }
         let status = self.tk(info.thread).equeue.lookup_mut(info.token).map(|e| {
             if e.status == KEventStatus::Pending {
                 e.status = KEventStatus::Confirmed;
@@ -576,13 +774,26 @@ impl Mediator for JsKernel {
         let Some(&(thread, _)) = self.token_info.get(&token) else {
             return;
         };
+        #[cfg(feature = "observe")]
+        let mut cancelled_kind = None;
         if let Some(e) = self.tk(thread).equeue.lookup_mut(token) {
             // §III-D2: pending or confirmed events are marked cancelled;
             // already-dispatched events ignore the request.
             if e.is_live() {
                 e.status = KEventStatus::Cancelled;
+                #[cfg(feature = "observe")]
+                {
+                    cancelled_kind = Some(e.kind);
+                }
                 self.stats.cancelled += 1;
             }
+        }
+        #[cfg(feature = "observe")]
+        if let (Some(kind), Some(o)) = (cancelled_kind, self.obs.as_ref()) {
+            o.handle.counter_add(o.syms.cancelled, 1);
+            // A cancelled event's lifecycle span ends at the cancel.
+            o.handle
+                .async_end(o.syms.kevent(kind), token.index(), thread.index(), ctx.now);
         }
         self.token_info.remove(&token);
         // A cancelled head may unblock confirmed events behind it.
@@ -652,6 +863,12 @@ impl Mediator for JsKernel {
         // flight for a reaped event must be dropped, not invoked.
         let reaped = self.tk(thread).equeue.cancel_live();
         self.stats.orphans_reaped += reaped;
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            // Reaped events' async spans are deliberately left open: an
+            // unfinished span in the trace *is* the orphan.
+            o.handle.counter_add(o.syms.orphans_reaped, reaped);
+        }
         self.inflight.remove(&thread);
         self.watchdog.remove(&thread);
         // A dead thread dispatches nothing more: pending comm edges to it
@@ -718,10 +935,34 @@ impl Mediator for JsKernel {
             _ => {}
         }
         self.stats.api_calls += 1;
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.counter_add(o.syms.api_calls, 1);
+            o.handle
+                .span_enter(o.syms.policy_decide, MAIN_THREAD.index(), ctx.now);
+        }
         let (outcome, rule) = self.engine.decide(call, &self.threads);
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle
+                .span_exit(o.syms.policy_decide, MAIN_THREAD.index(), ctx.now);
+            // The policy decision mix: which way the engine ruled.
+            let sym = match &outcome {
+                ApiOutcome::Allow => o.syms.policy_allow,
+                ApiOutcome::Deny { .. } => o.syms.policy_deny,
+                ApiOutcome::DeferTermination => o.syms.policy_defer,
+                ApiOutcome::SanitizeError { .. } => o.syms.policy_sanitize,
+                _ => o.syms.policy_other,
+            };
+            o.handle.counter_add(sym, 1);
+        }
         if matches!(outcome, ApiOutcome::Deny { .. }) {
             if let Some(r) = rule {
                 self.stats.record_denial(r);
+                #[cfg(feature = "observe")]
+                if let Some(o) = self.obs.as_ref() {
+                    o.handle.counter_add(o.syms.denials, 1);
+                }
             }
         }
         outcome
@@ -745,6 +986,10 @@ impl Mediator for JsKernel {
         };
         self.kernel_msgs_seen += 1;
         self.stats.kernel_messages += 1;
+        #[cfg(feature = "observe")]
+        if let Some(o) = self.obs.as_ref() {
+            o.handle.counter_add(o.syms.kernel_messages, 1);
+        }
         // Obligation-carrying messages order the sending task before the
         // receiver's subsequent work; `ctx.node` carries the original
         // sender's HB node (forwarded replies inherit it). ClockSync is

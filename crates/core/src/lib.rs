@@ -35,6 +35,8 @@
 //! assert!(browser.record_value("kernel_clock_ms").is_some());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod check;
 pub mod comm;
 pub mod config;

@@ -1,0 +1,93 @@
+//! Interned metric/span names.
+//!
+//! Every span, counter, gauge, and histogram is identified by a [`Sym`]: a
+//! `u32` index into an [`Interner`] owned by the subscriber. Instrumented
+//! code interns each name **once** (at attach time) and then passes the
+//! copyable `Sym` on every hook call, so the hot path never hashes a
+//! string or allocates. The design mirrors `jsk_browser::trace::Interner`,
+//! but lives here so the observability layer sits *below* the browser in
+//! the crate graph and can be depended on by any layer.
+//!
+//! Symbols are handed out in first-intern order, which is itself
+//! deterministic (instrumented code interns its names in a fixed order at
+//! attach time), so exports keyed by symbol index are bit-identical across
+//! runs and `JSK_JOBS` settings.
+
+use std::collections::HashMap;
+
+/// An interned name: a cheap, copyable index into an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// First-occurrence string interner: `intern` returns a stable [`Sym`] per
+/// distinct string; `resolve` maps it back.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&i) = self.index.get(s) {
+            return Sym(i);
+        }
+        let i = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        Sym(i)
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_first_occurrence_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("kernel.dispatch");
+        let b = i.intern("policy.decide");
+        assert_eq!(a, i.intern("kernel.dispatch"));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.resolve(b), "policy.decide");
+        assert_eq!(i.len(), 2);
+    }
+}
