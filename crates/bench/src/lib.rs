@@ -9,6 +9,7 @@
 //! default 25), `JSK_SITES` (Figure 3 site count, default 500),
 //! `JSK_COMPAT_SITES` (compatibility check population, default 100),
 //! `JSK_JOBS` (bench worker threads, default: available parallelism),
+//! `JSK_SHARDS` (serving shards for the `shards` target, default 4),
 //! `JSK_HOTPATH_ROUNDS` (hot-path phase scaling, default 1 000 000),
 //! `JSK_REGRESS_TOL` (regression-gate tolerance in percent, default 25),
 //! `JSK_BENCH_OUT` (output root override for the JSON artifacts).

@@ -23,6 +23,15 @@ pub fn jobs() -> usize {
     crate::env_knob("JSK_JOBS", default)
 }
 
+/// Number of serving shards for the sharded-fleet targets: the
+/// `JSK_SHARDS` knob, default 4 (the chaos matrix's minimum — one shard
+/// per fault class plus the baseline comparison). Invalid values warn and
+/// fall back exactly like `JSK_JOBS`.
+#[must_use]
+pub fn shards() -> usize {
+    crate::env_knob("JSK_SHARDS", 4)
+}
+
 /// Runs `f(0) .. f(n-1)` across `jobs` scoped worker threads and returns
 /// the results in index order.
 ///
@@ -111,5 +120,21 @@ mod tests {
     #[test]
     fn jobs_defaults_to_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn shards_defaults_to_positive() {
+        assert!(shards() >= 1);
+    }
+
+    #[test]
+    fn invalid_shard_knob_falls_back_with_warning() {
+        // `JSK_SHARDS` rides the same parse/fallback path as `JSK_JOBS`:
+        // unparsable or non-positive values yield the default (the warning
+        // itself goes to stderr).
+        assert_eq!(crate::parse_knob("JSK_SHARDS", "abc", 4), 4);
+        assert_eq!(crate::parse_knob("JSK_SHARDS", "0", 4), 4);
+        assert_eq!(crate::parse_knob("JSK_SHARDS", "-3", 4), 4);
+        assert_eq!(crate::parse_knob("JSK_SHARDS", "6", 4), 6);
     }
 }

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Every JSON-emitting bench target, in run order.
-pub const ALL_TARGETS: [&str; 12] = [
+pub const ALL_TARGETS: [&str; 13] = [
     "table1",
     "table2",
     "table3",
@@ -35,6 +35,7 @@ pub const ALL_TARGETS: [&str; 12] = [
     "ablation",
     "micro",
     "hotpath",
+    "shards",
 ];
 
 /// The committed baseline: one [`BenchRun`] per target.

@@ -156,3 +156,46 @@ fn timing_attack_results_identical_under_pool() {
     });
     assert_eq!(serial, parallel);
 }
+
+/// Fast-subset corpus outcomes from a sharded serve, flattened and sorted
+/// so reports from different shard counts are comparable.
+fn fast_corpus_outcomes(shards: usize, workers: usize) -> Vec<(String, u64, String)> {
+    use jsk_shard::{corpus_job, ServeConfig, ShardPool};
+    // The cheap programs only (three exploits simulate minutes of virtual
+    // time; the release-profile `shards` bench target covers those).
+    const FAST: [usize; 8] = [1, 2, 4, 5, 6, 8, 9, 10];
+    let jobs: Vec<_> = FAST.iter().map(|&k| corpus_job(k, 5)).collect();
+    let report = ShardPool::new(ServeConfig::new(shards, workers)).serve(jobs);
+    let mut rows: Vec<(String, u64, String)> = report
+        .shards
+        .iter()
+        .flat_map(|sh| {
+            sh.sites.iter().map(|s| {
+                (
+                    s.site.clone(),
+                    s.seed,
+                    serde_json::to_string(&s.outcome).expect("outcome serializes"),
+                )
+            })
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn served_verdicts_are_shard_count_invariant() {
+    // Site seeds are a pure function of the corpus index — never of shard
+    // placement — so resharding a fleet (or changing `JSK_SHARDS`) must
+    // not change a single served verdict or its measurement detail.
+    let one = fast_corpus_outcomes(1, 1);
+    let four = fast_corpus_outcomes(4, 8);
+    assert_eq!(one, four, "JSK_SHARDS must not change served outcomes");
+    assert_eq!(one.len(), 8);
+    for (site, _, outcome) in &one {
+        assert!(
+            outcome.contains("\"defended\":true"),
+            "{site} lost its defense: {outcome}"
+        );
+    }
+}

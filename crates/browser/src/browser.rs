@@ -56,6 +56,10 @@ pub struct BrowserConfig {
     pub step_limit: u64,
     /// Faults to inject during the run (`None` → fault-free).
     pub fault: Option<FaultPlan>,
+    /// Which serving shard this browser runs on (`None` → unsharded).
+    /// Shard-addressed faults in the plan (per-shard clock skew) only
+    /// apply when their shard id matches this.
+    pub shard: Option<u64>,
     /// Observer to instrument the run with (`None` → uninstrumented).
     #[cfg(feature = "observe")]
     pub observer: Option<jsk_observe::ObsHandle>,
@@ -73,6 +77,7 @@ impl BrowserConfig {
             net_latency_scale: 1.0,
             step_limit: 5_000_000,
             fault: None,
+            shard: None,
             #[cfg(feature = "observe")]
             observer: None,
         }
@@ -82,6 +87,16 @@ impl BrowserConfig {
     #[must_use]
     pub fn with_fault(mut self, plan: FaultPlan) -> BrowserConfig {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Places this browser on a serving shard, making it addressable by
+    /// the plan's shard-scoped faults (clock skew). The shard id does not
+    /// influence the simulation itself — an unfaulted run is bit-identical
+    /// on any shard.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u64) -> BrowserConfig {
+        self.shard = Some(shard);
         self
     }
 
@@ -342,6 +357,8 @@ pub struct Browser {
     channel_last: HashMap<(u64, u64), SimTime>,
     /// Fault injector, when a plan is installed.
     pub(crate) fault: Option<FaultInjector>,
+    /// Skew applied to raw clock reads, when the plan targets our shard.
+    raw_skew: Option<jsk_sim::fault::ClockSkew>,
     /// Next happens-before node id (one per dispatched task).
     next_node: u64,
     /// HB attribution for hooks running outside a task (kernel-message
@@ -377,6 +394,12 @@ impl Browser {
         let root = SimRng::new(cfg.seed);
         let main = ThreadState::new(MAIN_THREAD, ThreadKind::Main, cfg.origin.clone());
         let fault = cfg.fault.clone().map(FaultInjector::new);
+        let raw_skew = cfg.shard.and_then(|shard| {
+            cfg.fault
+                .as_ref()
+                .and_then(|p| p.skew_for(shard).copied())
+                .filter(|s| !s.is_inert())
+        });
         #[cfg(feature = "observe")]
         let obs = cfg.observer.clone().map(ObsCtx::new);
         let mut b = Browser {
@@ -415,6 +438,7 @@ impl Browser {
             request_tokens: HashMap::new(),
             channel_last: HashMap::new(),
             fault,
+            raw_skew,
             next_node: 0,
             hb_ctx_node: None,
             hb_synth_node: None,
@@ -533,6 +557,20 @@ impl Browser {
         match &self.cur {
             Some(c) => c.start + c.cost,
             None => self.now,
+        }
+    }
+
+    /// The raw hardware-clock reading scripts and mediators are shown:
+    /// [`Browser::current_instant`], put through this shard's clock skew
+    /// when the fault plan targets us. Scheduling always uses the true
+    /// instant — skew perturbs what a clock *read* reports, never when
+    /// events fire, exactly like a drifting TSC under a correct scheduler.
+    #[must_use]
+    pub fn raw_instant(&self) -> SimTime {
+        let raw = self.current_instant();
+        match &self.raw_skew {
+            Some(skew) => skew.apply(raw),
+            None => raw,
         }
     }
 
@@ -1912,6 +1950,11 @@ impl Browser {
             self.withheld.remove(t);
         }
         stale.extend(withheld_stale);
+        // `pending`/`withheld` are hash maps, so the collected order above
+        // is arbitrary; cancel in token order or the mediator's release
+        // decisions (and dispatch-latency accounting) become a function of
+        // hash-seed state.
+        stale.sort_by_key(|t| t.index());
         for t in stale {
             // The mediator still hears about each (a serialized dispatcher
             // must not wait on a dropped event).
@@ -1924,7 +1967,10 @@ impl Browser {
     /// (defense-side clean teardown).
     fn settle_worker_fetches(&mut self, wid: WorkerId) {
         let wi = wid.index() as usize;
-        let fetches: Vec<RequestId> = self.workers[wi].pending_fetches.drain().collect();
+        let mut fetches: Vec<RequestId> = self.workers[wi].pending_fetches.drain().collect();
+        // Hash-set drain order is arbitrary; abort in request order so the
+        // cancellation sequence the mediator observes is deterministic.
+        fetches.sort_by_key(|r| r.index());
         for r in fetches {
             let ri = r.index() as usize;
             if self.requests[ri].state == RequestState::Pending {
@@ -2170,6 +2216,51 @@ mod tests {
         });
         b.run_until_idle();
         assert!(b.steps() <= 500, "guard must stop the run: {}", b.steps());
+    }
+
+    #[test]
+    fn shard_clock_skew_shifts_raw_reads_but_not_scheduling() {
+        use jsk_sim::fault::{ClockSkew, FaultPlan};
+        let run = |cfg: BrowserConfig| {
+            let mut b = Browser::new(cfg, Box::new(LegacyMediator));
+            b.boot(|scope| {
+                scope.set_timeout(
+                    100.0,
+                    cb(|scope, _| {
+                        let now = scope.performance_now();
+                        scope.record("now", JsValue::from(now));
+                        scope.record("fired_at", JsValue::from(scope.browser_now_ms()));
+                    }),
+                );
+            });
+            b.run_until_idle();
+            (
+                b.record_value("now").unwrap().as_f64().unwrap(),
+                b.record_value("fired_at").unwrap().as_f64().unwrap(),
+            )
+        };
+        let plan = FaultPlan::new(0).with_clock_skew(ClockSkew {
+            shard: 3,
+            drift_ppm: 100_000, // +10%, comfortably above clock quantization
+            step_ms: 0,
+            step_at_ms: 0,
+        });
+        let base = BrowserConfig::new(BrowserProfile::chrome(), 9);
+        let (plain_now, plain_fired) = run(base.clone());
+        // Skew addressed to our shard: the legacy-displayed clock runs fast,
+        // but the timer still fires at the same true instant.
+        let (skewed_now, skewed_fired) = run(base.clone().with_fault(plan.clone()).with_shard(3));
+        assert!(
+            skewed_now > plain_now * 1.05,
+            "skewed read {skewed_now} should run ~10% fast of {plain_now}"
+        );
+        assert!(
+            (skewed_fired - plain_fired).abs() < 1e-9,
+            "scheduling must not skew"
+        );
+        // Skew addressed to a different shard: inert.
+        let (other_now, _) = run(base.with_fault(plan).with_shard(2));
+        assert!((other_now - plain_now).abs() < 1e-9);
     }
 
     #[test]

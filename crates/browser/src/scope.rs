@@ -116,7 +116,10 @@ impl<'a> JsScope<'a> {
         let p = self.browser.cfg.profile.clock;
         self.add_cost(p.call_cost);
         self.interpose(InterposeClass::Clock);
-        let raw = self.browser.current_instant();
+        // Shard-scoped clock skew applies here — the raw reading handed to
+        // the mediator — so a deterministic kernel clock masks it while a
+        // legacy passthrough displays it.
+        let raw = self.browser.raw_instant();
         let native_precision = match kind {
             ClockKind::DateNow => p.date_precision,
             _ => p.perf_precision,

@@ -856,7 +856,41 @@ impl Mediator for JsKernel {
         self.tk(thread).clock.tick();
     }
 
-    fn on_thread_exited(&mut self, _ctx: &mut MediatorCtx<'_>, thread: ThreadId) {
+    fn on_thread_exited(&mut self, ctx: &mut MediatorCtx<'_>, thread: ThreadId) {
+        // If the dying thread's blocked head already outlived the watchdog
+        // hold, the deadline tick and this exit land on the same virtual
+        // instant, and whichever the event queue processed first would
+        // otherwise decide whether the head counts as a watchdog expiry or
+        // as an orphan. Settle the head here the way the tick would have,
+        // so the degradation counters are order-independent and the head is
+        // accounted exactly once (cancel_live below skips it once
+        // Cancelled).
+        let hold = self.cfg.watchdog_hold;
+        if hold > SimDuration::ZERO {
+            if let Some(&(tok, t0)) = self.watchdog.get(&thread) {
+                if ctx.now >= t0 + hold {
+                    let expired_head = {
+                        let tk = self.tk(thread);
+                        tk.equeue.has_confirmed()
+                            && tk.equeue.top().is_some_and(|h| {
+                                h.token == tok && h.status == KEventStatus::Pending
+                            })
+                    };
+                    if expired_head {
+                        if let Some(e) = self.tk(thread).equeue.lookup_mut(tok) {
+                            e.status = KEventStatus::Cancelled;
+                        }
+                        self.stats.watchdog_expired += 1;
+                        #[cfg(feature = "observe")]
+                        if let Some(o) = self.obs.as_ref() {
+                            o.handle.counter_add(o.syms.watchdog_expired, 1);
+                            o.handle
+                                .instant(o.syms.watchdog_expired, thread.index(), ctx.now);
+                        }
+                    }
+                }
+            }
+        }
         // The thread died without unwinding: reap every event it still owed
         // us so no other bookkeeping waits on a confirmation that can never
         // come. token_info entries are kept — a raw trigger already in
@@ -1300,6 +1334,89 @@ mod tests {
         // The lost confirmation finally arrives: the event was written off,
         // so it must be dropped — never invoked via the raw fallback.
         let late = armed_at + hold + SimDuration::from_millis(1);
+        let mut ctx = MediatorCtx::new(late, &mut rng);
+        assert_eq!(k.on_confirm(&mut ctx, &msg, late), ConfirmDecision::Drop);
+    }
+
+    /// Regression: when the watchdog deadline tick and the owning thread's
+    /// exit land on the same virtual instant, the blocked head must count
+    /// as exactly one watchdog expiry — never additionally (or instead) as
+    /// a reaped orphan — regardless of which the event queue processes
+    /// first. Before the order-independence guard in `on_thread_exited`,
+    /// the exit-first order booked the already-expired head as an orphan
+    /// (watchdog_expired 0, orphans 2), so the same blockage was accounted
+    /// differently across runs that only differed in same-instant event
+    /// order.
+    #[test]
+    fn same_tick_thread_exit_and_watchdog_deadline_count_head_once() {
+        let build = || {
+            let mut k = JsKernel::default();
+            let hold = k.config().watchdog_hold;
+            assert!(hold > SimDuration::ZERO);
+            let mut rng = SimRng::new(0);
+            let msg = info(
+                1,
+                0,
+                AsyncKind::Message {
+                    from: ThreadId::new(1),
+                },
+            );
+            let raf = info(2, 0, AsyncKind::Raf);
+            {
+                let mut ctx = MediatorCtx::new(SimTime::ZERO, &mut rng);
+                k.on_register(&mut ctx, &msg);
+                k.on_register(&mut ctx, &raf);
+            }
+            // The raf confirms behind the head whose confirmation is lost:
+            // the watchdog arms at 16ms.
+            let armed_at = SimTime::from_millis(16);
+            let mut ctx = MediatorCtx::new(armed_at, &mut rng);
+            assert_eq!(
+                k.on_confirm(&mut ctx, &raf, armed_at),
+                ConfirmDecision::Withhold
+            );
+            (k, rng, msg, armed_at + hold)
+        };
+
+        // Order 1: the deadline tick processes first, then the exit.
+        let (mut k, mut rng, _msg, deadline) = build();
+        {
+            let mut ctx = MediatorCtx::new(deadline, &mut rng);
+            k.on_tick(&mut ctx, ThreadId::new(0));
+            let mut ctx = MediatorCtx::new(deadline, &mut rng);
+            k.on_thread_exited(&mut ctx, ThreadId::new(0));
+        }
+        assert_eq!(k.stats().watchdog_expired, 1, "tick-first: one expiry");
+        assert_eq!(k.stats().orphans_reaped, 0, "tick-first: raf dispatched");
+        assert_eq!(k.stats().dispatched, 1);
+
+        // Order 2: the exit processes first, then the (now stale) tick.
+        let (mut k, mut rng, msg, deadline) = build();
+        {
+            let mut ctx = MediatorCtx::new(deadline, &mut rng);
+            k.on_thread_exited(&mut ctx, ThreadId::new(0));
+            let mut ctx = MediatorCtx::new(deadline, &mut rng);
+            k.on_tick(&mut ctx, ThreadId::new(0));
+        }
+        assert_eq!(
+            k.stats().watchdog_expired,
+            1,
+            "exit-first: the expired head still books as a watchdog expiry"
+        );
+        assert_eq!(
+            k.stats().orphans_reaped,
+            1,
+            "exit-first: only the raf is an orphan — the head is not double-counted"
+        );
+        assert_eq!(k.stats().dispatched, 0);
+        // In both orders each of the two events lands in exactly one
+        // degradation/terminal counter.
+        assert_eq!(
+            k.stats().watchdog_expired + k.stats().orphans_reaped + k.stats().dispatched,
+            2
+        );
+        // And the written-off head's late confirmation is still dropped.
+        let late = deadline + SimDuration::from_millis(1);
         let mut ctx = MediatorCtx::new(late, &mut rng);
         assert_eq!(k.on_confirm(&mut ctx, &msg, late), ConfirmDecision::Drop);
     }

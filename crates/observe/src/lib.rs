@@ -37,7 +37,7 @@ pub mod subscriber;
 pub mod sym;
 
 pub use chrome::{Phase, TraceEvent, TraceSummary};
-pub use metrics::{GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{base_name, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{handle_of, Observer};
 pub use subscriber::{ObsHandle, Subscriber};
 pub use sym::{Interner, Sym};

@@ -31,6 +31,17 @@ pub fn bucket_index(value: u64) -> usize {
     }
 }
 
+/// Strips any `{key=value}` label sets from a metric name:
+/// `kernel.equeue_depth{shard=3}` → `kernel.equeue_depth`. Names without
+/// labels pass through unchanged.
+#[must_use]
+pub fn base_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
 /// A gauge's retained state: the most recent set and the high-water mark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Gauge {
@@ -223,6 +234,43 @@ impl MetricsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// A copy of this snapshot with a `{key=value}` label set appended to
+    /// every metric name (Prometheus text-format style):
+    /// `kernel.equeue_depth` becomes `kernel.equeue_depth{shard=3}`.
+    /// Labelled snapshots from different shards then
+    /// [`merge`](MetricsSnapshot::merge) into one registry without their
+    /// series colliding, which is how per-shard kernel metrics stay
+    /// separable in a fleet-wide export. Labelling twice nests:
+    /// `name{a=1}{b=2}` — label once, at harvest time.
+    #[must_use]
+    pub fn with_label(&self, key: &str, value: &str) -> MetricsSnapshot {
+        let relabel = |name: &str| format!("{name}{{{key}={value}}}");
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (relabel(k), *v))
+                .collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (relabel(k), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (relabel(k), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Sums every labelled variant of `counter` across label sets: the
+    /// fleet-wide total of a per-shard counter.
+    #[must_use]
+    pub fn counter_across_labels(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| base_name(k) == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
     /// Whether nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -288,6 +336,57 @@ mod tests {
         assert_eq!(ab.counter("c"), 11);
         assert_eq!(ab.gauges["g"].max, 9);
         assert_eq!(ab.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn labelled_snapshots_merge_without_colliding() {
+        let mut strings = Interner::new();
+        let c = strings.intern("kernel.dispatched");
+        let g = strings.intern("kernel.equeue_depth");
+        let h = strings.intern("kernel.dispatch_latency_ticks");
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(c, 5);
+        reg.gauge_set(g, 3);
+        reg.histogram_record(h, 8);
+        let snap = reg.snapshot(&strings);
+        let mut fleet = snap.with_label("shard", "0");
+        fleet.merge(&snap.with_label("shard", "1"));
+        // Series stay separate per shard...
+        assert_eq!(fleet.counter("kernel.dispatched{shard=0}"), 5);
+        assert_eq!(fleet.counter("kernel.dispatched{shard=1}"), 5);
+        assert_eq!(fleet.counter("kernel.dispatched"), 0);
+        assert_eq!(fleet.gauges["kernel.equeue_depth{shard=1}"].max, 3);
+        assert_eq!(
+            fleet.histograms["kernel.dispatch_latency_ticks{shard=0}"].count,
+            1
+        );
+        // ...and still aggregate across the label dimension.
+        assert_eq!(fleet.counter_across_labels("kernel.dispatched"), 10);
+    }
+
+    #[test]
+    fn base_name_strips_label_sets() {
+        assert_eq!(
+            base_name("kernel.equeue_depth{shard=3}"),
+            "kernel.equeue_depth"
+        );
+        assert_eq!(base_name("kernel.equeue_depth"), "kernel.equeue_depth");
+        assert_eq!(base_name("a{b=1}{c=2}"), "a");
+    }
+
+    #[test]
+    fn labelling_preserves_merge_commutativity() {
+        let mut strings = Interner::new();
+        let c = strings.intern("c");
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(c, 2);
+        let s0 = reg.snapshot(&strings).with_label("shard", "0");
+        let s1 = reg.snapshot(&strings).with_label("shard", "1");
+        let mut ab = s0.clone();
+        ab.merge(&s1);
+        let mut ba = s1;
+        ba.merge(&s0);
+        assert_eq!(ab, ba);
     }
 
     #[test]

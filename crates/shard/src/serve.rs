@@ -1,0 +1,743 @@
+//! The sharded serving core: per-site kernel shards, a work-stealing
+//! worker pool, and a supervisor.
+//!
+//! A [`ShardPool`] serves a list of [`SiteJob`]s across `N` shards. Each
+//! shard is a sequential serving lane: it owns the kernel state of every
+//! site homed on it (each site run builds its own `JsKernel`, with its
+//! `KernelEventQueue`, `KernelClock`, and policy tables, inside the job),
+//! a FIFO queue of pending sites, and a **virtual timeline** — the
+//! cumulative simulated milliseconds of everything it has served. Shards
+//! are driven by a pool of OS worker threads: worker `w` owns the shards
+//! `s` with `s % workers == w` and may **steal** a pending site from any
+//! other shard when its own lanes drain, unless the fault plan partitions
+//! the victim shard away from the thief's home shard at that virtual
+//! instant. The owner is always allowed to drive its own shard, so a
+//! partition can slow a shard down but never wedge it — the progress
+//! guarantee the chaos matrix leans on.
+//!
+//! **Determinism.** Every [`SiteReport`] is a pure function of
+//! `(job, shard id, fault plan)`: shards serialize their own sites in
+//! submission order, job outputs depend only on their seed and
+//! configuration, and crash/restart accounting runs on the shard's virtual
+//! timeline — never on wall-clock or on which worker happened to hold the
+//! lane. Run the same jobs with 1 worker or 16 and the report is
+//! bit-identical; that invariant is pinned by `tests/determinism.rs` and
+//! the chaos matrix.
+//!
+//! **Supervision.** The fault plan's [`ShardCrash`] entries kill a shard
+//! at a fixed instant on its virtual timeline. The attempt in flight is
+//! discarded **wholly** — its verdict, metrics, and kernel stats are not
+//! merged, so a restarted site is accounted exactly once (the shard-level
+//! twin of the kernel's same-tick watchdog/orphan rule). The supervisor
+//! then restarts the shard after a backoff that doubles per restart, up to
+//! [`ServeConfig::max_restarts`]; past that the shard is **quarantined**
+//! and its remaining sites are reported as [`SiteOutcome::Quarantined`]
+//! rather than served with untrustworthy state.
+//!
+//! **Admission control.** With a bounded [`ServeConfig::admission_capacity`],
+//! sites beyond a shard's queue capacity are load-shed at submission
+//! ([`SiteOutcome::Shed`]) instead of growing the queue without bound —
+//! the serving-layer analogue of the kernel's bounded equeue, whose
+//! overflow path refuses registrations (`ConfirmDecision::Drop` for their
+//! late confirmations) rather than wedging dispatch.
+
+use jsk_observe::MetricsSnapshot;
+use jsk_sim::fault::{FaultPlan, ShardCrash};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`ShardPool`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of kernel shards (serving lanes). Clamped to at least 1.
+    pub shards: usize,
+    /// Number of OS worker threads driving the shards. Clamped to at
+    /// least 1. Worker count never changes any report — only wall-clock.
+    pub workers: usize,
+    /// How many times the supervisor restarts a crashed shard before
+    /// quarantining it.
+    pub max_restarts: u32,
+    /// Base restart backoff on the shard's virtual timeline, in
+    /// milliseconds; restart `n` (1-based) waits `backoff << (n-1)`.
+    pub restart_backoff_ms: u64,
+    /// Bound on each shard's pending-site queue; sites submitted beyond it
+    /// are load-shed. `0` = unbounded.
+    pub admission_capacity: usize,
+    /// Fault plan shared by the whole fleet: shard-addressed faults
+    /// (crashes, partitions, clock skews) apply to their shard, and the
+    /// plan is also handed to every site's browser.
+    pub fault: Option<FaultPlan>,
+}
+
+impl ServeConfig {
+    /// A supervision-enabled configuration with library defaults: 3
+    /// restarts, 10 ms base backoff, unbounded admission, no faults.
+    #[must_use]
+    pub fn new(shards: usize, workers: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            workers,
+            max_restarts: 3,
+            restart_backoff_ms: 10,
+            admission_capacity: 0,
+            fault: None,
+        }
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> ServeConfig {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Bounds each shard's pending-site queue.
+    #[must_use]
+    pub fn with_admission_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.admission_capacity = capacity;
+        self
+    }
+
+    /// Sets the supervisor's restart budget and base backoff.
+    #[must_use]
+    pub fn with_restarts(mut self, max_restarts: u32, backoff_ms: u64) -> ServeConfig {
+        self.max_restarts = max_restarts;
+        self.restart_backoff_ms = backoff_ms;
+        self
+    }
+}
+
+/// What a [`SiteJob`] closure receives: everything a site run may depend
+/// on. Outputs must be a pure function of this context.
+#[derive(Debug, Clone)]
+pub struct SiteCtx {
+    /// The shard serving this site (feed it to
+    /// `BrowserConfig::with_shard` so shard-addressed clock skew lands).
+    pub shard: u64,
+    /// The site's label.
+    pub site: String,
+    /// The site's seed (independent of shard, so the same site serves
+    /// bit-identically on any shard).
+    pub seed: u64,
+    /// The fleet fault plan, if any (install via
+    /// `BrowserConfig::with_fault`).
+    pub fault: Option<FaultPlan>,
+}
+
+/// What one site run produced.
+#[derive(Debug, Clone)]
+pub struct SiteOutput {
+    /// Attack verdict, when the site is an attack program (`None` for
+    /// plain workloads).
+    pub defended: Option<bool>,
+    /// Deterministic free-form record of the run (measurements, counts).
+    pub detail: String,
+    /// Virtual milliseconds the run consumed — advances the shard's
+    /// timeline (clamped to at least 1 so timelines always progress).
+    pub sim_ms: u64,
+    /// Whether the run wedged and was rescued by graceful degradation
+    /// (kernel watchdog expiries or a tripped step limit).
+    pub wedged: bool,
+    /// The site's own (unlabelled) metrics snapshot; the shard merges it,
+    /// the fleet view labels it by shard id.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The closure form of a site program.
+pub type SiteFn = Arc<dyn Fn(&SiteCtx) -> SiteOutput + Send + Sync>;
+
+/// One site to serve: a label, a seed, and the program that runs it.
+#[derive(Clone)]
+pub struct SiteJob {
+    /// Site label (unique per job for readable reports).
+    pub site: String,
+    /// Seed handed to the program through [`SiteCtx`].
+    pub seed: u64,
+    run: SiteFn,
+}
+
+impl SiteJob {
+    /// Wraps a program closure into a job.
+    pub fn new<F>(site: impl Into<String>, seed: u64, run: F) -> SiteJob
+    where
+        F: Fn(&SiteCtx) -> SiteOutput + Send + Sync + 'static,
+    {
+        SiteJob {
+            site: site.into(),
+            seed,
+            run: Arc::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for SiteJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteJob")
+            .field("site", &self.site)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// How one site ended up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SiteOutcome {
+    /// The site ran to completion.
+    Served {
+        /// Attack verdict (`None` for plain workloads).
+        defended: Option<bool>,
+        /// The run's deterministic record.
+        detail: String,
+        /// Whether graceful degradation had to step in.
+        wedged: bool,
+    },
+    /// Load-shed at admission: the shard's queue was full.
+    Shed,
+    /// The shard was quarantined before (or while) this site could be
+    /// served trustworthily.
+    Quarantined,
+}
+
+/// One site's row in a shard report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// Site label.
+    pub site: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// How it ended up.
+    pub outcome: SiteOutcome,
+    /// Run attempts (restart reruns included; 0 when never attempted).
+    pub attempts: u32,
+    /// Virtual completion instant on the shard timeline (0 unless served).
+    pub completed_at_ms: u64,
+}
+
+/// One shard's full accounting for a serve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard id.
+    pub shard: u64,
+    /// Per-site rows, in submission order.
+    pub sites: Vec<SiteReport>,
+    /// Sites served to completion.
+    pub served: u64,
+    /// Sites load-shed at admission.
+    pub shed: u64,
+    /// Sites reported quarantined.
+    pub quarantined_sites: u64,
+    /// Supervisor restarts consumed.
+    pub restarts: u32,
+    /// Whether the shard ended quarantined.
+    pub is_quarantined: bool,
+    /// Served sites that wedged and were rescued by degradation.
+    pub wedges: u64,
+    /// Final virtual timeline, in milliseconds.
+    pub virtual_ms: u64,
+    /// Heartbeats gossiped to the ring neighbour `(shard + 1) % N` (one
+    /// per served site, stamped with its completion instant).
+    pub heartbeats_sent: u64,
+    /// Heartbeats the plan's partitions cut on the way out.
+    pub heartbeats_dropped: u64,
+    /// Merged (unlabelled) metrics of every served site.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ShardReport {
+    /// The row for `site`, if this shard saw it.
+    #[must_use]
+    pub fn site(&self, site: &str) -> Option<&SiteReport> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+
+    /// The site rows reduced to their outcomes — the shard's *service*
+    /// content, independent of restart accounting (`attempts`,
+    /// `completed_at_ms`). Two shards served identically iff these match.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<(String, SiteOutcome)> {
+        self.sites
+            .iter()
+            .map(|s| (s.site.clone(), s.outcome.clone()))
+            .collect()
+    }
+}
+
+/// The full fleet report of one serve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Per-shard reports, indexed by shard id.
+    pub shards: Vec<ShardReport>,
+    /// Every shard's metrics merged under a `{shard=<id>}` label, so the
+    /// per-shard series stay separable in one registry.
+    pub fleet_metrics: MetricsSnapshot,
+}
+
+impl ServeReport {
+    /// All served sites across all shards whose verdict is `defended ==
+    /// Some(false)` — the rows a security gate must find empty.
+    #[must_use]
+    pub fn undefended(&self) -> Vec<(u64, String)> {
+        let mut out = Vec::new();
+        for sh in &self.shards {
+            for s in &sh.sites {
+                if let SiteOutcome::Served {
+                    defended: Some(false),
+                    ..
+                } = s.outcome
+                {
+                    out.push((sh.shard, s.site.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Totals across shards: `(served, shed, quarantined, restarts)`.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64, u64, u32) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.served,
+                acc.1 + s.shed,
+                acc.2 + s.quarantined_sites,
+                acc.3 + s.restarts,
+            )
+        })
+    }
+
+    /// Deterministic pretty JSON of the report.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialize");
+        s.push('\n');
+        s
+    }
+}
+
+/// One shard's mutable serving state, behind its lane lock.
+struct ShardState {
+    queue: VecDeque<(usize, SiteJob)>,
+    t_ms: u64,
+    restarts: u32,
+    quarantined: bool,
+    crashes: VecDeque<ShardCrash>,
+    /// `(submission index, report)` — sorted at finalize.
+    sites: Vec<(usize, SiteReport)>,
+    metrics: MetricsSnapshot,
+    beats: Vec<u64>,
+    wedges: u64,
+    shed: u64,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            queue: VecDeque::new(),
+            t_ms: 0,
+            restarts: 0,
+            quarantined: false,
+            crashes: VecDeque::new(),
+            sites: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+            beats: Vec::new(),
+            wedges: 0,
+            shed: 0,
+        }
+    }
+}
+
+/// The sharded serving pool. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct ShardPool {
+    cfg: ServeConfig,
+}
+
+impl ShardPool {
+    /// Builds a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured fault plan fails
+    /// [`FaultPlan::validate`] — the same strictness as
+    /// `FaultInjector::new`, surfaced before any worker thread spawns.
+    #[must_use]
+    pub fn new(cfg: ServeConfig) -> ShardPool {
+        if let Some(plan) = &cfg.fault {
+            if let Err(e) = plan.validate() {
+                panic!("invalid fault plan: {e}");
+            }
+        }
+        ShardPool { cfg }
+    }
+
+    /// The pool's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Serves every job — site `i` homes on shard `i % shards` — and
+    /// returns the fleet report. Deterministic for any worker count.
+    #[must_use]
+    pub fn serve(&self, jobs: Vec<SiteJob>) -> ServeReport {
+        let n_shards = self.cfg.shards.max(1);
+        let workers = self.cfg.workers.max(1);
+        let capacity = self.cfg.admission_capacity;
+        let plan = self.cfg.fault.clone();
+
+        let mut states: Vec<ShardState> = (0..n_shards).map(|_| ShardState::new()).collect();
+        // Admission: queue each site on its home shard, shedding past the
+        // bound.
+        let mut queued = 0usize;
+        for (i, job) in jobs.into_iter().enumerate() {
+            let s = i % n_shards;
+            let st = &mut states[s];
+            if capacity > 0 && st.queue.len() >= capacity {
+                st.shed += 1;
+                st.sites.push((
+                    i,
+                    SiteReport {
+                        site: job.site,
+                        seed: job.seed,
+                        outcome: SiteOutcome::Shed,
+                        attempts: 0,
+                        completed_at_ms: 0,
+                    },
+                ));
+            } else {
+                st.queue.push_back((i, job));
+                queued += 1;
+            }
+        }
+        // The crash schedule, sorted onto each shard's timeline.
+        if let Some(p) = &plan {
+            for c in &p.shard_crashes {
+                if let Some(st) = states.get_mut(c.shard as usize) {
+                    st.crashes.push_back(*c);
+                }
+            }
+            for st in &mut states {
+                st.crashes.make_contiguous().sort_by_key(|c| c.at_ms);
+            }
+        }
+
+        let remaining = AtomicUsize::new(queued);
+        let lanes: Vec<Mutex<ShardState>> = states.into_iter().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let lanes = &lanes;
+                let remaining = &remaining;
+                let plan = &plan;
+                let cfg = &self.cfg;
+                scope.spawn(move || {
+                    worker_loop(w, workers, lanes, remaining, plan.as_ref(), cfg);
+                });
+            }
+        });
+
+        // Finalize: order rows, gossip heartbeats, label the fleet view.
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut fleet = MetricsSnapshot::default();
+        for (s, lane) in lanes.into_iter().enumerate() {
+            let mut st = lane.into_inner().expect("worker panicked holding a lane");
+            st.sites.sort_by_key(|(i, _)| *i);
+            let neighbour = ((s + 1) % n_shards) as u64;
+            let dropped = plan
+                .as_ref()
+                .map(|p| {
+                    st.beats
+                        .iter()
+                        .filter(|t| p.partitioned(s as u64, neighbour, **t))
+                        .count() as u64
+                })
+                .unwrap_or(0);
+            let served = st.beats.len() as u64;
+            let quarantined_sites = st
+                .sites
+                .iter()
+                .filter(|(_, r)| r.outcome == SiteOutcome::Quarantined)
+                .count() as u64;
+            fleet.merge(&st.metrics.with_label("shard", &s.to_string()));
+            shards.push(ShardReport {
+                shard: s as u64,
+                sites: st.sites.into_iter().map(|(_, r)| r).collect(),
+                served,
+                shed: st.shed,
+                quarantined_sites,
+                restarts: st.restarts,
+                is_quarantined: st.quarantined,
+                wedges: st.wedges,
+                virtual_ms: st.t_ms,
+                heartbeats_sent: served,
+                heartbeats_dropped: dropped,
+                metrics: st.metrics,
+            });
+        }
+        ServeReport {
+            shards,
+            fleet_metrics: fleet,
+        }
+    }
+}
+
+/// One worker thread: drive owned shards, steal when dry, stop when every
+/// queued site is accounted for.
+fn worker_loop(
+    w: usize,
+    workers: usize,
+    lanes: &[Mutex<ShardState>],
+    remaining: &AtomicUsize,
+    plan: Option<&FaultPlan>,
+    cfg: &ServeConfig,
+) {
+    let n = lanes.len();
+    let home = (w % n) as u64;
+    while remaining.load(Ordering::Acquire) > 0 {
+        let mut progressed = false;
+        for off in 0..n {
+            let s = (w + off) % n;
+            let owned = s % workers == w;
+            let Ok(mut st) = lanes[s].try_lock() else {
+                continue;
+            };
+            if st.quarantined || st.queue.is_empty() {
+                continue;
+            }
+            if !owned {
+                // A steal moves shard `s`'s work toward this worker's home
+                // shard; a partition of that path at the victim's current
+                // virtual instant refuses it. The owner never takes this
+                // branch, so partitions degrade parallelism, not progress.
+                if plan.is_some_and(|p| p.partitioned(s as u64, home, st.t_ms)) {
+                    continue;
+                }
+            }
+            let consumed = run_one(&mut st, s as u64, cfg);
+            drop(st);
+            remaining.fetch_sub(consumed, Ordering::AcqRel);
+            progressed = true;
+            break;
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs the next site of one shard, handling crash/restart/quarantine.
+/// Returns how many queued sites were consumed (1, or more when a
+/// quarantine writes off the rest of the queue).
+fn run_one(st: &mut ShardState, shard: u64, cfg: &ServeConfig) -> usize {
+    let (idx, job) = st.queue.pop_front().expect("caller checked non-empty");
+    let ctx = SiteCtx {
+        shard,
+        site: job.site.clone(),
+        seed: job.seed,
+        fault: cfg.fault.clone(),
+    };
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let out = (job.run)(&ctx);
+        let end = st.t_ms + out.sim_ms.max(1);
+        if let Some(&c) = st.crashes.front() {
+            if c.at_ms < end {
+                // The shard died mid-attempt. The attempt is discarded
+                // wholly — verdict, metrics, and kernel stats are dropped,
+                // never merged — so the rerun is accounted exactly once.
+                st.crashes.pop_front();
+                if st.restarts >= cfg.max_restarts {
+                    st.quarantined = true;
+                    st.sites.push((
+                        idx,
+                        SiteReport {
+                            site: job.site.clone(),
+                            seed: job.seed,
+                            outcome: SiteOutcome::Quarantined,
+                            attempts,
+                            completed_at_ms: 0,
+                        },
+                    ));
+                    let mut consumed = 1;
+                    while let Some((j, jb)) = st.queue.pop_front() {
+                        st.sites.push((
+                            j,
+                            SiteReport {
+                                site: jb.site,
+                                seed: jb.seed,
+                                outcome: SiteOutcome::Quarantined,
+                                attempts: 0,
+                                completed_at_ms: 0,
+                            },
+                        ));
+                        consumed += 1;
+                    }
+                    return consumed;
+                }
+                st.restarts += 1;
+                let shift = (st.restarts - 1).min(20);
+                let backoff = cfg.restart_backoff_ms.saturating_mul(1u64 << shift);
+                st.t_ms = st.t_ms.max(c.at_ms).saturating_add(backoff);
+                continue;
+            }
+        }
+        st.t_ms = end;
+        if out.wedged {
+            st.wedges += 1;
+        }
+        st.metrics.merge(&out.metrics);
+        st.beats.push(st.t_ms);
+        st.sites.push((
+            idx,
+            SiteReport {
+                site: job.site.clone(),
+                seed: job.seed,
+                outcome: SiteOutcome::Served {
+                    defended: out.defended,
+                    detail: out.detail,
+                    wedged: out.wedged,
+                },
+                attempts,
+                completed_at_ms: st.t_ms,
+            },
+        ));
+        return 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial deterministic site program: records its context, takes
+    /// `cost_ms` of virtual time, bumps one counter.
+    fn job(site: &str, seed: u64, cost_ms: u64) -> SiteJob {
+        SiteJob::new(site, seed, move |ctx| {
+            let mut m = jsk_observe::Observer::new();
+            use jsk_observe::Subscriber;
+            let c = m.intern("site.runs");
+            m.counter_add(c, 1);
+            SiteOutput {
+                defended: Some(true),
+                detail: format!("shard={} seed={}", ctx.shard, ctx.seed),
+                sim_ms: cost_ms,
+                wedged: false,
+                metrics: m.metrics(),
+            }
+        })
+    }
+
+    fn jobs(n: usize, cost_ms: u64) -> Vec<SiteJob> {
+        (0..n)
+            .map(|i| job(&format!("site-{i}"), 100 + i as u64, cost_ms))
+            .collect()
+    }
+
+    #[test]
+    fn serve_is_worker_count_invariant() {
+        let run = |workers| ShardPool::new(ServeConfig::new(4, workers)).serve(jobs(13, 7));
+        let one = run(1);
+        let many = run(8);
+        assert_eq!(one, many);
+        assert_eq!(one.totals(), (13, 0, 0, 0));
+        // Site i homes on shard i % 4 and rows keep submission order.
+        assert_eq!(one.shards[1].sites[0].site, "site-1");
+        assert_eq!(one.shards[1].sites[1].site, "site-5");
+        // Timelines accumulate served cost.
+        assert_eq!(one.shards[0].virtual_ms, 7 * 4); // sites 0,4,8,12
+    }
+
+    #[test]
+    fn admission_bound_sheds_excess_sites() {
+        let pool = ShardPool::new(ServeConfig::new(2, 2).with_admission_capacity(2));
+        let report = pool.serve(jobs(7, 1)); // shard 0 gets 4 sites, shard 1 gets 3
+        let (served, shed, quarantined, _) = report.totals();
+        assert_eq!((served, shed, quarantined), (4, 3, 0));
+        assert_eq!(report.shards[0].shed, 2);
+        assert_eq!(
+            report.shards[0].site("site-4").unwrap().outcome,
+            SiteOutcome::Shed
+        );
+        // Shed rows still appear in submission order.
+        assert_eq!(report.shards[0].sites.len(), 4);
+    }
+
+    #[test]
+    fn crash_restart_reruns_without_double_counting() {
+        let plain = ShardPool::new(ServeConfig::new(2, 2)).serve(jobs(6, 10));
+        let plan = FaultPlan::new(0).with_shard_crash(1, 15); // mid site-3
+        let crashed = ShardPool::new(ServeConfig::new(2, 2).with_fault(plan)).serve(jobs(6, 10));
+        let (v, f) = (&plain.shards[1], &crashed.shards[1]);
+        assert_eq!(f.restarts, 1);
+        assert!(!f.is_quarantined);
+        // Same service content: outcomes (verdict + detail) identical.
+        assert_eq!(v.outcomes(), f.outcomes());
+        // The discarded attempt's metrics were not merged: counters match
+        // the crash-free run exactly.
+        assert_eq!(v.metrics, f.metrics);
+        // But the rerun is visible in restart accounting.
+        let crashed_site = f.site("site-3").unwrap();
+        assert_eq!(crashed_site.attempts, 2);
+        assert!(f.virtual_ms > v.virtual_ms, "backoff advances the timeline");
+        // The untouched shard is bit-identical.
+        assert_eq!(plain.shards[0], crashed.shards[0]);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_quarantines_the_shard() {
+        let plan = FaultPlan::new(0)
+            .with_shard_crash(0, 1)
+            .with_shard_crash(0, 2)
+            .with_shard_crash(0, 3);
+        let cfg = ServeConfig::new(2, 1).with_fault(plan).with_restarts(2, 1);
+        let report = ShardPool::new(cfg).serve(jobs(6, 10));
+        let sh = &report.shards[0];
+        assert!(sh.is_quarantined);
+        assert_eq!(sh.restarts, 2);
+        assert_eq!(
+            sh.quarantined_sites, 3,
+            "all of shard 0's sites written off"
+        );
+        assert_eq!(sh.served, 0);
+        // The sibling shard is untouched by its neighbour's death.
+        assert_eq!(report.shards[1].served, 3);
+        assert_eq!(report.undefended(), vec![]);
+    }
+
+    #[test]
+    fn partition_drops_ring_heartbeats_without_touching_service() {
+        let plain = ShardPool::new(ServeConfig::new(3, 3)).serve(jobs(9, 10));
+        let plan = FaultPlan::new(0).with_partition(1, 2, 0, 1_000_000);
+        let cut = ShardPool::new(ServeConfig::new(3, 3).with_fault(plan)).serve(jobs(9, 10));
+        // Shard 1's gossip to its ring neighbour (2) is cut...
+        assert_eq!(cut.shards[1].heartbeats_sent, 3);
+        assert_eq!(cut.shards[1].heartbeats_dropped, 3);
+        assert_eq!(cut.shards[0].heartbeats_dropped, 0);
+        // ...but every shard's service content is bit-identical.
+        for (p, c) in plain.shards.iter().zip(&cut.shards) {
+            assert_eq!(p.sites, c.sites);
+            assert_eq!(p.metrics, c.metrics);
+        }
+    }
+
+    #[test]
+    fn fleet_metrics_are_labelled_per_shard() {
+        let report = ShardPool::new(ServeConfig::new(2, 2)).serve(jobs(4, 1));
+        assert_eq!(report.fleet_metrics.counter("site.runs{shard=0}"), 2);
+        assert_eq!(report.fleet_metrics.counter("site.runs{shard=1}"), 2);
+        assert_eq!(report.fleet_metrics.counter_across_labels("site.runs"), 4);
+        // The report's JSON is deterministic and round-trips.
+        let back: ServeReport = serde_json::from_str(&report.json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn pool_rejects_invalid_plans_up_front() {
+        let _ = ShardPool::new(
+            ServeConfig::new(2, 2).with_fault(FaultPlan::new(0).with_partition(1, 1, 0, 5)),
+        );
+    }
+}

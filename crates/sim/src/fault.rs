@@ -25,7 +25,7 @@
 //! ```
 
 use crate::rng::SimRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Kill one worker at a fixed virtual instant.
@@ -40,6 +40,158 @@ pub struct WorkerCrash {
     /// Virtual time of the crash, in milliseconds from simulation start.
     pub at_ms: u64,
 }
+
+/// Skew one shard's raw clock: a constant drift rate plus an optional
+/// one-time step at a fixed instant.
+///
+/// Shards are addressed by the id a serving layer assigns them (see
+/// `BrowserConfig::with_shard` in `jsk-browser`); a plan written for a
+/// 4-shard deployment simply names shards 0–3. Skew applies to the **raw**
+/// hardware clock reads the browser hands its mediator — a deterministic
+/// kernel clock masks it, which is itself a testable isolation property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockSkew {
+    /// Shard whose raw clock is skewed.
+    pub shard: u64,
+    /// Drift rate in parts per million of elapsed virtual time (positive
+    /// runs fast, negative runs slow).
+    #[serde(default)]
+    pub drift_ppm: i64,
+    /// One-time step applied once the raw clock reaches
+    /// [`step_at_ms`](ClockSkew::step_at_ms), in milliseconds (may be
+    /// negative).
+    #[serde(default)]
+    pub step_ms: i64,
+    /// Raw-clock instant of the step, in milliseconds from simulation
+    /// start.
+    #[serde(default)]
+    pub step_at_ms: u64,
+}
+
+impl ClockSkew {
+    /// The skewed reading for a raw clock value: `raw + raw·drift_ppm/1e6`,
+    /// plus the step once `raw` reaches the step instant. Pure integer
+    /// arithmetic (no floats), saturating at zero and `SimTime::MAX`.
+    #[must_use]
+    pub fn apply(&self, raw: SimTime) -> SimTime {
+        let ns = i128::from(raw.as_nanos());
+        let mut skewed = ns + ns * i128::from(self.drift_ppm) / 1_000_000;
+        if raw >= SimTime::from_millis(self.step_at_ms) {
+            skewed += i128::from(self.step_ms) * 1_000_000;
+        }
+        SimTime::from_nanos(skewed.clamp(0, i128::from(u64::MAX)) as u64)
+    }
+
+    /// `true` when this skew never changes a reading.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.drift_ppm == 0 && self.step_ms == 0
+    }
+}
+
+/// Sever one direction of inter-shard traffic for a window of virtual
+/// time: from [`at_ms`](ShardPartition::at_ms) (inclusive) until
+/// [`heal_at_ms`](ShardPartition::heal_at_ms) (exclusive), nothing sent by
+/// `from_shard` reaches `to_shard` — work-stealing is refused and
+/// heartbeat gossip is dropped. Directional: the reverse path needs its
+/// own entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPartition {
+    /// Shard whose outbound traffic is cut.
+    pub from_shard: u64,
+    /// Shard that stops hearing from `from_shard`.
+    pub to_shard: u64,
+    /// Start of the partition window, in virtual milliseconds (inclusive).
+    pub at_ms: u64,
+    /// Heal instant, in virtual milliseconds (exclusive); must be greater
+    /// than `at_ms` (see [`FaultPlan::validate`]).
+    pub heal_at_ms: u64,
+}
+
+impl ShardPartition {
+    /// Whether traffic from `from` to `to` is cut at virtual instant
+    /// `at_ms`.
+    #[must_use]
+    pub fn cuts(&self, from: u64, to: u64, at_ms: u64) -> bool {
+        self.from_shard == from
+            && self.to_shard == to
+            && self.at_ms <= at_ms
+            && at_ms < self.heal_at_ms
+    }
+}
+
+/// Crash one shard at a fixed virtual instant; a supervisor may restart
+/// it (bounded retries with backoff) or quarantine it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCrash {
+    /// Shard to kill.
+    pub shard: u64,
+    /// Virtual time of the crash on that shard's timeline, in
+    /// milliseconds.
+    pub at_ms: u64,
+}
+
+/// A [`FaultPlan`] field rejected by [`FaultPlan::validate`].
+///
+/// Validation is strict rather than clamping: a plan asking for a
+/// probability of `1.3` or a "delay" fault with a zero-length window is a
+/// bug in the experiment, and silently rounding it would make the run
+/// describe something other than what was asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field is outside `[0, 1]` (or NaN).
+    ProbabilityOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A delay-class fault is enabled but its hold-back window is zero.
+    ZeroDelayWindow {
+        /// Name of the offending window field.
+        field: &'static str,
+    },
+    /// A partition whose heal instant is not after its start.
+    EmptyPartitionWindow {
+        /// Index into [`FaultPlan::partitions`].
+        index: usize,
+    },
+    /// A partition from a shard to itself.
+    SelfPartition {
+        /// Index into [`FaultPlan::partitions`].
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::ProbabilityOutOfRange { field, value } => {
+                write!(
+                    f,
+                    "fault plan: {field} = {value} is not a probability in [0, 1]"
+                )
+            }
+            FaultPlanError::ZeroDelayWindow { field } => {
+                write!(f, "fault plan: {field} is 0 but its delay fault is enabled")
+            }
+            FaultPlanError::EmptyPartitionWindow { index } => {
+                write!(
+                    f,
+                    "fault plan: partitions[{index}] heals at or before it starts"
+                )
+            }
+            FaultPlanError::SelfPartition { index } => {
+                write!(
+                    f,
+                    "fault plan: partitions[{index}] partitions a shard from itself"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A seeded, serializable schedule of faults for one simulation run.
 ///
@@ -92,6 +244,16 @@ pub struct FaultPlan {
     /// Workers to kill at fixed instants.
     #[serde(default)]
     pub worker_crashes: Vec<WorkerCrash>,
+    /// Per-shard raw-clock skews (cross-shard serving experiments).
+    #[serde(default)]
+    pub clock_skews: Vec<ClockSkew>,
+    /// Directional inter-shard partitions with heal instants.
+    #[serde(default)]
+    pub partitions: Vec<ShardPartition>,
+    /// Shards to crash at fixed instants (supervised restart is the
+    /// serving layer's job).
+    #[serde(default)]
+    pub shard_crashes: Vec<ShardCrash>,
 }
 
 impl Default for FaultPlan {
@@ -111,6 +273,9 @@ impl Default for FaultPlan {
             fetch_max_retries: 0,
             fetch_retry_backoff_ms: 10,
             worker_crashes: Vec::new(),
+            clock_skews: Vec::new(),
+            partitions: Vec::new(),
+            shard_crashes: Vec::new(),
         }
     }
 }
@@ -192,6 +357,51 @@ impl FaultPlan {
         self
     }
 
+    /// Skews one shard's raw clock (drift plus optional step).
+    #[must_use]
+    pub fn with_clock_skew(mut self, skew: ClockSkew) -> Self {
+        self.clock_skews.push(skew);
+        self
+    }
+
+    /// Cuts traffic from one shard to another over `[at_ms, heal_at_ms)`.
+    #[must_use]
+    pub fn with_partition(
+        mut self,
+        from_shard: u64,
+        to_shard: u64,
+        at_ms: u64,
+        heal_at_ms: u64,
+    ) -> Self {
+        self.partitions.push(ShardPartition {
+            from_shard,
+            to_shard,
+            at_ms,
+            heal_at_ms,
+        });
+        self
+    }
+
+    /// Crashes one shard at a fixed instant on its virtual timeline.
+    #[must_use]
+    pub fn with_shard_crash(mut self, shard: u64, at_ms: u64) -> Self {
+        self.shard_crashes.push(ShardCrash { shard, at_ms });
+        self
+    }
+
+    /// The clock skew targeting `shard`, if any (first match wins).
+    #[must_use]
+    pub fn skew_for(&self, shard: u64) -> Option<&ClockSkew> {
+        self.clock_skews.iter().find(|s| s.shard == shard)
+    }
+
+    /// Whether traffic from shard `from` to shard `to` is partitioned at
+    /// virtual instant `at_ms`.
+    #[must_use]
+    pub fn partitioned(&self, from: u64, to: u64, at_ms: u64) -> bool {
+        self.partitions.iter().any(|p| p.cuts(from, to, at_ms))
+    }
+
     /// `true` if this plan can never inject anything.
     #[must_use]
     pub fn is_inert(&self) -> bool {
@@ -203,6 +413,66 @@ impl FaultPlan {
             && self.net_error <= 0.0
             && self.net_timeout <= 0.0
             && self.worker_crashes.is_empty()
+            && self.clock_skews.iter().all(ClockSkew::is_inert)
+            && self.partitions.is_empty()
+            && self.shard_crashes.is_empty()
+    }
+
+    /// Checks the plan for contradictions, returning the first
+    /// [`FaultPlanError`] found: probabilities outside `[0, 1]` (NaN
+    /// included), delay-class faults whose hold-back window is zero, and
+    /// partitions that heal at or before they start or target their own
+    /// shard. Nothing is clamped; an invalid plan is refused outright
+    /// (see [`FaultInjector::new`]).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let probs = [
+            ("message_loss", self.message_loss),
+            ("message_duplication", self.message_duplication),
+            ("message_reorder", self.message_reorder),
+            ("confirm_drop", self.confirm_drop),
+            ("confirm_delay", self.confirm_delay),
+            ("net_error", self.net_error),
+            ("net_timeout", self.net_timeout),
+        ];
+        for (field, value) in probs {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultPlanError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        let windows = [
+            (
+                "message_reorder_ms",
+                self.message_reorder,
+                self.message_reorder_ms,
+            ),
+            (
+                "confirm_delay_ms",
+                self.confirm_delay,
+                self.confirm_delay_ms,
+            ),
+            ("net_timeout_ms", self.net_timeout, self.net_timeout_ms),
+        ];
+        for (field, p, window_ms) in windows {
+            if p > 0.0 && window_ms == 0 {
+                return Err(FaultPlanError::ZeroDelayWindow { field });
+            }
+        }
+        for (index, p) in self.partitions.iter().enumerate() {
+            if p.heal_at_ms <= p.at_ms {
+                return Err(FaultPlanError::EmptyPartitionWindow { index });
+            }
+            if p.from_shard == p.to_shard {
+                return Err(FaultPlanError::SelfPartition { index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builder terminal: validates and returns the plan, or the first
+    /// [`FaultPlanError`].
+    pub fn validated(self) -> Result<Self, FaultPlanError> {
+        self.validate()?;
+        Ok(self)
     }
 }
 
@@ -276,14 +546,31 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Builds an injector whose decision stream depends only on the plan's
     /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] — an invalid plan
+    /// describes a different experiment than the one asked for, and
+    /// clamping it silently would hide that. Use
+    /// [`FaultInjector::try_new`] to handle the error instead.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
+        match FaultInjector::try_new(plan) {
+            Ok(inj) => inj,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the plan first and surfaces the
+    /// typed [`FaultPlanError`] instead of panicking.
+    pub fn try_new(plan: FaultPlan) -> Result<Self, FaultPlanError> {
+        plan.validate()?;
         let rng = SimRng::new(plan.seed).fork("fault-injector");
-        FaultInjector {
+        Ok(FaultInjector {
             plan,
             rng,
             stats: FaultStats::default(),
-        }
+        })
     }
 
     /// The plan this injector draws from.
@@ -452,6 +739,213 @@ mod tests {
         assert!((back.message_loss - 0.5).abs() < 1e-12);
         assert_eq!(back.fetch_max_retries, 0);
         assert!(back.worker_crashes.is_empty());
+    }
+
+    #[test]
+    fn rejects_probability_above_one() {
+        let err = FaultPlan::new(0)
+            .with_message_loss(1.3)
+            .validated()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::ProbabilityOutOfRange {
+                field: "message_loss",
+                value: 1.3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let err = FaultPlan::new(0)
+            .with_confirm_drop(-0.1)
+            .validated()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::ProbabilityOutOfRange {
+                field: "confirm_drop",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_probability() {
+        let err = FaultPlan::new(0)
+            .with_net_error(f64::NAN)
+            .validated()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::ProbabilityOutOfRange {
+                field: "net_error",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_reorder_window() {
+        let err = FaultPlan::new(0)
+            .with_message_reorder(0.5, 0)
+            .validated()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::ZeroDelayWindow {
+                field: "message_reorder_ms"
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_confirm_delay_window() {
+        let err = FaultPlan::new(0)
+            .with_confirm_delay(0.5, 0)
+            .validated()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::ZeroDelayWindow {
+                field: "confirm_delay_ms"
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_net_timeout_window() {
+        let err = FaultPlan::new(0)
+            .with_net_timeout(0.5, 0)
+            .validated()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::ZeroDelayWindow {
+                field: "net_timeout_ms"
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_partition_window() {
+        let err = FaultPlan::new(0)
+            .with_partition(0, 1, 100, 100)
+            .validated()
+            .unwrap_err();
+        assert_eq!(err, FaultPlanError::EmptyPartitionWindow { index: 0 });
+    }
+
+    #[test]
+    fn rejects_self_partition() {
+        let err = FaultPlan::new(0)
+            .with_partition(2, 2, 0, 50)
+            .validated()
+            .unwrap_err();
+        assert_eq!(err, FaultPlanError::SelfPartition { index: 0 });
+    }
+
+    #[test]
+    fn injector_constructor_rejects_invalid_plans() {
+        let err = FaultInjector::try_new(FaultPlan::new(0).with_message_loss(2.0)).unwrap_err();
+        assert!(matches!(err, FaultPlanError::ProbabilityOutOfRange { .. }));
+        assert!(err.to_string().contains("message_loss"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn injector_new_panics_on_invalid_plan() {
+        let _ = FaultInjector::new(FaultPlan::new(0).with_message_loss(2.0));
+    }
+
+    #[test]
+    fn zero_probability_allows_zero_window() {
+        // A zero window is only contradictory when the fault can fire.
+        let plan = FaultPlan {
+            message_reorder_ms: 0,
+            confirm_delay_ms: 0,
+            net_timeout_ms: 0,
+            ..FaultPlan::new(5)
+        };
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn clock_skew_drift_and_step_apply_in_integer_math() {
+        let skew = ClockSkew {
+            shard: 1,
+            drift_ppm: 1_000, // +0.1%
+            step_ms: -5,
+            step_at_ms: 100,
+        };
+        // Before the step: drift only. 50ms -> 50.05ms.
+        assert_eq!(
+            skew.apply(SimTime::from_millis(50)),
+            SimTime::from_micros(50_050)
+        );
+        // At the step instant the -5ms step lands on top of the drift.
+        assert_eq!(
+            skew.apply(SimTime::from_millis(100)),
+            SimTime::from_micros(100_100 - 5_000)
+        );
+        // A large negative step clamps at zero rather than wrapping.
+        let hard = ClockSkew {
+            shard: 0,
+            drift_ppm: 0,
+            step_ms: -1_000,
+            step_at_ms: 0,
+        };
+        assert_eq!(hard.apply(SimTime::from_millis(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn partition_windows_are_directional_and_heal() {
+        let plan = FaultPlan::new(0).with_partition(1, 2, 100, 200);
+        assert!(!plan.partitioned(1, 2, 99));
+        assert!(plan.partitioned(1, 2, 100));
+        assert!(plan.partitioned(1, 2, 199));
+        assert!(!plan.partitioned(1, 2, 200)); // healed
+        assert!(!plan.partitioned(2, 1, 150)); // reverse path unaffected
+    }
+
+    #[test]
+    fn shard_faults_defeat_inertness_and_round_trip() {
+        let plan = FaultPlan::new(3)
+            .with_clock_skew(ClockSkew {
+                shard: 2,
+                drift_ppm: -500,
+                step_ms: 40,
+                step_at_ms: 250,
+            })
+            .with_partition(0, 3, 10, 90)
+            .with_shard_crash(1, 120);
+        assert!(!plan.is_inert());
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+        assert_eq!(back.skew_for(2).unwrap().drift_ppm, -500);
+        assert!(back.skew_for(0).is_none());
+        // Sparse JSON still defaults the new fields to empty.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 1}"#).expect("deserialize");
+        assert!(sparse.clock_skews.is_empty());
+        assert!(sparse.partitions.is_empty());
+        assert!(sparse.shard_crashes.is_empty());
+    }
+
+    #[test]
+    fn inert_clock_skew_keeps_plan_inert() {
+        let plan = FaultPlan::new(0).with_clock_skew(ClockSkew {
+            shard: 0,
+            drift_ppm: 0,
+            step_ms: 0,
+            step_at_ms: 10,
+        });
+        assert!(plan.is_inert());
+        assert_eq!(
+            plan.clock_skews[0].apply(SimTime::from_millis(7)),
+            SimTime::from_millis(7)
+        );
     }
 
     #[test]

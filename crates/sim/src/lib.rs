@@ -33,7 +33,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use fault::{ConfirmFate, FaultInjector, FaultPlan, FaultStats, MessageFate, NetFate};
+pub use fault::{
+    ClockSkew, ConfirmFate, FaultInjector, FaultPlan, FaultPlanError, FaultStats, MessageFate,
+    NetFate, ShardCrash, ShardPartition,
+};
 pub use queue::{Popped, QueueKey, TimeQueue};
 pub use rng::SimRng;
 pub use stats::{cosine_similarity, distinguishable, Distinguishability, Summary};

@@ -17,7 +17,10 @@
 //! * [`workloads`] — Alexa-like sites, Raptor tp6, a Dromaeo-like micro
 //!   suite, the worker benchmark, and the compatibility methodology;
 //! * [`analyze`] — the happens-before race detector, attack-pattern
-//!   scanner, and policy linter (`cargo run --example analyze_trace`).
+//!   scanner, and policy linter (`cargo run --example analyze_trace`);
+//! * [`shard`] — sharded multi-site serving: per-site kernel shards under
+//!   a work-stealing scheduler with crash supervision, admission control,
+//!   and the cross-shard chaos matrix.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use jsk_attacks as attacks;
 pub use jsk_browser as browser;
 pub use jsk_core as core;
 pub use jsk_defenses as defenses;
+pub use jsk_shard as shard;
 pub use jsk_sim as sim;
 pub use jsk_vuln as vuln;
 pub use jsk_workloads as workloads;

@@ -1,0 +1,108 @@
+//! The cross-shard chaos matrix, end to end (debug-profile scale).
+//!
+//! The release-profile `shards` bench target runs the full 13-program
+//! corpus; here the cheap subset (three exploits simulate minutes of
+//! virtual time each) exercises every fault class and every isolation
+//! assertion at tier-1 test cost. The subset still spans both worlds:
+//! nine Table I CVE exploits plus the Listing 1 implicit-clock attack.
+
+use jskernel::shard::{run_chaos_matrix, ChaosKnobs, SiteOutcome};
+
+/// Corpus indices cheap enough for the debug profile (program 12 is
+/// Listing 1).
+const FAST: [usize; 10] = [1, 2, 4, 5, 6, 8, 9, 10, 11, 12];
+
+fn knobs(workers: usize) -> ChaosKnobs {
+    ChaosKnobs {
+        shards: 4,
+        workers,
+        base_seed: 9,
+        corpus: Some(FAST.to_vec()),
+    }
+}
+
+#[test]
+fn chaos_matrix_holds_every_isolation_guarantee() {
+    let matrix = run_chaos_matrix(&knobs(4));
+    // The matrix's own verifier: every site on every shard defended under
+    // every fault class; non-target shards bit-identical to the baseline;
+    // target shards' outcomes and metrics preserved; every fault fired.
+    matrix.verify().expect("isolation violated");
+
+    assert_eq!(matrix.scenarios.len(), 4);
+    for scenario in &matrix.scenarios {
+        let (served, shed, quarantined, _) = scenario.report.totals();
+        assert_eq!(
+            (served, shed, quarantined),
+            (FAST.len() as u64 * 4, 0, 0),
+            "scenario {}: every site must be served",
+            scenario.name
+        );
+        for shard in &scenario.report.shards {
+            assert_eq!(shard.sites.len(), FAST.len());
+            for site in &shard.sites {
+                match &site.outcome {
+                    SiteOutcome::Served {
+                        defended, wedged, ..
+                    } => {
+                        assert_eq!(
+                            *defended,
+                            Some(true),
+                            "scenario {}: {} on shard {} lost its defense",
+                            scenario.name,
+                            site.site,
+                            shard.shard
+                        );
+                        assert!(!wedged, "{} wedged on shard {}", site.site, shard.shard);
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
+    }
+
+    // The faults visibly fired where they should.
+    let crash = &matrix.scenarios[3];
+    assert_eq!(crash.name, "crash-restart");
+    assert!(crash.report.shards[3].restarts >= 1);
+    let partition = &matrix.scenarios[2];
+    assert_eq!(partition.name, "partition");
+    assert!(partition.report.shards[1].heartbeats_dropped > 0);
+    // The severed shard still served everything (owner-always-serves).
+    assert_eq!(partition.report.shards[1].served, FAST.len() as u64);
+
+    // Clock skew is masked by the kernel's deterministic clock: the
+    // skewed shard's full report — not just its outcomes — matches the
+    // baseline bit for bit.
+    let skew = &matrix.scenarios[1];
+    assert_eq!(skew.name, "clock-skew");
+    assert_eq!(
+        skew.report.shards[0].outcomes(),
+        matrix.baseline().report.shards[0].outcomes()
+    );
+    assert_eq!(
+        skew.report.shards[0].metrics,
+        matrix.baseline().report.shards[0].metrics
+    );
+}
+
+#[test]
+fn chaos_matrix_is_worker_count_invariant() {
+    // The whole matrix — all four scenarios, every report byte — is a
+    // pure function of (knobs, corpus); driving the pool with one worker
+    // or eight must reproduce it exactly.
+    let one = run_chaos_matrix(&knobs(1));
+    let eight = run_chaos_matrix(&knobs(8));
+    for (a, b) in one.scenarios.iter().zip(&eight.scenarios) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(
+            a.report, b.report,
+            "scenario {}: worker count changed the report",
+            a.name
+        );
+    }
+    // And the serialized artifact is byte-identical: the worker count is
+    // deliberately not recorded in it.
+    assert_eq!(one.json(), eight.json());
+}

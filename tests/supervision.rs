@@ -1,0 +1,97 @@
+//! Property-based tests of the shard supervisor (DESIGN.md §8): under any
+//! seeded crash/restart schedule, supervised re-execution yields exactly
+//! the verdicts of a crash-free fleet — crashes cost virtual time and
+//! restart budget, never service content.
+
+use jskernel::shard::{corpus_job, ServeConfig, ShardPool, SiteJob, SiteOutcome};
+use jskernel::sim::fault::FaultPlan;
+use proptest::prelude::*;
+
+/// Cheap corpus programs (the expensive exploits simulate minutes of
+/// virtual time; the release-profile bench target covers them).
+const FAST: [usize; 6] = [1, 2, 5, 8, 10, 12];
+
+fn fleet_jobs() -> Vec<SiteJob> {
+    FAST.iter().map(|&k| corpus_job(k, 11)).collect()
+}
+
+/// Flattened (site, seed, outcome) rows, sorted for cross-run comparison.
+fn outcome_rows(plan: Option<FaultPlan>) -> Vec<(String, u64, String)> {
+    let mut cfg = ServeConfig::new(2, 2).with_restarts(16, 1);
+    if let Some(plan) = plan {
+        cfg = cfg.with_fault(plan);
+    }
+    let report = ShardPool::new(cfg).serve(fleet_jobs());
+    let mut rows: Vec<(String, u64, String)> = report
+        .shards
+        .iter()
+        .flat_map(|sh| {
+            sh.sites.iter().map(|s| {
+                (
+                    s.site.clone(),
+                    s.seed,
+                    serde_json::to_string(&s.outcome).expect("outcome serializes"),
+                )
+            })
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any schedule of crashes — any shard, any virtual instant, any
+    /// count the restart budget can absorb — leaves every served verdict
+    /// identical to the crash-free fleet.
+    #[test]
+    fn crashes_never_change_verdicts(
+        crashes in proptest::collection::vec((0u64..2, 0u64..400), 0..6),
+    ) {
+        let mut plan = FaultPlan::new(13);
+        for &(shard, at_ms) in &crashes {
+            plan = plan.with_shard_crash(shard, at_ms);
+        }
+        let faulted = outcome_rows(Some(plan));
+        let clean = outcome_rows(None);
+        prop_assert_eq!(&faulted, &clean, "crash schedule {:?} changed verdicts", crashes);
+        prop_assert_eq!(faulted.len(), FAST.len());
+        for (site, _, outcome) in &faulted {
+            prop_assert!(
+                outcome.contains("\"defended\":true"),
+                "{} lost its defense under crashes {:?}: {}", site, crashes, outcome
+            );
+        }
+    }
+
+    /// Restart accounting stays consistent: total attempts across sites
+    /// exceed the site count by at least the restarts that interrupted an
+    /// attempt, and a crash-free run books exactly one attempt per site.
+    #[test]
+    fn restart_attempts_reconcile(
+        crashes in proptest::collection::vec((0u64..2, 0u64..100), 1..4),
+    ) {
+        let mut plan = FaultPlan::new(13);
+        for &(shard, at_ms) in &crashes {
+            plan = plan.with_shard_crash(shard, at_ms);
+        }
+        let mut cfg = ServeConfig::new(2, 1).with_restarts(16, 1);
+        cfg = cfg.with_fault(plan);
+        let report = ShardPool::new(cfg).serve(fleet_jobs());
+        for shard in &report.shards {
+            let attempts: u64 = shard.sites.iter().map(|s| u64::from(s.attempts)).sum();
+            let served = shard
+                .sites
+                .iter()
+                .filter(|s| matches!(s.outcome, SiteOutcome::Served { .. }))
+                .count() as u64;
+            prop_assert_eq!(
+                attempts,
+                served + u64::from(shard.restarts),
+                "shard {}: every restart re-buys exactly one attempt",
+                shard.shard
+            );
+        }
+    }
+}
