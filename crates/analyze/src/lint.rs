@@ -90,7 +90,7 @@ pub struct PolicyLint {
 }
 
 /// All condition fields by name, for reflection-style iteration.
-fn condition_fields(c: &Condition) -> [(&'static str, Option<bool>); 14] {
+fn condition_fields(c: &Condition) -> [(&'static str, Option<bool>); 15] {
     [
         ("from_worker", c.from_worker),
         ("cross_origin", c.cross_origin),
@@ -106,6 +106,7 @@ fn condition_fields(c: &Condition) -> [(&'static str, Option<bool>); 14] {
         ("persist", c.persist),
         ("leaks_cross_origin", c.leaks_cross_origin),
         ("has_pending_worker_messages", c.has_pending_worker_messages),
+        ("to_self", c.to_self),
     ]
 }
 
@@ -120,14 +121,14 @@ fn populated_fields(sel: ApiSelector) -> &'static [&'static str] {
             "has_live_transfers",
             "has_pending_fetches",
         ],
-        ApiSelector::PostMessage => &["from_worker", "to_doc_freed"],
+        ApiSelector::PostMessage => &["from_worker", "to_doc_freed", "to_self"],
         ApiSelector::SetOnMessage => &["assigns_worker_handler", "worker_closing"],
         ApiSelector::Fetch => &["from_worker"],
         ApiSelector::DeliverAbort => &["owner_alive", "from_worker"],
         ApiSelector::XhrSend | ApiSelector::ImportScripts => &["from_worker", "cross_origin"],
         ApiSelector::ErrorEvent => &["leaks_cross_origin"],
         ApiSelector::IdbOpen => &["private_mode", "persist"],
-        ApiSelector::Navigate | ApiSelector::BufferAccess => &[],
+        ApiSelector::Navigate | ApiSelector::BufferAccess | ApiSelector::IlpCounterRead => &[],
         ApiSelector::CloseDocument => &["has_pending_worker_messages"],
     }
 }
@@ -152,6 +153,17 @@ fn racy_pair_selectors(cve_tail: &str) -> Option<&'static [ApiSelector]> {
         "2013-1714" => &[ApiSelector::XhrSend],
         "2011-1190" => &[ApiSelector::CreateWorker],
         "2010-4576" => &[ApiSelector::Navigate],
+        _ => return None,
+    })
+}
+
+/// The selector(s) a `policy_attack-*` family policy must intercept to
+/// defeat its attack shape — the family analogue of
+/// [`racy_pair_selectors`]. Keyed by the tail after `policy_attack-`.
+fn family_selectors(family_tail: &str) -> Option<&'static [ApiSelector]> {
+    Some(match family_tail {
+        "loophole" => &[ApiSelector::PostMessage],
+        "hacky-racers" => &[ApiSelector::IlpCounterRead],
         _ => return None,
     })
 }
@@ -265,10 +277,19 @@ fn shadow_lint(
 }
 
 fn coverage_lint(spec: &PolicySpec, out: &mut Vec<PolicyLint>) {
-    let Some(tail) = spec.name.strip_prefix("policy_cve-") else {
-        return;
-    };
-    let Some(expected) = racy_pair_selectors(tail) else {
+    // Per-CVE policies must intercept their CVE's racy pair; attack-family
+    // policies (`policy_attack-*`) must intercept their family's primitive.
+    let (label, expected) = if let Some(tail) = spec.name.strip_prefix("policy_cve-") {
+        let Some(expected) = racy_pair_selectors(tail) else {
+            return;
+        };
+        (format!("CVE-{tail}"), expected)
+    } else if let Some(tail) = spec.name.strip_prefix("policy_attack-") {
+        let Some(expected) = family_selectors(tail) else {
+            return;
+        };
+        (format!("attack-{tail}"), expected)
+    } else {
         return;
     };
     let covered = spec
@@ -281,11 +302,11 @@ fn coverage_lint(spec: &PolicySpec, out: &mut Vec<PolicyLint>) {
             rule: None,
             level: LintLevel::Error,
             kind: LintKind::IncompleteCoverage {
-                cve: format!("CVE-{tail}"),
+                cve: label.clone(),
                 expected: expected.to_vec(),
             },
             message: format!(
-                "no rule intercepts the racy pair of CVE-{tail} \
+                "no rule intercepts the racy pair of {label} \
                  (expected a rule on one of {expected:?}); the policy \
                  cannot totally order it"
             ),
@@ -532,6 +553,35 @@ mod tests {
             &l.kind,
             LintKind::IncompleteCoverage { cve, .. } if cve == "CVE-2018-5092"
         )));
+    }
+
+    #[test]
+    fn attack_family_policy_missing_its_primitive_is_incomplete() {
+        // A "hacky-racers policy" that only touches postMessage cannot stop
+        // the ILP counter.
+        let s = spec(
+            "policy_attack-hacky-racers",
+            vec![rule(
+                "wrong-target",
+                ApiSelector::PostMessage,
+                Condition {
+                    to_self: Some(true),
+                    ..Condition::default()
+                },
+                deny(),
+            )],
+        );
+        let lints = lint_policy(&s);
+        assert!(lints.iter().any(|l| matches!(
+            &l.kind,
+            LintKind::IncompleteCoverage { cve, expected }
+                if cve == "attack-hacky-racers"
+                    && expected.contains(&ApiSelector::IlpCounterRead)
+        )));
+        // The shipped family policies both pass clean.
+        for p in jsk_core::policy::families::all_family_policies() {
+            assert!(lint_policy(&p).is_empty(), "{} must lint clean", p.name);
+        }
     }
 
     #[test]

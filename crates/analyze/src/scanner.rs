@@ -46,6 +46,14 @@ pub enum PatternKind {
     SandboxOriginInheritance,
     /// A durable IndexedDB open during a private-mode session.
     PrivateModePersistence,
+    /// A tight **self**-post stream monitoring the shared event loop
+    /// (Loophole, Vila & Köpf: flood your own context and timestamp the
+    /// turnaround to fingerprint co-scheduled victims).
+    SharedLoopContention,
+    /// A dense stream of instruction-level-parallelism racing-counter reads
+    /// (Hacky Racers, Xiao & Ainsworth: a stealthy timer that no clock API
+    /// coarsening touches).
+    IlpStealthyTicker,
 }
 
 impl PatternKind {
@@ -65,6 +73,8 @@ impl PatternKind {
             PatternKind::WorkerSopBypass => &["CVE-2013-1714"],
             PatternKind::SandboxOriginInheritance => &["CVE-2011-1190"],
             PatternKind::PrivateModePersistence => &["CVE-2017-7843"],
+            PatternKind::SharedLoopContention => &["attack-loophole (Vila & K\u{f6}pf)"],
+            PatternKind::IlpStealthyTicker => &["attack-hacky-racers (Xiao & Ainsworth)"],
         }
     }
 }
@@ -118,6 +128,8 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
     let mut freed_buffers: BTreeSet<BufferId> = BTreeSet::new();
     // (from, to) -> send instants, for the ticker pass.
     let mut channels: BTreeMap<(u64, u64), Vec<SimTime>> = BTreeMap::new();
+    // thread -> ILP racing-counter read instants, for the stealthy-ticker pass.
+    let mut ilp_reads: BTreeMap<u64, Vec<SimTime>> = BTreeMap::new();
 
     let push = |out: &mut Vec<PatternFinding>,
                 seen: &mut BTreeSet<(PatternKind, SigKey)>,
@@ -272,6 +284,9 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
                     (SIG_API, thread.index(), 0),
                     format!("durable indexedDB.open on {thread} during private mode"),
                 ),
+                ApiCall::IlpCounterRead { thread, .. } => {
+                    ilp_reads.entry(thread.index()).or_default().push(at);
+                }
                 _ => {}
             },
             TraceItem::Fact(fact) => match fact {
@@ -373,30 +388,67 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
     }
 
     for ((from, to), sends) in &channels {
-        if sends.len() < TICKER_MIN_SENDS {
+        let Some((count, median)) = dense_stream(sends) else {
             continue;
-        }
-        let mut gaps: Vec<u64> = sends
-            .windows(2)
-            .map(|w| w[1].as_nanos().saturating_sub(w[0].as_nanos()))
-            .collect();
-        gaps.sort_unstable();
-        let median = gaps[gaps.len() / 2];
-        if median <= TICKER_MAX_MEDIAN_GAP.as_nanos() {
+        };
+        if from == to {
+            // A context flooding *itself* is not a cross-thread clock; it is
+            // the Loophole event-loop monitor, which leaks what else shares
+            // the loop rather than how long the victim's tasks take.
+            out.push(PatternFinding {
+                kind: PatternKind::SharedLoopContention,
+                at: sends[0],
+                detail: format!(
+                    "thread {from} floods its own event loop with {count} \
+                     self-posts (median gap {median} ns) — a shared-loop \
+                     contention monitor",
+                ),
+            });
+        } else {
             out.push(PatternFinding {
                 kind: PatternKind::ImplicitClockTicker,
                 at: sends[0],
                 detail: format!(
-                    "thread {from} streams {} posts to thread {to} \
+                    "thread {from} streams {count} posts to thread {to} \
                      (median gap {median} ns) — usable as an implicit clock",
-                    sends.len()
                 ),
             });
         }
     }
 
+    for (thread, reads) in &ilp_reads {
+        let Some((count, median)) = dense_stream(reads) else {
+            continue;
+        };
+        out.push(PatternFinding {
+            kind: PatternKind::IlpStealthyTicker,
+            at: reads[0],
+            detail: format!(
+                "thread {thread} reads the ILP racing counter {count} times \
+                 (median gap {median} ns) — a stealthy timer immune to \
+                 clock coarsening",
+            ),
+        });
+    }
+
     out.sort_by(|x, y| (x.at, x.kind, &x.detail).cmp(&(y.at, y.kind, &y.detail)));
     out
+}
+
+/// Whether an instant stream is dense enough to serve as a clock:
+/// [`TICKER_MIN_SENDS`] events with a median gap at or below
+/// [`TICKER_MAX_MEDIAN_GAP`]. Returns `(count, median gap in ns)`.
+fn dense_stream(instants: &[SimTime]) -> Option<(usize, u64)> {
+    if instants.len() < TICKER_MIN_SENDS {
+        return None;
+    }
+    let mut gaps: Vec<u64> = instants
+        .windows(2)
+        .map(|w| w[1].as_nanos().saturating_sub(w[0].as_nanos()))
+        .collect();
+    gaps.sort_unstable();
+    let median = gaps[gaps.len() / 2];
+    (median <= TICKER_MAX_MEDIAN_GAP.as_nanos()).then_some((instants.len(), median))
 }
 
 #[cfg(test)]
@@ -501,8 +553,49 @@ mod tests {
             PatternKind::WorkerSopBypass,
             PatternKind::SandboxOriginInheritance,
             PatternKind::PrivateModePersistence,
+            PatternKind::SharedLoopContention,
+            PatternKind::IlpStealthyTicker,
         ] {
             assert!(!kind.cve_family().is_empty());
         }
+    }
+
+    #[test]
+    fn self_post_flood_is_contention_not_a_ticker() {
+        let mut t = Trace::new();
+        for i in 0..40u64 {
+            t.api(
+                SimTime::from_millis(i),
+                ApiCall::PostMessage {
+                    from: ThreadId::new(0),
+                    to: ThreadId::new(0),
+                    transfer_count: 0,
+                    to_doc_freed: false,
+                },
+            );
+        }
+        let hits = scan(&t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].kind, PatternKind::SharedLoopContention);
+        assert!(hits[0].cve_family()[0].contains("loophole"));
+    }
+
+    #[test]
+    fn dense_ilp_reads_are_a_stealthy_ticker_sparse_are_not() {
+        let mut dense = Trace::new();
+        let mut sparse = Trace::new();
+        for i in 0..30u64 {
+            let call = ApiCall::IlpCounterRead {
+                thread: ThreadId::new(0),
+                chains: 4,
+            };
+            dense.api(SimTime::from_millis(i * 2), call);
+            sparse.api(SimTime::from_millis(i * 100), call);
+        }
+        let hits = scan(&dense);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].kind, PatternKind::IlpStealthyTicker);
+        assert!(hits[0].cve_family()[0].contains("hacky-racers"));
+        assert!(scan(&sparse).is_empty());
     }
 }

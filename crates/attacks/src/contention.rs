@@ -1,0 +1,143 @@
+//! Loophole-style shared-event-loop contention probe (Vila & Köpf, USENIX
+//! Security '17) — the first of the two attack families the fuzzer's seed
+//! corpus carries beyond Table I.
+//!
+//! Where [`crate::loopscan::Loopscan`] timestamps each self-posted task
+//! and reports the maximum gap (so clock mediation blunts it), this probe
+//! never reads a clock at all: it *counts* how many self-posted tasks
+//! retire before a fixed deadline. A victim computation sharing the event
+//! loop steals slices from the flood, so the count itself is the
+//! measurement — an implicit clock made of throughput. Defenses that only
+//! coarsen or determinize `performance.now` leave the count intact; the
+//! only robust defense is refusing the self-post flood, which is exactly
+//! what the `policy_attack-loophole` family policy (rule
+//! `attack-loophole/no-self-post`) does in `KernelConfig::hardened()`.
+
+use crate::harness::{Secret, TimingAttack};
+use crate::ticker::start_post_task_ticker;
+use jsk_browser::browser::Browser;
+use jsk_browser::task::cb;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+
+/// The contention probe: a self-post flood racing a secret-dependent
+/// victim computation on the shared loop.
+#[derive(Debug, Clone)]
+pub struct ContentionProbe {
+    /// Victim main-thread computation under secret A, milliseconds.
+    pub victim_a_ms: u64,
+    /// Victim main-thread computation under secret B, milliseconds.
+    pub victim_b_ms: u64,
+    /// Counting window in milliseconds (the probe's deadline).
+    pub window_ms: f64,
+}
+
+impl Default for ContentionProbe {
+    fn default() -> Self {
+        // The window is long enough that Fuzzyfox's pause inflation always
+        // hits its 250 ms cap — a *fixed* extra the throughput count rides
+        // over — while the 40 ms victim contrast stays ~9 % of the window.
+        ContentionProbe {
+            victim_a_ms: 10,
+            victim_b_ms: 50,
+            window_ms: 200.0,
+        }
+    }
+}
+
+impl TimingAttack for ContentionProbe {
+    fn name(&self) -> &'static str {
+        "Contention probe"
+    }
+
+    fn clock(&self) -> &'static str {
+        "postMessage throughput"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let victim_ms = match secret {
+            Secret::A => self.victim_a_ms,
+            Secret::B => self.victim_b_ms,
+        };
+        let window_ms = self.window_ms;
+
+        // Attacker context (0): flood the loop with self-posts and report
+        // how many retired by the deadline. No clock reads anywhere.
+        browser.boot_in_context(0, move |scope| {
+            let ticks = start_post_task_ticker(scope);
+            scope.set_timeout(
+                window_ms,
+                cb(move |scope, _| {
+                    scope.record("measurement", JsValue::from(*ticks.borrow() as f64));
+                }),
+            );
+        });
+
+        // Victim context (1): a secret-dependent burst early in the window.
+        browser.boot_in_context(1, move |scope| {
+            scope.set_timeout(
+                5.0,
+                cb(move |scope, _| {
+                    scope.compute(SimDuration::from_millis(victim_ms));
+                }),
+            );
+        });
+
+        // Generous horizon: clock-fuzzing defenses inflate the deadline
+        // timer's turnaround (Fuzzyfox pads up to 250 ms), and the run must
+        // outlast it or the recording never lands.
+        browser.run_for(SimDuration::from_millis_f64(window_ms * 2.0 + 500.0));
+        browser
+            .record_value("measurement")
+            .and_then(JsValue::as_f64)
+            // Under the hardened kernel the flood is denied outright and
+            // the counter never moves past zero.
+            .unwrap_or(0.0)
+    }
+
+    fn min_rel_gap(&self) -> f64 {
+        0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_timing_attack;
+    use jsk_defenses::registry::DefenseKind;
+
+    #[test]
+    fn contention_probe_beats_legacy_chrome() {
+        let r = run_timing_attack(
+            &ContentionProbe::default(),
+            DefenseKind::LegacyChrome,
+            6,
+            41,
+        );
+        assert!(!r.defended(), "{:?} vs {:?}", r.a, r.b);
+        let (a, b) = r.summaries();
+        // The heavier victim steals more loop time, so fewer ticks retire.
+        assert!(a.mean > b.mean, "light {} vs heavy {}", a.mean, b.mean);
+    }
+
+    #[test]
+    fn contention_probe_counts_through_clock_fuzzing() {
+        // Fuzzyfox randomizes the clock but cannot hide throughput: the
+        // count is not a clock read.
+        let r = run_timing_attack(&ContentionProbe::default(), DefenseKind::Fuzzyfox, 6, 42);
+        assert!(!r.defended(), "{:?} vs {:?}", r.a, r.b);
+    }
+
+    #[test]
+    fn hardened_kernel_denies_the_flood() {
+        let r = run_timing_attack(
+            &ContentionProbe::default(),
+            DefenseKind::JsKernelHardened,
+            6,
+            43,
+        );
+        assert!(r.defended(), "{:?} vs {:?}", r.a, r.b);
+        // Denied flood: the counter never advances.
+        assert!(r.a.iter().chain(&r.b).all(|&m| m == 0.0), "{:?}", r.a);
+    }
+}

@@ -1,0 +1,108 @@
+//! Hacky Racers-style ILP stealthy ticker (Xiao & Ainsworth) — the second
+//! attack family the fuzzer's seed corpus carries beyond Table I.
+//!
+//! The attacker builds a timer out of instruction-level parallelism:
+//! several independent increment chains race down the pipeline, and
+//! reading how far they got stands in for elapsed time. No timer API, no
+//! `performance.now`, no worker channel — so defenses that mediate,
+//! coarsen, or fuzz the JavaScript clocks never see it. In the simulator
+//! [`jsk_browser::scope::JsScope::ilp_counter_read`] derives the count
+//! from the *raw* instant, deliberately bypassing clock mediation; the
+//! only thing that stops it is the `policy_attack-hacky-racers` family
+//! policy (rule `attack-hacky-racers/no-ilp-counter`) denying the read,
+//! which `KernelConfig::hardened()` ships.
+
+use crate::harness::{Secret, TimingAttack};
+use jsk_browser::browser::Browser;
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+
+/// The ILP ticker: time a secret-dependent computation with racing
+/// increment chains instead of a clock API.
+#[derive(Debug, Clone)]
+pub struct IlpTicker {
+    /// Computation under secret A, milliseconds.
+    pub work_a_ms: u64,
+    /// Computation under secret B, milliseconds.
+    pub work_b_ms: u64,
+    /// Parallel increment chains kept in flight.
+    pub chains: u32,
+}
+
+impl Default for IlpTicker {
+    fn default() -> Self {
+        IlpTicker {
+            work_a_ms: 5,
+            work_b_ms: 20,
+            chains: 8,
+        }
+    }
+}
+
+impl TimingAttack for IlpTicker {
+    fn name(&self) -> &'static str {
+        "ILP ticker"
+    }
+
+    fn clock(&self) -> &'static str {
+        "instruction-level parallelism"
+    }
+
+    fn measure(&self, browser: &mut Browser, secret: Secret) -> f64 {
+        let ms = match secret {
+            Secret::A => self.work_a_ms,
+            Secret::B => self.work_b_ms,
+        };
+        let chains = self.chains;
+        browser.boot(move |scope| {
+            let before = scope.ilp_counter_read(chains);
+            scope.compute(SimDuration::from_millis(ms));
+            let after = scope.ilp_counter_read(chains);
+            scope.record("measurement", JsValue::from(after - before));
+        });
+        browser.run_until_idle();
+        browser
+            .record_value("measurement")
+            .and_then(JsValue::as_f64)
+            .expect("ilp ticker records its count delta")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_timing_attack;
+    use jsk_defenses::registry::DefenseKind;
+
+    #[test]
+    fn ilp_ticker_beats_legacy_chrome() {
+        let r = run_timing_attack(&IlpTicker::default(), DefenseKind::LegacyChrome, 6, 51);
+        assert!(!r.defended(), "{:?} vs {:?}", r.a, r.b);
+        let (a, b) = r.summaries();
+        assert!(b.mean > a.mean, "heavier work retires more increments");
+    }
+
+    #[test]
+    fn ilp_ticker_pierces_every_clock_defense() {
+        // The count never touches a mediated clock, so clock fuzzing
+        // (Fuzzyfox), coarsening (Tor Browser), and even the shipped
+        // kernel's deterministic clock all leak — that stealth is the
+        // family's point, and why the hardened policy set exists.
+        for (defense, seed) in [
+            (DefenseKind::Fuzzyfox, 52),
+            (DefenseKind::TorBrowser, 53),
+            (DefenseKind::JsKernel, 54),
+        ] {
+            let r = run_timing_attack(&IlpTicker::default(), defense, 6, seed);
+            assert!(!r.defended(), "{defense:?}: {:?} vs {:?}", r.a, r.b);
+        }
+    }
+
+    #[test]
+    fn hardened_kernel_denies_the_counter() {
+        let r = run_timing_attack(&IlpTicker::default(), DefenseKind::JsKernelHardened, 6, 55);
+        assert!(r.defended(), "{:?} vs {:?}", r.a, r.b);
+        // Denied reads return zero, so every measurement collapses to 0.
+        assert!(r.a.iter().chain(&r.b).all(|&m| m == 0.0), "{:?}", r.a);
+    }
+}

@@ -10,22 +10,34 @@
 //! * **CVE exploit scripts** ([`cve_exploits`]) for the twelve
 //!   web-concurrency vulnerabilities.
 //!
+//! Two post-paper attack families ride with the fuzzer's seed corpus and
+//! are defeated only by `KernelConfig::hardened()`:
+//!
+//! * **shared-event-loop contention** ([`contention`]) — Loophole-style
+//!   throughput counting (Vila & Köpf);
+//! * **ILP stealthy tickers** ([`ilp_ticker`]) — clock-free timers from
+//!   racing increment chains (Hacky Racers, Xiao & Ainsworth).
+//!
 //! The [`harness`] runs any of them against any defense configuration and
 //! returns statistical (timing) or oracle-based (CVE) verdicts — every cell
 //! of Table I is *computed*, never hard-coded.
 
+pub mod contention;
 pub mod cve_exploits;
 pub mod harness;
+pub mod ilp_ticker;
 pub mod loopscan;
 pub mod raf_attacks;
 pub mod sab_clock;
 pub mod ticker;
 pub mod timer_attacks;
 
+pub use contention::ContentionProbe;
 pub use harness::{
     run_cve_attack, run_cve_attack_observed, run_timing_attack, run_timing_attack_observed,
     CveAttackResult, CveExploit, Secret, TimingAttack, TimingAttackResult,
 };
+pub use ilp_ticker::IlpTicker;
 pub use loopscan::Loopscan;
 pub use raf_attacks::{
     CssAnimationClock, FloatingPoint, HistorySniffing, SvgFiltering, VideoVttClock,

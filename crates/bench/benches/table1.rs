@@ -29,7 +29,7 @@ fn paper_expectation(row: &str, defense: DefenseKind) -> Option<bool> {
             D::DeterFox => "deterfox",
             D::TorBrowser => "tor",
             D::ChromeZero => "chromezero",
-            D::JsKernel | D::JsKernelFirefox | D::JsKernelEdge => "jskernel",
+            D::JsKernel | D::JsKernelFirefox | D::JsKernelEdge | D::JsKernelHardened => "jskernel",
         }
     }
     let name = d(defense);

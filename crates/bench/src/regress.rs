@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Every JSON-emitting bench target, in run order.
-pub const ALL_TARGETS: [&str; 13] = [
+pub const ALL_TARGETS: [&str; 14] = [
     "table1",
     "table2",
     "table3",
@@ -36,6 +36,7 @@ pub const ALL_TARGETS: [&str; 13] = [
     "micro",
     "hotpath",
     "shards",
+    "fuzz",
 ];
 
 /// The committed baseline: one [`BenchRun`] per target.

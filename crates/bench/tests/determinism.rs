@@ -143,6 +143,27 @@ fn trace_symbol_tables_identical_under_pool() {
 }
 
 #[test]
+fn fuzz_reports_are_bit_identical_under_pool() {
+    // The fuzzer rides the same pool contract as everything above: a
+    // whole coverage-guided run — corpus evolution, minimization, report
+    // serialization — must not depend on JSK_JOBS.
+    use jsk_fuzz::{run_fuzz, FuzzConfig};
+    let cfg = |jobs| FuzzConfig {
+        iters: 16,
+        seed: 9,
+        jobs,
+        mutations: true,
+    };
+    let serial = run_fuzz(&cfg(1)).to_json();
+    let parallel = run_fuzz(&cfg(8)).to_json();
+    assert_eq!(serial, parallel, "JSK_JOBS must not change the fuzz report");
+    assert!(
+        serial.contains("\"recall\""),
+        "report must carry recall data"
+    );
+}
+
+#[test]
 fn timing_attack_results_identical_under_pool() {
     // The full attack-result payload (both sample vectors), not just the
     // verdict, must be schedule-invariant.

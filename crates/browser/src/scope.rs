@@ -158,6 +158,33 @@ impl<'a> JsScope<'a> {
         self.browser.current_instant().as_millis_f64()
     }
 
+    /// Reads an instruction-level-parallelism racing counter (Hacky Racers,
+    /// Xiao & Ainsworth): `chains` parallel increment chains race the
+    /// surrounding work, and the returned count is how many increments
+    /// retired so far. Because the "timer" is built from superscalar
+    /// execution-unit contention rather than any clock API, the reading
+    /// deliberately derives from the **raw** virtual instant — clock
+    /// coarsening, fuzzing, and the kernel's deterministic logical clock
+    /// never touch it. The only defense seam is the interposition itself:
+    /// a policy that denies [`ApiCall::IlpCounterRead`] makes the read
+    /// return 0.
+    pub fn ilp_counter_read(&mut self, chains: u32) -> f64 {
+        self.interpose(InterposeClass::Sab);
+        // Keeping the racing chains warm costs real work per read.
+        let op = self.browser.cfg.profile.cpu.op_cost;
+        self.add_cost(op * u64::from(chains.max(1)));
+        let thread = self.thread;
+        let outcome = self
+            .browser
+            .intercept(&ApiCall::IlpCounterRead { thread, chains });
+        if matches!(outcome, ApiOutcome::Deny { .. }) {
+            return 0.0;
+        }
+        // One increment retires per chain per ~100 ns of raw execution.
+        let nanos = self.browser.current_instant().as_nanos() as f64;
+        (nanos * f64::from(chains.max(1)) / 100.0).floor()
+    }
+
     // --- timers -------------------------------------------------------------
 
     /// `setTimeout(callback, delay_ms)`.
@@ -199,9 +226,22 @@ impl<'a> JsScope<'a> {
 
     /// Enqueues a task on this thread's own event loop with minimal delay
     /// (a self-`postMessage`) — the Loopscan monitoring primitive.
+    ///
+    /// Interposed as a [`ApiCall::PostMessage`] whose sender and receiver
+    /// are the same thread, so a policy can recognize (and deny) the
+    /// self-post flood the event-loop monitors are built from.
     pub fn post_task(&mut self, callback: Callback) {
         self.interpose(InterposeClass::Message);
         let thread = self.thread;
+        let outcome = self.browser.intercept(&ApiCall::PostMessage {
+            from: thread,
+            to: thread,
+            transfer_count: 0,
+            to_doc_freed: false,
+        });
+        if matches!(outcome, ApiOutcome::Deny { .. }) {
+            return;
+        }
         let proposed = self.browser.current_instant() + SimDuration::from_micros(30);
         let at = self.browser.channel_arrival(thread, thread, proposed);
         let poly = self.browser.cur.as_ref().and_then(|c| c.polyfill_worker);

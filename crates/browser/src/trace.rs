@@ -275,6 +275,15 @@ pub enum ApiCall {
         /// Whether the native buffer backing store has been freed.
         freed: bool,
     },
+    /// A read of an instruction-level-parallelism racing counter (Hacky
+    /// Racers): a timer built from superscalar execution-unit contention
+    /// rather than any clock API, so timer coarsening never touches it.
+    IlpCounterRead {
+        /// Reading thread.
+        thread: ThreadId,
+        /// Parallel increment chains raced against the measured work.
+        chains: u32,
+    },
 }
 
 impl ApiCall {
@@ -381,6 +390,9 @@ impl ApiCall {
             } => format!(
                 "BufferAccess {{ thread: {thread:?}, buffer: {buffer:?}, freed: {freed:?} }}"
             ),
+            ApiCall::IlpCounterRead { thread, chains } => {
+                format!("IlpCounterRead {{ thread: {thread:?}, chains: {chains:?} }}")
+            }
         }
     }
 }

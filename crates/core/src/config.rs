@@ -1,6 +1,6 @@
 //! Kernel configuration.
 
-use crate::policy::{cve, deterministic_policy, PolicySpec};
+use crate::policy::{cve, deterministic_policy, families, PolicySpec};
 use crate::scheduler::PredictionConfig;
 use jsk_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -102,6 +102,17 @@ impl KernelConfig {
         }
     }
 
+    /// Full protection plus the post-Table-1 attack-family policies
+    /// (Loophole self-post denial, Hacky Racers ILP-counter denial). Kept
+    /// out of [`KernelConfig::full`] so the paper's §IV/§V configuration —
+    /// and the Table-1 verdicts pinned to it — stay byte-stable.
+    #[must_use]
+    pub fn hardened() -> KernelConfig {
+        let mut cfg = KernelConfig::full();
+        cfg.policies.extend(families::all_family_policies());
+        cfg
+    }
+
     /// Only the deterministic scheduling policy (ablation: timing defense
     /// without CVE policies).
     #[must_use]
@@ -137,6 +148,22 @@ mod tests {
         let cfg = KernelConfig::full();
         assert!(cfg.deterministic);
         assert_eq!(cfg.policies.len(), 13); // deterministic + 12 CVEs
+    }
+
+    #[test]
+    fn hardened_config_layers_the_family_policies_on_full() {
+        let full = KernelConfig::full();
+        let hard = KernelConfig::hardened();
+        assert_eq!(hard.policies.len(), full.policies.len() + 2);
+        assert_eq!(&hard.policies[..full.policies.len()], &full.policies[..]);
+        assert!(hard
+            .policies
+            .iter()
+            .any(|p| p.name == "policy_attack-loophole"));
+        assert!(hard
+            .policies
+            .iter()
+            .any(|p| p.name == "policy_attack-hacky-racers"));
     }
 
     #[test]

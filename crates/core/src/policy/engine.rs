@@ -32,10 +32,14 @@ pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFa
             ApiSelector::TerminateWorker
         }
         ApiCall::PostMessage {
-            from, to_doc_freed, ..
+            from,
+            to,
+            to_doc_freed,
+            ..
         } => {
             f.from_worker = threads.by_thread(*from).is_some();
             f.to_doc_freed = *to_doc_freed;
+            f.to_self = from == to;
             ApiSelector::PostMessage
         }
         ApiCall::SetOnMessage {
@@ -96,6 +100,7 @@ pub fn classify(call: &ApiCall, threads: &ThreadManager) -> (ApiSelector, CallFa
             ApiSelector::CloseDocument
         }
         ApiCall::BufferAccess { .. } => ApiSelector::BufferAccess,
+        ApiCall::IlpCounterRead { .. } => ApiSelector::IlpCounterRead,
     };
     (sel, f)
 }

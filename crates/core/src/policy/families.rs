@@ -1,0 +1,123 @@
+//! Policies for the post-Table-1 attack families (ROADMAP "new attack
+//! families" item): attack shapes from the side-channel literature rather
+//! than from CVE reports, each defeated by an API-interception policy in
+//! the same JSON dialect as the per-CVE set.
+//!
+//! * **Loophole** (Vila & Köpf, USENIX Security '17): monitoring the
+//!   shared event loop by flooding one's own context with self-posted
+//!   tasks and timestamping the turnaround. The policy denies self-posts —
+//!   a context never needs `postMessage` to itself; real code uses direct
+//!   calls or timers, both of which the deterministic scheduler orders.
+//! * **Hacky Racers** (Xiao & Ainsworth): stealthy timers built from
+//!   instruction-level parallelism — racing increment chains against the
+//!   measured work — which survive timer coarsening because no clock API
+//!   is involved. The policy denies the racing-counter read outright; the
+//!   kernel's event-queue mediation cannot reorder a timer that never
+//!   enters the event queue, so interception is the only seam.
+//!
+//! These ship separately from [`crate::config::KernelConfig::full`] (the
+//! paper's §IV/§V configuration) and are layered on by
+//! [`crate::config::KernelConfig::hardened`].
+
+use crate::policy::spec::{ApiSelector, Condition, PolicyAction, PolicyRule, PolicySpec};
+
+fn rule(id: &str, on: ApiSelector, when: Condition, action: PolicyAction) -> PolicyRule {
+    PolicyRule {
+        id: id.to_owned(),
+        on,
+        when,
+        action,
+    }
+}
+
+fn deny(reason: &str) -> PolicyAction {
+    PolicyAction::Deny {
+        reason: reason.to_owned(),
+    }
+}
+
+/// Loophole (shared-event-loop contention probe): deny messages a context
+/// posts to itself, the flood primitive the monitor is built from.
+#[must_use]
+pub fn loophole_policy() -> PolicySpec {
+    PolicySpec {
+        name: "policy_attack-loophole".into(),
+        description: "deny self-posted messages: the event-loop monitor \
+                      floods its own context with postMessage to timestamp \
+                      turnaround gaps; legitimate code has direct calls and \
+                      timers for self-scheduling"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "attack-loophole/no-self-post",
+            ApiSelector::PostMessage,
+            Condition {
+                to_self: Some(true),
+                ..Condition::default()
+            },
+            deny("self-posted message flood denied (event-loop monitor)"),
+        )],
+    }
+}
+
+/// Hacky Racers (ILP-based stealthy ticker): deny the racing-counter read.
+#[must_use]
+pub fn hacky_racers_policy() -> PolicySpec {
+    PolicySpec {
+        name: "policy_attack-hacky-racers".into(),
+        description: "deny instruction-level-parallelism racing-counter \
+                      reads: an ILP timer bypasses every clock API, so \
+                      coarsening and deterministic dispatch never see it; \
+                      the interposition point is the only seam"
+            .into(),
+        scheduling: None,
+        rules: vec![rule(
+            "attack-hacky-racers/no-ilp-counter",
+            ApiSelector::IlpCounterRead,
+            Condition::default(),
+            deny("ILP racing-counter read denied (stealthy timer)"),
+        )],
+    }
+}
+
+/// Both family policies, in documentation order.
+#[must_use]
+pub fn all_family_policies() -> Vec<PolicySpec> {
+    vec![loophole_policy(), hacky_racers_policy()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_policies_round_trip_through_json() {
+        for p in all_family_policies() {
+            let back = PolicySpec::from_json(&p.to_json()).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn family_rule_ids_reference_their_family() {
+        for p in all_family_policies() {
+            let tail = p.name.strip_prefix("policy_").unwrap();
+            for r in &p.rules {
+                assert!(
+                    r.id.starts_with(tail),
+                    "{} rule id {} must carry its family tag",
+                    p.name,
+                    r.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_policies_are_api_only() {
+        for p in all_family_policies() {
+            assert!(p.scheduling.is_none(), "{} must not schedule", p.name);
+            assert!(!p.rules.is_empty(), "{} must carry rules", p.name);
+        }
+    }
+}

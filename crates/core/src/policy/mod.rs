@@ -4,6 +4,7 @@
 
 pub mod cve;
 pub mod engine;
+pub mod families;
 pub mod spec;
 pub mod synth;
 

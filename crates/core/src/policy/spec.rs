@@ -44,12 +44,16 @@ pub enum ApiSelector {
     CloseDocument,
     /// `ArrayBuffer` access.
     BufferAccess,
+    /// Instruction-level-parallelism counter reads (the Hacky Racers
+    /// racing-counter primitive — a timer built from superscalar
+    /// contention, not from any clock API).
+    IlpCounterRead,
 }
 
 impl ApiSelector {
     /// Number of selector variants — the width of the engine's per-selector
     /// decision-table array.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Dense index for decision-table lookup.
     #[must_use]
@@ -80,6 +84,7 @@ macro_rules! for_each_fact {
             11 => persist,
             12 => leaks_cross_origin,
             13 => has_pending_worker_messages,
+            14 => to_self,
         )
     };
 }
@@ -117,6 +122,10 @@ pub struct Condition {
     pub leaks_cross_origin: Option<bool>,
     /// Worker-message tasks are still queued on the closing thread.
     pub has_pending_worker_messages: Option<bool>,
+    /// The message is posted by a context to itself (the Loophole
+    /// event-loop-monitoring shape: a self-post flood timestamping its own
+    /// turnaround).
+    pub to_self: Option<bool>,
 }
 
 /// Concrete facts extracted from one intercepted call, matched against
@@ -151,10 +160,12 @@ pub struct CallFacts {
     pub leaks_cross_origin: bool,
     /// See [`Condition::has_pending_worker_messages`].
     pub has_pending_worker_messages: bool,
+    /// See [`Condition::to_self`].
+    pub to_self: bool,
 }
 
 impl CallFacts {
-    /// Packs the 14 boolean facts into one word, one bit per field (the
+    /// Packs the 15 boolean facts into one word, one bit per field (the
     /// assignment lives in `for_each_fact!`). A compiled
     /// [`Condition`] then matches with a single mask-and-compare — see
     /// [`Condition::compile`].
@@ -220,6 +231,7 @@ impl Condition {
                 self.has_pending_worker_messages,
                 facts.has_pending_worker_messages,
             )
+            && ok(self.to_self, facts.to_self)
     }
 }
 
@@ -337,7 +349,7 @@ mod tests {
         // Every single-field condition must match exactly the facts with
         // that field set (for Some(true)) or unset (for Some(false)),
         // through both the interpreter and the compiled mask/value pair.
-        let field_setters: [fn(&mut CallFacts, bool); 14] = [
+        let field_setters: [fn(&mut CallFacts, bool); 15] = [
             |f, v| f.from_worker = v,
             |f, v| f.cross_origin = v,
             |f, v| f.sandboxed = v,
@@ -352,8 +364,9 @@ mod tests {
             |f, v| f.persist = v,
             |f, v| f.leaks_cross_origin = v,
             |f, v| f.has_pending_worker_messages = v,
+            |f, v| f.to_self = v,
         ];
-        let cond_setters: [fn(&mut Condition, Option<bool>); 14] = [
+        let cond_setters: [fn(&mut Condition, Option<bool>); 15] = [
             |c, v| c.from_worker = v,
             |c, v| c.cross_origin = v,
             |c, v| c.sandboxed = v,
@@ -368,6 +381,7 @@ mod tests {
             |c, v| c.persist = v,
             |c, v| c.leaks_cross_origin = v,
             |c, v| c.has_pending_worker_messages = v,
+            |c, v| c.to_self = v,
         ];
         for (i, set_fact) in field_setters.iter().enumerate() {
             let mut facts = CallFacts::default();
@@ -411,6 +425,7 @@ mod tests {
             ApiSelector::Navigate,
             ApiSelector::CloseDocument,
             ApiSelector::BufferAccess,
+            ApiSelector::IlpCounterRead,
         ];
         assert_eq!(all.len(), ApiSelector::COUNT);
         for (i, sel) in all.iter().enumerate() {

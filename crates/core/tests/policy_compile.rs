@@ -24,9 +24,10 @@ const SELECTORS: [ApiSelector; ApiSelector::COUNT] = [
     ApiSelector::Navigate,
     ApiSelector::CloseDocument,
     ApiSelector::BufferAccess,
+    ApiSelector::IlpCounterRead,
 ];
 
-/// Decodes 14 bits into concrete facts. The field order here is a test
+/// Decodes 15 bits into concrete facts. The field order here is a test
 /// generator, independent of the engine's internal bit assignment.
 fn facts_from(bits: u16) -> CallFacts {
     CallFacts {
@@ -44,6 +45,7 @@ fn facts_from(bits: u16) -> CallFacts {
         persist: bits & 2048 != 0,
         leaks_cross_origin: bits & 4096 != 0,
         has_pending_worker_messages: bits & 8192 != 0,
+        to_self: bits & 16384 != 0,
     }
 }
 
@@ -67,6 +69,7 @@ fn cond_from(present: u16, want: u16) -> Condition {
         persist: f(present, want, 2048),
         leaks_cross_origin: f(present, want, 4096),
         has_pending_worker_messages: f(present, want, 8192),
+        to_self: f(present, want, 16384),
     }
 }
 
@@ -114,10 +117,10 @@ proptest! {
     #[test]
     fn compiled_agrees_with_interpreted(
         rules in proptest::collection::vec(
-            (0u8..13, 0u16..16384, 0u16..16384, 0u8..255),
+            (0u8..14, 0u16..32768, 0u16..32768, 0u8..255),
             0..24,
         ),
-        fact_bits in proptest::collection::vec(0u16..16384, 1..32),
+        fact_bits in proptest::collection::vec(0u16..32768, 1..32),
     ) {
         let engine = PolicyEngine::new(policies_from(&rules));
         for &bits in &fact_bits {
@@ -136,9 +139,9 @@ proptest! {
     /// `Condition::matches` exactly on arbitrary fact words.
     #[test]
     fn compile_matches_interpreter(
-        present in 0u16..16384,
-        want in 0u16..16384,
-        bits in 0u16..16384,
+        present in 0u16..32768,
+        want in 0u16..32768,
+        bits in 0u16..32768,
     ) {
         let cond = cond_from(present, want);
         let facts = facts_from(bits);

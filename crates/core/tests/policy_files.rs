@@ -4,7 +4,7 @@
 //! `JSK_REGEN_POLICIES=1 cargo test -p jsk-core --test policy_files`.
 
 use jsk_core::policy::{
-    cve, deterministic_policy, policy_from_json_or_default, PolicyEngine, PolicySpec,
+    cve, deterministic_policy, families, policy_from_json_or_default, PolicyEngine, PolicySpec,
 };
 use std::path::PathBuf;
 
@@ -15,6 +15,7 @@ fn policy_dir() -> PathBuf {
 fn builtin_policies() -> Vec<PolicySpec> {
     let mut all = vec![deterministic_policy()];
     all.extend(cve::all_cve_policies());
+    all.extend(families::all_family_policies());
     all
 }
 
@@ -51,8 +52,9 @@ fn policies_on_disk_are_in_sync_with_code() {
 }
 
 #[test]
-fn there_are_thirteen_builtin_policies() {
-    assert_eq!(builtin_policies().len(), 13);
+fn there_are_fifteen_builtin_policies() {
+    // deterministic + 12 CVEs + 2 attack families
+    assert_eq!(builtin_policies().len(), 15);
 }
 
 /// Every `policies/*.json` file on disk — not just the ones the builtin
@@ -68,7 +70,11 @@ fn every_policy_file_on_disk_round_trips_through_the_engine() {
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     entries.sort();
-    assert_eq!(entries.len(), 13, "deterministic + 12 CVE policies on disk");
+    assert_eq!(
+        entries.len(),
+        15,
+        "deterministic + 12 CVE + 2 attack-family policies on disk"
+    );
     for path in entries {
         let body = std::fs::read_to_string(&path).expect("readable policy file");
         let spec = PolicySpec::from_json(&body)
@@ -79,7 +85,7 @@ fn every_policy_file_on_disk_round_trips_through_the_engine() {
         specs.push(spec);
     }
     let engine = PolicyEngine::new(specs);
-    assert_eq!(engine.policies().len(), 13);
+    assert_eq!(engine.policies().len(), 15);
 }
 
 /// Loading a malformed policy file must never panic: the loader degrades

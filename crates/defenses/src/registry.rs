@@ -36,6 +36,12 @@ pub enum DefenseKind {
     JsKernelFirefox,
     /// JSKernel installed on Edge.
     JsKernelEdge,
+    /// JSKernel with the attack-family hardening policies layered on top
+    /// (`KernelConfig::hardened()`): the shipped kernel plus the
+    /// Loophole self-post ban and the Hacky Racers ILP-counter ban. Not a
+    /// Table I column — the paper evaluates the shipped configuration —
+    /// but the fuzzer's oracle and the family regression tests run it.
+    JsKernelHardened,
 }
 
 impl DefenseKind {
@@ -69,6 +75,7 @@ impl DefenseKind {
             DefenseKind::JsKernel => "JSKernel",
             DefenseKind::JsKernelFirefox => "JSKernel (F)",
             DefenseKind::JsKernelEdge => "JSKernel (E)",
+            DefenseKind::JsKernelHardened => "JSKernel+",
         }
     }
 
@@ -76,9 +83,10 @@ impl DefenseKind {
     #[must_use]
     pub fn engine(self) -> Engine {
         match self {
-            DefenseKind::LegacyChrome | DefenseKind::ChromeZero | DefenseKind::JsKernel => {
-                Engine::Chrome
-            }
+            DefenseKind::LegacyChrome
+            | DefenseKind::ChromeZero
+            | DefenseKind::JsKernel
+            | DefenseKind::JsKernelHardened => Engine::Chrome,
             DefenseKind::LegacyFirefox
             | DefenseKind::Fuzzyfox
             | DefenseKind::DeterFox
@@ -102,6 +110,7 @@ impl DefenseKind {
             DefenseKind::JsKernel | DefenseKind::JsKernelFirefox | DefenseKind::JsKernelEdge => {
                 Box::new(JsKernel::new(KernelConfig::full()))
             }
+            DefenseKind::JsKernelHardened => Box::new(JsKernel::new(KernelConfig::hardened())),
         }
     }
 
@@ -169,6 +178,15 @@ mod tests {
         assert!(cfg.net_latency_scale > 5.0);
         let chrome = DefenseKind::LegacyChrome.config(0);
         assert_eq!(chrome.net_latency_scale, 1.0);
+    }
+
+    #[test]
+    fn hardened_kernel_is_off_table_but_builds() {
+        assert!(!DefenseKind::table1_columns().contains(&DefenseKind::JsKernelHardened));
+        let b = DefenseKind::JsKernelHardened.build(1);
+        assert_eq!(b.profile().engine, Engine::Chrome);
+        assert_eq!(DefenseKind::JsKernelHardened.label(), "JSKernel+");
+        assert!(!DefenseKind::JsKernelHardened.is_legacy());
     }
 
     #[test]

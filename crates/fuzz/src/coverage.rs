@@ -1,0 +1,150 @@
+//! Coverage fingerprinting: one candidate schedule → the set of behavior
+//! features it exhibits.
+//!
+//! Features are plain strings so the engine's coverage map is a sorted set
+//! and reports serialize stably:
+//!
+//! * `pattern:<PatternKind>` — scanner hit in the raw trace.
+//! * `race:<target>` — happens-before race on that target in the raw trace.
+//! * `deny:<rule-id>` — the kernel's policy engine denied a call under
+//!   that rule (the `policy.*` decision counters).
+//! * `edge:<kind>:<bucket>` — the kernel recorded 2^(bucket-1)..2^bucket
+//!   happens-before edges of that kind (log₂ buckets keep the signal
+//!   stable under small timing shifts).
+
+use jsk_analyze::report::analyze;
+use jsk_browser::mediator::LegacyMediator;
+use jsk_browser::trace::TraceItem;
+use jsk_core::{JsKernel, KernelConfig};
+use jsk_workloads::schedule::{run_schedule, Schedule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The fixed browser seed every fuzz evaluation uses. The schedule — not
+/// environment noise — is the thing under test, so all candidates share
+/// one simulated machine.
+pub const BROWSER_SEED: u64 = 0xF0CC;
+
+/// The outcome of evaluating one candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eval {
+    /// Schedule name (copied through for reporting).
+    pub name: String,
+    /// The behavior fingerprint.
+    pub features: BTreeSet<String>,
+    /// Scanner patterns in the raw trace, deduplicated and sorted.
+    pub raw_patterns: Vec<String>,
+    /// Races the detector found in the raw (undefended) trace.
+    pub raw_races: usize,
+    /// Races the detector found in the kernel trace — any nonzero count
+    /// is an oracle violation.
+    pub kernel_races: usize,
+}
+
+fn log2_bucket(n: usize) -> u32 {
+    usize::BITS - n.leading_zeros()
+}
+
+/// Canonicalizes a race-target debug string to its variant name:
+/// `"WorkerLifecycle { worker: WorkerId(3) }"` → `"race:WorkerLifecycle"`.
+/// Instance ids would otherwise mint "novel" coverage for every extra
+/// worker a mutant spawns, flooding the findings list with duplicates of
+/// one behavior.
+fn race_feature(target_debug: &str) -> String {
+    let variant = target_debug
+        .split(['{', ' ', '('])
+        .next()
+        .unwrap_or(target_debug);
+    format!("race:{variant}")
+}
+
+/// Runs `schedule` raw and under the hardened kernel, and fingerprints
+/// both traces. Pure: same schedule → same [`Eval`], whatever thread runs
+/// it.
+#[must_use]
+pub fn evaluate(schedule: &Schedule) -> Eval {
+    let mut features = BTreeSet::new();
+
+    let raw = run_schedule(schedule, Box::new(LegacyMediator), BROWSER_SEED);
+    let raw_report = analyze(raw.trace());
+    let mut raw_patterns: BTreeSet<String> = BTreeSet::new();
+    for p in &raw_report.patterns {
+        raw_patterns.insert(format!("{:?}", p.kind));
+        features.insert(format!("pattern:{:?}", p.kind));
+    }
+    for r in &raw_report.races {
+        features.insert(race_feature(&format!("{:?}", r.target)));
+    }
+
+    let kernel = run_schedule(
+        schedule,
+        Box::new(JsKernel::new(KernelConfig::hardened())),
+        BROWSER_SEED,
+    );
+    let kernel_report = analyze(kernel.trace());
+    if let Some(k) = kernel.mediator_as::<JsKernel>() {
+        for rule in k.stats().denials.keys() {
+            features.insert(format!("deny:{rule}"));
+        }
+    }
+    let mut edge_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for e in kernel.trace().entries() {
+        if let TraceItem::Edge(edge) = e.item {
+            *edge_counts.entry(format!("{:?}", edge.kind)).or_insert(0) += 1;
+        }
+    }
+    for (kind, count) in edge_counts {
+        features.insert(format!("edge:{kind}:{}", log2_bucket(count)));
+    }
+
+    Eval {
+        name: schedule.name.clone(),
+        features,
+        raw_patterns: raw_patterns.into_iter().collect(),
+        raw_races: raw_report.races.len(),
+        kernel_races: kernel_report.races.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_workloads::schedule::seed_schedules;
+
+    #[test]
+    fn log2_buckets_are_monotone_and_coarse() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(40), 6);
+        assert_eq!(log2_bucket(63), 6);
+        assert_eq!(log2_bucket(64), 7);
+    }
+
+    #[test]
+    fn evaluation_is_a_pure_function_of_the_schedule() {
+        let s = &seed_schedules()[4]; // CVE-2014-1719: cheap and racy
+        let a = evaluate(s);
+        let b = evaluate(s);
+        assert_eq!(a, b);
+        assert!(!a.features.is_empty());
+    }
+
+    #[test]
+    fn listing1_fingerprint_spans_all_signal_classes() {
+        let seeds = seed_schedules();
+        let listing1 = seeds.iter().find(|s| s.name == "listing-1").unwrap();
+        let eval = evaluate(listing1);
+        assert!(
+            eval.features.iter().any(|f| f.starts_with("pattern:")),
+            "raw scanner hit expected: {:?}",
+            eval.features
+        );
+        assert!(
+            eval.features.iter().any(|f| f.starts_with("edge:")),
+            "kernel happens-before edges expected: {:?}",
+            eval.features
+        );
+        assert_eq!(eval.kernel_races, 0, "kernel run must stay race-free");
+    }
+}

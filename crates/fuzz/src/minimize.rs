@@ -1,0 +1,120 @@
+//! Delta-debugging minimizer: shrink a finding's event list while the
+//! caller's predicate (usually "the raw run still races" or "the kernel
+//! run still races") keeps holding.
+
+use jsk_workloads::schedule::Schedule;
+
+/// Greedy ddmin over the event list: repeatedly try dropping halves, then
+/// quarters, then single events, keeping any removal that preserves
+/// `still_fails`. Deterministic — removal order is index order — and
+/// bounded: at most `O(events² )` predicate evaluations, in practice far
+/// fewer because corpus schedules are short.
+///
+/// The minimized schedule keeps the input's name, resources, mode, and
+/// run window; only `events` shrinks.
+#[must_use]
+pub fn minimize<F>(schedule: &Schedule, still_fails: F) -> Schedule
+where
+    F: Fn(&Schedule) -> bool,
+{
+    let mut best = schedule.clone();
+    if !still_fails(&best) {
+        // The caller's predicate does not even hold on the input; nothing
+        // to minimize against.
+        return best;
+    }
+    let mut chunk = (best.events.len() / 2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < best.events.len() {
+            if best.events.len() <= 1 {
+                break;
+            }
+            let end = (start + chunk).min(best.events.len());
+            let mut candidate = best.clone();
+            candidate.events.drain(start..end);
+            if !candidate.events.is_empty() && still_fails(&candidate) {
+                best = candidate;
+                shrunk = true;
+                // Re-test the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !shrunk {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_workloads::schedule::{ScheduleEvent, ScheduleOp};
+
+    fn sched(ops: Vec<ScheduleOp>) -> Schedule {
+        Schedule {
+            name: "t".into(),
+            private_mode: false,
+            run_ms: 100,
+            resources: Vec::new(),
+            events: ops
+                .into_iter()
+                .map(|op| ScheduleEvent { at_ms: 0, op })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn minimizes_to_the_single_necessary_event() {
+        let s = sched(vec![
+            ScheduleOp::Navigate,
+            ScheduleOp::Compute { ms: 1 },
+            ScheduleOp::CloseDocument,
+            ScheduleOp::Compute { ms: 2 },
+            ScheduleOp::Compute { ms: 3 },
+        ]);
+        let min = minimize(&s, |c| {
+            c.events
+                .iter()
+                .any(|e| matches!(e.op, ScheduleOp::CloseDocument))
+        });
+        assert_eq!(min.events.len(), 1);
+        assert!(matches!(min.events[0].op, ScheduleOp::CloseDocument));
+    }
+
+    #[test]
+    fn keeps_a_necessary_pair_even_when_split_across_the_list() {
+        let s = sched(vec![
+            ScheduleOp::Navigate,
+            ScheduleOp::Compute { ms: 1 },
+            ScheduleOp::Compute { ms: 2 },
+            ScheduleOp::CloseDocument,
+        ]);
+        let min = minimize(&s, |c| {
+            let nav = c
+                .events
+                .iter()
+                .any(|e| matches!(e.op, ScheduleOp::Navigate));
+            let close = c
+                .events
+                .iter()
+                .any(|e| matches!(e.op, ScheduleOp::CloseDocument));
+            nav && close
+        });
+        assert_eq!(min.events.len(), 2);
+    }
+
+    #[test]
+    fn input_not_matching_the_predicate_is_returned_unchanged() {
+        let s = sched(vec![ScheduleOp::Navigate]);
+        let min = minimize(&s, |_| false);
+        assert_eq!(min, s);
+    }
+}

@@ -1,0 +1,158 @@
+//! Schedule mutations: small, structure-preserving edits to an event list
+//! plus a site-mix crossover, all drawn from a caller-provided
+//! [`SimRng`] so candidate generation is replayable from the fuzz seed.
+
+use jsk_sim::rng::SimRng;
+use jsk_workloads::schedule::{Schedule, ScheduleEvent};
+
+/// Hard cap on a mutant's event count: duplication and crossover must not
+/// let schedules grow without bound across generations.
+pub const MAX_EVENTS: usize = 48;
+
+/// Largest single delay perturbation, in milliseconds. Big enough to move
+/// an event across any teardown window in the corpus, small enough to
+/// keep it inside the run.
+const MAX_DELAY_SHIFT: u64 = 64;
+
+fn swap(events: &mut [ScheduleEvent], rng: &mut SimRng) -> String {
+    if events.len() < 2 {
+        return "swap:noop".into();
+    }
+    let i = rng.index(events.len());
+    let j = rng.index(events.len());
+    events.swap(i, j);
+    format!("swap:{i}<->{j}")
+}
+
+fn dup(events: &mut Vec<ScheduleEvent>, rng: &mut SimRng) -> String {
+    if events.is_empty() || events.len() >= MAX_EVENTS {
+        return "dup:noop".into();
+    }
+    let i = rng.index(events.len());
+    let copy = events[i].clone();
+    events.insert(i + 1, copy);
+    format!("dup:{i}")
+}
+
+fn drop_one(events: &mut Vec<ScheduleEvent>, rng: &mut SimRng) -> String {
+    if events.len() < 2 {
+        return "drop:noop".into();
+    }
+    let i = rng.index(events.len());
+    events.remove(i);
+    format!("drop:{i}")
+}
+
+fn delay(events: &mut [ScheduleEvent], rng: &mut SimRng, run_ms: u32) -> String {
+    if events.is_empty() {
+        return "delay:noop".into();
+    }
+    let i = rng.index(events.len());
+    let shift = rng.range_u64(1, MAX_DELAY_SHIFT) as u32;
+    let at = &mut events[i].at_ms;
+    if rng.chance(0.5) {
+        *at = at.saturating_add(shift).min(run_ms.saturating_sub(1));
+    } else {
+        *at = at.saturating_sub(shift);
+    }
+    format!("delay:{i}:{shift}")
+}
+
+/// Site-mix crossover: the mutant keeps a prefix of its own events and
+/// splices in a suffix of a partner schedule's, merging the partner's
+/// resources and document mode — two attack sites sharing one page.
+fn crossover(base: &mut Schedule, partner: &Schedule, rng: &mut SimRng) -> String {
+    let keep = if base.events.is_empty() {
+        0
+    } else {
+        rng.index(base.events.len() + 1)
+    };
+    let take = if partner.events.is_empty() {
+        0
+    } else {
+        rng.index(partner.events.len() + 1)
+    };
+    base.events.truncate(keep);
+    let start = partner.events.len() - take;
+    base.events.extend(partner.events[start..].iter().cloned());
+    base.events.truncate(MAX_EVENTS);
+    for r in &partner.resources {
+        if !base.resources.iter().any(|mine| mine.url == r.url) {
+            base.resources.push(r.clone());
+        }
+    }
+    base.private_mode = base.private_mode || partner.private_mode;
+    base.run_ms = base.run_ms.max(partner.run_ms);
+    format!("crossover:{}:{keep}+{take}", partner.name)
+}
+
+/// Derives one mutant from `parent`. The corpus supplies crossover
+/// partners; `label` names the mutant (round/slot provenance, kept in the
+/// report so findings are attributable). Returns the mutant and a
+/// human-readable description of the applied edit.
+#[must_use]
+pub fn mutate(
+    parent: &Schedule,
+    corpus: &[Schedule],
+    rng: &mut SimRng,
+    label: &str,
+) -> (Schedule, String) {
+    let mut out = parent.clone();
+    out.name = format!("{}~{label}", parent.name);
+    let desc = match rng.index(5) {
+        0 => swap(&mut out.events, rng),
+        1 => dup(&mut out.events, rng),
+        2 => drop_one(&mut out.events, rng),
+        3 => delay(&mut out.events, rng, out.run_ms),
+        _ => {
+            let partner = &corpus[rng.index(corpus.len())];
+            crossover(&mut out, partner, rng)
+        }
+    };
+    (out, desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_workloads::schedule::seed_schedules;
+
+    #[test]
+    fn mutation_is_deterministic_in_the_rng_seed() {
+        let seeds = seed_schedules();
+        for k in 0..20 {
+            let mut a = SimRng::new(42).fork(&format!("m{k}"));
+            let mut b = SimRng::new(42).fork(&format!("m{k}"));
+            let (ma, da) = mutate(&seeds[0], &seeds, &mut a, "t");
+            let (mb, db) = mutate(&seeds[0], &seeds, &mut b, "t");
+            assert_eq!(ma, mb);
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn mutants_never_exceed_the_event_cap() {
+        let seeds = seed_schedules();
+        let mut current = seeds[7].clone(); // CVE-2013-6646: 4 events
+        let mut rng = SimRng::new(7);
+        for i in 0..200 {
+            let (next, _) = mutate(&current, &seeds, &mut rng, &i.to_string());
+            assert!(next.events.len() <= MAX_EVENTS);
+            current = next;
+            current.name = "chain".into(); // keep names from growing unboundedly
+        }
+    }
+
+    #[test]
+    fn crossover_merges_resources_and_mode() {
+        let seeds = seed_schedules();
+        let idb = seeds.iter().find(|s| s.name == "CVE-2017-7843").unwrap();
+        let fetchy = seeds.iter().find(|s| s.name == "CVE-2018-5092").unwrap();
+        let mut base = idb.clone();
+        let mut rng = SimRng::new(1);
+        let desc = crossover(&mut base, fetchy, &mut rng);
+        assert!(desc.starts_with("crossover:CVE-2018-5092"));
+        assert!(base.private_mode, "private mode survives the mix");
+        assert_eq!(base.run_ms, base.run_ms.max(fetchy.run_ms));
+    }
+}

@@ -1,0 +1,97 @@
+//! Regression tests over the committed fuzz findings.
+//!
+//! Each file under `fuzz_corpus/` is a minimized reproducer the fuzzer
+//! discovered (provenance in the name: `parent~r<round>s<slot>`). The
+//! named tests pin the first findings ever committed; the sweep test keeps
+//! every future corpus entry honest too. The contract per entry: the raw
+//! browser still races, the hardened kernel still does not.
+
+use jsk_browser::mediator::LegacyMediator;
+use jsk_core::{JsKernel, KernelConfig};
+use jsk_fuzz::{evaluate, BROWSER_SEED};
+use jsk_workloads::schedule::{run_schedule, Schedule};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz_corpus")
+}
+
+fn load(file: &str) -> Schedule {
+    let path = corpus_dir().join(file);
+    let json =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Schedule::from_json(&json).expect("corpus entry parses")
+}
+
+fn assert_reproduces(schedule: &Schedule) {
+    let raw = run_schedule(schedule, Box::new(LegacyMediator), BROWSER_SEED);
+    let raw_races = jsk_analyze::report::analyze(raw.trace()).races.len();
+    assert!(
+        raw_races > 0,
+        "{}: minimized reproducer no longer races raw",
+        schedule.name
+    );
+    let kernel = run_schedule(
+        schedule,
+        Box::new(JsKernel::new(KernelConfig::hardened())),
+        BROWSER_SEED,
+    );
+    let kernel_races = jsk_analyze::report::analyze(kernel.trace()).races.len();
+    assert_eq!(
+        kernel_races, 0,
+        "{}: the kernel must keep defeating this reproducer",
+        schedule.name
+    );
+}
+
+// The first four findings the fuzzer minimized (seed 1, 200 iterations):
+// worker-lifecycle races between a 1 ms ticker worker and navigation, and
+// fetch-vs-close races from the CVE-2018-5092 lineage, each reduced to
+// two events.
+
+#[test]
+fn ticker_worker_races_navigation() {
+    assert_reproduces(&load("CVE-2014-3194_r0s1.json"));
+}
+
+#[test]
+fn delayed_ticker_worker_still_races_navigation() {
+    assert_reproduces(&load("CVE-2014-3194_r0s1_r2s6.json"));
+}
+
+#[test]
+fn fetch_races_document_close() {
+    assert_reproduces(&load("CVE-2018-5092_r0s13.json"));
+}
+
+#[test]
+fn duplicated_fetch_races_document_close() {
+    assert_reproduces(&load("CVE-2018-5092_r0s13_r8s7.json"));
+}
+
+#[test]
+fn every_committed_corpus_entry_reproduces_and_roundtrips() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("fuzz_corpus/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        seen += 1;
+        let json = std::fs::read_to_string(&path).expect("readable corpus entry");
+        let schedule =
+            Schedule::from_json(&json).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            Schedule::from_json(&schedule.to_json()).expect("roundtrip"),
+            schedule,
+            "{}: JSON roundtrip must be lossless",
+            path.display()
+        );
+        assert_reproduces(&schedule);
+        // The fingerprint is pure, so committed entries stay evaluable by
+        // future fuzz runs as corpus imports.
+        let eval = evaluate(&schedule);
+        assert!(!eval.features.is_empty(), "{}", path.display());
+    }
+    assert!(seen >= 4, "expected the committed findings, saw {seen}");
+}

@@ -4,12 +4,14 @@
 //! Alexa-like site profiles ([`site`]), the Raptor tp6 loading test
 //! ([`raptor`]), a Dromaeo-like micro benchmark suite ([`dromaeo`]), the
 //! 16-worker creation benchmark ([`workerbench`]), and the DOM-similarity
-//! compatibility methodology ([`compat`]).
+//! compatibility methodology ([`compat`]); plus the serializable event
+//! [`schedule`]s the fuzzer mutates.
 
 pub mod codepen;
 pub mod compat;
 pub mod dromaeo;
 pub mod raptor;
+pub mod schedule;
 pub mod site;
 pub mod workerbench;
 

@@ -1,0 +1,852 @@
+//! Declarative event schedules: a serializable program over the browser's
+//! concurrency API, small enough to mutate mechanically.
+//!
+//! A [`Schedule`] is a list of timestamped [`ScheduleOp`]s plus the
+//! resources and document mode the run needs. The vocabulary covers the
+//! triggering sequences of every Table I corpus program — worker lifecycle,
+//! message handlers, transfers, fetches, navigation/close, IndexedDB — plus
+//! the two attack-family probes (Loophole self-post floods and Hacky Racers
+//! ILP counter reads), so the fuzzer can reach each known bug class by
+//! recombining ops rather than by writing Rust.
+//!
+//! Running a schedule is deterministic: the same schedule, mediator, and
+//! seed always produce the same trace. [`seed_schedules`] ships one
+//! schedule per corpus program (thirteen) plus one per attack family, each
+//! mirroring the hand-written exploit closely enough that the raw scanner
+//! flags the same signature.
+
+use jsk_browser::browser::{Browser, BrowserConfig};
+use jsk_browser::ids::{BufferId, WorkerId};
+use jsk_browser::mediator::Mediator;
+use jsk_browser::net::ResourceSpec;
+use jsk_browser::profile::BrowserProfile;
+use jsk_browser::scope::JsScope;
+use jsk_browser::task::{cb, worker_script, WorkerScript};
+use jsk_browser::value::JsValue;
+use jsk_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A network resource the schedule's fetches / imports resolve against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceDecl {
+    /// Absolute URL the browser's resource table is keyed by.
+    pub url: String,
+    /// Body size; ignored when `missing`.
+    pub size_bytes: u64,
+    /// Whether loads of this resource fail (404-style).
+    pub missing: bool,
+}
+
+/// The top-level body a scheduled worker runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WorkerKind {
+    /// No top-level code.
+    Idle,
+    /// Posts one `"hello"` message at startup (CVE-2014-1719's trigger).
+    Echo,
+    /// `setInterval(() => postMessage(1), interval_ms)` — the Listing 1
+    /// ticker and the CVE-2014-3194 flood.
+    Ticker {
+        /// Interval between posts.
+        interval_ms: u32,
+    },
+    /// Posts `burst` messages per tick (CVE-2013-6646's queue-filler).
+    Flood {
+        /// Interval between bursts.
+        interval_ms: u32,
+        /// Messages per burst.
+        burst: u32,
+    },
+    /// `setInterval(() => fetch(url, {signal}), interval_ms)` — the
+    /// CVE-2018-5092 Listing 2 loop.
+    FetchLoop {
+        /// Fetched URL.
+        url: String,
+        /// Interval between fetches.
+        interval_ms: u32,
+    },
+    /// `importScripts(url)` with an `onerror` that records the message
+    /// (CVE-2015-7215).
+    ImportMissing {
+        /// Imported (missing, cross-origin) URL.
+        url: String,
+    },
+    /// A cross-origin `XMLHttpRequest` from worker context
+    /// (CVE-2013-1714 / CVE-2011-1190).
+    CrossOriginXhr {
+        /// Request URL.
+        url: String,
+    },
+    /// Creates a buffer and transfers it to the owner (CVE-2014-1488).
+    TransferOut {
+        /// Buffer size in bytes.
+        bytes: u32,
+    },
+    /// `setTimeout(() => close(), after_ms)` — self-close inside the
+    /// CVE-2013-5602 teardown window.
+    SelfClose {
+        /// Delay before `self.close()`.
+        after_ms: u32,
+    },
+}
+
+/// One timestamped operation on the main document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScheduleOp {
+    /// `new Worker(src)` running `kind`; `sandboxed` wraps the creation in
+    /// a sandboxed frame (CVE-2011-1190's origin-inheritance setup).
+    CreateWorker {
+        /// Worker script URL (matters when it names a missing resource —
+        /// CVE-2014-1487).
+        src: String,
+        /// Worker body.
+        kind: WorkerKind,
+        /// Create from inside a sandboxed frame.
+        sandboxed: bool,
+    },
+    /// Terminates the most recently created worker.
+    TerminateWorker,
+    /// `worker.onmessage` that counts deliveries (feeds [`ScheduleOp::SvgFilterProbe`]).
+    ArmCountingHandler,
+    /// `worker.onmessage` that terminates the sender mid-dispatch
+    /// (CVE-2014-1719).
+    ArmTerminateOnMessage,
+    /// `worker.onmessage` that terminates the sender, then touches the
+    /// buffer it transferred (CVE-2014-1488).
+    ArmReadTransferOnMessage,
+    /// `worker.onerror` that records the error message (CVE-2014-1487).
+    ArmErrorLeakHandler,
+    /// Re-assigns `worker.onmessage` `count` times, `step_ms` apart,
+    /// spraying the closing window (CVE-2013-5602).
+    SprayHandlers {
+        /// Number of assignment attempts.
+        count: u32,
+        /// Gap between attempts.
+        step_ms: u32,
+    },
+    /// A plain main-thread `fetch(url)` whose completion records a marker
+    /// (CVE-2010-4576's stale callback).
+    Fetch {
+        /// Fetched URL.
+        url: String,
+    },
+    /// `location = …` — navigate the main document away.
+    Navigate,
+    /// `window.close()`.
+    CloseDocument,
+    /// `indexedDB.open(name, {durable: true})` (CVE-2017-7843 when the
+    /// schedule runs in private mode).
+    IdbOpenPersist {
+        /// Database name.
+        name: String,
+    },
+    /// Blocks the main thread for `ms` of compute (CVE-2013-6646's
+    /// queue-builder).
+    Compute {
+        /// Busy time in milliseconds.
+        ms: u32,
+    },
+    /// `count` self-posted tasks, `interval_ms` apart: the Loophole
+    /// shared-event-loop contention monitor.
+    SelfPostFlood {
+        /// Number of self-posts.
+        count: u32,
+        /// Gap between posts.
+        interval_ms: u32,
+    },
+    /// `count` ILP racing-counter reads, `interval_ms` apart: the Hacky
+    /// Racers stealthy ticker.
+    IlpProbe {
+        /// Number of counter reads.
+        count: u32,
+        /// Gap between reads.
+        interval_ms: u32,
+        /// Parallel increment chains per read.
+        chains: u32,
+    },
+    /// Brackets a secret-dependent SVG filter between animation frames and
+    /// records the ticker count observed across it (Listing 1's measure
+    /// step; needs a prior [`ScheduleOp::ArmCountingHandler`]).
+    SvgFilterProbe {
+        /// Filtered pixel count (the secret-dependent work).
+        pixels: u64,
+    },
+}
+
+/// One event: `op` applied at `at_ms` on the main thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleEvent {
+    /// Virtual milliseconds after boot.
+    pub at_ms: u32,
+    /// What happens.
+    pub op: ScheduleOp,
+}
+
+/// A complete, serializable browser run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Corpus name ("CVE-2018-5092", "listing-1", "attack-loophole", …).
+    pub name: String,
+    /// Run the document in private-browsing mode.
+    pub private_mode: bool,
+    /// Virtual run length after boot.
+    pub run_ms: u32,
+    /// Resources registered before boot.
+    pub resources: Vec<ResourceDecl>,
+    /// The event list. Order matters for events sharing an `at_ms`.
+    pub events: Vec<ScheduleEvent>,
+}
+
+impl Schedule {
+    /// Serializes to the on-disk corpus-entry JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedule is serializable")
+    }
+
+    /// Parses a corpus-entry JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error when `body` is not a schedule.
+    pub fn from_json(body: &str) -> Result<Schedule, serde_json::Error> {
+        serde_json::from_str(body)
+    }
+}
+
+/// Mutable cross-callback state for one schedule run.
+#[derive(Default)]
+struct RunState {
+    workers: Vec<WorkerId>,
+    msg_count: u64,
+}
+
+impl RunState {
+    fn last_worker(&self) -> Option<WorkerId> {
+        self.workers.last().copied()
+    }
+}
+
+fn script_for(kind: &WorkerKind) -> WorkerScript {
+    match kind.clone() {
+        WorkerKind::Idle => worker_script(|_| {}),
+        WorkerKind::Echo => worker_script(|scope| {
+            scope.post_message(JsValue::from("hello"));
+        }),
+        WorkerKind::Ticker { interval_ms } => worker_script(move |scope| {
+            scope.set_interval(
+                f64::from(interval_ms.max(1)),
+                cb(|scope, _| {
+                    scope.post_message(JsValue::from(1.0));
+                }),
+            );
+        }),
+        WorkerKind::Flood { interval_ms, burst } => worker_script(move |scope| {
+            scope.set_interval(
+                f64::from(interval_ms.max(1)),
+                cb(move |scope, _| {
+                    for i in 0..burst.max(1) {
+                        scope.post_message(JsValue::from(f64::from(i)));
+                    }
+                }),
+            );
+        }),
+        WorkerKind::FetchLoop { url, interval_ms } => worker_script(move |scope| {
+            let url = url.clone();
+            scope.set_interval(
+                f64::from(interval_ms.max(1)),
+                cb(move |scope, _| {
+                    let sig = scope.new_abort_controller();
+                    scope.fetch(url.clone(), Some(sig), cb(|_, _| {}));
+                }),
+            );
+        }),
+        WorkerKind::ImportMissing { url } => worker_script(move |scope| {
+            scope.set_onerror(cb(|scope, msg| {
+                scope.record("leak", msg);
+            }));
+            let _ = scope.import_scripts(url.clone());
+        }),
+        WorkerKind::CrossOriginXhr { url } => worker_script(move |scope| {
+            scope.xhr_send(
+                url.clone(),
+                cb(|scope, v| {
+                    scope.record("xhr_ok", v.get("ok").cloned().unwrap_or_default());
+                }),
+            );
+        }),
+        WorkerKind::TransferOut { bytes } => worker_script(move |scope| {
+            let buf = scope.create_buffer(bytes.max(1) as usize);
+            scope.post_message_transfer(JsValue::from(buf.index()), vec![buf]);
+        }),
+        WorkerKind::SelfClose { after_ms } => worker_script(move |scope| {
+            scope.set_timeout(f64::from(after_ms), cb(|scope, _| scope.close()));
+        }),
+    }
+}
+
+/// Applies one op at its scheduled instant. Ops referencing "the worker"
+/// use the most recently created one and degrade to no-ops when a mutation
+/// removed the creation — fuzzed schedules must never panic the runner.
+fn apply(op: &ScheduleOp, scope: &mut JsScope<'_>, st: &Rc<RefCell<RunState>>) {
+    match op {
+        ScheduleOp::CreateWorker {
+            src,
+            kind,
+            sandboxed,
+        } => {
+            let script = script_for(kind);
+            let src = src.clone();
+            let w = if *sandboxed {
+                let mut made = None;
+                scope.run_sandboxed(|scope| {
+                    made = Some(scope.create_worker(src, script));
+                });
+                made.expect("sandboxed closure runs synchronously")
+            } else {
+                scope.create_worker(src, script)
+            };
+            st.borrow_mut().workers.push(w);
+        }
+        ScheduleOp::TerminateWorker => {
+            if let Some(w) = st.borrow().last_worker() {
+                scope.terminate_worker(w);
+            }
+        }
+        ScheduleOp::ArmCountingHandler => {
+            if let Some(w) = st.borrow().last_worker() {
+                let st = st.clone();
+                scope.set_worker_onmessage(
+                    w,
+                    cb(move |_, _| {
+                        st.borrow_mut().msg_count += 1;
+                    }),
+                );
+            }
+        }
+        ScheduleOp::ArmTerminateOnMessage => {
+            if let Some(w) = st.borrow().last_worker() {
+                scope.set_worker_onmessage(
+                    w,
+                    cb(move |scope, _| {
+                        scope.terminate_worker(w);
+                    }),
+                );
+            }
+        }
+        ScheduleOp::ArmReadTransferOnMessage => {
+            if let Some(w) = st.borrow().last_worker() {
+                scope.set_worker_onmessage(
+                    w,
+                    cb(move |scope, v| {
+                        let buf = BufferId::new(v.as_f64().unwrap_or_default() as u64);
+                        scope.terminate_worker(w);
+                        let ok = scope.read_buffer(buf);
+                        scope.record("buffer_alive", JsValue::from(ok));
+                    }),
+                );
+            }
+        }
+        ScheduleOp::ArmErrorLeakHandler => {
+            if let Some(w) = st.borrow().last_worker() {
+                scope.set_worker_onerror(
+                    w,
+                    cb(|scope, msg| {
+                        scope.record("leak", msg);
+                    }),
+                );
+            }
+        }
+        ScheduleOp::SprayHandlers { count, step_ms } => {
+            if let Some(w) = st.borrow().last_worker() {
+                let step = (*step_ms).max(1);
+                for i in 0..*count {
+                    scope.set_timeout(
+                        f64::from(i * step),
+                        cb(move |scope, _| {
+                            if scope.worker_alive(w) {
+                                scope.set_worker_onmessage(w, cb(|_, _| {}));
+                            }
+                        }),
+                    );
+                }
+            }
+        }
+        ScheduleOp::Fetch { url } => {
+            scope.fetch(
+                url.clone(),
+                None,
+                cb(|scope, _| {
+                    scope.record("stale_callback_ran", JsValue::from(true));
+                }),
+            );
+        }
+        ScheduleOp::Navigate => scope.navigate(),
+        ScheduleOp::CloseDocument => scope.close(),
+        ScheduleOp::IdbOpenPersist { name } => {
+            let ok = scope.idb_open(name.clone(), true);
+            scope.record("opened", JsValue::from(ok));
+        }
+        ScheduleOp::Compute { ms } => {
+            scope.compute(SimDuration::from_millis(u64::from(*ms)));
+        }
+        ScheduleOp::SelfPostFlood { count, interval_ms } => {
+            let step = (*interval_ms).max(1);
+            for i in 0..*count {
+                scope.set_timeout(
+                    f64::from(i * step),
+                    cb(|scope, _| {
+                        scope.post_task(cb(|_, _| {}));
+                    }),
+                );
+            }
+        }
+        ScheduleOp::IlpProbe {
+            count,
+            interval_ms,
+            chains,
+        } => {
+            let chains = *chains;
+            let step = (*interval_ms).max(1);
+            for i in 0..*count {
+                scope.set_timeout(
+                    f64::from(i * step),
+                    cb(move |scope, _| {
+                        let sample = scope.ilp_counter_read(chains);
+                        scope.record("ilp_sample", JsValue::from(sample));
+                    }),
+                );
+            }
+        }
+        ScheduleOp::SvgFilterProbe { pixels } => {
+            let px = *pixels;
+            let st = st.clone();
+            scope.request_animation_frame(cb(move |scope, _| {
+                let before = st.borrow().msg_count;
+                scope.apply_svg_filter(px);
+                let st = st.clone();
+                scope.request_animation_frame(cb(move |scope, _| {
+                    let ticks = st.borrow().msg_count - before;
+                    scope.record("ticks", JsValue::from(ticks as f64));
+                }));
+            }));
+        }
+    }
+}
+
+/// Runs `schedule` inside an existing browser: registers its resources,
+/// boots the event list, and advances `run_ms` of virtual time.
+pub fn run_schedule_in(browser: &mut Browser, schedule: &Schedule) {
+    for r in &schedule.resources {
+        let spec = if r.missing {
+            ResourceSpec::missing()
+        } else {
+            ResourceSpec::of_size(r.size_bytes)
+        };
+        browser.register_resource(&r.url, spec);
+    }
+    let events = schedule.events.clone();
+    let st = Rc::new(RefCell::new(RunState::default()));
+    browser.boot(move |scope| {
+        for ev in &events {
+            if ev.at_ms == 0 {
+                apply(&ev.op, scope, &st);
+            } else {
+                let st = st.clone();
+                let op = ev.op.clone();
+                scope.set_timeout(
+                    f64::from(ev.at_ms),
+                    cb(move |scope, _| apply(&op, scope, &st)),
+                );
+            }
+        }
+    });
+    browser.run_for(SimDuration::from_millis(u64::from(schedule.run_ms.max(1))));
+}
+
+/// Builds a browser for `schedule` under `mediator` and runs it to the end
+/// of its window. The returned browser holds the trace.
+#[must_use]
+pub fn run_schedule(schedule: &Schedule, mediator: Box<dyn Mediator>, seed: u64) -> Browser {
+    let mut cfg = BrowserConfig::new(BrowserProfile::chrome(), seed);
+    cfg.private_mode = schedule.private_mode;
+    let mut browser = Browser::new(cfg, mediator);
+    run_schedule_in(&mut browser, schedule);
+    browser
+}
+
+fn ev(at_ms: u32, op: ScheduleOp) -> ScheduleEvent {
+    ScheduleEvent { at_ms, op }
+}
+
+fn plain(name: &str, run_ms: u32, events: Vec<ScheduleEvent>) -> Schedule {
+    Schedule {
+        name: name.to_owned(),
+        private_mode: false,
+        run_ms,
+        resources: Vec::new(),
+        events,
+    }
+}
+
+/// The seed corpus: one schedule per Table I program (thirteen, in corpus
+/// order) plus one per attack family. Each mirrors the hand-written
+/// exploit's triggering sequence.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn seed_schedules() -> Vec<Schedule> {
+    let mut out = Vec::new();
+
+    let mut s = plain(
+        "CVE-2018-5092",
+        300,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::FetchLoop {
+                        url: "https://attacker.example/fetchedfile0.html".into(),
+                        interval_ms: 32,
+                    },
+                    sandboxed: false,
+                },
+            ),
+            ev(60, ScheduleOp::CloseDocument),
+        ],
+    );
+    s.resources.push(ResourceDecl {
+        url: "https://attacker.example/fetchedfile0.html".into(),
+        size_bytes: 6 << 20,
+        missing: false,
+    });
+    out.push(s);
+
+    let mut s = plain(
+        "CVE-2017-7843",
+        50,
+        vec![ev(
+            0,
+            ScheduleOp::IdbOpenPersist {
+                name: "tracker".into(),
+            },
+        )],
+    );
+    s.private_mode = true;
+    out.push(s);
+
+    let mut s = plain(
+        "CVE-2015-7215",
+        100,
+        vec![ev(
+            0,
+            ScheduleOp::CreateWorker {
+                src: "worker.js".into(),
+                kind: WorkerKind::ImportMissing {
+                    url: "https://victim.example/config.js".into(),
+                },
+                sandboxed: false,
+            },
+        )],
+    );
+    s.resources.push(ResourceDecl {
+        url: "https://victim.example/config.js".into(),
+        size_bytes: 0,
+        missing: true,
+    });
+    out.push(s);
+
+    out.push(plain(
+        "CVE-2014-3194",
+        200,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::Ticker { interval_ms: 1 },
+                    sandboxed: false,
+                },
+            ),
+            ev(0, ScheduleOp::ArmCountingHandler),
+            ev(40, ScheduleOp::Navigate),
+        ],
+    ));
+
+    out.push(plain(
+        "CVE-2014-1719",
+        100,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::Echo,
+                    sandboxed: false,
+                },
+            ),
+            ev(0, ScheduleOp::ArmTerminateOnMessage),
+        ],
+    ));
+
+    out.push(plain(
+        "CVE-2014-1488",
+        100,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::TransferOut { bytes: 1 << 20 },
+                    sandboxed: false,
+                },
+            ),
+            ev(0, ScheduleOp::ArmReadTransferOnMessage),
+        ],
+    ));
+
+    let mut s = plain(
+        "CVE-2014-1487",
+        100,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "https://victim.example/w.js".into(),
+                    kind: WorkerKind::Idle,
+                    sandboxed: false,
+                },
+            ),
+            ev(0, ScheduleOp::ArmErrorLeakHandler),
+        ],
+    );
+    s.resources.push(ResourceDecl {
+        url: "https://victim.example/w.js".into(),
+        size_bytes: 0,
+        missing: true,
+    });
+    out.push(s);
+
+    out.push(plain(
+        "CVE-2013-6646",
+        200,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::Flood {
+                        interval_ms: 1,
+                        burst: 4,
+                    },
+                    sandboxed: false,
+                },
+            ),
+            ev(0, ScheduleOp::ArmCountingHandler),
+            ev(30, ScheduleOp::Compute { ms: 25 }),
+            ev(40, ScheduleOp::CloseDocument),
+        ],
+    ));
+
+    out.push(plain(
+        "CVE-2013-5602",
+        200,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::SelfClose { after_ms: 10 },
+                    sandboxed: false,
+                },
+            ),
+            ev(
+                6,
+                ScheduleOp::SprayHandlers {
+                    count: 30,
+                    step_ms: 2,
+                },
+            ),
+        ],
+    ));
+
+    out.push(plain(
+        "CVE-2013-1714",
+        100,
+        vec![ev(
+            0,
+            ScheduleOp::CreateWorker {
+                src: "worker.js".into(),
+                kind: WorkerKind::CrossOriginXhr {
+                    url: "https://victim.example/api/session".into(),
+                },
+                sandboxed: false,
+            },
+        )],
+    ));
+
+    out.push(plain(
+        "CVE-2011-1190",
+        100,
+        vec![ev(
+            0,
+            ScheduleOp::CreateWorker {
+                src: "worker.js".into(),
+                kind: WorkerKind::CrossOriginXhr {
+                    url: "https://attacker.example/private".into(),
+                },
+                sandboxed: true,
+            },
+        )],
+    ));
+
+    // The 4 MB fetch takes ~3.5 s of virtual time at the ADSL profile; the
+    // window must cover the transfer or the stale completion never lands.
+    let mut s = plain(
+        "CVE-2010-4576",
+        5000,
+        vec![
+            ev(
+                0,
+                ScheduleOp::Fetch {
+                    url: "https://attacker.example/slow.bin".into(),
+                },
+            ),
+            ev(30, ScheduleOp::Navigate),
+        ],
+    );
+    s.resources.push(ResourceDecl {
+        url: "https://attacker.example/slow.bin".into(),
+        size_bytes: 4 << 20,
+        missing: false,
+    });
+    out.push(s);
+
+    out.push(plain(
+        "listing-1",
+        400,
+        vec![
+            ev(
+                0,
+                ScheduleOp::CreateWorker {
+                    src: "worker.js".into(),
+                    kind: WorkerKind::Ticker { interval_ms: 1 },
+                    sandboxed: false,
+                },
+            ),
+            ev(0, ScheduleOp::ArmCountingHandler),
+            ev(
+                60,
+                ScheduleOp::SvgFilterProbe {
+                    pixels: 2048 * 2048,
+                },
+            ),
+        ],
+    ));
+
+    out.push(plain(
+        "attack-loophole",
+        200,
+        vec![ev(
+            0,
+            ScheduleOp::SelfPostFlood {
+                count: 40,
+                interval_ms: 1,
+            },
+        )],
+    ));
+
+    out.push(plain(
+        "attack-hacky-racers",
+        200,
+        vec![ev(
+            0,
+            ScheduleOp::IlpProbe {
+                count: 30,
+                interval_ms: 2,
+                chains: 8,
+            },
+        )],
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::mediator::LegacyMediator;
+
+    #[test]
+    fn seed_corpus_covers_every_program_and_both_families() {
+        let seeds = seed_schedules();
+        assert_eq!(seeds.len(), 15);
+        let names: Vec<&str> = seeds.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"CVE-2018-5092"));
+        assert!(names.contains(&"listing-1"));
+        assert!(names.contains(&"attack-loophole"));
+        assert!(names.contains(&"attack-hacky-racers"));
+    }
+
+    #[test]
+    fn schedules_round_trip_through_json() {
+        for s in seed_schedules() {
+            let json = s.to_json();
+            let back = Schedule::from_json(&json).expect("parses back");
+            assert_eq!(back, s, "{} must round-trip", s.name);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        for s in seed_schedules() {
+            let a = run_schedule(&s, Box::new(LegacyMediator), 7);
+            let b = run_schedule(&s, Box::new(LegacyMediator), 7);
+            assert_eq!(
+                a.trace().entries().len(),
+                b.trace().entries().len(),
+                "{}",
+                s.name
+            );
+            assert_eq!(a.trace(), b.trace(), "{} must replay identically", s.name);
+        }
+    }
+
+    #[test]
+    fn ops_referencing_a_missing_worker_are_tolerated() {
+        // A mutated schedule may drop the CreateWorker: every worker-directed
+        // op must degrade to a no-op instead of panicking.
+        let s = plain(
+            "orphan-ops",
+            50,
+            vec![
+                ev(0, ScheduleOp::TerminateWorker),
+                ev(0, ScheduleOp::ArmCountingHandler),
+                ev(0, ScheduleOp::ArmTerminateOnMessage),
+                ev(0, ScheduleOp::ArmReadTransferOnMessage),
+                ev(0, ScheduleOp::ArmErrorLeakHandler),
+                ev(
+                    0,
+                    ScheduleOp::SprayHandlers {
+                        count: 3,
+                        step_ms: 1,
+                    },
+                ),
+            ],
+        );
+        let b = run_schedule(&s, Box::new(LegacyMediator), 1);
+        let has_worker = b.trace().entries().iter().any(|e| {
+            matches!(
+                e.item,
+                jsk_browser::trace::TraceItem::Api(
+                    jsk_browser::trace::ApiCall::CreateWorker { .. }
+                )
+            )
+        });
+        assert!(!has_worker, "no worker should exist in an orphan-op run");
+    }
+}

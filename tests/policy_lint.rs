@@ -32,9 +32,20 @@ fn load_all() -> Vec<(String, PolicySpec)> {
 }
 
 #[test]
-fn all_thirteen_policy_files_parse() {
+fn all_committed_policy_files_parse() {
     let policies = load_all();
-    assert_eq!(policies.len(), 13, "expected 13 committed policy files");
+    // The paper's 13 (Listing 3 + the twelve per-CVE policies of
+    // Listing 4) plus the two post-paper attack-family policies layered
+    // by `KernelConfig::hardened()`.
+    assert_eq!(policies.len(), 15, "expected 15 committed policy files");
+    assert_eq!(
+        policies
+            .iter()
+            .filter(|(name, _)| name.starts_with("policy_attack-"))
+            .count(),
+        2,
+        "expected the two attack-family policies"
+    );
     // File name and embedded policy name agree.
     for (file, spec) in &policies {
         assert_eq!(file, &format!("{}.json", spec.name), "{file}");
@@ -87,6 +98,15 @@ fn full_kernel_policy_set_has_no_error_lints() {
         .iter()
         .any(|l| matches!(l.kind, LintKind::RedundantAcrossPolicies { .. })));
     assert!(lints.iter().all(|l| l.level == LintLevel::Warning));
+}
+
+#[test]
+fn hardened_kernel_policy_set_has_no_error_lints() {
+    let cfg = KernelConfig::hardened();
+    assert_eq!(cfg.policies.len(), KernelConfig::full().policies.len() + 2);
+    let lints = lint_policy_set(&cfg.policies, Some(cfg.watchdog_hold));
+    let errs = errors(&lints);
+    assert!(errs.is_empty(), "{errs:#?}");
 }
 
 #[test]
