@@ -26,7 +26,7 @@
 
 use jsk_browser::ids::ThreadId;
 use jsk_browser::trace::{
-    AccessKind, AccessRecord, AccessTarget, Interner, NodeRecord, Sym, Trace,
+    AccessKind, AccessRecord, AccessTarget, EdgeKind, Interner, NodeRecord, Sym, Trace,
 };
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -52,6 +52,18 @@ impl HbGraph {
     /// [`HbEdge`](jsk_browser::trace::HbEdge) announcements.
     #[must_use]
     pub fn from_trace(trace: &Trace) -> HbGraph {
+        HbGraph::from_trace_filtered(trace, |_| true)
+    }
+
+    /// Like [`HbGraph::from_trace`], but keeps only the explicit edges whose
+    /// [`EdgeKind`] passes `keep`. Fork edges (task provenance on the
+    /// [`NodeRecord`]) always stay: a task cannot run before the task that
+    /// registered it, whatever the scheduler does. The predictive pass uses
+    /// this to drop `DispatchChain` edges — the serialized dispatcher's
+    /// arbitrary ordering choice — and ask what the *semantic* order alone
+    /// still rules out.
+    #[must_use]
+    pub fn from_trace_filtered(trace: &Trace, keep: impl Fn(EdgeKind) -> bool) -> HbGraph {
         let n = trace
             .nodes()
             .map(|(_, rec)| rec.node as usize + 1)
@@ -82,7 +94,7 @@ impl HbGraph {
             // Node ids are a topological order; a backward or self edge can
             // only come from a corrupted trace, so it is dropped rather than
             // allowed to poison reachability.
-            if edge.from < edge.to && (edge.to as usize) < n {
+            if keep(edge.kind) && edge.from < edge.to && (edge.to as usize) < n {
                 preds[edge.to as usize].push(edge.from);
             }
         }
@@ -484,5 +496,98 @@ mod tests {
         let g = HbGraph::from_trace(&t);
         assert!(!g.happens_before(1, 0));
         assert!(g.happens_before(0, 1));
+    }
+
+    /// Node ids with holes: id 5 was never recorded, so `labels[5]` is
+    /// `None`. The graph, the detector, and every accessor must treat the
+    /// gap as an anonymous unordered node, not panic or mis-index.
+    #[test]
+    fn gap_node_ids_degrade_to_anonymous_nodes() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "boot");
+        node(&mut t, 2, 0, Some(0), "a");
+        node(&mut t, 7, 1, Some(0), "b");
+        access(&mut t, 2, 0, sab(1), AccessKind::Write);
+        access(&mut t, 7, 1, sab(1), AccessKind::Write);
+        let g = HbGraph::from_trace(&t);
+        assert_eq!(g.node_count(), 8, "sized by max id, gaps included");
+        assert_eq!(g.label(5), "", "gap ids resolve to the empty label");
+        assert!(
+            !g.ordered(2, 5),
+            "gap nodes are unordered w.r.t. everything"
+        );
+        let races = detect_races(&t, &g);
+        assert_eq!(races.len(), 1);
+        assert_eq!((races[0].first.node, races[0].second.node), (2, 7));
+    }
+
+    /// A forkless trace — every node a root — must analyze cleanly: the
+    /// witness has no common ancestor and each chain is just the access
+    /// node itself.
+    #[test]
+    fn forkless_root_only_trace_races_without_ancestry() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "main");
+        node(&mut t, 1, 1, None, "worker");
+        access(&mut t, 0, 0, sab(4), AccessKind::Write);
+        access(&mut t, 1, 1, sab(4), AccessKind::Write);
+        let g = HbGraph::from_trace(&t);
+        assert_eq!(g.fork_chain(0), vec![0]);
+        let races = detect_races(&t, &g);
+        assert_eq!(races.len(), 1);
+        let w = &races[0].witness;
+        assert_eq!(w.common_ancestor, None);
+        assert_eq!(w.first_chain, vec![0], "whole chain when there is no LCA");
+        assert_eq!(w.second_chain, vec![1]);
+        assert_eq!(races[0].first.stack, vec!["main#0"]);
+    }
+
+    /// Two disjoint fork trees: the racing pair shares no fork ancestor at
+    /// all. The witness must degrade to `common_ancestor: None` with the
+    /// full chains, not panic in the LCA walk.
+    #[test]
+    fn race_without_common_fork_ancestor_degrades_gracefully() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "page-a");
+        node(&mut t, 1, 1, None, "page-b");
+        node(&mut t, 2, 0, Some(0), "a-child");
+        node(&mut t, 3, 1, Some(1), "b-child");
+        access(&mut t, 2, 0, sab(8), AccessKind::Write);
+        access(&mut t, 3, 1, sab(8), AccessKind::Read);
+        let g = HbGraph::from_trace(&t);
+        assert_eq!(g.common_fork_ancestor(2, 3), None);
+        let races = detect_races(&t, &g);
+        assert_eq!(races.len(), 1);
+        let w = &races[0].witness;
+        assert_eq!(w.common_ancestor, None);
+        assert_eq!(w.first_chain, vec![0, 2]);
+        assert_eq!(w.second_chain, vec![1, 3]);
+    }
+
+    /// Dropping dispatch-chain edges (the predictive weakening) re-exposes
+    /// a pair that only the dispatcher's accidental order had hidden, while
+    /// kernel-comm edges — real synchronization — still order.
+    #[test]
+    fn filtered_graph_drops_only_the_excluded_edge_kind() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "boot");
+        node(&mut t, 1, 0, Some(0), "a");
+        node(&mut t, 2, 1, Some(0), "b");
+        access(&mut t, 1, 0, sab(2), AccessKind::Write);
+        access(&mut t, 2, 1, sab(2), AccessKind::Write);
+        t.edge(
+            SimTime::from_millis(2),
+            HbEdge {
+                from: 1,
+                to: 2,
+                kind: EdgeKind::DispatchChain,
+            },
+        );
+        let full = HbGraph::from_trace(&t);
+        assert!(detect_races(&t, &full).is_empty(), "chain edge orders");
+        let weak = HbGraph::from_trace_filtered(&t, |k| k != EdgeKind::DispatchChain);
+        assert_eq!(detect_races(&t, &weak).len(), 1, "weakening re-exposes");
+        let keep_all = HbGraph::from_trace_filtered(&t, |_| true);
+        assert!(detect_races(&t, &keep_all).is_empty());
     }
 }

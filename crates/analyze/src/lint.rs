@@ -72,6 +72,15 @@ pub enum LintKind {
     /// An unconditional `defer_termination` defers every teardown again and
     /// again; only the watchdog can break the cycle.
     DeferLivelock,
+    /// The policy claims coverage of an attack pattern, but the bounded
+    /// prover found a schedule in which the pattern fires anyway.
+    ProvedCounterexample {
+        /// The pattern that fires.
+        pattern: String,
+        /// The minimal firing op sequence, prover depth bound included
+        /// in the message.
+        counterexample: Vec<String>,
+    },
 }
 
 /// One linter finding.
@@ -361,7 +370,44 @@ pub fn lint_policy(spec: &PolicySpec) -> Vec<PolicyLint> {
         }
     }
     coverage_lint(spec, &mut out);
+    prover_lint(spec, &mut out);
     out
+}
+
+/// The prover-backed check: a policy designated to defeat an attack
+/// pattern must actually prove it defeated at the default depth. Static
+/// coverage ([`LintKind::IncompleteCoverage`]) only checks that *some*
+/// rule touches the racy pair; this check enumerates every schedule up
+/// to the bound and errors when one slips through — "claims CVE
+/// coverage, counterexample exists".
+fn prover_lint(spec: &PolicySpec, out: &mut Vec<PolicyLint>) {
+    use crate::prove::{prove_policy, Verdict, DEFAULT_PROVE_DEPTH};
+    for model in jsk_core::policy::attack_models() {
+        if !model.defeated_by.contains(&spec.name.as_str()) {
+            continue;
+        }
+        let row = prove_policy(spec, &model, DEFAULT_PROVE_DEPTH);
+        if row.verdict == Verdict::Refuted {
+            let ce = row.counterexample.unwrap_or_default();
+            out.push(PolicyLint {
+                policy: spec.name.clone(),
+                rule: None,
+                level: LintLevel::Error,
+                kind: LintKind::ProvedCounterexample {
+                    pattern: model.pattern.to_owned(),
+                    counterexample: ce.clone(),
+                },
+                message: format!(
+                    "claims to defeat {} ({}) but the prover found a firing \
+                     schedule within depth {}: [{}]",
+                    model.pattern,
+                    model.cve,
+                    DEFAULT_PROVE_DEPTH,
+                    ce.join(", ")
+                ),
+            });
+        }
+    }
 }
 
 /// Lints a policy set in its install (match) order, the way a kernel would
@@ -393,6 +439,7 @@ pub fn lint_policy_set(
             }
         }
         coverage_lint(spec, &mut out);
+        prover_lint(spec, &mut out);
     }
     out
 }
@@ -669,5 +716,36 @@ mod tests {
         assert!(lints
             .iter()
             .any(|l| matches!(&l.kind, LintKind::ShadowedRule { .. })));
+    }
+
+    #[test]
+    fn weakened_designated_policy_gets_a_proved_counterexample_error() {
+        // A designated policy stripped of both ordering rules still claims
+        // to defeat AbortAfterOwnerDeath; the prover-backed lint catches
+        // the gap with a concrete firing schedule.
+        let mut weak = jsk_core::policy::cve::cve_2018_5092();
+        weak.rules
+            .retain(|r| !r.id.contains("defer-termination") && !r.id.contains("suppress-abort"));
+        let lints = lint_policy(&weak);
+        let hit = lints
+            .iter()
+            .find(|l| matches!(&l.kind, LintKind::ProvedCounterexample { .. }))
+            .expect("the prover lint must fire on the weakened policy");
+        assert_eq!(hit.level, LintLevel::Error);
+        match &hit.kind {
+            LintKind::ProvedCounterexample {
+                pattern,
+                counterexample,
+            } => {
+                assert_eq!(pattern, "AbortAfterOwnerDeath");
+                assert!(!counterexample.is_empty());
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // The shipped policy proves clean: no such lint.
+        let shipped = lint_policy(&jsk_core::policy::cve::cve_2018_5092());
+        assert!(!shipped
+            .iter()
+            .any(|l| matches!(&l.kind, LintKind::ProvedCounterexample { .. })));
     }
 }

@@ -1,0 +1,321 @@
+//! Predictive race detection: soundly weakening the observed order.
+//!
+//! The happens-before detector certifies only the *observed* schedule: a
+//! pair ordered in this trace might still race in another feasible one.
+//! Under the kernel's deterministic dispatcher the gap is systematic —
+//! the dispatcher announces a `DispatchChain` edge between every two
+//! tasks it releases consecutively on a thread, so the kernel trace is
+//! (by design) almost totally ordered and the observed-order detector
+//! reports nothing.
+//!
+//! Those chain edges are *scheduler choices*, not semantic dependencies:
+//! nothing in the program forced that order, the dispatcher just picked
+//! it (and in a raw browser the OS scheduler picks differently). The
+//! predictive pass therefore rebuilds the graph **without**
+//! `DispatchChain` edges — keeping fork edges (task provenance: a task
+//! cannot run before the task that registered it) and `KernelComm` edges
+//! (real cross-thread message synchronization) — and reports every
+//! conflicting pair only the dropped edges had ordered. Each prediction
+//! is a claim: *some feasible schedule races this pair*. The claim ships
+//! with its proof — a concrete witness schedule that, replayed through
+//! `run_schedule` against the raw (legacy) browser, exhibits a race on
+//! the same target, ready to be fed back to the fuzzer as a seed.
+//!
+//! Soundness of the weakening: dropping edges can only grow the set of
+//! unordered pairs, and the two retained edge sources are exactly the
+//! orderings every feasible schedule shares, so no prediction claims a
+//! reordering that program semantics forbid. The raw replay closes the
+//! remaining gap between "HB-reorderable" and "actually schedulable":
+//! only predictions a real run confirms are marked `confirmed`.
+
+use crate::hb::{detect_races, HbGraph, RaceFinding};
+use crate::report::analyze;
+use jsk_browser::mediator::LegacyMediator;
+use jsk_browser::trace::{AccessTarget, EdgeKind, Trace};
+use jsk_core::{JsKernel, KernelConfig};
+use jsk_workloads::schedule::{run_schedule, seed_schedules, Schedule};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Browser seed for kernel runs and witness replays — the same seed the
+/// fuzzer drives evaluations with, so predictions and fuzz coverage talk
+/// about the same executions.
+pub const PREDICT_SEED: u64 = 0xF0CC;
+
+/// The race-target class (`Sab`, `DocDom`, …): the `Debug` variant name
+/// without ids, stable across raw/kernel runs whose resource ids differ.
+fn target_class(target: &AccessTarget) -> String {
+    let debug = format!("{target:?}");
+    debug
+        .split(['{', '(', ' '])
+        .next()
+        .unwrap_or(&debug)
+        .to_owned()
+}
+
+fn race_key(r: &RaceFinding) -> (String, String, String) {
+    (
+        format!("{:?}", r.target),
+        r.first.what.clone(),
+        r.second.what.clone(),
+    )
+}
+
+/// The trace-level predictive pass: conflicting pairs unordered by the
+/// weakened graph (no `DispatchChain` edges) that the full observed-order
+/// graph had ordered. Sorted like [`detect_races`]; pure in the trace.
+#[must_use]
+pub fn predict(trace: &Trace) -> Vec<RaceFinding> {
+    let observed = HbGraph::from_trace(trace);
+    let weakened = HbGraph::from_trace_filtered(trace, |k| k != EdgeKind::DispatchChain);
+    let seen: BTreeSet<_> = detect_races(trace, &observed)
+        .iter()
+        .map(race_key)
+        .collect();
+    detect_races(trace, &weakened)
+        .into_iter()
+        .filter(|r| !seen.contains(&race_key(r)))
+        .collect()
+}
+
+/// One predicted race plus its evidence.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PredictedRace {
+    /// The pair the weakened order leaves unordered.
+    pub race: RaceFinding,
+    /// A schedule whose raw replay should exhibit the race — corpus-entry
+    /// JSON shape, runnable by `run_schedule`, usable as a fuzz seed.
+    pub witness: Schedule,
+    /// Whether the witness replay actually raced on the same target
+    /// class. Unconfirmed predictions are HB-reorderable but no tried
+    /// perturbation realized them.
+    pub confirmed: bool,
+}
+
+/// The predictive report for one schedule run under the hardened kernel.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PredictReport {
+    /// The analyzed schedule's name.
+    pub schedule: String,
+    /// Task nodes in the kernel trace.
+    pub nodes: usize,
+    /// Races the observed-order detector reports on the kernel trace
+    /// (0 when the kernel holds — which is exactly why prediction is
+    /// needed to see past the dispatcher's order).
+    pub observed_races: usize,
+    /// Predicted races with witnesses, detector order.
+    pub predicted: Vec<PredictedRace>,
+}
+
+impl PredictReport {
+    /// Deterministic pretty JSON (struct field order, detector-ordered
+    /// findings; nothing depends on `JSK_JOBS`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+/// Witness candidates: the base schedule itself (the raw scheduler is
+/// already free to pick either order), then small deterministic delay
+/// perturbations nudging each event across teardown windows.
+fn candidates(base: &Schedule) -> Vec<Schedule> {
+    let mut out = vec![base.clone()];
+    for i in 0..base.events.len() {
+        for shift in [16i64, -16, 48] {
+            let mut s = base.clone();
+            let at = &mut s.events[i].at_ms;
+            *at = at
+                .saturating_add_signed(shift as i32)
+                .min(s.run_ms.saturating_sub(1));
+            out.push(s);
+            if out.len() >= 10 {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+fn replay_races_on(schedule: &Schedule, class: &str) -> bool {
+    let b = run_schedule(schedule, Box::new(LegacyMediator), PREDICT_SEED);
+    analyze(b.trace())
+        .races
+        .iter()
+        .any(|r| target_class(&r.target) == class)
+}
+
+/// Runs `schedule` under the hardened kernel, predicts races past the
+/// dispatcher's order, and attaches a raw-replay witness to each.
+/// Witness search is deterministic: candidates are tried in a fixed
+/// order and the first confirming one wins; predictions sharing a target
+/// class share the search.
+#[must_use]
+pub fn predict_schedule(schedule: &Schedule) -> PredictReport {
+    let browser = run_schedule(
+        schedule,
+        Box::new(JsKernel::new(KernelConfig::hardened())),
+        PREDICT_SEED,
+    );
+    let trace = browser.trace();
+    let graph = HbGraph::from_trace(trace);
+    let observed_races = detect_races(trace, &graph).len();
+    let mut by_class: BTreeMap<String, (Schedule, bool)> = BTreeMap::new();
+    let predicted = predict(trace)
+        .into_iter()
+        .map(|race| {
+            let class = target_class(&race.target);
+            let (witness, confirmed) = by_class
+                .entry(class.clone())
+                .or_insert_with(|| {
+                    let mut cands = candidates(schedule);
+                    for (k, cand) in cands.iter_mut().enumerate() {
+                        cand.name = format!("{}~predict:{class}:w{k}", schedule.name);
+                    }
+                    cands
+                        .iter()
+                        .find(|c| replay_races_on(c, &class))
+                        .map_or_else(|| (cands[0].clone(), false), |c| (c.clone(), true))
+                })
+                .clone();
+            PredictedRace {
+                race,
+                witness,
+                confirmed,
+            }
+        })
+        .collect();
+    PredictReport {
+        schedule: schedule.name.clone(),
+        nodes: graph.node_count(),
+        observed_races,
+        predicted,
+    }
+}
+
+/// The predictive pass over the whole seed corpus, in corpus order. The
+/// confirmed witnesses are the fuzzer's predictive seeds.
+#[must_use]
+pub fn predict_corpus() -> Vec<PredictReport> {
+    seed_schedules().iter().map(predict_schedule).collect()
+}
+
+/// Every confirmed witness schedule from a set of predictive reports,
+/// deduplicated by name, report order. These replay to raw races by
+/// construction, making them first-class fuzz seeds.
+#[must_use]
+pub fn confirmed_witnesses(reports: &[PredictReport]) -> Vec<Schedule> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for report in reports {
+        for p in &report.predicted {
+            if p.confirmed && seen.insert(p.witness.name.clone()) {
+                out.push(p.witness.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsk_browser::ids::ThreadId;
+    use jsk_browser::trace::{AccessKind, AccessRecord, HbEdge, NodeRecord};
+    use jsk_sim::time::SimTime;
+
+    fn node(t: &mut Trace, id: u64, thread: u64, forked_from: Option<u64>, label: &str) {
+        let label = t.intern(label);
+        t.node(
+            SimTime::from_millis(id),
+            NodeRecord {
+                node: id,
+                thread: ThreadId::new(thread),
+                forked_from,
+                label,
+            },
+        );
+    }
+
+    fn write(t: &mut Trace, node: u64, thread: u64, idx: u64) {
+        let what = t.intern(&format!("w{node}"));
+        t.access(
+            SimTime::from_millis(node),
+            AccessRecord {
+                node,
+                thread: ThreadId::new(thread),
+                target: AccessTarget::Sab {
+                    sab: jsk_browser::ids::SabId::new(0),
+                    idx,
+                },
+                kind: AccessKind::Write,
+                what,
+            },
+        );
+    }
+
+    /// The canonical predictive situation: a conflicting sibling pair the
+    /// dispatcher chained. Observed: ordered. Predicted: the race.
+    #[test]
+    fn chain_only_ordering_is_predicted_as_a_race() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "boot");
+        node(&mut t, 1, 0, Some(0), "a");
+        node(&mut t, 2, 0, Some(0), "b");
+        write(&mut t, 1, 0, 3);
+        write(&mut t, 2, 0, 3);
+        t.edge(
+            SimTime::from_millis(2),
+            HbEdge {
+                from: 1,
+                to: 2,
+                kind: EdgeKind::DispatchChain,
+            },
+        );
+        let observed = detect_races(&t, &HbGraph::from_trace(&t));
+        assert!(observed.is_empty(), "the chain hides the pair");
+        let predicted = predict(&t);
+        assert_eq!(predicted.len(), 1);
+        assert_eq!((predicted[0].first.node, predicted[0].second.node), (1, 2));
+    }
+
+    /// KernelComm is real synchronization; dropping chains must not drop
+    /// it.
+    #[test]
+    fn kernel_comm_ordering_is_not_predicted_away() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "boot");
+        node(&mut t, 1, 0, Some(0), "sender");
+        node(&mut t, 2, 1, Some(0), "receiver");
+        write(&mut t, 1, 0, 5);
+        write(&mut t, 2, 1, 5);
+        t.edge(
+            SimTime::from_millis(2),
+            HbEdge {
+                from: 1,
+                to: 2,
+                kind: EdgeKind::KernelComm,
+            },
+        );
+        assert!(predict(&t).is_empty());
+    }
+
+    #[test]
+    fn fork_ordered_pairs_are_never_predicted() {
+        let mut t = Trace::new();
+        node(&mut t, 0, 0, None, "boot");
+        node(&mut t, 1, 0, Some(0), "child");
+        write(&mut t, 0, 0, 0);
+        write(&mut t, 1, 0, 0);
+        assert!(predict(&t).is_empty(), "provenance is semantic order");
+    }
+
+    #[test]
+    fn target_classes_strip_ids() {
+        let sab = AccessTarget::Sab {
+            sab: jsk_browser::ids::SabId::new(7),
+            idx: 3,
+        };
+        assert_eq!(target_class(&sab), "Sab");
+    }
+}

@@ -107,10 +107,27 @@ const SIG_API: u8 = 1;
 /// Fact-side evidence.
 const SIG_FACT: u8 = 2;
 
-/// A ticker channel needs this many sends to count as a clock.
+/// A ticker channel needs this many sends to count as a clock
+/// (`JSK_SCAN_TICKER_SENDS` overrides).
 const TICKER_MIN_SENDS: usize = 20;
-/// … with a median inter-send gap at or below this (50 Hz+).
-const TICKER_MAX_MEDIAN_GAP: SimTime = SimTime::from_millis(20);
+/// … with a median inter-send gap at or below this many milliseconds,
+/// i.e. 50 Hz+ by default (`JSK_SCAN_TICKER_MS` overrides).
+const TICKER_MAX_MEDIAN_MS: usize = 20;
+
+/// The effective ticker send threshold: `JSK_SCAN_TICKER_SENDS`, default
+/// `TICKER_MIN_SENDS` (20). Invalid values warn on stderr and fall back.
+#[must_use]
+pub fn ticker_min_sends() -> usize {
+    jsk_sim::knob::env_knob("JSK_SCAN_TICKER_SENDS", TICKER_MIN_SENDS)
+}
+
+/// The effective maximum median inter-send gap in milliseconds:
+/// `JSK_SCAN_TICKER_MS`, default `TICKER_MAX_MEDIAN_MS` (20 ms). Invalid values
+/// warn on stderr and fall back.
+#[must_use]
+pub fn ticker_max_median_gap() -> SimTime {
+    SimTime::from_millis(jsk_sim::knob::env_knob("JSK_SCAN_TICKER_MS", TICKER_MAX_MEDIAN_MS) as u64)
+}
 
 /// Scans a trace for attack signatures. Output is deterministic: sorted by
 /// `(time, kind, detail)`, one finding per distinct piece of evidence.
@@ -436,10 +453,10 @@ pub fn scan(trace: &Trace) -> Vec<PatternFinding> {
 }
 
 /// Whether an instant stream is dense enough to serve as a clock:
-/// [`TICKER_MIN_SENDS`] events with a median gap at or below
-/// [`TICKER_MAX_MEDIAN_GAP`]. Returns `(count, median gap in ns)`.
+/// [`ticker_min_sends`] events with a median gap at or below
+/// [`ticker_max_median_gap`]. Returns `(count, median gap in ns)`.
 fn dense_stream(instants: &[SimTime]) -> Option<(usize, u64)> {
-    if instants.len() < TICKER_MIN_SENDS {
+    if instants.len() < ticker_min_sends() {
         return None;
     }
     let mut gaps: Vec<u64> = instants
@@ -448,7 +465,7 @@ fn dense_stream(instants: &[SimTime]) -> Option<(usize, u64)> {
         .collect();
     gaps.sort_unstable();
     let median = gaps[gaps.len() / 2];
-    (median <= TICKER_MAX_MEDIAN_GAP.as_nanos()).then_some((instants.len(), median))
+    (median <= ticker_max_median_gap().as_nanos()).then_some((instants.len(), median))
 }
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! The scanner's ticker thresholds are environment knobs
+//! (`JSK_SCAN_TICKER_SENDS` / `JSK_SCAN_TICKER_MS`). This lives in its
+//! own test binary because it mutates the process environment, which the
+//! crate's unit tests (which also call `scan`) must never observe.
+
+use jsk_analyze::scanner::{scan, ticker_max_median_gap, ticker_min_sends, PatternKind};
+use jsk_browser::ids::ThreadId;
+use jsk_browser::trace::{ApiCall, Trace};
+use jsk_sim::time::SimTime;
+
+fn stream(sends: u64, gap_ms: u64) -> Trace {
+    let mut t = Trace::new();
+    for i in 0..sends {
+        t.api(
+            SimTime::from_millis(i * gap_ms),
+            ApiCall::PostMessage {
+                from: ThreadId::new(1),
+                to: ThreadId::new(0),
+                transfer_count: 0,
+                to_doc_freed: false,
+            },
+        );
+    }
+    t
+}
+
+/// One test function: the phases share the process environment, so they
+/// must run in a fixed order.
+#[test]
+fn ticker_thresholds_are_env_knobs_with_unchanged_defaults() {
+    // Defaults: unchanged from the hardcoded values (≥20 sends, ≤20 ms).
+    assert_eq!(ticker_min_sends(), 20);
+    assert_eq!(ticker_max_median_gap(), SimTime::from_millis(20));
+    assert_eq!(scan(&stream(19, 1)).len(), 0, "below default threshold");
+    assert_eq!(scan(&stream(40, 1)).len(), 1, "above default threshold");
+
+    // Lowering the send threshold makes the short burst a ticker.
+    std::env::set_var("JSK_SCAN_TICKER_SENDS", "10");
+    assert_eq!(ticker_min_sends(), 10);
+    let hits = scan(&stream(19, 1));
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].kind, PatternKind::ImplicitClockTicker);
+
+    // Raising it silences a stream the default would flag.
+    std::env::set_var("JSK_SCAN_TICKER_SENDS", "100");
+    assert_eq!(scan(&stream(40, 1)).len(), 0);
+
+    // The gap knob: 100 ms gaps are no clock by default, but widening
+    // the median bound to 200 ms accepts them.
+    std::env::remove_var("JSK_SCAN_TICKER_SENDS");
+    assert_eq!(scan(&stream(40, 100)).len(), 0);
+    std::env::set_var("JSK_SCAN_TICKER_MS", "200");
+    assert_eq!(ticker_max_median_gap(), SimTime::from_millis(200));
+    assert_eq!(scan(&stream(40, 100)).len(), 1);
+
+    // Invalid values warn on stderr (shared knob parser) and fall back to
+    // the defaults instead of masquerading as configuration.
+    std::env::set_var("JSK_SCAN_TICKER_SENDS", "a few");
+    std::env::set_var("JSK_SCAN_TICKER_MS", "-5");
+    assert_eq!(ticker_min_sends(), 20);
+    assert_eq!(ticker_max_median_gap(), SimTime::from_millis(20));
+
+    std::env::remove_var("JSK_SCAN_TICKER_SENDS");
+    std::env::remove_var("JSK_SCAN_TICKER_MS");
+}

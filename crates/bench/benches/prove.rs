@@ -1,0 +1,59 @@
+//! The prove bench target: the bounded policy prover over the full
+//! designated matrix, recorded for the regression gate.
+//!
+//! One verdict cell per (policy, pattern) row — `true` means *proved*:
+//! no schedule of length ≤ depth fires the attack under the policy. Any
+//! flip to `false` is a policy regression the gate catches immediately.
+//! Depth and total states explored ride along as value cells; state
+//! growth signals a model change worth reading.
+//!
+//! Run with `cargo bench -p jsk-bench --bench prove`. Knob:
+//! `JSK_PROVE_DEPTH` (default 6).
+
+use jsk_analyze::prove::{prove_all, prove_depth, Verdict};
+use jsk_bench::record::{BenchReporter, CellRecord};
+use jsk_bench::Report;
+
+fn main() {
+    let depth = prove_depth();
+    let mut reporter = BenchReporter::new("prove");
+    reporter.knob("JSK_PROVE_DEPTH", depth);
+
+    let proof = prove_all(depth);
+
+    let mut report = Report::new(
+        "Bounded prover — policy × attack-pattern matrix",
+        &["Policy", "Pattern", "Verdict", "States"],
+    );
+    for row in &proof.rows {
+        report.row(vec![
+            row.policy.clone(),
+            row.pattern.clone(),
+            match row.verdict {
+                Verdict::Proved => format!("proved ≤{}", row.depth),
+                Verdict::Refuted => "REFUTED".into(),
+            },
+            row.states_explored.to_string(),
+        ]);
+    }
+    report.print();
+    println!("{}", proof.summary());
+
+    let mut states_total = 0usize;
+    for row in &proof.rows {
+        states_total += row.states_explored;
+        reporter.cell(CellRecord::verdict(
+            row.policy.clone(),
+            row.pattern.clone(),
+            row.verdict == Verdict::Proved,
+        ));
+    }
+    reporter.cell(CellRecord::value("depth", "bound", depth as f64, "events"));
+    reporter.cell(CellRecord::value(
+        "states",
+        "explored",
+        states_total as f64,
+        "count",
+    ));
+    reporter.finish().expect("write bench JSON");
+}

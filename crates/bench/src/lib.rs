@@ -25,35 +25,10 @@ pub mod pool;
 pub mod record;
 pub mod regress;
 
-/// Reads a positive integer knob from the environment.
-///
-/// An unset variable silently yields `default`; a present-but-invalid one
-/// (unparsable, zero, negative) yields `default` **with a one-line warning
-/// on stderr**, so `JSK_TRIALS=abc` can no longer masquerade as a
-/// deliberate configuration.
-#[must_use]
-pub fn env_knob(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Err(_) => default,
-        Ok(raw) => parse_knob(name, &raw, default),
-    }
-}
-
-/// The parse/fallback half of [`env_knob`], split out so the fallback
-/// paths are unit-testable without mutating the process environment.
-#[must_use]
-pub fn parse_knob(name: &str, raw: &str, default: usize) -> usize {
-    match raw.trim().parse::<usize>() {
-        Ok(v) if v > 0 => v,
-        _ => {
-            eprintln!(
-                "warning: ignoring {name}={raw:?} (expected a positive \
-                 integer); using default {default}"
-            );
-            default
-        }
-    }
-}
+// The knob parser moved to `jsk_sim::knob` so analysis crates can read
+// environment knobs without a bench dependency; re-exported here so
+// every existing `jsk_bench::env_knob` callsite keeps compiling.
+pub use jsk_sim::knob::{env_knob, parse_knob};
 
 /// A printable table with a title, column headers, and string rows.
 #[derive(Debug, Clone)]

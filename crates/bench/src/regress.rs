@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Every JSON-emitting bench target, in run order.
-pub const ALL_TARGETS: [&str; 14] = [
+pub const ALL_TARGETS: [&str; 15] = [
     "table1",
     "table2",
     "table3",
@@ -37,6 +37,7 @@ pub const ALL_TARGETS: [&str; 14] = [
     "hotpath",
     "shards",
     "fuzz",
+    "prove",
 ];
 
 /// The committed baseline: one [`BenchRun`] per target.

@@ -163,6 +163,71 @@ fn fuzz_reports_are_bit_identical_under_pool() {
     );
 }
 
+/// Every designated (policy, pattern) proof row, fanned through the pool
+/// at the given width and serialized. The rows are independent searches,
+/// so worker count must not change a single byte.
+fn prove_rows(jobs: usize) -> Vec<String> {
+    use jsk_analyze::prove::{prove_policy, DEFAULT_PROVE_DEPTH};
+    use jsk_core::policy::{attack_models, cve, deterministic_policy, families, PolicySpec};
+    let mut policies: Vec<PolicySpec> = cve::all_cve_policies();
+    policies.push(deterministic_policy());
+    policies.extend(families::all_family_policies());
+    let models = attack_models();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (mi, model) in models.iter().enumerate() {
+        for name in model.defeated_by {
+            let pi = policies
+                .iter()
+                .position(|p| p.name == *name)
+                .expect("designated policy exists");
+            pairs.push((mi, pi));
+        }
+    }
+    pool::run_indexed(pairs.len(), jobs, |i| {
+        let (mi, pi) = pairs[i];
+        serde_json::to_string_pretty(&prove_policy(
+            &policies[pi],
+            &models[mi],
+            DEFAULT_PROVE_DEPTH,
+        ))
+        .expect("proof row serializes")
+    })
+}
+
+#[test]
+fn prover_rows_are_bit_identical_under_pool() {
+    let serial = prove_rows(1);
+    let parallel = prove_rows(8);
+    assert_eq!(serial, parallel, "JSK_JOBS must not change proof rows");
+    assert_eq!(serial.len(), 15, "the full designated matrix");
+    assert!(serial.iter().all(|json| json.contains("\"proved\"")));
+}
+
+/// Predictive reports for every seed schedule, fanned through the pool.
+fn predict_reports(jobs: usize) -> Vec<String> {
+    use jsk_analyze::predict::predict_schedule;
+    use jsk_workloads::schedule::seed_schedules;
+    let seeds = seed_schedules();
+    pool::run_indexed(seeds.len(), jobs, |i| predict_schedule(&seeds[i]).to_json())
+}
+
+#[test]
+fn predictive_reports_are_bit_identical_under_pool() {
+    let serial = predict_reports(1);
+    let parallel = predict_reports(8);
+    assert_eq!(
+        serial, parallel,
+        "JSK_JOBS must not change predictive findings"
+    );
+    assert_eq!(serial.len(), 15);
+    // And the serial pass must agree with the corpus driver's own output.
+    let corpus: Vec<String> = jsk_analyze::predict::predict_corpus()
+        .iter()
+        .map(jsk_analyze::predict::PredictReport::to_json)
+        .collect();
+    assert_eq!(serial, corpus);
+}
+
 #[test]
 fn timing_attack_results_identical_under_pool() {
     // The full attack-result payload (both sample vectors), not just the

@@ -1,0 +1,542 @@
+//! Attack-pattern automata: the bounded-model input for the policy prover.
+//!
+//! Each scanner pattern (`jsk-analyze`'s `PatternKind`) gets a small
+//! abstract state machine here: an environment bit-vector, an alphabet of
+//! a few operations (mediated API calls plus un-mediated environment
+//! steps), and a *fire* condition — the environment a successful attack
+//! observes. The prover composes one of these models with a compiled
+//! [`PolicySpec`](super::PolicySpec) into a product machine and
+//! exhaustively enumerates every op interleaving up to a depth bound:
+//! either no interleaving fires (the policy *defeats* the pattern for all
+//! schedules within the bound) or a minimal firing sequence is the
+//! counterexample.
+//!
+//! The models live in `jsk-core` rather than `jsk-analyze` because they
+//! are a property of the policy vocabulary ([`ApiSelector`] +
+//! [`CallFacts`]), not of any particular trace: the op alphabet is
+//! exactly the fact space the policy engine can distinguish, which is
+//! what makes the enumeration exhaustive rather than sampled. Models are
+//! keyed by the scanner pattern's `Debug` name so the two crates agree
+//! without a dependency edge.
+
+use super::spec::{ApiSelector, CallFacts};
+
+/// Environment bits shared by the attack models. One `u16` is the whole
+/// abstract state: which resources are live, dead, pending, or freed.
+/// Each model documents which bits it uses; unused bits stay zero.
+pub mod env {
+    /// The owner of an in-flight request (worker or document thread) has
+    /// been torn down.
+    pub const OWNER_DEAD: u16 = 1 << 0;
+    /// The outgoing document has been freed (navigation or close).
+    pub const DOC_FREED: u16 = 1 << 1;
+    /// The worker has entered its closing sequence.
+    pub const WORKER_CLOSING: u16 = 1 << 2;
+    /// The owner is mid-dispatch of a worker message.
+    pub const DISPATCHING: u16 = 1 << 3;
+    /// A network fetch is outstanding.
+    pub const PENDING_FETCH: u16 = 1 << 4;
+    /// A transferable buffer is in flight between threads.
+    pub const LIVE_TRANSFER: u16 = 1 << 5;
+    /// A worker callback is queued at the document.
+    pub const PENDING_MSG: u16 = 1 << 6;
+    /// The browsing session is private (static per model).
+    pub const PRIVATE: u16 = 1 << 7;
+    /// The embedding frame is sandboxed (static per model).
+    pub const SANDBOXED: u16 = 1 << 8;
+    /// The backing store of a transferred buffer has been freed.
+    pub const BUFFER_FREED: u16 = 1 << 9;
+}
+
+/// One operation in an attack model's alphabet.
+///
+/// An op is *applicable* in environment `e` when `e` contains all
+/// `pre_set` bits and none of the `pre_clear` bits. Applicable ops with a
+/// [`call`](AttackOp::call) are put through the policy engine with
+/// [`AttackModel::facts_for`]; ops without one are un-mediated
+/// environment steps (network completions, GC, internal phase changes)
+/// that no policy can intercept. An op that proceeds unmediated *fires*
+/// the attack when [`fires`](AttackOp::fires) matches the environment it
+/// executes in.
+#[derive(Debug, Clone)]
+pub struct AttackOp {
+    /// Stable op name; counterexamples are sequences of these.
+    pub name: &'static str,
+    /// The mediated API this op goes through, or `None` for an
+    /// environment step outside the kernel's mediation surface.
+    pub call: Option<ApiSelector>,
+    /// Facts intrinsic to the op itself (caller identity, flags);
+    /// environment-derived facts are overlaid by
+    /// [`AttackModel::facts_for`].
+    pub intrinsic: CallFacts,
+    /// Environment bits that must be set for the op to be applicable.
+    pub pre_set: u16,
+    /// Environment bits that must be clear for the op to be applicable.
+    pub pre_clear: u16,
+    /// Bits the op sets when it proceeds.
+    pub sets: u16,
+    /// Bits the op clears when it proceeds.
+    pub clears: u16,
+    /// Extra bits cleared when the mediation verdict is `CancelDocBound`
+    /// (the teardown proceeds but doc-bound work is cancelled with it).
+    pub cancel_clears: u16,
+    /// Whether the op's payoff is a *timing observation* through the
+    /// event loop. A scheduling policy (deterministic dispatch) defuses
+    /// such ops even though it allows them: their arrival times are
+    /// quantized to the predicted order, so the implicit clock has no
+    /// resolution. Ops reading non-event-loop channels (ILP counters)
+    /// keep `false` — scheduling cannot defuse them.
+    pub timing: bool,
+    /// When `Some(mask)`: the attack fires if this op proceeds
+    /// unprotected in an environment containing every bit of `mask`
+    /// (`Some(0)` fires whenever the op proceeds at all).
+    pub fires: Option<u16>,
+}
+
+impl AttackOp {
+    fn step(name: &'static str) -> AttackOp {
+        AttackOp {
+            name,
+            call: None,
+            intrinsic: CallFacts::default(),
+            pre_set: 0,
+            pre_clear: 0,
+            sets: 0,
+            clears: 0,
+            cancel_clears: 0,
+            timing: false,
+            fires: None,
+        }
+    }
+
+    fn api(name: &'static str, sel: ApiSelector) -> AttackOp {
+        AttackOp {
+            call: Some(sel),
+            ..AttackOp::step(name)
+        }
+    }
+}
+
+/// One scanner pattern's abstract attack machine.
+#[derive(Debug, Clone)]
+pub struct AttackModel {
+    /// The scanner pattern this models, as the `Debug` name of
+    /// `jsk_analyze::scanner::PatternKind` (the crates share the key, not
+    /// a type).
+    pub pattern: &'static str,
+    /// Human-readable CVE / attack family label.
+    pub cve: &'static str,
+    /// Names of the shipped policies designated to defeat this pattern
+    /// (Table 1 rows plus the two attack-family policies).
+    pub defeated_by: &'static [&'static str],
+    /// Initial environment (static session facts such as
+    /// [`env::PRIVATE`]).
+    pub init_env: u16,
+    /// The op alphabet. Enumeration order is fixed, which keeps minimal
+    /// counterexamples deterministic.
+    pub ops: Vec<AttackOp>,
+}
+
+impl AttackModel {
+    /// The [`CallFacts`] the policy engine sees when `op` executes in
+    /// environment `e`: the op's intrinsic facts with every
+    /// environment-derived field overlaid from the bits. Deriving the
+    /// facts from the environment (rather than letting ops claim them)
+    /// is what keeps infeasible fact combinations out of the product
+    /// machine.
+    #[must_use]
+    pub fn facts_for(&self, op: &AttackOp, e: u16) -> CallFacts {
+        CallFacts {
+            owner_alive: e & env::OWNER_DEAD == 0,
+            to_doc_freed: e & env::DOC_FREED != 0,
+            worker_closing: e & env::WORKER_CLOSING != 0,
+            during_dispatch: e & env::DISPATCHING != 0,
+            has_pending_fetches: e & env::PENDING_FETCH != 0,
+            has_live_transfers: e & env::LIVE_TRANSFER != 0,
+            has_pending_worker_messages: e & env::PENDING_MSG != 0,
+            private_mode: e & env::PRIVATE != 0,
+            sandboxed: e & env::SANDBOXED != 0,
+            ..op.intrinsic
+        }
+    }
+
+    /// The op with the given name, if any.
+    #[must_use]
+    pub fn op(&self, name: &str) -> Option<&AttackOp> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+}
+
+fn abort_after_owner_death() -> AttackModel {
+    AttackModel {
+        pattern: "AbortAfterOwnerDeath",
+        cve: "CVE-2018-5092",
+        defeated_by: &["policy_cve-2018-5092"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                intrinsic: CallFacts {
+                    from_worker: true,
+                    ..CallFacts::default()
+                },
+                pre_clear: env::OWNER_DEAD | env::PENDING_FETCH,
+                sets: env::PENDING_FETCH,
+                ..AttackOp::api("worker-starts-fetch", ApiSelector::Fetch)
+            },
+            AttackOp {
+                pre_clear: env::OWNER_DEAD,
+                sets: env::OWNER_DEAD,
+                ..AttackOp::api("terminate-worker", ApiSelector::TerminateWorker)
+            },
+            AttackOp {
+                pre_set: env::PENDING_FETCH,
+                clears: env::PENDING_FETCH,
+                fires: Some(env::OWNER_DEAD),
+                ..AttackOp::api("deliver-abort", ApiSelector::DeliverAbort)
+            },
+        ],
+    }
+}
+
+fn private_mode_persistence() -> AttackModel {
+    AttackModel {
+        pattern: "PrivateModePersistence",
+        cve: "CVE-2017-7843",
+        defeated_by: &["policy_cve-2017-7843"],
+        init_env: env::PRIVATE,
+        ops: vec![AttackOp {
+            intrinsic: CallFacts {
+                persist: true,
+                ..CallFacts::default()
+            },
+            fires: Some(env::PRIVATE),
+            ..AttackOp::api("idb-open-persistent", ApiSelector::IdbOpen)
+        }],
+    }
+}
+
+fn error_leak() -> AttackModel {
+    AttackModel {
+        pattern: "ErrorLeak",
+        cve: "CVE-2015-7215 / CVE-2014-1487",
+        defeated_by: &["policy_cve-2015-7215", "policy_cve-2014-1487"],
+        init_env: 0,
+        ops: vec![AttackOp {
+            intrinsic: CallFacts {
+                cross_origin: true,
+                leaks_cross_origin: true,
+                ..CallFacts::default()
+            },
+            fires: Some(0),
+            ..AttackOp::api("deliver-cross-origin-error", ApiSelector::ErrorEvent)
+        }],
+    }
+}
+
+fn freed_doc_delivery() -> AttackModel {
+    AttackModel {
+        pattern: "FreedDocDelivery",
+        cve: "CVE-2014-3194",
+        defeated_by: &["policy_cve-2014-3194"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                pre_clear: env::DOC_FREED,
+                sets: env::DOC_FREED,
+                ..AttackOp::api("navigate-away", ApiSelector::Navigate)
+            },
+            AttackOp {
+                intrinsic: CallFacts {
+                    from_worker: true,
+                    ..CallFacts::default()
+                },
+                fires: Some(env::DOC_FREED),
+                ..AttackOp::api("worker-posts-to-doc", ApiSelector::PostMessage)
+            },
+        ],
+    }
+}
+
+fn mid_dispatch_termination() -> AttackModel {
+    AttackModel {
+        pattern: "MidDispatchTermination",
+        cve: "CVE-2014-1719",
+        defeated_by: &["policy_cve-2014-1719"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                pre_clear: env::DISPATCHING | env::OWNER_DEAD,
+                sets: env::DISPATCHING,
+                ..AttackOp::step("owner-begins-dispatch")
+            },
+            AttackOp {
+                pre_clear: env::OWNER_DEAD,
+                sets: env::OWNER_DEAD,
+                fires: Some(env::DISPATCHING),
+                ..AttackOp::api("terminate-worker", ApiSelector::TerminateWorker)
+            },
+            AttackOp {
+                pre_set: env::DISPATCHING,
+                clears: env::DISPATCHING,
+                ..AttackOp::step("owner-ends-dispatch")
+            },
+        ],
+    }
+}
+
+fn freed_transfer_window() -> AttackModel {
+    AttackModel {
+        pattern: "FreedTransferWindow",
+        cve: "CVE-2014-1488",
+        defeated_by: &["policy_cve-2014-1488"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                pre_clear: env::LIVE_TRANSFER | env::OWNER_DEAD,
+                sets: env::LIVE_TRANSFER,
+                ..AttackOp::step("worker-transfers-buffer")
+            },
+            AttackOp {
+                pre_set: env::LIVE_TRANSFER,
+                pre_clear: env::OWNER_DEAD,
+                sets: env::OWNER_DEAD | env::BUFFER_FREED,
+                ..AttackOp::api("terminate-worker", ApiSelector::TerminateWorker)
+            },
+            AttackOp {
+                pre_set: env::LIVE_TRANSFER,
+                fires: Some(env::BUFFER_FREED),
+                ..AttackOp::api("read-transferred-buffer", ApiSelector::BufferAccess)
+            },
+        ],
+    }
+}
+
+fn callback_after_close_window() -> AttackModel {
+    AttackModel {
+        pattern: "CallbackAfterCloseWindow",
+        cve: "CVE-2013-6646",
+        defeated_by: &["policy_cve-2013-6646"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                pre_clear: env::PENDING_MSG | env::DOC_FREED,
+                sets: env::PENDING_MSG,
+                ..AttackOp::step("worker-queues-callback")
+            },
+            AttackOp {
+                pre_clear: env::DOC_FREED,
+                sets: env::DOC_FREED,
+                cancel_clears: env::PENDING_MSG,
+                ..AttackOp::api("close-document", ApiSelector::CloseDocument)
+            },
+            AttackOp {
+                pre_set: env::PENDING_MSG,
+                clears: env::PENDING_MSG,
+                fires: Some(env::DOC_FREED),
+                ..AttackOp::step("run-queued-callback")
+            },
+        ],
+    }
+}
+
+fn closing_worker_assignment() -> AttackModel {
+    AttackModel {
+        pattern: "ClosingWorkerAssignment",
+        cve: "CVE-2013-5602",
+        defeated_by: &["policy_cve-2013-5602"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                pre_clear: env::WORKER_CLOSING,
+                sets: env::WORKER_CLOSING,
+                ..AttackOp::step("worker-begins-closing")
+            },
+            AttackOp {
+                intrinsic: CallFacts {
+                    assigns_worker_handler: true,
+                    ..CallFacts::default()
+                },
+                fires: Some(env::WORKER_CLOSING),
+                ..AttackOp::api("assign-onmessage", ApiSelector::SetOnMessage)
+            },
+        ],
+    }
+}
+
+fn worker_sop_bypass() -> AttackModel {
+    AttackModel {
+        pattern: "WorkerSopBypass",
+        cve: "CVE-2013-1714",
+        defeated_by: &["policy_cve-2013-1714"],
+        init_env: 0,
+        ops: vec![AttackOp {
+            intrinsic: CallFacts {
+                from_worker: true,
+                cross_origin: true,
+                ..CallFacts::default()
+            },
+            fires: Some(0),
+            ..AttackOp::api("worker-xhr-cross-origin", ApiSelector::XhrSend)
+        }],
+    }
+}
+
+fn sandbox_origin_inheritance() -> AttackModel {
+    AttackModel {
+        pattern: "SandboxOriginInheritance",
+        cve: "CVE-2011-1190",
+        defeated_by: &["policy_cve-2011-1190"],
+        init_env: env::SANDBOXED,
+        ops: vec![AttackOp {
+            fires: Some(env::SANDBOXED),
+            ..AttackOp::api("create-worker-in-sandbox", ApiSelector::CreateWorker)
+        }],
+    }
+}
+
+fn stale_doc_completion() -> AttackModel {
+    AttackModel {
+        pattern: "StaleDocCompletion",
+        cve: "CVE-2010-4576",
+        defeated_by: &["policy_cve-2010-4576"],
+        init_env: 0,
+        ops: vec![
+            AttackOp {
+                pre_clear: env::PENDING_FETCH | env::DOC_FREED,
+                sets: env::PENDING_FETCH,
+                ..AttackOp::api("start-fetch", ApiSelector::Fetch)
+            },
+            AttackOp {
+                pre_clear: env::DOC_FREED,
+                sets: env::DOC_FREED,
+                cancel_clears: env::PENDING_FETCH,
+                ..AttackOp::api("navigate-away", ApiSelector::Navigate)
+            },
+            AttackOp {
+                pre_set: env::PENDING_FETCH,
+                clears: env::PENDING_FETCH,
+                fires: Some(env::DOC_FREED),
+                ..AttackOp::step("deliver-completion")
+            },
+        ],
+    }
+}
+
+fn implicit_clock_ticker() -> AttackModel {
+    AttackModel {
+        pattern: "ImplicitClockTicker",
+        cve: "Listing 1",
+        defeated_by: &["policy_deterministic"],
+        init_env: 0,
+        ops: vec![AttackOp {
+            intrinsic: CallFacts {
+                from_worker: true,
+                ..CallFacts::default()
+            },
+            timing: true,
+            fires: Some(0),
+            ..AttackOp::api("ticker-posts-clock-edge", ApiSelector::PostMessage)
+        }],
+    }
+}
+
+fn shared_loop_contention() -> AttackModel {
+    AttackModel {
+        pattern: "SharedLoopContention",
+        cve: "Loophole",
+        defeated_by: &["policy_attack-loophole"],
+        init_env: 0,
+        ops: vec![AttackOp {
+            intrinsic: CallFacts {
+                to_self: true,
+                ..CallFacts::default()
+            },
+            timing: true,
+            fires: Some(0),
+            ..AttackOp::api("self-post-probe", ApiSelector::PostMessage)
+        }],
+    }
+}
+
+fn ilp_stealthy_ticker() -> AttackModel {
+    AttackModel {
+        pattern: "IlpStealthyTicker",
+        cve: "Hacky Racers",
+        defeated_by: &["policy_attack-hacky-racers"],
+        init_env: 0,
+        ops: vec![AttackOp {
+            // Deliberately not a `timing` op: the ILP counter is read
+            // outside the event loop, so deterministic scheduling cannot
+            // quantize it — only the deny rule defeats this one.
+            fires: Some(0),
+            ..AttackOp::api("ilp-counter-read", ApiSelector::IlpCounterRead)
+        }],
+    }
+}
+
+/// Every attack model, one per scanner pattern, in scanner declaration
+/// order. 14 models covering the 15 designated policy rows (the
+/// `ErrorLeak` model is defeated by two policies).
+#[must_use]
+pub fn attack_models() -> Vec<AttackModel> {
+    vec![
+        implicit_clock_ticker(),
+        shared_loop_contention(),
+        ilp_stealthy_ticker(),
+        abort_after_owner_death(),
+        private_mode_persistence(),
+        error_leak(),
+        freed_doc_delivery(),
+        mid_dispatch_termination(),
+        freed_transfer_window(),
+        callback_after_close_window(),
+        closing_worker_assignment(),
+        worker_sop_bypass(),
+        sandbox_origin_inheritance(),
+        stale_doc_completion(),
+    ]
+}
+
+/// The model for the given scanner pattern name
+/// (`format!("{:?}", PatternKind::…)`), if one exists.
+#[must_use]
+pub fn model_for(pattern: &str) -> Option<AttackModel> {
+    attack_models().into_iter().find(|m| m.pattern == pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_firing_op_and_designated_policies() {
+        let models = attack_models();
+        assert_eq!(models.len(), 14);
+        for m in &models {
+            assert!(
+                m.ops.iter().any(|o| o.fires.is_some()),
+                "{} has no firing op",
+                m.pattern
+            );
+            assert!(!m.defeated_by.is_empty(), "{} is unclaimed", m.pattern);
+        }
+        let rows: usize = models.iter().map(|m| m.defeated_by.len()).sum();
+        assert_eq!(rows, 15, "Table-1 policies + the two family policies");
+    }
+
+    #[test]
+    fn facts_derive_from_the_environment_not_the_op() {
+        let m = abort_after_owner_death();
+        let abort = m.op("deliver-abort").unwrap();
+        let alive = m.facts_for(abort, env::PENDING_FETCH);
+        assert!(alive.owner_alive && alive.has_pending_fetches);
+        let dead = m.facts_for(abort, env::PENDING_FETCH | env::OWNER_DEAD);
+        assert!(!dead.owner_alive, "owner death must flow from the env bit");
+    }
+
+    #[test]
+    fn model_lookup_is_by_pattern_debug_name() {
+        assert!(model_for("ImplicitClockTicker").is_some());
+        assert!(model_for("NoSuchPattern").is_none());
+    }
+}

@@ -2,12 +2,14 @@
 //! manually-written per-CVE policies, the general deterministic scheduling
 //! policy, and the engine that matches intercepted calls against them.
 
+pub mod automata;
 pub mod cve;
 pub mod engine;
 pub mod families;
 pub mod spec;
 pub mod synth;
 
+pub use automata::{attack_models, model_for, AttackModel, AttackOp};
 pub use engine::PolicyEngine;
 pub use spec::{ApiSelector, CallFacts, Condition, PolicyAction, PolicyRule, PolicySpec};
 pub use synth::synthesize;

@@ -11,12 +11,13 @@
 use crate::coverage::{evaluate, BROWSER_SEED};
 use crate::minimize::minimize;
 use crate::mutate::mutate;
+use crate::seeds::startup_corpus;
 use jsk_analyze::report::analyze;
 use jsk_bench::{env_knob, pool};
 use jsk_browser::mediator::LegacyMediator;
 use jsk_core::{JsKernel, KernelConfig};
 use jsk_sim::rng::SimRng;
-use jsk_workloads::schedule::{run_schedule, seed_schedules, Schedule};
+use jsk_workloads::schedule::{run_schedule, Schedule};
 use serde::Serialize;
 use std::collections::BTreeSet;
 
@@ -143,15 +144,16 @@ fn kernel_races(schedule: &Schedule) -> usize {
 /// time.
 #[must_use]
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
-    let seeds = seed_schedules();
+    let seeds = startup_corpus();
     let mut corpus = seeds.clone();
     let mut covered: BTreeSet<String> = BTreeSet::new();
     let mut findings = Vec::new();
     let mut oracle_violations = Vec::new();
     let mut executed = 0usize;
 
-    // Generation 0: the seed corpus, evaluated in parallel, merged in
-    // corpus order.
+    // Generation 0: the startup corpus (canonical seeds, imported
+    // `fuzz_corpus/` reproducers, analysis-derived witnesses), evaluated
+    // in parallel and merged in corpus order.
     let seed_evals = pool::run_indexed(seeds.len(), cfg.jobs, |i| evaluate(&seeds[i]));
     let mut recall = Vec::with_capacity(seed_evals.len());
     for eval in &seed_evals {
@@ -265,13 +267,20 @@ mod tests {
     #[test]
     fn recall_mode_rediscovers_every_corpus_scanner_hit() {
         let report = run_fuzz(&small_cfg(false, 2));
-        assert_eq!(report.recall.len(), 15);
-        for entry in &report.recall {
+        let canonical: Vec<&RecallEntry> = report
+            .recall
+            .iter()
+            .filter(|e| crate::seeds::is_canonical(&e.name))
+            .collect();
+        assert_eq!(canonical.len(), 15);
+        for entry in canonical {
             assert!(
                 !entry.patterns.is_empty(),
                 "{} must be re-discovered by the scanner, got no patterns",
                 entry.name
             );
+        }
+        for entry in &report.recall {
             assert_eq!(
                 entry.kernel_races, 0,
                 "{} must stay race-free under the kernel",
@@ -279,7 +288,35 @@ mod tests {
             );
         }
         assert!(report.oracle_violations.is_empty());
-        assert_eq!(report.executed, 15);
+        assert_eq!(report.executed, report.recall.len());
+    }
+
+    /// The imported `fuzz_corpus/` reproducers are first-class startup
+    /// seeds: recall mode re-discovers each one as a raw-racing,
+    /// kernel-clean schedule.
+    #[test]
+    fn recall_mode_rediscovers_the_imported_corpus_findings() {
+        let report = run_fuzz(&small_cfg(false, 2));
+        let imported = crate::seeds::imported_seeds();
+        assert_eq!(imported.len(), 4);
+        for seed in &imported {
+            let entry = report
+                .recall
+                .iter()
+                .find(|e| e.name == seed.name)
+                .unwrap_or_else(|| panic!("{} missing from recall", seed.name));
+            assert!(
+                entry.raw_races > 0,
+                "{} was minimized to a raw race and must still be one",
+                entry.name
+            );
+            assert_eq!(entry.kernel_races, 0);
+        }
+        // Analysis-derived witnesses ride along too.
+        assert!(report
+            .recall
+            .iter()
+            .any(|e| e.name.contains("~predict:") && e.raw_races > 0));
     }
 
     #[test]

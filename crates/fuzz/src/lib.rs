@@ -20,6 +20,15 @@
 //! A candidate that contributes any feature the corpus has not shown
 //! before joins the corpus and seeds later mutation rounds.
 //!
+//! ## Startup corpus
+//!
+//! Generation 0 is [`seeds::startup_corpus`]: the canonical workload
+//! seeds, the minimized reproducers checked into `fuzz_corpus/`
+//! (compiled in via `include_str!`), and analysis-derived schedules —
+//! replay-confirmed witnesses from the predictive race detector and
+//! concrete realizations of any bounded-prover counterexample. Past
+//! discoveries and proofs feed the search instead of being re-derived.
+//!
 //! ## Oracle
 //!
 //! The race detector over the **kernel-mode** trace. The kernel's
@@ -27,7 +36,7 @@
 //! whose kernel run still races is an *oracle violation* — the CI
 //! fuzz-smoke job fails on any. Raw-mode races that open novel coverage
 //! are *findings*: newly discovered attack interleavings, minimized by
-//! delta-debugging ([`minimize`]) and emitted as corpus-entry JSON
+//! delta-debugging ([`fn@minimize`]) and emitted as corpus-entry JSON
 //! ([`Schedule::to_json`](jsk_workloads::schedule::Schedule)) for
 //! promotion into the regression corpus.
 //!
@@ -42,8 +51,10 @@ pub mod coverage;
 pub mod engine;
 pub mod minimize;
 pub mod mutate;
+pub mod seeds;
 
 pub use coverage::{evaluate, Eval, BROWSER_SEED};
 pub use engine::{run_fuzz, Finding, FuzzConfig, FuzzReport, RecallEntry};
 pub use minimize::minimize;
 pub use mutate::mutate;
+pub use seeds::{analysis_seeds, imported_seeds, is_canonical, startup_corpus};

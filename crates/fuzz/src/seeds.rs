@@ -1,0 +1,146 @@
+//! Startup corpus assembly: canonical workload seeds plus everything the
+//! project has already learned about where races hide.
+//!
+//! Three provenance classes, distinguishable by name:
+//!
+//! * **Canonical** seeds from [`jsk_workloads::schedule::seed_schedules`]
+//!   — names carry no `~`. These are the only entries the recall oracle
+//!   (scanner re-discovery) is judged on.
+//! * **Imported** findings: the minimized reproducers checked into
+//!   `fuzz_corpus/`, compiled in via `include_str!` so every fuzz run
+//!   starts from past discoveries instead of re-deriving them. Names
+//!   carry the fuzzer's mutation provenance (`parent~r<round>s<slot>`).
+//! * **Analysis-derived** seeds: replay-confirmed witnesses from the
+//!   predictive race detector (`…~predict:<class>:w<k>`) and concrete
+//!   realizations of any bounded-prover counterexample
+//!   (`…~prove:<policy>`). On a healthy tree the prover refutes nothing,
+//!   so the latter set is normally empty — but the moment a policy
+//!   regresses, its firing schedule lands straight in the fuzz corpus.
+
+use jsk_analyze::predict::{confirmed_witnesses, predict_corpus};
+use jsk_analyze::prove::{prove_all, prove_depth};
+use jsk_workloads::schedule::{seed_schedules, Schedule};
+use std::collections::BTreeSet;
+
+/// The minimized findings promoted into `fuzz_corpus/`, in repo order.
+/// `include_str!` keeps the fuzzer self-contained: the binary re-checks
+/// past reproducers even when run outside the repository checkout.
+const IMPORTED: &[(&str, &str)] = &[
+    (
+        "CVE-2014-3194_r0s1",
+        include_str!("../../../fuzz_corpus/CVE-2014-3194_r0s1.json"),
+    ),
+    (
+        "CVE-2014-3194_r0s1_r2s6",
+        include_str!("../../../fuzz_corpus/CVE-2014-3194_r0s1_r2s6.json"),
+    ),
+    (
+        "CVE-2018-5092_r0s13",
+        include_str!("../../../fuzz_corpus/CVE-2018-5092_r0s13.json"),
+    ),
+    (
+        "CVE-2018-5092_r0s13_r8s7",
+        include_str!("../../../fuzz_corpus/CVE-2018-5092_r0s13_r8s7.json"),
+    ),
+];
+
+/// True for a canonical workload seed (no mutation / analysis
+/// provenance in the name). The recall oracle and the bench `recall`
+/// verdict are judged on canonical entries only: derived seeds are racy
+/// interleavings, not scanner-pattern programs.
+#[must_use]
+pub fn is_canonical(name: &str) -> bool {
+    !name.contains('~')
+}
+
+/// Parses the compiled-in `fuzz_corpus/` reproducers.
+///
+/// # Panics
+/// If a checked-in corpus file is not valid schedule JSON — that is a
+/// repository defect, not an input condition.
+#[must_use]
+pub fn imported_seeds() -> Vec<Schedule> {
+    IMPORTED
+        .iter()
+        .map(|(file, body)| {
+            Schedule::from_json(body)
+                .unwrap_or_else(|e| panic!("fuzz_corpus/{file}.json is not a schedule: {e}"))
+        })
+        .collect()
+}
+
+/// Seeds derived by the analysis crate: confirmed predictive witnesses
+/// first (corpus order), then any prover counterexample realizations.
+/// Deterministic — both passes are pure functions of the committed
+/// corpus and the prove depth.
+#[must_use]
+pub fn analysis_seeds() -> Vec<Schedule> {
+    let mut out = confirmed_witnesses(&predict_corpus());
+    for row in prove_all(prove_depth()).rows {
+        if let Some(schedule) = row.schedule {
+            out.push(schedule);
+        }
+    }
+    out
+}
+
+/// The full startup corpus: canonical, then imported, then
+/// analysis-derived, deduplicated by name keeping the first occurrence.
+#[must_use]
+pub fn startup_corpus() -> Vec<Schedule> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::new();
+    for s in seed_schedules()
+        .into_iter()
+        .chain(imported_seeds())
+        .chain(analysis_seeds())
+    {
+        if seen.insert(s.name.clone()) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imported_seeds_parse_and_carry_mutation_provenance() {
+        let imported = imported_seeds();
+        assert_eq!(imported.len(), 4);
+        for s in &imported {
+            assert!(!is_canonical(&s.name), "{} should carry a ~", s.name);
+            assert!(!s.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn startup_corpus_is_deduplicated_and_layered() {
+        let corpus = startup_corpus();
+        let canonical = corpus.iter().filter(|s| is_canonical(&s.name)).count();
+        assert_eq!(canonical, seed_schedules().len());
+        assert!(
+            corpus.len() >= canonical + imported_seeds().len(),
+            "imported and analysis seeds must extend the corpus"
+        );
+        let mut names: Vec<&str> = corpus.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "names are unique");
+    }
+
+    #[test]
+    fn analysis_seeds_include_a_predictive_witness_and_no_counterexamples() {
+        let derived = analysis_seeds();
+        assert!(
+            derived.iter().any(|s| s.name.contains("~predict:")),
+            "at least one confirmed predictive witness must seed the fuzzer"
+        );
+        assert!(
+            !derived.iter().any(|s| s.name.contains("~prove:")),
+            "a prover counterexample in the seed set means a shipped policy regressed"
+        );
+    }
+}

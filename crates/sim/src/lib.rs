@@ -28,6 +28,7 @@
 
 pub mod fault;
 pub mod ids;
+pub mod knob;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -37,6 +38,7 @@ pub use fault::{
     ClockSkew, ConfirmFate, FaultInjector, FaultPlan, FaultPlanError, FaultStats, MessageFate,
     NetFate, ShardCrash, ShardPartition,
 };
+pub use knob::{env_knob, parse_knob};
 pub use queue::{Popped, QueueKey, TimeQueue};
 pub use rng::SimRng;
 pub use stats::{cosine_similarity, distinguishable, Distinguishability, Summary};

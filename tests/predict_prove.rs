@@ -1,0 +1,141 @@
+//! Acceptance pins for the predictive race detector and the bounded
+//! policy prover: "no race seen" must become "no race schedulable".
+
+use jsk_analyze::predict::{confirmed_witnesses, predict_corpus, PREDICT_SEED};
+use jsk_analyze::prove::{prove_all, prove_policy, Verdict, DEFAULT_PROVE_DEPTH};
+use jsk_analyze::report::analyze;
+use jsk_browser::mediator::LegacyMediator;
+use jsk_core::policy::{cve, model_for};
+use jsk_workloads::schedule::run_schedule;
+
+/// The headline predictive claim: on kernel traces the observed-order
+/// detector reports nothing (the deterministic dispatcher chains every
+/// pair), yet the weakened order predicts raw-schedulable races — and the
+/// witness schedule replays to a *confirmed* race via `run_schedule`.
+#[test]
+fn predictive_detector_finds_confirmed_races_the_observed_order_misses() {
+    let reports = predict_corpus();
+    assert_eq!(reports.len(), 15, "one report per seed schedule");
+
+    let mut confirmed = 0usize;
+    for report in &reports {
+        assert_eq!(
+            report.observed_races, 0,
+            "{}: the kernel trace must look race-free to the observed-order \
+             detector — that blindness is what prediction exists to fix",
+            report.schedule
+        );
+        for p in &report.predicted {
+            if !p.confirmed {
+                continue;
+            }
+            confirmed += 1;
+            // Re-run the witness from scratch: raw replay must race.
+            let browser = run_schedule(&p.witness, Box::new(LegacyMediator), PREDICT_SEED);
+            let raw = analyze(browser.trace());
+            assert!(
+                !raw.races.is_empty(),
+                "{}: a confirmed witness must replay to a raw race",
+                p.witness.name
+            );
+        }
+    }
+    assert!(
+        confirmed >= 1,
+        "at least one predicted race must come with a replay-confirmed witness"
+    );
+}
+
+/// Every witness the fuzzer will import as a predictive seed is named
+/// with its provenance and is non-trivial.
+#[test]
+fn confirmed_witnesses_are_wellformed_fuzz_seeds() {
+    let witnesses = confirmed_witnesses(&predict_corpus());
+    assert!(!witnesses.is_empty());
+    for w in &witnesses {
+        assert!(
+            w.name.contains("~predict:"),
+            "{}: predictive seeds must carry provenance",
+            w.name
+        );
+        assert!(!w.events.is_empty());
+    }
+}
+
+/// Table-1 upgrade: all 13 corpus policies plus the two family policies
+/// *prove* their patterns defeated at the default depth — zero
+/// counterexamples across the whole matrix.
+#[test]
+fn prover_proves_the_full_policy_matrix_at_default_depth() {
+    let report = prove_all(DEFAULT_PROVE_DEPTH);
+    assert_eq!(report.rows.len(), 15);
+    assert_eq!(report.proved, 15, "{}", report.summary());
+    assert_eq!(report.refuted, 0);
+    let policies: Vec<&str> = report.rows.iter().map(|r| r.policy.as_str()).collect();
+    for expected in [
+        "policy_deterministic",
+        "policy_attack-loophole",
+        "policy_attack-hacky-racers",
+        "policy_cve-2018-5092",
+        "policy_cve-2010-4576",
+    ] {
+        assert!(policies.contains(&expected), "matrix misses {expected}");
+    }
+}
+
+/// The prover is not a rubber stamp: deliberately weakening CVE-2018-5092
+/// (dropping both ordering rules, keeping only the unrelated clean-close
+/// rule) flips the verdict to refuted, with the minimal firing schedule
+/// and a concrete corpus realization attached.
+#[test]
+fn prover_refutes_a_deliberately_weakened_policy() {
+    let mut weak = cve::cve_2018_5092();
+    weak.rules
+        .retain(|r| !r.id.contains("defer-termination") && !r.id.contains("suppress-abort"));
+    assert!(!weak.rules.is_empty(), "the clean-close rule must survive");
+    let model = model_for("AbortAfterOwnerDeath").expect("model exists");
+    let row = prove_policy(&weak, &model, DEFAULT_PROVE_DEPTH);
+    assert_eq!(row.verdict, Verdict::Refuted);
+    assert_eq!(
+        row.counterexample.as_deref(),
+        Some(
+            &[
+                "worker-starts-fetch".to_owned(),
+                "terminate-worker".to_owned(),
+                "deliver-abort".to_owned(),
+            ][..]
+        )
+    );
+    let schedule = row.schedule.expect("refutations carry a realization");
+    assert!(schedule.name.starts_with("CVE-2018-5092~prove:"));
+}
+
+/// Defense-in-depth, made checkable: CVE-2018-5092's two ordering rules
+/// each independently defeat the pattern — dropping either one alone
+/// still proves.
+#[test]
+fn cve_2018_5092_ordering_rules_are_independently_sufficient() {
+    let model = model_for("AbortAfterOwnerDeath").expect("model exists");
+    for dropped in ["defer-termination", "suppress-abort"] {
+        let mut weak = cve::cve_2018_5092();
+        weak.rules.retain(|r| !r.id.contains(dropped));
+        let row = prove_policy(&weak, &model, DEFAULT_PROVE_DEPTH);
+        assert_eq!(
+            row.verdict,
+            Verdict::Proved,
+            "dropping only {dropped} must leave the other rule covering"
+        );
+    }
+}
+
+/// Prediction and proof artifacts serialize deterministically.
+#[test]
+fn predictive_and_prover_output_is_stable_across_runs() {
+    let a: Vec<String> = predict_corpus().iter().map(|r| r.to_json()).collect();
+    let b: Vec<String> = predict_corpus().iter().map(|r| r.to_json()).collect();
+    assert_eq!(a, b);
+    assert_eq!(
+        prove_all(DEFAULT_PROVE_DEPTH).to_json(),
+        prove_all(DEFAULT_PROVE_DEPTH).to_json()
+    );
+}
