@@ -10,17 +10,22 @@
 //! baseline. There is no simulated browser in this harness, so
 //! `probe.steps` counts hot-path operations instead of event-loop steps.
 //!
-//! `JSK_HOTPATH_ROUNDS` scales every phase (default 1 000 000).
+//! `JSK_HOTPATH_ROUNDS` scales the structure phases (default 1 000 000);
+//! `JSK_HOTPATH_STEADY` scales the end-to-end `dispatch-steady` phase
+//! (default 250 000 kernel events).
 
-use jsk_browser::event::AsyncKind;
+use jsk_browser::event::{AsyncEventInfo, AsyncKind};
 use jsk_browser::ids::{EventToken, RequestId, ThreadId, WorkerId};
-use jsk_browser::mediator::ApiOutcome;
+use jsk_browser::mediator::{ApiOutcome, ConfirmDecision, Mediator, MediatorCtx, MediatorOp};
 use jsk_browser::trace::{ApiCall, Fact, Interner, TerminationReason, Trace};
-use jsk_core::equeue::KernelEventQueue;
+use jsk_core::equeue::{DrainScratch, KernelEventQueue};
+use jsk_core::kernel::JsKernel;
 use jsk_core::kevent::{KEventStatus, KernelEvent};
 use jsk_core::policy::{cve, PolicyEngine};
+use jsk_core::stats::StatsSnapshot;
 use jsk_core::threads::ThreadManager;
-use jsk_sim::time::SimTime;
+use jsk_sim::rng::SimRng;
+use jsk_sim::time::{SimDuration, SimTime};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -138,7 +143,7 @@ fn policy_decide(rounds: usize) -> (Phase, u64) {
 
 fn equeue_churn(rounds: u64) -> (Phase, u64) {
     let mut q = KernelEventQueue::new();
-    let mut scratch = Vec::new();
+    let mut scratch = DrainScratch::new();
     let mut drained = 0u64;
     let phase = timed("equeue-churn", || {
         for r in 0..rounds {
@@ -231,22 +236,95 @@ fn observe_hooks(rounds: u64) -> (Phase, u64, jsk_observe::MetricsSnapshot) {
     (phase, total, snapshot)
 }
 
+/// The end-to-end kernel steady state: a live [`JsKernel`] driven through
+/// the same mediator hooks the browser calls — one full
+/// register → confirm → serialized dispatch → post-task tick cycle per
+/// event, over a mix of stream kinds (message, timeout, raf, media) on one
+/// thread. After the dense-state overhaul this loop performs **zero heap
+/// allocations per event** once warm (the `alloc_steady` gate proves it);
+/// this phase measures what that buys: sustained kernel events per second,
+/// which lands in the run metadata's `kernel_events_per_sec` where the
+/// regression gate holds it to the committed baseline.
+fn dispatch_steady(events: u64) -> (Phase, u64, StatsSnapshot) {
+    let mut k = JsKernel::default();
+    let mut rng = SimRng::new(0x57EAD);
+    let main = ThreadId::new(0);
+    let sender = ThreadId::new(1);
+    // Mediator-call buffers recycled across every hook invocation, exactly
+    // as the browser's `med_scratch` does.
+    let mut ops: Vec<MediatorOp> = Vec::new();
+    let mut marks: Vec<u32> = Vec::new();
+    let phase = timed("dispatch-steady", || {
+        let mut hook_calls = 0u64;
+        for i in 0..events {
+            // The virtual clock outruns every prediction ladder (the
+            // fastest, media, climbs 33 ms per firing), so each confirm
+            // dispatches immediately — the sustained steady state.
+            let now = SimTime::from_millis(25 * (i + 1));
+            let kind = match i % 4 {
+                0 => AsyncKind::Message { from: sender },
+                1 => AsyncKind::Timeout {
+                    delay: SimDuration::from_millis(1),
+                    nesting: 0,
+                },
+                2 => AsyncKind::Raf,
+                _ => AsyncKind::Media,
+            };
+            let info = AsyncEventInfo {
+                token: EventToken::new(i + 1),
+                thread: main,
+                kind,
+                registered_at: now,
+                doc_generation: 0,
+                context: 0,
+            };
+            let mut ctx = MediatorCtx::recycled(
+                now,
+                &mut rng,
+                std::mem::take(&mut ops),
+                std::mem::take(&mut marks),
+            );
+            k.on_register(&mut ctx, &info);
+            let d = k.on_confirm(&mut ctx, &info, now);
+            debug_assert!(
+                matches!(d, ConfirmDecision::InvokeAt(_)),
+                "steady-state confirm deferred: {d:?}"
+            );
+            k.on_task_dispatched(&mut ctx, main, Some(info.token), 0);
+            k.on_tick(&mut ctx, main);
+            hook_calls += 4;
+            let (o, m) = ctx.into_parts();
+            ops = o;
+            marks = m;
+            ops.clear();
+            marks.clear();
+        }
+        black_box(&k);
+        hook_calls
+    });
+    let snap = k.stats().snapshot();
+    (phase, snap.dispatched, snap)
+}
+
 fn main() {
     let rounds = jsk_bench::env_knob("JSK_HOTPATH_ROUNDS", 1_000_000);
+    let steady_events = jsk_bench::env_knob("JSK_HOTPATH_STEADY", 250_000) as u64;
     let mut reporter = jsk_bench::record::BenchReporter::new("hotpath");
     reporter.knob("JSK_HOTPATH_ROUNDS", rounds);
+    reporter.knob("JSK_HOTPATH_STEADY", steady_events as usize);
 
     let (decide, denies) = policy_decide(rounds);
     let (equeue, drained) = equeue_churn(rounds as u64 / 32);
     let (record, symbols) = trace_record(rounds);
     let (observe, hooked, obs_snapshot) = observe_hooks(rounds as u64);
+    let (steady, dispatched, kernel_snapshot) = dispatch_steady(steady_events);
 
     let mut report = jsk_bench::Report::new(
         "Hot-path throughput (dispatch-path structures)",
         &["phase", "ops", "wall ms", "kops/sec"],
     );
     let mut probe = jsk_bench::record::Probe::default();
-    for phase in [&decide, &equeue, &record, &observe] {
+    for phase in [&decide, &equeue, &record, &observe, &steady] {
         report.row(vec![
             phase.row.to_owned(),
             phase.ops.to_string(),
@@ -265,6 +343,7 @@ fn main() {
         (&equeue, drained, "events drained", "events"),
         (&record, symbols, "interned symbols", "symbols"),
         (&observe, hooked, "dispatched counter", "events"),
+        (&steady, dispatched, "events dispatched", "events"),
     ] {
         reporter.cell(jsk_bench::record::CellRecord::value(
             phase.row,
@@ -279,6 +358,10 @@ fn main() {
             unit,
         ));
     }
+    // The steady-state kernel's counters feed the meta's
+    // kernel_events_per_sec, holding end-to-end dispatch throughput to the
+    // committed baseline alongside the combined steps_per_sec.
+    probe.stats.merge(&kernel_snapshot);
     reporter.absorb(&probe);
     // The regression gate diffs these counters exactly against the
     // committed baseline (deterministic under fixed knobs).

@@ -6,7 +6,7 @@ use criterion::{criterion_group, BatchSize, Criterion};
 use jsk_browser::event::AsyncKind;
 use jsk_browser::ids::{EventToken, RequestId, ThreadId, WorkerId};
 use jsk_browser::trace::ApiCall;
-use jsk_core::equeue::KernelEventQueue;
+use jsk_core::equeue::{DrainScratch, KernelEventQueue};
 use jsk_core::kclock::KernelClock;
 use jsk_core::kevent::{KEventStatus, KernelEvent};
 use jsk_core::policy::{cve, PolicyEngine};
@@ -18,7 +18,7 @@ use std::hint::black_box;
 fn bench_equeue(c: &mut Criterion) {
     // The scratch buffer lives across iterations, as it does in the
     // kernel's dispatch loop — steady state drains without allocating.
-    let mut scratch = Vec::new();
+    let mut scratch = DrainScratch::new();
     c.bench_function("equeue push+confirm+drain (64 events)", |b| {
         b.iter_batched(
             KernelEventQueue::new,

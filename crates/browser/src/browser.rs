@@ -367,6 +367,14 @@ pub struct Browser {
     /// Synthetic HB node for browser-initiated teardown work (async worker
     /// teardown has no dispatched task to attribute its frees to).
     hb_synth_node: Option<u64>,
+    /// Recycled mediator-call buffers (op list + batch-mark list), taken
+    /// at the start of every hook invocation and returned once the ops
+    /// are applied — steady-state hooks allocate nothing.
+    med_scratch: Option<(Vec<MediatorOp>, Vec<u32>)>,
+    /// Scratch for the batched same-instant confirmation path.
+    batch_items: Vec<(AsyncEventInfo, SimTime)>,
+    batch_pes: Vec<PendingEvent>,
+    batch_decisions: Vec<ConfirmDecision>,
     /// Attached observer and its pre-interned names.
     #[cfg(feature = "observe")]
     obs: Option<ObsCtx>,
@@ -442,6 +450,10 @@ impl Browser {
             next_node: 0,
             hb_ctx_node: None,
             hb_synth_node: None,
+            med_scratch: Some((Vec::new(), Vec::new())),
+            batch_items: Vec::new(),
+            batch_pes: Vec::new(),
+            batch_decisions: Vec::new(),
             #[cfg(feature = "observe")]
             obs,
         };
@@ -701,14 +713,19 @@ impl Browser {
         let mut m = self.mediator.take().expect("mediator hook reentrancy");
         let instant = self.current_instant();
         let node = self.hb_current_node();
-        let (r, ops) = {
-            let mut ctx = MediatorCtx::new(instant, &mut self.rng_med);
+        let (ops_buf, marks_buf) = self.med_scratch.take().unwrap_or_default();
+        let (r, mut ops, marks) = {
+            let mut ctx = MediatorCtx::recycled(instant, &mut self.rng_med, ops_buf, marks_buf);
             ctx.node = node;
             let r = f(m.as_mut(), &mut ctx);
-            (r, ctx.into_ops())
+            let (ops, marks) = ctx.into_parts();
+            (r, ops, marks)
         };
         self.mediator = Some(m);
-        self.apply_ops(ops);
+        for op in ops.drain(..) {
+            self.apply_op(op);
+        }
+        self.med_scratch = Some((ops, marks));
         r
     }
 
@@ -749,43 +766,41 @@ impl Browser {
         );
     }
 
-    fn apply_ops(&mut self, ops: Vec<MediatorOp>) {
-        for op in ops {
-            match op {
-                MediatorOp::Release { token, at } => {
-                    if let Some(pe) = self.withheld.remove(&token) {
-                        let at = at.max(self.now);
-                        self.invoke_event(pe, at);
-                    }
+    fn apply_op(&mut self, op: MediatorOp) {
+        match op {
+            MediatorOp::Release { token, at } => {
+                if let Some(pe) = self.withheld.remove(&token) {
+                    let at = at.max(self.now);
+                    self.invoke_event(pe, at);
                 }
-                MediatorOp::DropEvent { token } => {
-                    self.withheld.remove(&token);
-                }
-                MediatorOp::ScheduleTick { thread, at } => {
-                    self.events
-                        .push(at.max(self.now), SimEvent::MediatorTick(thread));
-                }
-                MediatorOp::KernelSend {
-                    from,
-                    to,
-                    payload,
-                    at,
-                    sender_node,
-                } => {
-                    self.events.push(
-                        at.max(self.now),
-                        SimEvent::KernelMessage {
-                            from,
-                            to,
-                            payload,
-                            sender_node,
-                        },
-                    );
-                }
-                MediatorOp::OrderEdge { from, to, kind } => {
-                    let t = self.current_instant();
-                    self.trace.edge(t, HbEdge { from, to, kind });
-                }
+            }
+            MediatorOp::DropEvent { token } => {
+                self.withheld.remove(&token);
+            }
+            MediatorOp::ScheduleTick { thread, at } => {
+                self.events
+                    .push(at.max(self.now), SimEvent::MediatorTick(thread));
+            }
+            MediatorOp::KernelSend {
+                from,
+                to,
+                payload,
+                at,
+                sender_node,
+            } => {
+                self.events.push(
+                    at.max(self.now),
+                    SimEvent::KernelMessage {
+                        from,
+                        to,
+                        payload,
+                        sender_node,
+                    },
+                );
+            }
+            MediatorOp::OrderEdge { from, to, kind } => {
+                let t = self.current_instant();
+                self.trace.edge(t, HbEdge { from, to, kind });
             }
         }
     }
@@ -977,21 +992,127 @@ impl Browser {
         // the current firing is even confirmed, like the real event loop.
         self.maybe_rearm(token, pe.forked_from);
         let raw_fire = self.now;
-        let info = pe.info;
-        let decision = self.with_mediator(|m, ctx| m.on_confirm(ctx, &info, raw_fire));
+
+        // Batched confirmation drain: raw triggers that share this exact
+        // virtual instant are settled through one mediator call instead of
+        // one per event. Only *non-periodic* followers may join the batch —
+        // a periodic firing re-arms (a fresh registration) between confirms
+        // on the sequential path, which does not commute with the confirms
+        // before it. Each extra pop consumes a step exactly as the run loop
+        // would have (the loop adds the final +1 for the original event).
+        let mut items = std::mem::take(&mut self.batch_items);
+        let mut pes = std::mem::take(&mut self.batch_pes);
+        items.clear();
+        pes.clear();
+        items.push((pe.info, raw_fire));
+        pes.push(pe);
+        loop {
+            if self.steps + 1 >= self.cfg.step_limit {
+                break;
+            }
+            let tok = match self.events.peek() {
+                Some((t, SimEvent::RawTrigger(tok))) if t == self.now => *tok,
+                _ => break,
+            };
+            if self.is_periodic_firing(tok) {
+                break;
+            }
+            self.events.pop();
+            self.steps += 1;
+            let Some(mut pe) = self.pending.remove(&tok) else {
+                continue; // cancelled follower: consumed, like the run loop
+            };
+            pe.raw_key = None;
+            items.push((pe.info, raw_fire));
+            pes.push(pe);
+        }
+        if items.len() == 1 {
+            let info = items[0].0;
+            let pe = pes.pop().expect("one batched event");
+            let decision = self.with_mediator(|m, ctx| m.on_confirm(ctx, &info, raw_fire));
+            self.settle_confirmed(pe, decision);
+        } else {
+            self.confirm_batched(&items, &mut pes);
+        }
+        items.clear();
+        pes.clear();
+        self.batch_items = items;
+        self.batch_pes = pes;
+    }
+
+    /// Whether `token` is the current firing of a live periodic timer
+    /// (interval / media / CSS tick) — i.e. confirming it would re-arm.
+    fn is_periodic_firing(&self, token: EventToken) -> bool {
+        self.timers
+            .iter()
+            .any(|t| t.current_token == token && !t.cancelled && t.period.is_some())
+    }
+
+    /// Applies one confirmation decision to its pending event, exactly as
+    /// the tail of the sequential `raw_trigger` did.
+    fn settle_confirmed(&mut self, pe: PendingEvent, decision: ConfirmDecision) {
         match decision {
             ConfirmDecision::InvokeAt(t) => {
                 let at = t.max(self.now);
                 self.invoke_event(pe, at);
             }
             ConfirmDecision::Withhold => {
-                self.withheld.insert(token, pe);
+                self.withheld.insert(pe.info.token, pe);
             }
             ConfirmDecision::Drop => {
                 // The mediator already wrote this event off (e.g. the
                 // watchdog expired it); a late confirmation is discarded.
             }
         }
+    }
+
+    /// Settles a same-instant batch of confirmations through one mediator
+    /// call. The mediator records a mark after each item; ops are applied
+    /// interleaved with the per-item decisions so the observable sequence
+    /// (ops_0, decision_0, ops_1, decision_1, …) is byte-identical to the
+    /// sequential path.
+    fn confirm_batched(
+        &mut self,
+        items: &[(AsyncEventInfo, SimTime)],
+        pes: &mut Vec<PendingEvent>,
+    ) {
+        let mut m = self.mediator.take().expect("mediator hook reentrancy");
+        let instant = self.current_instant();
+        let node = self.hb_current_node();
+        let (ops_buf, marks_buf) = self.med_scratch.take().unwrap_or_default();
+        let mut decisions = std::mem::take(&mut self.batch_decisions);
+        decisions.clear();
+        let (mut ops, mut marks) = {
+            let mut ctx = MediatorCtx::recycled(instant, &mut self.rng_med, ops_buf, marks_buf);
+            ctx.node = node;
+            m.confirm_batch(&mut ctx, items, &mut decisions);
+            ctx.into_parts()
+        };
+        self.mediator = Some(m);
+        debug_assert_eq!(decisions.len(), items.len(), "one decision per item");
+        debug_assert_eq!(marks.len(), items.len(), "one mark per item");
+        let mut op_stream = ops.drain(..);
+        let mut applied: usize = 0;
+        for (i, pe) in pes.drain(..).enumerate() {
+            let mark = marks.get(i).copied().unwrap_or(u32::MAX) as usize;
+            while applied < mark {
+                match op_stream.next() {
+                    Some(op) => {
+                        applied += 1;
+                        self.apply_op(op);
+                    }
+                    None => break,
+                }
+            }
+            self.settle_confirmed(pe, decisions[i]);
+        }
+        for op in op_stream {
+            self.apply_op(op);
+        }
+        marks.clear();
+        self.med_scratch = Some((ops, marks));
+        decisions.clear();
+        self.batch_decisions = decisions;
     }
 
     fn invoke_event(&mut self, pe: PendingEvent, at: SimTime) {

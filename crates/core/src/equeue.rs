@@ -233,8 +233,9 @@ impl KernelEventQueue {
     /// dispatcher "waits for the event to become ready", §III-D3).
     ///
     /// `out` is a caller-owned scratch buffer (it is *not* cleared), so a
-    /// steady-state dispatch loop reuses one allocation across steps.
-    pub fn drain_dispatchable_into(&mut self, out: &mut Vec<KernelEvent>) {
+    /// steady-state dispatch loop reuses one allocation across steps — and
+    /// with [`DrainScratch`]'s inline capacity, typically none at all.
+    pub fn drain_dispatchable_into(&mut self, out: &mut DrainScratch) {
         while let Some(head) = self.top() {
             match head.status {
                 KEventStatus::Pending => break,
@@ -249,13 +250,71 @@ impl KernelEventQueue {
             }
         }
     }
+}
 
-    /// Allocating convenience wrapper over
-    /// [`drain_dispatchable_into`](KernelEventQueue::drain_dispatchable_into).
-    pub fn drain_dispatchable(&mut self) -> Vec<KernelEvent> {
-        let mut out = Vec::new();
-        self.drain_dispatchable_into(&mut out);
-        out
+/// Events drained per dispatch step land inline in a [`DrainScratch`];
+/// only a burst larger than this spills to the heap.
+pub const INLINE_DRAIN: usize = 8;
+
+/// A reusable small-vec receiving drained events: the first
+/// [`INLINE_DRAIN`] go to an inline array (a dispatch step rarely
+/// releases more than a handful), the rest spill into a `Vec` whose
+/// capacity is retained across [`clear`](Self::clear) — so a steady-state
+/// drain loop never allocates.
+#[derive(Debug, Default)]
+pub struct DrainScratch {
+    inline: [Option<KernelEvent>; INLINE_DRAIN],
+    inline_len: usize,
+    spill: Vec<KernelEvent>,
+}
+
+impl DrainScratch {
+    /// Creates an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> DrainScratch {
+        DrainScratch::default()
+    }
+
+    /// Empties the buffer, keeping the spill allocation.
+    pub fn clear(&mut self) {
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: KernelEvent) {
+        if self.inline_len < INLINE_DRAIN {
+            self.inline[self.inline_len] = Some(event);
+            self.inline_len += 1;
+        } else {
+            self.spill.push(event);
+        }
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events overflowed the inline array (diagnostics / tests).
+    #[must_use]
+    pub fn spilled(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// The buffered events in drain order.
+    pub fn iter(&self) -> impl Iterator<Item = &KernelEvent> + '_ {
+        self.inline[..self.inline_len]
+            .iter()
+            .map(|e| e.as_ref().expect("slot below inline_len is filled"))
+            .chain(self.spill.iter())
     }
 }
 
@@ -272,6 +331,14 @@ mod tests {
             AsyncKind::Raf,
             SimTime::from_millis(predicted_ms),
         )
+    }
+
+    /// Collects a full drain into a Vec (test convenience over the
+    /// scratch-buffer API).
+    fn drain_vec(q: &mut KernelEventQueue) -> Vec<KernelEvent> {
+        let mut scratch = DrainScratch::new();
+        q.drain_dispatchable_into(&mut scratch);
+        scratch.iter().copied().collect()
     }
 
     #[test]
@@ -366,10 +433,10 @@ mod tests {
         // Confirm #2 and #3 but not #1 — nothing may dispatch.
         q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
         q.lookup_mut(EventToken::new(3)).unwrap().status = KEventStatus::Confirmed;
-        assert!(q.drain_dispatchable().is_empty());
+        assert!(drain_vec(&mut q).is_empty());
         // Confirm #1 — all three go out in predicted order.
         q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Confirmed;
-        let out = q.drain_dispatchable();
+        let out = drain_vec(&mut q);
         let tokens: Vec<u64> = out.iter().map(|e| e.token.index()).collect();
         assert_eq!(tokens, vec![1, 2, 3]);
         assert!(q.is_empty());
@@ -382,7 +449,7 @@ mod tests {
         q.push(ev(2, 20));
         q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Cancelled;
         q.lookup_mut(EventToken::new(2)).unwrap().status = KEventStatus::Confirmed;
-        let out = q.drain_dispatchable();
+        let out = drain_vec(&mut q);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].token, EventToken::new(2));
     }
@@ -392,7 +459,7 @@ mod tests {
         let mut q = KernelEventQueue::new();
         q.push(ev(1, 10));
         q.lookup_mut(EventToken::new(1)).unwrap().status = KEventStatus::Confirmed;
-        let mut scratch = Vec::new();
+        let mut scratch = DrainScratch::new();
         q.drain_dispatchable_into(&mut scratch);
         assert_eq!(scratch.len(), 1);
         // A second drain appends; the caller owns clearing.
@@ -401,6 +468,42 @@ mod tests {
         q.drain_dispatchable_into(&mut scratch);
         let tokens: Vec<u64> = scratch.iter().map(|e| e.token.index()).collect();
         assert_eq!(tokens, vec![1, 2]);
+        assert_eq!(scratch.spilled(), 0, "small drains stay inline");
+    }
+
+    #[test]
+    fn drain_scratch_spills_past_inline_capacity_in_order() {
+        let mut q = KernelEventQueue::new();
+        let n = (INLINE_DRAIN + 4) as u64;
+        for i in 0..n {
+            q.push(ev(i, 10 + i));
+            q.lookup_mut(EventToken::new(i)).unwrap().status = KEventStatus::Confirmed;
+        }
+        let mut scratch = DrainScratch::new();
+        q.drain_dispatchable_into(&mut scratch);
+        assert_eq!(scratch.len(), n as usize);
+        assert_eq!(scratch.spilled(), 4);
+        let tokens: Vec<u64> = scratch.iter().map(|e| e.token.index()).collect();
+        assert_eq!(tokens, (0..n).collect::<Vec<_>>());
+        scratch.clear();
+        assert!(scratch.is_empty());
+        assert_eq!(scratch.spilled(), 0);
+    }
+
+    #[test]
+    fn try_push_succeeds_again_after_remove_frees_capacity() {
+        let mut q = KernelEventQueue::new();
+        assert!(q.try_push(ev(1, 10), 2).is_ok());
+        assert!(q.try_push(ev(2, 20), 2).is_ok());
+        assert!(q.try_push(ev(3, 30), 2).is_err());
+        // Removing under a stale heap entry must free a capacity slot.
+        q.remove(EventToken::new(1)).unwrap();
+        assert!(q.try_push(ev(3, 5), 2).is_ok());
+        // The re-admitted event's *new* prediction wins, not any stale
+        // ordering: it surfaces first despite being pushed last.
+        assert_eq!(q.pop().unwrap().token, EventToken::new(3));
+        assert_eq!(q.pop().unwrap().token, EventToken::new(2));
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -543,7 +646,7 @@ mod tests {
                 0 | 1 => {
                     let t = ev(next_token, u64::from(rand() % 8));
                     next_token += 1;
-                    q.push(t.clone());
+                    q.push(t);
                     m.push(t);
                 }
                 2 => {
@@ -566,7 +669,7 @@ mod tests {
                         None => assert!(!in_model),
                     }
                 }
-                4 => assert_eq!(q.drain_dispatchable(), m.drain()),
+                4 => assert_eq!(drain_vec(&mut q), m.drain()),
                 _ => assert_eq!(q.pop(), m.pop()),
             }
             assert_eq!(q.top().map(|e| e.token), m.top_token());

@@ -21,12 +21,15 @@ use crate::check::InvariantChecker;
 use crate::comm::KernelMsg;
 use crate::config::KernelConfig;
 use crate::equeue::KernelEventQueue;
+use crate::fasthash::FastMap;
 use crate::interface::KernelInterface;
 use crate::kclock::KernelClock;
 use crate::kevent::{KEventStatus, KernelEvent};
 use crate::policy::PolicyEngine;
+use crate::scheduler::CompiledPrediction;
 use crate::stats::KernelStats;
 use crate::threads::{KThreadStatus, ThreadManager};
+use crate::token_table::TokenTable;
 use jsk_browser::event::{AsyncEventInfo, AsyncKind};
 use jsk_browser::ids::{EventToken, RequestId, ThreadId, WorkerId, MAIN_THREAD};
 use jsk_browser::mediator::{
@@ -35,7 +38,6 @@ use jsk_browser::mediator::{
 use jsk_browser::trace::{ApiCall, EdgeKind};
 use jsk_browser::value::JsValue;
 use jsk_sim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Whether `JSK_DEBUG` tracing is enabled (checked once).
@@ -46,11 +48,132 @@ fn debug_enabled() -> bool {
 
 /// Per-thread kernel state: the thread's own event queue and clock
 /// (§III-E1: "a kernel thread maintains a separate event queue and clock
-/// from the main thread").
+/// from the main thread"), plus the handful of per-thread scalars the
+/// dispatcher consults on every event. Keeping them inline here (rather
+/// than in per-field maps keyed by thread) makes the steady-state path a
+/// single indexed load with no hashing and no allocation.
 #[derive(Debug)]
 struct ThreadKernel {
     equeue: KernelEventQueue,
     clock: KernelClock,
+    /// Predicted time of the task currently (or last) dispatched on this
+    /// thread — the *causal* virtual time registrations inherit, so a
+    /// registration's prediction is a function of the event history that
+    /// caused it, never of physical durations.
+    task_base: SimTime,
+    /// The one event that has been released to the browser's event loop
+    /// but has not started running yet. The dispatcher is *serialized*:
+    /// it releases the next event only after the previous one's task body
+    /// ran, so every registration that task makes (chained timers,
+    /// self-posted messages) is in the queue before the next ordering
+    /// decision — otherwise a later-predicted event could overtake a
+    /// chain's not-yet-registered successor.
+    inflight: Option<EventToken>,
+    /// The HB node of the last task dispatched on this thread. Under
+    /// deterministic scheduling the serialized dispatcher totally orders a
+    /// thread's tasks, and the kernel *announces* that guarantee to the
+    /// trace as [`EdgeKind::DispatchChain`] edges — the race detector only
+    /// credits orderings a mediator actually enforced.
+    last_node: Option<u64>,
+    /// Watchdog state: the pending head that is currently blocking
+    /// confirmed work, and when the kernel first saw it blocking. A
+    /// pending head with nothing confirmed behind it costs nothing and is
+    /// never timed; a blocked head whose confirmation was lost would stall
+    /// the thread forever (livelock), so after `cfg.watchdog_hold` the
+    /// dispatcher writes it off as cancelled (§III-D2 applied by the
+    /// kernel itself rather than by user space).
+    watchdog: Option<(EventToken, SimTime)>,
+    /// HB nodes of tasks whose kernel-space messages (any [`KernelMsg`]
+    /// where [`KernelMsg::induces_hb`] holds) were delivered to this
+    /// thread while it has not dispatched its next task yet. Drained in
+    /// place into [`EdgeKind::KernelComm`] edges at that next dispatch
+    /// (the buffer is cleared, not dropped, so it is reused).
+    pending_comm: Vec<u64>,
+}
+
+impl ThreadKernel {
+    fn new(tick_unit: SimDuration) -> ThreadKernel {
+        ThreadKernel {
+            equeue: KernelEventQueue::new(),
+            clock: KernelClock::new(tick_unit),
+            task_base: SimTime::ZERO,
+            inflight: None,
+            last_node: None,
+            watchdog: None,
+            pending_comm: Vec::new(),
+        }
+    }
+}
+
+/// Dense stream-ladder class: the payload-free [`AsyncKind`] discriminant
+/// that keys [`JsKernel`]'s `stream_last` ladders (replacing the interned
+/// label strings the map used to carry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StreamClass {
+    Interval,
+    Media,
+    Css,
+    Message,
+    Raf,
+    Timeout,
+}
+
+/// A stream-ladder key: (sender thread, browsing context, receiver
+/// thread, class, period). Different channels and different pages never
+/// share a ladder, so one page's traffic cannot shift another's slots.
+type StreamKey = (ThreadId, u32, ThreadId, StreamClass, u64);
+
+/// A [`TokenTable`] checked against the map shape it replaced: in debug
+/// builds every operation's result is asserted to agree with a shadow
+/// `FastMap`, kept for one release while the dense table bakes in. In
+/// release builds this is a zero-cost newtype over the table.
+struct ShadowedTable<V: Copy + PartialEq + std::fmt::Debug> {
+    table: TokenTable<V>,
+    #[cfg(debug_assertions)]
+    shadow: FastMap<u64, V>,
+}
+
+impl<V: Copy + PartialEq + std::fmt::Debug> ShadowedTable<V> {
+    fn new() -> ShadowedTable<V> {
+        ShadowedTable {
+            table: TokenTable::new(),
+            #[cfg(debug_assertions)]
+            shadow: FastMap::default(),
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: V) {
+        let old = self.table.insert(key, value);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            old,
+            self.shadow.insert(key, value),
+            "token table diverged from shadow map on insert({key})"
+        );
+        let _ = old;
+    }
+
+    fn get(&self, key: u64) -> Option<V> {
+        let got = self.table.get(key).copied();
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            got,
+            self.shadow.get(&key).copied(),
+            "token table diverged from shadow map on get({key})"
+        );
+        got
+    }
+
+    fn remove(&mut self, key: u64) -> Option<V> {
+        let got = self.table.remove(key);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            got,
+            self.shadow.remove(&key),
+            "token table diverged from shadow map on remove({key})"
+        );
+        got
+    }
 }
 
 /// Pre-interned kernel observability names. Every counter here mirrors a
@@ -160,60 +283,35 @@ pub struct JsKernel {
     engine: PolicyEngine,
     threads: ThreadManager,
     interface: KernelInterface,
-    per_thread: HashMap<ThreadId, ThreadKernel>,
+    /// The prediction quanta compiled to flat tables at construction
+    /// (debug-asserted against the interpreted config on every use).
+    prediction: CompiledPrediction,
+    /// Dense per-thread kernel state, indexed by `ThreadId::index()`.
+    /// Browser thread ids are small and densely assigned, so the Vec is a
+    /// direct-index slab; slots for ids the kernel never touched stay at
+    /// their defaults, which match the old map-miss semantics exactly.
+    per_thread: Vec<ThreadKernel>,
     /// token → (thread, predicted) for dispatch-time clock advance.
-    token_info: HashMap<EventToken, (ThreadId, SimTime)>,
-    /// Predicted time of the task currently (or last) dispatched per
-    /// thread — the *causal* virtual time registrations inherit, so a
-    /// registration's prediction is a function of the event history that
-    /// caused it, never of physical durations.
-    task_base: HashMap<ThreadId, SimTime>,
-    /// The one event per thread that has been released to the browser's
-    /// event loop but has not started running yet. The dispatcher is
-    /// *serialized*: it releases the next event only after the previous
-    /// one's task body ran, so every registration that task makes (chained
-    /// timers, self-posted messages) is in the queue before the next
-    /// ordering decision — otherwise a later-predicted event could overtake
-    /// a chain's not-yet-registered successor.
-    inflight: HashMap<ThreadId, EventToken>,
+    /// Tokens are kernel-assigned monotonic integers, so the dense
+    /// [`TokenTable`] replaces the old hash map on the hot path.
+    token_info: ShadowedTable<(ThreadId, SimTime)>,
     /// Last predicted instant per stream — Listing 3's `predictOnMessage()`:
     /// successive events of a periodic source form a deterministic
     /// arithmetic ladder, so the number that fall into any observation
-    /// window never reflects physical durations. Keyed by (sender thread,
-    /// browsing context, receiver thread, class, period): different
-    /// channels and different pages never share a ladder, so one page's
-    /// traffic cannot shift another's slots.
-    stream_last: HashMap<(ThreadId, u32, ThreadId, &'static str, u64), SimTime>,
-    /// Fetches owned by workers, as learned from interceptions.
-    fetch_worker: HashMap<RequestId, WorkerId>,
+    /// window never reflects physical durations. Keyed by [`StreamKey`];
+    /// ladders of a dead thread are evicted at thread exit (thread ids are
+    /// never reused), so the map is bounded by *live* streams.
+    stream_last: FastMap<StreamKey, SimTime>,
+    /// Fetches owned by workers, as learned from interceptions. Keyed by
+    /// the raw `RequestId` (monotonic, kernel-visible).
+    fetch_worker: ShadowedTable<WorkerId>,
     /// Kernel-space messages observed (protocol statistics / tests).
     kernel_msgs_seen: u64,
     /// Main-side record of announced child fetches (Listing 4 state).
-    pending_child_fetches: HashMap<RequestId, WorkerId>,
+    pending_child_fetches: ShadowedTable<WorkerId>,
     /// Workers whose backing browser thread has not been announced yet
     /// (CreateWorker interception precedes the thread spawn).
     pending_bind: std::collections::VecDeque<WorkerId>,
-    /// The HB node of the last task dispatched per thread. Under
-    /// deterministic scheduling the serialized dispatcher totally orders a
-    /// thread's tasks, and the kernel *announces* that guarantee to the
-    /// trace as [`EdgeKind::DispatchChain`] edges — the race detector only
-    /// credits orderings a mediator actually enforced.
-    last_node: HashMap<ThreadId, u64>,
-    /// HB nodes of tasks whose kernel-space messages (any [`KernelMsg`]
-    /// where [`KernelMsg::induces_hb`] holds) were delivered to a thread
-    /// that has not dispatched its next task yet. Drained into
-    /// [`EdgeKind::KernelComm`] edges at that next dispatch: the
-    /// confirm/release protocol orders the sender's task before everything
-    /// the receiver runs afterwards.
-    pending_comm: HashMap<ThreadId, Vec<u64>>,
-    /// Watchdog state per thread: the pending head that is currently
-    /// blocking confirmed work, and when the kernel first saw it blocking.
-    /// A pending head with nothing confirmed behind it costs nothing and is
-    /// never timed; a blocked head whose confirmation was lost would stall
-    /// the thread forever (livelock), so after `cfg.watchdog_hold` the
-    /// dispatcher writes it off as cancelled (§III-D2 applied by the kernel
-    /// itself rather than by user space).
-    watchdog: HashMap<ThreadId, (EventToken, SimTime)>,
     /// Debug invariant checker (`cfg.check_invariants`).
     checker: Option<InvariantChecker>,
     /// Runtime counters.
@@ -245,23 +343,20 @@ impl JsKernel {
     #[must_use]
     pub fn new(cfg: KernelConfig) -> JsKernel {
         let engine = PolicyEngine::new(cfg.policies.clone());
+        let prediction = cfg.prediction.compile();
         JsKernel {
             engine,
             threads: ThreadManager::new(),
             interface: KernelInterface::standard(),
-            per_thread: HashMap::new(),
-            token_info: HashMap::new(),
-            fetch_worker: HashMap::new(),
+            prediction,
+            per_thread: Vec::new(),
+            token_info: ShadowedTable::new(),
+            fetch_worker: ShadowedTable::new(),
             kernel_msgs_seen: 0,
-            pending_child_fetches: HashMap::new(),
+            pending_child_fetches: ShadowedTable::new(),
             pending_bind: std::collections::VecDeque::new(),
             stats: KernelStats::new(),
-            task_base: HashMap::new(),
-            inflight: HashMap::new(),
-            stream_last: HashMap::new(),
-            last_node: HashMap::new(),
-            pending_comm: HashMap::new(),
-            watchdog: HashMap::new(),
+            stream_last: FastMap::default(),
             checker: cfg.check_invariants.then(InvariantChecker::new),
             cfg,
             #[cfg(feature = "observe")]
@@ -274,8 +369,14 @@ impl JsKernel {
     /// and CSS ticks) additionally ride a per-stream ladder so successive
     /// predictions are exactly one quantum apart.
     fn predict(&mut self, info: &AsyncEventInfo) -> SimTime {
-        let prediction = self.cfg.prediction;
-        let quantum = prediction.delay_for(&info.kind);
+        // Compiled quantum tables: one indexed load per prediction. The
+        // interpreted config stays authoritative in debug builds.
+        let quantum = self.prediction.delay_for(&info.kind);
+        debug_assert_eq!(
+            quantum,
+            self.cfg.prediction.delay_for(&info.kind),
+            "compiled prediction table diverged from the interpreted config"
+        );
         // Messages are predicted on the *sender's* kernel clock: Listing 3
         // interposes `JSKernel_WorkerPostMessage` in the sending thread, so
         // the prediction inherits the sender's deterministic timeline and a
@@ -285,62 +386,41 @@ impl JsKernel {
             _ => info.thread,
         };
         // Tick the clock so same-task registrations stay strictly ordered.
-        self.tk(clock_thread).clock.tick();
         // The causal base: the predicted time of the task making the
         // registration. Using the thread-global clock here would let
         // *other* streams' dispatches (which advance that clock) imprint
         // physical interleavings on this stream's predictions.
-        let causal = self
-            .task_base
-            .get(&clock_thread)
-            .copied()
-            .unwrap_or(SimTime::ZERO)
-            + SimDuration::from_nanos(self.tk(clock_thread).clock.ticks());
+        let tk = self.tk(clock_thread);
+        tk.clock.tick();
+        let causal = tk.task_base + SimDuration::from_nanos(tk.clock.ticks());
         let base = causal + quantum;
-        let key = |label: &'static str| {
-            (
-                clock_thread,
-                info.context,
-                info.thread,
-                label,
-                quantum.as_nanos(),
-            )
-        };
-        match info.kind {
-            // Browser-driven re-arms: the previous firing *is* the cause, so
-            // the ladder is purely arithmetic after the first event.
-            AsyncKind::Interval { .. } | AsyncKind::Media | AsyncKind::CssTick => {
-                let label = match info.kind {
-                    AsyncKind::Interval { .. } => "interval",
-                    AsyncKind::Media => "media",
-                    _ => "css",
-                };
-                let k = key(label);
-                let predicted = match self.stream_last.get(&k) {
-                    Some(&last) => last + quantum,
-                    None => base,
-                };
-                self.stream_last.insert(k, predicted);
-                predicted
-            }
+        let (class, arithmetic_ladder) = match info.kind {
+            // Browser-driven re-arms: the previous firing *is* the cause,
+            // so the ladder is purely arithmetic after the first event.
+            AsyncKind::Interval { .. } => (StreamClass::Interval, true),
+            AsyncKind::Media => (StreamClass::Media, true),
+            AsyncKind::CssTick => (StreamClass::Css, true),
             // Task-driven streams: causal base, floored by the stream
             // ladder so same-task bursts spread one quantum apart.
-            AsyncKind::Message { .. } | AsyncKind::Raf | AsyncKind::Timeout { .. } => {
-                let label = match info.kind {
-                    AsyncKind::Message { .. } => "message",
-                    AsyncKind::Raf => "raf",
-                    _ => "timeout",
-                };
-                let k = key(label);
-                let predicted = match self.stream_last.get(&k) {
-                    Some(&last) => base.max(last + quantum),
-                    None => base,
-                };
-                self.stream_last.insert(k, predicted);
-                predicted
-            }
-            AsyncKind::Net { .. } | AsyncKind::Idb => base,
-        }
+            AsyncKind::Message { .. } => (StreamClass::Message, false),
+            AsyncKind::Raf => (StreamClass::Raf, false),
+            AsyncKind::Timeout { .. } => (StreamClass::Timeout, false),
+            AsyncKind::Net { .. } | AsyncKind::Idb => return base,
+        };
+        let k = (
+            clock_thread,
+            info.context,
+            info.thread,
+            class,
+            quantum.as_nanos(),
+        );
+        let predicted = match self.stream_last.get(&k) {
+            Some(&last) if arithmetic_ladder => last + quantum,
+            Some(&last) => base.max(last + quantum),
+            None => base,
+        };
+        self.stream_last.insert(k, predicted);
+        predicted
     }
 
     /// The kernel interface table (for §VI robustness checks).
@@ -359,6 +439,14 @@ impl JsKernel {
     #[must_use]
     pub fn kernel_messages_seen(&self) -> u64 {
         self.kernel_msgs_seen
+    }
+
+    /// Number of live per-stream prediction ladders (diagnostics/tests).
+    /// Thread exit sweeps a thread's ladders, so worker churn cannot grow
+    /// this without bound.
+    #[must_use]
+    pub fn stream_ladders(&self) -> usize {
+        self.stream_last.len()
     }
 
     /// Runtime counters (scheduling pressure, policy denials, …).
@@ -382,12 +470,17 @@ impl JsKernel {
     }
 
     fn tk(&mut self, thread: ThreadId) -> &mut ThreadKernel {
-        self.per_thread
-            .entry(thread)
-            .or_insert_with(|| ThreadKernel {
-                equeue: KernelEventQueue::new(),
-                clock: KernelClock::new(self.cfg.tick_unit),
-            })
+        let idx = thread.index() as usize;
+        if idx >= self.per_thread.len() {
+            // Thread ids are densely assigned by the browser; a huge index
+            // here would mean an unbound placeholder id leaked into the
+            // dispatch path.
+            debug_assert!(idx < (1 << 20), "implausible thread index {idx}");
+            let tick_unit = self.cfg.tick_unit;
+            self.per_thread
+                .resize_with(idx + 1, || ThreadKernel::new(tick_unit));
+        }
+        &mut self.per_thread[idx]
     }
 
     /// Releases at most one dispatchable head event on `thread` (the
@@ -423,7 +516,7 @@ impl JsKernel {
         just_confirmed: Option<EventToken>,
     ) -> ConfirmDecision {
         let now = ctx.now;
-        if self.inflight.contains_key(&thread) {
+        if self.tk(thread).inflight.is_some() {
             return ConfirmDecision::Withhold;
         }
         let mut waited_behind_pending = false;
@@ -531,7 +624,7 @@ impl JsKernel {
                 now,
             );
         }
-        self.inflight.insert(thread, head.token);
+        self.tk(thread).inflight = Some(head.token);
         if Some(head.token) == just_confirmed {
             ConfirmDecision::InvokeAt(now)
         } else {
@@ -557,7 +650,7 @@ impl JsKernel {
         let (head_token, blocked) = {
             let tk = self.tk(thread);
             let Some(head) = tk.equeue.top() else {
-                self.watchdog.remove(&thread);
+                tk.watchdog = None;
                 return false;
             };
             (head.token, tk.equeue.has_confirmed())
@@ -565,11 +658,11 @@ impl JsKernel {
         if !blocked {
             // Nothing confirmed behind the head: no livelock risk. Any
             // running countdown is stale (the blockage resolved).
-            self.watchdog.remove(&thread);
+            self.tk(thread).watchdog = None;
             return false;
         }
-        match self.watchdog.get(&thread) {
-            Some(&(tok, t0)) if tok == head_token => {
+        match self.tk(thread).watchdog {
+            Some((tok, t0)) if tok == head_token => {
                 if now < t0 + hold {
                     return false;
                 }
@@ -588,7 +681,7 @@ impl JsKernel {
                     o.handle
                         .instant(o.syms.watchdog_expired, thread.index(), now);
                 }
-                self.watchdog.remove(&thread);
+                self.tk(thread).watchdog = None;
                 if debug_enabled() {
                     eprintln!("[wdg] expired tok={} at={}", head_token.index(), now);
                 }
@@ -598,7 +691,7 @@ impl JsKernel {
                 // New blocked head: arm the countdown and make sure the
                 // dispatcher runs again at the deadline even if no other
                 // event wakes this thread up.
-                self.watchdog.insert(thread, (head_token, now));
+                self.tk(thread).watchdog = Some((head_token, now));
                 ctx.schedule_tick(thread, now + hold);
                 false
             }
@@ -614,10 +707,24 @@ impl JsKernel {
             .map_or(&[], InvariantChecker::violations)
     }
 
+    /// Whether a confirm-triggered dispatch sweep would be a no-op: the
+    /// thread already has an inflight event, so the dispatcher would
+    /// return [`ConfirmDecision::Withhold`] before touching any counter
+    /// or emitting any op. Skipping the call turns a same-instant burst
+    /// of confirmations into one dispatch sweep per thread. With an
+    /// observer attached the sweep still runs — it emits dispatch spans.
+    fn dispatch_would_noop(&mut self, thread: ThreadId) -> bool {
+        #[cfg(feature = "observe")]
+        if self.obs.is_some() {
+            return false;
+        }
+        self.tk(thread).inflight.is_some()
+    }
+
     fn settle_fetch(&mut self, ctx: &mut MediatorCtx<'_>, req: RequestId) {
         self.threads.settle_fetch(req);
-        self.pending_child_fetches.remove(&req);
-        if let Some(worker) = self.fetch_worker.remove(&req) {
+        self.pending_child_fetches.remove(req.index());
+        if let Some(worker) = self.fetch_worker.remove(req.index()) {
             if let Some(t) = self.threads.get(worker) {
                 let from = t.kernel_worker;
                 // Worker-side kernel → main-side kernel: the fetch settled.
@@ -714,7 +821,8 @@ impl Mediator for JsKernel {
             }
             return;
         }
-        self.token_info.insert(info.token, (info.thread, predicted));
+        self.token_info
+            .insert(info.token.index(), (info.thread, predicted));
         if let Some(mut chk) = self.checker.take() {
             chk.check_queue(info.thread, &self.tk(info.thread).equeue);
             self.checker = Some(chk);
@@ -752,12 +860,23 @@ impl Mediator for JsKernel {
                 // orphan reap, or an explicit cancel). The late confirmation
                 // must not resurrect it: drop it outright, and re-drain in
                 // case the cancelled head was the blockage.
-                let _ = self.dispatch(ctx, info.thread, None);
+                if !self.dispatch_would_noop(info.thread) {
+                    let _ = self.dispatch(ctx, info.thread, None);
+                }
                 ConfirmDecision::Drop
             }
-            Some(_) => self.dispatch(ctx, info.thread, Some(info.token)),
+            Some(_) => {
+                if self.dispatch_would_noop(info.thread) {
+                    // A confirmation behind an inflight head settles its
+                    // status only; the single sweep after that task's body
+                    // runs releases the whole backlog in predicted order.
+                    ConfirmDecision::Withhold
+                } else {
+                    self.dispatch(ctx, info.thread, Some(info.token))
+                }
+            }
             None => {
-                if self.token_info.remove(&info.token).is_some() {
+                if self.token_info.remove(info.token.index()).is_some() {
                     // Tracked, but no longer queued: the kernel disposed of
                     // it (a written-off head already popped by the drain).
                     ConfirmDecision::Drop
@@ -770,8 +889,28 @@ impl Mediator for JsKernel {
         }
     }
 
+    fn confirm_batch(
+        &mut self,
+        ctx: &mut MediatorCtx<'_>,
+        items: &[(AsyncEventInfo, SimTime)],
+        out: &mut Vec<ConfirmDecision>,
+    ) {
+        // Same-virtual-tick confirmations settle in one pass. Each item
+        // runs the full per-event settle logic, but once a thread has an
+        // inflight release the `dispatch_would_noop` short-circuit skips
+        // the per-item dispatch sweep — the batch costs one sweep per
+        // thread instead of one per confirmation. Op boundaries are marked
+        // after every item so the browser can interleave ops and decisions
+        // exactly as the sequential path would have.
+        for (info, raw_fire) in items {
+            let d = self.on_confirm(ctx, info, *raw_fire);
+            out.push(d);
+            ctx.mark();
+        }
+    }
+
     fn on_cancel(&mut self, ctx: &mut MediatorCtx<'_>, token: EventToken) {
-        let Some(&(thread, _)) = self.token_info.get(&token) else {
+        let Some((thread, _)) = self.token_info.get(token.index()) else {
             return;
         };
         #[cfg(feature = "observe")]
@@ -795,7 +934,7 @@ impl Mediator for JsKernel {
             o.handle
                 .async_end(o.syms.kevent(kind), token.index(), thread.index(), ctx.now);
         }
-        self.token_info.remove(&token);
+        self.token_info.remove(token.index());
         // A cancelled head may unblock confirmed events behind it.
         let _ = self.dispatch(ctx, thread, None);
     }
@@ -811,41 +950,45 @@ impl Mediator for JsKernel {
         // dispatch notifications — those never ran user code, so they must
         // neither break the chain nor consume pending comm edges.
         if let Some(node) = ctx.node {
+            let deterministic = self.cfg.deterministic;
+            let tk = self.tk(thread);
             // Kernel-channel deliveries since this thread's last task order
             // their senders before everything the thread runs from now on.
-            if let Some(senders) = self.pending_comm.remove(&thread) {
-                for from in senders {
-                    if from != node {
-                        ctx.order_edge(from, node, EdgeKind::KernelComm);
-                    }
+            // Drained in place: the buffer is reused across tasks.
+            for &from in &tk.pending_comm {
+                if from != node {
+                    ctx.order_edge(from, node, EdgeKind::KernelComm);
                 }
             }
+            tk.pending_comm.clear();
             // The serialized dispatcher totally orders a thread's tasks —
             // but only when deterministic scheduling is actually on; raw
             // passthrough enforces nothing and must not claim an edge.
-            if self.cfg.deterministic {
-                if let Some(&prev) = self.last_node.get(&thread) {
+            if deterministic {
+                if let Some(prev) = tk.last_node {
                     ctx.order_edge(prev, node, EdgeKind::DispatchChain);
                 }
-                self.last_node.insert(thread, node);
+                tk.last_node = Some(node);
             }
         }
         if !self.cfg.deterministic {
             return;
         }
         if let Some(t) = token {
-            if self.inflight.get(&thread) == Some(&t) {
-                self.inflight.remove(&thread);
+            let tk = self.tk(thread);
+            if tk.inflight == Some(t) {
+                tk.inflight = None;
                 // Re-drain only after this task's body has run (the tick
                 // event processes after the current browser event), so the
                 // task's own registrations take part in the next ordering
                 // decision.
                 ctx.schedule_tick(thread, ctx.now);
             }
-            if let Some((tid, predicted)) = self.token_info.remove(&t) {
+            if let Some((tid, predicted)) = self.token_info.remove(t.index()) {
                 debug_assert_eq!(tid, thread, "event dispatched on the wrong thread");
-                self.task_base.insert(thread, predicted);
-                self.tk(thread).clock.advance_to(predicted);
+                let tk = self.tk(thread);
+                tk.task_base = predicted;
+                tk.clock.advance_to(predicted);
                 if let Some(mut chk) = self.checker.take() {
                     chk.check_clock(thread, self.tk(thread).clock.display());
                     self.checker = Some(chk);
@@ -867,7 +1010,7 @@ impl Mediator for JsKernel {
         // Cancelled).
         let hold = self.cfg.watchdog_hold;
         if hold > SimDuration::ZERO {
-            if let Some(&(tok, t0)) = self.watchdog.get(&thread) {
+            if let Some((tok, t0)) = self.tk(thread).watchdog {
                 if ctx.now >= t0 + hold {
                     let expired_head = {
                         let tk = self.tk(thread);
@@ -903,12 +1046,19 @@ impl Mediator for JsKernel {
             // unfinished span in the trace *is* the orphan.
             o.handle.counter_add(o.syms.orphans_reaped, reaped);
         }
-        self.inflight.remove(&thread);
-        self.watchdog.remove(&thread);
+        let tk = self.tk(thread);
+        tk.inflight = None;
+        tk.watchdog = None;
         // A dead thread dispatches nothing more: pending comm edges to it
         // can never be emitted, and its chain ends here.
-        self.last_node.remove(&thread);
-        self.pending_comm.remove(&thread);
+        tk.last_node = None;
+        tk.pending_comm.clear();
+        // Evict the dead thread's stream ladders. Thread ids are never
+        // reused, so no future registration can key them again — without
+        // this, a long-running page cycling workers would grow the ladder
+        // map without bound.
+        self.stream_last
+            .retain(|k, _| k.0 != thread && k.2 != thread);
         if let Some(kt) = self.threads.by_thread_mut(thread) {
             kt.status = KThreadStatus::Closed;
         }
@@ -952,7 +1102,7 @@ impl Mediator for JsKernel {
                 if let Some(kt) = self.threads.by_thread_mut(*thread) {
                     kt.pending_fetches.insert(*req);
                     let worker = kt.worker;
-                    self.fetch_worker.insert(*req, worker);
+                    self.fetch_worker.insert(req.index(), worker);
                     ctx.kernel_send(
                         *thread,
                         MAIN_THREAD,
@@ -1030,14 +1180,14 @@ impl Mediator for JsKernel {
         // excluded — see [`KernelMsg::induces_hb`].
         if msg.induces_hb() {
             if let Some(sender) = ctx.node {
-                self.pending_comm.entry(to).or_default().push(sender);
+                self.tk(to).pending_comm.push(sender);
             }
         }
         match msg {
             KernelMsg::PendingChildFetch { req, worker } => {
                 // Main-side kernel records the obligation and confirms
                 // receipt (Listing 4's confirmFetch).
-                self.pending_child_fetches.insert(req, worker);
+                self.pending_child_fetches.insert(req.index(), worker);
                 ctx.kernel_send(
                     MAIN_THREAD,
                     from,
@@ -1049,7 +1199,7 @@ impl Mediator for JsKernel {
                 // Worker-side kernel: the main kernel acknowledged.
             }
             KernelMsg::FetchSettled { req, .. } => {
-                self.pending_child_fetches.remove(&req);
+                self.pending_child_fetches.remove(req.index());
             }
             KernelMsg::CleanWorker { worker } => {
                 if self.threads.safe_to_close(worker) {
@@ -1645,5 +1795,39 @@ mod tests {
         let mut ctx = MediatorCtx::new(SimTime::from_millis(2), &mut rng);
         k.on_kernel_message(&mut ctx, ThreadId::new(1), MAIN_THREAD, &JsValue::from(1.0));
         assert_eq!(k.kernel_messages_seen(), 1);
+    }
+
+    #[test]
+    fn stream_ladders_stay_bounded_under_worker_churn() {
+        // Every worker generation registers streams whose ladders key on
+        // the worker's thread id (its own raf/timers, plus messages it
+        // sends to main). Thread exit must sweep them all, or a page that
+        // churns workers grows `stream_last` forever.
+        let mut k = JsKernel::default();
+        let mut rng = SimRng::new(0);
+        let mut token = 0u64;
+        for round in 0..200u64 {
+            let worker = ThreadId::new(round + 1);
+            let t = SimTime::from_millis(round + 1);
+            let mut ctx = MediatorCtx::new(t, &mut rng);
+            for _ in 0..3 {
+                token += 1;
+                k.on_register(&mut ctx, &info(token, worker.index(), AsyncKind::Raf));
+                token += 1;
+                k.on_register(
+                    &mut ctx,
+                    &info(token, 0, AsyncKind::Message { from: worker }),
+                );
+            }
+            assert!(k.stream_ladders() > 0, "round {round} created ladders");
+            let mut ctx = MediatorCtx::new(t, &mut rng);
+            k.on_thread_exited(&mut ctx, worker);
+            assert_eq!(
+                k.stream_ladders(),
+                0,
+                "round {round}: exiting the worker must evict every ladder \
+                 it clocked or fed"
+            );
+        }
     }
 }

@@ -24,8 +24,9 @@ pub enum KEventStatus {
     Dispatched,
 }
 
-/// One kernel-mediated asynchronous event.
-#[derive(Debug, Clone, PartialEq)]
+/// One kernel-mediated asynchronous event. `Copy`: five words, moved
+/// through the dispatch scratch buffers by value.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelEvent {
     /// The browser-level token identifying the event across layers.
     pub token: EventToken,

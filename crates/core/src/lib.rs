@@ -50,6 +50,7 @@ pub mod policy;
 pub mod scheduler;
 pub mod stats;
 pub mod threads;
+pub mod token_table;
 
 pub use config::KernelConfig;
 pub use kernel::JsKernel;

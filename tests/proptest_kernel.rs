@@ -62,8 +62,9 @@ proptest! {
             q.lookup_mut(EventToken::new(i as u64)).unwrap().status = status;
         }
         let first_pending = states.iter().position(|&s| s == 0);
-        let mut drained = Vec::new();
-        q.drain_dispatchable_into(&mut drained);
+        let mut scratch = jsk_core::equeue::DrainScratch::new();
+        q.drain_dispatchable_into(&mut scratch);
+        let drained: Vec<_> = scratch.iter().collect();
         for e in &drained {
             if let Some(fp) = first_pending {
                 prop_assert!(
