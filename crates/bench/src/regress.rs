@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Every JSON-emitting bench target, in run order.
-pub const ALL_TARGETS: [&str; 15] = [
+pub const ALL_TARGETS: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -38,6 +38,7 @@ pub const ALL_TARGETS: [&str; 15] = [
     "shards",
     "fuzz",
     "prove",
+    "serve",
 ];
 
 /// The committed baseline: one [`BenchRun`] per target.

@@ -3,7 +3,7 @@
 //!
 //! The kernel keeps a small record per live asynchronous event (owning
 //! thread, predicted instant) and per in-flight network request. Those
-//! records used to live in `FastMap`s keyed by [`EventToken`]/`RequestId`
+//! records used to live in `FastMap`s keyed by `EventToken`/`RequestId`
 //! — already cheap, but still a hash, a probe, and an occasional rehash
 //! per event. The keys are kernel-assigned **monotonic** integers though
 //! (`Browser::fresh_token` never reuses a token), and at any instant the
@@ -42,7 +42,7 @@ const GROW_DEN: usize = 2;
 /// A dense map from a monotonically-assigned integer id to a small value.
 ///
 /// See the module docs for the layout. `V` is the per-event payload; keys
-/// are the raw `u64` behind the id newtypes ([`EventToken`]`::index()` …).
+/// are the raw `u64` behind the id newtypes (`EventToken::index()` …).
 #[derive(Debug, Clone)]
 pub struct TokenTable<V> {
     /// Power-of-two ring; `None` = vacant.

@@ -35,12 +35,14 @@ pub mod metrics;
 pub mod observer;
 pub mod subscriber;
 pub mod sym;
+pub mod text;
 
 pub use chrome::{Phase, TraceEvent, TraceSummary};
 pub use metrics::{base_name, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{handle_of, Observer};
 pub use subscriber::{ObsHandle, Subscriber};
 pub use sym::{Interner, Sym};
+pub use text::render_text;
 
 /// Whether observation is enabled by the environment: `JSK_OBSERVE`
 /// unset, `1`, or `true` → on; `0` or `false` → off. Examples and

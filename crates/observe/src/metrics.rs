@@ -260,6 +260,39 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Like [`with_label`](MetricsSnapshot::with_label) but appends one
+    /// `{k1=v1,k2=v2,...}` group carrying every pair at once — the shape a
+    /// serving layer wants for its `{site,policy}` dimensions, with the
+    /// fleet's `{shard}` group nested on top at harvest time. Pairs keep
+    /// the given order inside the group; the text exposition
+    /// ([`crate::text::render_text`]) sorts keys when it normalizes. An
+    /// empty slice returns the snapshot unchanged.
+    #[must_use]
+    pub fn with_labels(&self, labels: &[(&str, &str)]) -> MetricsSnapshot {
+        if labels.is_empty() {
+            return self.clone();
+        }
+        let set = labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let relabel = |name: &str| format!("{name}{{{set}}}");
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (relabel(k), *v))
+                .collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (relabel(k), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (relabel(k), v.clone()))
+                .collect(),
+        }
+    }
+
     /// Sums every labelled variant of `counter` across label sets: the
     /// fleet-wide total of a per-shard counter.
     #[must_use]

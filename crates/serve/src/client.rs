@@ -1,0 +1,107 @@
+//! A typed client over any [`Transport`]: speaks the handshake, queues
+//! submissions, flushes, scrapes metrics. Thin by design — it never
+//! interprets verdicts, it just moves typed frames — so tests can diff
+//! its outputs against direct pool submission without a client-side
+//! confound.
+
+use crate::job::Submission;
+use crate::protocol::{parse_response, request_payload, Request, Response, PROTOCOL_VERSION};
+use crate::transport::{ClientConn, Transport};
+use std::io;
+
+/// A connected protocol client.
+pub struct Client {
+    conn: Box<dyn ClientConn>,
+}
+
+impl Client {
+    /// Connects through `transport` and completes the `hello` handshake.
+    /// Fails if the server refuses the version.
+    pub fn connect(transport: &dyn Transport) -> io::Result<Client> {
+        let mut client = Client {
+            conn: transport.connect()?,
+        };
+        match client.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { .. } => Ok(client),
+            Response::Error { code, message } => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("handshake refused ({code}): {message}"),
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.conn.write_payload(&request_payload(req))?;
+        self.read_response()
+    }
+
+    /// Reads the next response frame.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        match self.conn.read_payload()? {
+            Some(p) => parse_response(&p)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-conversation",
+            )),
+        }
+    }
+
+    /// Submits one site; returns `Queued`, `Shed`, or `Error`.
+    pub fn submit(&mut self, sub: &Submission) -> io::Result<Response> {
+        self.request(&Request::SubmitSite {
+            site: sub.site.clone(),
+            seed: sub.seed,
+            policy: sub.policy.clone(),
+            schedule: sub.schedule.clone(),
+            deadline_ms: sub.deadline_ms,
+        })
+    }
+
+    /// Cancels queued submissions for `site`.
+    pub fn cancel(&mut self, site: &str) -> io::Result<Response> {
+        self.request(&Request::Cancel { site: site.into() })
+    }
+
+    /// Flushes the queue: returns every per-site response, ending with
+    /// the `FlushOk` summary (always the last element on success).
+    pub fn flush(&mut self) -> io::Result<Vec<Response>> {
+        self.conn.write_payload(&request_payload(&Request::Flush))?;
+        let mut out = Vec::new();
+        loop {
+            let resp = self.read_response()?;
+            let done = matches!(resp, Response::FlushOk { .. });
+            out.push(resp);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Scrapes the `/metrics`-style text page.
+    pub fn metrics_page(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsPage { text } => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Says goodbye and confirms the close.
+    pub fn bye(&mut self) -> io::Result<()> {
+        match self.request(&Request::Bye)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}

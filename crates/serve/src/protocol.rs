@@ -1,0 +1,422 @@
+//! The wire protocol: length-prefixed NDJSON frames and the typed
+//! request/response vocabulary. `docs/PROTOCOL.md` is the normative spec;
+//! every frame shape documented there round-trips through this module
+//! (pinned by `tests/protocol_spec.rs`).
+//!
+//! # Frame layout
+//!
+//! ```text
+//! <payload length in ASCII decimal>\n
+//! <payload: one line of compact JSON, exactly that many bytes>\n
+//! ```
+//!
+//! The decoder is incremental ([`FrameDecoder::push`] bytes in any
+//! chunking, [`FrameDecoder::next_payload`] yields complete payloads) and
+//! strict: a non-digit length, an over-long header, a payload past the
+//! configured bound, a missing `\n` terminator, or non-UTF-8 payload bytes
+//! are all [`FrameError`]s — and a frame error **kills the connection**
+//! (the stream offset can no longer be trusted), while a well-framed but
+//! semantically invalid request only earns an [`Response::Error`].
+
+use serde::{Deserialize, Serialize};
+use serde_json;
+
+/// Protocol version spoken by this build. [`Request::Hello`] carries the
+/// client's version; any mismatch is rejected with an
+/// [`Response::Error`] (`code = "version"`) and a close — the versioning
+/// rule is "bump on any wire-visible change, no silent skew".
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default bound on one frame's payload, in bytes.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Longest accepted length header (digits before the first `\n`) —
+/// generous for any length the payload bound allows.
+const MAX_HEADER_DIGITS: usize = 10;
+
+/// Why a byte stream stopped being a frame stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length header was empty, over-long, or not ASCII digits.
+    BadLength(String),
+    /// The declared payload length exceeds the configured bound.
+    Oversize {
+        /// Declared payload length.
+        len: usize,
+        /// The decoder's bound.
+        max: usize,
+    },
+    /// The byte after the payload was not `\n`.
+    BadTerminator,
+    /// The payload was not UTF-8, or not the expected JSON shape.
+    BadPayload(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadLength(h) => write!(f, "bad frame length header {h:?}"),
+            FrameError::Oversize { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte bound"
+                )
+            }
+            FrameError::BadTerminator => write!(f, "frame payload not terminated by a newline"),
+            FrameError::BadPayload(m) => write!(f, "bad frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one payload line as a wire frame.
+#[must_use]
+pub fn encode_frame(payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Incremental frame decoder over a byte stream.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder bounding payloads at `max_frame` bytes (0 means
+    /// [`DEFAULT_MAX_FRAME`]).
+    #[must_use]
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            max: if max_frame == 0 {
+                DEFAULT_MAX_FRAME
+            } else {
+                max_frame
+            },
+        }
+    }
+
+    /// Appends raw stream bytes in whatever chunking the transport read.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete payload, `Ok(None)` when more bytes are
+    /// needed. After any `Err` the stream is unrecoverable — the caller
+    /// must drop the connection.
+    pub fn next_payload(&mut self) -> Result<Option<String>, FrameError> {
+        let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+            if self.buf.len() > MAX_HEADER_DIGITS {
+                return Err(FrameError::BadLength(
+                    String::from_utf8_lossy(&self.buf[..MAX_HEADER_DIGITS]).into_owned(),
+                ));
+            }
+            return Ok(None);
+        };
+        let header = &self.buf[..nl];
+        if header.is_empty()
+            || header.len() > MAX_HEADER_DIGITS
+            || !header.iter().all(u8::is_ascii_digit)
+        {
+            return Err(FrameError::BadLength(
+                String::from_utf8_lossy(header).into_owned(),
+            ));
+        }
+        let len: usize = String::from_utf8_lossy(header)
+            .parse()
+            .map_err(|_| FrameError::BadLength(String::from_utf8_lossy(header).into_owned()))?;
+        if len > self.max {
+            return Err(FrameError::Oversize { len, max: self.max });
+        }
+        let total = nl + 1 + len + 1;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        if self.buf[total - 1] != b'\n' {
+            return Err(FrameError::BadTerminator);
+        }
+        let payload = std::str::from_utf8(&self.buf[nl + 1..total - 1])
+            .map_err(|_| FrameError::BadPayload("payload is not UTF-8".to_owned()))?
+            .to_owned();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+/// Every frame a client may send. Encoded externally tagged, snake_case:
+/// `{"submit_site": {...}}`, `"flush"`, `"metrics"`, `"bye"`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Request {
+    /// Opens the conversation; must be the first frame on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Queues one site for the next flush.
+    SubmitSite {
+        /// Site label (unique per connection batch for readable reports).
+        site: String,
+        /// Seed for the site's run — results are a pure function of
+        /// (schedule, policy, seed).
+        seed: u64,
+        /// Policy name (see `jsk_serve::job::policy_names`).
+        policy: String,
+        /// The event schedule to run (`jsk_workloads::schedule`).
+        schedule: jsk_workloads::schedule::Schedule,
+        /// Virtual-deadline in milliseconds on the serving shard's
+        /// timeline; 0 = none. A served site completing past it is
+        /// reported as an `Error` (`code = "deadline"`) instead of a
+        /// verdict.
+        #[serde(default)]
+        deadline_ms: u64,
+    },
+    /// Removes every queued (not yet flushed) submission with this site
+    /// label.
+    Cancel {
+        /// Site label to remove.
+        site: String,
+    },
+    /// Serves everything queued through the shard pool and streams the
+    /// results back in submission order.
+    Flush,
+    /// Requests the `/metrics`-style text page.
+    Metrics,
+    /// Closes the connection cleanly; queued submissions are dropped.
+    Bye,
+}
+
+/// Every frame the server may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Response {
+    /// Answer to [`Request::Hello`].
+    HelloOk {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Kernel shards behind this front door.
+        shards: u64,
+        /// Per-connection queue bound (0 = unbounded).
+        queue_capacity: u64,
+    },
+    /// A submission was accepted into the connection queue.
+    Queued {
+        /// The submitted site.
+        site: String,
+        /// Queue depth after the submit.
+        depth: u64,
+    },
+    /// One served site's result, streamed during a flush.
+    Verdict {
+        /// Site label.
+        site: String,
+        /// The submission's seed.
+        seed: u64,
+        /// The submission's policy name.
+        policy: String,
+        /// The shard that served it.
+        shard: u64,
+        /// Attack verdict (`null` for plain workloads).
+        defended: Option<bool>,
+        /// The run's deterministic record.
+        detail: String,
+        /// Whether graceful degradation had to step in.
+        wedged: bool,
+        /// Run attempts (crash-restart reruns included).
+        attempts: u32,
+        /// Virtual completion instant on the shard timeline.
+        completed_at_ms: u64,
+    },
+    /// A submission was load-shed: `stage = "queue"` at the connection's
+    /// bounded queue, `stage = "shard"` at the pool's admission control.
+    Shed {
+        /// The shed site.
+        site: String,
+        /// Which backpressure layer shed it.
+        stage: String,
+    },
+    /// Queued submissions were removed by a cancel or a drain.
+    Cancelled {
+        /// The cancelled site.
+        site: String,
+        /// How many queued submissions were removed.
+        removed: u64,
+    },
+    /// Flush summary, sent after the last per-site result.
+    FlushOk {
+        /// Sites served to completion.
+        served: u64,
+        /// Sites shed by the pool during this flush.
+        shed: u64,
+        /// Sites written off by shard quarantine.
+        quarantined: u64,
+        /// Sites cancelled by a drain racing the flush.
+        cancelled: u64,
+        /// Served sites reported as deadline misses.
+        deadline_missed: u64,
+    },
+    /// The `/metrics`-style exposition page.
+    MetricsPage {
+        /// The rendered page (`jsk_observe::text::render_text`).
+        text: String,
+    },
+    /// A request failed. `code` is machine-readable: `version`,
+    /// `hello_first`, `policy`, `invalid`, `draining`, `not_found`,
+    /// `deadline`, `quarantined`, `frame`, `request`, `busy`.
+    Error {
+        /// Machine-readable error class.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Clean close acknowledgement (also sent when a drain finishes a
+    /// connection).
+    Bye,
+}
+
+/// Serializes a request to its compact one-line payload.
+#[must_use]
+pub fn request_payload(req: &Request) -> String {
+    serde_json::to_string(req).expect("request serializes")
+}
+
+/// Serializes a response to its compact one-line payload.
+#[must_use]
+pub fn response_payload(resp: &Response) -> String {
+    serde_json::to_string(resp).expect("response serializes")
+}
+
+/// Parses a request payload.
+pub fn parse_request(payload: &str) -> Result<Request, FrameError> {
+    serde_json::from_str(payload).map_err(|e| FrameError::BadPayload(e.to_string()))
+}
+
+/// Parses a response payload.
+pub fn parse_response(payload: &str) -> Result<Response, FrameError> {
+    serde_json::from_str(payload).map_err(|e| FrameError::BadPayload(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_in_any_chunking() {
+        let payload = r#"{"hello":{"version":1}}"#;
+        let bytes = encode_frame(payload);
+        for chunk in [1usize, 2, 7, bytes.len()] {
+            let mut dec = FrameDecoder::new(0);
+            let mut got = Vec::new();
+            for part in bytes.chunks(chunk) {
+                dec.push(part);
+                while let Some(p) = dec.next_payload().expect("clean stream") {
+                    got.push(p);
+                }
+            }
+            assert_eq!(got, vec![payload.to_owned()], "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_push_both_decode() {
+        let mut dec = FrameDecoder::new(0);
+        let mut bytes = encode_frame("\"flush\"");
+        bytes.extend_from_slice(&encode_frame("\"metrics\""));
+        dec.push(&bytes);
+        assert_eq!(dec.next_payload().unwrap().as_deref(), Some("\"flush\""));
+        assert_eq!(dec.next_payload().unwrap().as_deref(), Some("\"metrics\""));
+        assert_eq!(dec.next_payload().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_streams_are_fatal() {
+        let mut dec = FrameDecoder::new(0);
+        dec.push(b"nope\n{}\n");
+        assert!(matches!(dec.next_payload(), Err(FrameError::BadLength(_))));
+
+        let mut dec = FrameDecoder::new(16);
+        dec.push(b"9999\n");
+        assert!(matches!(
+            dec.next_payload(),
+            Err(FrameError::Oversize { .. })
+        ));
+
+        let mut dec = FrameDecoder::new(0);
+        dec.push(b"2\n{}X");
+        assert!(matches!(dec.next_payload(), Err(FrameError::BadTerminator)));
+
+        // A runaway header (no newline in sight) is cut off early.
+        let mut dec = FrameDecoder::new(0);
+        dec.push(&[b'1'; 64]);
+        assert!(matches!(dec.next_payload(), Err(FrameError::BadLength(_))));
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        let reqs = vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Cancel { site: "a".into() },
+            Request::Flush,
+            Request::Metrics,
+            Request::Bye,
+        ];
+        for r in reqs {
+            let p = request_payload(&r);
+            assert_eq!(parse_request(&p).unwrap(), r, "{p}");
+        }
+        let resps = vec![
+            Response::Verdict {
+                site: "CVE-2018-5092".into(),
+                seed: 9,
+                policy: "kernel".into(),
+                shard: 2,
+                defended: Some(true),
+                detail: "races=0".into(),
+                wedged: false,
+                attempts: 1,
+                completed_at_ms: 300,
+            },
+            Response::Shed {
+                site: "x".into(),
+                stage: "queue".into(),
+            },
+            Response::Bye,
+        ];
+        for r in resps {
+            let p = response_payload(&r);
+            assert_eq!(parse_response(&p).unwrap(), r, "{p}");
+        }
+    }
+
+    #[test]
+    fn submit_site_defaults_its_deadline() {
+        let sched = jsk_workloads::schedule::corpus_schedules().remove(1);
+        let req = Request::SubmitSite {
+            site: sched.name.clone(),
+            seed: 7,
+            policy: "kernel".into(),
+            schedule: sched,
+            deadline_ms: 0,
+        };
+        let p = request_payload(&req);
+        assert_eq!(parse_request(&p).unwrap(), req);
+        // A hand-written frame may omit deadline_ms entirely.
+        let trimmed = p.replace(",\"deadline_ms\":0", "");
+        assert_eq!(parse_request(&trimmed).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_request_types_are_rejected() {
+        assert!(parse_request(r#"{"reboot":{}}"#).is_err());
+        assert!(parse_request("\"reboot\"").is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Transports: how bytes reach a [`Session`].
+//!
+//! Two implementations of the same [`Transport`] seam:
+//!
+//! * [`LoopbackTransport`] — fully synchronous and in-process: a client
+//!   write runs the session state machine inline and buffers the
+//!   responses for the next read. No threads, no sockets, no timing —
+//!   every protocol test and the CI smoke run are deterministic.
+//! * [`TcpTransport`] / [`TcpServer`] — `std::net` over
+//!   thread-per-connection with a bounded accept pool. The server polls a
+//!   non-blocking listener so [`TcpServer::shutdown`] can stop accepting,
+//!   drain every live session (deliver queued results, say `bye`), join
+//!   its threads, and hand back the final metrics page.
+//!
+//! Both feed the identical [`Session`]; the loopback-vs-direct corpus
+//! test is what entitles the TCP path to that trust.
+
+use crate::protocol::{encode_frame, FrameDecoder};
+use crate::server::Server;
+use crate::session::Session;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A client-side connection: write request payloads, read response
+/// payloads (both without framing — the connection frames).
+pub trait ClientConn {
+    /// Sends one request payload.
+    fn write_payload(&mut self, payload: &str) -> io::Result<()>;
+    /// Receives the next response payload; `None` when the peer closed.
+    fn read_payload(&mut self) -> io::Result<Option<String>>;
+}
+
+/// Something a client can connect through.
+pub trait Transport {
+    /// Opens a connection.
+    fn connect(&self) -> io::Result<Box<dyn ClientConn>>;
+}
+
+/// Deterministic in-process transport over a shared [`Server`].
+#[derive(Clone)]
+pub struct LoopbackTransport {
+    server: Arc<Server>,
+}
+
+impl LoopbackTransport {
+    /// A loopback front door over `server`.
+    #[must_use]
+    pub fn new(server: Arc<Server>) -> LoopbackTransport {
+        LoopbackTransport { server }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn connect(&self) -> io::Result<Box<dyn ClientConn>> {
+        Ok(Box::new(LoopbackConn {
+            session: Session::new(self.server.clone()),
+            decoder: FrameDecoder::new(0),
+            inbox: VecDeque::new(),
+        }))
+    }
+}
+
+/// One loopback connection: the session runs inline in the caller.
+struct LoopbackConn {
+    session: Session,
+    decoder: FrameDecoder,
+    inbox: VecDeque<String>,
+}
+
+impl ClientConn for LoopbackConn {
+    fn write_payload(&mut self, payload: &str) -> io::Result<()> {
+        if self.session.is_closed() {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection closed",
+            ));
+        }
+        for frame in self.session.on_bytes(&encode_frame(payload)) {
+            self.decoder.push(&frame);
+            while let Some(p) = self
+                .decoder
+                .next_payload()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                self.inbox.push_back(p);
+            }
+        }
+        Ok(())
+    }
+
+    fn read_payload(&mut self) -> io::Result<Option<String>> {
+        Ok(self.inbox.pop_front())
+    }
+}
+
+/// TCP client transport: connects to a [`TcpServer`]'s address.
+pub struct TcpTransport {
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// A transport dialling `addr`.
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(TcpTransport { addr })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self) -> io::Result<Box<dyn ClientConn>> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Box::new(TcpConn {
+            stream,
+            decoder: FrameDecoder::new(0),
+        }))
+    }
+}
+
+/// One TCP client connection (blocking reads).
+struct TcpConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl ClientConn for TcpConn {
+    fn write_payload(&mut self, payload: &str) -> io::Result<()> {
+        self.stream.write_all(&encode_frame(payload))
+    }
+
+    fn read_payload(&mut self) -> io::Result<Option<String>> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(p) = self
+                .decoder
+                .next_payload()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                return Ok(Some(p));
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// How often connection threads and the accept loop poll their flags.
+const POLL: Duration = Duration::from_millis(10);
+
+/// The TCP front door: a bound listener, an accept loop, and a bounded
+/// pool of connection threads.
+pub struct TcpServer {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting for `server`.
+    pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let live = Arc::new(AtomicUsize::new(0));
+
+        let accept = {
+            let server = server.clone();
+            let stop = stop.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &server, &stop, &conns, &live);
+            })
+        };
+        Ok(TcpServer {
+            server,
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight work, deliver
+    /// queued results and `bye` to every live connection, join all
+    /// threads, and return the final metrics page — the flush of record.
+    pub fn shutdown(mut self) -> String {
+        self.server.begin_drain();
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conn registry"));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.server.metrics_page()
+    }
+}
+
+/// Polls the non-blocking listener until stopped or draining; spawns one
+/// thread per accepted connection, refusing past the configured bound.
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<Server>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    live: &Arc<AtomicUsize>,
+) {
+    loop {
+        if stop.load(Ordering::Acquire) || server.is_draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let max = server.config().max_conns;
+                if max > 0 && live.load(Ordering::Acquire) >= max {
+                    refuse_busy(stream);
+                    continue;
+                }
+                live.fetch_add(1, Ordering::AcqRel);
+                let server = server.clone();
+                let live = live.clone();
+                let handle = std::thread::spawn(move || {
+                    conn_thread(&server, stream);
+                    live.fetch_sub(1, Ordering::AcqRel);
+                });
+                conns.lock().expect("conn registry").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Tells an over-capacity client why it is being dropped. Best-effort:
+/// the refusal itself must never take the accept loop down.
+fn refuse_busy(mut stream: TcpStream) {
+    let payload = crate::protocol::response_payload(&crate::protocol::Response::Error {
+        code: "busy".into(),
+        message: "connection limit reached; retry later".into(),
+    });
+    let _ = stream.write_all(&encode_frame(&payload));
+}
+
+/// One connection thread: shuttle bytes between the socket and the
+/// session until the peer leaves, the session dies, or a drain begins.
+fn conn_thread(server: &Arc<Server>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut session = Session::new(server.clone());
+    let mut buf = [0u8; 4096];
+    loop {
+        if session.is_closed() {
+            return;
+        }
+        if server.is_draining() {
+            for frame in session.drain() {
+                if stream.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                session.on_close();
+                return;
+            }
+            Ok(n) => {
+                for frame in session.on_bytes(&buf[..n]) {
+                    if stream.write_all(&frame).is_err() {
+                        session.on_close();
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                session.on_close();
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `docs/PROTOCOL.md` is the normative spec; this test keeps it honest.
+//! Every ```json fenced block in the spec must parse as a protocol
+//! message and survive a re-encode round trip, and between them the
+//! examples must exemplify **every** request and response variant the
+//! server speaks — add a frame to the protocol and this test fails until
+//! the spec documents it.
+
+use jsk_serve::protocol::{
+    parse_request, parse_response, request_payload, response_payload, Request, Response,
+};
+use std::collections::BTreeSet;
+
+const SPEC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// The ```json fenced blocks of the spec, in order.
+fn spec_examples() -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in SPEC.lines() {
+        match &mut current {
+            None if line.trim() == "```json" => current = Some(String::new()),
+            None => {}
+            Some(buf) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().expect("open block"));
+                } else {
+                    buf.push_str(line);
+                    buf.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json block in the spec");
+    blocks
+}
+
+fn request_variant(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::SubmitSite { .. } => "submit_site",
+        Request::Cancel { .. } => "cancel",
+        Request::Flush => "flush",
+        Request::Metrics => "metrics",
+        Request::Bye => "bye",
+    }
+}
+
+fn response_variant(resp: &Response) -> &'static str {
+    match resp {
+        Response::HelloOk { .. } => "hello_ok",
+        Response::Queued { .. } => "queued",
+        Response::Verdict { .. } => "verdict",
+        Response::Shed { .. } => "shed",
+        Response::Cancelled { .. } => "cancelled",
+        Response::FlushOk { .. } => "flush_ok",
+        Response::MetricsPage { .. } => "metrics_page",
+        Response::Error { .. } => "error",
+        Response::Bye => "bye",
+    }
+}
+
+#[test]
+fn every_spec_example_round_trips_and_every_frame_is_documented() {
+    let examples = spec_examples();
+    assert!(
+        examples.len() >= 15,
+        "spec lost examples: {}",
+        examples.len()
+    );
+
+    let mut requests: BTreeSet<&'static str> = BTreeSet::new();
+    let mut responses: BTreeSet<&'static str> = BTreeSet::new();
+
+    for example in &examples {
+        let as_req = parse_request(example);
+        let as_resp = parse_response(example);
+        assert!(
+            as_req.is_ok() || as_resp.is_ok(),
+            "spec example is not a protocol message:\n{example}"
+        );
+        if let Ok(req) = as_req {
+            // Re-encode compactly and parse again: the spec's pretty
+            // shape and the wire's compact shape are the same message.
+            let compact = request_payload(&req);
+            assert_eq!(parse_request(&compact).unwrap(), req, "{compact}");
+            requests.insert(request_variant(&req));
+        }
+        if let Ok(resp) = as_resp {
+            let compact = response_payload(&resp);
+            assert_eq!(parse_response(&compact).unwrap(), resp, "{compact}");
+            responses.insert(response_variant(&resp));
+        }
+    }
+
+    let all_requests: BTreeSet<&'static str> =
+        ["hello", "submit_site", "cancel", "flush", "metrics", "bye"]
+            .into_iter()
+            .collect();
+    let all_responses: BTreeSet<&'static str> = [
+        "hello_ok",
+        "queued",
+        "verdict",
+        "shed",
+        "cancelled",
+        "flush_ok",
+        "metrics_page",
+        "error",
+        "bye",
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(requests, all_requests, "spec must exemplify every request");
+    assert_eq!(
+        responses, all_responses,
+        "spec must exemplify every response"
+    );
+}
+
+#[test]
+fn the_submit_site_example_is_a_servable_schedule() {
+    // The spec's submit_site example is not just parseable — it admits.
+    let example = spec_examples()
+        .into_iter()
+        .find(|e| e.contains("\"submit_site\""))
+        .expect("spec has a submit_site example");
+    let Request::SubmitSite {
+        site,
+        seed,
+        policy,
+        schedule,
+        deadline_ms,
+    } = parse_request(&example).unwrap()
+    else {
+        panic!("not a submit_site");
+    };
+    let sub = jsk_serve::Submission {
+        site,
+        seed,
+        policy,
+        schedule,
+        deadline_ms,
+    };
+    jsk_serve::job::validate(&sub).expect("spec example passes admission");
+}

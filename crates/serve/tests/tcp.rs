@@ -1,0 +1,96 @@
+//! The TCP front door end to end: bind an ephemeral port, run the full
+//! handshake/submit/flush/metrics/bye conversation over real sockets,
+//! and check that shutdown drains a live connection instead of cutting
+//! it off.
+
+use jsk_serve::protocol::Response;
+use jsk_serve::{Client, Server, ServerConfig, Submission, TcpServer, TcpTransport};
+use jsk_workloads::schedule::corpus_schedules;
+
+fn one_submission() -> Submission {
+    // CVE-2017-7843 is the cheapest corpus program (50 virtual ms).
+    let schedule = corpus_schedules().remove(1);
+    Submission {
+        site: schedule.name.clone(),
+        seed: 41,
+        policy: "kernel".into(),
+        schedule,
+        deadline_ms: 0,
+    }
+}
+
+#[test]
+fn tcp_round_trip_submits_flushes_and_scrapes_metrics() {
+    let server = Server::new(ServerConfig::new(2, 2));
+    let tcp = TcpServer::bind(server, "127.0.0.1:0").expect("bind ephemeral");
+    let transport = TcpTransport::new(tcp.local_addr()).expect("transport");
+
+    let mut client = Client::connect(&transport).expect("tcp connect + hello");
+    let sub = one_submission();
+    assert!(matches!(
+        client.submit(&sub).expect("submit"),
+        Response::Queued { depth: 1, .. }
+    ));
+    let results = client.flush().expect("flush");
+    assert_eq!(results.len(), 2);
+    match &results[0] {
+        Response::Verdict { site, defended, .. } => {
+            assert_eq!(site, &sub.site);
+            assert_eq!(*defended, Some(true));
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(results[1], Response::FlushOk { served: 1, .. }));
+
+    let page = client.metrics_page().expect("metrics");
+    assert!(
+        page.starts_with("# jsk-observe text exposition v1"),
+        "{page}"
+    );
+    assert!(page.contains("serve.connections"), "{page}");
+    client.bye().expect("clean close");
+
+    let final_page = tcp.shutdown();
+    assert!(final_page.contains("serve.verdicts"), "{final_page}");
+}
+
+#[test]
+fn shutdown_drains_a_live_connection_with_queued_work() {
+    let server = Server::new(ServerConfig::new(2, 2));
+    let tcp = TcpServer::bind(server, "127.0.0.1:0").expect("bind ephemeral");
+    let transport = TcpTransport::new(tcp.local_addr()).expect("transport");
+
+    let mut client = Client::connect(&transport).expect("tcp connect + hello");
+    assert!(matches!(
+        client.submit(&one_submission()).expect("submit"),
+        Response::Queued { .. }
+    ));
+
+    // Shut the server down while the submission is still queued. The
+    // drain must deliver an accountable outcome for it (here: cancelled,
+    // since the pool's cancel flag is set before the drain flush), then a
+    // bye — never a silent disconnect.
+    let shutdown = std::thread::spawn(move || tcp.shutdown());
+    let mut saw_flush_ok = false;
+    let mut outcomes = Vec::new();
+    loop {
+        match client.read_response() {
+            Ok(Response::Bye) => break, // the drain always ends with bye
+            Ok(Response::FlushOk { .. }) => saw_flush_ok = true,
+            Ok(resp) => outcomes.push(resp),
+            Err(e) => panic!("connection cut without bye: {e}"),
+        }
+    }
+    let page = shutdown.join().expect("shutdown joins");
+
+    assert!(saw_flush_ok, "drain flushes the queue");
+    assert_eq!(outcomes.len(), 1, "{outcomes:?}");
+    assert!(
+        matches!(
+            &outcomes[0],
+            Response::Cancelled { .. } | Response::Verdict { .. }
+        ),
+        "{outcomes:?}"
+    );
+    assert!(page.contains("serve.drained_sessions"), "{page}");
+}

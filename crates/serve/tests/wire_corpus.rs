@@ -1,0 +1,129 @@
+//! The tentpole invariant: serving the 13-program corpus through
+//! `LoopbackTransport` is **byte-identical** to direct `ShardPool`
+//! submission — same verdict frames, same shard-labelled metrics — for
+//! any worker count. The wire layer adds framing and backpressure, never
+//! semantics.
+
+use jsk_serve::protocol::Response;
+use jsk_serve::{submission_job, Client, LoopbackTransport, Server, ServerConfig, Submission};
+use jsk_shard::serve::{ServeConfig, ShardPool, SiteOutcome};
+use jsk_workloads::schedule::corpus_schedules;
+
+const SHARDS: usize = 4;
+
+fn submissions() -> Vec<Submission> {
+    corpus_schedules()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| Submission {
+            site: s.name.clone(),
+            seed: 1_000_003 + i as u64,
+            policy: "kernel".into(),
+            schedule: s,
+            deadline_ms: 0,
+        })
+        .collect()
+}
+
+/// Direct submission: the verdict frames (serialized, submission order)
+/// and the fleet metrics JSON the wire path must reproduce exactly.
+fn direct(workers: usize, subs: &[Submission]) -> (Vec<String>, String) {
+    let pool = ShardPool::new(ServeConfig::new(SHARDS, workers));
+    let report = pool.serve(subs.iter().map(submission_job).collect());
+    let n = report.shards.len();
+    let mut cursors = vec![0usize; n];
+    let mut rows = Vec::new();
+    for (i, sub) in subs.iter().enumerate() {
+        let s = i % n;
+        let row = &report.shards[s].sites[cursors[s]];
+        cursors[s] += 1;
+        let SiteOutcome::Served {
+            defended,
+            detail,
+            wedged,
+        } = &row.outcome
+        else {
+            panic!("corpus site {} not served: {:?}", row.site, row.outcome)
+        };
+        let frame = Response::Verdict {
+            site: row.site.clone(),
+            seed: row.seed,
+            policy: sub.policy.clone(),
+            shard: s as u64,
+            defended: *defended,
+            detail: detail.clone(),
+            wedged: *wedged,
+            attempts: row.attempts,
+            completed_at_ms: row.completed_at_ms,
+        };
+        rows.push(serde_json::to_string(&frame).expect("verdict serializes"));
+    }
+    let metrics = serde_json::to_string(&report.fleet_metrics).expect("metrics serialize");
+    (rows, metrics)
+}
+
+/// Wire submission over the loopback transport: the verdict frames as
+/// received, and the server's cumulative site metrics JSON.
+fn wire(workers: usize, subs: &[Submission]) -> (Vec<String>, String) {
+    let server = Server::new(ServerConfig::new(SHARDS, workers));
+    let transport = LoopbackTransport::new(server.clone());
+    let mut client = Client::connect(&transport).expect("loopback connects");
+    for sub in subs {
+        let resp = client.submit(sub).expect("submit");
+        assert!(matches!(resp, Response::Queued { .. }), "{resp:?}");
+    }
+    let mut results = client.flush().expect("flush");
+    let summary = results.pop().expect("flush summary");
+    assert!(
+        matches!(
+            summary,
+            Response::FlushOk {
+                served,
+                shed: 0,
+                quarantined: 0,
+                cancelled: 0,
+                deadline_missed: 0,
+            } if served == subs.len() as u64
+        ),
+        "{summary:?}"
+    );
+    let rows = results
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("response serializes"))
+        .collect();
+    let metrics = serde_json::to_string(&server.site_metrics()).expect("metrics serialize");
+    client.bye().expect("clean close");
+    (rows, metrics)
+}
+
+#[test]
+fn corpus_over_loopback_is_byte_identical_to_direct_submission() {
+    let subs = submissions();
+    let (want_rows, want_metrics) = direct(1, &subs);
+    assert_eq!(want_rows.len(), subs.len());
+
+    // The wire must match direct submission for 1 and 4 workers alike —
+    // worker count is wall-clock, never content.
+    for workers in [1usize, 4] {
+        let (rows, metrics) = wire(workers, &subs);
+        assert_eq!(
+            rows, want_rows,
+            "wire verdicts diverged at {workers} workers"
+        );
+        assert_eq!(
+            metrics, want_metrics,
+            "wire metrics diverged at {workers} workers"
+        );
+    }
+
+    // And direct submission itself is worker-count invariant.
+    let (rows4, metrics4) = direct(4, &subs);
+    assert_eq!(rows4, want_rows);
+    assert_eq!(metrics4, want_metrics);
+
+    // Every verdict is the kernel defending its site: the corpus is
+    // race-free under JSKernel.
+    for row in &want_rows {
+        assert!(row.contains("\"defended\":true"), "{row}");
+    }
+}

@@ -198,6 +198,10 @@ pub enum SiteOutcome {
     /// The shard was quarantined before (or while) this site could be
     /// served trustworthily.
     Quarantined,
+    /// Still queued when the serve was cancelled
+    /// ([`ShardPool::serve_with_cancel`]): never attempted, reported so a
+    /// draining front door can account for every accepted submission.
+    Cancelled,
 }
 
 /// One site's row in a shard report.
@@ -228,6 +232,9 @@ pub struct ShardReport {
     pub shed: u64,
     /// Sites reported quarantined.
     pub quarantined_sites: u64,
+    /// Sites still queued when a cancelled serve drained this shard.
+    #[serde(default)]
+    pub cancelled: u64,
     /// Supervisor restarts consumed.
     pub restarts: u32,
     /// Whether the shard ended quarantined.
@@ -307,6 +314,28 @@ impl ServeReport {
         })
     }
 
+    /// Sites written off as [`SiteOutcome::Cancelled`] across the fleet.
+    #[must_use]
+    pub fn cancelled(&self) -> u64 {
+        self.shards.iter().map(|s| s.cancelled).sum()
+    }
+
+    /// Total site rows across the fleet — served, shed, quarantined, and
+    /// cancelled alike.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.shards.iter().map(|s| s.sites.len()).sum()
+    }
+
+    /// How many of `submitted` jobs have **no** row in this report. A
+    /// correct serve — cancelled or not — always returns 0: every
+    /// accepted submission must be accounted for, the invariant a front
+    /// door's drain test pins ("zero orphaned shards").
+    #[must_use]
+    pub fn orphans(&self, submitted: usize) -> usize {
+        submitted.saturating_sub(self.rows())
+    }
+
     /// Deterministic pretty JSON of the report.
     #[must_use]
     pub fn json(&self) -> String {
@@ -382,6 +411,33 @@ impl ShardPool {
     /// returns the fleet report. Deterministic for any worker count.
     #[must_use]
     pub fn serve(&self, jobs: Vec<SiteJob>) -> ServeReport {
+        self.serve_inner(jobs, None)
+    }
+
+    /// Like [`serve`](ShardPool::serve), but cooperatively cancellable: a
+    /// front door's drain path sets `cancel` and the pool stops *starting*
+    /// sites — every attempt already in flight finishes (its verdict is
+    /// trustworthy and reported), and everything still queued is written
+    /// off as [`SiteOutcome::Cancelled`] rather than silently dropped, so
+    /// the report still accounts for every submitted job
+    /// ([`ServeReport::orphans`] stays 0). With the flag set before the
+    /// call, the entire batch is deterministically cancelled; a flag set
+    /// mid-serve is a teardown — *which* sites finished first depends on
+    /// wall-clock, only the accounting invariants are stable.
+    #[must_use]
+    pub fn serve_with_cancel(
+        &self,
+        jobs: Vec<SiteJob>,
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> ServeReport {
+        self.serve_inner(jobs, Some(cancel))
+    }
+
+    fn serve_inner(
+        &self,
+        jobs: Vec<SiteJob>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> ServeReport {
         let n_shards = self.cfg.shards.max(1);
         let workers = self.cfg.workers.max(1);
         let capacity = self.cfg.admission_capacity;
@@ -432,7 +488,7 @@ impl ShardPool {
                 let plan = &plan;
                 let cfg = &self.cfg;
                 scope.spawn(move || {
-                    worker_loop(w, workers, lanes, remaining, plan.as_ref(), cfg);
+                    worker_loop(w, workers, lanes, remaining, plan.as_ref(), cfg, cancel);
                 });
             }
         });
@@ -459,6 +515,11 @@ impl ShardPool {
                 .iter()
                 .filter(|(_, r)| r.outcome == SiteOutcome::Quarantined)
                 .count() as u64;
+            let cancelled = st
+                .sites
+                .iter()
+                .filter(|(_, r)| r.outcome == SiteOutcome::Cancelled)
+                .count() as u64;
             fleet.merge(&st.metrics.with_label("shard", &s.to_string()));
             shards.push(ShardReport {
                 shard: s as u64,
@@ -466,6 +527,7 @@ impl ShardPool {
                 served,
                 shed: st.shed,
                 quarantined_sites,
+                cancelled,
                 restarts: st.restarts,
                 is_quarantined: st.quarantined,
                 wedges: st.wedges,
@@ -491,6 +553,7 @@ fn worker_loop(
     remaining: &AtomicUsize,
     plan: Option<&FaultPlan>,
     cfg: &ServeConfig,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
 ) {
     let n = lanes.len();
     let home = (w % n) as u64;
@@ -505,16 +568,23 @@ fn worker_loop(
             if st.quarantined || st.queue.is_empty() {
                 continue;
             }
-            if !owned {
+            let cancelled = cancel.is_some_and(|c| c.load(Ordering::Acquire));
+            if !owned && !cancelled {
                 // A steal moves shard `s`'s work toward this worker's home
                 // shard; a partition of that path at the victim's current
                 // virtual instant refuses it. The owner never takes this
                 // branch, so partitions degrade parallelism, not progress.
+                // Cancellation drains are exempt: writing off a queue is
+                // teardown accounting, not work movement.
                 if plan.is_some_and(|p| p.partitioned(s as u64, home, st.t_ms)) {
                     continue;
                 }
             }
-            let consumed = run_one(&mut st, s as u64, cfg);
+            let consumed = if cancelled {
+                drain_cancelled(&mut st)
+            } else {
+                run_one(&mut st, s as u64, cfg)
+            };
             drop(st);
             remaining.fetch_sub(consumed, Ordering::AcqRel);
             progressed = true;
@@ -524,6 +594,26 @@ fn worker_loop(
             std::thread::yield_now();
         }
     }
+}
+
+/// Writes off every queued site of one shard during a cancelled serve.
+/// Returns how many queued sites were consumed.
+fn drain_cancelled(st: &mut ShardState) -> usize {
+    let mut consumed = 0;
+    while let Some((j, jb)) = st.queue.pop_front() {
+        st.sites.push((
+            j,
+            SiteReport {
+                site: jb.site,
+                seed: jb.seed,
+                outcome: SiteOutcome::Cancelled,
+                attempts: 0,
+                completed_at_ms: 0,
+            },
+        ));
+        consumed += 1;
+    }
+    consumed
 }
 
 /// Runs the next site of one shard, handling crash/restart/quarantine.
@@ -731,6 +821,62 @@ mod tests {
         // The report's JSON is deterministic and round-trips.
         let back: ServeReport = serde_json::from_str(&report.json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn pre_cancelled_serve_writes_off_every_site_with_no_orphans() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ShardPool::new(ServeConfig::new(3, 2));
+        let cancel = AtomicBool::new(true);
+        let report = pool.serve_with_cancel(jobs(8, 5), &cancel);
+        assert_eq!(report.cancelled(), 8);
+        assert_eq!(report.totals().0, 0);
+        assert_eq!(report.orphans(8), 0);
+        for sh in &report.shards {
+            assert_eq!(sh.cancelled, sh.sites.len() as u64);
+            for s in &sh.sites {
+                assert_eq!(s.outcome, SiteOutcome::Cancelled);
+                assert_eq!((s.attempts, s.completed_at_ms), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn unset_cancel_flag_leaves_the_serve_bit_identical() {
+        use std::sync::atomic::AtomicBool;
+        let plain = ShardPool::new(ServeConfig::new(4, 3)).serve(jobs(13, 7));
+        let cancel = AtomicBool::new(false);
+        let flagged =
+            ShardPool::new(ServeConfig::new(4, 3)).serve_with_cancel(jobs(13, 7), &cancel);
+        assert_eq!(plain, flagged);
+    }
+
+    #[test]
+    fn mid_serve_cancel_finishes_in_flight_and_accounts_for_the_rest() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut list = Vec::new();
+        {
+            let cancel = cancel.clone();
+            list.push(SiteJob::new("first", 1, move |_ctx| {
+                cancel.store(true, Ordering::Release);
+                SiteOutput {
+                    defended: Some(true),
+                    detail: "ran".into(),
+                    sim_ms: 1,
+                    wedged: false,
+                    metrics: MetricsSnapshot::default(),
+                }
+            }));
+        }
+        for i in 0..5 {
+            list.push(job(&format!("rest-{i}"), 10 + i, 1));
+        }
+        let pool = ShardPool::new(ServeConfig::new(1, 1));
+        let report = pool.serve_with_cancel(list, &cancel);
+        assert_eq!(report.totals().0, 1, "the in-flight site finished");
+        assert_eq!(report.cancelled(), 5);
+        assert_eq!(report.orphans(6), 0);
     }
 
     #[test]

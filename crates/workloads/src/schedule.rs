@@ -472,7 +472,24 @@ pub fn run_schedule_in(browser: &mut Browser, schedule: &Schedule) {
 /// of its window. The returned browser holds the trace.
 #[must_use]
 pub fn run_schedule(schedule: &Schedule, mediator: Box<dyn Mediator>, seed: u64) -> Browser {
-    let mut cfg = BrowserConfig::new(BrowserProfile::chrome(), seed);
+    run_schedule_with(
+        schedule,
+        mediator,
+        BrowserConfig::new(BrowserProfile::chrome(), seed),
+    )
+}
+
+/// Like [`run_schedule`], but over a caller-built [`BrowserConfig`] — the
+/// hook a serving layer needs to wire shard placement, fault plans, and an
+/// observer into a schedule run. The schedule still owns its document
+/// mode: `cfg.private_mode` is overwritten from the schedule so the same
+/// wire submission can never run in the wrong mode.
+#[must_use]
+pub fn run_schedule_with(
+    schedule: &Schedule,
+    mediator: Box<dyn Mediator>,
+    mut cfg: BrowserConfig,
+) -> Browser {
     cfg.private_mode = schedule.private_mode;
     let mut browser = Browser::new(cfg, mediator);
     run_schedule_in(&mut browser, schedule);
@@ -776,6 +793,20 @@ pub fn seed_schedules() -> Vec<Schedule> {
     out
 }
 
+/// How many of [`seed_schedules`]'s entries are Table I corpus programs
+/// (the rest are attack-family probes).
+pub const CORPUS_SCHEDULES: usize = 13;
+
+/// The thirteen corpus schedules alone — the twelve CVE programs plus
+/// Listing 1, in [`seed_schedules`] order — the slice a serving corpus or
+/// a wire smoke test submits.
+#[must_use]
+pub fn corpus_schedules() -> Vec<Schedule> {
+    let mut all = seed_schedules();
+    all.truncate(CORPUS_SCHEDULES);
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +821,14 @@ mod tests {
         assert!(names.contains(&"listing-1"));
         assert!(names.contains(&"attack-loophole"));
         assert!(names.contains(&"attack-hacky-racers"));
+    }
+
+    #[test]
+    fn corpus_schedules_are_the_thirteen_table1_programs() {
+        let corpus = corpus_schedules();
+        assert_eq!(corpus.len(), CORPUS_SCHEDULES);
+        assert!(corpus.iter().all(|s| !s.name.starts_with("attack-")));
+        assert_eq!(corpus.last().unwrap().name, "listing-1");
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn show(title: &str, report: &ServeReport) {
                 },
                 SiteOutcome::Shed => "shed (admission control)".to_owned(),
                 SiteOutcome::Quarantined => "written off (quarantine)".to_owned(),
+                SiteOutcome::Cancelled => "cancelled (drain)".to_owned(),
             };
             println!(
                 "      {} attempts={} done@{}ms: {verdict}",

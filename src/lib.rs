@@ -20,7 +20,11 @@
 //!   scanner, and policy linter (`cargo run --example analyze_trace`);
 //! * [`shard`] — sharded multi-site serving: per-site kernel shards under
 //!   a work-stealing scheduler with crash supervision, admission control,
-//!   and the cross-shard chaos matrix.
+//!   and the cross-shard chaos matrix;
+//! * [`serve`] — the wire front door over the shard pool: a
+//!   length-prefixed NDJSON protocol, loopback and TCP transports,
+//!   per-connection backpressure, graceful drain, and a `/metrics`-style
+//!   text endpoint (`docs/PROTOCOL.md` is the spec).
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@ pub use jsk_attacks as attacks;
 pub use jsk_browser as browser;
 pub use jsk_core as core;
 pub use jsk_defenses as defenses;
+pub use jsk_serve as serve;
 pub use jsk_shard as shard;
 pub use jsk_sim as sim;
 pub use jsk_vuln as vuln;
